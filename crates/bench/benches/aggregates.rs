@@ -1,0 +1,71 @@
+//! Criterion micro-benchmarks for bounded-answer computation: the cost of
+//! step 1 / step 3 of query execution (§4), including the tight-vs-loose
+//! AVG comparison (Appendix E's O(n log n) vs the linear loose bound).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use trapp_core::agg::avg::{bounded_avg_loose, bounded_avg_tight};
+use trapp_core::agg::{bounded_answer, AggInput, Aggregate};
+use trapp_expr::{BinaryOp, ColumnRef, Expr};
+use trapp_types::Value;
+use trapp_workload::netmon::{generate, NetworkConfig};
+
+fn selected_input(links: usize) -> AggInput {
+    let network = generate(&NetworkConfig {
+        nodes: 50,
+        extra_links: links.saturating_sub(49),
+        ..NetworkConfig::default()
+    });
+    let (cache, _) = network.build_tables();
+    let schema = cache.schema().clone();
+    let latency = Expr::Column(ColumnRef::bare("latency")).bind(&schema).expect("col");
+    let pred = Expr::binary(
+        BinaryOp::Gt,
+        Expr::Column(ColumnRef::bare("traffic")),
+        Expr::Literal(Value::Float(250.0)),
+    )
+    .bind(&schema)
+    .expect("pred");
+    AggInput::build(&cache, Some(&pred), Some(&latency)).expect("input")
+}
+
+fn bench_bounded_answers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bounded_answer");
+    for links in [200usize, 2000] {
+        let input = selected_input(links);
+        for agg in [
+            Aggregate::Min,
+            Aggregate::Max,
+            Aggregate::Sum,
+            Aggregate::Count,
+            Aggregate::Avg,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{agg:?}").to_lowercase(), input.items.len()),
+                &input,
+                |b, input| b.iter(|| black_box(bounded_answer(agg, input).expect("answer"))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_avg_tight_vs_loose(c: &mut Criterion) {
+    let mut group = c.benchmark_group("avg_bounds");
+    for links in [200usize, 2000] {
+        let input = selected_input(links);
+        group.bench_with_input(
+            BenchmarkId::new("tight_nlogn", input.items.len()),
+            &input,
+            |b, input| b.iter(|| black_box(bounded_avg_tight(input).expect("tight"))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("loose_linear", input.items.len()),
+            &input,
+            |b, input| b.iter(|| black_box(bounded_avg_loose(input).expect("loose"))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bounded_answers, bench_avg_tight_vs_loose);
+criterion_main!(benches);

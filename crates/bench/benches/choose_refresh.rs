@@ -1,0 +1,63 @@
+//! Criterion micro-benchmarks for the CHOOSE_REFRESH planners across
+//! aggregates and table sizes.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use trapp_core::agg::{AggInput, Aggregate};
+use trapp_core::refresh::{choose_refresh, SolverStrategy};
+use trapp_expr::{BinaryOp, ColumnRef, Expr};
+use trapp_types::Value;
+use trapp_workload::netmon::{generate, NetworkConfig};
+
+fn inputs(nodes: usize, extra: usize) -> (AggInput, AggInput) {
+    let network = generate(&NetworkConfig {
+        nodes,
+        extra_links: extra,
+        ..NetworkConfig::default()
+    });
+    let (cache, _) = network.build_tables();
+    let schema = cache.schema().clone();
+    let latency = Expr::Column(ColumnRef::bare("latency")).bind(&schema).expect("col");
+    let pred = Expr::binary(
+        BinaryOp::Gt,
+        Expr::Column(ColumnRef::bare("traffic")),
+        Expr::Literal(Value::Float(250.0)),
+    )
+    .bind(&schema)
+    .expect("pred");
+    let plain = AggInput::build(&cache, None, Some(&latency)).expect("input");
+    let selected = AggInput::build(&cache, Some(&pred), Some(&latency)).expect("input");
+    (plain, selected)
+}
+
+fn bench_choose_refresh(c: &mut Criterion) {
+    let mut group = c.benchmark_group("choose_refresh");
+    for links in [100usize, 400, 1600] {
+        let (plain, selected) = inputs(50, links.saturating_sub(49));
+        let r = 50.0;
+        for (name, agg, input) in [
+            ("min", Aggregate::Min, &plain),
+            ("sum", Aggregate::Sum, &plain),
+            ("avg", Aggregate::Avg, &plain),
+            ("count_pred", Aggregate::Count, &selected),
+            ("sum_pred", Aggregate::Sum, &selected),
+            ("avg_pred", Aggregate::Avg, &selected),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(name, input.items.len()),
+                input,
+                |b, input| {
+                    b.iter(|| {
+                        black_box(
+                            choose_refresh(agg, input, r, SolverStrategy::Fptas(0.1))
+                                .expect("plan"),
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_choose_refresh);
+criterion_main!(benches);

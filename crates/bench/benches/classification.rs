@@ -1,0 +1,91 @@
+//! Criterion micro-benchmarks for T+/T?/T− classification (§6, Appendix D)
+//! and the end-to-end query execution path.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use trapp_core::{QuerySession, SolverStrategy, TableOracle};
+use trapp_expr::{classify_table, BinaryOp, ColumnRef, Expr};
+use trapp_types::Value;
+use trapp_workload::netmon::{generate, NetworkConfig};
+
+fn bench_classification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("classify");
+    for links in [200usize, 2000] {
+        let network = generate(&NetworkConfig {
+            nodes: 50,
+            extra_links: links.saturating_sub(49),
+            ..NetworkConfig::default()
+        });
+        let (cache, _) = network.build_tables();
+        let schema = cache.schema().clone();
+        let simple = Expr::binary(
+            BinaryOp::Gt,
+            Expr::Column(ColumnRef::bare("traffic")),
+            Expr::Literal(Value::Float(250.0)),
+        )
+        .bind(&schema)
+        .expect("pred");
+        let conjunction = Expr::and(
+            Expr::binary(
+                BinaryOp::Gt,
+                Expr::Column(ColumnRef::bare("bandwidth")),
+                Expr::Literal(Value::Float(300.0)),
+            ),
+            Expr::binary(
+                BinaryOp::Lt,
+                Expr::Column(ColumnRef::bare("latency")),
+                Expr::Literal(Value::Float(20.0)),
+            ),
+        )
+        .bind(&schema)
+        .expect("pred");
+
+        group.bench_with_input(
+            BenchmarkId::new("simple_cmp", cache.len()),
+            &cache,
+            |b, cache| b.iter(|| black_box(classify_table(cache, Some(&simple)).expect("classify"))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("conjunction", cache.len()),
+            &cache,
+            |b, cache| {
+                b.iter(|| black_box(classify_table(cache, Some(&conjunction)).expect("classify")))
+            },
+        );
+    }
+    group.finish();
+}
+
+/// End-to-end: parse → bind → classify → answer → CHOOSE_REFRESH →
+/// refresh → recompute, on a fresh session each iteration.
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end_query");
+    group.sample_size(30);
+    let network = generate(&NetworkConfig::default());
+    for (name, sql) in [
+        (
+            "min_pred",
+            "SELECT MIN(traffic) WITHIN 20 FROM links WHERE bandwidth > 300",
+        ),
+        ("sum_within", "SELECT SUM(latency) WITHIN 50 FROM links"),
+        (
+            "avg_pred",
+            "SELECT AVG(latency) WITHIN 3 FROM links WHERE traffic > 250",
+        ),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter_with_setup(
+                || {
+                    let (cache, master) = network.build_tables();
+                    let mut s = QuerySession::new(cache);
+                    s.config.strategy = SolverStrategy::Fptas(0.1);
+                    (s, TableOracle::from_table(master))
+                },
+                |(mut s, mut o)| black_box(s.execute_sql(sql, &mut o).expect("query")),
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_classification, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! ABL-2 (Appendix A): sensitivity of the adaptive width-parameter
+//! controller to its starting point, under a mixed update/query load.
+//!
+//! A too-narrow bound causes value-initiated refreshes on every escape; a
+//! too-wide one forces queries to pull refreshes. The adaptive controller
+//! (×2 on escape, ×0.7 on query pull — `AdaptiveWidth::with_defaults`)
+//! should converge to a workload-appropriate width from any starting
+//! point, so total refreshes should be similar across wildly different
+//! initial widths.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use trapp_bench::tablefmt::{num, render};
+use trapp_storage::{ColumnDef, Schema, Table};
+use trapp_types::{BoundedValue, ObjectId, SourceId, Value, ValueType};
+
+/// Runs 400 ticks of ±1 random-walk updates on 20 objects with a
+/// `SUM WITHIN 40` query every 10 ticks; returns the refresh counts.
+fn run_scenario(initial_width: f64) -> (u64, u64) {
+    let mut sim = trapp_system::Simulation::builder()
+        .initial_width(initial_width)
+        .build()
+        .expect("sim");
+    sim.add_source(SourceId::new(1));
+    let schema = Schema::new(vec![
+        ColumnDef::exact("name", ValueType::Str),
+        ColumnDef::bounded_float("metric"),
+    ])
+    .expect("schema");
+    sim.add_table(Table::new("metrics", schema)).expect("table");
+
+    let n = 20usize;
+    let mut values: Vec<f64> = (0..n).map(|i| 100.0 + i as f64).collect();
+    for (i, v) in values.iter().enumerate() {
+        sim.add_row(
+            "metrics",
+            SourceId::new(1),
+            vec![
+                BoundedValue::Exact(Value::Str(format!("m{i}"))),
+                BoundedValue::exact_f64(*v).expect("value"),
+            ],
+        )
+        .expect("row");
+    }
+
+    let mut rng = StdRng::seed_from_u64(99);
+    for tick in 1..=400u64 {
+        sim.clock.advance(1.0);
+        for (i, v) in values.iter_mut().enumerate() {
+            *v += rng.gen_range(-1.0..=1.0);
+            sim.apply_update(ObjectId::new(i as u64 + 1), *v).expect("update");
+        }
+        if tick % 10 == 0 {
+            sim.run_query("SELECT SUM(metric) WITHIN 40 FROM metrics")
+                .expect("query");
+        }
+    }
+    let stats = sim.stats();
+    (stats.value_initiated, stats.query_initiated)
+}
+
+fn main() {
+    println!("== ABL-2: adaptive width control (Appendix A) ==\n");
+    println!("workload: 20 objects, ±1 random-walk updates per tick, 400 ticks,");
+    println!("SUM WITHIN 40 query every 10 ticks; widths adapt ×2 on escape, ×0.7 on pull\n");
+
+    let mut rows = Vec::new();
+    let mut totals = Vec::new();
+    for w0 in [0.05, 0.2, 1.0, 5.0, 25.0] {
+        let (vi, qi) = run_scenario(w0);
+        totals.push(vi + qi);
+        rows.push(vec![
+            num(w0, 2),
+            vi.to_string(),
+            qi.to_string(),
+            (vi + qi).to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        render(
+            &["initial W", "value-initiated", "query-initiated", "total refreshes"],
+            &rows
+        )
+    );
+    let max = *totals.iter().max().expect("nonempty") as f64;
+    let min = *totals.iter().min().expect("nonempty") as f64;
+    println!(
+        "\nreading: across a 500x range of starting widths, total refreshes vary only {:.1}x —",
+        max / min.max(1.0)
+    );
+    println!("the controller finds the workload's middle ground (Appendix A's goal).");
+}

@@ -1,0 +1,74 @@
+//! ABL-5 (§6.4.1): tight (Appendix E) vs loose (linear-time) AVG bounds.
+//!
+//! The paper's Q6 example shows the tight bound [5, 11.3] against the loose
+//! [2.3, 27.5]. This ablation quantifies the gap across predicate
+//! selectivities on the network-monitoring workload: how much width the
+//! O(n log n) computation saves, i.e. how often it answers from cache where
+//! the loose bound would have forced refreshes.
+
+use trapp_bench::tablefmt::{num, render};
+use trapp_core::agg::avg::{bounded_avg_loose, bounded_avg_tight};
+use trapp_core::agg::AggInput;
+use trapp_expr::{BinaryOp, ColumnRef, Expr};
+use trapp_types::Value;
+use trapp_workload::netmon::{generate, NetworkConfig};
+
+fn main() {
+    println!("== ABL-5: tight (Appendix E) vs loose (§6.4.1) AVG bounds ==\n");
+    println!("query shape: AVG(latency) WHERE traffic > t, sweeping t over the");
+    println!("50-node / 149-link generated network (seed 7)\n");
+
+    let network = generate(&NetworkConfig::default());
+    let (cache, _master) = network.build_tables();
+    let schema = cache.schema().clone();
+    let latency = Expr::Column(ColumnRef::bare("latency")).bind(&schema).expect("col");
+
+    let mut rows = Vec::new();
+    for t in [100.0, 150.0, 200.0, 250.0, 300.0, 350.0, 400.0, 450.0] {
+        let pred = Expr::binary(
+            BinaryOp::Gt,
+            Expr::Column(ColumnRef::bare("traffic")),
+            Expr::Literal(Value::Float(t)),
+        )
+        .bind(&schema)
+        .expect("pred");
+        let input = AggInput::build(&cache, Some(&pred), Some(&latency)).expect("input");
+        if input.items.is_empty() {
+            continue;
+        }
+        let tight = bounded_avg_tight(&input).expect("tight");
+        let loose = bounded_avg_loose(&input).expect("loose");
+        assert!(
+            loose.contains_interval(tight),
+            "tight must be within loose (t = {t})"
+        );
+        rows.push(vec![
+            num(t, 0),
+            input.plus_count().to_string(),
+            input.question_count().to_string(),
+            format!("[{}, {}]", num(tight.lo(), 2), num(tight.hi(), 2)),
+            format!("[{}, {}]", num(loose.lo(), 2), num(loose.hi(), 2)),
+            num(tight.width(), 2),
+            num(loose.width(), 2),
+            num(loose.width() / tight.width().max(1e-12), 1),
+        ]);
+    }
+    println!(
+        "{}",
+        render(
+            &[
+                "traffic >",
+                "|T+|",
+                "|T?|",
+                "tight bound",
+                "loose bound",
+                "tight width",
+                "loose width",
+                "loose/tight"
+            ],
+            &rows
+        )
+    );
+    println!("\nreading: the gap grows with |T?| — exactly the regime where Appendix E's");
+    println!("anchored averaging pays off (the paper's Q6 gap was 25.2 / 6.3 ≈ 4x).");
+}

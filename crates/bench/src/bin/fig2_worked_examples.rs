@@ -1,0 +1,152 @@
+//! Figure 2 + worked examples Q1–Q6: prints the paper's sample table
+//! (including the knapsack weight columns W, W′, W″) and replays every
+//! worked example end-to-end, reporting paper-expected vs measured.
+
+use trapp_bench::tablefmt::{num, render};
+use trapp_core::agg::sum::sum_weight;
+use trapp_core::agg::AggInput;
+use trapp_core::{QuerySession, SolverStrategy, TableOracle};
+use trapp_expr::{BinaryOp, Band, ColumnRef, Expr};
+use trapp_types::Value;
+use trapp_workload::figure2::{self, links_table, master_table, worked_examples};
+
+fn main() {
+    println!("== Figure 2: sample data for the network monitoring example ==\n");
+    print_figure2_table();
+    println!("\n== Worked examples Q1-Q6 (paper-expected vs measured) ==\n");
+    run_worked_examples();
+}
+
+fn print_figure2_table() {
+    let cache = links_table();
+
+    // Weight columns: W (Q2: SUM latency over path tuples, §5.2),
+    // W′ (Q3: AVG traffic, §5.4), W″ (Q6: AVG latency WHERE traffic>100,
+    // Appendix F).
+    let schema = figure2::schema();
+    let latency = Expr::Column(ColumnRef::bare("latency")).bind(&schema).unwrap();
+    let traffic = Expr::Column(ColumnRef::bare("traffic")).bind(&schema).unwrap();
+    let on_path = Expr::binary(
+        BinaryOp::Eq,
+        Expr::Column(ColumnRef::bare("on_path")),
+        Expr::Literal(Value::Bool(true)),
+    )
+    .bind(&schema)
+    .unwrap();
+    let traffic_gt_100 = Expr::binary(
+        BinaryOp::Gt,
+        Expr::Column(ColumnRef::bare("traffic")),
+        Expr::Literal(Value::Float(100.0)),
+    )
+    .bind(&schema)
+    .unwrap();
+
+    let w_input = AggInput::build(&cache, Some(&on_path), Some(&latency)).unwrap();
+    let wp_input = AggInput::build(&cache, None, Some(&traffic)).unwrap();
+    let wpp_input = AggInput::build(&cache, Some(&traffic_gt_100), Some(&latency)).unwrap();
+
+    // Q6 slope (Appendix F): max(H'S, -L'S, H'S-L'S)/L'C - R with R = 2.
+    let sum = trapp_core::agg::sum::bounded_sum(&wpp_input);
+    let l_count = wpp_input.plus_count() as f64;
+    let slope = sum.hi().max(-sum.lo()).max(sum.width()) / l_count - 2.0;
+
+    let lookup = |input: &AggInput, tid: u64| -> Option<f64> {
+        input
+            .items
+            .iter()
+            .find(|i| i.tid.raw() == tid)
+            .map(sum_weight)
+    };
+    let lookup_wpp = |tid: u64| -> Option<f64> {
+        wpp_input.items.iter().find(|i| i.tid.raw() == tid).map(|i| {
+            sum_weight(i)
+                + if i.band == Band::Question {
+                    slope
+                } else {
+                    0.0
+                }
+        })
+    };
+
+    let mut rows = Vec::new();
+    for (i, (from, to, lat, bw, tr, cost, _)) in figure2::ROWS.into_iter().enumerate() {
+        let tid = i as u64 + 1;
+        let (plat, pbw, ptr) = figure2::PRECISE[i];
+        rows.push(vec![
+            tid.to_string(),
+            format!("N{from}"),
+            format!("N{to}"),
+            format!("[{}, {}]", lat.0, lat.1),
+            num(plat, 0),
+            format!("[{}, {}]", bw.0, bw.1),
+            num(pbw, 0),
+            format!("[{}, {}]", tr.0, tr.1),
+            num(ptr, 0),
+            num(cost, 0),
+            lookup(&w_input, tid).map(|w| num(w, 0)).unwrap_or_default(),
+            lookup(&wp_input, tid).map(|w| num(w, 0)).unwrap_or_default(),
+            lookup_wpp(tid).map(|w| num(w, 1)).unwrap_or_default(),
+        ]);
+    }
+    println!(
+        "{}",
+        render(
+            &[
+                "link", "from", "to", "lat cached", "lat V", "bw cached", "bw V", "traffic cached",
+                "traffic V", "cost", "W", "W'", "W''"
+            ],
+            &rows
+        )
+    );
+    println!("W   = knapsack weights for Q2 (SUM latency over the path, R=5; blank = off-path)");
+    println!("W'  = knapsack weights for Q3 (AVG traffic, R=10)");
+    println!("W'' = knapsack weights for Q6 (AVG latency WHERE traffic > 100, R=2)");
+}
+
+fn run_worked_examples() {
+    let mut rows = Vec::new();
+    for ex in worked_examples() {
+        let mut session = QuerySession::new(links_table());
+        session.config.strategy = SolverStrategy::Exact;
+        let mut oracle = TableOracle::from_table(master_table());
+        let r = session.execute_sql(ex.sql, &mut oracle).unwrap();
+        let refreshed: Vec<String> = r.refreshed.iter().map(|(_, t)| t.raw().to_string()).collect();
+        rows.push(vec![
+            ex.id.to_string(),
+            format!("[{}, {}]", num(ex.expect_initial.0, 1), num(ex.expect_initial.1, 1)),
+            format!(
+                "[{}, {}]",
+                num(r.initial_answer.range.lo(), 1),
+                num(r.initial_answer.range.hi(), 1)
+            ),
+            format!("[{}, {}]", num(ex.expect_final.0, 1), num(ex.expect_final.1, 1)),
+            format!(
+                "[{}, {}]",
+                num(r.answer.range.lo(), 1),
+                num(r.answer.range.hi(), 1)
+            ),
+            format!("{{{}}}", refreshed.join(",")),
+            num(r.refresh_cost, 0),
+            if r.satisfied { "yes".into() } else { "NO".into() },
+        ]);
+    }
+    println!(
+        "{}",
+        render(
+            &[
+                "query",
+                "paper initial",
+                "measured initial",
+                "paper final",
+                "measured final",
+                "refreshed",
+                "cost",
+                "ok"
+            ],
+            &rows
+        )
+    );
+    for ex in worked_examples() {
+        println!("{}: {} — {}", ex.id, ex.description, ex.sql);
+    }
+}

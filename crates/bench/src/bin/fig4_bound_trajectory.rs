@@ -1,0 +1,90 @@
+//! Figure 4: a bound `[L(T), H(T)]` over time, overlaid with the precise
+//! value `V(T)` — showing the √t growth, a query-initiated refresh (bound
+//! collapses to a point, width parameter narrows), and a value-initiated
+//! refresh (the value escapes, bound re-centers and widens).
+//!
+//! Prints the series as CSV-ish columns plus an ASCII strip chart.
+
+use trapp_bench::tablefmt::{num, render};
+use trapp_bounds::BoundShape;
+use trapp_system::{Refresh, RefreshKind, SimClock, Source};
+use trapp_types::{CacheId, ObjectId, SourceId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    println!("== Figure 4: bound [L(T), H(T)] over time vs precise value V(T) ==\n");
+
+    let clock = SimClock::new();
+    let mut source = Source::new(SourceId::new(1), BoundShape::Sqrt);
+    let object = ObjectId::new(1);
+    let cache = CacheId::new(1);
+    source.register_object(object, 100.0).expect("register");
+    let mut bound = source
+        .subscribe(cache, object, 1.2, clock.now())
+        .expect("subscribe")
+        .bound;
+
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut value = 100.0;
+    let mut rows = Vec::new();
+    let mut events: Vec<(f64, &'static str)> = Vec::new();
+
+    for step in 0..=120 {
+        let t = step as f64 * 0.5;
+        clock.advance_to(t);
+        // Random-walk update (the Appendix A model).
+        if step > 0 {
+            value += rng.gen_range(-1.0..=1.0);
+            let refreshes = source.apply_update(object, value, t).expect("update");
+            for (_, r) in refreshes {
+                bound = r.bound;
+                events.push((t, "value-initiated refresh"));
+            }
+        }
+        // A scheduled query at t = 40 pulls a query-initiated refresh.
+        if step == 80 {
+            let r: Refresh = source.serve_refresh(cache, object, t).expect("refresh");
+            assert_eq!(r.kind, RefreshKind::QueryInitiated);
+            bound = r.bound;
+            events.push((t, "query-initiated refresh"));
+        }
+
+        if step % 4 == 0 {
+            let iv = bound.interval_at(t);
+            let chart = strip_chart(iv.lo(), value, iv.hi(), 92.0, 112.0);
+            rows.push(vec![
+                num(t, 1),
+                num(iv.lo(), 2),
+                num(value, 2),
+                num(iv.hi(), 2),
+                num(iv.width(), 2),
+                chart,
+            ]);
+        }
+    }
+
+    println!(
+        "{}",
+        render(&["t", "L(t)", "V(t)", "H(t)", "width", "L ~ V ~ H"], &rows)
+    );
+    println!("events:");
+    for (t, what) in events {
+        println!("  t = {t:>5.1}: {what}");
+    }
+    println!("\nshape check: width grows like sqrt(t - t_refresh); refreshes collapse it to 0.");
+}
+
+/// A fixed-scale ASCII strip: `[`, `*` for the value, `]` for the bound.
+fn strip_chart(lo: f64, v: f64, hi: f64, min: f64, max: f64) -> String {
+    let cols = 48usize;
+    let pos = |x: f64| -> usize {
+        (((x - min) / (max - min)).clamp(0.0, 1.0) * (cols - 1) as f64).round() as usize
+    };
+    let mut chart = vec![b' '; cols];
+    chart[pos(lo)] = b'[';
+    chart[pos(hi)] = b']';
+    let vp = pos(v);
+    chart[vp] = if chart[vp] == b' ' { b'*' } else { b'#' };
+    String::from_utf8(chart).expect("ascii")
+}

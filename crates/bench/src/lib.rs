@@ -1,0 +1,14 @@
+//! # trapp-bench
+//!
+//! The experiment harness: one binary per paper table/figure (see
+//! DESIGN.md's per-experiment index) plus Criterion micro-benchmarks.
+//! This library hosts the shared experiment drivers so the binaries, the
+//! benches, and EXPERIMENTS.md all report the same numbers.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod experiments;
+pub mod tablefmt;
+
+pub use experiments::{fig5_sweep, fig6_sweep, Fig5Row, Fig6Row};

@@ -1,0 +1,182 @@
+//! Adaptive width-parameter control (Appendix A).
+//!
+//! Choosing the width parameter `W` trades off two failure modes:
+//!
+//! * **too narrow** → the master value escapes often → many *value-initiated*
+//!   refreshes (update-driven load);
+//! * **too wide** → queries cannot meet their precision constraints from
+//!   cache → many *query-initiated* refreshes (query-driven load).
+//!
+//! The paper's proposed strategy is multiplicative feedback: widen `W` on
+//! every value-initiated refresh, narrow it on every query-initiated one.
+//! [`AdaptiveWidth`] implements exactly that, with clamping and statistics so
+//! the ablation experiment (ABL-2) can compare it against fixed widths.
+
+use std::fmt;
+
+use trapp_types::TrappError;
+
+/// Multiplicative-feedback controller for one object's width parameter `W`.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct AdaptiveWidth {
+    width: f64,
+    grow: f64,
+    shrink: f64,
+    min_width: f64,
+    max_width: f64,
+    value_initiated: u64,
+    query_initiated: u64,
+}
+
+impl AdaptiveWidth {
+    /// Creates a controller starting at `initial`, growing by `grow` (> 1)
+    /// on value-initiated refreshes and shrinking by `shrink` (in (0, 1)) on
+    /// query-initiated refreshes, clamped to `[min_width, max_width]`.
+    pub fn new(
+        initial: f64,
+        grow: f64,
+        shrink: f64,
+        min_width: f64,
+        max_width: f64,
+    ) -> Result<AdaptiveWidth, TrappError> {
+        for v in [initial, grow, shrink, min_width, max_width] {
+            if v.is_nan() {
+                return Err(TrappError::NanValue);
+            }
+        }
+        if grow <= 1.0 {
+            return Err(TrappError::Unsupported(format!(
+                "grow factor must exceed 1, got {grow}"
+            )));
+        }
+        if shrink <= 0.0 || shrink >= 1.0 {
+            return Err(TrappError::Unsupported(format!(
+                "shrink factor must lie in (0, 1), got {shrink}"
+            )));
+        }
+        if min_width <= 0.0 || min_width > max_width {
+            return Err(TrappError::Unsupported(format!(
+                "need 0 < min_width ({min_width}) <= max_width ({max_width})"
+            )));
+        }
+        Ok(AdaptiveWidth {
+            width: initial.clamp(min_width, max_width),
+            grow,
+            shrink,
+            min_width,
+            max_width,
+            value_initiated: 0,
+            query_initiated: 0,
+        })
+    }
+
+    /// A controller with the defaults used by the experiments:
+    /// start at `initial`, ×2 on escape, ×0.7 on query refresh,
+    /// clamped to `[initial/64, initial·64]`.
+    pub fn with_defaults(initial: f64) -> Result<AdaptiveWidth, TrappError> {
+        if initial.is_nan() || initial <= 0.0 {
+            return Err(TrappError::InvalidCost(initial));
+        }
+        AdaptiveWidth::new(initial, 2.0, 0.7, initial / 64.0, initial * 64.0)
+    }
+
+    /// Current width parameter `W` to install on the next refresh.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Signal: the master value escaped the bound (bound was too narrow).
+    pub fn on_value_initiated_refresh(&mut self) {
+        self.value_initiated += 1;
+        self.width = (self.width * self.grow).min(self.max_width);
+    }
+
+    /// Signal: a query had to refresh this object (bound was too wide).
+    pub fn on_query_initiated_refresh(&mut self) {
+        self.query_initiated += 1;
+        self.width = (self.width * self.shrink).max(self.min_width);
+    }
+
+    /// Total value-initiated refresh signals observed.
+    pub fn value_initiated_count(&self) -> u64 {
+        self.value_initiated
+    }
+
+    /// Total query-initiated refresh signals observed.
+    pub fn query_initiated_count(&self) -> u64 {
+        self.query_initiated
+    }
+
+    /// Total refreshes of both kinds — the quantity the controller tries to
+    /// minimize (Appendix A).
+    pub fn total_refreshes(&self) -> u64 {
+        self.value_initiated + self.query_initiated
+    }
+}
+
+impl fmt::Display for AdaptiveWidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "W={:.4} (value-initiated: {}, query-initiated: {})",
+            self.width, self.value_initiated, self.query_initiated
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widens_on_escapes_and_narrows_on_queries() {
+        let mut a = AdaptiveWidth::new(1.0, 2.0, 0.5, 0.01, 100.0).unwrap();
+        a.on_value_initiated_refresh();
+        assert_eq!(a.width(), 2.0);
+        a.on_value_initiated_refresh();
+        assert_eq!(a.width(), 4.0);
+        a.on_query_initiated_refresh();
+        assert_eq!(a.width(), 2.0);
+        assert_eq!(a.total_refreshes(), 3);
+    }
+
+    #[test]
+    fn clamps_at_both_ends() {
+        let mut a = AdaptiveWidth::new(1.0, 10.0, 0.1, 0.5, 2.0).unwrap();
+        a.on_value_initiated_refresh();
+        assert_eq!(a.width(), 2.0); // hit max
+        a.on_query_initiated_refresh();
+        a.on_query_initiated_refresh();
+        a.on_query_initiated_refresh();
+        assert_eq!(a.width(), 0.5); // hit min
+    }
+
+    #[test]
+    fn finds_equilibrium_under_mixed_signals() {
+        // Alternating signals with grow=2, shrink=0.5 oscillate around the
+        // starting width instead of drifting — the "middle ground" the
+        // paper's strategy seeks.
+        let mut a = AdaptiveWidth::new(1.0, 2.0, 0.5, 1e-6, 1e6).unwrap();
+        for _ in 0..100 {
+            a.on_value_initiated_refresh();
+            a.on_query_initiated_refresh();
+        }
+        assert!((a.width() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validates_parameters() {
+        assert!(AdaptiveWidth::new(1.0, 1.0, 0.5, 0.1, 10.0).is_err()); // grow == 1
+        assert!(AdaptiveWidth::new(1.0, 2.0, 1.0, 0.1, 10.0).is_err()); // shrink == 1
+        assert!(AdaptiveWidth::new(1.0, 2.0, 0.5, 0.0, 10.0).is_err()); // min == 0
+        assert!(AdaptiveWidth::new(1.0, 2.0, 0.5, 5.0, 1.0).is_err()); // min > max
+        assert!(AdaptiveWidth::with_defaults(-1.0).is_err());
+        assert!(AdaptiveWidth::with_defaults(3.0).is_ok());
+    }
+
+    #[test]
+    fn initial_width_is_clamped() {
+        let a = AdaptiveWidth::new(1000.0, 2.0, 0.5, 0.1, 10.0).unwrap();
+        assert_eq!(a.width(), 10.0);
+    }
+}

@@ -1,0 +1,292 @@
+//! Bound functions `[L(T), H(T)]` and their compact wire encoding.
+//!
+//! §3.2/Appendix A: a bound function pair is encoded by just two numbers —
+//! the value at refresh time `V(Tᵣ)` and a width parameter `W` — plus the
+//! refresh timestamp and a statically chosen *shape* `f(T)`:
+//!
+//! ```text
+//! L(T) = V(Tᵣ) − W · f(T − Tᵣ)
+//! H(T) = V(Tᵣ) + W · f(T − Tᵣ)
+//! ```
+//!
+//! The paper argues for `f(T) = √T` under a random-walk update model; this
+//! module also offers constant and linear shapes for comparison (the §8.3
+//! "specialized bound functions" direction) and for applications — like the
+//! static Figure 2 fixture — where bounds do not change between refreshes.
+
+use std::fmt;
+
+use trapp_types::{Interval, TrappError};
+
+/// The statically chosen growth shape `f(Δt)` of a bound function.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum BoundShape {
+    /// `f(Δt) = 1` for Δt > 0 (a fixed ±W band, 0 at the refresh instant).
+    ///
+    /// This is the Quasi-copies-style static tolerance; useful as a baseline.
+    Constant,
+    /// `f(Δt) = √Δt` — the paper's recommended shape (Appendix A), tight for
+    /// random-walk updates by Chebyshev's inequality.
+    Sqrt,
+    /// `f(Δt) = Δt` — worst-case drift for values with bounded rate of
+    /// change (the Moving-Objects-Database setting).
+    Linear,
+}
+
+impl BoundShape {
+    /// Evaluates the shape at elapsed time `dt ≥ 0`.
+    #[inline]
+    pub fn eval(self, dt: f64) -> f64 {
+        debug_assert!(dt >= 0.0);
+        match self {
+            BoundShape::Constant => {
+                if dt > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            BoundShape::Sqrt => dt.sqrt(),
+            BoundShape::Linear => dt,
+        }
+    }
+}
+
+impl fmt::Display for BoundShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BoundShape::Constant => write!(f, "constant"),
+            BoundShape::Sqrt => write!(f, "sqrt"),
+            BoundShape::Linear => write!(f, "linear"),
+        }
+    }
+}
+
+/// A concrete bound function installed by one refresh: the cache-side state
+/// for one replicated object.
+///
+/// The wire encoding is exactly the two numbers the paper calls out
+/// (`value_at_refresh`, `width_param`) plus `refresh_time` when clocks are
+/// not implicitly synchronized (§ Appendix A, "if the message-passing delay
+/// is non-negligible").
+///
+/// ```
+/// use trapp_bounds::{BoundFunction, BoundShape};
+/// let b = BoundFunction::new(100.0, 2.0, 16.0, BoundShape::Sqrt).unwrap();
+/// let iv = b.interval_at(25.0); // 9 time units later: ±2·√9 = ±6
+/// assert_eq!((iv.lo(), iv.hi()), (94.0, 106.0));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct BoundFunction {
+    /// `V(Tᵣ)`: the master value at refresh time.
+    value_at_refresh: f64,
+    /// `W ≥ 0`: the width parameter chosen by the source.
+    width_param: f64,
+    /// `Tᵣ`: when the refresh happened (same clock as queries).
+    refresh_time: f64,
+    /// `f`: the growth shape.
+    shape: BoundShape,
+}
+
+impl BoundFunction {
+    /// Creates a bound function; rejects NaN and negative `width_param`.
+    pub fn new(
+        value_at_refresh: f64,
+        width_param: f64,
+        refresh_time: f64,
+        shape: BoundShape,
+    ) -> Result<BoundFunction, TrappError> {
+        if value_at_refresh.is_nan() || refresh_time.is_nan() {
+            return Err(TrappError::NanValue);
+        }
+        if width_param.is_nan() || width_param < 0.0 {
+            return Err(TrappError::InvalidCost(width_param));
+        }
+        Ok(BoundFunction {
+            value_at_refresh,
+            width_param,
+            refresh_time,
+            shape,
+        })
+    }
+
+    /// A zero-width bound pinned at `value` forever (exact replication).
+    pub fn exact(value: f64, refresh_time: f64) -> Result<BoundFunction, TrappError> {
+        BoundFunction::new(value, 0.0, refresh_time, BoundShape::Constant)
+    }
+
+    /// `V(Tᵣ)`.
+    pub fn value_at_refresh(&self) -> f64 {
+        self.value_at_refresh
+    }
+
+    /// `W`.
+    pub fn width_param(&self) -> f64 {
+        self.width_param
+    }
+
+    /// `Tᵣ`.
+    pub fn refresh_time(&self) -> f64 {
+        self.refresh_time
+    }
+
+    /// The growth shape.
+    pub fn shape(&self) -> BoundShape {
+        self.shape
+    }
+
+    /// Evaluates `[L(T), H(T)]` at time `now`.
+    ///
+    /// Times before the refresh evaluate as the refresh instant (zero
+    /// width) — the bound is simply not defined earlier, and clamping keeps
+    /// accidental clock skew from producing inverted intervals.
+    pub fn interval_at(&self, now: f64) -> Interval {
+        let dt = (now - self.refresh_time).max(0.0);
+        let half = self.width_param * self.shape.eval(dt);
+        Interval::new_unchecked(self.value_at_refresh - half, self.value_at_refresh + half)
+    }
+
+    /// The bound width `H(T) − L(T)` at time `now`.
+    pub fn width_at(&self, now: f64) -> f64 {
+        2.0 * self.width_param * self.shape.eval((now - self.refresh_time).max(0.0))
+    }
+
+    /// `true` if `value` violates the bound at time `now` — the condition
+    /// that obligates the source to send a value-initiated refresh (§3.1).
+    pub fn violated_by(&self, value: f64, now: f64) -> bool {
+        !self.interval_at(now).contains(value)
+    }
+
+    /// The earliest time `t ≥ now` at which `value` would escape the bound
+    /// if the master value stayed constant, or `None` if it never escapes
+    /// (inside a constant band, or `value == V(Tᵣ)`).
+    ///
+    /// Sources use this for *pre-refresh* scheduling (§8.3): a value sitting
+    /// close to the edge of its bound is a good piggy-backing candidate.
+    pub fn escape_time(&self, value: f64, now: f64) -> Option<f64> {
+        let dev = (value - self.value_at_refresh).abs();
+        if dev == 0.0 {
+            return None;
+        }
+        if self.width_param == 0.0 {
+            return Some(now.max(self.refresh_time));
+        }
+        let needed = dev / self.width_param; // f(dt) < needed keeps us inside
+        let dt = match self.shape {
+            BoundShape::Constant => {
+                // Inside the ±W band the value never escapes; outside it is
+                // already out for any dt > 0.
+                if needed <= 1.0 {
+                    return None;
+                } else {
+                    return Some(now.max(self.refresh_time));
+                }
+            }
+            BoundShape::Sqrt => needed * needed,
+            BoundShape::Linear => needed,
+        };
+        let t = self.refresh_time + dt;
+        // Escape is the first instant where f(dt) ≤ needed stops holding;
+        // at t exactly, dev == half-width (still contained), so escape is
+        // any time strictly before t only if already violated.
+        Some(t.max(now))
+    }
+}
+
+impl fmt::Display for BoundFunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ± {}·{}(T−{})",
+            self.value_at_refresh, self.width_param, self.shape, self.refresh_time
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_width_at_refresh_instant() {
+        for shape in [BoundShape::Constant, BoundShape::Sqrt, BoundShape::Linear] {
+            let b = BoundFunction::new(50.0, 3.0, 10.0, shape).unwrap();
+            let iv = b.interval_at(10.0);
+            assert_eq!(iv.lo(), 50.0);
+            assert_eq!(iv.hi(), 50.0);
+        }
+    }
+
+    #[test]
+    fn sqrt_shape_growth() {
+        let b = BoundFunction::new(0.0, 2.0, 0.0, BoundShape::Sqrt).unwrap();
+        assert_eq!(b.width_at(1.0), 4.0); // 2·2·√1
+        assert_eq!(b.width_at(4.0), 8.0); // 2·2·√4
+        assert_eq!(b.width_at(9.0), 12.0);
+        // Sub-linear: doubling time multiplies width by √2.
+        let w1 = b.width_at(100.0);
+        let w2 = b.width_at(200.0);
+        assert!((w2 / w1 - 2f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_and_linear_shapes() {
+        let c = BoundFunction::new(10.0, 5.0, 0.0, BoundShape::Constant).unwrap();
+        assert_eq!(c.width_at(0.001), 10.0);
+        assert_eq!(c.width_at(1e9), 10.0);
+        let l = BoundFunction::new(10.0, 0.5, 0.0, BoundShape::Linear).unwrap();
+        assert_eq!(l.width_at(4.0), 4.0);
+    }
+
+    #[test]
+    fn violation_detection() {
+        let b = BoundFunction::new(100.0, 1.0, 0.0, BoundShape::Sqrt).unwrap();
+        // at t=4, bound = [98, 102]
+        assert!(!b.violated_by(101.9, 4.0));
+        assert!(b.violated_by(102.1, 4.0));
+        assert!(b.violated_by(97.9, 4.0));
+        // the same value is fine later (bound widened)
+        assert!(!b.violated_by(102.1, 9.0));
+    }
+
+    #[test]
+    fn clock_skew_clamped() {
+        let b = BoundFunction::new(7.0, 2.0, 100.0, BoundShape::Sqrt).unwrap();
+        let iv = b.interval_at(99.0); // "before" the refresh
+        assert!(iv.is_point());
+        assert_eq!(iv.lo(), 7.0);
+    }
+
+    #[test]
+    fn escape_time_sqrt() {
+        let b = BoundFunction::new(0.0, 2.0, 0.0, BoundShape::Sqrt).unwrap();
+        // value 6 escapes when 2·√t = 6 → t = 9.
+        let t = b.escape_time(6.0, 0.0).unwrap();
+        assert!((t - 9.0).abs() < 1e-12);
+        assert!(!b.violated_by(6.0, 9.0)); // contained exactly at the edge
+        assert!(b.violated_by(6.0, 8.9));
+        assert_eq!(b.escape_time(0.0, 5.0), None);
+    }
+
+    #[test]
+    fn escape_time_constant_band() {
+        let b = BoundFunction::new(0.0, 5.0, 0.0, BoundShape::Constant).unwrap();
+        assert_eq!(b.escape_time(4.0, 1.0), None); // inside the band forever
+        assert_eq!(b.escape_time(6.0, 1.0), Some(1.0)); // outside already
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(BoundFunction::new(f64::NAN, 1.0, 0.0, BoundShape::Sqrt).is_err());
+        assert!(BoundFunction::new(0.0, -1.0, 0.0, BoundShape::Sqrt).is_err());
+        assert!(BoundFunction::new(0.0, f64::NAN, 0.0, BoundShape::Sqrt).is_err());
+    }
+
+    #[test]
+    fn exact_function_never_widens() {
+        let b = BoundFunction::exact(42.0, 0.0).unwrap();
+        assert_eq!(b.width_at(1e12), 0.0);
+        assert!(!b.violated_by(42.0, 1e12));
+        assert!(b.violated_by(42.0001, 1.0));
+    }
+}

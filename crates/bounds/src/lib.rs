@@ -1,0 +1,32 @@
+//! # trapp-bounds
+//!
+//! Time-parameterized bound functions for TRAPP caches (§3.2 and Appendix A
+//! of the paper).
+//!
+//! When a source refreshes a cache's copy of object `Oᵢ` at time `Tᵣ`, it
+//! does not send a static range: it sends a pair of **bound functions**
+//! `[Lᵢ(T), Hᵢ(T)]` with `Lᵢ(Tᵣ) = Hᵢ(Tᵣ) = Vᵢ(Tᵣ)` — zero width at refresh
+//! time, diverging as time passes. The source guarantees
+//! `Lᵢ(T) ≤ Vᵢ(T) ≤ Hᵢ(T)` at all times, issuing a *value-initiated refresh*
+//! the moment the master value escapes.
+//!
+//! Appendix A models updates as a random walk and derives (via Chebyshev's
+//! inequality) that a bound containing the value with fixed probability grows
+//! like `√(T − Tᵣ)`. This crate provides:
+//!
+//! * [`BoundFunction`] — the `(V(Tᵣ), W, shape)` encoding the paper proposes,
+//!   with square-root, constant, and linear shapes;
+//! * [`AdaptiveWidth`] — the run-time width-parameter controller sketched in
+//!   Appendix A (widen on value-initiated refreshes, narrow on
+//!   query-initiated ones);
+//! * [`walk`] — the random-walk/Chebyshev width mathematics.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod adaptive;
+pub mod function;
+pub mod walk;
+
+pub use adaptive::AdaptiveWidth;
+pub use function::{BoundFunction, BoundShape};

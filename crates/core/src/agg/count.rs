@@ -1,0 +1,101 @@
+//! Bounded COUNT (§5.3, §6.3, §8.3).
+//!
+//! Without a predicate, insert/delete propagation is eager (§3), so the
+//! cached cardinality *is* the master cardinality and COUNT is exact. With
+//! a predicate the answer is `[|T+|, |T+| + |T?|]`.
+//!
+//! Under the §8.3 relaxation — up to `i` unpropagated inserts and `d`
+//! unpropagated deletes — the bound widens to
+//! `[max(|T+| − d, 0), |T+| + |T?| + i]`: every unseen insert might satisfy
+//! the predicate, and every unseen delete might remove a `T+` tuple.
+
+use trapp_types::Interval;
+
+use super::AggInput;
+
+/// Bounded COUNT per §5.3/§6.3, accounting for cardinality slack (§8.3).
+pub fn bounded_count(input: &AggInput) -> Interval {
+    let plus = input.plus_count() as f64;
+    let question = input.question_count() as f64;
+    let (inserts, deletes) = input.cardinality_slack;
+    Interval::new_unchecked(
+        (plus - deletes as f64).max(0.0),
+        plus + question + inserts as f64,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_fixture::*;
+    use super::super::AggInput;
+    use super::*;
+    use trapp_expr::{BinaryOp, ColumnRef, Expr};
+    use trapp_types::Value;
+
+    /// Q5: COUNT of links with latency > 10 = [1, 3]
+    /// (T+ = {3}, T? = {4, 5}).
+    #[test]
+    fn paper_q5_count() {
+        let t = links_table();
+        let pred = Expr::binary(
+            BinaryOp::Gt,
+            Expr::Column(ColumnRef::bare("latency")),
+            Expr::Literal(Value::Float(10.0)),
+        )
+        .bind(&schema())
+        .unwrap();
+        let input = AggInput::build(&t, Some(&pred), None).unwrap();
+        assert_eq!(bounded_count(&input), Interval::new(1.0, 3.0).unwrap());
+    }
+
+    /// §5.3: without a predicate COUNT is exact (eager insert/delete
+    /// propagation keeps cached cardinality equal to master cardinality).
+    #[test]
+    fn count_without_predicate_is_exact() {
+        let t = links_table();
+        let input = AggInput::build(&t, None, None).unwrap();
+        let c = bounded_count(&input);
+        assert!(c.is_point());
+        assert_eq!(c.lo(), 6.0);
+    }
+
+    #[test]
+    fn empty_table_counts_zero() {
+        let input = AggInput::default();
+        let c = bounded_count(&input);
+        assert!(c.is_point());
+        assert_eq!(c.lo(), 0.0);
+    }
+
+    /// §8.3 relaxation: slack widens COUNT by (inserts + deletes) and
+    /// clamps the lower bound at zero.
+    #[test]
+    fn cardinality_slack_widens_count() {
+        let mut t = links_table();
+        t.set_cardinality_slack(2, 1);
+        let input = AggInput::build(&t, None, None).unwrap();
+        let c = bounded_count(&input);
+        assert_eq!((c.lo(), c.hi()), (5.0, 8.0)); // [6−1, 6+2]
+
+        // Lower bound clamps at zero for tiny tables.
+        t.set_cardinality_slack(0, 100);
+        let input = AggInput::build(&t, None, None).unwrap();
+        assert_eq!(bounded_count(&input).lo(), 0.0);
+    }
+
+    /// With slack, value aggregates are rejected: unseen tuples have
+    /// unbounded values.
+    #[test]
+    fn slack_rejects_value_aggregates() {
+        use crate::agg::{bounded_answer, Aggregate};
+        use trapp_expr::{ColumnRef, Expr};
+        let mut t = links_table();
+        t.set_cardinality_slack(1, 0);
+        let col = Expr::Column(ColumnRef::bare("latency")).bind(&schema()).unwrap();
+        let input = AggInput::build(&t, None, Some(&col)).unwrap();
+        for agg in [Aggregate::Sum, Aggregate::Min, Aggregate::Max, Aggregate::Avg] {
+            assert!(bounded_answer(agg, &input).is_err(), "{agg:?}");
+        }
+        assert!(bounded_answer(Aggregate::Count, &input).is_ok());
+    }
+}

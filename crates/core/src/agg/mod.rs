@@ -1,0 +1,417 @@
+//! Bounded aggregate computation (§5, §6, Appendix E).
+//!
+//! All aggregates consume an [`AggInput`]: the tuples of `T+ ∪ T?` with,
+//! per tuple, the interval of the aggregation expression, the band, and the
+//! refresh cost. Building the input performs classification (via
+//! `trapp-expr`) and — when the aggregation argument is a bare column — the
+//! Appendix D bound refinement.
+
+pub mod avg;
+pub mod count;
+pub mod min_max;
+pub mod order_stat;
+pub mod sum;
+
+use std::fmt;
+
+use trapp_expr::{eval, implied_interval, Band, Expr};
+use trapp_storage::Table;
+use trapp_sql::AggregateFunc;
+use trapp_types::{Interval, TrappError, TupleId};
+
+/// Re-export for convenience: the aggregate function enum comes from the
+/// SQL layer so parsed queries and direct API calls share one type.
+pub type Aggregate = AggregateFunc;
+
+/// One tuple's contribution to an aggregate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AggItem {
+    /// The tuple.
+    pub tid: TupleId,
+    /// `T+` or `T?` (`T−` tuples never become items).
+    pub band: Band,
+    /// Range of the aggregation expression over this tuple's bounds
+    /// (post-refinement for `T?` tuples when applicable).
+    pub interval: Interval,
+    /// Refresh cost `Cᵢ`.
+    pub cost: f64,
+}
+
+impl AggItem {
+    /// `true` if the tuple's aggregate value is exactly known.
+    pub fn is_exact(&self) -> bool {
+        self.interval.is_point()
+    }
+}
+
+/// The classified, evaluated input to a bounded aggregate.
+#[derive(Clone, Debug, Default)]
+pub struct AggInput {
+    /// Items for tuples in `T+ ∪ T?`.
+    pub items: Vec<AggItem>,
+    /// `|T−|` (kept for diagnostics).
+    pub minus_count: usize,
+    /// Unpropagated `(inserts, deletes)` at the source (§8.3 relaxation);
+    /// `(0, 0)` under the paper's default eager propagation.
+    pub cardinality_slack: (u64, u64),
+}
+
+impl AggInput {
+    /// Items in `T+`.
+    pub fn plus(&self) -> impl Iterator<Item = &AggItem> + '_ {
+        self.items.iter().filter(|i| i.band == Band::Plus)
+    }
+
+    /// Items in `T?`.
+    pub fn question(&self) -> impl Iterator<Item = &AggItem> + '_ {
+        self.items.iter().filter(|i| i.band == Band::Question)
+    }
+
+    /// `|T+|`.
+    pub fn plus_count(&self) -> usize {
+        self.plus().count()
+    }
+
+    /// `|T?|`.
+    pub fn question_count(&self) -> usize {
+        self.question().count()
+    }
+
+    /// Builds the input for `table`, classifying against `predicate` and
+    /// evaluating `arg` (the aggregation expression) per surviving tuple.
+    ///
+    /// When `arg` is a bare column reference, `T?` bounds are refined with
+    /// the predicate-implied interval (Appendix D); a refinement that
+    /// empties the bound reclassifies the tuple as `T−`.
+    ///
+    /// `arg = None` (COUNT) evaluates every surviving tuple to the dummy
+    /// point interval `[1, 1]` so COUNT can share the item pipeline.
+    pub fn build(
+        table: &Table,
+        predicate: Option<&Expr<usize>>,
+        arg: Option<&Expr<usize>>,
+    ) -> Result<AggInput, TrappError> {
+        AggInput::build_filtered(table, predicate, arg, |_, _| true)
+    }
+
+    /// [`AggInput::build`] restricted to tuples accepted by `filter` —
+    /// used by `GROUP BY` execution to build one input per group.
+    pub fn build_filtered(
+        table: &Table,
+        predicate: Option<&Expr<usize>>,
+        arg: Option<&Expr<usize>>,
+        filter: impl Fn(trapp_types::TupleId, &trapp_storage::Row) -> bool,
+    ) -> Result<AggInput, TrappError> {
+        let classification = match predicate {
+            None => trapp_expr::Classification::all_plus(
+                table
+                    .scan()
+                    .filter(|(tid, row)| filter(*tid, row))
+                    .map(|(tid, _)| tid),
+            ),
+            Some(pred) => trapp_expr::classify_rows(
+                table.scan().filter(|(tid, row)| filter(*tid, row)),
+                pred,
+            )?,
+        };
+        let refinement = match (predicate, arg) {
+            (Some(pred), Some(Expr::Column(c))) => Some(implied_interval(pred, *c)),
+            _ => None,
+        };
+
+        let mut items = Vec::with_capacity(classification.len());
+        let mut minus_count = classification.minus.len();
+
+        for (band, ids) in [
+            (Band::Plus, &classification.plus),
+            (Band::Question, &classification.question),
+        ] {
+            for &tid in ids {
+                let row = table.row(tid)?;
+                let interval = match arg {
+                    Some(e) => eval(e, row)?.as_interval()?,
+                    None => Interval::new_unchecked(1.0, 1.0),
+                };
+                // Appendix D refinement: only sound for T? tuples (T+ tuples
+                // are already known to satisfy the predicate, their values
+                // need no conditioning — and for them the restriction holds
+                // anyway, so intersecting is sound there too; we apply it to
+                // both for tighter bounds).
+                let interval = match refinement {
+                    Some(s) => match interval.intersect(s) {
+                        Some(iv) => iv,
+                        None => {
+                            match band {
+                                // A T+ tuple certainly satisfies the
+                                // predicate, yet its value range is disjoint
+                                // from what the predicate implies — only
+                                // possible through conservative
+                                // classification; keep the original interval.
+                                Band::Plus => interval,
+                                _ => {
+                                    // The tuple cannot satisfy the predicate:
+                                    // actually T−.
+                                    minus_count += 1;
+                                    continue;
+                                }
+                            }
+                        }
+                    },
+                    None => interval,
+                };
+                items.push(AggItem {
+                    tid,
+                    band,
+                    interval,
+                    cost: table.cost(tid)?,
+                });
+            }
+        }
+        Ok(AggInput {
+            items,
+            minus_count,
+            cardinality_slack: table.cardinality_slack(),
+        })
+    }
+}
+
+/// A bounded answer `[L_A, H_A]` guaranteed to contain the precise answer.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BoundedAnswer {
+    /// The answer range.
+    pub range: Interval,
+}
+
+impl BoundedAnswer {
+    /// Wraps a range.
+    pub fn new(range: Interval) -> BoundedAnswer {
+        BoundedAnswer { range }
+    }
+
+    /// The precision achieved: `H_A − L_A`.
+    pub fn width(&self) -> f64 {
+        self.range.width()
+    }
+
+    /// `true` if the answer satisfies `width ≤ R` (`None` = `R = ∞`).
+    pub fn satisfies(&self, within: Option<f64>) -> bool {
+        match within {
+            None => true,
+            Some(r) => self.width() <= r,
+        }
+    }
+
+    /// `true` if the answer is a single point (exact).
+    pub fn is_exact(&self) -> bool {
+        self.range.is_point()
+    }
+}
+
+impl fmt::Display for BoundedAnswer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.range)
+    }
+}
+
+/// Computes the bounded answer for `agg` over `input`.
+///
+/// `AVG` uses the tight Appendix E algorithm; see [`avg::bounded_avg_loose`]
+/// for the linear-time loose variant.
+///
+/// With non-zero cardinality slack (§8.3 delayed insert/delete
+/// propagation), unseen tuples carry unknown values: only `COUNT` keeps a
+/// finite guaranteed bound, so other aggregates are rejected.
+pub fn bounded_answer(agg: Aggregate, input: &AggInput) -> Result<BoundedAnswer, TrappError> {
+    if input.cardinality_slack != (0, 0) && agg != Aggregate::Count {
+        return Err(TrappError::Unsupported(format!(
+            "{agg} cannot be bounded under cardinality slack {:?}: unseen tuples \
+             have unbounded values (propagate inserts/deletes first)",
+            input.cardinality_slack
+        )));
+    }
+    let range = match agg {
+        Aggregate::Min => min_max::bounded_min(input),
+        Aggregate::Max => min_max::bounded_max(input),
+        Aggregate::Sum => sum::bounded_sum(input),
+        Aggregate::Count => count::bounded_count(input),
+        Aggregate::Avg => avg::bounded_avg_tight(input)?,
+        Aggregate::Median => order_stat::bounded_median(input)?,
+    };
+    Ok(BoundedAnswer::new(range))
+}
+
+#[cfg(test)]
+pub(crate) mod test_fixture {
+    //! The Figure 2 fixture shared by the aggregate and refresh tests.
+
+    use std::sync::Arc;
+    use trapp_storage::{ColumnDef, Schema, Table};
+    use trapp_types::{BoundedValue, Value};
+
+    /// Columns: from_node INT, to_node INT, latency/bandwidth/traffic
+    /// BOUNDED FLOAT, on_path BOOL (true for tuples {1,2,5,6} — the path
+    /// N1→N2→N4→N5→N6 used by Q1/Q2).
+    pub fn schema() -> Arc<Schema> {
+        Schema::new(vec![
+            ColumnDef::exact("from_node", trapp_types::ValueType::Int),
+            ColumnDef::exact("to_node", trapp_types::ValueType::Int),
+            ColumnDef::bounded_float("latency"),
+            ColumnDef::bounded_float("bandwidth"),
+            ColumnDef::bounded_float("traffic"),
+            ColumnDef::exact("on_path", trapp_types::ValueType::Bool),
+        ])
+        .unwrap()
+    }
+
+    /// Column indexes.
+    pub const LATENCY: usize = 2;
+    pub const BANDWIDTH: usize = 3;
+    pub const TRAFFIC: usize = 4;
+
+    /// One fixture row: `(from, to, latency, bandwidth, traffic, cost,
+    /// on_path)`.
+    pub type FixtureRow = (i64, i64, (f64, f64), (f64, f64), (f64, f64), f64, bool);
+
+    /// The rows of Figure 2.
+    pub const ROWS: [FixtureRow; 6] = [
+        (1, 2, (2.0, 4.0), (60.0, 70.0), (95.0, 105.0), 3.0, true),
+        (2, 4, (5.0, 7.0), (45.0, 60.0), (110.0, 120.0), 6.0, true),
+        (3, 4, (12.0, 16.0), (55.0, 70.0), (95.0, 110.0), 6.0, false),
+        (2, 3, (9.0, 11.0), (65.0, 70.0), (120.0, 145.0), 8.0, false),
+        (4, 5, (8.0, 11.0), (40.0, 55.0), (90.0, 110.0), 4.0, true),
+        (5, 6, (4.0, 6.0), (45.0, 60.0), (90.0, 105.0), 2.0, true),
+    ];
+
+    /// The precise master values `(latency, bandwidth, traffic)` of Figure 2.
+    pub const PRECISE: [(f64, f64, f64); 6] = [
+        (3.0, 61.0, 98.0),
+        (7.0, 53.0, 116.0),
+        (13.0, 62.0, 105.0),
+        (9.0, 68.0, 127.0),
+        (11.0, 50.0, 95.0),
+        (5.0, 45.0, 103.0),
+    ];
+
+    /// Builds the cached table of Figure 2.
+    pub fn links_table() -> Table {
+        let mut t = Table::new("links", schema());
+        for (from, to, lat, bw, tr, cost, on_path) in ROWS {
+            t.insert_with_cost(
+                vec![
+                    BoundedValue::Exact(Value::Int(from)),
+                    BoundedValue::Exact(Value::Int(to)),
+                    BoundedValue::bounded(lat.0, lat.1).unwrap(),
+                    BoundedValue::bounded(bw.0, bw.1).unwrap(),
+                    BoundedValue::bounded(tr.0, tr.1).unwrap(),
+                    BoundedValue::Exact(Value::Bool(on_path)),
+                ],
+                cost,
+            )
+            .unwrap();
+        }
+        t
+    }
+
+    /// Builds the master table (exact values) matching [`links_table`].
+    pub fn master_table() -> Table {
+        let mut t = Table::new("links", schema());
+        for (i, (from, to, _, _, _, cost, on_path)) in ROWS.into_iter().enumerate() {
+            let (lat, bw, tr) = PRECISE[i];
+            t.insert_with_cost(
+                vec![
+                    BoundedValue::Exact(Value::Int(from)),
+                    BoundedValue::Exact(Value::Int(to)),
+                    BoundedValue::exact_f64(lat).unwrap(),
+                    BoundedValue::exact_f64(bw).unwrap(),
+                    BoundedValue::exact_f64(tr).unwrap(),
+                    BoundedValue::Exact(Value::Bool(on_path)),
+                ],
+                cost,
+            )
+            .unwrap();
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_fixture::*;
+    use super::*;
+    use trapp_expr::{BinaryOp, ColumnRef};
+    use trapp_types::Value;
+
+    fn cmp(col: &str, op: BinaryOp, k: f64) -> Expr<usize> {
+        Expr::binary(
+            op,
+            Expr::Column(ColumnRef::bare(col)),
+            Expr::Literal(Value::Float(k)),
+        )
+        .bind(&schema())
+        .unwrap()
+    }
+
+    fn col(name: &str) -> Expr<usize> {
+        Expr::Column(ColumnRef::bare(name)).bind(&schema()).unwrap()
+    }
+
+    #[test]
+    fn build_without_predicate_takes_all_tuples() {
+        let t = links_table();
+        let input = AggInput::build(&t, None, Some(&col("latency"))).unwrap();
+        assert_eq!(input.items.len(), 6);
+        assert_eq!(input.plus_count(), 6);
+        assert_eq!(input.minus_count, 0);
+        assert_eq!(input.items[0].interval, Interval::new(2.0, 4.0).unwrap());
+        assert_eq!(input.items[0].cost, 3.0);
+    }
+
+    #[test]
+    fn build_with_predicate_classifies_and_refines() {
+        let t = links_table();
+        // Q6 shape: aggregate latency where traffic > 100 — refinement does
+        // not touch latency (predicate on a different column).
+        let pred = cmp("traffic", BinaryOp::Gt, 100.0);
+        let input = AggInput::build(&t, Some(&pred), Some(&col("latency"))).unwrap();
+        assert_eq!(input.plus_count(), 2);
+        assert_eq!(input.question_count(), 4);
+
+        // Aggregating latency under `latency > 10`: T? tuples' bounds are
+        // clamped from below at 10 (Appendix D).
+        let pred = cmp("latency", BinaryOp::Gt, 10.0);
+        let input = AggInput::build(&t, Some(&pred), Some(&col("latency"))).unwrap();
+        // T+ = {3} ([12,16]); T? = {4: [9,11]→[10,11], 5: [8,11]→[10,11]}.
+        assert_eq!(input.plus_count(), 1);
+        let q: Vec<_> = input.question().collect();
+        assert_eq!(q.len(), 2);
+        for item in q {
+            assert_eq!(item.interval.lo(), 10.0);
+            assert_eq!(item.interval.hi(), 11.0);
+        }
+    }
+
+    #[test]
+    fn refinement_can_reclassify_to_minus() {
+        let t = links_table();
+        // latency > 10.9: tuple 4 [9,11] stays T? (possible), but refine
+        // under predicate latency > 15.9: only tuple 3 [12,16] remains T?;
+        // tuples with hi < 15.9... check a tighter case: latency > 16 — no
+        // tuple can pass except none (t3 hi = 16, `> 16` excludes it).
+        let pred = cmp("latency", BinaryOp::Gt, 16.0);
+        let input = AggInput::build(&t, Some(&pred), Some(&col("latency"))).unwrap();
+        assert_eq!(input.items.len(), 0);
+        assert_eq!(input.minus_count, 6);
+    }
+
+    #[test]
+    fn bounded_answer_dispatch() {
+        let t = links_table();
+        let input = AggInput::build(&t, None, Some(&col("latency"))).unwrap();
+        let sum = bounded_answer(Aggregate::Sum, &input).unwrap();
+        assert_eq!(sum.range, Interval::new(40.0, 55.0).unwrap());
+        assert!(!sum.is_exact());
+        assert!(sum.satisfies(Some(15.0)));
+        assert!(!sum.satisfies(Some(14.9)));
+        assert!(sum.satisfies(None));
+    }
+}

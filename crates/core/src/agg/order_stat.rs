@@ -1,0 +1,304 @@
+//! Bounded order statistics: MEDIAN and k-th smallest (§8.1 extension).
+//!
+//! The paper lists MEDIAN among the aggregates it would like to support,
+//! citing the companion work on computing the median with uncertainty
+//! ([FMP+00]). For a set of `n` *intervals* with known cardinality (no
+//! selection predicate — membership is certain), the k-th order statistic
+//! is bounded by:
+//!
+//! ```text
+//! [ k-th smallest Lᵢ , k-th smallest Hᵢ ]
+//! ```
+//!
+//! Soundness: if every value sits at its lower endpoint the k-th smallest
+//! value is the k-th smallest `L`; no assignment can push the k-th order
+//! statistic below that, nor above the k-th smallest `H`. With a selection
+//! predicate the cardinality itself is uncertain and the statistic is not
+//! well-defined per rank; that case is rejected (`Unsupported`), matching
+//! the open-problem status in the paper.
+
+use trapp_types::{Interval, TrappError};
+
+use super::AggInput;
+
+/// Bounded k-th smallest (1-based rank) over an input with no `T?` tuples.
+pub fn bounded_kth(input: &AggInput, k: usize) -> Result<Interval, TrappError> {
+    if input.question_count() > 0 {
+        return Err(TrappError::Unsupported(
+            "order statistics over an uncertain selection (T? tuples present) \
+             are not supported; refresh the predicate columns first"
+                .into(),
+        ));
+    }
+    let n = input.items.len();
+    if n == 0 || k == 0 || k > n {
+        return Err(TrappError::Unsupported(format!(
+            "rank {k} is out of range for a set of {n} tuples"
+        )));
+    }
+    let mut lows: Vec<f64> = input.items.iter().map(|i| i.interval.lo()).collect();
+    let mut highs: Vec<f64> = input.items.iter().map(|i| i.interval.hi()).collect();
+    let (_, lo, _) = lows.select_nth_unstable_by(k - 1, f64::total_cmp);
+    let lo = *lo;
+    let (_, hi, _) = highs.select_nth_unstable_by(k - 1, f64::total_cmp);
+    let hi = *hi;
+    Interval::new(lo, hi)
+}
+
+/// Bounded MEDIAN: the `⌈n/2⌉`-th smallest (lower median).
+pub fn bounded_median(input: &AggInput) -> Result<Interval, TrappError> {
+    let n = input.items.len();
+    if n == 0 {
+        return Err(TrappError::Unsupported(
+            "MEDIAN over an empty set is undefined".into(),
+        ));
+    }
+    bounded_kth(input, n.div_ceil(2))
+}
+
+/// A bounded TOP-n result (§8.1's other wishlist aggregate).
+///
+/// Over uncertain values the top-n *set* is itself uncertain; the sound
+/// three-way split mirrors `T+/T?/T−`:
+///
+/// * `certain` — tuples in the top-n under **every** realization;
+/// * `possible` — tuples in the top-n under **some** realization (superset
+///   of `certain`);
+/// * the n-th largest value itself is bounded by `threshold`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BoundedTopN {
+    /// Tuples certainly in the top-n (ascending id order).
+    pub certain: Vec<trapp_types::TupleId>,
+    /// Tuples possibly in the top-n, including all of `certain`.
+    pub possible: Vec<trapp_types::TupleId>,
+    /// Bound on the n-th largest value.
+    pub threshold: Interval,
+}
+
+/// Bounded TOP-n over an input with no `T?` tuples (same restriction as
+/// [`bounded_kth`]: uncertain *membership* composes badly with uncertain
+/// *rank*).
+///
+/// Membership is by value threshold — a tuple belongs to the top-n iff
+/// fewer than `n` tuples have *strictly larger* values, so exact ties at
+/// the cut put every tied tuple in (the set can exceed `n` elements under
+/// ties). The rules (classic uncertain-top-k semantics, strict-beat form):
+///
+/// * tuple `i` is **certain** iff fewer than `n` other tuples can possibly
+///   beat it: `#{j ≠ i : Hⱼ > Lᵢ} ≤ n − 1`;
+/// * tuple `i` is **possible** iff fewer than `n` other tuples certainly
+///   beat it: `#{j ≠ i : Lⱼ > Hᵢ} ≤ n − 1`.
+pub fn bounded_top_n(input: &AggInput, n: usize) -> Result<BoundedTopN, TrappError> {
+    if input.question_count() > 0 {
+        return Err(TrappError::Unsupported(
+            "TOP-n over an uncertain selection (T? tuples present) is not supported".into(),
+        ));
+    }
+    let total = input.items.len();
+    if n == 0 || n > total {
+        return Err(TrappError::Unsupported(format!(
+            "TOP-{n} is out of range for a set of {total} tuples"
+        )));
+    }
+
+    // Sorted endpoint arrays enable O(log n) "how many exceed x" probes.
+    let mut lows: Vec<f64> = input.items.iter().map(|i| i.interval.lo()).collect();
+    let mut highs: Vec<f64> = input.items.iter().map(|i| i.interval.hi()).collect();
+    lows.sort_by(f64::total_cmp);
+    highs.sort_by(f64::total_cmp);
+    let count_gt = |sorted: &[f64], x: f64| -> usize {
+        // # of elements strictly greater than x.
+        sorted.len() - sorted.partition_point(|&v| v <= x)
+    };
+
+    let mut certain = Vec::new();
+    let mut possible = Vec::new();
+    for item in &input.items {
+        let (lo, hi) = (item.interval.lo(), item.interval.hi());
+        // Possible beaters: H_j > L_i, minus self when H_i > L_i.
+        let possible_beaters =
+            count_gt(&highs, lo) - usize::from(hi > lo);
+        if possible_beaters <= n - 1 {
+            certain.push(item.tid);
+        }
+        // Certain beaters: L_j > H_i (self never qualifies: L_i ≤ H_i).
+        let certain_beaters = count_gt(&lows, hi);
+        if certain_beaters <= n - 1 {
+            possible.push(item.tid);
+        }
+    }
+    certain.sort_unstable();
+    possible.sort_unstable();
+
+    // The n-th largest is the (total − n + 1)-th smallest.
+    let threshold = bounded_kth(input, total - n + 1)?;
+    Ok(BoundedTopN {
+        certain,
+        possible,
+        threshold,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_fixture::*;
+    use super::super::AggInput;
+    use super::*;
+    use trapp_expr::{BinaryOp, ColumnRef, Expr};
+    use trapp_types::{TupleId, Value};
+
+    fn col(name: &str) -> Expr<usize> {
+        Expr::Column(ColumnRef::bare(name)).bind(&schema()).unwrap()
+    }
+
+    #[test]
+    fn median_of_figure2_latency() {
+        let t = links_table();
+        let input = AggInput::build(&t, None, Some(&col("latency"))).unwrap();
+        // lows = {2,5,12,9,8,4} sorted {2,4,5,8,9,12}; k = 3 → 5.
+        // highs = {4,7,16,11,11,6} sorted {4,6,7,11,11,16}; k = 3 → 7.
+        let m = bounded_median(&input).unwrap();
+        assert_eq!(m, Interval::new(5.0, 7.0).unwrap());
+    }
+
+    #[test]
+    fn kth_ranks_are_monotone() {
+        let t = links_table();
+        let input = AggInput::build(&t, None, Some(&col("latency"))).unwrap();
+        let mut prev_lo = f64::NEG_INFINITY;
+        let mut prev_hi = f64::NEG_INFINITY;
+        for k in 1..=6 {
+            let iv = bounded_kth(&input, k).unwrap();
+            assert!(iv.lo() >= prev_lo && iv.hi() >= prev_hi, "rank {k} not monotone");
+            prev_lo = iv.lo();
+            prev_hi = iv.hi();
+        }
+        assert!(bounded_kth(&input, 0).is_err());
+        assert!(bounded_kth(&input, 7).is_err());
+    }
+
+    #[test]
+    fn kth_bound_contains_realized_statistic() {
+        // Realize the master values of Figure 2 and check containment for
+        // every rank.
+        let t = links_table();
+        let input = AggInput::build(&t, None, Some(&col("latency"))).unwrap();
+        let mut real: Vec<f64> = PRECISE.iter().map(|p| p.0).collect();
+        real.sort_by(f64::total_cmp);
+        for k in 1..=6 {
+            let iv = bounded_kth(&input, k).unwrap();
+            assert!(
+                iv.contains(real[k - 1]),
+                "rank {k}: {} ∉ {iv}",
+                real[k - 1]
+            );
+        }
+    }
+
+    #[test]
+    fn uncertain_selection_is_rejected() {
+        let t = links_table();
+        let pred = Expr::binary(
+            BinaryOp::Gt,
+            Expr::Column(ColumnRef::bare("traffic")),
+            Expr::Literal(Value::Float(100.0)),
+        )
+        .bind(&schema())
+        .unwrap();
+        let input = AggInput::build(&t, Some(&pred), Some(&col("latency"))).unwrap();
+        assert!(bounded_median(&input).is_err());
+    }
+
+    #[test]
+    fn top_n_membership_on_figure2() {
+        let t = links_table();
+        let input = AggInput::build(&t, None, Some(&col("latency"))).unwrap();
+        // Latency bounds: 1:[2,4] 2:[5,7] 3:[12,16] 4:[9,11] 5:[8,11] 6:[4,6].
+        // TOP-1: tuple 3's low (12) beats every other high (≤ 11):
+        // certainly the maximum.
+        let top1 = bounded_top_n(&input, 1).unwrap();
+        assert_eq!(top1.certain, vec![TupleId::new(3)]);
+        assert_eq!(top1.possible, vec![TupleId::new(3)]);
+        assert_eq!(top1.threshold, Interval::new(12.0, 16.0).unwrap());
+        // TOP-3: {3} certain (beaten by nobody); {4, 5} fight for the other
+        // two slots with nobody else able to reach them (next high is 7).
+        let top3 = bounded_top_n(&input, 3).unwrap();
+        assert!(top3.certain.contains(&TupleId::new(3)));
+        assert!(top3.certain.contains(&TupleId::new(4)));
+        assert!(top3.certain.contains(&TupleId::new(5)));
+        // Tuple 2 ([5,7]) cannot crack the top 3: 3 others certainly beat 7?
+        // L3=12 > 7 yes; L4=9 > 7 yes; L5=8 > 7 yes → 3 certain beaters.
+        assert!(!top3.possible.contains(&TupleId::new(2)));
+        // The 3rd largest value: [8, 11].
+        assert_eq!(top3.threshold, Interval::new(8.0, 11.0).unwrap());
+    }
+
+    /// Soundness against realizations: the realized top-n set always
+    /// contains `certain` and is contained in `possible`.
+    #[test]
+    fn top_n_brackets_every_realization()  {
+        use crate::verify::realize_table;
+        let t = links_table();
+        let input = AggInput::build(&t, None, Some(&col("latency"))).unwrap();
+        for n in 1..=6usize {
+            let top = bounded_top_n(&input, n).unwrap();
+            for seed in 0..40u64 {
+                let master = realize_table(&t, seed).unwrap();
+                // Realized top-n by latency.
+                let mut vals: Vec<(f64, TupleId)> = master
+                    .scan()
+                    .map(|(tid, row)| (row.exact(LATENCY).unwrap().as_f64().unwrap(), tid))
+                    .collect();
+                vals.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+                let realized: Vec<TupleId> = vals.iter().take(n).map(|(_, t)| *t).collect();
+                for c in &top.certain {
+                    assert!(
+                        realized.contains(c),
+                        "n={n} seed={seed}: certain {c} missing from realized top"
+                    );
+                }
+                for r in &realized {
+                    // Ties at the cut make the realized set ambiguous; only
+                    // check tuples strictly above the cut value.
+                    let cut = vals[n - 1].0;
+                    let v = vals.iter().find(|(_, t)| t == r).unwrap().0;
+                    if v > cut {
+                        assert!(
+                            top.possible.contains(r),
+                            "n={n} seed={seed}: realized {r} not even possible"
+                        );
+                    }
+                }
+                // The realized n-th largest lies in the threshold bound.
+                assert!(top.threshold.contains(vals[n - 1].0));
+            }
+        }
+    }
+
+    #[test]
+    fn top_n_validates_inputs() {
+        let t = links_table();
+        let input = AggInput::build(&t, None, Some(&col("latency"))).unwrap();
+        assert!(bounded_top_n(&input, 0).is_err());
+        assert!(bounded_top_n(&input, 7).is_err());
+        let pred = Expr::binary(
+            BinaryOp::Gt,
+            Expr::Column(ColumnRef::bare("traffic")),
+            Expr::Literal(Value::Float(100.0)),
+        )
+        .bind(&schema())
+        .unwrap();
+        let uncertain = AggInput::build(&t, Some(&pred), Some(&col("latency"))).unwrap();
+        assert!(bounded_top_n(&uncertain, 2).is_err());
+    }
+
+    #[test]
+    fn exact_inputs_give_exact_median() {
+        let t = master_table();
+        let input = AggInput::build(&t, None, Some(&col("latency"))).unwrap();
+        let m = bounded_median(&input).unwrap();
+        assert!(m.is_point());
+        // latencies {3,7,13,9,11,5} sorted {3,5,7,9,11,13}; k=3 → 7.
+        assert_eq!(m.lo(), 7.0);
+    }
+}

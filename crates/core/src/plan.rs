@@ -1,0 +1,359 @@
+//! Query binding: parsed [`Query`] → executable [`BoundQuery`].
+//!
+//! Binding resolves column names (optionally table-qualified) to positions,
+//! type-checks the aggregation argument and predicate, and validates the
+//! query shape (single table or a two-table join; `GROUP BY` only over
+//! exact columns of a single table).
+
+use std::sync::Arc;
+
+use trapp_expr::{typecheck, ColumnRef, Expr};
+use trapp_storage::{Catalog, ColumnDef, Schema};
+use trapp_sql::Query;
+use trapp_types::TrappError;
+
+use crate::agg::Aggregate;
+
+/// Where the query reads from.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QuerySource {
+    /// A single table.
+    Table(String),
+    /// A two-table join (§7). Columns of `right` follow columns of `left`
+    /// in the combined schema.
+    Join {
+        /// First table in the FROM clause.
+        left: String,
+        /// Second table.
+        right: String,
+    },
+}
+
+/// A bound, validated query ready for execution.
+#[derive(Clone, Debug)]
+pub struct BoundQuery {
+    /// The aggregate.
+    pub agg: Aggregate,
+    /// Aggregation argument over combined-schema positions
+    /// (`None` ⇔ `COUNT(*)`).
+    pub arg: Option<Expr<usize>>,
+    /// Precision constraint `R` (`None` = ∞).
+    pub within: Option<f64>,
+    /// Source table(s).
+    pub source: QuerySource,
+    /// Predicate over combined-schema positions.
+    pub predicate: Option<Expr<usize>>,
+    /// Positions of `GROUP BY` columns (single-table only, exact columns).
+    pub group_by: Vec<usize>,
+    /// The combined schema the expressions are bound against (for joins the
+    /// column names are table-qualified to avoid collisions).
+    pub schema: Arc<Schema>,
+}
+
+/// Binds `query` against `catalog`.
+pub fn bind_query(query: &Query, catalog: &Catalog) -> Result<BoundQuery, TrappError> {
+    match query.tables.len() {
+        0 => Err(TrappError::Plan("query has no FROM table".into())),
+        1 => bind_single(query, catalog),
+        2 => bind_join(query, catalog),
+        n => Err(TrappError::Unsupported(format!(
+            "{n}-way joins are not supported (the paper's join treatment is two-table)"
+        ))),
+    }
+}
+
+fn bind_single(query: &Query, catalog: &Catalog) -> Result<BoundQuery, TrappError> {
+    let table_name = &query.tables[0];
+    let table = catalog.table(table_name)?;
+    let schema = table.schema().clone();
+
+    let mut resolve = |c: &ColumnRef| -> Result<usize, TrappError> {
+        if let Some(t) = &c.table {
+            if t != table_name {
+                return Err(TrappError::Plan(format!(
+                    "column {c} references table {t}, but the query reads {table_name}"
+                )));
+            }
+        }
+        schema.column_index(&c.column)
+    };
+
+    let arg = query
+        .arg
+        .as_ref()
+        .map(|e| e.map_columns(&mut resolve))
+        .transpose()?;
+    let predicate = query
+        .predicate
+        .as_ref()
+        .map(|e| e.map_columns(&mut resolve))
+        .transpose()?;
+    let group_by: Vec<usize> = query
+        .group_by
+        .iter()
+        .map(&mut resolve)
+        .collect::<Result<_, _>>()?;
+
+    validate(query, &arg, &predicate, &group_by, &schema)?;
+    Ok(BoundQuery {
+        agg: query.agg,
+        arg,
+        within: query.within,
+        source: QuerySource::Table(table_name.clone()),
+        predicate,
+        group_by,
+        schema,
+    })
+}
+
+fn bind_join(query: &Query, catalog: &Catalog) -> Result<BoundQuery, TrappError> {
+    let (lname, rname) = (&query.tables[0], &query.tables[1]);
+    if lname == rname {
+        return Err(TrappError::Unsupported(
+            "self-joins need table aliases, which are not supported".into(),
+        ));
+    }
+    let left = catalog.table(lname)?;
+    let right = catalog.table(rname)?;
+    let schema = combined_schema(lname, left.schema(), rname, right.schema())?;
+    let offset = left.schema().arity();
+
+    let mut resolve = |c: &ColumnRef| -> Result<usize, TrappError> {
+        match &c.table {
+            Some(t) if t == lname => left.schema().column_index(&c.column),
+            Some(t) if t == rname => right.schema().column_index(&c.column).map(|i| i + offset),
+            Some(t) => Err(TrappError::Plan(format!(
+                "column {c} references unknown table {t}"
+            ))),
+            None => {
+                let in_left = left.schema().column_index(&c.column).ok();
+                let in_right = right.schema().column_index(&c.column).ok();
+                match (in_left, in_right) {
+                    (Some(i), None) => Ok(i),
+                    (None, Some(i)) => Ok(i + offset),
+                    (Some(_), Some(_)) => Err(TrappError::Plan(format!(
+                        "column {} is ambiguous between {lname} and {rname}; qualify it",
+                        c.column
+                    ))),
+                    (None, None) => Err(TrappError::UnknownColumn(c.column.clone())),
+                }
+            }
+        }
+    };
+
+    let arg = query
+        .arg
+        .as_ref()
+        .map(|e| e.map_columns(&mut resolve))
+        .transpose()?;
+    let predicate = query
+        .predicate
+        .as_ref()
+        .map(|e| e.map_columns(&mut resolve))
+        .transpose()?;
+    if !query.group_by.is_empty() {
+        return Err(TrappError::Unsupported(
+            "GROUP BY over join queries is not supported".into(),
+        ));
+    }
+
+    validate(query, &arg, &predicate, &[], &schema)?;
+    Ok(BoundQuery {
+        agg: query.agg,
+        arg,
+        within: query.within,
+        source: QuerySource::Join {
+            left: lname.clone(),
+            right: rname.clone(),
+        },
+        predicate,
+        group_by: Vec::new(),
+        schema,
+    })
+}
+
+/// Concatenates two schemas, qualifying every column name with its table to
+/// sidestep collisions. Expressions are bound by position, so the renamed
+/// schema only serves type checking and diagnostics.
+fn combined_schema(
+    lname: &str,
+    left: &Arc<Schema>,
+    rname: &str,
+    right: &Arc<Schema>,
+) -> Result<Arc<Schema>, TrappError> {
+    let mut cols: Vec<ColumnDef> = Vec::with_capacity(left.arity() + right.arity());
+    for c in left.columns() {
+        cols.push(ColumnDef {
+            name: format!("{lname}.{}", c.name),
+            ty: c.ty,
+            bounded: c.bounded,
+        });
+    }
+    for c in right.columns() {
+        cols.push(ColumnDef {
+            name: format!("{rname}.{}", c.name),
+            ty: c.ty,
+            bounded: c.bounded,
+        });
+    }
+    Schema::new(cols)
+}
+
+fn validate(
+    query: &Query,
+    arg: &Option<Expr<usize>>,
+    predicate: &Option<Expr<usize>>,
+    group_by: &[usize],
+    schema: &Arc<Schema>,
+) -> Result<(), TrappError> {
+    match (query.agg, arg) {
+        (Aggregate::Count, _) => {
+            // COUNT(expr) is allowed; the argument is evaluated only for
+            // type checking (row counts ignore the value).
+            if let Some(e) = arg {
+                typecheck::typecheck(e, schema)?;
+            }
+        }
+        (_, Some(e)) => typecheck::typecheck_aggregand(e, schema)?,
+        (agg, None) => {
+            return Err(TrappError::Plan(format!(
+                "{agg} requires an argument expression"
+            )))
+        }
+    }
+    if let Some(p) = predicate {
+        typecheck::typecheck_predicate(p, schema)?;
+    }
+    for &g in group_by {
+        let col = schema.column_at(g)?;
+        if col.bounded {
+            return Err(TrappError::Unsupported(format!(
+                "GROUP BY over bounded column {} is future work (§8.1)",
+                col.name
+            )));
+        }
+    }
+    if let Some(r) = query.within {
+        if r < 0.0 || r.is_nan() {
+            return Err(TrappError::NegativePrecision(r));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::test_fixture;
+    use trapp_sql::parse_query;
+    use trapp_storage::Table;
+    use trapp_types::{BoundedValue, Value};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_table(test_fixture::links_table()).unwrap();
+        // A second table for join tests.
+        let schema = Schema::new(vec![
+            ColumnDef::exact("node_id", ValueType::Int),
+            ColumnDef::bounded_float("cpu_load"),
+        ])
+        .unwrap();
+        let mut nodes = Table::new("nodes", schema);
+        nodes
+            .insert(vec![
+                BoundedValue::Exact(Value::Int(1)),
+                BoundedValue::bounded(0.0, 1.0).unwrap(),
+            ])
+            .unwrap();
+        c.add_table(nodes).unwrap();
+        c
+    }
+
+    #[test]
+    fn binds_single_table_query() {
+        let c = catalog();
+        let q = parse_query("SELECT AVG(latency) WITHIN 2 FROM links WHERE traffic > 100").unwrap();
+        let b = bind_query(&q, &c).unwrap();
+        assert_eq!(b.source, QuerySource::Table("links".into()));
+        assert_eq!(b.within, Some(2.0));
+        assert!(b.predicate.is_some());
+    }
+
+    #[test]
+    fn unknown_names_fail_cleanly() {
+        let c = catalog();
+        let q = parse_query("SELECT AVG(latency) FROM missing").unwrap();
+        assert!(matches!(bind_query(&q, &c), Err(TrappError::UnknownTable(_))));
+        let q = parse_query("SELECT AVG(nope) FROM links").unwrap();
+        assert!(matches!(bind_query(&q, &c), Err(TrappError::UnknownColumn(_))));
+        let q = parse_query("SELECT AVG(nodes.cpu_load) FROM links").unwrap();
+        assert!(bind_query(&q, &c).is_err());
+    }
+
+    #[test]
+    fn type_errors_are_static() {
+        let c = catalog();
+        // Aggregating a boolean column.
+        let q = parse_query("SELECT SUM(on_path) FROM links").unwrap();
+        assert!(bind_query(&q, &c).is_err());
+        // Non-boolean predicate.
+        let q = parse_query("SELECT SUM(latency) FROM links WHERE latency + 1").unwrap();
+        assert!(bind_query(&q, &c).is_err());
+    }
+
+    #[test]
+    fn binds_join_with_qualified_and_unique_bare_columns() {
+        let c = catalog();
+        let q = parse_query(
+            "SELECT SUM(latency) FROM links, nodes WHERE from_node = node_id AND cpu_load < 0.5",
+        )
+        .unwrap();
+        let b = bind_query(&q, &c).unwrap();
+        match &b.source {
+            QuerySource::Join { left, right } => {
+                assert_eq!(left, "links");
+                assert_eq!(right, "nodes");
+            }
+            other => panic!("expected join, got {other:?}"),
+        }
+        // Qualified access works too.
+        let q = parse_query(
+            "SELECT SUM(links.latency) FROM links, nodes WHERE links.from_node = nodes.node_id",
+        )
+        .unwrap();
+        bind_query(&q, &c).unwrap();
+    }
+
+    #[test]
+    fn join_restrictions() {
+        let c = catalog();
+        let q = parse_query("SELECT SUM(latency) FROM links, links").unwrap();
+        assert!(bind_query(&q, &c).is_err()); // self-join
+        let q = parse_query("SELECT SUM(latency) FROM links, nodes GROUP BY from_node").unwrap();
+        assert!(bind_query(&q, &c).is_err()); // group-by over join
+        let q = parse_query("SELECT SUM(x) FROM a, b, links").unwrap();
+        assert!(bind_query(&q, &c).is_err()); // 3-way
+    }
+
+    #[test]
+    fn group_by_must_be_exact_columns() {
+        let c = catalog();
+        let q = parse_query("SELECT AVG(latency) WITHIN 5 FROM links GROUP BY from_node").unwrap();
+        let b = bind_query(&q, &c).unwrap();
+        assert_eq!(b.group_by, vec![0]);
+        let q = parse_query("SELECT AVG(latency) FROM links GROUP BY traffic").unwrap();
+        assert!(bind_query(&q, &c).is_err());
+    }
+
+    #[test]
+    fn count_star_binds_without_argument() {
+        let c = catalog();
+        let q = parse_query("SELECT COUNT(*) WITHIN 1 FROM links WHERE latency > 10").unwrap();
+        let b = bind_query(&q, &c).unwrap();
+        assert!(b.arg.is_none());
+        // Non-COUNT without argument is impossible to parse, but the
+        // validator also catches it defensively.
+    }
+
+    use trapp_types::ValueType;
+}

@@ -1,0 +1,144 @@
+//! CHOOSE_REFRESH for COUNT (§6.3).
+//!
+//! The COUNT bound's width is exactly `|T?|`, and refreshing any `T?` tuple
+//! removes it from `T?` (the refresh resolves every bounded column, so the
+//! predicate becomes decidable). The optimal plan is therefore the
+//! `⌈|T?| − R⌉` cheapest `T?` tuples — the one place where CHOOSE_REFRESH
+//! is a pure cost selection.
+
+use trapp_types::TupleId;
+
+use crate::agg::AggInput;
+
+use super::RefreshPlan;
+
+/// CHOOSE_REFRESH for COUNT: refresh the `⌈|T?| − R⌉` cheapest `T?` tuples.
+///
+/// Under §8.3 cardinality slack `(i, d)`, the answer width is
+/// `|T?| + i + d` and refreshes can only remove the `|T?|` part; the plan
+/// targets the remaining budget `R − i − d` (refreshing everything in `T?`
+/// when even that cannot meet `R` — the executor then reports the honest
+/// `satisfied = false`).
+pub fn choose_refresh_count(input: &AggInput, r: f64) -> RefreshPlan {
+    let question: Vec<_> = input.question().collect();
+    let (inserts, deletes) = input.cardinality_slack;
+    let effective_r = r - inserts as f64 - deletes as f64;
+    let excess = question.len() as f64 - effective_r;
+    if excess <= 0.0 {
+        return RefreshPlan::empty();
+    }
+    let need = (excess.ceil() as usize).min(question.len());
+    let mut by_cost: Vec<_> = question;
+    by_cost.sort_by(|a, b| a.cost.total_cmp(&b.cost).then(a.tid.cmp(&b.tid)));
+    let tuples: Vec<TupleId> = by_cost.iter().take(need).map(|i| i.tid).collect();
+    RefreshPlan::from_tuples(input, tuples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::test_fixture::*;
+    use crate::agg::AggInput;
+    use trapp_expr::{BinaryOp, ColumnRef, Expr};
+    use trapp_types::Value;
+
+    fn latency_gt_10() -> Expr<usize> {
+        Expr::binary(
+            BinaryOp::Gt,
+            Expr::Column(ColumnRef::bare("latency")),
+            Expr::Literal(Value::Float(10.0)),
+        )
+        .bind(&schema())
+        .unwrap()
+    }
+
+    fn ids(v: &[u64]) -> Vec<trapp_types::TupleId> {
+        v.iter().copied().map(trapp_types::TupleId::new).collect()
+    }
+
+    /// Q5 (§6.3): COUNT latency > 10 with R = 1. |T?| = 2 ({4, 5} with
+    /// costs 8 and 4); refresh ⌈2−1⌉ = 1 cheapest → tuple 5.
+    #[test]
+    fn paper_q5_choose_refresh() {
+        let t = links_table();
+        let input = AggInput::build(&t, Some(&latency_gt_10()), None).unwrap();
+        let plan = choose_refresh_count(&input, 1.0);
+        assert_eq!(plan.tuples, ids(&[5]));
+        assert_eq!(plan.planned_cost, 4.0);
+    }
+
+    #[test]
+    fn exact_count_requires_all_question_tuples() {
+        let t = links_table();
+        let input = AggInput::build(&t, Some(&latency_gt_10()), None).unwrap();
+        let plan = choose_refresh_count(&input, 0.0);
+        assert_eq!(plan.tuples, ids(&[4, 5]));
+    }
+
+    #[test]
+    fn loose_r_needs_nothing() {
+        let t = links_table();
+        let input = AggInput::build(&t, Some(&latency_gt_10()), None).unwrap();
+        assert!(choose_refresh_count(&input, 2.0).is_empty());
+        assert!(choose_refresh_count(&input, 5.0).is_empty());
+    }
+
+    #[test]
+    fn fractional_r_rounds_up_refreshes() {
+        let t = links_table();
+        let input = AggInput::build(&t, Some(&latency_gt_10()), None).unwrap();
+        // |T?| = 2, R = 0.5 → need ⌈1.5⌉ = 2.
+        let plan = choose_refresh_count(&input, 0.5);
+        assert_eq!(plan.tuples.len(), 2);
+    }
+
+    /// §8.3: slack consumes precision budget; plans shrink or saturate.
+    #[test]
+    fn slack_tightens_or_saturates_plans() {
+        let mut t = links_table();
+        // |T?| = 2 for latency > 10. Slack (1, 0) makes width 3.
+        t.set_cardinality_slack(1, 0);
+        let input = AggInput::build(&t, Some(&latency_gt_10()), None).unwrap();
+        // R = 2: effective budget 1 → refresh 1 tuple (cheapest).
+        let plan = choose_refresh_count(&input, 2.0);
+        assert_eq!(plan.tuples, ids(&[5]));
+        // R = 0.5 < slack: even refreshing all of T? cannot satisfy; the
+        // plan saturates at |T?| rather than panicking.
+        let plan = choose_refresh_count(&input, 0.5);
+        assert_eq!(plan.tuples.len(), 2);
+        // R = 3 absorbs slack plus T? entirely: nothing to do.
+        let plan = choose_refresh_count(&input, 3.0);
+        assert!(plan.is_empty());
+    }
+
+    /// End-to-end slack behaviour: the executor reports honest
+    /// (un)satisfaction.
+    #[test]
+    fn executor_reports_unsatisfied_under_excess_slack() {
+        use crate::executor::{QuerySession, TableOracle};
+        let mut cache = links_table();
+        cache.set_cardinality_slack(2, 0);
+        let mut s = QuerySession::new(cache);
+        let mut o = TableOracle::from_table(master_table());
+        // Width = |T?| + 2 = 4; R = 3 is achievable (refresh 1), R = 1 is not.
+        let r = s
+            .execute_sql("SELECT COUNT(*) WITHIN 3 FROM links WHERE latency > 10", &mut o)
+            .unwrap();
+        assert!(r.satisfied);
+        let r = s
+            .execute_sql("SELECT COUNT(*) WITHIN 1 FROM links WHERE latency > 10", &mut o)
+            .unwrap();
+        assert!(!r.satisfied);
+        assert!(r.answer.width() > 1.0);
+    }
+
+    #[test]
+    fn cost_ties_break_deterministically() {
+        let mut t = links_table();
+        // Make tuples 4 and 5 the same cost.
+        t.set_cost(trapp_types::TupleId::new(4), 4.0).unwrap();
+        let input = AggInput::build(&t, Some(&latency_gt_10()), None).unwrap();
+        let plan = choose_refresh_count(&input, 1.0);
+        assert_eq!(plan.tuples, ids(&[4])); // lower id wins ties
+    }
+}

@@ -1,0 +1,374 @@
+//! Aggregation over joins (§7).
+//!
+//! Computing the bounded answer for a join query is "no different from
+//! doing so with a selection predicate": classify each *joined* tuple
+//! (pair) into `J+ / J? / J−` with the same `Possible`/`Certain` machinery,
+//! then apply the single-table aggregate formulas to the surviving pairs.
+//!
+//! Choosing refresh tuples is where joins get hard — each base tuple feeds
+//! many joined tuples and refreshing it moves all of them, so the paper
+//! stops at heuristics. This module implements the joined-input
+//! construction and the per-round heuristic scoring used by the executor's
+//! iterative join loop (the candidates for ablation ABL-4).
+
+use std::collections::HashMap;
+
+use trapp_expr::{eval, Band, Expr};
+use trapp_storage::{Row, Table};
+use trapp_types::{Interval, TrappError, TupleId};
+
+use crate::agg::sum::sum_weight;
+use crate::agg::{AggInput, AggItem, Aggregate};
+
+use super::iterative::IterativeHeuristic;
+
+/// Which base table a refresh candidate lives in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum JoinSide {
+    /// The first table in the FROM clause.
+    Left,
+    /// The second table.
+    Right,
+}
+
+/// The classified, evaluated input of a two-table join aggregation.
+///
+/// `input.items[k].tid` is a synthetic id equal to `k`, the index into
+/// [`JoinInput::pairs`]; aggregate formulas only care about bands and
+/// intervals, so they work unchanged.
+#[derive(Clone, Debug, Default)]
+pub struct JoinInput {
+    /// Items for pairs in `J+ ∪ J?`.
+    pub input: AggInput,
+    /// Base-tuple pair per item (parallel to `input.items`).
+    pub pairs: Vec<(TupleId, TupleId)>,
+    /// Arity of the left table (columns `0..left_arity` belong to it).
+    pub left_arity: usize,
+    /// Combined-schema columns referenced by the aggregation expression.
+    pub arg_cols: Vec<usize>,
+    /// Combined-schema columns referenced by the predicate.
+    pub pred_cols: Vec<usize>,
+}
+
+/// Builds the joined input: evaluates the predicate and the aggregation
+/// expression (both bound against the *combined* schema: left columns then
+/// right columns) over every pair.
+///
+/// The full cross product is materialized conceptually; `J−` pairs are
+/// dropped immediately, so memory is `O(|J+| + |J?|)`.
+pub fn build_join_input(
+    left: &Table,
+    right: &Table,
+    predicate: Option<&Expr<usize>>,
+    arg: Option<&Expr<usize>>,
+) -> Result<JoinInput, TrappError> {
+    let mut out = JoinInput {
+        left_arity: left.schema().arity(),
+        arg_cols: arg.map(|e| e.columns().into_iter().copied().collect()).unwrap_or_default(),
+        pred_cols: predicate
+            .map(|e| e.columns().into_iter().copied().collect())
+            .unwrap_or_default(),
+        ..JoinInput::default()
+    };
+    for (ltid, lrow) in left.scan() {
+        for (rtid, rrow) in right.scan() {
+            let mut cells = lrow.cells().to_vec();
+            cells.extend_from_slice(rrow.cells());
+            let joined = Row::from_cells_unchecked(cells);
+            let band = match predicate {
+                None => Band::Plus,
+                Some(pred) => {
+                    Band::from_tri(trapp_expr::eval::eval_predicate(pred, &joined)?)
+                }
+            };
+            if band == Band::Minus {
+                out.input.minus_count += 1;
+                continue;
+            }
+            let interval = match arg {
+                Some(e) => eval(e, &joined)?.as_interval()?,
+                None => Interval::new_unchecked(1.0, 1.0),
+            };
+            let k = out.pairs.len();
+            // Planning cost of "resolving" this pair: refreshing both ends.
+            let cost = left.cost(ltid)? + right.cost(rtid)?;
+            out.input.items.push(AggItem {
+                tid: TupleId::new(k as u64),
+                band,
+                interval,
+                cost,
+            });
+            out.pairs.push((ltid, rtid));
+        }
+    }
+    Ok(out)
+}
+
+/// `true` if refreshing the given base row can actually shrink the item:
+/// some column referenced by `cols`, belonging to this side of the join,
+/// is still inexact in the row.
+fn side_can_help(
+    table: &Table,
+    tid: TupleId,
+    cols: &[usize],
+    side_range: std::ops::Range<usize>,
+    left_arity: usize,
+) -> bool {
+    let Ok(row) = table.row(tid) else { return false };
+    cols.iter().any(|&c| {
+        side_range.contains(&c)
+            && row
+                .cell(c - if side_range.start == 0 { 0 } else { left_arity })
+                .map(|cell| cell.width() > 0.0)
+                .unwrap_or(false)
+    })
+}
+
+/// Scores every base tuple whose refresh can actually reduce the answer's
+/// uncertainty — through the aggregation expression for the item's value,
+/// or through the predicate for a `T?` item's membership — and returns the
+/// best candidate under the heuristic, or `None` when no refresh can help.
+pub fn next_join_refresh(
+    join: &JoinInput,
+    left: &Table,
+    right: &Table,
+    agg: Aggregate,
+    heuristic: IterativeHeuristic,
+) -> Option<(JoinSide, TupleId)> {
+    let la = join.left_arity;
+    let total = la + right.schema().arity();
+    let mut benefit: HashMap<(JoinSide, TupleId), f64> = HashMap::new();
+    for (item, &(ltid, rtid)) in join.input.items.iter().zip(&join.pairs) {
+        let w = match agg {
+            Aggregate::Sum | Aggregate::Avg => sum_weight(item),
+            Aggregate::Count => {
+                if item.band == Band::Question {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            _ => {
+                // MIN/MAX/MEDIAN: width plus membership uncertainty.
+                item.interval.width()
+                    + if item.band == Band::Question { 1.0 } else { 0.0 }
+            }
+        };
+        if w <= 0.0 {
+            continue;
+        }
+        let membership = item.band == Band::Question;
+        for (side, table, tid, range) in [
+            (JoinSide::Left, left, ltid, 0..la),
+            (JoinSide::Right, right, rtid, la..total),
+        ] {
+            let helps_value = side_can_help(table, tid, &join.arg_cols, range.clone(), la);
+            let helps_membership =
+                membership && side_can_help(table, tid, &join.pred_cols, range, la);
+            if helps_value || helps_membership {
+                *benefit.entry((side, tid)).or_insert(0.0) += w;
+            }
+        }
+    }
+
+    benefit
+        .into_iter()
+        .max_by(|a, b| {
+            let cost = |k: &(JoinSide, TupleId)| match k.0 {
+                JoinSide::Left => left.cost(k.1).unwrap_or(1.0),
+                JoinSide::Right => right.cost(k.1).unwrap_or(1.0),
+            };
+            let score = |e: &((JoinSide, TupleId), f64)| match heuristic {
+                IterativeHeuristic::BestRatio => {
+                    let c = cost(&e.0);
+                    if c == 0.0 {
+                        f64::INFINITY
+                    } else {
+                        e.1 / c
+                    }
+                }
+                IterativeHeuristic::CheapestFirst => -cost(&e.0),
+                IterativeHeuristic::WidestFirst => e.1,
+            };
+            score(a)
+                .total_cmp(&score(b))
+                .then_with(|| key_order(&b.0).cmp(&key_order(&a.0)))
+        })
+        .map(|(k, _)| k)
+}
+
+/// Deterministic tie-break key: left table first, then ascending id.
+fn key_order(k: &(JoinSide, TupleId)) -> (u8, u64) {
+    (
+        match k.0 {
+            JoinSide::Left => 0,
+            JoinSide::Right => 1,
+        },
+        k.1.raw(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use trapp_expr::{BinaryOp, ColumnRef};
+    use trapp_storage::{ColumnDef, Schema};
+    use trapp_types::{BoundedValue, Value, ValueType};
+
+    /// Two small tables:
+    /// nodes(node_id INT, load BOUNDED)     — 2 rows
+    /// links(src INT, latency BOUNDED)      — 3 rows
+    /// joined on nodes.node_id = links.src.
+    fn nodes() -> Table {
+        let schema = Schema::new(vec![
+            ColumnDef::exact("node_id", ValueType::Int),
+            ColumnDef::bounded_float("load"),
+        ])
+        .unwrap();
+        let mut t = Table::new("nodes", schema);
+        t.insert_with_cost(
+            vec![
+                BoundedValue::Exact(Value::Int(1)),
+                BoundedValue::bounded(10.0, 20.0).unwrap(),
+            ],
+            2.0,
+        )
+        .unwrap();
+        t.insert_with_cost(
+            vec![
+                BoundedValue::Exact(Value::Int(2)),
+                BoundedValue::bounded(30.0, 35.0).unwrap(),
+            ],
+            5.0,
+        )
+        .unwrap();
+        t
+    }
+
+    fn links() -> Table {
+        let schema = Schema::new(vec![
+            ColumnDef::exact("src", ValueType::Int),
+            ColumnDef::bounded_float("latency"),
+        ])
+        .unwrap();
+        let mut t = Table::new("links", schema);
+        for (src, lo, hi, cost) in [
+            (1i64, 1.0, 3.0, 1.0),
+            (1, 4.0, 6.0, 2.0),
+            (2, 7.0, 9.0, 3.0),
+        ] {
+            t.insert_with_cost(
+                vec![
+                    BoundedValue::Exact(Value::Int(src)),
+                    BoundedValue::bounded(lo, hi).unwrap(),
+                ],
+                cost,
+            )
+            .unwrap();
+        }
+        t
+    }
+
+    /// Combined schema column indexes: nodes.node_id=0, nodes.load=1,
+    /// links.src=2, links.latency=3.
+    fn combined_schema() -> Arc<Schema> {
+        Schema::new(vec![
+            ColumnDef::exact("node_id", ValueType::Int),
+            ColumnDef::bounded_float("load"),
+            ColumnDef::exact("src", ValueType::Int),
+            ColumnDef::bounded_float("latency"),
+        ])
+        .unwrap()
+    }
+
+    fn join_pred() -> Expr<usize> {
+        Expr::binary(
+            BinaryOp::Eq,
+            Expr::Column(ColumnRef::bare("node_id")),
+            Expr::Column(ColumnRef::bare("src")),
+        )
+        .bind(&combined_schema())
+        .unwrap()
+    }
+
+    fn latency_arg() -> Expr<usize> {
+        Expr::Column(ColumnRef::bare("latency"))
+            .bind(&combined_schema())
+            .unwrap()
+    }
+
+    #[test]
+    fn equijoin_on_exact_columns_classifies_definitely() {
+        let (n, l) = (nodes(), links());
+        let ji = build_join_input(&n, &l, Some(&join_pred()), Some(&latency_arg())).unwrap();
+        // 2 × 3 pairs; exactly 3 match the equi-join on exact columns.
+        assert_eq!(ji.pairs.len(), 3);
+        assert_eq!(ji.input.minus_count, 3);
+        assert!(ji.input.items.iter().all(|i| i.band == Band::Plus));
+        // SUM latency over joined pairs = [1+4+7, 3+6+9] = [12, 18].
+        let s = crate::agg::sum::bounded_sum(&ji.input);
+        assert_eq!(s, Interval::new(12.0, 18.0).unwrap());
+    }
+
+    #[test]
+    fn join_predicate_over_bounded_columns_gives_question_pairs() {
+        let (n, l) = (nodes(), links());
+        // load > latency * 3: interval comparisons make some pairs uncertain.
+        let pred = Expr::binary(
+            BinaryOp::Gt,
+            Expr::Column(ColumnRef::bare("load")),
+            Expr::binary(
+                BinaryOp::Mul,
+                Expr::Column(ColumnRef::bare("latency")),
+                Expr::Literal(Value::Float(3.0)),
+            ),
+        )
+        .bind(&combined_schema())
+        .unwrap();
+        let ji = build_join_input(&n, &l, Some(&pred), Some(&latency_arg())).unwrap();
+        // Pair (n1, l1): load [10,20] vs 3·[1,3]=[3,9] → certain.
+        // Pair (n1, l2): [10,20] vs [12,18] → maybe.
+        // Pair (n2, l3): [30,35] vs [21,27] → certain. Etc.
+        assert!(ji.input.plus_count() >= 2);
+        assert!(ji.input.question_count() >= 1);
+    }
+
+    #[test]
+    fn refresh_candidate_prefers_high_leverage_base_tuples() {
+        let (n, l) = (nodes(), links());
+        let ji = build_join_input(&n, &l, Some(&join_pred()), Some(&latency_arg())).unwrap();
+        // For SUM over latency, only links carry width on the aggregation
+        // column; nodes.load never appears → candidates are link tuples.
+        let next =
+            next_join_refresh(&ji, &n, &l, Aggregate::Sum, IterativeHeuristic::BestRatio)
+                .unwrap();
+        assert_eq!(next.0, JoinSide::Right);
+        // widths/costs: l1 2/1, l2 2/2, l3 2/3 → l1.
+        assert_eq!(next.1, TupleId::new(1));
+    }
+
+    #[test]
+    fn no_candidates_when_everything_exact() {
+        let (mut n, mut l) = (nodes(), links());
+        for tid in [1u64, 2] {
+            n.refresh_cell(TupleId::new(tid), 1, 15.0).unwrap();
+        }
+        for tid in [1u64, 2, 3] {
+            l.refresh_cell(TupleId::new(tid), 1, 5.0).unwrap();
+        }
+        let ji = build_join_input(&n, &l, Some(&join_pred()), Some(&latency_arg())).unwrap();
+        assert_eq!(
+            next_join_refresh(&ji, &n, &l, Aggregate::Sum, IterativeHeuristic::BestRatio),
+            None
+        );
+    }
+
+    #[test]
+    fn cross_join_without_predicate() {
+        let (n, l) = (nodes(), links());
+        let ji = build_join_input(&n, &l, None, Some(&latency_arg())).unwrap();
+        assert_eq!(ji.pairs.len(), 6);
+        assert_eq!(ji.input.minus_count, 0);
+    }
+}

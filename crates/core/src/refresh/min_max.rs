@@ -1,0 +1,267 @@
+//! CHOOSE_REFRESH for MIN and MAX (§5.1, §6.1, Appendices B and C).
+//!
+//! The MIN rule: refresh exactly the tuples
+//!
+//! ```text
+//! T_R = { tᵢ ∈ T+ ∪ T? : Lᵢ < min over T+ of Hₖ − R }
+//! ```
+//!
+//! independent of refresh cost. Appendix B proves this both *necessary*
+//! (leave any such tuple cached and an adversary realizes every other value
+//! at its upper bound, forcing width > R) and *sufficient* (every cached
+//! low endpoint is then within R of the guaranteed upper bound, which
+//! refreshes can only lower). MAX mirrors with
+//! `Hᵢ > max over T+ of Lₖ + R`.
+
+use trapp_storage::{IndexKey, Table};
+use trapp_types::TupleId;
+
+use crate::agg::AggInput;
+
+use super::RefreshPlan;
+
+/// CHOOSE_REFRESH for MIN (optimal, cost-independent).
+pub fn choose_refresh_min(input: &AggInput, r: f64) -> RefreshPlan {
+    // min over T+ of H — +∞ when T+ is empty, which forces refreshing every
+    // tuple whose low endpoint is finite (correct: nothing anchors the
+    // guaranteed side of the answer).
+    let mut min_plus_hi = f64::INFINITY;
+    for item in input.plus() {
+        min_plus_hi = min_plus_hi.min(item.interval.hi());
+    }
+    let threshold = min_plus_hi - r;
+    let tuples: Vec<TupleId> = input
+        .items
+        .iter()
+        .filter(|i| i.interval.lo() < threshold)
+        .map(|i| i.tid)
+        .collect();
+    RefreshPlan::from_tuples(input, tuples)
+}
+
+/// Index-accelerated CHOOSE_REFRESH for MIN without a predicate (§5.1's
+/// sub-linear path): "If B-tree indexes exist on both the upper and lower
+/// bounds, the set T_R can be found in time less than O(|T|) by first using
+/// the index on upper bounds to find min(Hₖ), and then using the index on
+/// lower bounds to find tuples that satisfy Lᵢ < min(Hₖ) − R."
+///
+/// Returns `None` if either index is missing (callers fall back to the
+/// scan-based [`choose_refresh_min`]). The returned plan is identical to
+/// the scan planner's — verified by tests and usable interchangeably.
+pub fn choose_refresh_min_indexed(table: &Table, column: usize, r: f64) -> Option<RefreshPlan> {
+    let hi = table.index(IndexKey::Hi { column })?;
+    let lo = table.index(IndexKey::Lo { column })?;
+    let min_hi = match hi.min_key() {
+        Some(k) => k.get(),
+        None => return Some(RefreshPlan::empty()), // empty table
+    };
+    let threshold = trapp_types::OrderedF64::new(min_hi - r).ok()?;
+    let mut tuples: Vec<TupleId> = lo.below(threshold).collect();
+    tuples.sort_unstable();
+    let cost = tuples
+        .iter()
+        .map(|&t| table.cost(t).unwrap_or(0.0))
+        .sum();
+    Some(RefreshPlan {
+        tuples,
+        planned_cost: cost,
+    })
+}
+
+/// Index-accelerated CHOOSE_REFRESH for MAX without a predicate (mirror of
+/// [`choose_refresh_min_indexed`]).
+pub fn choose_refresh_max_indexed(table: &Table, column: usize, r: f64) -> Option<RefreshPlan> {
+    let hi = table.index(IndexKey::Hi { column })?;
+    let lo = table.index(IndexKey::Lo { column })?;
+    let max_lo = match lo.max_key() {
+        Some(k) => k.get(),
+        None => return Some(RefreshPlan::empty()),
+    };
+    let threshold = trapp_types::OrderedF64::new(max_lo + r).ok()?;
+    let mut tuples: Vec<TupleId> = hi.above(threshold).collect();
+    tuples.sort_unstable();
+    let cost = tuples
+        .iter()
+        .map(|&t| table.cost(t).unwrap_or(0.0))
+        .sum();
+    Some(RefreshPlan {
+        tuples,
+        planned_cost: cost,
+    })
+}
+
+/// CHOOSE_REFRESH for MAX (mirror of MIN).
+pub fn choose_refresh_max(input: &AggInput, r: f64) -> RefreshPlan {
+    let mut max_plus_lo = f64::NEG_INFINITY;
+    for item in input.plus() {
+        max_plus_lo = max_plus_lo.max(item.interval.lo());
+    }
+    let threshold = max_plus_lo + r;
+    let tuples: Vec<TupleId> = input
+        .items
+        .iter()
+        .filter(|i| i.interval.hi() > threshold)
+        .map(|i| i.tid)
+        .collect();
+    RefreshPlan::from_tuples(input, tuples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::test_fixture::*;
+    use crate::agg::AggInput;
+    use trapp_expr::{BinaryOp, ColumnRef, Expr};
+    use trapp_types::Value;
+
+    fn col(name: &str) -> Expr<usize> {
+        Expr::Column(ColumnRef::bare(name)).bind(&schema()).unwrap()
+    }
+
+    fn on_path() -> Expr<usize> {
+        Expr::binary(
+            BinaryOp::Eq,
+            Expr::Column(ColumnRef::bare("on_path")),
+            Expr::Literal(Value::Bool(true)),
+        )
+        .bind(&schema())
+        .unwrap()
+    }
+
+    fn ids(v: &[u64]) -> Vec<trapp_types::TupleId> {
+        v.iter().copied().map(trapp_types::TupleId::new).collect()
+    }
+
+    /// Q1 (§5.1): MIN bandwidth over {1,2,5,6} with R = 10: min H = 55,
+    /// threshold 45; only tuple 5 (L = 40) refreshes.
+    #[test]
+    fn paper_q1_choose_refresh() {
+        let t = links_table();
+        let input = AggInput::build(&t, Some(&on_path()), Some(&col("bandwidth"))).unwrap();
+        let plan = choose_refresh_min(&input, 10.0);
+        assert_eq!(plan.tuples, ids(&[5]));
+        assert_eq!(plan.planned_cost, 4.0);
+    }
+
+    /// Q4 (§6.1): MIN traffic WHERE bw>50 AND lat<10, R = 10:
+    /// min over T+ of H = 105, threshold 95; tuples 5, 6 (L = 90) refresh.
+    #[test]
+    fn paper_q4_choose_refresh() {
+        let t = links_table();
+        let pred = Expr::and(
+            Expr::binary(
+                BinaryOp::Gt,
+                Expr::Column(ColumnRef::bare("bandwidth")),
+                Expr::Literal(Value::Float(50.0)),
+            ),
+            Expr::binary(
+                BinaryOp::Lt,
+                Expr::Column(ColumnRef::bare("latency")),
+                Expr::Literal(Value::Float(10.0)),
+            ),
+        )
+        .bind(&schema())
+        .unwrap();
+        let input = AggInput::build(&t, Some(&pred), Some(&col("traffic"))).unwrap();
+        let plan = choose_refresh_min(&input, 10.0);
+        assert_eq!(plan.tuples, ids(&[5, 6]));
+    }
+
+    #[test]
+    fn loose_constraint_refreshes_nothing() {
+        let t = links_table();
+        let input = AggInput::build(&t, Some(&on_path()), Some(&col("bandwidth"))).unwrap();
+        // Initial width of MIN bandwidth is 15 ([40, 55]); R = 15 suffices.
+        let plan = choose_refresh_min(&input, 15.0);
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn r_zero_refreshes_all_possibly_minimal_tuples() {
+        let t = links_table();
+        let input = AggInput::build(&t, Some(&on_path()), Some(&col("bandwidth"))).unwrap();
+        let plan = choose_refresh_min(&input, 0.0);
+        // threshold = 55: tuples with lo < 55: t2 (45), t5 (40), t6 (45);
+        // t1 (60) stays.
+        assert_eq!(plan.tuples, ids(&[2, 5, 6]));
+    }
+
+    #[test]
+    fn max_mirror() {
+        let t = links_table();
+        let input = AggInput::build(&t, None, Some(&col("latency"))).unwrap();
+        // MAX latency: max lo = 12 (t3); R = 2 → threshold 14; tuples with
+        // hi > 14: t3 (16).
+        let plan = choose_refresh_max(&input, 2.0);
+        assert_eq!(plan.tuples, ids(&[3]));
+        // R = 4 → threshold 16; nothing exceeds it.
+        let plan = choose_refresh_max(&input, 4.0);
+        assert!(plan.is_empty());
+    }
+
+    /// The §5.1 sub-linear index path must agree with the scan planner on
+    /// every (R, workload) probe.
+    #[test]
+    fn indexed_min_matches_scan_planner() {
+        let mut t = links_table();
+        t.create_index(trapp_storage::IndexKey::Lo { column: BANDWIDTH }).unwrap();
+        t.create_index(trapp_storage::IndexKey::Hi { column: BANDWIDTH }).unwrap();
+        for r in [0.0, 5.0, 10.0, 15.0, 30.0, 100.0] {
+            let input = AggInput::build(&t, None, Some(&col("bandwidth"))).unwrap();
+            let scan = choose_refresh_min(&input, r);
+            let indexed = choose_refresh_min_indexed(&t, BANDWIDTH, r).unwrap();
+            assert_eq!(scan, indexed, "R = {r}");
+        }
+        // Missing indexes → None (fallback signal).
+        let bare = links_table();
+        assert!(choose_refresh_min_indexed(&bare, BANDWIDTH, 1.0).is_none());
+    }
+
+    #[test]
+    fn indexed_max_matches_scan_planner() {
+        let mut t = links_table();
+        t.create_index(trapp_storage::IndexKey::Lo { column: LATENCY }).unwrap();
+        t.create_index(trapp_storage::IndexKey::Hi { column: LATENCY }).unwrap();
+        for r in [0.0, 2.0, 4.0, 10.0] {
+            let input = AggInput::build(&t, None, Some(&col("latency"))).unwrap();
+            let scan = choose_refresh_max(&input, r);
+            let indexed = choose_refresh_max_indexed(&t, LATENCY, r).unwrap();
+            assert_eq!(scan, indexed, "R = {r}");
+        }
+    }
+
+    /// The index path stays consistent across refresh mutations (index
+    /// maintenance feeds directly into planning).
+    #[test]
+    fn indexed_plan_tracks_mutations() {
+        let mut t = links_table();
+        t.create_index(trapp_storage::IndexKey::Lo { column: BANDWIDTH }).unwrap();
+        t.create_index(trapp_storage::IndexKey::Hi { column: BANDWIDTH }).unwrap();
+        // Initially tuple 5 blocks at R = 10 (Q1).
+        let before = choose_refresh_min_indexed(&t, BANDWIDTH, 10.0).unwrap();
+        assert_eq!(before.tuples, ids(&[5]));
+        // Refresh tuple 5 to its master value 50: min(H) drops to 50 and
+        // nothing has lo < 40.
+        t.refresh_cell(trapp_types::TupleId::new(5), BANDWIDTH, 50.0).unwrap();
+        let after = choose_refresh_min_indexed(&t, BANDWIDTH, 10.0).unwrap();
+        assert!(after.is_empty(), "{:?}", after.tuples);
+    }
+
+    #[test]
+    fn empty_plus_band_forces_wide_refresh() {
+        let t = links_table();
+        // No tuple certainly passes traffic > 144.9 (tuple 4 tops at 145).
+        let pred = Expr::binary(
+            BinaryOp::Gt,
+            Expr::Column(ColumnRef::bare("traffic")),
+            Expr::Literal(Value::Float(144.9)),
+        )
+        .bind(&schema())
+        .unwrap();
+        let input = AggInput::build(&t, Some(&pred), Some(&col("latency"))).unwrap();
+        assert_eq!(input.plus_count(), 0);
+        let plan = choose_refresh_min(&input, 5.0);
+        // Threshold is +∞ − 5 = +∞: every T? tuple must refresh.
+        assert_eq!(plan.tuples.len(), input.question_count());
+    }
+}

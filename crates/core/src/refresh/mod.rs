@@ -1,0 +1,192 @@
+//! CHOOSE_REFRESH: the minimum-cost tuple-refresh planners (§5, §6,
+//! Appendices B, C, F).
+//!
+//! Given the classified input of an aggregation query and a precision
+//! constraint `R`, a CHOOSE_REFRESH algorithm picks a set `T_R` of tuples
+//! such that after refreshing them the bounded answer satisfies
+//! `H_A − L_A ≤ R` **for any master values within the current bounds** —
+//! the paper's correctness criterion — at minimum (or provably
+//! near-minimum) total refresh cost.
+
+pub mod avg;
+pub mod count;
+pub mod iterative;
+pub mod join;
+pub mod min_max;
+pub mod sum;
+
+use std::fmt;
+
+use trapp_types::{TrappError, TupleId};
+
+use crate::agg::{AggInput, Aggregate};
+
+/// How the knapsack sub-problems (SUM, AVG) are solved.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SolverStrategy {
+    /// Branch-and-bound — exact, exponential worst case (§5.2's
+    /// "dynamic programming … worst-case exponential" remark corresponds to
+    /// exact solving; fine at the paper's instance sizes).
+    Exact,
+    /// The Ibarra–Kim FPTAS with parameter ε (the paper's default; Figure 5
+    /// sweeps ε).
+    Fptas(f64),
+    /// Density greedy (½-approximation) — cheapest planning, loosest cost.
+    GreedyDensity,
+    /// Weight-ascending greedy — optimal only under uniform refresh costs
+    /// (§5.2's special case).
+    GreedyByWeight,
+}
+
+impl Default for SolverStrategy {
+    fn default() -> Self {
+        SolverStrategy::Fptas(0.1)
+    }
+}
+
+impl fmt::Display for SolverStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolverStrategy::Exact => write!(f, "exact"),
+            SolverStrategy::Fptas(e) => write!(f, "fptas(ε={e})"),
+            SolverStrategy::GreedyDensity => write!(f, "greedy-density"),
+            SolverStrategy::GreedyByWeight => write!(f, "greedy-by-weight"),
+        }
+    }
+}
+
+/// The output of CHOOSE_REFRESH: which tuples to refresh and what that is
+/// expected to cost.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RefreshPlan {
+    /// Tuples to refresh, in ascending id order.
+    pub tuples: Vec<TupleId>,
+    /// Total refresh cost of the plan (`Σ Cᵢ` over `tuples`).
+    pub planned_cost: f64,
+}
+
+impl RefreshPlan {
+    /// An empty plan (the cached answer already satisfies the constraint).
+    pub fn empty() -> RefreshPlan {
+        RefreshPlan::default()
+    }
+
+    /// Builds a plan from the chosen tuples of `input`.
+    pub(crate) fn from_tuples(input: &AggInput, mut tuples: Vec<TupleId>) -> RefreshPlan {
+        tuples.sort_unstable();
+        tuples.dedup();
+        let cost = tuples
+            .iter()
+            .map(|tid| {
+                input
+                    .items
+                    .iter()
+                    .find(|i| i.tid == *tid)
+                    .map(|i| i.cost)
+                    .unwrap_or(0.0)
+            })
+            .sum();
+        RefreshPlan {
+            tuples,
+            planned_cost: cost,
+        }
+    }
+
+    /// `true` if nothing needs refreshing.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+}
+
+/// Dispatches to the aggregate-specific CHOOSE_REFRESH algorithm.
+///
+/// `r` is the precision constraint (finite; `R = ∞` never reaches
+/// planning). `MEDIAN` has no batch planner with a non-trivial guarantee
+/// (the paper defers it to [FMP+00]); it refreshes every inexact tuple —
+/// use the iterative executor mode for the cost-aware strategy.
+pub fn choose_refresh(
+    agg: Aggregate,
+    input: &AggInput,
+    r: f64,
+    strategy: SolverStrategy,
+) -> Result<RefreshPlan, TrappError> {
+    if r < 0.0 || r.is_nan() {
+        return Err(TrappError::NegativePrecision(r));
+    }
+    match agg {
+        Aggregate::Min => Ok(min_max::choose_refresh_min(input, r)),
+        Aggregate::Max => Ok(min_max::choose_refresh_max(input, r)),
+        Aggregate::Sum => sum::choose_refresh_sum(input, r, strategy),
+        Aggregate::Count => Ok(count::choose_refresh_count(input, r)),
+        Aggregate::Avg => avg::choose_refresh_avg(input, r, strategy),
+        Aggregate::Median => {
+            // Conservative batch plan: refresh everything inexact. The
+            // iterative mode implements the cost-aware heuristic.
+            let tuples: Vec<TupleId> = input
+                .items
+                .iter()
+                .filter(|i| !i.is_exact())
+                .map(|i| i.tid)
+                .collect();
+            Ok(RefreshPlan::from_tuples(input, tuples))
+        }
+    }
+}
+
+/// Solves a knapsack instance under the configured strategy.
+pub(crate) fn run_solver(
+    instance: &trapp_knapsack::Instance,
+    strategy: SolverStrategy,
+) -> Result<trapp_knapsack::Solution, TrappError> {
+    match strategy {
+        SolverStrategy::Exact => Ok(instance.solve_exact()),
+        SolverStrategy::Fptas(eps) => instance
+            .solve_fptas(eps)
+            .map_err(|e| TrappError::Plan(format!("knapsack FPTAS failed: {e}"))),
+        SolverStrategy::GreedyDensity => Ok(instance.solve_greedy_density()),
+        SolverStrategy::GreedyByWeight => Ok(instance.solve_greedy_by_weight()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::test_fixture::*;
+    use trapp_expr::{ColumnRef, Expr};
+
+    fn col(name: &str) -> Expr<usize> {
+        Expr::Column(ColumnRef::bare(name)).bind(&schema()).unwrap()
+    }
+
+    #[test]
+    fn rejects_negative_precision() {
+        let t = links_table();
+        let input = AggInput::build(&t, None, Some(&col("latency"))).unwrap();
+        assert!(choose_refresh(Aggregate::Sum, &input, -1.0, SolverStrategy::Exact).is_err());
+        assert!(choose_refresh(Aggregate::Sum, &input, f64::NAN, SolverStrategy::Exact).is_err());
+    }
+
+    #[test]
+    fn median_batch_plan_refreshes_all_inexact() {
+        let t = links_table();
+        let input = AggInput::build(&t, None, Some(&col("latency"))).unwrap();
+        let plan = choose_refresh(Aggregate::Median, &input, 1.0, SolverStrategy::Exact).unwrap();
+        assert_eq!(plan.tuples.len(), 6);
+        assert_eq!(plan.planned_cost, 3.0 + 6.0 + 6.0 + 8.0 + 4.0 + 2.0);
+    }
+
+    #[test]
+    fn plan_from_tuples_sorts_and_prices() {
+        let t = links_table();
+        let input = AggInput::build(&t, None, Some(&col("latency"))).unwrap();
+        let plan = RefreshPlan::from_tuples(
+            &input,
+            vec![trapp_types::TupleId::new(5), trapp_types::TupleId::new(1)],
+        );
+        assert_eq!(
+            plan.tuples,
+            vec![trapp_types::TupleId::new(1), trapp_types::TupleId::new(5)]
+        );
+        assert_eq!(plan.planned_cost, 3.0 + 4.0);
+    }
+}

@@ -1,0 +1,250 @@
+//! CHOOSE_REFRESH for SUM (§5.2, §6.2): the knapsack reduction.
+//!
+//! Selecting the cheapest refresh set is recast as selecting the most
+//! valuable set of tuples to *keep cached*: place tuple `tᵢ` in a knapsack
+//! with profit `Pᵢ = Cᵢ` (its refresh cost, which keeping it avoids) and
+//! weight `Wᵢ` = its effective bound width — `Hᵢ − Lᵢ` for `T+` tuples,
+//! zero-extended (§6.2) for `T?` tuples. Capacity is the precision
+//! constraint `R`: the kept tuples' residual widths sum to the post-refresh
+//! answer width, which must not exceed `R` for any realization.
+
+use trapp_knapsack::{Instance, Item};
+use trapp_types::{TrappError, TupleId};
+
+use crate::agg::sum::sum_weight;
+use crate::agg::AggInput;
+
+use super::{run_solver, RefreshPlan, SolverStrategy};
+
+/// CHOOSE_REFRESH for SUM with an explicit knapsack capacity.
+///
+/// AVG reuses this with its own capacity and adjusted weights, so the
+/// worker takes `(weights, capacity)` and maps the solution's complement
+/// back to tuple ids.
+pub(crate) fn solve_keep_set(
+    input: &AggInput,
+    weights: &[f64],
+    capacity: f64,
+    strategy: SolverStrategy,
+) -> Result<RefreshPlan, TrappError> {
+    debug_assert_eq!(weights.len(), input.items.len());
+    let items: Result<Vec<Item>, _> = input
+        .items
+        .iter()
+        .zip(weights)
+        .map(|(item, &w)| Item::new(item.cost, w))
+        .collect();
+    let items = items.map_err(|e| TrappError::Plan(format!("bad knapsack item: {e}")))?;
+    let instance =
+        Instance::new(items, capacity).map_err(|e| TrappError::Plan(format!("bad capacity: {e}")))?;
+    let solution = run_solver(&instance, strategy)?;
+    let refresh: Vec<TupleId> = solution
+        .complement(input.items.len())
+        .into_iter()
+        .map(|i| input.items[i].tid)
+        .collect();
+    Ok(RefreshPlan::from_tuples(input, refresh))
+}
+
+/// CHOOSE_REFRESH for SUM (§5.2 without predicate, §6.2 with).
+pub fn choose_refresh_sum(
+    input: &AggInput,
+    r: f64,
+    strategy: SolverStrategy,
+) -> Result<RefreshPlan, TrappError> {
+    let weights: Vec<f64> = input.items.iter().map(sum_weight).collect();
+    solve_keep_set(input, &weights, r, strategy)
+}
+
+/// The §5.2 uniform-cost special case over a width index: "The optimal
+/// answer then can be found by placing objects in the knapsack in order of
+/// increasing weight Wᵢ until the knapsack cannot hold any more objects.
+/// If an index exists on the bound width Hᵢ − Lᵢ, this algorithm can run
+/// in sublinear time."
+///
+/// Preconditions: no selection predicate (all tuples contribute their plain
+/// width) and uniform refresh costs. Returns `None` when the width index is
+/// missing or costs are not uniform — callers fall back to
+/// [`choose_refresh_sum`].
+pub fn choose_refresh_sum_uniform_indexed(
+    table: &trapp_storage::Table,
+    column: usize,
+    r: f64,
+) -> Option<RefreshPlan> {
+    let width_ix = table.index(trapp_storage::IndexKey::Width { column })?;
+
+    // Uniform-cost check (cheap linear scan of the cost map; the *solve*
+    // below is what the index makes sublinear in the kept prefix).
+    let mut costs = table.tuple_ids().map(|t| table.cost(t).unwrap_or(0.0));
+    let first = costs.next().unwrap_or(0.0);
+    if costs.any(|c| c != first) {
+        return None;
+    }
+
+    // Keep lightest-first while the capacity holds; everything after the
+    // cut refreshes.
+    let mut kept_width = 0.0;
+    let mut refresh: Vec<trapp_types::TupleId> = Vec::new();
+    let mut keeping = true;
+    for (w, tid) in width_ix.ascending() {
+        if keeping && kept_width + w.get() <= r {
+            kept_width += w.get();
+        } else {
+            keeping = false;
+            refresh.push(tid);
+        }
+    }
+    refresh.sort_unstable();
+    let planned_cost = first * refresh.len() as f64;
+    Some(RefreshPlan {
+        tuples: refresh,
+        planned_cost,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::test_fixture::*;
+    use crate::agg::AggInput;
+    use trapp_expr::{BinaryOp, ColumnRef, Expr};
+    use trapp_types::Value;
+
+    fn col(name: &str) -> Expr<usize> {
+        Expr::Column(ColumnRef::bare(name)).bind(&schema()).unwrap()
+    }
+
+    fn on_path() -> Expr<usize> {
+        Expr::binary(
+            BinaryOp::Eq,
+            Expr::Column(ColumnRef::bare("on_path")),
+            Expr::Literal(Value::Bool(true)),
+        )
+        .bind(&schema())
+        .unwrap()
+    }
+
+    fn ids(v: &[u64]) -> Vec<trapp_types::TupleId> {
+        v.iter().copied().map(trapp_types::TupleId::new).collect()
+    }
+
+    /// Q2 (§5.2): SUM latency over {1,2,5,6}, R = 5. Knapsack weights
+    /// W = {2,2,3,2}, profits = costs {3,6,4,2}; optimum keeps {2,5},
+    /// refreshing {1,6}.
+    #[test]
+    fn paper_q2_choose_refresh() {
+        let t = links_table();
+        let input = AggInput::build(&t, Some(&on_path()), Some(&col("latency"))).unwrap();
+        let plan = choose_refresh_sum(&input, 5.0, SolverStrategy::Exact).unwrap();
+        assert_eq!(plan.tuples, ids(&[1, 6]));
+        assert_eq!(plan.planned_cost, 5.0);
+    }
+
+    #[test]
+    fn residual_width_respects_capacity() {
+        let t = links_table();
+        let input = AggInput::build(&t, None, Some(&col("traffic"))).unwrap();
+        for r in [0.0, 10.0, 25.0, 40.0, 60.0, 95.0, 200.0] {
+            for strategy in [
+                SolverStrategy::Exact,
+                SolverStrategy::Fptas(0.1),
+                SolverStrategy::GreedyDensity,
+            ] {
+                let plan = choose_refresh_sum(&input, r, strategy).unwrap();
+                let kept_width: f64 = input
+                    .items
+                    .iter()
+                    .filter(|i| !plan.tuples.contains(&i.tid))
+                    .map(|i| i.interval.width())
+                    .sum();
+                assert!(
+                    kept_width <= r + 1e-12,
+                    "r={r} {strategy}: kept width {kept_width}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn loose_r_keeps_everything() {
+        let t = links_table();
+        let input = AggInput::build(&t, None, Some(&col("traffic"))).unwrap();
+        // Total width = 95; R = 95 keeps all tuples.
+        let plan = choose_refresh_sum(&input, 95.0, SolverStrategy::Exact).unwrap();
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn r_zero_refreshes_every_inexact_tuple() {
+        let t = links_table();
+        let input = AggInput::build(&t, None, Some(&col("traffic"))).unwrap();
+        let plan = choose_refresh_sum(&input, 0.0, SolverStrategy::Exact).unwrap();
+        assert_eq!(plan.tuples.len(), 6);
+    }
+
+    /// The §5.2 uniform-cost width-index path must match exact knapsack
+    /// planning in cost (the chosen sets may differ only among equal-width
+    /// ties).
+    #[test]
+    fn uniform_indexed_matches_exact_cost() {
+        let mut t = links_table();
+        for tid in t.tuple_ids().collect::<Vec<_>>() {
+            t.set_cost(tid, 4.0).unwrap();
+        }
+        t.create_index(trapp_storage::IndexKey::Width { column: TRAFFIC }).unwrap();
+        for r in [0.0, 10.0, 24.9, 25.0, 40.0, 60.0, 95.0, 200.0] {
+            let input = AggInput::build(&t, None, Some(&col("traffic"))).unwrap();
+            let exact = choose_refresh_sum(&input, r, SolverStrategy::Exact).unwrap();
+            let indexed =
+                choose_refresh_sum_uniform_indexed(&t, TRAFFIC, r).unwrap();
+            assert_eq!(
+                exact.planned_cost, indexed.planned_cost,
+                "R = {r}: exact {:?} vs indexed {:?}",
+                exact.tuples, indexed.tuples
+            );
+            // The indexed plan must itself satisfy the capacity.
+            let kept: f64 = input
+                .items
+                .iter()
+                .filter(|i| !indexed.tuples.contains(&i.tid))
+                .map(|i| i.interval.width())
+                .sum();
+            assert!(kept <= r + 1e-12, "R = {r}");
+        }
+    }
+
+    #[test]
+    fn uniform_indexed_requires_index_and_uniform_costs() {
+        let t = links_table(); // non-uniform costs, no index
+        assert!(choose_refresh_sum_uniform_indexed(&t, TRAFFIC, 10.0).is_none());
+        let mut t = links_table();
+        t.create_index(trapp_storage::IndexKey::Width { column: TRAFFIC }).unwrap();
+        // Index present but costs differ → refuse.
+        assert!(choose_refresh_sum_uniform_indexed(&t, TRAFFIC, 10.0).is_none());
+    }
+
+    /// §6.2: a T? tuple whose aggregation value is exactly known still has
+    /// nonzero knapsack weight (it may drop out of the selection).
+    #[test]
+    fn exact_question_tuples_still_weigh() {
+        let mut t = links_table();
+        // Pin tuple 1's latency to exactly 3 but leave traffic bounded, so
+        // under `traffic > 100` it stays in T? with latency weight |3| = 3.
+        t.refresh_cell(trapp_types::TupleId::new(1), LATENCY, 3.0).unwrap();
+        let pred = Expr::binary(
+            BinaryOp::Gt,
+            Expr::Column(ColumnRef::bare("traffic")),
+            Expr::Literal(Value::Float(100.0)),
+        )
+        .bind(&schema())
+        .unwrap();
+        let input = AggInput::build(&t, Some(&pred), Some(&col("latency"))).unwrap();
+        let item = input
+            .items
+            .iter()
+            .find(|i| i.tid == trapp_types::TupleId::new(1))
+            .unwrap();
+        assert_eq!(item.interval.width(), 0.0);
+        assert_eq!(crate::agg::sum::sum_weight(item), 3.0);
+    }
+}

@@ -1,0 +1,82 @@
+//! Relative precision constraints (§8.1).
+//!
+//! A relative constraint `P ≥ 0` demands `H_A − L_A ≤ 2·A·P` where `A` is
+//! the (unknown) precise answer. The paper's suggestion: derive, from a
+//! first cache-only pass yielding `[L₀, H₀] ∋ A`, a conservative *absolute*
+//! constraint `R` with `R ≤ 2·|A|·P` guaranteed — then run the ordinary
+//! machinery.
+
+use trapp_types::{Interval, TrappError};
+
+/// The conservative absolute constraint: `R = 2·P·min_{A ∈ [L₀,H₀]} |A|`.
+///
+/// If the first-pass bound straddles zero the minimum possible `|A|` is 0
+/// and the only safe absolute constraint is exactness (`R = 0`).
+pub fn conservative_absolute_r(first_pass: Interval, p: f64) -> Result<f64, TrappError> {
+    if p.is_nan() || p < 0.0 {
+        return Err(TrappError::NegativePrecision(p));
+    }
+    let min_abs = if first_pass.contains(0.0) {
+        0.0
+    } else {
+        first_pass.lo().abs().min(first_pass.hi().abs())
+    };
+    let r = 2.0 * p * min_abs;
+    Ok(if r.is_finite() { r } else { 0.0 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(lo: f64, hi: f64) -> Interval {
+        Interval::new(lo, hi).unwrap()
+    }
+
+    #[test]
+    fn positive_answer_uses_lower_endpoint() {
+        // A ∈ [100, 120], P = 5% → R = 2·0.05·100 = 10 ≤ 2·A·P for all A.
+        let r = conservative_absolute_r(iv(100.0, 120.0), 0.05).unwrap();
+        assert_eq!(r, 10.0);
+    }
+
+    #[test]
+    fn negative_answer_uses_magnitude() {
+        let r = conservative_absolute_r(iv(-120.0, -100.0), 0.05).unwrap();
+        assert_eq!(r, 10.0);
+    }
+
+    #[test]
+    fn zero_straddling_forces_exactness() {
+        assert_eq!(conservative_absolute_r(iv(-1.0, 5.0), 0.1).unwrap(), 0.0);
+        assert_eq!(conservative_absolute_r(iv(0.0, 5.0), 0.1).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn infinite_first_pass_forces_exactness() {
+        assert_eq!(
+            conservative_absolute_r(Interval::UNBOUNDED, 0.1).unwrap(),
+            0.0
+        );
+    }
+
+    #[test]
+    fn guarantee_holds_for_any_answer_in_bound() {
+        let bounds = [iv(3.0, 9.0), iv(-9.0, -3.0), iv(50.0, 51.0)];
+        for b in bounds {
+            let p = 0.07;
+            let r = conservative_absolute_r(b, p).unwrap();
+            // For every representative A in the bound, R ≤ 2·|A|·P.
+            for frac in [0.0, 0.25, 0.5, 0.75, 1.0] {
+                let a = b.lo() + frac * b.width();
+                assert!(r <= 2.0 * a.abs() * p + 1e-12, "A={a}: R={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_p() {
+        assert!(conservative_absolute_r(iv(1.0, 2.0), -0.1).is_err());
+        assert!(conservative_absolute_r(iv(1.0, 2.0), f64::NAN).is_err());
+    }
+}

@@ -1,0 +1,210 @@
+//! The paper's two correctness properties, tested over randomized tables,
+//! predicates, and precision constraints:
+//!
+//! 1. **Containment**: the bounded answer contains the precise aggregate of
+//!    every realization of the cached bounds.
+//! 2. **CHOOSE_REFRESH guarantee**: for *any* realization of the master
+//!    values, refreshing the chosen set makes the recomputed answer satisfy
+//!    the precision constraint (§4's definition of correctness; Appendix B
+//!    proves it for MIN, §5.2/§6.2/App. F argue it for SUM/AVG).
+
+use proptest::prelude::*;
+use trapp_core::agg::{bounded_answer, AggInput, Aggregate};
+use trapp_core::refresh::{choose_refresh, SolverStrategy};
+use trapp_core::verify::{apply_plan, check_containment, realize_table};
+use trapp_expr::{BinaryOp, ColumnRef, Expr};
+use trapp_storage::{ColumnDef, Schema, Table};
+use trapp_types::{BoundedValue, Value};
+
+/// One generated row: `x` bound, `y` bound, integer cost 1..=10.
+type FixtureRow = ((f64, f64), (f64, f64), u8);
+
+/// A random cached table: `x`, `y` bounded float columns with varied signs
+/// and widths, plus integer costs 1..=10 (the paper's cost model).
+#[derive(Clone, Debug)]
+struct Fixture {
+    rows: Vec<FixtureRow>,
+}
+
+fn arb_fixture() -> impl Strategy<Value = Fixture> {
+    proptest::collection::vec(
+        (
+            (-50.0f64..50.0, 0.0f64..20.0),
+            (-50.0f64..50.0, 0.0f64..20.0),
+            1u8..=10,
+        ),
+        1..12,
+    )
+    .prop_map(|raw| Fixture {
+        rows: raw
+            .into_iter()
+            .map(|((xl, xw), (yl, yw), c)| ((xl, xl + xw), (yl, yl + yw), c))
+            .collect(),
+    })
+}
+
+fn build_table(f: &Fixture) -> Table {
+    let schema = Schema::new(vec![
+        ColumnDef::bounded_float("x"),
+        ColumnDef::bounded_float("y"),
+    ])
+    .unwrap();
+    let mut t = Table::new("t", schema);
+    for &(x, y, c) in &f.rows {
+        t.insert_with_cost(
+            vec![
+                BoundedValue::bounded(x.0, x.1).unwrap(),
+                BoundedValue::bounded(y.0, y.1).unwrap(),
+            ],
+            c as f64,
+        )
+        .unwrap();
+    }
+    t
+}
+
+fn schema() -> std::sync::Arc<Schema> {
+    Schema::new(vec![
+        ColumnDef::bounded_float("x"),
+        ColumnDef::bounded_float("y"),
+    ])
+    .unwrap()
+}
+
+fn x_col() -> Expr<usize> {
+    Expr::Column(ColumnRef::bare("x")).bind(&schema()).unwrap()
+}
+
+fn y_pred(threshold: f64) -> Expr<usize> {
+    Expr::binary(
+        BinaryOp::Gt,
+        Expr::Column(ColumnRef::bare("y")),
+        Expr::Literal(Value::Float(threshold)),
+    )
+    .bind(&schema())
+    .unwrap()
+}
+
+const AGGS: [Aggregate; 5] = [
+    Aggregate::Min,
+    Aggregate::Max,
+    Aggregate::Sum,
+    Aggregate::Count,
+    Aggregate::Avg,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn containment_without_predicate(f in arb_fixture(), seed in 0u64..1000) {
+        let cache = build_table(&f);
+        let master = realize_table(&cache, seed).unwrap();
+        for agg in AGGS {
+            let arg = if agg == Aggregate::Count { None } else { Some(x_col()) };
+            check_containment(agg, &cache, &master, None, arg.as_ref())
+                .unwrap_or_else(|e| panic!("{agg:?}: {e}"));
+        }
+        check_containment(Aggregate::Median, &cache, &master, None, Some(&x_col())).unwrap();
+    }
+
+    #[test]
+    fn containment_with_predicate(f in arb_fixture(), seed in 0u64..1000, thr in -40.0f64..60.0) {
+        let cache = build_table(&f);
+        let master = realize_table(&cache, seed).unwrap();
+        let pred = y_pred(thr);
+        for agg in AGGS {
+            let arg = if agg == Aggregate::Count { None } else { Some(x_col()) };
+            // AVG over a possibly-empty selection is conditioned on
+            // non-emptiness: skip containment when the realized selection
+            // is empty.
+            let res = check_containment(agg, &cache, &master, Some(&pred), arg.as_ref());
+            match res {
+                Ok(_) => {}
+                Err(trapp_types::TrappError::Unsupported(_)) => {} // empty AVG
+                Err(e) => panic!("{agg:?} thr {thr}: {e}"),
+            }
+        }
+    }
+
+    /// The central theorem: whatever the master values turn out to be,
+    /// refreshing the CHOOSE_REFRESH set meets the constraint.
+    #[test]
+    fn choose_refresh_guarantees_constraint(
+        f in arb_fixture(),
+        seed in 0u64..1000,
+        r in 0.0f64..60.0,
+        use_pred in any::<bool>(),
+        thr in -40.0f64..60.0,
+        exact in any::<bool>(),
+    ) {
+        let cache = build_table(&f);
+        let pred = if use_pred { Some(y_pred(thr)) } else { None };
+        let strategy = if exact { SolverStrategy::Exact } else { SolverStrategy::Fptas(0.1) };
+        for agg in AGGS {
+            let arg = if agg == Aggregate::Count { None } else { Some(x_col()) };
+            let input = AggInput::build(&cache, pred.as_ref(), arg.as_ref()).unwrap();
+            let plan = choose_refresh(agg, &input, r, strategy).unwrap();
+
+            // Realize master values and apply the plan.
+            let master = realize_table(&cache, seed).unwrap();
+            let mut refreshed = build_table(&f);
+            apply_plan(&mut refreshed, &master, &plan.tuples).unwrap();
+
+            let post = AggInput::build(&refreshed, pred.as_ref(), arg.as_ref()).unwrap();
+            let answer = match bounded_answer(agg, &post) {
+                Ok(a) => a,
+                Err(trapp_types::TrappError::Unsupported(_)) => continue, // empty AVG
+                Err(e) => panic!("{agg:?}: {e}"),
+            };
+            // For AVG with a predicate, Appendix F guarantees the *loose*
+            // bound; the executor reports the tight bound which is ⊆ loose.
+            let width = answer.width();
+            prop_assert!(
+                width <= r + 1e-9,
+                "{agg:?} r={r} seed={seed} pred={use_pred} thr={thr}: width {width} \
+                 plan {:?}",
+                plan.tuples
+            );
+        }
+    }
+
+    /// Refreshing a superset of a plan never breaks the guarantee
+    /// (monotonicity sanity check for the batch algorithms).
+    #[test]
+    fn guarantee_is_monotone_in_refresh_set(
+        f in arb_fixture(),
+        seed in 0u64..1000,
+        r in 0.0f64..60.0,
+    ) {
+        let cache = build_table(&f);
+        let input = AggInput::build(&cache, None, Some(&x_col())).unwrap();
+        let plan = choose_refresh(Aggregate::Sum, &input, r, SolverStrategy::Exact).unwrap();
+        // Superset: plan + every remaining tuple.
+        let all: Vec<_> = cache.tuple_ids().collect();
+        let master = realize_table(&cache, seed).unwrap();
+        let mut refreshed = build_table(&f);
+        apply_plan(&mut refreshed, &master, &all).unwrap();
+        let post = AggInput::build(&refreshed, None, Some(&x_col())).unwrap();
+        let answer = bounded_answer(Aggregate::Sum, &post).unwrap();
+        prop_assert!(answer.width() <= r + 1e-9);
+        let _ = plan;
+    }
+
+    /// Exact planning never costs more than the approximation schemes.
+    #[test]
+    fn exact_plans_are_cheapest(f in arb_fixture(), r in 0.0f64..60.0) {
+        let cache = build_table(&f);
+        let input = AggInput::build(&cache, None, Some(&x_col())).unwrap();
+        let exact = choose_refresh(Aggregate::Sum, &input, r, SolverStrategy::Exact).unwrap();
+        for strategy in [SolverStrategy::Fptas(0.1), SolverStrategy::GreedyDensity] {
+            let approx = choose_refresh(Aggregate::Sum, &input, r, strategy).unwrap();
+            prop_assert!(
+                exact.planned_cost <= approx.planned_cost + 1e-9,
+                "exact {} > {strategy} {}",
+                exact.planned_cost,
+                approx.planned_cost
+            );
+        }
+    }
+}

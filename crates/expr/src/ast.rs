@@ -1,0 +1,287 @@
+//! The expression tree.
+//!
+//! `Expr<C>` is generic over the column representation `C`:
+//!
+//! * the SQL parser produces `Expr<ColumnRef>` (names, optionally
+//!   table-qualified);
+//! * binding against a schema produces `Expr<usize>` (column positions),
+//!   which is what the evaluators consume.
+
+use std::fmt;
+
+use trapp_types::{TrappError, Value};
+
+/// A possibly table-qualified column name, as written in a query.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct ColumnRef {
+    /// Optional table qualifier (`links.latency`).
+    pub table: Option<String>,
+    /// Column name.
+    pub column: String,
+}
+
+impl ColumnRef {
+    /// An unqualified reference.
+    pub fn bare(column: impl Into<String>) -> ColumnRef {
+        ColumnRef {
+            table: None,
+            column: column.into(),
+        }
+    }
+
+    /// A table-qualified reference.
+    pub fn qualified(table: impl Into<String>, column: impl Into<String>) -> ColumnRef {
+        ColumnRef {
+            table: Some(table.into()),
+            column: column.into(),
+        }
+    }
+}
+
+impl fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.table {
+            Some(t) => write!(f, "{t}.{}", self.column),
+            None => write!(f, "{}", self.column),
+        }
+    }
+}
+
+/// Binary operators, in SQL precedence groups.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BinaryOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `=`
+    Eq,
+    /// `<>` / `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+}
+
+impl BinaryOp {
+    /// `true` for `+ - * /`.
+    pub fn is_arithmetic(self) -> bool {
+        matches!(self, BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul | BinaryOp::Div)
+    }
+
+    /// `true` for the six comparisons.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Eq | BinaryOp::Ne | BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge
+        )
+    }
+
+    /// `true` for `AND` / `OR`.
+    pub fn is_logical(self) -> bool {
+        matches!(self, BinaryOp::And | BinaryOp::Or)
+    }
+}
+
+impl fmt::Display for BinaryOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinaryOp::Add => "+",
+            BinaryOp::Sub => "-",
+            BinaryOp::Mul => "*",
+            BinaryOp::Div => "/",
+            BinaryOp::Eq => "=",
+            BinaryOp::Ne => "<>",
+            BinaryOp::Lt => "<",
+            BinaryOp::Le => "<=",
+            BinaryOp::Gt => ">",
+            BinaryOp::Ge => ">=",
+            BinaryOp::And => "AND",
+            BinaryOp::Or => "OR",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    /// Numeric negation.
+    Neg,
+    /// Logical NOT.
+    Not,
+}
+
+impl fmt::Display for UnaryOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnaryOp::Neg => write!(f, "-"),
+            UnaryOp::Not => write!(f, "NOT"),
+        }
+    }
+}
+
+/// An expression tree over columns of type `C`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr<C> {
+    /// A literal constant.
+    Literal(Value),
+    /// A column reference.
+    Column(C),
+    /// A unary operation.
+    Unary(UnaryOp, Box<Expr<C>>),
+    /// A binary operation.
+    Binary(BinaryOp, Box<Expr<C>>, Box<Expr<C>>),
+}
+
+impl<C> Expr<C> {
+    /// Convenience: `lhs op rhs`.
+    pub fn binary(op: BinaryOp, lhs: Expr<C>, rhs: Expr<C>) -> Expr<C> {
+        Expr::Binary(op, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Convenience: `op x`.
+    pub fn unary(op: UnaryOp, x: Expr<C>) -> Expr<C> {
+        Expr::Unary(op, Box::new(x))
+    }
+
+    /// Convenience: `a AND b`.
+    pub fn and(lhs: Expr<C>, rhs: Expr<C>) -> Expr<C> {
+        Expr::binary(BinaryOp::And, lhs, rhs)
+    }
+
+    /// Convenience: `a OR b`.
+    pub fn or(lhs: Expr<C>, rhs: Expr<C>) -> Expr<C> {
+        Expr::binary(BinaryOp::Or, lhs, rhs)
+    }
+
+    /// Rewrites every column reference with `f`, preserving structure.
+    pub fn map_columns<D, E>(&self, f: &mut impl FnMut(&C) -> Result<D, E>) -> Result<Expr<D>, E> {
+        Ok(match self {
+            Expr::Literal(v) => Expr::Literal(v.clone()),
+            Expr::Column(c) => Expr::Column(f(c)?),
+            Expr::Unary(op, x) => Expr::Unary(*op, Box::new(x.map_columns(f)?)),
+            Expr::Binary(op, a, b) => Expr::Binary(
+                *op,
+                Box::new(a.map_columns(f)?),
+                Box::new(b.map_columns(f)?),
+            ),
+        })
+    }
+
+    /// Collects every column reference (with duplicates, in visit order).
+    pub fn columns(&self) -> Vec<&C> {
+        let mut out = Vec::new();
+        self.visit_columns(&mut |c| out.push(c));
+        out
+    }
+
+    fn visit_columns<'a>(&'a self, f: &mut impl FnMut(&'a C)) {
+        match self {
+            Expr::Literal(_) => {}
+            Expr::Column(c) => f(c),
+            Expr::Unary(_, x) => x.visit_columns(f),
+            Expr::Binary(_, a, b) => {
+                a.visit_columns(f);
+                b.visit_columns(f);
+            }
+        }
+    }
+}
+
+impl Expr<ColumnRef> {
+    /// Binds named columns to positions in `schema`.
+    pub fn bind(
+        &self,
+        schema: &trapp_storage::Schema,
+    ) -> Result<Expr<usize>, TrappError> {
+        self.map_columns(&mut |c: &ColumnRef| schema.column_index(&c.column))
+    }
+}
+
+impl<C: fmt::Display> fmt::Display for Expr<C> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Literal(v) => write!(f, "{v}"),
+            Expr::Column(c) => write!(f, "{c}"),
+            Expr::Unary(UnaryOp::Neg, x) => {
+                let inner = x.to_string();
+                if inner.starts_with('-') {
+                    // Avoid emitting `--`, which SQL lexes as a comment
+                    // (negating a negative literal, or a nested negation).
+                    write!(f, "(- {inner})")
+                } else {
+                    write!(f, "(-{inner})")
+                }
+            }
+            Expr::Unary(UnaryOp::Not, x) => write!(f, "(NOT {x})"),
+            Expr::Binary(op, a, b) => write!(f, "({a} {op} {b})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trapp_storage::{ColumnDef, Schema};
+
+    fn sample() -> Expr<ColumnRef> {
+        // (bandwidth > 50) AND (latency < 10)
+        Expr::and(
+            Expr::binary(
+                BinaryOp::Gt,
+                Expr::Column(ColumnRef::bare("bandwidth")),
+                Expr::Literal(Value::Float(50.0)),
+            ),
+            Expr::binary(
+                BinaryOp::Lt,
+                Expr::Column(ColumnRef::bare("latency")),
+                Expr::Literal(Value::Float(10.0)),
+            ),
+        )
+    }
+
+    #[test]
+    fn display_is_parenthesized() {
+        assert_eq!(
+            sample().to_string(),
+            "((bandwidth > 50) AND (latency < 10))"
+        );
+    }
+
+    #[test]
+    fn bind_resolves_positions() {
+        let schema = Schema::new(vec![
+            ColumnDef::bounded_float("latency"),
+            ColumnDef::bounded_float("bandwidth"),
+        ])
+        .unwrap();
+        let bound = sample().bind(&schema).unwrap();
+        let cols = bound.columns();
+        assert_eq!(cols, vec![&1usize, &0usize]);
+        // Unknown column fails with its name.
+        let bad = Expr::Column(ColumnRef::bare("nope")).bind(&schema);
+        assert!(bad.unwrap_err().to_string().contains("nope"));
+    }
+
+    #[test]
+    fn op_class_predicates() {
+        assert!(BinaryOp::Add.is_arithmetic());
+        assert!(BinaryOp::Le.is_comparison());
+        assert!(BinaryOp::And.is_logical());
+        assert!(!BinaryOp::And.is_comparison());
+    }
+}

@@ -1,0 +1,271 @@
+//! Partitioning tables into `T+`, `T?`, `T−` (§6, Appendix D).
+//!
+//! The classification drives every predicate-aware aggregate and
+//! CHOOSE_REFRESH algorithm in the paper. It is conservative in exactly the
+//! way Appendix D licenses: a tuple may land in `T?` when finer reasoning
+//! would place it in `T+` or `T−` (correlated subexpressions), which costs
+//! optimality but never correctness.
+
+use trapp_storage::{Row, Table};
+use trapp_types::{TrappError, Tri, TupleId};
+
+use crate::ast::Expr;
+use crate::eval::eval_predicate;
+
+/// Which band a tuple fell into.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Band {
+    /// `T+`: certainly satisfies the predicate.
+    Plus,
+    /// `T?`: possibly satisfies the predicate.
+    Question,
+    /// `T−`: certainly does not satisfy the predicate.
+    Minus,
+}
+
+impl Band {
+    /// Maps a three-valued predicate result to a band.
+    pub fn from_tri(t: Tri) -> Band {
+        match t {
+            Tri::True => Band::Plus,
+            Tri::Maybe => Band::Question,
+            Tri::False => Band::Minus,
+        }
+    }
+}
+
+/// The classification of a table against one predicate.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Classification {
+    /// Tuples certain to satisfy the predicate (`T+`).
+    pub plus: Vec<TupleId>,
+    /// Tuples that possibly satisfy it (`T?`).
+    pub question: Vec<TupleId>,
+    /// Tuples certain not to satisfy it (`T−`).
+    pub minus: Vec<TupleId>,
+}
+
+impl Classification {
+    /// A classification with every tuple in `T+` — what "no predicate"
+    /// means to the aggregate algorithms (§5).
+    pub fn all_plus(ids: impl IntoIterator<Item = TupleId>) -> Classification {
+        Classification {
+            plus: ids.into_iter().collect(),
+            question: Vec::new(),
+            minus: Vec::new(),
+        }
+    }
+
+    /// `|T+|`.
+    pub fn plus_count(&self) -> usize {
+        self.plus.len()
+    }
+
+    /// `|T?|`.
+    pub fn question_count(&self) -> usize {
+        self.question.len()
+    }
+
+    /// Tuples in `T+ ∪ T?` — everything the bounded aggregates look at.
+    pub fn plus_and_question(&self) -> impl Iterator<Item = TupleId> + '_ {
+        self.plus.iter().chain(self.question.iter()).copied()
+    }
+
+    /// The band of a given tuple, or `None` if it wasn't classified.
+    pub fn band_of(&self, tid: TupleId) -> Option<Band> {
+        if self.plus.contains(&tid) {
+            Some(Band::Plus)
+        } else if self.question.contains(&tid) {
+            Some(Band::Question)
+        } else if self.minus.contains(&tid) {
+            Some(Band::Minus)
+        } else {
+            None
+        }
+    }
+
+    /// Total number of classified tuples.
+    pub fn len(&self) -> usize {
+        self.plus.len() + self.question.len() + self.minus.len()
+    }
+
+    /// `true` if nothing was classified.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Classifies every tuple of `table` against `predicate`
+/// (`None` ⇒ all tuples in `T+`).
+pub fn classify_table(
+    table: &Table,
+    predicate: Option<&Expr<usize>>,
+) -> Result<Classification, TrappError> {
+    match predicate {
+        None => Ok(Classification::all_plus(table.tuple_ids())),
+        Some(pred) => classify_rows(table.scan(), pred),
+    }
+}
+
+/// Classifies an arbitrary `(TupleId, &Row)` stream against a predicate.
+pub fn classify_rows<'a>(
+    rows: impl Iterator<Item = (TupleId, &'a Row)>,
+    predicate: &Expr<usize>,
+) -> Result<Classification, TrappError> {
+    let mut out = Classification::default();
+    for (tid, row) in rows {
+        match Band::from_tri(eval_predicate(predicate, row)?) {
+            Band::Plus => out.plus.push(tid),
+            Band::Question => out.question.push(tid),
+            Band::Minus => out.minus.push(tid),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{BinaryOp, ColumnRef};
+    use trapp_storage::{ColumnDef, Schema, Table};
+    use trapp_types::{BoundedValue, Value};
+
+    /// Builds the Figure 2 fixture columns needed for classification tests:
+    /// (latency, bandwidth, traffic) bounds for tuples 1..=6.
+    fn figure2_table() -> Table {
+        let schema = Schema::new(vec![
+            ColumnDef::bounded_float("latency"),
+            ColumnDef::bounded_float("bandwidth"),
+            ColumnDef::bounded_float("traffic"),
+        ])
+        .unwrap();
+        let mut t = Table::new("links", schema);
+        type MetricBounds = ((f64, f64), (f64, f64), (f64, f64));
+        let rows: [MetricBounds; 6] = [
+            ((2.0, 4.0), (60.0, 70.0), (95.0, 105.0)),
+            ((5.0, 7.0), (45.0, 60.0), (110.0, 120.0)),
+            ((12.0, 16.0), (55.0, 70.0), (95.0, 110.0)),
+            ((9.0, 11.0), (65.0, 70.0), (120.0, 145.0)),
+            ((8.0, 11.0), (40.0, 55.0), (90.0, 110.0)),
+            ((4.0, 6.0), (45.0, 60.0), (90.0, 105.0)),
+        ];
+        for (lat, bw, tr) in rows {
+            t.insert(vec![
+                BoundedValue::bounded(lat.0, lat.1).unwrap(),
+                BoundedValue::bounded(bw.0, bw.1).unwrap(),
+                BoundedValue::bounded(tr.0, tr.1).unwrap(),
+            ])
+            .unwrap();
+        }
+        t
+    }
+
+    fn cmp(col: &str, op: BinaryOp, k: f64) -> Expr<ColumnRef> {
+        Expr::binary(
+            op,
+            Expr::Column(ColumnRef::bare(col)),
+            Expr::Literal(Value::Float(k)),
+        )
+    }
+
+    fn ids(v: &[u64]) -> Vec<TupleId> {
+        v.iter().copied().map(TupleId::new).collect()
+    }
+
+    /// Figure 7, column 1: (bandwidth > 50) AND (latency < 10), before
+    /// refresh: 1→T+, 3→T−, {2,4,5,6}→T?.
+    #[test]
+    fn figure7_conjunction_before_refresh() {
+        let t = figure2_table();
+        let pred = Expr::and(cmp("bandwidth", BinaryOp::Gt, 50.0), cmp("latency", BinaryOp::Lt, 10.0))
+            .bind(t.schema())
+            .unwrap();
+        let c = classify_table(&t, Some(&pred)).unwrap();
+        assert_eq!(c.plus, ids(&[1]));
+        assert_eq!(c.question, ids(&[2, 4, 5, 6]));
+        assert_eq!(c.minus, ids(&[3]));
+    }
+
+    /// Figure 7, column 2: latency > 10, before refresh:
+    /// 3→T+, {4,5}→T?, {1,2,6}→T−.
+    #[test]
+    fn figure7_latency_before_refresh() {
+        let t = figure2_table();
+        let pred = cmp("latency", BinaryOp::Gt, 10.0).bind(t.schema()).unwrap();
+        let c = classify_table(&t, Some(&pred)).unwrap();
+        assert_eq!(c.plus, ids(&[3]));
+        assert_eq!(c.question, ids(&[4, 5]));
+        assert_eq!(c.minus, ids(&[1, 2, 6]));
+    }
+
+    /// Figure 7, column 3: traffic > 100, before refresh:
+    /// {2,4}→T+, {1,3,5,6}→T?.
+    #[test]
+    fn figure7_traffic_before_refresh() {
+        let t = figure2_table();
+        let pred = cmp("traffic", BinaryOp::Gt, 100.0).bind(t.schema()).unwrap();
+        let c = classify_table(&t, Some(&pred)).unwrap();
+        assert_eq!(c.plus, ids(&[2, 4]));
+        assert_eq!(c.question, ids(&[1, 3, 5, 6]));
+        assert!(c.minus.is_empty());
+    }
+
+    /// Figure 7 "after refresh" columns: with exact values installed the
+    /// classification is definite (no T?).
+    #[test]
+    fn figure7_after_refresh() {
+        let mut t = figure2_table();
+        let precise: [(f64, f64, f64); 6] = [
+            (3.0, 61.0, 98.0),
+            (7.0, 53.0, 116.0),
+            (13.0, 62.0, 105.0),
+            (9.0, 68.0, 127.0),
+            (11.0, 50.0, 95.0),
+            (5.0, 45.0, 103.0),
+        ];
+        for (i, (lat, bw, tr)) in precise.iter().enumerate() {
+            let tid = TupleId::new(i as u64 + 1);
+            t.refresh_cell(tid, 0, *lat).unwrap();
+            t.refresh_cell(tid, 1, *bw).unwrap();
+            t.refresh_cell(tid, 2, *tr).unwrap();
+        }
+        // (bandwidth > 50) AND (latency < 10): after → {1,2,4} T+, rest T−.
+        let pred = Expr::and(cmp("bandwidth", BinaryOp::Gt, 50.0), cmp("latency", BinaryOp::Lt, 10.0))
+            .bind(t.schema())
+            .unwrap();
+        let c = classify_table(&t, Some(&pred)).unwrap();
+        assert_eq!(c.plus, ids(&[1, 2, 4]));
+        assert!(c.question.is_empty());
+        assert_eq!(c.minus, ids(&[3, 5, 6]));
+        // latency > 10: after → {3,5} T+.
+        let pred = cmp("latency", BinaryOp::Gt, 10.0).bind(t.schema()).unwrap();
+        let c = classify_table(&t, Some(&pred)).unwrap();
+        assert_eq!(c.plus, ids(&[3, 5]));
+        assert!(c.question.is_empty());
+        // traffic > 100: after → {2,3,4,6} T+.
+        let pred = cmp("traffic", BinaryOp::Gt, 100.0).bind(t.schema()).unwrap();
+        let c = classify_table(&t, Some(&pred)).unwrap();
+        assert_eq!(c.plus, ids(&[2, 3, 4, 6]));
+        assert_eq!(c.minus, ids(&[1, 5]));
+    }
+
+    #[test]
+    fn no_predicate_is_all_plus() {
+        let t = figure2_table();
+        let c = classify_table(&t, None).unwrap();
+        assert_eq!(c.plus_count(), 6);
+        assert_eq!(c.question_count(), 0);
+        assert_eq!(c.band_of(TupleId::new(1)), Some(Band::Plus));
+        assert_eq!(c.band_of(TupleId::new(99)), None);
+    }
+
+    #[test]
+    fn plus_and_question_iterates_both() {
+        let t = figure2_table();
+        let pred = cmp("traffic", BinaryOp::Gt, 100.0).bind(t.schema()).unwrap();
+        let c = classify_table(&t, Some(&pred)).unwrap();
+        let all: Vec<u64> = c.plus_and_question().map(|t| t.raw()).collect();
+        assert_eq!(all, vec![2, 4, 1, 3, 5, 6]);
+        assert_eq!(c.len(), 6);
+    }
+}

@@ -1,0 +1,372 @@
+//! Interval / three-valued evaluation of expressions over bounded rows.
+//!
+//! Every expression evaluates to an [`EvalResult`]:
+//!
+//! * numeric expressions produce an [`Interval`] — a *sound
+//!   over-approximation* of the set of values the expression can take for
+//!   any assignment of master values within the row's bounds (exact cells
+//!   are point intervals, so exact rows produce point results);
+//! * comparisons over numerics apply the Figure 8 range-comparison rules and
+//!   produce a [`Tri`];
+//! * comparisons over strings/booleans (always exact) produce a definite
+//!   `Tri::True`/`Tri::False`;
+//! * `AND`/`OR`/`NOT` combine `Tri`s with strong-Kleene semantics, which is
+//!   precisely the simultaneous evaluation of the paper's `Possible(P)`
+//!   (result ≠ False) and `Certain(P)` (result = True) transformations.
+//!
+//! Evaluation expects a type-correct expression (see [`crate::typecheck()`]);
+//! type errors at runtime are reported but indicate a missed static check.
+
+use trapp_storage::Row;
+use trapp_types::{Interval, TrappError, Tri, Value};
+
+use crate::ast::{BinaryOp, Expr, UnaryOp};
+
+/// The result of evaluating an expression against one row.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EvalResult {
+    /// A numeric result: the range of possible values.
+    Num(Interval),
+    /// An exact string result.
+    Str(String),
+    /// A three-valued logical result.
+    Bool(Tri),
+}
+
+impl EvalResult {
+    /// Numeric view.
+    pub fn as_interval(&self) -> Result<Interval, TrappError> {
+        match self {
+            EvalResult::Num(iv) => Ok(*iv),
+            other => Err(TrappError::TypeMismatch {
+                expected: "numeric expression".into(),
+                actual: other.kind().into(),
+            }),
+        }
+    }
+
+    /// Logical view.
+    pub fn as_tri(&self) -> Result<Tri, TrappError> {
+        match self {
+            EvalResult::Bool(t) => Ok(*t),
+            other => Err(TrappError::TypeMismatch {
+                expected: "boolean expression".into(),
+                actual: other.kind().into(),
+            }),
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            EvalResult::Num(_) => "numeric",
+            EvalResult::Str(_) => "string",
+            EvalResult::Bool(_) => "boolean",
+        }
+    }
+}
+
+/// Evaluates a bound expression against a row.
+pub fn eval(expr: &Expr<usize>, row: &Row) -> Result<EvalResult, TrappError> {
+    match expr {
+        Expr::Literal(v) => Ok(literal(v)?),
+        Expr::Column(idx) => {
+            let cell = row.cell(*idx)?;
+            match cell {
+                trapp_types::BoundedValue::Exact(v) => literal(v),
+                trapp_types::BoundedValue::Bounded(iv) => Ok(EvalResult::Num(*iv)),
+            }
+        }
+        Expr::Unary(op, x) => {
+            let xv = eval(x, row)?;
+            match op {
+                UnaryOp::Neg => Ok(EvalResult::Num(-xv.as_interval()?)),
+                UnaryOp::Not => Ok(EvalResult::Bool(!xv.as_tri()?)),
+            }
+        }
+        Expr::Binary(op, a, b) => {
+            let av = eval(a, row)?;
+            let bv = eval(b, row)?;
+            apply_binary(*op, av, bv)
+        }
+    }
+}
+
+fn literal(v: &Value) -> Result<EvalResult, TrappError> {
+    Ok(match v {
+        Value::Float(x) => EvalResult::Num(Interval::point(*x)?),
+        Value::Int(x) => EvalResult::Num(Interval::point(*x as f64)?),
+        Value::Str(s) => EvalResult::Str(s.clone()),
+        Value::Bool(b) => EvalResult::Bool(Tri::from_bool(*b)),
+    })
+}
+
+fn apply_binary(op: BinaryOp, a: EvalResult, b: EvalResult) -> Result<EvalResult, TrappError> {
+    use BinaryOp::*;
+    if op.is_arithmetic() {
+        let (x, y) = (a.as_interval()?, b.as_interval()?);
+        let r = match op {
+            Add => x + y,
+            Sub => x - y,
+            Mul => x * y,
+            Div => (x / y)?,
+            _ => unreachable!(),
+        };
+        return Ok(EvalResult::Num(r));
+    }
+    if op.is_logical() {
+        let (x, y) = (a.as_tri()?, b.as_tri()?);
+        let r = match op {
+            And => x & y,
+            Or => x | y,
+            _ => unreachable!(),
+        };
+        return Ok(EvalResult::Bool(r));
+    }
+    // Comparisons.
+    let tri = match (&a, &b) {
+        (EvalResult::Num(x), EvalResult::Num(y)) => match op {
+            Eq => x.tri_eq(*y),
+            Ne => x.tri_ne(*y),
+            Lt => x.tri_lt(*y),
+            Le => x.tri_le(*y),
+            Gt => x.tri_gt(*y),
+            Ge => x.tri_ge(*y),
+            _ => unreachable!(),
+        },
+        (EvalResult::Str(x), EvalResult::Str(y)) => {
+            let ord = x.cmp(y);
+            Tri::from_bool(match op {
+                Eq => ord.is_eq(),
+                Ne => ord.is_ne(),
+                Lt => ord.is_lt(),
+                Le => ord.is_le(),
+                Gt => ord.is_gt(),
+                Ge => ord.is_ge(),
+                _ => unreachable!(),
+            })
+        }
+        (EvalResult::Bool(x), EvalResult::Bool(y)) if matches!(op, Eq | Ne) => {
+            // Three-valued equality of truth values: certain only when both
+            // are definite.
+            let eq = match (x, y) {
+                (Tri::Maybe, _) | (_, Tri::Maybe) => Tri::Maybe,
+                (x, y) => Tri::from_bool(x == y),
+            };
+            if op == Eq {
+                eq
+            } else {
+                !eq
+            }
+        }
+        _ => {
+            return Err(TrappError::TypeMismatch {
+                expected: format!("comparable operands for {op}"),
+                actual: format!("{} vs {}", a.kind(), b.kind()),
+            })
+        }
+    };
+    Ok(EvalResult::Bool(tri))
+}
+
+/// Evaluates a predicate to a [`Tri`]: `True` ⇒ the tuple is in `T+`,
+/// `Maybe` ⇒ `T?`, `False` ⇒ `T−`.
+pub fn eval_predicate(expr: &Expr<usize>, row: &Row) -> Result<Tri, TrappError> {
+    eval(expr, row)?.as_tri()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::ColumnRef;
+    use std::sync::Arc;
+    use trapp_storage::{ColumnDef, Schema};
+    use trapp_types::{BoundedValue, ValueType};
+
+    fn schema() -> Arc<Schema> {
+        Schema::new(vec![
+            ColumnDef::bounded_float("latency"),
+            ColumnDef::bounded_float("bandwidth"),
+            ColumnDef::exact("name", ValueType::Str),
+            ColumnDef::exact("up", ValueType::Bool),
+        ])
+        .unwrap()
+    }
+
+    fn row(lat: (f64, f64), bw: (f64, f64)) -> Row {
+        Row::new(
+            &schema(),
+            vec![
+                BoundedValue::bounded(lat.0, lat.1).unwrap(),
+                BoundedValue::bounded(bw.0, bw.1).unwrap(),
+                BoundedValue::Exact(Value::Str("link-a".into())),
+                BoundedValue::Exact(Value::Bool(true)),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn parse_like(op: BinaryOp, col: &str, k: f64) -> Expr<usize> {
+        Expr::binary(
+            op,
+            Expr::Column(ColumnRef::bare(col)),
+            Expr::Literal(Value::Float(k)),
+        )
+        .bind(&schema())
+        .unwrap()
+    }
+
+    #[test]
+    fn column_and_literal_eval() {
+        let r = row((2.0, 4.0), (60.0, 70.0));
+        let e = Expr::<usize>::Literal(Value::Float(5.0));
+        assert_eq!(eval(&e, &r).unwrap(), EvalResult::Num(Interval::point(5.0).unwrap()));
+        let c = Expr::Column(ColumnRef::bare("latency")).bind(&schema()).unwrap();
+        assert_eq!(
+            eval(&c, &r).unwrap().as_interval().unwrap(),
+            Interval::new(2.0, 4.0).unwrap()
+        );
+    }
+
+    #[test]
+    fn arithmetic_over_bounds() {
+        let r = row((2.0, 4.0), (60.0, 70.0));
+        // latency + bandwidth ∈ [62, 74]
+        let e = Expr::binary(
+            BinaryOp::Add,
+            Expr::Column(ColumnRef::bare("latency")),
+            Expr::Column(ColumnRef::bare("bandwidth")),
+        )
+        .bind(&schema())
+        .unwrap();
+        assert_eq!(
+            eval(&e, &r).unwrap().as_interval().unwrap(),
+            Interval::new(62.0, 74.0).unwrap()
+        );
+        // 2 * latency ∈ [4, 8]
+        let e = Expr::binary(
+            BinaryOp::Mul,
+            Expr::Literal(Value::Float(2.0)),
+            Expr::Column(ColumnRef::bare("latency")),
+        )
+        .bind(&schema())
+        .unwrap();
+        assert_eq!(
+            eval(&e, &r).unwrap().as_interval().unwrap(),
+            Interval::new(4.0, 8.0).unwrap()
+        );
+    }
+
+    #[test]
+    fn figure7_style_predicates() {
+        // Tuple 1 of Figure 2: latency [2,4], bandwidth [60,70].
+        let r = row((2.0, 4.0), (60.0, 70.0));
+        // bandwidth > 50: certainly true.
+        assert_eq!(
+            eval_predicate(&parse_like(BinaryOp::Gt, "bandwidth", 50.0), &r).unwrap(),
+            Tri::True
+        );
+        // latency > 10: certainly false.
+        assert_eq!(
+            eval_predicate(&parse_like(BinaryOp::Gt, "latency", 10.0), &r).unwrap(),
+            Tri::False
+        );
+        // latency > 3: maybe.
+        assert_eq!(
+            eval_predicate(&parse_like(BinaryOp::Gt, "latency", 3.0), &r).unwrap(),
+            Tri::Maybe
+        );
+    }
+
+    #[test]
+    fn conjunction_combines_certainty() {
+        // Tuple 4 of Figure 2: latency [9,11], bandwidth [65,70]:
+        // (bandwidth > 50) AND (latency < 10) = True AND Maybe = Maybe.
+        let r = row((9.0, 11.0), (65.0, 70.0));
+        let e = Expr::and(
+            parse_like(BinaryOp::Gt, "bandwidth", 50.0),
+            parse_like(BinaryOp::Lt, "latency", 10.0),
+        );
+        assert_eq!(eval_predicate(&e, &r).unwrap(), Tri::Maybe);
+    }
+
+    #[test]
+    fn not_swaps_possible_and_certain() {
+        let r = row((9.0, 11.0), (65.0, 70.0));
+        let inner = parse_like(BinaryOp::Lt, "latency", 10.0); // Maybe
+        let e = Expr::unary(UnaryOp::Not, inner);
+        assert_eq!(eval_predicate(&e, &r).unwrap(), Tri::Maybe);
+        let certain = parse_like(BinaryOp::Gt, "bandwidth", 50.0); // True
+        let e = Expr::unary(UnaryOp::Not, certain);
+        assert_eq!(eval_predicate(&e, &r).unwrap(), Tri::False);
+    }
+
+    #[test]
+    fn string_and_bool_comparisons_are_definite() {
+        let r = row((1.0, 2.0), (1.0, 2.0));
+        let s = schema();
+        let name_eq = Expr::binary(
+            BinaryOp::Eq,
+            Expr::Column(ColumnRef::bare("name")),
+            Expr::Literal(Value::Str("link-a".into())),
+        )
+        .bind(&s)
+        .unwrap();
+        assert_eq!(eval_predicate(&name_eq, &r).unwrap(), Tri::True);
+        let up_eq = Expr::binary(
+            BinaryOp::Eq,
+            Expr::Column(ColumnRef::bare("up")),
+            Expr::Literal(Value::Bool(false)),
+        )
+        .bind(&s)
+        .unwrap();
+        assert_eq!(eval_predicate(&up_eq, &r).unwrap(), Tri::False);
+        let name_lt = Expr::binary(
+            BinaryOp::Lt,
+            Expr::Column(ColumnRef::bare("name")),
+            Expr::Literal(Value::Str("link-b".into())),
+        )
+        .bind(&s)
+        .unwrap();
+        assert_eq!(eval_predicate(&name_lt, &r).unwrap(), Tri::True);
+    }
+
+    #[test]
+    fn type_errors_are_reported() {
+        let r = row((1.0, 2.0), (1.0, 2.0));
+        let s = schema();
+        // name + 1 is a type error.
+        let e = Expr::binary(
+            BinaryOp::Add,
+            Expr::Column(ColumnRef::bare("name")),
+            Expr::Literal(Value::Float(1.0)),
+        )
+        .bind(&s)
+        .unwrap();
+        assert!(eval(&e, &r).is_err());
+        // name = 1 is a type error too.
+        let e = Expr::binary(
+            BinaryOp::Eq,
+            Expr::Column(ColumnRef::bare("name")),
+            Expr::Literal(Value::Float(1.0)),
+        )
+        .bind(&s)
+        .unwrap();
+        assert!(eval(&e, &r).is_err());
+    }
+
+    #[test]
+    fn division_by_zero_interval_is_error() {
+        let r = row((-1.0, 1.0), (2.0, 3.0));
+        let e = Expr::binary(
+            BinaryOp::Div,
+            Expr::Column(ColumnRef::bare("bandwidth")),
+            Expr::Column(ColumnRef::bare("latency")),
+        )
+        .bind(&schema())
+        .unwrap();
+        assert_eq!(
+            eval(&e, &r).unwrap_err(),
+            TrappError::DivisionByZeroInterval
+        );
+    }
+}

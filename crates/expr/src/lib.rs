@@ -1,0 +1,43 @@
+//! # trapp-expr
+//!
+//! Expressions over bounded data and the `Possible`/`Certain` machinery of
+//! §6 / Appendix D of the TRAPP paper.
+//!
+//! A selection predicate evaluated over *bounded* tuples cannot always be
+//! decided: a tuple whose `latency` is known only to lie in `[9, 11]` may or
+//! may not satisfy `latency > 10`. The paper partitions a table into
+//!
+//! * `T+` — tuples **certain** to satisfy the predicate,
+//! * `T?` — tuples that **possibly** satisfy it,
+//! * `T−` — tuples that certainly do not,
+//!
+//! by translating the predicate with the `Certain(·)` and `Possible(·)`
+//! transformations of Figure 8. This crate realises those transformations as
+//! strong-Kleene three-valued evaluation over interval-valued expressions:
+//!
+//! * [`ast::Expr`] — a typed expression tree (literals, column references,
+//!   arithmetic, comparisons, boolean connectives), generic over the column
+//!   representation so the same tree type serves parsed (named) and bound
+//!   (positional) forms;
+//! * [`mod@eval`] — interval/three-valued evaluation against a [`trapp_storage::Row`];
+//! * [`classify`] — whole-table partitioning into `T+ / T? / T−`;
+//! * [`refine`] — the Appendix D refinement that shrinks a `T?` tuple's
+//!   bound on the aggregation column using restrictions implied by the
+//!   predicate itself;
+//! * [`mod@typecheck`] — static validation producing clear errors before any
+//!   evaluation happens.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod ast;
+pub mod classify;
+pub mod eval;
+pub mod refine;
+pub mod typecheck;
+
+pub use ast::{BinaryOp, ColumnRef, Expr, UnaryOp};
+pub use classify::{classify_rows, classify_table, Band, Classification};
+pub use eval::{eval, EvalResult};
+pub use refine::implied_interval;
+pub use typecheck::{typecheck, ExprType};

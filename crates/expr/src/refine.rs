@@ -1,0 +1,304 @@
+//! Appendix D refinement: bounds implied by the predicate itself.
+//!
+//! When the selection predicate restricts the *aggregation column*, tuples in
+//! `T?` carry extra information: Figure 2's example aggregates `latency`
+//! under `latency > 10`, so a `T?` tuple with bound `[9, 11]` can only
+//! contribute a value in `[10, 11]` *if it contributes at all*. The paper
+//! (Appendix D, final paragraph) shrinks such bounds before they enter the
+//! answer computation or CHOOSE_REFRESH.
+//!
+//! [`implied_interval`] computes a conservative interval `S` such that every
+//! assignment satisfying the predicate puts the target column inside `S`:
+//!
+//! * comparisons where one side is *exactly* the target column and the other
+//!   is a constant contribute a half-line;
+//! * `AND` intersects, `OR` hulls, `NOT` flips comparisons via rewriting;
+//! * anything not understood contributes the full line (always sound).
+
+use trapp_types::{Interval, Value};
+
+use crate::ast::{BinaryOp, Expr, UnaryOp};
+
+/// A conservative interval containing the target column's value whenever the
+/// predicate holds. Returns [`Interval::UNBOUNDED`] when the predicate
+/// implies no usable restriction.
+///
+/// Soundness, not tightness, is the contract: callers may intersect the
+/// result with a tuple's bound; if the intersection is empty the tuple
+/// cannot satisfy the predicate at all.
+pub fn implied_interval(predicate: &Expr<usize>, target_column: usize) -> Interval {
+    implied(predicate, target_column, false)
+}
+
+/// Recursive worker; `negated` tracks an odd number of enclosing `NOT`s.
+///
+/// De Morgan requires the pending negation to distribute into the operands
+/// of AND/OR: `¬(a AND b)` implies the hull of what `¬a` and `¬b` imply,
+/// and `¬(a OR b)` the intersection.
+fn implied(expr: &Expr<usize>, col: usize, negated: bool) -> Interval {
+    match expr {
+        Expr::Unary(UnaryOp::Not, inner) => implied(inner, col, !negated),
+        Expr::Binary(BinaryOp::And, a, b) if !negated => {
+            let ia = implied(a, col, false);
+            let ib = implied(b, col, false);
+            // An empty intersection means the predicate is unsatisfiable;
+            // any interval is then vacuously sound — keep one side.
+            ia.intersect(ib).unwrap_or(ia)
+        }
+        Expr::Binary(BinaryOp::And, a, b) => {
+            // ¬(a AND b) = ¬a OR ¬b.
+            implied(a, col, true).hull(implied(b, col, true))
+        }
+        Expr::Binary(BinaryOp::Or, a, b) if !negated => {
+            implied(a, col, false).hull(implied(b, col, false))
+        }
+        Expr::Binary(BinaryOp::Or, a, b) => {
+            // ¬(a OR b) = ¬a AND ¬b.
+            let ia = implied(a, col, true);
+            let ib = implied(b, col, true);
+            ia.intersect(ib).unwrap_or(ia)
+        }
+        Expr::Binary(op, a, b) if op.is_comparison() => {
+            let op = if negated {
+                match negate_cmp(*op) {
+                    Some(o) => o,
+                    None => return Interval::UNBOUNDED,
+                }
+            } else {
+                *op
+            };
+            leaf(op, a, b, col)
+        }
+        _ => Interval::UNBOUNDED,
+    }
+}
+
+/// Negation of a comparison operator, where it stays an interval-shaped
+/// restriction. `¬(c = k)` punctures the line (no interval form) → `None`.
+fn negate_cmp(op: BinaryOp) -> Option<BinaryOp> {
+    Some(match op {
+        BinaryOp::Lt => BinaryOp::Ge,
+        BinaryOp::Le => BinaryOp::Gt,
+        BinaryOp::Gt => BinaryOp::Le,
+        BinaryOp::Ge => BinaryOp::Lt,
+        BinaryOp::Eq => return None,
+        BinaryOp::Ne => BinaryOp::Eq,
+        _ => return None,
+    })
+}
+
+/// A comparison leaf: restrict only if one side is exactly `col` and the
+/// other side is a numeric literal.
+fn leaf(op: BinaryOp, a: &Expr<usize>, b: &Expr<usize>, col: usize) -> Interval {
+    let (column_side, constant, flipped) = match (as_column(a, col), as_constant(b)) {
+        (true, Some(k)) => (true, k, false),
+        _ => match (as_constant(a), as_column(b, col)) {
+            (Some(k), true) => (true, k, true),
+            _ => (false, 0.0, false),
+        },
+    };
+    if !column_side {
+        return Interval::UNBOUNDED;
+    }
+    let op = if flipped { mirror(op) } else { op };
+    match op {
+        BinaryOp::Eq => Interval::new_unchecked(constant, constant),
+        BinaryOp::Lt | BinaryOp::Le => Interval::new_unchecked(f64::NEG_INFINITY, constant),
+        BinaryOp::Gt | BinaryOp::Ge => Interval::new_unchecked(constant, f64::INFINITY),
+        // `≠` and everything else: no restriction.
+        _ => Interval::UNBOUNDED,
+    }
+}
+
+/// `k op c` ≡ `c mirror(op) k`.
+fn mirror(op: BinaryOp) -> BinaryOp {
+    match op {
+        BinaryOp::Lt => BinaryOp::Gt,
+        BinaryOp::Le => BinaryOp::Ge,
+        BinaryOp::Gt => BinaryOp::Lt,
+        BinaryOp::Ge => BinaryOp::Le,
+        other => other,
+    }
+}
+
+fn as_column(e: &Expr<usize>, col: usize) -> bool {
+    matches!(e, Expr::Column(c) if *c == col)
+}
+
+fn as_constant(e: &Expr<usize>) -> Option<f64> {
+    match e {
+        Expr::Literal(Value::Float(v)) => Some(*v),
+        Expr::Literal(Value::Int(v)) => Some(*v as f64),
+        Expr::Unary(UnaryOp::Neg, inner) => as_constant(inner).map(|v| -v),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::ColumnRef;
+    use std::sync::Arc;
+    use trapp_storage::{ColumnDef, Schema};
+
+    fn schema() -> Arc<Schema> {
+        Schema::new(vec![
+            ColumnDef::bounded_float("latency"),
+            ColumnDef::bounded_float("traffic"),
+        ])
+        .unwrap()
+    }
+
+    fn col(name: &str) -> Expr<ColumnRef> {
+        Expr::Column(ColumnRef::bare(name))
+    }
+    fn lit(v: f64) -> Expr<ColumnRef> {
+        Expr::Literal(Value::Float(v))
+    }
+    fn bind(e: Expr<ColumnRef>) -> Expr<usize> {
+        e.bind(&schema()).unwrap()
+    }
+
+    #[test]
+    fn paper_example_latency_gt_10() {
+        // Aggregating latency under `latency > 10`: bound [9,11] can shrink
+        // to [10,11] via S = [10, ∞).
+        let pred = bind(Expr::binary(BinaryOp::Gt, col("latency"), lit(10.0)));
+        let s = implied_interval(&pred, 0);
+        assert_eq!(s.lo(), 10.0);
+        assert_eq!(s.hi(), f64::INFINITY);
+        let shrunk = Interval::new(9.0, 11.0).unwrap().intersect(s).unwrap();
+        assert_eq!(shrunk, Interval::new(10.0, 11.0).unwrap());
+    }
+
+    #[test]
+    fn unrelated_column_gives_no_restriction() {
+        // Predicate on traffic restricts nothing about latency.
+        let pred = bind(Expr::binary(BinaryOp::Gt, col("traffic"), lit(100.0)));
+        assert_eq!(implied_interval(&pred, 0), Interval::UNBOUNDED);
+    }
+
+    #[test]
+    fn conjunction_intersects() {
+        // latency > 3 AND latency <= 8 → [3, 8].
+        let pred = bind(Expr::and(
+            Expr::binary(BinaryOp::Gt, col("latency"), lit(3.0)),
+            Expr::binary(BinaryOp::Le, col("latency"), lit(8.0)),
+        ));
+        let s = implied_interval(&pred, 0);
+        assert_eq!((s.lo(), s.hi()), (3.0, 8.0));
+    }
+
+    #[test]
+    fn conjunction_with_unrelated_clause_keeps_restriction() {
+        // The paper's footnote 4: `T.a < 5 AND T.b ≠ 2` still restricts T.a.
+        let pred = bind(Expr::and(
+            Expr::binary(BinaryOp::Lt, col("latency"), lit(5.0)),
+            Expr::binary(BinaryOp::Ne, col("traffic"), lit(2.0)),
+        ));
+        let s = implied_interval(&pred, 0);
+        assert_eq!(s.hi(), 5.0);
+        assert_eq!(s.lo(), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn disjunction_hulls() {
+        // latency < 2 OR latency = 7 → (−∞, 7].
+        let pred = bind(Expr::or(
+            Expr::binary(BinaryOp::Lt, col("latency"), lit(2.0)),
+            Expr::binary(BinaryOp::Eq, col("latency"), lit(7.0)),
+        ));
+        let s = implied_interval(&pred, 0);
+        assert_eq!(s.hi(), 7.0);
+        assert_eq!(s.lo(), f64::NEG_INFINITY);
+        // Disjunction with an unrestricted branch gives no restriction.
+        let pred = bind(Expr::or(
+            Expr::binary(BinaryOp::Lt, col("latency"), lit(2.0)),
+            Expr::binary(BinaryOp::Gt, col("traffic"), lit(1.0)),
+        ));
+        assert_eq!(implied_interval(&pred, 0), Interval::UNBOUNDED);
+    }
+
+    #[test]
+    fn negation_flips_comparisons() {
+        // NOT (latency < 10) → latency ≥ 10 → [10, ∞).
+        let pred = bind(Expr::unary(
+            UnaryOp::Not,
+            Expr::binary(BinaryOp::Lt, col("latency"), lit(10.0)),
+        ));
+        let s = implied_interval(&pred, 0);
+        assert_eq!(s.lo(), 10.0);
+        // NOT (latency = 10) → no usable restriction (a punctured line).
+        let pred = bind(Expr::unary(
+            UnaryOp::Not,
+            Expr::binary(BinaryOp::Eq, col("latency"), lit(10.0)),
+        ));
+        assert_eq!(implied_interval(&pred, 0), Interval::UNBOUNDED);
+        // NOT (latency ≠ 10) → latency = 10 → point.
+        let pred = bind(Expr::unary(
+            UnaryOp::Not,
+            Expr::binary(BinaryOp::Ne, col("latency"), lit(10.0)),
+        ));
+        assert!(implied_interval(&pred, 0).is_point());
+    }
+
+    #[test]
+    fn constant_on_the_left_mirrors() {
+        // 10 < latency → latency > 10.
+        let pred = bind(Expr::binary(BinaryOp::Lt, lit(10.0), col("latency")));
+        let s = implied_interval(&pred, 0);
+        assert_eq!(s.lo(), 10.0);
+        // Negated constants parse through Unary(Neg).
+        let pred = bind(Expr::binary(
+            BinaryOp::Gt,
+            col("latency"),
+            Expr::unary(UnaryOp::Neg, lit(3.0)),
+        ));
+        assert_eq!(implied_interval(&pred, 0).lo(), -3.0);
+    }
+
+    #[test]
+    fn de_morgan_distributes_negation() {
+        // NOT (latency < 5 OR latency > 10) ≡ 5 ≤ latency ≤ 10 → [5, 10].
+        let pred = bind(Expr::unary(
+            UnaryOp::Not,
+            Expr::or(
+                Expr::binary(BinaryOp::Lt, col("latency"), lit(5.0)),
+                Expr::binary(BinaryOp::Gt, col("latency"), lit(10.0)),
+            ),
+        ));
+        let s = implied_interval(&pred, 0);
+        assert_eq!((s.lo(), s.hi()), (5.0, 10.0));
+        // NOT (latency < 5 AND traffic > 1) ≡ latency ≥ 5 OR traffic ≤ 1:
+        // the traffic branch removes any latency restriction.
+        let pred = bind(Expr::unary(
+            UnaryOp::Not,
+            Expr::and(
+                Expr::binary(BinaryOp::Lt, col("latency"), lit(5.0)),
+                Expr::binary(BinaryOp::Gt, col("traffic"), lit(1.0)),
+            ),
+        ));
+        assert_eq!(implied_interval(&pred, 0), Interval::UNBOUNDED);
+        // Double negation cancels.
+        let pred = bind(Expr::unary(
+            UnaryOp::Not,
+            Expr::unary(
+                UnaryOp::Not,
+                Expr::binary(BinaryOp::Gt, col("latency"), lit(10.0)),
+            ),
+        ));
+        assert_eq!(implied_interval(&pred, 0).lo(), 10.0);
+    }
+
+    #[test]
+    fn complex_expressions_stay_sound() {
+        // latency + 1 > 10 is not a bare column comparison: no restriction
+        // (sound, just not tight).
+        let pred = bind(Expr::binary(
+            BinaryOp::Gt,
+            Expr::binary(BinaryOp::Add, col("latency"), lit(1.0)),
+            lit(10.0),
+        ));
+        assert_eq!(implied_interval(&pred, 0), Interval::UNBOUNDED);
+    }
+}

@@ -1,0 +1,214 @@
+//! Static type checking of expressions against a schema.
+//!
+//! Catching type errors before evaluation gives query authors positionless
+//! but precise messages ("cannot compare STRING with FLOAT") and lets the
+//! evaluators assume well-typed input on the hot path.
+
+use trapp_storage::Schema;
+use trapp_types::{TrappError, Value, ValueType};
+
+use crate::ast::{BinaryOp, Expr, UnaryOp};
+
+/// The static type of an expression.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExprType {
+    /// Numeric (FLOAT or INT; both evaluate as real intervals).
+    Num,
+    /// String.
+    Str,
+    /// Boolean (three-valued at runtime).
+    Bool,
+}
+
+impl std::fmt::Display for ExprType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExprType::Num => write!(f, "numeric"),
+            ExprType::Str => write!(f, "string"),
+            ExprType::Bool => write!(f, "boolean"),
+        }
+    }
+}
+
+fn type_of_value(v: &Value) -> ExprType {
+    match v.value_type() {
+        ValueType::Float | ValueType::Int => ExprType::Num,
+        ValueType::Str => ExprType::Str,
+        ValueType::Bool => ExprType::Bool,
+    }
+}
+
+/// Infers and validates the type of a bound expression.
+pub fn typecheck(expr: &Expr<usize>, schema: &Schema) -> Result<ExprType, TrappError> {
+    match expr {
+        Expr::Literal(v) => Ok(type_of_value(v)),
+        Expr::Column(idx) => {
+            let col = schema.column_at(*idx)?;
+            Ok(match col.ty {
+                ValueType::Float | ValueType::Int => ExprType::Num,
+                ValueType::Str => ExprType::Str,
+                ValueType::Bool => ExprType::Bool,
+            })
+        }
+        Expr::Unary(UnaryOp::Neg, x) => {
+            let t = typecheck(x, schema)?;
+            if t != ExprType::Num {
+                return Err(TrappError::TypeMismatch {
+                    expected: "numeric operand for unary -".into(),
+                    actual: t.to_string(),
+                });
+            }
+            Ok(ExprType::Num)
+        }
+        Expr::Unary(UnaryOp::Not, x) => {
+            let t = typecheck(x, schema)?;
+            if t != ExprType::Bool {
+                return Err(TrappError::TypeMismatch {
+                    expected: "boolean operand for NOT".into(),
+                    actual: t.to_string(),
+                });
+            }
+            Ok(ExprType::Bool)
+        }
+        Expr::Binary(op, a, b) => {
+            let ta = typecheck(a, schema)?;
+            let tb = typecheck(b, schema)?;
+            if op.is_arithmetic() {
+                if ta != ExprType::Num || tb != ExprType::Num {
+                    return Err(TrappError::TypeMismatch {
+                        expected: format!("numeric operands for {op}"),
+                        actual: format!("{ta} {op} {tb}"),
+                    });
+                }
+                return Ok(ExprType::Num);
+            }
+            if op.is_logical() {
+                if ta != ExprType::Bool || tb != ExprType::Bool {
+                    return Err(TrappError::TypeMismatch {
+                        expected: format!("boolean operands for {op}"),
+                        actual: format!("{ta} {op} {tb}"),
+                    });
+                }
+                return Ok(ExprType::Bool);
+            }
+            // Comparison: operand types must match; booleans only support
+            // equality.
+            if ta != tb {
+                return Err(TrappError::TypeMismatch {
+                    expected: format!("matching operand types for {op}"),
+                    actual: format!("{ta} {op} {tb}"),
+                });
+            }
+            if ta == ExprType::Bool && !matches!(op, BinaryOp::Eq | BinaryOp::Ne) {
+                return Err(TrappError::TypeMismatch {
+                    expected: "boolean comparisons are limited to = and <>".into(),
+                    actual: format!("{ta} {op} {tb}"),
+                });
+            }
+            Ok(ExprType::Bool)
+        }
+    }
+}
+
+/// Validates that `expr` is usable as a WHERE predicate (boolean).
+pub fn typecheck_predicate(expr: &Expr<usize>, schema: &Schema) -> Result<(), TrappError> {
+    match typecheck(expr, schema)? {
+        ExprType::Bool => Ok(()),
+        other => Err(TrappError::Plan(format!(
+            "WHERE clause must be boolean, found {other} expression"
+        ))),
+    }
+}
+
+/// Validates that `expr` is usable as an aggregation argument (numeric).
+pub fn typecheck_aggregand(expr: &Expr<usize>, schema: &Schema) -> Result<(), TrappError> {
+    match typecheck(expr, schema)? {
+        ExprType::Num => Ok(()),
+        other => Err(TrappError::Plan(format!(
+            "aggregation argument must be numeric, found {other} expression"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::ColumnRef;
+    use std::sync::Arc;
+    use trapp_storage::{ColumnDef, Schema};
+
+    fn schema() -> Arc<Schema> {
+        Schema::new(vec![
+            ColumnDef::bounded_float("x"),
+            ColumnDef::exact("name", ValueType::Str),
+            ColumnDef::exact("up", ValueType::Bool),
+            ColumnDef::exact("n", ValueType::Int),
+        ])
+        .unwrap()
+    }
+
+    fn bind(e: Expr<ColumnRef>) -> Expr<usize> {
+        e.bind(&schema()).unwrap()
+    }
+    fn col(name: &str) -> Expr<ColumnRef> {
+        Expr::Column(ColumnRef::bare(name))
+    }
+
+    #[test]
+    fn infers_basic_types() {
+        let s = schema();
+        assert_eq!(typecheck(&bind(col("x")), &s).unwrap(), ExprType::Num);
+        assert_eq!(typecheck(&bind(col("name")), &s).unwrap(), ExprType::Str);
+        assert_eq!(typecheck(&bind(col("up")), &s).unwrap(), ExprType::Bool);
+        assert_eq!(typecheck(&bind(col("n")), &s).unwrap(), ExprType::Num);
+    }
+
+    #[test]
+    fn arithmetic_requires_numbers() {
+        let s = schema();
+        let ok = bind(Expr::binary(BinaryOp::Add, col("x"), col("n")));
+        assert_eq!(typecheck(&ok, &s).unwrap(), ExprType::Num);
+        let bad = bind(Expr::binary(BinaryOp::Add, col("x"), col("name")));
+        assert!(typecheck(&bad, &s).is_err());
+        let neg_bad = bind(Expr::unary(UnaryOp::Neg, col("up")));
+        assert!(typecheck(&neg_bad, &s).is_err());
+    }
+
+    #[test]
+    fn comparisons_require_matching_types() {
+        let s = schema();
+        let ok = bind(Expr::binary(BinaryOp::Lt, col("x"), Expr::Literal(Value::Int(3))));
+        assert_eq!(typecheck(&ok, &s).unwrap(), ExprType::Bool);
+        let bad = bind(Expr::binary(BinaryOp::Lt, col("x"), col("name")));
+        assert!(typecheck(&bad, &s).is_err());
+        // bool ordering comparison rejected
+        let bad = bind(Expr::binary(BinaryOp::Lt, col("up"), Expr::Literal(Value::Bool(true))));
+        assert!(typecheck(&bad, &s).is_err());
+        // bool equality accepted
+        let ok = bind(Expr::binary(BinaryOp::Eq, col("up"), Expr::Literal(Value::Bool(true))));
+        assert_eq!(typecheck(&ok, &s).unwrap(), ExprType::Bool);
+    }
+
+    #[test]
+    fn logical_ops_require_booleans() {
+        let s = schema();
+        let cmp = Expr::binary(BinaryOp::Gt, col("x"), Expr::Literal(Value::Float(1.0)));
+        let ok = bind(Expr::and(cmp.clone(), cmp.clone()));
+        assert_eq!(typecheck(&ok, &s).unwrap(), ExprType::Bool);
+        let bad = bind(Expr::and(cmp, col("x")));
+        assert!(typecheck(&bad, &s).is_err());
+        let not_bad = bind(Expr::unary(UnaryOp::Not, col("name")));
+        assert!(typecheck(&not_bad, &s).is_err());
+    }
+
+    #[test]
+    fn predicate_and_aggregand_validators() {
+        let s = schema();
+        let pred = bind(Expr::binary(BinaryOp::Gt, col("x"), Expr::Literal(Value::Float(1.0))));
+        typecheck_predicate(&pred, &s).unwrap();
+        assert!(typecheck_predicate(&bind(col("x")), &s).is_err());
+        typecheck_aggregand(&bind(col("x")), &s).unwrap();
+        assert!(typecheck_aggregand(&pred, &s).is_err());
+        assert!(typecheck_aggregand(&bind(col("name")), &s).is_err());
+    }
+}

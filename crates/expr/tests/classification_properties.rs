@@ -1,0 +1,157 @@
+//! Property test: classification soundness. For random predicate trees and
+//! random bounded rows,
+//!
+//! * a tuple classified `T+` satisfies the predicate under *every* sampled
+//!   realization of its bounds;
+//! * a tuple classified `T−` satisfies it under none;
+//! * (`T?` tuples may go either way — that's what `T?` means.)
+//!
+//! This is the semantic content of the Figure 8 / Appendix D translation:
+//! `Certain ⇒ always true`, `¬Possible ⇒ always false`.
+
+use proptest::prelude::*;
+use trapp_expr::{eval, Band, BinaryOp, ColumnRef, Expr, UnaryOp};
+use trapp_storage::{ColumnDef, Row, Schema};
+use trapp_types::{BoundedValue, Tri, Value};
+
+fn schema() -> std::sync::Arc<Schema> {
+    Schema::new(vec![
+        ColumnDef::bounded_float("x"),
+        ColumnDef::bounded_float("y"),
+        ColumnDef::bounded_float("z"),
+    ])
+    .unwrap()
+}
+
+fn col(name: &str) -> Expr<ColumnRef> {
+    Expr::Column(ColumnRef::bare(name))
+}
+
+/// Random numeric atoms: columns or small literals.
+fn arb_atom() -> impl Strategy<Value = Expr<ColumnRef>> {
+    prop_oneof![
+        Just(col("x")),
+        Just(col("y")),
+        Just(col("z")),
+        (-20.0f64..20.0).prop_map(|v| Expr::Literal(Value::Float(v))),
+    ]
+}
+
+fn arb_numeric() -> impl Strategy<Value = Expr<ColumnRef>> {
+    arb_atom().prop_recursive(2, 12, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), prop_oneof![
+                Just(BinaryOp::Add), Just(BinaryOp::Sub), Just(BinaryOp::Mul),
+            ])
+                .prop_map(|(a, b, op)| Expr::binary(op, a, b)),
+            inner.prop_map(|x| Expr::unary(UnaryOp::Neg, x)),
+        ]
+    })
+}
+
+fn arb_predicate() -> impl Strategy<Value = Expr<ColumnRef>> {
+    let cmp = (arb_numeric(), arb_numeric(), prop_oneof![
+        Just(BinaryOp::Lt), Just(BinaryOp::Le), Just(BinaryOp::Gt),
+        Just(BinaryOp::Ge), Just(BinaryOp::Eq), Just(BinaryOp::Ne),
+    ])
+        .prop_map(|(a, b, op)| Expr::binary(op, a, b));
+    cmp.prop_recursive(2, 12, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::and(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::or(a, b)),
+            inner.prop_map(|x| Expr::unary(UnaryOp::Not, x)),
+        ]
+    })
+}
+
+/// A row of bounds plus per-column sample fractions for realizations.
+fn arb_row() -> impl Strategy<Value = Vec<(f64, f64)>> {
+    proptest::collection::vec((-10.0f64..10.0, 0.0f64..8.0), 3)
+        .prop_map(|v| v.into_iter().map(|(lo, w)| (lo, lo + w)).collect())
+}
+
+fn bounded_row(bounds: &[(f64, f64)]) -> Row {
+    Row::new(
+        &schema(),
+        bounds
+            .iter()
+            .map(|&(lo, hi)| BoundedValue::bounded(lo, hi).unwrap())
+            .collect(),
+    )
+    .unwrap()
+}
+
+fn realized_row(bounds: &[(f64, f64)], fracs: &[f64]) -> Row {
+    Row::new(
+        &schema(),
+        bounds
+            .iter()
+            .zip(fracs)
+            .map(|(&(lo, hi), &f)| BoundedValue::exact_f64(lo + (hi - lo) * f).unwrap())
+            .collect(),
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn certain_and_impossible_are_sound(
+        pred in arb_predicate(),
+        bounds in arb_row(),
+        fracs in proptest::collection::vec(proptest::collection::vec(0.0f64..=1.0, 3), 8),
+    ) {
+        let pred = pred.bind(&schema()).unwrap();
+        let row = bounded_row(&bounds);
+        // Division or other evaluation errors mean the predicate is not
+        // classifiable — skip those trees (the planner rejects them).
+        let Ok(result) = eval(&pred, &row) else { return Ok(()); };
+        let Ok(tri) = result.as_tri() else { return Ok(()); };
+        let band = Band::from_tri(tri);
+
+        for f in &fracs {
+            let real = realized_row(&bounds, f);
+            let Ok(rv) = eval(&pred, &real) else { continue };
+            let Ok(rt) = rv.as_tri() else { continue };
+            prop_assert_ne!(rt, Tri::Maybe, "exact rows classify definitely");
+            match band {
+                Band::Plus => prop_assert_eq!(
+                    rt, Tri::True,
+                    "T+ tuple failed under realization {:?}", f
+                ),
+                Band::Minus => prop_assert_eq!(
+                    rt, Tri::False,
+                    "T− tuple passed under realization {:?}", f
+                ),
+                Band::Question => {}
+            }
+        }
+    }
+
+    /// Numeric expressions: the interval result contains the realized value
+    /// for every sampled realization (interval-arithmetic soundness at the
+    /// expression-tree level).
+    #[test]
+    fn expression_intervals_contain_realizations(
+        expr in arb_numeric(),
+        bounds in arb_row(),
+        fracs in proptest::collection::vec(proptest::collection::vec(0.0f64..=1.0, 3), 8),
+    ) {
+        let expr = expr.bind(&schema()).unwrap();
+        let row = bounded_row(&bounds);
+        let Ok(result) = eval(&expr, &row) else { return Ok(()); };
+        let Ok(iv) = result.as_interval() else { return Ok(()); };
+        for f in &fracs {
+            let real = realized_row(&bounds, f);
+            let Ok(rv) = eval(&expr, &real) else { continue };
+            let Ok(p) = rv.as_interval() else { continue };
+            let v = p.lo();
+            let slack = 1e-6 * (1.0 + v.abs() + iv.width().abs().min(1e12));
+            prop_assert!(
+                iv.lo() - slack <= v && v <= iv.hi() + slack,
+                "{v} escaped {iv} under {:?}", f
+            );
+        }
+    }
+}

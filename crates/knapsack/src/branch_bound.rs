@@ -1,0 +1,232 @@
+//! Exact branch-and-bound with the Dantzig (fractional) upper bound.
+//!
+//! Items are sorted by non-increasing density; the search tree branches on
+//! include/exclude in that order, pruning any node whose fractional
+//! relaxation cannot beat the incumbent. With real-valued weights this is
+//! the natural exact algorithm (profit/weight DP tables don't apply), and it
+//! is comfortably fast at the paper's instance sizes (n ≈ 90). A node
+//! budget keeps adversarial instances from hanging callers; on exhaustion
+//! the incumbent is returned with `optimal = false`.
+
+use crate::{finish, Instance, Solution};
+
+pub(crate) fn solve(inst: &Instance, node_budget: u64) -> Solution {
+    let cap = inst.capacity();
+    let items = inst.items();
+
+    // Zero-weight items always ride; items heavier than capacity never fit.
+    let mut free: Vec<usize> = Vec::new();
+    let mut active: Vec<usize> = Vec::new();
+    for (i, it) in items.iter().enumerate() {
+        if it.weight == 0.0 {
+            free.push(i);
+        } else if it.weight <= cap {
+            active.push(i);
+        }
+    }
+    active.sort_by(|&a, &b| {
+        let da = items[a].profit / items[a].weight;
+        let db = items[b].profit / items[b].weight;
+        db.total_cmp(&da).then(a.cmp(&b))
+    });
+
+    // Seed the incumbent with density greedy (restricted to active items).
+    let mut best_profit = 0.0;
+    let mut best_set: Vec<usize> = Vec::new();
+    {
+        let mut used = 0.0;
+        for &i in &active {
+            if used + items[i].weight <= cap {
+                used += items[i].weight;
+                best_profit += items[i].profit;
+                best_set.push(i);
+            }
+        }
+    }
+
+    let n = active.len();
+
+    // Iterative DFS over (depth, decision) with explicit state.
+    // stack entries: (depth, profit, weight, taken-bitset as Vec<bool>) would
+    // allocate heavily; instead do recursive DFS with a path vector.
+    struct Ctx<'a> {
+        items: &'a [crate::Item],
+        active: &'a [usize],
+        cap: f64,
+        best_profit: f64,
+        best_set: Vec<usize>,
+        path: Vec<usize>,
+        nodes: u64,
+        budget: u64,
+        exhausted: bool,
+    }
+
+    fn upper_bound(ctx: &Ctx<'_>, depth: usize, profit: f64, weight: f64) -> f64 {
+        // Dantzig: fill remaining capacity fractionally in density order.
+        let mut ub = profit;
+        let mut room = ctx.cap - weight;
+        for &i in &ctx.active[depth..] {
+            let it = ctx.items[i];
+            if it.weight <= room {
+                room -= it.weight;
+                ub += it.profit;
+            } else {
+                ub += it.profit * (room / it.weight);
+                break;
+            }
+        }
+        ub
+    }
+
+    fn dfs(ctx: &mut Ctx<'_>, depth: usize, profit: f64, weight: f64) {
+        ctx.nodes += 1;
+        if ctx.nodes > ctx.budget {
+            ctx.exhausted = true;
+            return;
+        }
+        if profit > ctx.best_profit {
+            ctx.best_profit = profit;
+            ctx.best_set = ctx.path.clone();
+        }
+        if depth == ctx.active.len() {
+            return;
+        }
+        if upper_bound(ctx, depth, profit, weight) <= ctx.best_profit {
+            return; // cannot improve
+        }
+        let i = ctx.active[depth];
+        let it = ctx.items[i];
+        // Include branch first (density order makes it the promising one).
+        if weight + it.weight <= ctx.cap {
+            ctx.path.push(i);
+            dfs(ctx, depth + 1, profit + it.profit, weight + it.weight);
+            ctx.path.pop();
+            if ctx.exhausted {
+                return;
+            }
+        }
+        // Exclude branch.
+        dfs(ctx, depth + 1, profit, weight);
+    }
+
+    let mut ctx = Ctx {
+        items,
+        active: &active,
+        cap,
+        best_profit,
+        best_set,
+        path: Vec::with_capacity(n),
+        nodes: 0,
+        budget: node_budget,
+        exhausted: false,
+    };
+    dfs(&mut ctx, 0, 0.0, 0.0);
+    let mut chosen = ctx.best_set;
+    chosen.extend_from_slice(&free);
+    finish(items, chosen, !ctx.exhausted)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Instance, Item};
+
+    fn inst(items: &[(f64, f64)], cap: f64) -> Instance {
+        Instance::new(
+            items.iter().map(|&(p, w)| Item::new(p, w).unwrap()).collect(),
+            cap,
+        )
+        .unwrap()
+    }
+
+    /// Brute force for cross-checking.
+    fn brute(items: &[(f64, f64)], cap: f64) -> f64 {
+        let n = items.len();
+        let mut best = 0.0f64;
+        for mask in 0u32..(1 << n) {
+            let (mut p, mut w) = (0.0, 0.0);
+            for (i, item) in items.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    p += item.0;
+                    w += item.1;
+                }
+            }
+            if w <= cap && p > best {
+                best = p;
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn matches_brute_force_on_small_instances() {
+        let cases: Vec<(Vec<(f64, f64)>, f64)> = vec![
+            (vec![(6.0, 2.0), (5.0, 3.0), (8.0, 6.0), (9.0, 7.0), (6.0, 5.0), (7.0, 9.0), (3.0, 4.0)], 9.0),
+            (vec![(2.0, 2.0), (4.0, 4.0), (6.0, 6.0), (9.0, 9.0)], 10.0),
+            (vec![(1.5, 0.5), (2.5, 1.5), (3.5, 2.5)], 3.0),
+            (vec![], 3.0),
+            (vec![(10.0, 5.0)], 4.0),
+        ];
+        for (items, cap) in cases {
+            let s = inst(&items, cap).solve_exact();
+            assert!(s.optimal);
+            let expect = brute(&items, cap);
+            assert!(
+                (s.profit - expect).abs() < 1e-9,
+                "items {items:?} cap {cap}: got {} want {expect}",
+                s.profit
+            );
+            assert!(s.weight <= cap);
+        }
+    }
+
+    /// The paper's Q2 worked example: weights W = {2, 2, 3, 2} for tuples
+    /// {1, 2, 5, 6}, profits = refresh costs {3, 6, 4, 2}, capacity R = 5.
+    /// Optimal knapsack keeps tuples 2 and 5 (indices 1 and 2).
+    #[test]
+    fn paper_q2_example() {
+        let i = inst(&[(3.0, 2.0), (6.0, 2.0), (4.0, 3.0), (2.0, 2.0)], 5.0);
+        let s = i.solve_exact();
+        assert_eq!(s.chosen, vec![1, 2]);
+        assert_eq!(s.profit, 10.0);
+        assert_eq!(s.weight, 5.0);
+        // The complement — the refresh set — is tuples 1 and 6 (indices 0, 3).
+        assert_eq!(s.complement(4), vec![0, 3]);
+    }
+
+    /// The paper's Q3 worked example: AVG traffic with R = 10 over 6 tuples
+    /// → SUM with capacity 60; weights W' = {10, 10, 15, 25, 20, 15},
+    /// profits = costs {3, 6, 6, 8, 4, 2}. Optimal keeps {1,2,3,4} (indices
+    /// 0..=3), refreshing tuples 5 and 6.
+    #[test]
+    fn paper_q3_example() {
+        let i = inst(
+            &[(3.0, 10.0), (6.0, 10.0), (6.0, 15.0), (8.0, 25.0), (4.0, 20.0), (2.0, 15.0)],
+            60.0,
+        );
+        let s = i.solve_exact();
+        assert_eq!(s.chosen, vec![0, 1, 2, 3]);
+        assert_eq!(s.complement(6), vec![4, 5]);
+    }
+
+    #[test]
+    fn zero_weight_items_included_even_at_zero_capacity() {
+        let i = inst(&[(1.0, 0.0), (5.0, 2.0)], 0.0);
+        let s = i.solve_exact();
+        assert_eq!(s.chosen, vec![0]);
+        assert_eq!(s.profit, 1.0);
+    }
+
+    #[test]
+    fn node_budget_degrades_gracefully() {
+        let items: Vec<(f64, f64)> = (0..30)
+            .map(|i| (1.0 + (i as f64 * 7.3) % 5.0, 1.0 + (i as f64 * 3.1) % 4.0))
+            .collect();
+        let i = inst(&items, 20.0);
+        let full = i.solve_exact();
+        assert!(full.optimal);
+        let tiny = i.solve_exact_with_budget(10);
+        assert!(!tiny.optimal);
+        assert!(tiny.profit <= full.profit);
+        assert!(tiny.weight <= 20.0);
+    }
+}

@@ -1,0 +1,184 @@
+//! Exact dynamic programming over integer profits.
+//!
+//! The classic `O(n · ΣP)` profit-indexed DP: `min_w[q]` is the minimum
+//! weight achieving scaled profit exactly `q`. Real-valued *weights* are fine
+//! here (they only participate in min/+), which is what makes this DP the
+//! workhorse inside the FPTAS. As a public solver it is exact when all
+//! profits are integers — true for the paper's experimental cost model
+//! (uniform integer costs 1..=10).
+
+use crate::{branch_bound, finish, Instance, Solution};
+
+/// Bit-matrix recording, per (item-layer, profit) state, whether the item
+/// was taken — needed to reconstruct the chosen set from the DP.
+pub(crate) struct TakeBits {
+    bits: Vec<u64>,
+    cols: usize,
+}
+
+impl TakeBits {
+    pub(crate) fn new(rows: usize, cols: usize) -> TakeBits {
+        let words_per_row = cols.div_ceil(64);
+        TakeBits {
+            bits: vec![0u64; rows * words_per_row],
+            cols: words_per_row,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn set(&mut self, row: usize, col: usize) {
+        let idx = row * self.cols + col / 64;
+        self.bits[idx] |= 1u64 << (col % 64);
+    }
+
+    #[inline]
+    pub(crate) fn get(&self, row: usize, col: usize) -> bool {
+        let idx = row * self.cols + col / 64;
+        self.bits[idx] & (1u64 << (col % 64)) != 0
+    }
+}
+
+/// Profit-indexed 0/1 knapsack DP over pre-scaled integer profits.
+///
+/// `scaled[i]` is item `i`'s integer profit; `weights[i]` its real weight.
+/// Returns `(min_w, take)` where `min_w[q]` is the minimal weight reaching
+/// scaled profit `q` (`f64::INFINITY` if unreachable).
+pub(crate) fn profit_dp(
+    scaled: &[u64],
+    weights: &[f64],
+    qmax: usize,
+) -> (Vec<f64>, TakeBits) {
+    let n = scaled.len();
+    let mut min_w = vec![f64::INFINITY; qmax + 1];
+    min_w[0] = 0.0;
+    let mut take = TakeBits::new(n, qmax + 1);
+    for i in 0..n {
+        let qi = scaled[i] as usize;
+        if qi == 0 {
+            // Zero-profit items never improve any state (weights ≥ 0).
+            continue;
+        }
+        let wi = weights[i];
+        // Descend so each item is used at most once.
+        for q in (qi..=qmax).rev() {
+            let cand = min_w[q - qi] + wi;
+            if cand < min_w[q] {
+                min_w[q] = cand;
+                take.set(i, q);
+            }
+        }
+    }
+    (min_w, take)
+}
+
+/// Walks the take-bits back from state `q`, returning item indices.
+pub(crate) fn reconstruct(scaled: &[u64], take: &TakeBits, mut q: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    for i in (0..scaled.len()).rev() {
+        if q == 0 {
+            break;
+        }
+        if take.get(i, q) {
+            out.push(i);
+            q -= scaled[i] as usize;
+        }
+    }
+    debug_assert_eq!(q, 0, "DP reconstruction must land at profit 0");
+    out.reverse();
+    out
+}
+
+/// Threshold above which the profit table would be unreasonably large and
+/// branch-and-bound takes over.
+const MAX_TABLE: usize = 5_000_000;
+
+/// Exact solve for integral profits; see [`Instance::solve_dp_by_profit`].
+pub(crate) fn solve_integral_profits(inst: &Instance) -> Solution {
+    let cap = inst.capacity();
+    let items = inst.items();
+
+    let mut free: Vec<usize> = Vec::new();
+    let mut active: Vec<usize> = Vec::new();
+    for (i, it) in items.iter().enumerate() {
+        if it.weight == 0.0 {
+            free.push(i);
+        } else if it.weight <= cap {
+            active.push(i);
+        }
+    }
+
+    let scaled: Vec<u64> = active.iter().map(|&i| items[i].profit as u64).collect();
+    let qmax: usize = scaled.iter().map(|&q| q as usize).sum();
+    if qmax > MAX_TABLE {
+        return branch_bound::solve(inst, 50_000_000);
+    }
+
+    let weights: Vec<f64> = active.iter().map(|&i| items[i].weight).collect();
+    let (min_w, take) = profit_dp(&scaled, &weights, qmax);
+
+    let best_q = (0..=qmax)
+        .rev()
+        .find(|&q| min_w[q] <= cap)
+        .unwrap_or(0);
+    let mut chosen: Vec<usize> = reconstruct(&scaled, &take, best_q)
+        .into_iter()
+        .map(|k| active[k])
+        .collect();
+    chosen.extend_from_slice(&free);
+    // Exactness holds when profits were integral to begin with.
+    let integral = active.iter().all(|&i| items[i].profit.fract() == 0.0);
+    finish(items, chosen, integral)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Instance, Item};
+
+    fn inst(items: &[(f64, f64)], cap: f64) -> Instance {
+        Instance::new(
+            items.iter().map(|&(p, w)| Item::new(p, w).unwrap()).collect(),
+            cap,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dp_matches_branch_and_bound_on_integer_profits() {
+        let cases: Vec<(Vec<(f64, f64)>, f64)> = vec![
+            (vec![(6.0, 2.0), (5.0, 3.0), (8.0, 6.0), (9.0, 7.0), (6.0, 5.0), (7.0, 9.0), (3.0, 4.0)], 9.0),
+            (vec![(3.0, 2.0), (6.0, 2.0), (4.0, 3.0), (2.0, 2.0)], 5.0),
+            (vec![(1.0, 0.5), (2.0, 1.5), (3.0, 2.25)], 3.0),
+            (vec![(5.0, 0.0), (7.0, 3.0)], 1.0),
+        ];
+        for (items, cap) in cases {
+            let i = inst(&items, cap);
+            let dp = i.solve_dp_by_profit();
+            let bb = i.solve_exact();
+            assert!(dp.optimal && bb.optimal);
+            assert!(
+                (dp.profit - bb.profit).abs() < 1e-9,
+                "items {items:?} cap {cap}: dp {} vs bb {}",
+                dp.profit,
+                bb.profit
+            );
+            assert!(dp.weight <= cap);
+        }
+    }
+
+    #[test]
+    fn dp_with_fractional_profits_is_flagged_inexact() {
+        let i = inst(&[(1.5, 1.0), (1.5, 1.0)], 1.0);
+        let s = i.solve_dp_by_profit();
+        assert!(!s.optimal); // floors 1.5 → 1, so exactness is not promised
+        assert!(s.weight <= 1.0);
+    }
+
+    #[test]
+    fn real_weights_are_respected_exactly() {
+        // Two items of weight 0.6 cannot both fit capacity 1.0.
+        let i = inst(&[(1.0, 0.6), (1.0, 0.6)], 1.0);
+        let s = i.solve_dp_by_profit();
+        assert_eq!(s.chosen.len(), 1);
+        assert!(s.weight <= 1.0);
+    }
+}

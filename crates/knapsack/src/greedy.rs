@@ -1,0 +1,161 @@
+//! Greedy knapsack heuristics.
+
+use crate::{finish, Instance, Solution};
+
+/// Density greedy with best-single-item fallback.
+///
+/// Items are considered in non-increasing `profit/weight` order (zero-weight
+/// items first — infinite density); each is taken if it still fits. The
+/// result is compared against the single best-fitting item, which upgrades
+/// plain greedy from arbitrarily bad to a ½-approximation — the classic
+/// argument: `greedy + first_rejected ≥ fractional-OPT ≥ OPT`, so
+/// `max(greedy, best_single) ≥ OPT/2`.
+pub fn solve_density(inst: &Instance) -> Solution {
+    let items = inst.items();
+    let cap = inst.capacity();
+    let mut order: Vec<usize> = (0..items.len())
+        .filter(|&i| items[i].weight <= cap)
+        .collect();
+    order.sort_by(|&a, &b| {
+        density(items[a].profit, items[a].weight)
+            .total_cmp(&density(items[b].profit, items[b].weight))
+            .reverse()
+            .then(a.cmp(&b))
+    });
+
+    let mut chosen = Vec::new();
+    let mut used = 0.0;
+    for &i in &order {
+        let w = items[i].weight;
+        if used + w <= cap {
+            used += w;
+            chosen.push(i);
+        }
+    }
+    let greedy = finish(items, chosen, false);
+
+    // Best single item that fits.
+    let best_single = (0..items.len())
+        .filter(|&i| items[i].weight <= cap)
+        .max_by(|&a, &b| items[a].profit.total_cmp(&items[b].profit));
+    if let Some(b) = best_single {
+        if items[b].profit > greedy.profit {
+            return finish(items, vec![b], false);
+        }
+    }
+    greedy
+}
+
+/// Weight-ascending greedy: "place objects in the knapsack in order of
+/// increasing weight until the knapsack cannot hold any more" (§5.2). With
+/// uniform profits this is *optimal*: any solution is characterized only by
+/// how many items it holds, and taking lightest-first maximizes the count.
+///
+/// We use the refinement of continuing past the first non-fit (skip and try
+/// the next), which never hurts; with uniform profits the first non-fit
+/// implies all later (heavier) items also fail, so behaviour is identical.
+pub fn solve_by_weight(inst: &Instance) -> Solution {
+    let items = inst.items();
+    let cap = inst.capacity();
+    let mut order: Vec<usize> = (0..items.len()).collect();
+    order.sort_by(|&a, &b| items[a].weight.total_cmp(&items[b].weight).then(a.cmp(&b)));
+    let mut chosen = Vec::new();
+    let mut used = 0.0;
+    for &i in &order {
+        let w = items[i].weight;
+        if used + w <= cap {
+            used += w;
+            chosen.push(i);
+        }
+    }
+    // Optimal only under uniform profits; report optimal=true only then.
+    let uniform = items
+        .windows(2)
+        .all(|w| w[0].profit == w[1].profit);
+    finish(items, chosen, uniform)
+}
+
+fn density(profit: f64, weight: f64) -> f64 {
+    if weight == 0.0 {
+        f64::INFINITY
+    } else {
+        profit / weight
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Item;
+
+    fn inst(items: &[(f64, f64)], cap: f64) -> Instance {
+        Instance::new(
+            items.iter().map(|&(p, w)| Item::new(p, w).unwrap()).collect(),
+            cap,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn density_prefers_efficient_items() {
+        // item 0: density 10, item 1: density 1. Capacity fits only one.
+        let i = inst(&[(10.0, 1.0), (10.0, 10.0)], 1.0);
+        let s = i.solve_greedy_density();
+        assert_eq!(s.chosen, vec![0]);
+        assert_eq!(s.profit, 10.0);
+    }
+
+    #[test]
+    fn single_item_fallback_beats_bad_greedy() {
+        // Greedy takes the dense small item (profit 2, weight 1) and then the
+        // big one (profit 100, weight 100) no longer fits capacity 100.
+        let i = inst(&[(2.0, 1.0), (100.0, 100.0)], 100.0);
+        let s = i.solve_greedy_density();
+        assert_eq!(s.profit, 100.0);
+        assert_eq!(s.chosen, vec![1]);
+    }
+
+    #[test]
+    fn zero_weight_items_always_ride() {
+        let i = inst(&[(5.0, 0.0), (1.0, 0.0), (3.0, 2.0)], 0.0);
+        let s = i.solve_greedy_density();
+        assert_eq!(s.chosen, vec![0, 1]);
+        assert_eq!(s.profit, 6.0);
+        assert_eq!(s.weight, 0.0);
+    }
+
+    #[test]
+    fn by_weight_takes_lightest_first() {
+        let i = inst(&[(1.0, 5.0), (1.0, 1.0), (1.0, 3.0), (1.0, 4.0)], 8.0);
+        let s = i.solve_greedy_by_weight();
+        // weights sorted: 1, 3, 4, 5 → take 1+3+4=8.
+        assert_eq!(s.chosen, vec![1, 2, 3]);
+        assert_eq!(s.weight, 8.0);
+        assert!(s.optimal); // uniform profits
+    }
+
+    #[test]
+    fn by_weight_not_marked_optimal_for_nonuniform() {
+        let i = inst(&[(1.0, 5.0), (9.0, 6.0)], 6.0);
+        let s = i.solve_greedy_by_weight();
+        assert!(!s.optimal);
+        assert_eq!(s.chosen, vec![0]); // lightest-first, not best
+    }
+
+    #[test]
+    fn never_overfills_exactly() {
+        // Weights that sum to capacity + tiny epsilon must not all fit.
+        let i = inst(&[(1.0, 0.3), (1.0, 0.3), (1.0, 0.4000000001)], 1.0);
+        let s = i.solve_greedy_by_weight();
+        assert!(s.weight <= 1.0);
+        assert_eq!(s.chosen.len(), 2);
+    }
+
+    #[test]
+    fn empty_and_zero_capacity() {
+        let i = inst(&[], 5.0);
+        assert_eq!(i.solve_greedy_density().profit, 0.0);
+        let i = inst(&[(3.0, 1.0)], 0.0);
+        assert!(i.solve_greedy_density().chosen.is_empty());
+    }
+}

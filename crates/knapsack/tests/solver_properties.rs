@@ -1,0 +1,115 @@
+//! Cross-solver property tests: every solver must (1) never overfill,
+//! (2) respect its advertised quality guarantee relative to the exact
+//! branch-and-bound optimum.
+
+use proptest::prelude::*;
+use trapp_knapsack::{Instance, Item};
+
+fn arb_instance() -> impl Strategy<Value = Instance> {
+    (
+        proptest::collection::vec((0.0f64..20.0, 0.0f64..10.0), 0..14),
+        0.0f64..30.0,
+    )
+        .prop_map(|(pairs, cap)| {
+            let items = pairs
+                .into_iter()
+                .map(|(p, w)| Item::new(p, w).unwrap())
+                .collect();
+            Instance::new(items, cap).unwrap()
+        })
+}
+
+/// Brute force over all subsets (instances are ≤ 14 items).
+fn brute_force(inst: &Instance) -> f64 {
+    let items = inst.items();
+    let n = items.len();
+    let mut best = 0.0f64;
+    for mask in 0u32..(1u32 << n) {
+        let (mut p, mut w) = (0.0, 0.0);
+        for (i, it) in items.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                p += it.profit;
+                w += it.weight;
+            }
+        }
+        if w <= inst.capacity() && p > best {
+            best = p;
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn exact_matches_brute_force(inst in arb_instance()) {
+        let opt = brute_force(&inst);
+        let s = inst.solve_exact();
+        prop_assert!(s.optimal);
+        prop_assert!((s.profit - opt).abs() < 1e-9, "bb {} vs brute {opt}", s.profit);
+        prop_assert!(s.weight <= inst.capacity());
+    }
+
+    #[test]
+    fn fptas_meets_guarantee(inst in arb_instance(), eps in 0.05f64..0.9) {
+        let opt = brute_force(&inst);
+        let s = inst.solve_fptas(eps).unwrap();
+        prop_assert!(s.weight <= inst.capacity());
+        prop_assert!(
+            s.profit >= (1.0 - eps) * opt - 1e-9,
+            "eps {eps}: {} < {}", s.profit, (1.0 - eps) * opt
+        );
+    }
+
+    #[test]
+    fn greedy_density_is_half_approximation(inst in arb_instance()) {
+        let opt = brute_force(&inst);
+        let s = inst.solve_greedy_density();
+        prop_assert!(s.weight <= inst.capacity());
+        prop_assert!(s.profit >= 0.5 * opt - 1e-9, "greedy {} vs opt {opt}", s.profit);
+    }
+
+    #[test]
+    fn by_weight_optimal_for_uniform_profits(
+        weights in proptest::collection::vec(0.0f64..10.0, 0..14),
+        cap in 0.0f64..30.0,
+    ) {
+        let items: Vec<Item> = weights.iter().map(|&w| Item::new(1.0, w).unwrap()).collect();
+        let inst = Instance::new(items, cap).unwrap();
+        let opt = brute_force(&inst);
+        let s = inst.solve_greedy_by_weight();
+        prop_assert!(s.optimal);
+        prop_assert!((s.profit - opt).abs() < 1e-9);
+        prop_assert!(s.weight <= cap);
+    }
+
+    #[test]
+    fn dp_exact_for_integer_profits(
+        pairs in proptest::collection::vec((0u8..20, 0.0f64..10.0), 0..14),
+        cap in 0.0f64..30.0,
+    ) {
+        let items: Vec<Item> = pairs
+            .iter()
+            .map(|&(p, w)| Item::new(p as f64, w).unwrap())
+            .collect();
+        let inst = Instance::new(items, cap).unwrap();
+        let opt = brute_force(&inst);
+        let s = inst.solve_dp_by_profit();
+        prop_assert!(s.optimal);
+        prop_assert!((s.profit - opt).abs() < 1e-9, "dp {} vs brute {opt}", s.profit);
+        prop_assert!(s.weight <= cap);
+    }
+
+    /// The TRAPP-critical invariant: the complement (refresh set) plus the
+    /// chosen set partitions the items.
+    #[test]
+    fn complement_partitions(inst in arb_instance()) {
+        let s = inst.solve_exact();
+        let n = inst.len();
+        let comp = s.complement(n);
+        let mut all: Vec<usize> = s.chosen.iter().copied().chain(comp).collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,95 @@
+//! The parsed query representation.
+
+use std::fmt;
+
+use trapp_expr::{ColumnRef, Expr};
+
+/// The aggregation functions of TRAPP/AG.
+///
+/// The five standard relational aggregates (§4) plus `MEDIAN`, which the
+/// paper lists as a natural extension (§8.1, citing [FMP+00]); TRAPP
+/// implements it via bounded order statistics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AggregateFunc {
+    /// `COUNT(*)` or `COUNT(expr)`.
+    Count,
+    /// `MIN(expr)`.
+    Min,
+    /// `MAX(expr)`.
+    Max,
+    /// `SUM(expr)`.
+    Sum,
+    /// `AVG(expr)`.
+    Avg,
+    /// `MEDIAN(expr)` — extension.
+    Median,
+}
+
+impl AggregateFunc {
+    /// Parses a function name (case-insensitive).
+    pub fn from_name(name: &str) -> Option<AggregateFunc> {
+        Some(match name.to_ascii_uppercase().as_str() {
+            "COUNT" => AggregateFunc::Count,
+            "MIN" => AggregateFunc::Min,
+            "MAX" => AggregateFunc::Max,
+            "SUM" => AggregateFunc::Sum,
+            "AVG" => AggregateFunc::Avg,
+            "MEDIAN" => AggregateFunc::Median,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for AggregateFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AggregateFunc::Count => "COUNT",
+            AggregateFunc::Min => "MIN",
+            AggregateFunc::Max => "MAX",
+            AggregateFunc::Sum => "SUM",
+            AggregateFunc::Avg => "AVG",
+            AggregateFunc::Median => "MEDIAN",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A parsed TRAPP/AG query.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Query {
+    /// The outermost aggregate.
+    pub agg: AggregateFunc,
+    /// The aggregation argument; `None` for `COUNT(*)`.
+    pub arg: Option<Expr<ColumnRef>>,
+    /// The precision constraint `R` (`WITHIN R`), or `None` for `R = ∞`.
+    pub within: Option<f64>,
+    /// Tables in the `FROM` clause (more than one ⇒ a join query, §7).
+    pub tables: Vec<String>,
+    /// The `WHERE` predicate, if any (selection and/or join condition).
+    pub predicate: Option<Expr<ColumnRef>>,
+    /// `GROUP BY` columns (extension; must be exact-valued columns).
+    pub group_by: Vec<ColumnRef>,
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT {}(", self.agg)?;
+        match &self.arg {
+            Some(e) => write!(f, "{e}")?,
+            None => write!(f, "*")?,
+        }
+        write!(f, ")")?;
+        if let Some(r) = self.within {
+            write!(f, " WITHIN {r}")?;
+        }
+        write!(f, " FROM {}", self.tables.join(", "))?;
+        if let Some(p) = &self.predicate {
+            write!(f, " WHERE {p}")?;
+        }
+        if !self.group_by.is_empty() {
+            let cols: Vec<String> = self.group_by.iter().map(|c| c.to_string()).collect();
+            write!(f, " GROUP BY {}", cols.join(", "))?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,39 @@
+//! # trapp-sql
+//!
+//! The TRAPP/AG query language (§4 of the paper):
+//!
+//! ```sql
+//! SELECT AGGREGATE(expr) WITHIN R
+//! FROM T [, T2]
+//! WHERE predicate
+//! [GROUP BY col, ...]
+//! ```
+//!
+//! `AGGREGATE` is one of `COUNT`, `MIN`, `MAX`, `SUM`, `AVG` (plus `MEDIAN`,
+//! implemented from the paper's §8.1 future-work list via bounded order
+//! statistics). `WITHIN R` is the **precision constraint**: the bounded
+//! answer `[L_A, H_A]` must satisfy `H_A − L_A ≤ R`. Omitting it means
+//! `R = ∞` (pure cache answer); `WITHIN 0` forces an exact answer.
+//!
+//! The implementation is a hand-written lexer ([`token`]) and recursive-
+//! descent parser ([`parser`]) producing [`ast::Query`] over
+//! [`trapp_expr::Expr`] trees. Errors carry byte offsets into the source.
+//!
+//! ```
+//! use trapp_sql::parse_query;
+//! let q = parse_query(
+//!     "SELECT AVG(latency) WITHIN 2 FROM links WHERE traffic > 100",
+//! ).unwrap();
+//! assert_eq!(q.within, Some(2.0));
+//! assert_eq!(q.tables, vec!["links".to_string()]);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod ast;
+pub mod parser;
+pub mod token;
+
+pub use ast::{AggregateFunc, Query};
+pub use parser::parse_query;

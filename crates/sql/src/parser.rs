@@ -1,0 +1,502 @@
+//! Recursive-descent parser for the TRAPP/AG dialect.
+//!
+//! Grammar (keywords case-insensitive):
+//!
+//! ```text
+//! query      := SELECT agg '(' ( '*' | expr ) ')' [WITHIN number]
+//!               FROM ident (',' ident)*
+//!               [WHERE expr]
+//!               [GROUP BY column (',' column)*]
+//! expr       := or_expr
+//! or_expr    := and_expr (OR and_expr)*
+//! and_expr   := not_expr (AND not_expr)*
+//! not_expr   := NOT not_expr | cmp_expr
+//! cmp_expr   := add_expr [cmp_op add_expr]
+//! add_expr   := mul_expr (('+'|'-') mul_expr)*
+//! mul_expr   := unary (('*'|'/') unary)*
+//! unary      := '-' unary | primary
+//! primary    := number | string | TRUE | FALSE | column | '(' expr ')'
+//! column     := ident ['.' ident]
+//! ```
+
+use trapp_expr::{BinaryOp, ColumnRef, Expr, UnaryOp};
+use trapp_types::{TrappError, Value};
+
+use crate::ast::{AggregateFunc, Query};
+use crate::token::{lex, SpannedTok, Tok};
+
+/// Parses one TRAPP/AG query.
+pub fn parse_query(src: &str) -> Result<Query, TrappError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let q = p.query()?;
+    p.expect_eof()?;
+    Ok(q)
+}
+
+struct Parser {
+    toks: Vec<SpannedTok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn offset(&self) -> usize {
+        self.toks[self.pos].offset
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, message: impl Into<String>) -> TrappError {
+        TrappError::Parse {
+            message: message.into(),
+            offset: self.offset(),
+        }
+    }
+
+    /// `true` (and consume) if the next token is the given keyword.
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if let Tok::Ident(s) = self.peek() {
+            if s.eq_ignore_ascii_case(kw) {
+                self.bump();
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), TrappError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {kw}, found {}", self.peek().describe())))
+        }
+    }
+
+    fn eat(&mut self, tok: &Tok) -> bool {
+        if self.peek() == tok {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, tok: Tok) -> Result<(), TrappError> {
+        if self.eat(&tok) {
+            Ok(())
+        } else {
+            Err(self.err(format!(
+                "expected {}, found {}",
+                tok.describe(),
+                self.peek().describe()
+            )))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<(), TrappError> {
+        if matches!(self.peek(), Tok::Eof) {
+            Ok(())
+        } else {
+            Err(self.err(format!(
+                "unexpected trailing input: {}",
+                self.peek().describe()
+            )))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, TrappError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                if is_reserved(&s) {
+                    return Err(self.err(format!(
+                        "expected {what}, found reserved word `{s}`"
+                    )));
+                }
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected {what}, found {}", other.describe()))),
+        }
+    }
+
+    fn query(&mut self) -> Result<Query, TrappError> {
+        self.expect_keyword("SELECT")?;
+
+        // Aggregate function name.
+        let agg = match self.peek().clone() {
+            Tok::Ident(name) => match AggregateFunc::from_name(&name) {
+                Some(a) => {
+                    self.bump();
+                    a
+                }
+                None => {
+                    return Err(self.err(format!(
+                        "expected an aggregate function (COUNT/MIN/MAX/SUM/AVG/MEDIAN), found `{name}`"
+                    )))
+                }
+            },
+            other => {
+                return Err(self.err(format!(
+                    "expected an aggregate function, found {}",
+                    other.describe()
+                )))
+            }
+        };
+
+        self.expect(Tok::LParen)?;
+        let arg = if matches!(self.peek(), Tok::Star) {
+            if agg != AggregateFunc::Count {
+                return Err(self.err(format!("`*` is only valid in COUNT(*), not {agg}(*)")));
+            }
+            self.bump();
+            None
+        } else {
+            Some(self.expr()?)
+        };
+        self.expect(Tok::RParen)?;
+
+        let within = if self.eat_keyword("WITHIN") {
+            let off = self.offset();
+            match self.bump() {
+                Tok::Number(r) => {
+                    if r < 0.0 {
+                        return Err(TrappError::NegativePrecision(r));
+                    }
+                    Some(r)
+                }
+                other => {
+                    return Err(TrappError::Parse {
+                        message: format!(
+                            "WITHIN expects a non-negative number, found {}",
+                            other.describe()
+                        ),
+                        offset: off,
+                    })
+                }
+            }
+        } else {
+            None
+        };
+
+        self.expect_keyword("FROM")?;
+        let mut tables = vec![self.ident("table name")?];
+        while self.eat(&Tok::Comma) {
+            tables.push(self.ident("table name")?);
+        }
+
+        let predicate = if self.eat_keyword("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+
+        let mut group_by = Vec::new();
+        if self.eat_keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            loop {
+                group_by.push(self.column_ref()?);
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+
+        Ok(Query {
+            agg,
+            arg,
+            within,
+            tables,
+            predicate,
+            group_by,
+        })
+    }
+
+    fn column_ref(&mut self) -> Result<ColumnRef, TrappError> {
+        let first = self.ident("column name")?;
+        if self.eat(&Tok::Dot) {
+            let second = self.ident("column name")?;
+            Ok(ColumnRef::qualified(first, second))
+        } else {
+            Ok(ColumnRef::bare(first))
+        }
+    }
+
+    // ---- expression precedence climbing ----
+
+    fn expr(&mut self) -> Result<Expr<ColumnRef>, TrappError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr<ColumnRef>, TrappError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_keyword("OR") {
+            let rhs = self.and_expr()?;
+            lhs = Expr::or(lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr<ColumnRef>, TrappError> {
+        let mut lhs = self.not_expr()?;
+        while self.eat_keyword("AND") {
+            let rhs = self.not_expr()?;
+            lhs = Expr::and(lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr<ColumnRef>, TrappError> {
+        if self.eat_keyword("NOT") {
+            let inner = self.not_expr()?;
+            return Ok(Expr::unary(UnaryOp::Not, inner));
+        }
+        self.cmp_expr()
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr<ColumnRef>, TrappError> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            Tok::Eq => BinaryOp::Eq,
+            Tok::Ne => BinaryOp::Ne,
+            Tok::Lt => BinaryOp::Lt,
+            Tok::Le => BinaryOp::Le,
+            Tok::Gt => BinaryOp::Gt,
+            Tok::Ge => BinaryOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.add_expr()?;
+        Ok(Expr::binary(op, lhs, rhs))
+    }
+
+    fn add_expr(&mut self) -> Result<Expr<ColumnRef>, TrappError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinaryOp::Add,
+                Tok::Minus => BinaryOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::binary(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr<ColumnRef>, TrappError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinaryOp::Mul,
+                Tok::Slash => BinaryOp::Div,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary()?;
+            lhs = Expr::binary(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr<ColumnRef>, TrappError> {
+        if self.eat(&Tok::Minus) {
+            let inner = self.unary()?;
+            // Constant-fold negation of numeric literals so `-3` is the
+            // literal −3 rather than Neg(3); folds recursively through
+            // `- -3` as the inner unary already folded.
+            if let Expr::Literal(Value::Float(v)) = inner {
+                return Ok(Expr::Literal(Value::Float(-v)));
+            }
+            return Ok(Expr::unary(UnaryOp::Neg, inner));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr<ColumnRef>, TrappError> {
+        match self.peek().clone() {
+            Tok::Number(n) => {
+                self.bump();
+                Ok(Expr::Literal(Value::Float(n)))
+            }
+            Tok::Str(s) => {
+                self.bump();
+                Ok(Expr::Literal(Value::Str(s)))
+            }
+            Tok::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::Ident(s) if s.eq_ignore_ascii_case("TRUE") => {
+                self.bump();
+                Ok(Expr::Literal(Value::Bool(true)))
+            }
+            Tok::Ident(s) if s.eq_ignore_ascii_case("FALSE") => {
+                self.bump();
+                Ok(Expr::Literal(Value::Bool(false)))
+            }
+            Tok::Ident(_) => Ok(Expr::Column(self.column_ref()?)),
+            other => Err(self.err(format!("expected an expression, found {}", other.describe()))),
+        }
+    }
+}
+
+/// Words that cannot be used as bare identifiers.
+fn is_reserved(word: &str) -> bool {
+    const RESERVED: [&str; 12] = [
+        "SELECT", "FROM", "WHERE", "WITHIN", "AND", "OR", "NOT", "GROUP", "BY", "TRUE", "FALSE",
+        "AS",
+    ];
+    RESERVED.iter().any(|r| word.eq_ignore_ascii_case(r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_query_forms() {
+        // Q1-style.
+        let q = parse_query("SELECT MIN(bandwidth) WITHIN 10 FROM links").unwrap();
+        assert_eq!(q.agg, AggregateFunc::Min);
+        assert_eq!(q.within, Some(10.0));
+        assert_eq!(q.tables, vec!["links"]);
+        assert!(q.predicate.is_none());
+
+        // Q4-style with conjunction.
+        let q = parse_query(
+            "SELECT MIN(traffic) WITHIN 10 FROM links WHERE bandwidth > 50 AND latency < 10",
+        )
+        .unwrap();
+        assert_eq!(
+            q.predicate.unwrap().to_string(),
+            "((bandwidth > 50) AND (latency < 10))"
+        );
+
+        // Q5-style COUNT.
+        let q = parse_query("SELECT COUNT(*) WITHIN 1 FROM links WHERE latency > 10").unwrap();
+        assert_eq!(q.agg, AggregateFunc::Count);
+        assert!(q.arg.is_none());
+
+        // Q6-style AVG.
+        let q =
+            parse_query("SELECT AVG(latency) WITHIN 2 FROM links WHERE traffic > 100").unwrap();
+        assert_eq!(q.agg, AggregateFunc::Avg);
+        assert_eq!(q.arg.unwrap().to_string(), "latency");
+    }
+
+    #[test]
+    fn within_is_optional_and_validated() {
+        let q = parse_query("SELECT SUM(x) FROM t").unwrap();
+        assert_eq!(q.within, None);
+        assert!(parse_query("SELECT SUM(x) WITHIN -1 FROM t").is_err());
+        assert!(parse_query("SELECT SUM(x) WITHIN abc FROM t").is_err());
+        let q = parse_query("SELECT SUM(x) WITHIN 0 FROM t").unwrap();
+        assert_eq!(q.within, Some(0.0));
+    }
+
+    #[test]
+    fn precedence_is_sql_like() {
+        let q = parse_query("SELECT SUM(x) FROM t WHERE a + b * 2 > 4 OR NOT c = 1 AND d < 2")
+            .unwrap();
+        // OR binds loosest; AND tighter; NOT applies to the comparison.
+        assert_eq!(
+            q.predicate.unwrap().to_string(),
+            "(((a + (b * 2)) > 4) OR ((NOT (c = 1)) AND (d < 2)))"
+        );
+    }
+
+    #[test]
+    fn unary_minus_and_parens() {
+        // `-2` constant-folds into the literal −2; `-(x + 1)` stays a
+        // unary negation of an expression.
+        let q = parse_query("SELECT SUM(x) FROM t WHERE -(x + 1) < -2").unwrap();
+        assert_eq!(q.predicate.unwrap().to_string(), "((-(x + 1)) < -2)");
+    }
+
+    #[test]
+    fn aggregate_over_expression() {
+        let q = parse_query("SELECT SUM(latency * 2 + 1) FROM links").unwrap();
+        assert_eq!(q.arg.unwrap().to_string(), "((latency * 2) + 1)");
+    }
+
+    #[test]
+    fn joins_and_qualified_columns() {
+        let q = parse_query(
+            "SELECT SUM(a.x) FROM a, b WHERE a.id = b.id AND b.y > 5",
+        )
+        .unwrap();
+        assert_eq!(q.tables, vec!["a", "b"]);
+        assert_eq!(
+            q.predicate.unwrap().to_string(),
+            "((a.id = b.id) AND (b.y > 5))"
+        );
+    }
+
+    #[test]
+    fn group_by_parses() {
+        let q = parse_query("SELECT AVG(x) WITHIN 1 FROM t GROUP BY region, site").unwrap();
+        assert_eq!(q.group_by.len(), 2);
+        assert_eq!(q.group_by[0].column, "region");
+        // WHERE before GROUP BY.
+        let q = parse_query("SELECT AVG(x) FROM t WHERE x > 1 GROUP BY region").unwrap();
+        assert!(q.predicate.is_some());
+        assert_eq!(q.group_by.len(), 1);
+    }
+
+    #[test]
+    fn count_star_restrictions() {
+        assert!(parse_query("SELECT MIN(*) FROM t").is_err());
+        assert!(parse_query("SELECT COUNT(x) FROM t").unwrap().arg.is_some());
+    }
+
+    #[test]
+    fn error_messages_carry_position_and_context() {
+        let e = parse_query("SELECT FOO(x) FROM t").unwrap_err();
+        assert!(e.to_string().contains("aggregate function"));
+        let e = parse_query("SELECT SUM(x) t").unwrap_err();
+        assert!(e.to_string().contains("FROM"));
+        let e = parse_query("SELECT SUM(x) FROM t WHERE").unwrap_err();
+        assert!(e.to_string().contains("expression"));
+        let e = parse_query("SELECT SUM(x) FROM t extra").unwrap_err();
+        assert!(e.to_string().contains("trailing"));
+        let e = parse_query("SELECT SUM(x) FROM select").unwrap_err();
+        assert!(e.to_string().contains("reserved"));
+    }
+
+    #[test]
+    fn booleans_and_strings_in_predicates() {
+        let q = parse_query("SELECT COUNT(*) FROM t WHERE up = TRUE AND name = 'n1'").unwrap();
+        assert_eq!(
+            q.predicate.unwrap().to_string(),
+            "((up = true) AND (name = 'n1'))"
+        );
+    }
+
+    #[test]
+    fn display_roundtrip_reparses() {
+        let cases = [
+            "SELECT MIN(bandwidth) WITHIN 10 FROM links",
+            "SELECT AVG(latency) WITHIN 2 FROM links WHERE traffic > 100",
+            "SELECT COUNT(*) FROM links WHERE latency > 10",
+            "SELECT SUM(x + 1) FROM a, b WHERE a.id = b.id GROUP BY region",
+        ];
+        for src in cases {
+            let q1 = parse_query(src).unwrap();
+            let q2 = parse_query(&q1.to_string()).unwrap();
+            assert_eq!(q1, q2, "roundtrip failed for {src}");
+        }
+    }
+}

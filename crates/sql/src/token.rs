@@ -1,0 +1,359 @@
+//! The lexer: source text → tokens with byte offsets.
+
+use trapp_types::TrappError;
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword (keywords are recognized case-insensitively by
+    /// the parser; the original spelling is preserved here).
+    Ident(String),
+    /// Numeric literal.
+    Number(f64),
+    /// Single-quoted string literal (quotes stripped, `''` unescaped).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// End of input.
+    Eof,
+}
+
+impl Tok {
+    /// Human-readable description for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            Tok::Ident(s) => format!("identifier `{s}`"),
+            Tok::Number(n) => format!("number `{n}`"),
+            Tok::Str(s) => format!("string '{s}'"),
+            Tok::LParen => "`(`".into(),
+            Tok::RParen => "`)`".into(),
+            Tok::Comma => "`,`".into(),
+            Tok::Dot => "`.`".into(),
+            Tok::Star => "`*`".into(),
+            Tok::Plus => "`+`".into(),
+            Tok::Minus => "`-`".into(),
+            Tok::Slash => "`/`".into(),
+            Tok::Eq => "`=`".into(),
+            Tok::Ne => "`<>`".into(),
+            Tok::Lt => "`<`".into(),
+            Tok::Le => "`<=`".into(),
+            Tok::Gt => "`>`".into(),
+            Tok::Ge => "`>=`".into(),
+            Tok::Eof => "end of input".into(),
+        }
+    }
+}
+
+/// A token plus the byte offset where it starts.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpannedTok {
+    /// The token.
+    pub tok: Tok,
+    /// Byte offset into the source.
+    pub offset: usize,
+}
+
+fn err(message: impl Into<String>, offset: usize) -> TrappError {
+    TrappError::Parse {
+        message: message.into(),
+        offset,
+    }
+}
+
+/// Lexes a full query string.
+pub fn lex(src: &str) -> Result<Vec<SpannedTok>, TrappError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                i += 1;
+            }
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                // SQL line comment.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                out.push(SpannedTok { tok: Tok::LParen, offset: i });
+                i += 1;
+            }
+            ')' => {
+                out.push(SpannedTok { tok: Tok::RParen, offset: i });
+                i += 1;
+            }
+            ',' => {
+                out.push(SpannedTok { tok: Tok::Comma, offset: i });
+                i += 1;
+            }
+            '.' if !bytes.get(i + 1).map(|b| b.is_ascii_digit()).unwrap_or(false) => {
+                out.push(SpannedTok { tok: Tok::Dot, offset: i });
+                i += 1;
+            }
+            '*' => {
+                out.push(SpannedTok { tok: Tok::Star, offset: i });
+                i += 1;
+            }
+            '+' => {
+                out.push(SpannedTok { tok: Tok::Plus, offset: i });
+                i += 1;
+            }
+            '-' => {
+                out.push(SpannedTok { tok: Tok::Minus, offset: i });
+                i += 1;
+            }
+            '/' => {
+                out.push(SpannedTok { tok: Tok::Slash, offset: i });
+                i += 1;
+            }
+            '=' => {
+                out.push(SpannedTok { tok: Tok::Eq, offset: i });
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(SpannedTok { tok: Tok::Ne, offset: i });
+                    i += 2;
+                } else {
+                    return Err(err("unexpected `!` (did you mean `!=`?)", i));
+                }
+            }
+            '<' => match bytes.get(i + 1) {
+                Some(b'=') => {
+                    out.push(SpannedTok { tok: Tok::Le, offset: i });
+                    i += 2;
+                }
+                Some(b'>') => {
+                    out.push(SpannedTok { tok: Tok::Ne, offset: i });
+                    i += 2;
+                }
+                _ => {
+                    out.push(SpannedTok { tok: Tok::Lt, offset: i });
+                    i += 1;
+                }
+            },
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(SpannedTok { tok: Tok::Ge, offset: i });
+                    i += 2;
+                } else {
+                    out.push(SpannedTok { tok: Tok::Gt, offset: i });
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let start = i;
+                i += 1;
+                let seg_start = i;
+                loop {
+                    match bytes.get(i) {
+                        None => return Err(err("unterminated string literal", start)),
+                        Some(b'\'') => {
+                            if bytes.get(i + 1) == Some(&b'\'') {
+                                i += 2; // escaped quote, keep scanning
+                            } else {
+                                break;
+                            }
+                        }
+                        Some(_) => i += 1,
+                    }
+                }
+                // Slice at quote boundaries (always ASCII), which keeps
+                // multi-byte UTF-8 content intact; then unescape ''.
+                let s = src[seg_start..i].replace("''", "'");
+                i += 1; // closing quote
+                out.push(SpannedTok { tok: Tok::Str(s), offset: start });
+            }
+            c if c.is_ascii_digit() || (c == '.' ) => {
+                let start = i;
+                let mut saw_dot = false;
+                let mut saw_exp = false;
+                while i < bytes.len() {
+                    let b = bytes[i] as char;
+                    if b.is_ascii_digit() {
+                        i += 1;
+                    } else if b == '.' && !saw_dot && !saw_exp {
+                        saw_dot = true;
+                        i += 1;
+                    } else if (b == 'e' || b == 'E')
+                        && !saw_exp
+                        && i > start
+                        && bytes
+                            .get(i + 1)
+                            .map(|&n| n.is_ascii_digit() || n == b'-' || n == b'+')
+                            .unwrap_or(false)
+                    {
+                        saw_exp = true;
+                        i += 1;
+                        if bytes[i] == b'-' || bytes[i] == b'+' {
+                            i += 1;
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                let text = &src[start..i];
+                let n: f64 = text
+                    .parse()
+                    .map_err(|_| err(format!("invalid number `{text}`"), start))?;
+                out.push(SpannedTok { tok: Tok::Number(n), offset: start });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let b = bytes[i] as char;
+                    if b.is_ascii_alphanumeric() || b == '_' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.push(SpannedTok {
+                    tok: Tok::Ident(src[start..i].to_owned()),
+                    offset: start,
+                });
+            }
+            other => return Err(err(format!("unexpected character `{other}`"), i)),
+        }
+    }
+    out.push(SpannedTok { tok: Tok::Eof, offset: src.len() });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn lexes_a_full_query() {
+        let t = toks("SELECT MIN(bandwidth) WITHIN 10 FROM links WHERE x >= 1.5");
+        assert_eq!(
+            t,
+            vec![
+                Tok::Ident("SELECT".into()),
+                Tok::Ident("MIN".into()),
+                Tok::LParen,
+                Tok::Ident("bandwidth".into()),
+                Tok::RParen,
+                Tok::Ident("WITHIN".into()),
+                Tok::Number(10.0),
+                Tok::Ident("FROM".into()),
+                Tok::Ident("links".into()),
+                Tok::Ident("WHERE".into()),
+                Tok::Ident("x".into()),
+                Tok::Ge,
+                Tok::Number(1.5),
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_operators() {
+        assert_eq!(
+            toks("< <= > >= = <> != + - * / ( ) , ."),
+            vec![
+                Tok::Lt,
+                Tok::Le,
+                Tok::Gt,
+                Tok::Ge,
+                Tok::Eq,
+                Tok::Ne,
+                Tok::Ne,
+                Tok::Plus,
+                Tok::Minus,
+                Tok::Star,
+                Tok::Slash,
+                Tok::LParen,
+                Tok::RParen,
+                Tok::Comma,
+                Tok::Dot,
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(toks("1 2.5 .75 1e3 2.5e-2"), vec![
+            Tok::Number(1.0),
+            Tok::Number(2.5),
+            Tok::Number(0.75),
+            Tok::Number(1000.0),
+            Tok::Number(0.025),
+            Tok::Eof,
+        ]);
+    }
+
+    #[test]
+    fn lexes_strings_with_escapes() {
+        assert_eq!(
+            toks("'hello' 'it''s'"),
+            vec![Tok::Str("hello".into()), Tok::Str("it's".into()), Tok::Eof]
+        );
+        assert!(lex("'unterminated").is_err());
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("SELECT -- the aggregate\n1"),
+            vec![Tok::Ident("SELECT".into()), Tok::Number(1.0), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn qualified_names_produce_dot() {
+        assert_eq!(
+            toks("links.latency"),
+            vec![
+                Tok::Ident("links".into()),
+                Tok::Dot,
+                Tok::Ident("latency".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn error_positions_are_byte_offsets() {
+        let e = lex("ok $").unwrap_err();
+        match e {
+            TrappError::Parse { offset, .. } => assert_eq!(offset, 3),
+            other => panic!("unexpected error {other}"),
+        }
+    }
+}

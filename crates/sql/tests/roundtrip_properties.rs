@@ -1,0 +1,142 @@
+//! Property test: pretty-printing a parsed query and re-parsing it yields
+//! the same AST (display/parse are mutually consistent), over randomly
+//! generated query structures.
+
+use proptest::prelude::*;
+use trapp_expr::{BinaryOp, ColumnRef, Expr, UnaryOp};
+use trapp_sql::{parse_query, AggregateFunc, Query};
+use trapp_types::Value;
+
+fn arb_agg() -> impl Strategy<Value = AggregateFunc> {
+    prop_oneof![
+        Just(AggregateFunc::Count),
+        Just(AggregateFunc::Min),
+        Just(AggregateFunc::Max),
+        Just(AggregateFunc::Sum),
+        Just(AggregateFunc::Avg),
+        Just(AggregateFunc::Median),
+    ]
+}
+
+fn arb_ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,8}".prop_filter("not reserved", |s| {
+        !["select", "from", "where", "within", "and", "or", "not", "group", "by", "true",
+          "false", "as"]
+            .contains(&s.as_str())
+    })
+}
+
+fn arb_column() -> impl Strategy<Value = ColumnRef> {
+    (arb_ident(), proptest::option::of(arb_ident())).prop_map(|(c, t)| ColumnRef {
+        table: t,
+        column: c,
+    })
+}
+
+/// Numeric literals restricted to values that roundtrip through Display
+/// (finite, reasonably sized).
+fn arb_number() -> impl Strategy<Value = f64> {
+    (-1e6f64..1e6).prop_map(|v| (v * 100.0).round() / 100.0)
+}
+
+fn arb_num_expr() -> impl Strategy<Value = Expr<ColumnRef>> {
+    let leaf = prop_oneof![
+        arb_number().prop_map(|v| Expr::Literal(Value::Float(v))),
+        arb_column().prop_map(Expr::Column),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), prop_oneof![
+                Just(BinaryOp::Add), Just(BinaryOp::Sub),
+                Just(BinaryOp::Mul), Just(BinaryOp::Div),
+            ])
+                .prop_map(|(a, b, op)| Expr::binary(op, a, b)),
+            inner.prop_map(|x| Expr::unary(UnaryOp::Neg, x)),
+        ]
+    })
+}
+
+fn arb_predicate() -> impl Strategy<Value = Expr<ColumnRef>> {
+    let cmp = (arb_num_expr(), arb_num_expr(), prop_oneof![
+        Just(BinaryOp::Eq), Just(BinaryOp::Ne), Just(BinaryOp::Lt),
+        Just(BinaryOp::Le), Just(BinaryOp::Gt), Just(BinaryOp::Ge),
+    ])
+        .prop_map(|(a, b, op)| Expr::binary(op, a, b));
+    cmp.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::and(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::or(a, b)),
+            inner.prop_map(|x| Expr::unary(UnaryOp::Not, x)),
+        ]
+    })
+}
+
+fn arb_query() -> impl Strategy<Value = Query> {
+    (
+        arb_agg(),
+        proptest::option::of(arb_num_expr()),
+        proptest::option::of(0.0f64..1e4),
+        proptest::collection::vec(arb_ident(), 1..=2),
+        proptest::option::of(arb_predicate()),
+        proptest::collection::vec(arb_column(), 0..=2),
+    )
+        .prop_map(|(agg, arg, within, mut tables, predicate, group_by)| {
+            tables.dedup();
+            // COUNT may drop its argument (COUNT(*)); others need one.
+            let arg = if agg == AggregateFunc::Count {
+                arg
+            } else {
+                Some(arg.unwrap_or(Expr::Column(ColumnRef::bare("x"))))
+            };
+            let within = within.map(|w| (w * 100.0).round() / 100.0);
+            Query {
+                agg,
+                arg,
+                within,
+                tables,
+                predicate,
+                group_by,
+            }
+        })
+}
+
+/// The parser constant-folds `-literal`; normalize generated trees the same
+/// way so structural comparison is meaningful.
+fn normalize(e: &Expr<ColumnRef>) -> Expr<ColumnRef> {
+    match e {
+        Expr::Unary(UnaryOp::Neg, x) => {
+            let x = normalize(x);
+            if let Expr::Literal(Value::Float(v)) = x {
+                Expr::Literal(Value::Float(-v))
+            } else {
+                Expr::unary(UnaryOp::Neg, x)
+            }
+        }
+        Expr::Unary(op, x) => Expr::unary(*op, normalize(x)),
+        Expr::Binary(op, a, b) => Expr::binary(*op, normalize(a), normalize(b)),
+        other => other.clone(),
+    }
+}
+
+fn normalize_query(q: &Query) -> Query {
+    Query {
+        arg: q.arg.as_ref().map(normalize),
+        predicate: q.predicate.as_ref().map(normalize),
+        ..q.clone()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn display_parse_roundtrip(q in arb_query()) {
+        let q = normalize_query(&q);
+        let rendered = q.to_string();
+        let reparsed = parse_query(&rendered)
+            .unwrap_or_else(|e| panic!("failed to reparse `{rendered}`: {e}"));
+        prop_assert_eq!(&q, &reparsed, "source: {}", rendered);
+        // And a second roundtrip is a fixed point.
+        prop_assert_eq!(rendered.clone(), reparsed.to_string());
+    }
+}

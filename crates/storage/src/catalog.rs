@@ -1,0 +1,108 @@
+//! The catalog: name → table binding for query processing.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use trapp_types::TrappError;
+
+use crate::table::Table;
+
+/// All tables visible to one cache's query processor.
+#[derive(Default)]
+pub struct Catalog {
+    tables: BTreeMap<String, Table>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Registers a table under its own name. Errors on duplicates.
+    pub fn add_table(&mut self, table: Table) -> Result<(), TrappError> {
+        let name = table.name().to_owned();
+        if self.tables.contains_key(&name) {
+            return Err(TrappError::DuplicateTable(name));
+        }
+        self.tables.insert(name, table);
+        Ok(())
+    }
+
+    /// Removes and returns a table.
+    pub fn remove_table(&mut self, name: &str) -> Result<Table, TrappError> {
+        self.tables
+            .remove(name)
+            .ok_or_else(|| TrappError::UnknownTable(name.to_owned()))
+    }
+
+    /// Immutable access to a table.
+    pub fn table(&self, name: &str) -> Result<&Table, TrappError> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| TrappError::UnknownTable(name.to_owned()))
+    }
+
+    /// Mutable access to a table (refreshes land through here).
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table, TrappError> {
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| TrappError::UnknownTable(name.to_owned()))
+    }
+
+    /// Table names in sorted order.
+    pub fn table_names(&self) -> impl Iterator<Item = &str> + '_ {
+        self.tables.keys().map(|s| s.as_str())
+    }
+
+    /// Number of registered tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// `true` if no tables are registered.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+impl fmt::Debug for Catalog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Catalog")
+            .field("tables", &self.tables.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnDef, Schema};
+    use trapp_types::ValueType;
+
+    fn mk(name: &str) -> Table {
+        let schema = Schema::new(vec![ColumnDef::exact("a", ValueType::Int)]).unwrap();
+        Table::new(name, schema)
+    }
+
+    #[test]
+    fn add_lookup_remove() {
+        let mut c = Catalog::new();
+        c.add_table(mk("links")).unwrap();
+        assert!(c.table("links").is_ok());
+        assert!(c.table("nodes").is_err());
+        assert!(c.add_table(mk("links")).is_err());
+        assert_eq!(c.table_names().collect::<Vec<_>>(), vec!["links"]);
+        let t = c.remove_table("links").unwrap();
+        assert_eq!(t.name(), "links");
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn mutable_access() {
+        let mut c = Catalog::new();
+        c.add_table(mk("t")).unwrap();
+        let t = c.table_mut("t").unwrap();
+        assert_eq!(t.len(), 0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Rows: one tuple of exact/bounded cells.
+
+use std::fmt;
+use std::sync::Arc;
+
+use trapp_types::{BoundedValue, Interval, TrappError, Value};
+
+use crate::schema::Schema;
+
+/// One tuple. Cell order matches the table [`Schema`].
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Row {
+    cells: Vec<BoundedValue>,
+}
+
+impl Row {
+    /// Builds a row after validating every cell against the schema.
+    pub fn new(schema: &Arc<Schema>, cells: Vec<BoundedValue>) -> Result<Row, TrappError> {
+        if cells.len() != schema.arity() {
+            return Err(TrappError::SchemaViolation(format!(
+                "row arity {} does not match schema arity {}",
+                cells.len(),
+                schema.arity()
+            )));
+        }
+        for (i, cell) in cells.iter().enumerate() {
+            schema.validate_cell(i, cell)?;
+        }
+        Ok(Row { cells })
+    }
+
+    /// Builds a row without validation.
+    ///
+    /// Used by operators that construct intermediate rows already known to
+    /// be schema-consistent (e.g. join concatenation in `trapp-core`).
+    pub fn from_cells_unchecked(cells: Vec<BoundedValue>) -> Row {
+        Row { cells }
+    }
+
+    /// The cells in schema order.
+    pub fn cells(&self) -> &[BoundedValue] {
+        &self.cells
+    }
+
+    /// The cell at position `idx`.
+    pub fn cell(&self, idx: usize) -> Result<&BoundedValue, TrappError> {
+        self.cells.get(idx).ok_or_else(|| {
+            TrappError::SchemaViolation(format!("cell index {idx} out of range"))
+        })
+    }
+
+    /// Numeric range view of the cell at `idx` (exact numerics become point
+    /// intervals).
+    pub fn interval(&self, idx: usize) -> Result<Interval, TrappError> {
+        self.cell(idx)?.as_interval()
+    }
+
+    /// Exact view of the cell at `idx`.
+    pub fn exact(&self, idx: usize) -> Result<Value, TrappError> {
+        self.cell(idx)?.as_exact()
+    }
+
+    /// Replaces the cell at `idx` (validation is the table's job; this is
+    /// crate-internal).
+    pub(crate) fn set_cell(&mut self, idx: usize, cell: BoundedValue) {
+        self.cells[idx] = cell;
+    }
+
+    /// Total uncertainty in the row: sum of cell widths. Handy for
+    /// diagnostics and workload statistics.
+    pub fn total_width(&self) -> f64 {
+        self.cells.iter().map(|c| c.width()).sum()
+    }
+}
+
+impl fmt::Display for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.cells.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnDef;
+    use trapp_types::ValueType;
+
+    fn schema() -> Arc<Schema> {
+        Schema::new(vec![
+            ColumnDef::exact("id", ValueType::Int),
+            ColumnDef::bounded_float("x"),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn build_and_access() {
+        let s = schema();
+        let r = Row::new(
+            &s,
+            vec![
+                BoundedValue::Exact(Value::Int(7)),
+                BoundedValue::bounded(1.0, 3.0).unwrap(),
+            ],
+        )
+        .unwrap();
+        assert_eq!(r.exact(0).unwrap(), Value::Int(7));
+        assert_eq!(r.interval(1).unwrap().width(), 2.0);
+        assert_eq!(r.total_width(), 2.0);
+        assert!(r.cell(2).is_err());
+        assert_eq!(r.to_string(), "(7, [1, 3])");
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let s = schema();
+        assert!(Row::new(&s, vec![BoundedValue::Exact(Value::Int(7))]).is_err());
+    }
+
+    #[test]
+    fn cell_type_mismatch_rejected() {
+        let s = schema();
+        let bad = Row::new(
+            &s,
+            vec![
+                BoundedValue::bounded(0.0, 1.0).unwrap(), // bound into exact col
+                BoundedValue::exact_f64(1.0).unwrap(),
+            ],
+        );
+        assert!(bad.is_err());
+    }
+}

@@ -1,0 +1,236 @@
+//! Table schemas: typed columns with boundedness flags.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use trapp_types::{BoundedValue, TrappError, ValueType};
+
+/// Definition of one column.
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ColumnDef {
+    /// Column name (unique within a schema, case-sensitive).
+    pub name: String,
+    /// Declared type.
+    pub ty: ValueType,
+    /// Whether cells of this column may hold bounds instead of exact values.
+    /// Only `FLOAT` columns may be bounded.
+    pub bounded: bool,
+}
+
+impl ColumnDef {
+    /// An exact column.
+    pub fn exact(name: impl Into<String>, ty: ValueType) -> ColumnDef {
+        ColumnDef {
+            name: name.into(),
+            ty,
+            bounded: false,
+        }
+    }
+
+    /// A bounded (replicated) real-valued column.
+    pub fn bounded_float(name: impl Into<String>) -> ColumnDef {
+        ColumnDef {
+            name: name.into(),
+            ty: ValueType::Float,
+            bounded: true,
+        }
+    }
+}
+
+impl fmt::Display for ColumnDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.name, self.ty)?;
+        if self.bounded {
+            write!(f, " BOUNDED")?;
+        }
+        Ok(())
+    }
+}
+
+/// An ordered list of columns with fast name lookup.
+///
+/// Schemas are immutable once built and shared via `Arc` by tables,
+/// snapshots, and plans.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Schema {
+    columns: Vec<ColumnDef>,
+    by_name: HashMap<String, usize>,
+}
+
+impl Schema {
+    /// Builds a schema, validating uniqueness of names and that only FLOAT
+    /// columns are flagged bounded.
+    pub fn new(columns: Vec<ColumnDef>) -> Result<Arc<Schema>, TrappError> {
+        let mut by_name = HashMap::with_capacity(columns.len());
+        for (i, c) in columns.iter().enumerate() {
+            if c.name.is_empty() {
+                return Err(TrappError::SchemaViolation(
+                    "column names must be non-empty".into(),
+                ));
+            }
+            if c.bounded && c.ty != ValueType::Float {
+                return Err(TrappError::SchemaViolation(format!(
+                    "column {} is {} but only FLOAT columns may be bounded",
+                    c.name, c.ty
+                )));
+            }
+            if by_name.insert(c.name.clone(), i).is_some() {
+                return Err(TrappError::SchemaViolation(format!(
+                    "duplicate column name: {}",
+                    c.name
+                )));
+            }
+        }
+        Ok(Arc::new(Schema { columns, by_name }))
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The columns in declaration order.
+    pub fn columns(&self) -> &[ColumnDef] {
+        &self.columns
+    }
+
+    /// Index of the named column.
+    pub fn column_index(&self, name: &str) -> Result<usize, TrappError> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| TrappError::UnknownColumn(name.to_owned()))
+    }
+
+    /// Definition of the named column.
+    pub fn column(&self, name: &str) -> Result<&ColumnDef, TrappError> {
+        Ok(&self.columns[self.column_index(name)?])
+    }
+
+    /// Definition by position.
+    pub fn column_at(&self, idx: usize) -> Result<&ColumnDef, TrappError> {
+        self.columns.get(idx).ok_or_else(|| {
+            TrappError::SchemaViolation(format!(
+                "column index {idx} out of range (arity {})",
+                self.columns.len()
+            ))
+        })
+    }
+
+    /// Validates that a cell value is acceptable for the column at `idx`:
+    /// the type matches, and bounds only appear in bounded columns.
+    pub fn validate_cell(&self, idx: usize, cell: &BoundedValue) -> Result<(), TrappError> {
+        let col = self.column_at(idx)?;
+        match cell {
+            BoundedValue::Exact(v) => {
+                let vt = v.value_type();
+                let compatible = vt == col.ty
+                    || (col.ty == ValueType::Float && vt == ValueType::Int);
+                if !compatible {
+                    return Err(TrappError::SchemaViolation(format!(
+                        "column {} expects {}, got {}",
+                        col.name, col.ty, vt
+                    )));
+                }
+            }
+            BoundedValue::Bounded(_) => {
+                if !col.bounded {
+                    return Err(TrappError::SchemaViolation(format!(
+                        "column {} is exact but received a bound",
+                        col.name
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trapp_types::Value;
+
+    fn sample() -> Arc<Schema> {
+        Schema::new(vec![
+            ColumnDef::exact("from_node", ValueType::Int),
+            ColumnDef::exact("to_node", ValueType::Int),
+            ColumnDef::bounded_float("latency"),
+            ColumnDef::bounded_float("bandwidth"),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn lookup_by_name_and_index() {
+        let s = sample();
+        assert_eq!(s.arity(), 4);
+        assert_eq!(s.column_index("latency").unwrap(), 2);
+        assert!(s.column_index("nope").is_err());
+        assert_eq!(s.column_at(3).unwrap().name, "bandwidth");
+        assert!(s.column_at(4).is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_names() {
+        let err = Schema::new(vec![
+            ColumnDef::exact("a", ValueType::Int),
+            ColumnDef::exact("a", ValueType::Float),
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("duplicate"));
+    }
+
+    #[test]
+    fn rejects_bounded_non_float() {
+        let err = Schema::new(vec![ColumnDef {
+            name: "s".into(),
+            ty: ValueType::Str,
+            bounded: true,
+        }])
+        .unwrap_err();
+        assert!(err.to_string().contains("FLOAT"));
+    }
+
+    #[test]
+    fn cell_validation() {
+        let s = sample();
+        // exact int into int column: ok
+        s.validate_cell(0, &BoundedValue::Exact(Value::Int(1))).unwrap();
+        // int into float column: coercible, ok
+        s.validate_cell(2, &BoundedValue::Exact(Value::Int(1))).unwrap();
+        // bound into bounded column: ok
+        s.validate_cell(2, &BoundedValue::bounded(1.0, 2.0).unwrap())
+            .unwrap();
+        // bound into exact column: violation
+        assert!(s
+            .validate_cell(0, &BoundedValue::bounded(1.0, 2.0).unwrap())
+            .is_err());
+        // string into int column: violation
+        assert!(s
+            .validate_cell(0, &BoundedValue::Exact(Value::Str("x".into())))
+            .is_err());
+    }
+
+    #[test]
+    fn display_roundtrips_column_flags() {
+        let s = sample();
+        let txt = s.to_string();
+        assert!(txt.contains("latency FLOAT BOUNDED"));
+        assert!(txt.contains("from_node INT"));
+    }
+}

@@ -1,0 +1,457 @@
+//! Tables: tuple storage with refresh costs and maintained indexes.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::sync::Arc;
+
+use trapp_types::{BoundedValue, Interval, OrderedF64, TrappError, TupleId, Value};
+
+use crate::index::{IndexKey, OrderedIndex};
+use crate::row::Row;
+use crate::schema::Schema;
+
+/// The cached image of one relation, as seen by a TRAPP data cache.
+///
+/// Beyond plain tuple storage, a `Table` tracks the two pieces of per-tuple
+/// metadata TRAPP/AG needs (§3, §4):
+///
+/// * a **refresh cost** `Cᵢ ≥ 0` — the known cost of asking the source for
+///   the current master value of the tuple;
+/// * maintained **ordered indexes** on bound endpoints, widths, and costs,
+///   which the CHOOSE_REFRESH algorithms probe for their sub-linear paths.
+///
+/// Mutations keep all registered indexes consistent.
+pub struct Table {
+    name: String,
+    schema: Arc<Schema>,
+    rows: BTreeMap<TupleId, Row>,
+    costs: BTreeMap<TupleId, f64>,
+    next_id: u64,
+    indexes: HashMap<IndexKey, OrderedIndex>,
+    default_cost: f64,
+    pending_inserts: u64,
+    pending_deletes: u64,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(name: impl Into<String>, schema: Arc<Schema>) -> Table {
+        Table {
+            name: name.into(),
+            schema,
+            rows: BTreeMap::new(),
+            costs: BTreeMap::new(),
+            next_id: 1,
+            indexes: HashMap::new(),
+            default_cost: 1.0,
+            pending_inserts: 0,
+            pending_deletes: 0,
+        }
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Number of tuples. With eager insert/delete propagation (§3) this is
+    /// exactly the master cardinality, which is why `COUNT` without a
+    /// predicate needs no refreshes (§5.3).
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if the table has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Sets the refresh cost assigned to tuples inserted without an explicit
+    /// cost.
+    pub fn set_default_cost(&mut self, cost: f64) -> Result<(), TrappError> {
+        validate_cost(cost)?;
+        self.default_cost = cost;
+        Ok(())
+    }
+
+    /// Inserts a row with the default refresh cost; returns its id.
+    pub fn insert(&mut self, cells: Vec<BoundedValue>) -> Result<TupleId, TrappError> {
+        let cost = self.default_cost;
+        self.insert_with_cost(cells, cost)
+    }
+
+    /// Inserts a row with an explicit refresh cost; returns its id.
+    pub fn insert_with_cost(
+        &mut self,
+        cells: Vec<BoundedValue>,
+        cost: f64,
+    ) -> Result<TupleId, TrappError> {
+        validate_cost(cost)?;
+        let row = Row::new(&self.schema, cells)?;
+        let tid = TupleId::new(self.next_id);
+        self.next_id += 1;
+        self.index_row(tid, &row, cost);
+        self.rows.insert(tid, row);
+        self.costs.insert(tid, cost);
+        Ok(tid)
+    }
+
+    /// Deletes a tuple.
+    pub fn delete(&mut self, tid: TupleId) -> Result<(), TrappError> {
+        let row = self
+            .rows
+            .remove(&tid)
+            .ok_or(TrappError::UnknownTuple(tid.raw()))?;
+        let cost = self.costs.remove(&tid).unwrap_or(self.default_cost);
+        self.unindex_row(tid, &row, cost);
+        Ok(())
+    }
+
+    /// The row for `tid`.
+    pub fn row(&self, tid: TupleId) -> Result<&Row, TrappError> {
+        self.rows.get(&tid).ok_or(TrappError::UnknownTuple(tid.raw()))
+    }
+
+    /// The refresh cost `Cᵢ` for `tid`.
+    pub fn cost(&self, tid: TupleId) -> Result<f64, TrappError> {
+        self.costs
+            .get(&tid)
+            .copied()
+            .ok_or(TrappError::UnknownTuple(tid.raw()))
+    }
+
+    /// Updates the refresh cost for `tid`.
+    pub fn set_cost(&mut self, tid: TupleId, cost: f64) -> Result<(), TrappError> {
+        validate_cost(cost)?;
+        let old = self
+            .costs
+            .get_mut(&tid)
+            .ok_or(TrappError::UnknownTuple(tid.raw()))?;
+        let prev = *old;
+        *old = cost;
+        if let Some(ix) = self.indexes.get_mut(&IndexKey::Cost) {
+            ix.remove(OrderedF64::new_unchecked(prev), tid);
+            ix.insert(OrderedF64::new_unchecked(cost), tid);
+        }
+        Ok(())
+    }
+
+    /// Iterates over `(TupleId, &Row)` in id order.
+    pub fn scan(&self) -> impl Iterator<Item = (TupleId, &Row)> + '_ {
+        self.rows.iter().map(|(t, r)| (*t, r))
+    }
+
+    /// All tuple ids in id order.
+    pub fn tuple_ids(&self) -> impl Iterator<Item = TupleId> + '_ {
+        self.rows.keys().copied()
+    }
+
+    /// Numeric range view of one cell.
+    pub fn interval(&self, tid: TupleId, column: usize) -> Result<Interval, TrappError> {
+        self.row(tid)?.interval(column)
+    }
+
+    /// Replaces one cell, revalidating against the schema and maintaining
+    /// indexes. This is how a *refresh* lands: the cache overwrites the
+    /// bound with either the exact master value or a new bound.
+    pub fn update_cell(
+        &mut self,
+        tid: TupleId,
+        column: usize,
+        cell: BoundedValue,
+    ) -> Result<(), TrappError> {
+        self.schema.validate_cell(column, &cell)?;
+        let cost = self.cost(tid)?;
+        let row = self
+            .rows
+            .get_mut(&tid)
+            .ok_or(TrappError::UnknownTuple(tid.raw()))?;
+        let old = row.cell(column)?.clone();
+        // Update indexes touching this column.
+        for (key, ix) in self.indexes.iter_mut() {
+            let col = match key {
+                IndexKey::Lo { column: c } | IndexKey::Hi { column: c } | IndexKey::Width { column: c } => *c,
+                IndexKey::Cost => continue,
+            };
+            if col != column {
+                continue;
+            }
+            if let Some(old_key) = cell_index_key(*key, &old) {
+                ix.remove(old_key, tid);
+            }
+            if let Some(new_key) = cell_index_key(*key, &cell) {
+                ix.insert(new_key, tid);
+            }
+        }
+        let _ = cost;
+        row.set_cell(column, cell);
+        Ok(())
+    }
+
+    /// Applies a refresh: pins `column` of `tid` to the exact master value.
+    pub fn refresh_cell(
+        &mut self,
+        tid: TupleId,
+        column: usize,
+        master_value: f64,
+    ) -> Result<(), TrappError> {
+        if master_value.is_nan() {
+            return Err(TrappError::NanValue);
+        }
+        self.update_cell(tid, column, BoundedValue::Exact(Value::Float(master_value)))
+    }
+
+    /// Registers (and backfills) an index. Re-registering is a no-op.
+    pub fn create_index(&mut self, key: IndexKey) -> Result<(), TrappError> {
+        if self.indexes.contains_key(&key) {
+            return Ok(());
+        }
+        // Validate the column exists and is numeric for endpoint indexes.
+        match key {
+            IndexKey::Lo { column } | IndexKey::Hi { column } | IndexKey::Width { column } => {
+                let def = self.schema.column_at(column)?;
+                if !def.ty.is_numeric() {
+                    return Err(TrappError::SchemaViolation(format!(
+                        "cannot index endpoints of non-numeric column {}",
+                        def.name
+                    )));
+                }
+            }
+            IndexKey::Cost => {}
+        }
+        let mut ix = OrderedIndex::new();
+        for (tid, row) in &self.rows {
+            let entry = match key {
+                IndexKey::Cost => Some(OrderedF64::new_unchecked(
+                    self.costs.get(tid).copied().unwrap_or(self.default_cost),
+                )),
+                _ => cell_index_key(key, row.cell(index_column(key)).expect("arity checked")),
+            };
+            if let Some(k) = entry {
+                ix.insert(k, *tid);
+            }
+        }
+        self.indexes.insert(key, ix);
+        Ok(())
+    }
+
+    /// The maintained index for `key`, if registered.
+    pub fn index(&self, key: IndexKey) -> Option<&OrderedIndex> {
+        self.indexes.get(&key)
+    }
+
+    /// Declares **cardinality slack** (§8.3's relaxation of eager
+    /// insert/delete propagation): the source may have performed up to
+    /// `inserts` insertions and `deletes` deletions that have not yet been
+    /// propagated to this cache. While slack is non-zero, only `COUNT`
+    /// queries remain answerable with guaranteed bounds (unseen tuples
+    /// carry unknown values, so value aggregates become unbounded);
+    /// `trapp-core` enforces that restriction.
+    pub fn set_cardinality_slack(&mut self, inserts: u64, deletes: u64) {
+        self.pending_inserts = inserts;
+        self.pending_deletes = deletes;
+    }
+
+    /// The current `(pending_inserts, pending_deletes)` slack.
+    pub fn cardinality_slack(&self) -> (u64, u64) {
+        (self.pending_inserts, self.pending_deletes)
+    }
+
+    /// Sum of bound widths of `column` over all tuples — the total
+    /// uncertainty a SUM query over the column would see (§5.2).
+    pub fn total_width(&self, column: usize) -> Result<f64, TrappError> {
+        let mut sum = 0.0;
+        for (_, row) in self.scan() {
+            sum += row.interval(column)?.width();
+        }
+        Ok(sum)
+    }
+
+    fn index_row(&mut self, tid: TupleId, row: &Row, cost: f64) {
+        for (key, ix) in self.indexes.iter_mut() {
+            let entry = match key {
+                IndexKey::Cost => Some(OrderedF64::new_unchecked(cost)),
+                _ => row
+                    .cell(index_column(*key))
+                    .ok()
+                    .and_then(|c| cell_index_key(*key, c)),
+            };
+            if let Some(k) = entry {
+                ix.insert(k, tid);
+            }
+        }
+    }
+
+    fn unindex_row(&mut self, tid: TupleId, row: &Row, cost: f64) {
+        for (key, ix) in self.indexes.iter_mut() {
+            let entry = match key {
+                IndexKey::Cost => Some(OrderedF64::new_unchecked(cost)),
+                _ => row
+                    .cell(index_column(*key))
+                    .ok()
+                    .and_then(|c| cell_index_key(*key, c)),
+            };
+            if let Some(k) = entry {
+                ix.remove(k, tid);
+            }
+        }
+    }
+}
+
+fn index_column(key: IndexKey) -> usize {
+    match key {
+        IndexKey::Lo { column } | IndexKey::Hi { column } | IndexKey::Width { column } => column,
+        IndexKey::Cost => usize::MAX,
+    }
+}
+
+/// The index key a cell contributes under `key`, or `None` for non-numeric
+/// cells (they simply don't appear in endpoint indexes).
+fn cell_index_key(key: IndexKey, cell: &BoundedValue) -> Option<OrderedF64> {
+    let iv = cell.as_interval().ok()?;
+    let v = match key {
+        IndexKey::Lo { .. } => iv.lo(),
+        IndexKey::Hi { .. } => iv.hi(),
+        IndexKey::Width { .. } => iv.width(),
+        IndexKey::Cost => return None,
+    };
+    Some(OrderedF64::new_unchecked(v))
+}
+
+fn validate_cost(cost: f64) -> Result<(), TrappError> {
+    if cost.is_nan() || cost < 0.0 {
+        Err(TrappError::InvalidCost(cost))
+    } else {
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Table")
+            .field("name", &self.name)
+            .field("schema", &self.schema.to_string())
+            .field("rows", &self.rows.len())
+            .field("indexes", &self.indexes.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnDef;
+    use trapp_types::ValueType;
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            ColumnDef::exact("id", ValueType::Int),
+            ColumnDef::bounded_float("x"),
+        ])
+        .unwrap();
+        Table::new("t", schema)
+    }
+
+    fn row(id: i64, lo: f64, hi: f64) -> Vec<BoundedValue> {
+        vec![
+            BoundedValue::Exact(Value::Int(id)),
+            BoundedValue::bounded(lo, hi).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn insert_scan_delete() {
+        let mut t = table();
+        let a = t.insert_with_cost(row(1, 0.0, 1.0), 3.0).unwrap();
+        let b = t.insert_with_cost(row(2, 5.0, 9.0), 7.0).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.cost(a).unwrap(), 3.0);
+        assert_eq!(t.interval(b, 1).unwrap().width(), 4.0);
+        t.delete(a).unwrap();
+        assert_eq!(t.len(), 1);
+        assert!(t.row(a).is_err());
+        assert!(t.delete(a).is_err());
+    }
+
+    #[test]
+    fn refresh_pins_cell() {
+        let mut t = table();
+        let a = t.insert(row(1, 0.0, 10.0)).unwrap();
+        t.refresh_cell(a, 1, 4.5).unwrap();
+        let iv = t.interval(a, 1).unwrap();
+        assert!(iv.is_point());
+        assert_eq!(iv.lo(), 4.5);
+        assert!(t.refresh_cell(a, 1, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn rejects_invalid_costs() {
+        let mut t = table();
+        assert!(t.insert_with_cost(row(1, 0.0, 1.0), -1.0).is_err());
+        assert!(t.insert_with_cost(row(1, 0.0, 1.0), f64::NAN).is_err());
+        assert!(t.set_default_cost(-2.0).is_err());
+    }
+
+    #[test]
+    fn indexes_follow_mutations() {
+        let mut t = table();
+        let a = t.insert(row(1, 0.0, 4.0)).unwrap();
+        let b = t.insert(row(2, 2.0, 3.0)).unwrap();
+        t.create_index(IndexKey::Lo { column: 1 }).unwrap();
+        t.create_index(IndexKey::Hi { column: 1 }).unwrap();
+        t.create_index(IndexKey::Width { column: 1 }).unwrap();
+
+        let hi = t.index(IndexKey::Hi { column: 1 }).unwrap();
+        assert_eq!(hi.min_key().unwrap().get(), 3.0);
+
+        // Refresh tuple a: its width entry moves to 0, hi entry to the value.
+        t.refresh_cell(a, 1, 1.0).unwrap();
+        let hi = t.index(IndexKey::Hi { column: 1 }).unwrap();
+        assert_eq!(hi.min_key().unwrap().get(), 1.0);
+        let width = t.index(IndexKey::Width { column: 1 }).unwrap();
+        let widths: Vec<f64> = width.ascending().map(|(k, _)| k.get()).collect();
+        assert_eq!(widths, vec![0.0, 1.0]);
+
+        // Delete b: its entries disappear.
+        t.delete(b).unwrap();
+        let lo = t.index(IndexKey::Lo { column: 1 }).unwrap();
+        assert_eq!(lo.len(), 1);
+    }
+
+    #[test]
+    fn cost_index_follows_set_cost() {
+        let mut t = table();
+        let a = t.insert_with_cost(row(1, 0.0, 1.0), 5.0).unwrap();
+        t.create_index(IndexKey::Cost).unwrap();
+        assert_eq!(t.index(IndexKey::Cost).unwrap().min_key().unwrap().get(), 5.0);
+        t.set_cost(a, 2.0).unwrap();
+        assert_eq!(t.index(IndexKey::Cost).unwrap().min_key().unwrap().get(), 2.0);
+    }
+
+    #[test]
+    fn create_index_backfills_existing_rows() {
+        let mut t = table();
+        t.insert(row(1, 1.0, 2.0)).unwrap();
+        t.insert(row(2, -1.0, 0.5)).unwrap();
+        t.create_index(IndexKey::Lo { column: 1 }).unwrap();
+        let lo = t.index(IndexKey::Lo { column: 1 }).unwrap();
+        assert_eq!(lo.len(), 2);
+        assert_eq!(lo.min_key().unwrap().get(), -1.0);
+        // Indexing a non-numeric column fails cleanly.
+        assert!(t.create_index(IndexKey::Lo { column: 0 }).is_ok()); // Int is numeric
+    }
+
+    #[test]
+    fn total_width_sums_uncertainty() {
+        let mut t = table();
+        t.insert(row(1, 0.0, 4.0)).unwrap();
+        t.insert(row(2, 1.0, 2.0)).unwrap();
+        assert_eq!(t.total_width(1).unwrap(), 5.0);
+        assert_eq!(t.total_width(0).unwrap(), 0.0); // exact column
+    }
+}

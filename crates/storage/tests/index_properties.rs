@@ -1,0 +1,119 @@
+//! Property test: maintained indexes stay exactly consistent with a full
+//! table scan under arbitrary interleavings of inserts, deletes, cell
+//! updates, refreshes, and cost changes.
+
+use proptest::prelude::*;
+use trapp_storage::{ColumnDef, IndexKey, OrderedIndex, Schema, Table};
+use trapp_types::{BoundedValue, OrderedF64, TupleId};
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert { lo: f64, width: f64, cost: f64 },
+    Delete { pick: usize },
+    Refresh { pick: usize, frac: f64 },
+    Widen { pick: usize, lo: f64, width: f64 },
+    Recost { pick: usize, cost: f64 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (-100.0f64..100.0, 0.0f64..50.0, 0.0f64..10.0)
+            .prop_map(|(lo, width, cost)| Op::Insert { lo, width, cost }),
+        1 => (0usize..64).prop_map(|pick| Op::Delete { pick }),
+        2 => ((0usize..64), 0.0f64..1.0).prop_map(|(pick, frac)| Op::Refresh { pick, frac }),
+        2 => ((0usize..64), -100.0f64..100.0, 0.0f64..50.0)
+            .prop_map(|(pick, lo, width)| Op::Widen { pick, lo, width }),
+        1 => ((0usize..64), 0.0f64..10.0).prop_map(|(pick, cost)| Op::Recost { pick, cost }),
+    ]
+}
+
+/// Rebuilds what each index *should* contain from a scan.
+fn expected_index(table: &Table, key: IndexKey) -> Vec<(OrderedF64, TupleId)> {
+    let mut out: Vec<(OrderedF64, TupleId)> = table
+        .scan()
+        .filter_map(|(tid, row)| {
+            let v = match key {
+                IndexKey::Lo { column } => row.interval(column).ok()?.lo(),
+                IndexKey::Hi { column } => row.interval(column).ok()?.hi(),
+                IndexKey::Width { column } => row.interval(column).ok()?.width(),
+                IndexKey::Cost => table.cost(tid).ok()?,
+            };
+            Some((OrderedF64::new(v).ok()?, tid))
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+fn actual_index(ix: &OrderedIndex) -> Vec<(OrderedF64, TupleId)> {
+    let mut out: Vec<(OrderedF64, TupleId)> = ix.ascending().collect();
+    out.sort();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn indexes_match_scans_under_mutation(ops in proptest::collection::vec(arb_op(), 1..60)) {
+        let schema = Schema::new(vec![ColumnDef::bounded_float("x")]).unwrap();
+        let mut table = Table::new("t", schema);
+        let keys = [
+            IndexKey::Lo { column: 0 },
+            IndexKey::Hi { column: 0 },
+            IndexKey::Width { column: 0 },
+            IndexKey::Cost,
+        ];
+        for k in keys {
+            table.create_index(k).unwrap();
+        }
+
+        let mut live: Vec<TupleId> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Insert { lo, width, cost } => {
+                    let tid = table
+                        .insert_with_cost(
+                            vec![BoundedValue::bounded(lo, lo + width).unwrap()],
+                            cost,
+                        )
+                        .unwrap();
+                    live.push(tid);
+                }
+                Op::Delete { pick } if !live.is_empty() => {
+                    let tid = live.remove(pick % live.len());
+                    table.delete(tid).unwrap();
+                }
+                Op::Refresh { pick, frac } if !live.is_empty() => {
+                    let tid = live[pick % live.len()];
+                    let iv = table.interval(tid, 0).unwrap();
+                    let v = iv.lo() + frac * iv.width();
+                    table.refresh_cell(tid, 0, v).unwrap();
+                }
+                Op::Widen { pick, lo, width } if !live.is_empty() => {
+                    let tid = live[pick % live.len()];
+                    table
+                        .update_cell(tid, 0, BoundedValue::bounded(lo, lo + width).unwrap())
+                        .unwrap();
+                }
+                Op::Recost { pick, cost } if !live.is_empty() => {
+                    let tid = live[pick % live.len()];
+                    table.set_cost(tid, cost).unwrap();
+                }
+                _ => {} // mutation against an empty table: skip
+            }
+
+            for k in keys {
+                let ix = table.index(k).unwrap();
+                prop_assert_eq!(
+                    actual_index(ix),
+                    expected_index(&table, k),
+                    "index {:?} diverged after {:?}",
+                    k,
+                    table
+                );
+                prop_assert_eq!(ix.len(), table.len(), "index {:?} cardinality", k);
+            }
+        }
+    }
+}

@@ -1,0 +1,394 @@
+//! Data caches: bounded tables + the query processor (§3, Figure 3).
+//!
+//! A [`CacheNode`] owns a `trapp-core` [`QuerySession`] whose tables hold
+//! the *materialized* bounds. Each bounded cell is backed by one replicated
+//! object with a time-varying [`BoundFunction`]; before a query runs, the
+//! cache evaluates every bound function at the current time and writes the
+//! resulting intervals into the table (§3.2: "we assume that any
+//! time-varying bound functions have been evaluated at the current time
+//! `T_c`").
+//!
+//! Query-initiated refreshes flow through an internal transport-backed
+//! oracle (`SystemOracle`), which routes
+//! each `(table, tuple, column)` request to the owning source via the
+//! transport, hands the exact value to the executor, and records the new
+//! bound function for installation after the query completes.
+
+use std::collections::HashMap;
+
+use trapp_bounds::BoundFunction;
+use trapp_core::executor::{QueryResult, QuerySession, RefreshOracle};
+use trapp_types::{BoundedValue, CacheId, ObjectId, SourceId, TrappError, TupleId};
+
+use crate::clock::SimClock;
+use crate::message::{Refresh, RefreshKind};
+use crate::stats::CacheStats;
+use crate::transport::Transport;
+
+/// Identifies one bounded cell of one cached table.
+pub type CellKey = (String, TupleId, usize);
+
+/// Where a replicated object lives and which cell it backs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ObjectRoute {
+    /// The owning source.
+    pub source: SourceId,
+    /// The backed cell.
+    pub cell: CellKey,
+}
+
+/// A TRAPP data cache.
+pub struct CacheNode {
+    id: CacheId,
+    session: QuerySession,
+    clock: SimClock,
+    /// object → route (source + cell).
+    routes: HashMap<ObjectId, ObjectRoute>,
+    /// cell → object (reverse index used by the oracle).
+    by_cell: HashMap<CellKey, ObjectId>,
+    /// Current bound function per object.
+    bounds: HashMap<ObjectId, BoundFunction>,
+    stats: CacheStats,
+}
+
+impl CacheNode {
+    /// Creates a cache over an empty catalog.
+    pub fn new(id: CacheId, clock: SimClock) -> CacheNode {
+        CacheNode {
+            id,
+            session: QuerySession::with_catalog(trapp_storage::Catalog::new()),
+            clock,
+            routes: HashMap::new(),
+            by_cell: HashMap::new(),
+            bounds: HashMap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// This cache's id.
+    pub fn id(&self) -> CacheId {
+        self.id
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// The underlying query session (configuration, catalog access).
+    pub fn session_mut(&mut self) -> &mut QuerySession {
+        &mut self.session
+    }
+
+    /// Immutable session access.
+    pub fn session(&self) -> &QuerySession {
+        &self.session
+    }
+
+    /// Adds a cached table.
+    pub fn add_table(&mut self, table: trapp_storage::Table) -> Result<(), TrappError> {
+        self.session.catalog_mut().add_table(table)
+    }
+
+    /// Binds `object` (owned by `source`) to a bounded cell. The cell's
+    /// bound stays unknown until a subscription refresh is installed.
+    pub fn bind_object(
+        &mut self,
+        object: ObjectId,
+        source: SourceId,
+        table: impl Into<String>,
+        tuple: TupleId,
+        column: usize,
+    ) -> Result<(), TrappError> {
+        let cell: CellKey = (table.into(), tuple, column);
+        // Validate the cell exists and is bounded.
+        let t = self.session.catalog().table(&cell.0)?;
+        let def = t.schema().column_at(column)?;
+        if !def.bounded {
+            return Err(TrappError::BoundednessViolation(format!(
+                "column {} of {} is exact; only bounded cells back replicated objects",
+                def.name, cell.0
+            )));
+        }
+        t.row(tuple)?;
+        self.routes.insert(
+            object,
+            ObjectRoute {
+                source,
+                cell: cell.clone(),
+            },
+        );
+        self.by_cell.insert(cell, object);
+        Ok(())
+    }
+
+    /// Installs a refresh (any kind): records the bound function and pins
+    /// the cell to the refreshed exact value (the bound at `T_r` is the
+    /// point `V(T_r)`; it widens again at the next materialization).
+    pub fn install_refresh(&mut self, refresh: Refresh) -> Result<(), TrappError> {
+        let route = self.routes.get(&refresh.object).ok_or_else(|| {
+            TrappError::RefreshFailed(format!("{} is not bound here", refresh.object))
+        })?;
+        let (table, tuple, column) = route.cell.clone();
+        self.bounds.insert(refresh.object, refresh.bound);
+        self.session
+            .catalog_mut()
+            .table_mut(&table)?
+            .refresh_cell(tuple, column, refresh.value)?;
+        match refresh.kind {
+            RefreshKind::ValueInitiated => self.stats.value_initiated += 1,
+            RefreshKind::QueryInitiated => self.stats.query_initiated += 1,
+            RefreshKind::Subscription => self.stats.subscriptions += 1,
+            RefreshKind::PreRefresh => self.stats.pre_refreshes += 1,
+        }
+        Ok(())
+    }
+
+    /// Evaluates every bound function at the current time and writes the
+    /// intervals into the cached tables.
+    pub fn materialize(&mut self) -> Result<(), TrappError> {
+        let now = self.clock.now();
+        for (object, bound) in &self.bounds {
+            let route = self
+                .routes
+                .get(object)
+                .ok_or_else(|| TrappError::Internal(format!("{object} has bound but no route")))?;
+            let (table, tuple, column) = route.cell.clone();
+            let iv = bound.interval_at(now);
+            self.session
+                .catalog_mut()
+                .table_mut(&table)?
+                .update_cell(tuple, column, BoundedValue::Bounded(iv))?;
+        }
+        Ok(())
+    }
+
+    /// Executes a query: materializes bounds at the current time, runs the
+    /// `trapp-core` executor with a transport-backed oracle, installs the
+    /// new bound functions received from sources, and updates statistics.
+    pub fn execute_query(
+        &mut self,
+        sql: &str,
+        transport: &dyn Transport,
+    ) -> Result<QueryResult, TrappError> {
+        self.materialize()?;
+        let mut oracle = SystemOracle {
+            cache: self.id,
+            now: self.clock.now(),
+            by_cell: &self.by_cell,
+            routes: &self.routes,
+            transport,
+            received: Vec::new(),
+        };
+        let result = self.session.execute_sql(sql, &mut oracle);
+        // Install bound functions from whatever refreshes arrived, even on
+        // error paths (the exact values are already in the table; the bound
+        // functions must follow or the next materialization would resurrect
+        // stale bounds).
+        let received = oracle.received;
+        for refresh in received {
+            self.bounds.insert(refresh.object, refresh.bound);
+            self.stats.query_initiated += 1;
+        }
+        let result = result?;
+        self.stats.queries += 1;
+        self.stats.refresh_cost += result.refresh_cost;
+        Ok(result)
+    }
+}
+
+/// The transport-backed [`RefreshOracle`].
+struct SystemOracle<'a> {
+    cache: CacheId,
+    now: f64,
+    by_cell: &'a HashMap<CellKey, ObjectId>,
+    routes: &'a HashMap<ObjectId, ObjectRoute>,
+    transport: &'a dyn Transport,
+    received: Vec<Refresh>,
+}
+
+impl RefreshOracle for SystemOracle<'_> {
+    fn refresh(
+        &mut self,
+        table: &str,
+        tid: TupleId,
+        columns: &[usize],
+    ) -> Result<Vec<f64>, TrappError> {
+        let mut out = Vec::with_capacity(columns.len());
+        for &column in columns {
+            let key: CellKey = (table.to_owned(), tid, column);
+            let object = self.by_cell.get(&key).ok_or_else(|| {
+                TrappError::RefreshFailed(format!(
+                    "no replicated object backs {table}[{tid}].{column}"
+                ))
+            })?;
+            let route = &self.routes[object];
+            let refresh =
+                self.transport
+                    .request_refresh(route.source, self.cache, *object, self.now)?;
+            out.push(refresh.value);
+            self.received.push(refresh);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::Source;
+    use crate::transport::DirectTransport;
+    use trapp_bounds::BoundShape;
+    use trapp_storage::{ColumnDef, Schema, Table};
+    use trapp_types::{Value, ValueType};
+
+    /// One source, one cache, two objects backing a 2-row table.
+    fn setup() -> (SimClock, CacheNode, DirectTransport) {
+        let clock = SimClock::new();
+        let mut cache = CacheNode::new(CacheId::new(1), clock.clone());
+
+        let schema = Schema::new(vec![
+            ColumnDef::exact("name", ValueType::Str),
+            ColumnDef::bounded_float("temp"),
+        ])
+        .unwrap();
+        let mut table = Table::new("sensors", schema);
+        let t1 = table
+            .insert_with_cost(
+                vec![
+                    BoundedValue::Exact(Value::Str("a".into())),
+                    BoundedValue::bounded(0.0, 0.0).unwrap(),
+                ],
+                2.0,
+            )
+            .unwrap();
+        let t2 = table
+            .insert_with_cost(
+                vec![
+                    BoundedValue::Exact(Value::Str("b".into())),
+                    BoundedValue::bounded(0.0, 0.0).unwrap(),
+                ],
+                3.0,
+            )
+            .unwrap();
+        cache.add_table(table).unwrap();
+
+        let mut source = Source::new(SourceId::new(1), BoundShape::Sqrt);
+        source.register_object(ObjectId::new(1), 20.0).unwrap();
+        source.register_object(ObjectId::new(2), 25.0).unwrap();
+
+        cache
+            .bind_object(ObjectId::new(1), SourceId::new(1), "sensors", t1, 1)
+            .unwrap();
+        cache
+            .bind_object(ObjectId::new(2), SourceId::new(1), "sensors", t2, 1)
+            .unwrap();
+
+        let mut transport = DirectTransport::new();
+        let src = transport.add_source(source);
+        {
+            let mut s = src.lock();
+            for obj in [ObjectId::new(1), ObjectId::new(2)] {
+                let r = s.subscribe(CacheId::new(1), obj, 1.0, 0.0).unwrap();
+                cache.install_refresh(r).unwrap();
+            }
+        }
+        (clock, cache, transport)
+    }
+
+    #[test]
+    fn materialization_widens_with_time() {
+        let (clock, mut cache, _t) = setup();
+        cache.materialize().unwrap();
+        let t = cache.session().catalog().table("sensors").unwrap();
+        assert_eq!(t.interval(TupleId::new(1), 1).unwrap().width(), 0.0);
+
+        clock.advance(4.0);
+        cache.materialize().unwrap();
+        let t = cache.session().catalog().table("sensors").unwrap();
+        // ±1·√4 = ±2 → width 4.
+        assert_eq!(t.interval(TupleId::new(1), 1).unwrap().width(), 4.0);
+    }
+
+    #[test]
+    fn query_from_cache_alone_when_precision_allows() {
+        let (clock, mut cache, transport) = setup();
+        clock.advance(4.0);
+        let r = cache
+            .execute_query("SELECT SUM(temp) WITHIN 10 FROM sensors", &transport)
+            .unwrap();
+        // Total width = 8 ≤ 10: no refreshes.
+        assert!(r.satisfied);
+        assert!(r.refreshed.is_empty());
+        assert_eq!(transport.messages(), 0);
+        assert_eq!(r.answer.range.midpoint(), 45.0);
+    }
+
+    #[test]
+    fn tight_precision_pulls_query_initiated_refreshes() {
+        let (clock, mut cache, transport) = setup();
+        clock.advance(4.0);
+        let r = cache
+            .execute_query("SELECT SUM(temp) WITHIN 1 FROM sensors", &transport)
+            .unwrap();
+        assert!(r.satisfied);
+        assert!(!r.refreshed.is_empty());
+        assert!(transport.messages() > 0);
+        assert_eq!(cache.stats().query_initiated, r.refreshed.len() as u64);
+        // Exact answer: 20 + 25.
+        assert!(r.answer.range.contains(45.0));
+        assert!(r.answer.width() <= 1.0);
+    }
+
+    #[test]
+    fn value_initiated_refresh_updates_cache() {
+        let (clock, mut cache, transport) = setup();
+        clock.advance(1.0);
+        // Push an escaping update through the source.
+        let src = transport.source(SourceId::new(1)).unwrap();
+        let refreshes = src
+            .lock()
+            .apply_update(ObjectId::new(1), 50.0, clock.now())
+            .unwrap();
+        assert_eq!(refreshes.len(), 1);
+        for (cache_id, r) in refreshes {
+            assert_eq!(cache_id, CacheId::new(1));
+            cache.install_refresh(r).unwrap();
+        }
+        assert_eq!(cache.stats().value_initiated, 1);
+        cache.materialize().unwrap();
+        let t = cache.session().catalog().table("sensors").unwrap();
+        let iv = t.interval(TupleId::new(1), 1).unwrap();
+        assert!(iv.contains(50.0));
+        assert!(iv.is_point()); // refreshed at the current instant
+    }
+
+    #[test]
+    fn binding_validates_cells() {
+        let (_c, mut cache, _t) = setup();
+        // Column 0 is exact.
+        assert!(cache
+            .bind_object(ObjectId::new(9), SourceId::new(1), "sensors", TupleId::new(1), 0)
+            .is_err());
+        // Unknown tuple.
+        assert!(cache
+            .bind_object(ObjectId::new(9), SourceId::new(1), "sensors", TupleId::new(99), 1)
+            .is_err());
+        // Unknown table.
+        assert!(cache
+            .bind_object(ObjectId::new(9), SourceId::new(1), "nope", TupleId::new(1), 1)
+            .is_err());
+    }
+
+    #[test]
+    fn refreshes_for_unbound_objects_fail() {
+        let (_c, mut cache, _t) = setup();
+        let r = Refresh {
+            object: ObjectId::new(42),
+            value: 1.0,
+            bound: BoundFunction::exact(1.0, 0.0).unwrap(),
+            kind: RefreshKind::ValueInitiated,
+        };
+        assert!(cache.install_refresh(r).is_err());
+    }
+}

@@ -1,0 +1,91 @@
+//! A shared simulated clock.
+//!
+//! TRAPP bound functions are functions of time; experiments need a clock
+//! they can advance deterministically, shared between sources, caches, and
+//! the driver. Time is stored in integer microseconds (atomics compose
+//! better than locked floats) and exposed as `f64` seconds — the unit all
+//! bound functions use.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A cloneable handle to a shared monotonic clock.
+#[derive(Clone, Debug, Default)]
+pub struct SimClock {
+    micros: Arc<AtomicU64>,
+}
+
+impl SimClock {
+    /// A clock starting at t = 0.
+    pub fn new() -> SimClock {
+        SimClock::default()
+    }
+
+    /// Current time in seconds.
+    pub fn now(&self) -> f64 {
+        self.micros.load(Ordering::Acquire) as f64 / 1e6
+    }
+
+    /// Advances the clock by `dt` seconds (negative or NaN are ignored).
+    pub fn advance(&self, dt: f64) {
+        if dt.is_finite() && dt > 0.0 {
+            self.micros
+                .fetch_add((dt * 1e6).round() as u64, Ordering::AcqRel);
+        }
+    }
+
+    /// Sets the clock forward to `t` seconds if `t` is ahead of now.
+    pub fn advance_to(&self, t: f64) {
+        if !t.is_finite() {
+            return;
+        }
+        let target = (t * 1e6).round() as u64;
+        let mut cur = self.micros.load(Ordering::Acquire);
+        while target > cur {
+            match self.micros.compare_exchange_weak(
+                cur,
+                target,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero_and_advances() {
+        let c = SimClock::new();
+        assert_eq!(c.now(), 0.0);
+        c.advance(1.5);
+        assert!((c.now() - 1.5).abs() < 1e-9);
+        c.advance(-5.0); // ignored
+        c.advance(f64::NAN); // ignored
+        assert!((c.now() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clones_share_time() {
+        let a = SimClock::new();
+        let b = a.clone();
+        a.advance(2.0);
+        assert_eq!(a.now(), b.now());
+    }
+
+    #[test]
+    fn advance_to_is_monotone() {
+        let c = SimClock::new();
+        c.advance_to(5.0);
+        assert!((c.now() - 5.0).abs() < 1e-9);
+        c.advance_to(3.0); // behind: no-op
+        assert!((c.now() - 5.0).abs() < 1e-9);
+        c.advance_to(f64::INFINITY); // ignored
+        assert!((c.now() - 5.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,170 @@
+//! Refresh cost models (§3, §4, §8.2).
+//!
+//! The paper assumes "a known quantitative cost associated with refreshing
+//! data objects from their sources, and this cost may vary for each data
+//! item … although in practice it is likely that the cost of refreshing an
+//! object depends only on which source it comes from." Planning treats
+//! costs as additive (§4's simplifying assumption); the *accounting* side
+//! here additionally supports the §8.2 batching amortization so the
+//! ablations can measure what additivity gives away.
+
+use std::collections::HashMap;
+
+use trapp_types::{ObjectId, SourceId, TrappError};
+
+/// How much one query-initiated refresh costs.
+#[derive(Clone, Debug)]
+pub enum CostModel {
+    /// Every refresh costs the same.
+    Uniform(f64),
+    /// Cost depends on the source (the paper's "likely in practice" case),
+    /// with a default for unlisted sources.
+    PerSource {
+        /// Source-specific costs.
+        costs: HashMap<SourceId, f64>,
+        /// Cost for sources not in the map.
+        default: f64,
+    },
+    /// Fully per-object costs (the paper's general case), with a default.
+    PerObject {
+        /// Object-specific costs.
+        costs: HashMap<ObjectId, f64>,
+        /// Cost for objects not in the map.
+        default: f64,
+    },
+}
+
+impl CostModel {
+    /// Uniform cost 1.
+    pub fn unit() -> CostModel {
+        CostModel::Uniform(1.0)
+    }
+
+    /// The cost of refreshing `object` at `source`.
+    pub fn cost(&self, source: SourceId, object: ObjectId) -> f64 {
+        match self {
+            CostModel::Uniform(c) => *c,
+            CostModel::PerSource { costs, default } => {
+                costs.get(&source).copied().unwrap_or(*default)
+            }
+            CostModel::PerObject { costs, default } => {
+                costs.get(&object).copied().unwrap_or(*default)
+            }
+        }
+    }
+
+    /// Validates that every configured cost is a non-negative real.
+    pub fn validate(&self) -> Result<(), TrappError> {
+        let check = |c: f64| {
+            if c.is_nan() || c < 0.0 {
+                Err(TrappError::InvalidCost(c))
+            } else {
+                Ok(())
+            }
+        };
+        match self {
+            CostModel::Uniform(c) => check(*c),
+            CostModel::PerSource { costs, default } => {
+                check(*default)?;
+                costs.values().try_for_each(|&c| check(c))
+            }
+            CostModel::PerObject { costs, default } => {
+                check(*default)?;
+                costs.values().try_for_each(|&c| check(c))
+            }
+        }
+    }
+
+    /// The §8.2 batching amortization: refreshes grouped by source, the
+    /// first at full price, subsequent ones in the same batch multiplied by
+    /// `discount ∈ [0, 1]`. `discount = 1` recovers additive costs.
+    pub fn batch_cost(
+        &self,
+        refreshes: &[(SourceId, ObjectId)],
+        discount: f64,
+    ) -> f64 {
+        let mut per_source: HashMap<SourceId, Vec<ObjectId>> = HashMap::new();
+        for &(s, o) in refreshes {
+            per_source.entry(s).or_default().push(o);
+        }
+        let mut total = 0.0;
+        for (s, objs) in per_source {
+            // Charge the most expensive object in the batch at full price
+            // (conservative), discount the rest.
+            let mut costs: Vec<f64> = objs.iter().map(|&o| self.cost(s, o)).collect();
+            costs.sort_by(|a, b| b.total_cmp(a));
+            for (i, c) in costs.into_iter().enumerate() {
+                total += if i == 0 { c } else { c * discount };
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_lookup() {
+        let m = CostModel::Uniform(3.0);
+        assert_eq!(m.cost(SourceId::new(1), ObjectId::new(1)), 3.0);
+
+        let m = CostModel::PerSource {
+            costs: [(SourceId::new(1), 5.0)].into_iter().collect(),
+            default: 2.0,
+        };
+        assert_eq!(m.cost(SourceId::new(1), ObjectId::new(9)), 5.0);
+        assert_eq!(m.cost(SourceId::new(2), ObjectId::new(9)), 2.0);
+
+        let m = CostModel::PerObject {
+            costs: [(ObjectId::new(7), 9.0)].into_iter().collect(),
+            default: 1.0,
+        };
+        assert_eq!(m.cost(SourceId::new(1), ObjectId::new(7)), 9.0);
+        assert_eq!(m.cost(SourceId::new(1), ObjectId::new(8)), 1.0);
+    }
+
+    #[test]
+    fn validation_rejects_bad_costs() {
+        assert!(CostModel::Uniform(-1.0).validate().is_err());
+        assert!(CostModel::Uniform(1.0).validate().is_ok());
+        let m = CostModel::PerObject {
+            costs: [(ObjectId::new(1), f64::NAN)].into_iter().collect(),
+            default: 1.0,
+        };
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn batching_discounts_same_source_refreshes() {
+        let m = CostModel::Uniform(4.0);
+        let refreshes = [
+            (SourceId::new(1), ObjectId::new(1)),
+            (SourceId::new(1), ObjectId::new(2)),
+            (SourceId::new(2), ObjectId::new(3)),
+        ];
+        // Source 1: 4 + 4·0.5; source 2: 4 → 10.
+        assert_eq!(m.batch_cost(&refreshes, 0.5), 10.0);
+        // discount = 1 recovers additive costs.
+        assert_eq!(m.batch_cost(&refreshes, 1.0), 12.0);
+        // discount = 0: one full-price refresh per source.
+        assert_eq!(m.batch_cost(&refreshes, 0.0), 8.0);
+    }
+
+    #[test]
+    fn batching_charges_most_expensive_full_price() {
+        let m = CostModel::PerObject {
+            costs: [(ObjectId::new(1), 10.0), (ObjectId::new(2), 2.0)]
+                .into_iter()
+                .collect(),
+            default: 1.0,
+        };
+        let refreshes = [
+            (SourceId::new(1), ObjectId::new(2)),
+            (SourceId::new(1), ObjectId::new(1)),
+        ];
+        // 10 (full) + 2·0.5 = 11, regardless of listing order.
+        assert_eq!(m.batch_cost(&refreshes, 0.5), 11.0);
+    }
+}

@@ -1,0 +1,47 @@
+//! # trapp-system
+//!
+//! The TRAPP replication substrate (§3, Figure 3): **data sources** hold
+//! master values and run **Refresh Monitors**; **data caches** hold bounds
+//! and run the query processor from `trapp-core`. The two halves cooperate
+//! through two message flows:
+//!
+//! * **value-initiated refreshes** — a source applies an update, notices a
+//!   cache's bound is violated, and pushes a fresh bound (§3.1);
+//! * **query-initiated refreshes** — a cache executing a query with a
+//!   precision constraint pulls master values for the tuples its
+//!   CHOOSE_REFRESH plan selected (§4).
+//!
+//! Bounds are the time-parameterized `√t` functions of `trapp-bounds`, with
+//! per-(cache, object) [`trapp_bounds::AdaptiveWidth`] controllers on the
+//! source side (Appendix A): widen on escapes, narrow on query refreshes.
+//!
+//! Two transports are provided:
+//!
+//! * [`transport::DirectTransport`] — synchronous, single-threaded,
+//!   deterministic; used by tests and the reproducible experiments;
+//! * [`transport::ChannelTransport`] — each source runs on its own OS
+//!   thread behind `crossbeam` channels with optional simulated latency;
+//!   the concurrency shape of a real deployment (the paper's era would have
+//!   used RPC; an async runtime is not in the dependency budget, and
+//!   threads + channels preserve the actor structure).
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod cache;
+pub mod clock;
+pub mod cost;
+pub mod message;
+pub mod sim;
+pub mod source;
+pub mod stats;
+pub mod transport;
+
+pub use cache::CacheNode;
+pub use clock::SimClock;
+pub use cost::CostModel;
+pub use message::{Refresh, RefreshKind};
+pub use sim::{Simulation, SimulationBuilder};
+pub use source::Source;
+pub use stats::SystemStats;
+pub use transport::{ChannelTransport, DirectTransport, Transport};

@@ -1,0 +1,57 @@
+//! Messages exchanged between sources and caches.
+
+use trapp_bounds::BoundFunction;
+use trapp_types::ObjectId;
+
+/// Why a refresh was sent (§3.1, §8.3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RefreshKind {
+    /// The cache subscribed to the object (initial bound installation).
+    Subscription,
+    /// The master value escaped the cached bound; the source must push.
+    ValueInitiated,
+    /// A query's CHOOSE_REFRESH plan pulled the master value.
+    QueryInitiated,
+    /// A §8.3 *pre-refresh*: the source proactively re-centered a bound
+    /// whose master value was drifting close to the edge, to avert an
+    /// imminent value-initiated refresh (piggybacking / low-load pushes).
+    PreRefresh,
+}
+
+/// A refresh message: the master value at refresh time plus the new bound
+/// function that replaces the cache's old one.
+///
+/// Note the compact encoding the paper highlights (Appendix A): the bound
+/// function travels as just `(V(Tᵣ), W, Tᵣ, shape)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Refresh {
+    /// The refreshed object.
+    pub object: ObjectId,
+    /// `V(Tᵣ)` — exact master value at refresh time.
+    pub value: f64,
+    /// The new bound function (zero width at `Tᵣ`, diverging after).
+    pub bound: BoundFunction,
+    /// Why this refresh was sent.
+    pub kind: RefreshKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trapp_bounds::BoundShape;
+
+    #[test]
+    fn refresh_carries_consistent_bound() {
+        let bound = BoundFunction::new(42.0, 1.5, 10.0, BoundShape::Sqrt).unwrap();
+        let r = Refresh {
+            object: ObjectId::new(7),
+            value: 42.0,
+            bound,
+            kind: RefreshKind::ValueInitiated,
+        };
+        // At refresh time the bound pins the exact value.
+        let iv = r.bound.interval_at(10.0);
+        assert!(iv.is_point());
+        assert_eq!(iv.lo(), r.value);
+    }
+}

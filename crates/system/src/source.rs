@@ -1,0 +1,342 @@
+//! Data sources and their Refresh Monitors (§3, Figure 3).
+//!
+//! A source owns the master copy `Vᵢ` of each of its objects. Its Refresh
+//! Monitor "keeps track of the bounds for each of its data objects in each
+//! relevant cache" and is responsible for detecting, on every update,
+//! whether some cache's bound is violated — and if so, pushing a
+//! value-initiated refresh with a fresh bound function.
+//!
+//! Width parameters follow Appendix A: each (cache, object) pair has an
+//! [`AdaptiveWidth`] controller that widens after value-initiated refreshes
+//! and narrows after query-initiated ones.
+
+use std::collections::HashMap;
+
+use trapp_bounds::{AdaptiveWidth, BoundFunction, BoundShape};
+use trapp_types::{CacheId, ObjectId, SourceId, TrappError};
+
+use crate::message::{Refresh, RefreshKind};
+
+/// Per-(cache, object) monitor state.
+#[derive(Clone, Debug)]
+struct Tracked {
+    bound: BoundFunction,
+    width: AdaptiveWidth,
+}
+
+/// Counters kept by each source.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SourceStats {
+    /// Updates applied to master values.
+    pub updates: u64,
+    /// Value-initiated refreshes pushed.
+    pub value_initiated: u64,
+    /// Query-initiated refreshes served.
+    pub query_initiated: u64,
+    /// §8.3 pre-refreshes pushed.
+    pub pre_refreshes: u64,
+}
+
+/// A data source: master values plus the Refresh Monitor.
+#[derive(Debug)]
+pub struct Source {
+    id: SourceId,
+    shape: BoundShape,
+    masters: HashMap<ObjectId, f64>,
+    tracked: HashMap<(CacheId, ObjectId), Tracked>,
+    stats: SourceStats,
+}
+
+impl Source {
+    /// Creates a source issuing bounds of the given shape (the paper's
+    /// recommendation is [`BoundShape::Sqrt`]).
+    pub fn new(id: SourceId, shape: BoundShape) -> Source {
+        Source {
+            id,
+            shape,
+            masters: HashMap::new(),
+            tracked: HashMap::new(),
+            stats: SourceStats::default(),
+        }
+    }
+
+    /// This source's id.
+    pub fn id(&self) -> SourceId {
+        self.id
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> SourceStats {
+        self.stats
+    }
+
+    /// Registers (or overwrites) a master object.
+    pub fn register_object(&mut self, object: ObjectId, value: f64) -> Result<(), TrappError> {
+        if value.is_nan() {
+            return Err(TrappError::NanValue);
+        }
+        self.masters.insert(object, value);
+        Ok(())
+    }
+
+    /// The current master value.
+    pub fn master(&self, object: ObjectId) -> Result<f64, TrappError> {
+        self.masters
+            .get(&object)
+            .copied()
+            .ok_or_else(|| TrappError::RefreshFailed(format!("{object} not at source {}", self.id)))
+    }
+
+    /// Subscribes a cache to an object: installs monitor state and returns
+    /// the initial refresh to deliver.
+    pub fn subscribe(
+        &mut self,
+        cache: CacheId,
+        object: ObjectId,
+        initial_width: f64,
+        now: f64,
+    ) -> Result<Refresh, TrappError> {
+        let value = self.master(object)?;
+        let width = AdaptiveWidth::with_defaults(initial_width)?;
+        let bound = BoundFunction::new(value, width.width(), now, self.shape)?;
+        self.tracked.insert((cache, object), Tracked { bound, width });
+        Ok(Refresh {
+            object,
+            value,
+            bound,
+            kind: RefreshKind::Subscription,
+        })
+    }
+
+    /// Applies an update to a master value; returns the value-initiated
+    /// refreshes (one per cache whose bound the new value escapes).
+    pub fn apply_update(
+        &mut self,
+        object: ObjectId,
+        value: f64,
+        now: f64,
+    ) -> Result<Vec<(CacheId, Refresh)>, TrappError> {
+        if value.is_nan() {
+            return Err(TrappError::NanValue);
+        }
+        if !self.masters.contains_key(&object) {
+            return Err(TrappError::RefreshFailed(format!(
+                "{object} not at source {}",
+                self.id
+            )));
+        }
+        self.masters.insert(object, value);
+        self.stats.updates += 1;
+
+        let mut out = Vec::new();
+        for ((cache, obj), t) in self.tracked.iter_mut() {
+            if *obj != object {
+                continue;
+            }
+            if t.bound.violated_by(value, now) {
+                t.width.on_value_initiated_refresh();
+                t.bound = BoundFunction::new(value, t.width.width(), now, self.shape)?;
+                self.stats.value_initiated += 1;
+                out.push((
+                    *cache,
+                    Refresh {
+                        object,
+                        value,
+                        bound: t.bound,
+                        kind: RefreshKind::ValueInitiated,
+                    },
+                ));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Serves a query-initiated refresh: returns the exact master value
+    /// with a fresh (narrowed) bound, updating the monitor state.
+    pub fn serve_refresh(
+        &mut self,
+        cache: CacheId,
+        object: ObjectId,
+        now: f64,
+    ) -> Result<Refresh, TrappError> {
+        let value = self.master(object)?;
+        let t = self
+            .tracked
+            .get_mut(&(cache, object))
+            .ok_or_else(|| {
+                TrappError::RefreshFailed(format!(
+                    "{cache} is not subscribed to {object} at source {}",
+                    self.id
+                ))
+            })?;
+        t.width.on_query_initiated_refresh();
+        t.bound = BoundFunction::new(value, t.width.width(), now, self.shape)?;
+        self.stats.query_initiated += 1;
+        Ok(Refresh {
+            object,
+            value,
+            bound: t.bound,
+            kind: RefreshKind::QueryInitiated,
+        })
+    }
+
+    /// Performs a §8.3 pre-refresh: re-centers the bound on the current
+    /// master value *without* treating it as a width signal — pre-refreshes
+    /// are scheduling hints, not evidence that the width was wrong, so the
+    /// adaptive controller is left untouched.
+    pub fn pre_refresh(
+        &mut self,
+        cache: CacheId,
+        object: ObjectId,
+        now: f64,
+    ) -> Result<Refresh, TrappError> {
+        let value = self.master(object)?;
+        let t = self.tracked.get_mut(&(cache, object)).ok_or_else(|| {
+            TrappError::RefreshFailed(format!(
+                "{cache} is not subscribed to {object} at source {}",
+                self.id
+            ))
+        })?;
+        t.bound = BoundFunction::new(value, t.width.width(), now, self.shape)?;
+        self.stats.pre_refreshes += 1;
+        Ok(Refresh {
+            object,
+            value,
+            bound: t.bound,
+            kind: RefreshKind::PreRefresh,
+        })
+    }
+
+    /// The bound currently tracked for `(cache, object)` — what the Refresh
+    /// Monitor believes the cache holds.
+    pub fn tracked_bound(&self, cache: CacheId, object: ObjectId) -> Option<&BoundFunction> {
+        self.tracked.get(&(cache, object)).map(|t| &t.bound)
+    }
+
+    /// Objects whose master value sits close to the edge of a cache's bound
+    /// (within `margin` fraction of the half-width) — the §8.3
+    /// *pre-refresh / piggybacking* candidates.
+    pub fn near_edge(&self, cache: CacheId, now: f64, margin: f64) -> Vec<ObjectId> {
+        let mut out = Vec::new();
+        for ((c, obj), t) in &self.tracked {
+            if *c != cache {
+                continue;
+            }
+            let Some(&v) = self.masters.get(obj) else { continue };
+            let iv = t.bound.interval_at(now);
+            let half = iv.width() / 2.0;
+            if half <= 0.0 {
+                continue;
+            }
+            let dist_to_edge = (iv.hi() - v).min(v - iv.lo());
+            if dist_to_edge <= margin * half {
+                out.push(*obj);
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn source() -> Source {
+        let mut s = Source::new(SourceId::new(1), BoundShape::Sqrt);
+        s.register_object(ObjectId::new(1), 100.0).unwrap();
+        s
+    }
+
+    #[test]
+    fn subscription_installs_zero_width_bound() {
+        let mut s = source();
+        let r = s
+            .subscribe(CacheId::new(1), ObjectId::new(1), 2.0, 0.0)
+            .unwrap();
+        assert_eq!(r.kind, RefreshKind::Subscription);
+        assert_eq!(r.value, 100.0);
+        assert!(r.bound.interval_at(0.0).is_point());
+        // The bound widens over time: at t = 4, ±2·√4 = ±4.
+        let iv = r.bound.interval_at(4.0);
+        assert_eq!((iv.lo(), iv.hi()), (96.0, 104.0));
+    }
+
+    #[test]
+    fn small_updates_stay_inside_the_bound() {
+        let mut s = source();
+        s.subscribe(CacheId::new(1), ObjectId::new(1), 2.0, 0.0).unwrap();
+        // At t = 4 the bound is [96, 104]; 103 stays inside.
+        let refreshes = s.apply_update(ObjectId::new(1), 103.0, 4.0).unwrap();
+        assert!(refreshes.is_empty());
+        assert_eq!(s.master(ObjectId::new(1)).unwrap(), 103.0);
+    }
+
+    #[test]
+    fn escaping_update_triggers_value_initiated_refresh_and_widens() {
+        let mut s = source();
+        s.subscribe(CacheId::new(1), ObjectId::new(1), 2.0, 0.0).unwrap();
+        let refreshes = s.apply_update(ObjectId::new(1), 110.0, 4.0).unwrap();
+        assert_eq!(refreshes.len(), 1);
+        let (cache, r) = refreshes[0];
+        assert_eq!(cache, CacheId::new(1));
+        assert_eq!(r.kind, RefreshKind::ValueInitiated);
+        assert_eq!(r.value, 110.0);
+        // Appendix A: the width parameter doubled (default grow factor 2).
+        assert_eq!(r.bound.width_param(), 4.0);
+        assert_eq!(s.stats().value_initiated, 1);
+    }
+
+    #[test]
+    fn query_refresh_narrows_width() {
+        let mut s = source();
+        s.subscribe(CacheId::new(1), ObjectId::new(1), 2.0, 0.0).unwrap();
+        let r = s
+            .serve_refresh(CacheId::new(1), ObjectId::new(1), 3.0)
+            .unwrap();
+        assert_eq!(r.kind, RefreshKind::QueryInitiated);
+        // Default shrink factor 0.7.
+        assert!((r.bound.width_param() - 1.4).abs() < 1e-12);
+        assert_eq!(s.stats().query_initiated, 1);
+        // Unsubscribed caches cannot pull.
+        assert!(s
+            .serve_refresh(CacheId::new(9), ObjectId::new(1), 3.0)
+            .is_err());
+    }
+
+    #[test]
+    fn multiple_caches_tracked_independently() {
+        let mut s = source();
+        s.subscribe(CacheId::new(1), ObjectId::new(1), 2.0, 0.0).unwrap();
+        s.subscribe(CacheId::new(2), ObjectId::new(1), 50.0, 0.0).unwrap();
+        // At t=4: cache 1's bound is ±4 (violated by 110), cache 2's is
+        // ±100 (not violated).
+        let refreshes = s.apply_update(ObjectId::new(1), 110.0, 4.0).unwrap();
+        assert_eq!(refreshes.len(), 1);
+        assert_eq!(refreshes[0].0, CacheId::new(1));
+    }
+
+    #[test]
+    fn near_edge_flags_pre_refresh_candidates() {
+        let mut s = source();
+        s.register_object(ObjectId::new(2), 200.0).unwrap();
+        s.subscribe(CacheId::new(1), ObjectId::new(1), 2.0, 0.0).unwrap();
+        s.subscribe(CacheId::new(1), ObjectId::new(2), 2.0, 0.0).unwrap();
+        // At t = 4 bounds are ±4. Move object 1 near its edge (103.9),
+        // object 2 stays centered.
+        s.apply_update(ObjectId::new(1), 103.9, 4.0).unwrap();
+        let near = s.near_edge(CacheId::new(1), 4.0, 0.1);
+        assert_eq!(near, vec![ObjectId::new(1)]);
+    }
+
+    #[test]
+    fn unknown_objects_error() {
+        let mut s = source();
+        assert!(s.master(ObjectId::new(9)).is_err());
+        assert!(s.apply_update(ObjectId::new(9), 1.0, 0.0).is_err());
+        assert!(s
+            .subscribe(CacheId::new(1), ObjectId::new(9), 1.0, 0.0)
+            .is_err());
+        assert!(s.register_object(ObjectId::new(3), f64::NAN).is_err());
+    }
+}

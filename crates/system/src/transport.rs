@@ -1,0 +1,322 @@
+//! Transports: how query-initiated refresh requests reach sources.
+//!
+//! * [`DirectTransport`] — synchronous function calls into shared sources;
+//!   fully deterministic, zero overhead; the default for tests and
+//!   reproducible experiments.
+//! * [`ChannelTransport`] — every source runs on its own OS thread behind
+//!   `crossbeam` channels, with optional per-request simulated latency.
+//!   This preserves the actor structure of a real deployment: concurrent
+//!   caches block only on their own replies while sources serve requests
+//!   in arrival order.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::Mutex;
+use trapp_types::{CacheId, ObjectId, SourceId, TrappError};
+
+use crate::message::Refresh;
+use crate::source::Source;
+
+/// A refresh-request pathway from caches to sources.
+pub trait Transport: Send + Sync {
+    /// Performs one query-initiated refresh round-trip.
+    fn request_refresh(
+        &self,
+        source: SourceId,
+        cache: CacheId,
+        object: ObjectId,
+        now: f64,
+    ) -> Result<Refresh, TrappError>;
+
+    /// Number of refresh round-trips served so far.
+    fn messages(&self) -> u64;
+}
+
+/// Synchronous, deterministic transport over shared sources.
+#[derive(Clone, Default)]
+pub struct DirectTransport {
+    sources: HashMap<SourceId, Arc<Mutex<Source>>>,
+    messages: Arc<AtomicU64>,
+}
+
+impl DirectTransport {
+    /// An empty transport.
+    pub fn new() -> DirectTransport {
+        DirectTransport::default()
+    }
+
+    /// Registers a source, returning the shared handle for driver-side
+    /// updates.
+    pub fn add_source(&mut self, source: Source) -> Arc<Mutex<Source>> {
+        let id = source.id();
+        let arc = Arc::new(Mutex::new(source));
+        self.sources.insert(id, arc.clone());
+        arc
+    }
+
+    /// The shared handle for `id`.
+    pub fn source(&self, id: SourceId) -> Option<Arc<Mutex<Source>>> {
+        self.sources.get(&id).cloned()
+    }
+}
+
+impl Transport for DirectTransport {
+    fn request_refresh(
+        &self,
+        source: SourceId,
+        cache: CacheId,
+        object: ObjectId,
+        now: f64,
+    ) -> Result<Refresh, TrappError> {
+        let src = self
+            .sources
+            .get(&source)
+            .ok_or_else(|| TrappError::RefreshFailed(format!("unknown source {source}")))?;
+        self.messages.fetch_add(1, Ordering::Relaxed);
+        src.lock().serve_refresh(cache, object, now)
+    }
+
+    fn messages(&self) -> u64 {
+        self.messages.load(Ordering::Relaxed)
+    }
+}
+
+enum SourceRequest {
+    Refresh {
+        cache: CacheId,
+        object: ObjectId,
+        now: f64,
+        reply: Sender<Result<Refresh, TrappError>>,
+    },
+    Update {
+        object: ObjectId,
+        value: f64,
+        now: f64,
+        reply: Sender<Result<Vec<(CacheId, Refresh)>, TrappError>>,
+    },
+    Shutdown,
+}
+
+/// One source actor: a thread draining a request channel.
+struct SourceActor {
+    tx: Sender<SourceRequest>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// Threaded transport: each source behind its own channel + thread.
+pub struct ChannelTransport {
+    actors: HashMap<SourceId, SourceActor>,
+    latency: Duration,
+    messages: Arc<AtomicU64>,
+}
+
+impl ChannelTransport {
+    /// Creates a threaded transport with the given simulated one-way
+    /// latency applied by each source before replying (use
+    /// `Duration::ZERO` for none).
+    pub fn new(latency: Duration) -> ChannelTransport {
+        ChannelTransport {
+            actors: HashMap::new(),
+            latency,
+            messages: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Spawns a source actor thread.
+    pub fn add_source(&mut self, mut source: Source) {
+        let id = source.id();
+        let (tx, rx) = unbounded::<SourceRequest>();
+        let latency = self.latency;
+        let handle = std::thread::spawn(move || {
+            while let Ok(req) = rx.recv() {
+                match req {
+                    SourceRequest::Refresh {
+                        cache,
+                        object,
+                        now,
+                        reply,
+                    } => {
+                        if !latency.is_zero() {
+                            std::thread::sleep(latency);
+                        }
+                        let _ = reply.send(source.serve_refresh(cache, object, now));
+                    }
+                    SourceRequest::Update {
+                        object,
+                        value,
+                        now,
+                        reply,
+                    } => {
+                        let _ = reply.send(source.apply_update(object, value, now));
+                    }
+                    SourceRequest::Shutdown => break,
+                }
+            }
+        });
+        self.actors.insert(
+            id,
+            SourceActor {
+                tx,
+                handle: Some(handle),
+            },
+        );
+    }
+
+    /// Sends an update to a source actor and returns the value-initiated
+    /// refreshes it produced.
+    pub fn apply_update(
+        &self,
+        source: SourceId,
+        object: ObjectId,
+        value: f64,
+        now: f64,
+    ) -> Result<Vec<(CacheId, Refresh)>, TrappError> {
+        let actor = self
+            .actors
+            .get(&source)
+            .ok_or_else(|| TrappError::RefreshFailed(format!("unknown source {source}")))?;
+        let (reply, rx) = unbounded();
+        actor
+            .tx
+            .send(SourceRequest::Update {
+                object,
+                value,
+                now,
+                reply,
+            })
+            .map_err(|_| TrappError::RefreshFailed("source actor gone".into()))?;
+        rx.recv()
+            .map_err(|_| TrappError::RefreshFailed("source actor dropped reply".into()))?
+    }
+}
+
+impl Transport for ChannelTransport {
+    fn request_refresh(
+        &self,
+        source: SourceId,
+        cache: CacheId,
+        object: ObjectId,
+        now: f64,
+    ) -> Result<Refresh, TrappError> {
+        let actor = self
+            .actors
+            .get(&source)
+            .ok_or_else(|| TrappError::RefreshFailed(format!("unknown source {source}")))?;
+        let (reply, rx) = unbounded();
+        actor
+            .tx
+            .send(SourceRequest::Refresh {
+                cache,
+                object,
+                now,
+                reply,
+            })
+            .map_err(|_| TrappError::RefreshFailed("source actor gone".into()))?;
+        self.messages.fetch_add(1, Ordering::Relaxed);
+        rx.recv()
+            .map_err(|_| TrappError::RefreshFailed("source actor dropped reply".into()))?
+    }
+
+    fn messages(&self) -> u64 {
+        self.messages.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for ChannelTransport {
+    fn drop(&mut self) {
+        for actor in self.actors.values_mut() {
+            let _ = actor.tx.send(SourceRequest::Shutdown);
+            if let Some(h) = actor.handle.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::RefreshKind;
+    use trapp_bounds::BoundShape;
+
+    fn mk_source(id: u64) -> Source {
+        let mut s = Source::new(SourceId::new(id), BoundShape::Sqrt);
+        s.register_object(ObjectId::new(1), 10.0).unwrap();
+        s
+    }
+
+    #[test]
+    fn direct_round_trip() {
+        let mut t = DirectTransport::new();
+        let src = t.add_source(mk_source(1));
+        src.lock()
+            .subscribe(CacheId::new(1), ObjectId::new(1), 1.0, 0.0)
+            .unwrap();
+        let r = t
+            .request_refresh(SourceId::new(1), CacheId::new(1), ObjectId::new(1), 1.0)
+            .unwrap();
+        assert_eq!(r.value, 10.0);
+        assert_eq!(r.kind, RefreshKind::QueryInitiated);
+        assert_eq!(t.messages(), 1);
+        assert!(t
+            .request_refresh(SourceId::new(9), CacheId::new(1), ObjectId::new(1), 1.0)
+            .is_err());
+    }
+
+    #[test]
+    fn channel_round_trip_and_updates() {
+        let mut t = ChannelTransport::new(Duration::ZERO);
+        let mut s = mk_source(1);
+        s.subscribe(CacheId::new(1), ObjectId::new(1), 1.0, 0.0).unwrap();
+        t.add_source(s);
+
+        // Query-initiated pull through the thread.
+        let r = t
+            .request_refresh(SourceId::new(1), CacheId::new(1), ObjectId::new(1), 1.0)
+            .unwrap();
+        assert_eq!(r.value, 10.0);
+
+        // Update that escapes the (narrow) bound → value-initiated push.
+        let refreshes = t
+            .apply_update(SourceId::new(1), ObjectId::new(1), 99.0, 2.0)
+            .unwrap();
+        assert_eq!(refreshes.len(), 1);
+        assert_eq!(refreshes[0].1.kind, RefreshKind::ValueInitiated);
+        assert_eq!(t.messages(), 1); // updates are not refresh round-trips
+    }
+
+    #[test]
+    fn channel_transport_is_concurrent() {
+        let mut t = ChannelTransport::new(Duration::from_millis(1));
+        for id in 1..=4u64 {
+            let mut s = mk_source(id);
+            s.subscribe(CacheId::new(1), ObjectId::new(1), 1.0, 0.0).unwrap();
+            t.add_source(s);
+        }
+        let t = Arc::new(t);
+        let mut handles = Vec::new();
+        for id in 1..=4u64 {
+            let t = t.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..5 {
+                    t.request_refresh(
+                        SourceId::new(id),
+                        CacheId::new(1),
+                        ObjectId::new(1),
+                        1.0,
+                    )
+                    .unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(t.messages(), 20);
+    }
+}

@@ -1,0 +1,167 @@
+//! System-level integration tests: the full Figure 3 architecture over the
+//! *threaded* transport, and the Refresh-Monitor consistency invariant —
+//! the source's tracked bound must always equal what the cache holds, or
+//! the "guaranteed to contain the master value" contract silently breaks.
+
+use std::time::Duration;
+
+use trapp_bounds::BoundShape;
+use trapp_storage::{ColumnDef, Schema, Table};
+use trapp_system::{CacheNode, ChannelTransport, SimClock, Source, Transport};
+use trapp_types::{BoundedValue, CacheId, ObjectId, SourceId, Value, ValueType};
+
+fn sensor_schema() -> std::sync::Arc<Schema> {
+    Schema::new(vec![
+        ColumnDef::exact("name", ValueType::Str),
+        ColumnDef::bounded_float("temp"),
+    ])
+    .unwrap()
+}
+
+/// Builds a cache over `n` objects spread across `sources` threaded
+/// sources, returning `(clock, cache, transport)`.
+fn threaded_setup(
+    n: usize,
+    sources: usize,
+) -> (SimClock, CacheNode, ChannelTransport) {
+    let clock = SimClock::new();
+    let mut cache = CacheNode::new(CacheId::new(1), clock.clone());
+    let mut table = Table::new("sensors", sensor_schema());
+    let mut tids = Vec::new();
+    for i in 0..n {
+        let tid = table
+            .insert_with_cost(
+                vec![
+                    BoundedValue::Exact(Value::Str(format!("s{i}"))),
+                    BoundedValue::bounded(0.0, 0.0).unwrap(),
+                ],
+                1.0 + (i % 5) as f64,
+            )
+            .unwrap();
+        tids.push(tid);
+    }
+    cache.add_table(table).unwrap();
+
+    let mut transport = ChannelTransport::new(Duration::from_micros(200));
+    for s in 0..sources {
+        let sid = SourceId::new(s as u64 + 1);
+        let mut source = Source::new(sid, BoundShape::Sqrt);
+        for (i, &tid) in tids.iter().enumerate() {
+            if i % sources != s {
+                continue;
+            }
+            let obj = ObjectId::new(i as u64 + 1);
+            source.register_object(obj, 20.0 + i as f64).unwrap();
+            cache.bind_object(obj, sid, "sensors", tid, 1).unwrap();
+            let refresh = source.subscribe(CacheId::new(1), obj, 1.0, 0.0).unwrap();
+            cache.install_refresh(refresh).unwrap();
+        }
+        transport.add_source(source);
+    }
+    (clock, cache, transport)
+}
+
+#[test]
+fn queries_work_over_the_threaded_transport() {
+    let (clock, mut cache, transport) = threaded_setup(12, 3);
+    clock.advance(9.0); // bounds now ±3 per object
+
+    // Loose query: cache only.
+    let r = cache
+        .execute_query("SELECT SUM(temp) WITHIN 100 FROM sensors", &transport)
+        .unwrap();
+    assert!(r.satisfied);
+    assert_eq!(transport.messages(), 0);
+
+    // Tight query: refreshes travel through the source threads.
+    let r = cache
+        .execute_query("SELECT SUM(temp) WITHIN 2 FROM sensors", &transport)
+        .unwrap();
+    assert!(r.satisfied);
+    assert!(r.answer.width() <= 2.0);
+    assert!(transport.messages() > 0);
+    // True sum: Σ (20 + i) for i in 0..12 = 240 + 66.
+    assert!(r.answer.range.contains(306.0));
+}
+
+#[test]
+fn exact_answers_match_across_transport_kinds() {
+    let (clock, mut cache, transport) = threaded_setup(8, 2);
+    clock.advance(4.0);
+    let r = cache
+        .execute_query("SELECT MAX(temp) WITHIN 0 FROM sensors", &transport)
+        .unwrap();
+    assert!(r.answer.is_exact());
+    assert_eq!(r.answer.range.lo(), 27.0); // 20 + 7
+}
+
+/// The Refresh Monitor invariant: after any interleaving of updates,
+/// queries, and clock advances, the bound the source tracks for
+/// (cache, object) is identical to the bound function the cache holds —
+/// which is what makes value-initiated refresh detection sound.
+#[test]
+fn monitor_view_matches_cache_view() {
+    let clock = SimClock::new();
+    let mut sim = trapp_system::Simulation::builder()
+        .initial_width(1.5)
+        .build()
+        .unwrap();
+    let _ = clock;
+    sim.add_source(SourceId::new(1));
+    sim.add_table(Table::new("sensors", sensor_schema())).unwrap();
+    let mut values = Vec::new();
+    for i in 0..6 {
+        sim.add_row(
+            "sensors",
+            SourceId::new(1),
+            vec![
+                BoundedValue::Exact(Value::Str(format!("s{i}"))),
+                BoundedValue::exact_f64(10.0 * i as f64).unwrap(),
+            ],
+        )
+        .unwrap();
+        values.push(10.0 * i as f64);
+    }
+
+    for tick in 1..=40u64 {
+        sim.clock.advance(0.5);
+        // Drift a rotating object, sometimes escaping.
+        let k = (tick % 6) as usize;
+        values[k] += if tick % 7 == 0 { 9.0 } else { 0.3 };
+        sim.apply_update(ObjectId::new(k as u64 + 1), values[k]).unwrap();
+        if tick % 8 == 0 {
+            sim.run_query("SELECT SUM(temp) WITHIN 3 FROM sensors").unwrap();
+        }
+        if tick % 11 == 0 {
+            sim.pre_refresh_near_edge(0.25).unwrap();
+        }
+
+        // Invariant: master values always inside the cache's materialized
+        // bounds (checked via a WITHIN ∞ query answer containing the truth).
+        let r = sim.run_query("SELECT SUM(temp) FROM sensors").unwrap();
+        let truth: f64 = values.iter().sum();
+        assert!(
+            r.answer.range.lo() <= truth + 1e-9 && truth <= r.answer.range.hi() + 1e-9,
+            "tick {tick}: {} excludes {truth}",
+            r.answer
+        );
+
+        // Invariant: the source's tracked bound equals the cache-installed
+        // bound for every object.
+        let src = sim.transport.source(SourceId::new(1)).unwrap();
+        let src = src.lock();
+        for (i, _) in values.iter().enumerate() {
+            let obj = ObjectId::new(i as u64 + 1);
+            let tracked = src.tracked_bound(CacheId::new(1), obj).unwrap();
+            let now = sim.clock.now();
+            let master = src.master(obj).unwrap();
+            assert!(
+                tracked.interval_at(now).contains(master),
+                "tick {tick}: monitor bound for {obj} excludes master {master}"
+            );
+        }
+    }
+    let stats = sim.stats();
+    assert!(stats.value_initiated > 0, "drift must have escaped at least once");
+    assert!(stats.query_initiated > 0);
+}

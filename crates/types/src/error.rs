@@ -1,0 +1,130 @@
+//! Shared error type for the TRAPP crates.
+//!
+//! The workspace deliberately avoids external error-handling crates; this is
+//! a plain enum with manual `Display`/`Error` implementations. Higher-level
+//! crates (`trapp-sql`, `trapp-core`) wrap their own context around these
+//! variants where useful.
+
+use std::fmt;
+
+/// Convenience alias used throughout the workspace.
+pub type TrappResult<T> = Result<T, TrappError>;
+
+/// Errors produced by TRAPP components.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrappError {
+    /// A NaN was supplied where a real number is required.
+    NanValue,
+    /// An interval was constructed with `lo > hi`.
+    InvalidInterval {
+        /// Attempted lower endpoint.
+        lo: f64,
+        /// Attempted upper endpoint.
+        hi: f64,
+    },
+    /// A precision constraint was negative.
+    NegativePrecision(f64),
+    /// A refresh cost was negative or NaN.
+    InvalidCost(f64),
+    /// Two values of incompatible types were combined.
+    TypeMismatch {
+        /// What the operation expected.
+        expected: String,
+        /// What it actually received.
+        actual: String,
+    },
+    /// A named column does not exist in the schema.
+    UnknownColumn(String),
+    /// A named table does not exist in the catalog.
+    UnknownTable(String),
+    /// A table with this name already exists in the catalog.
+    DuplicateTable(String),
+    /// A tuple id was not found in the table.
+    UnknownTuple(u64),
+    /// A row's arity or types do not match the table schema.
+    SchemaViolation(String),
+    /// A bounded value was found where an exact value is required
+    /// (or vice versa).
+    BoundednessViolation(String),
+    /// SQL lexing/parsing failure, with byte offset into the input.
+    Parse {
+        /// Human-readable message.
+        message: String,
+        /// Byte offset of the offending token.
+        offset: usize,
+    },
+    /// Query planning/binding failure (e.g. aggregation over a string column).
+    Plan(String),
+    /// The refresh oracle could not supply a master value for an object.
+    RefreshFailed(String),
+    /// Division by an interval containing zero during interval evaluation.
+    DivisionByZeroInterval,
+    /// The operation is not supported in this configuration.
+    Unsupported(String),
+    /// Internal invariant violation; indicates a bug in TRAPP itself.
+    Internal(String),
+}
+
+impl fmt::Display for TrappError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrappError::NanValue => write!(f, "NaN is not a valid TRAPP value"),
+            TrappError::InvalidInterval { lo, hi } => {
+                write!(f, "invalid interval: lo ({lo}) > hi ({hi})")
+            }
+            TrappError::NegativePrecision(r) => {
+                write!(f, "precision constraint must be non-negative, got {r}")
+            }
+            TrappError::InvalidCost(c) => {
+                write!(f, "refresh cost must be a non-negative real, got {c}")
+            }
+            TrappError::TypeMismatch { expected, actual } => {
+                write!(f, "type mismatch: expected {expected}, got {actual}")
+            }
+            TrappError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            TrappError::UnknownTable(t) => write!(f, "unknown table: {t}"),
+            TrappError::DuplicateTable(t) => write!(f, "table already exists: {t}"),
+            TrappError::UnknownTuple(id) => write!(f, "unknown tuple id: {id}"),
+            TrappError::SchemaViolation(m) => write!(f, "schema violation: {m}"),
+            TrappError::BoundednessViolation(m) => {
+                write!(f, "boundedness violation: {m}")
+            }
+            TrappError::Parse { message, offset } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+            TrappError::Plan(m) => write!(f, "planning error: {m}"),
+            TrappError::RefreshFailed(m) => write!(f, "refresh failed: {m}"),
+            TrappError::DivisionByZeroInterval => {
+                write!(f, "division by an interval containing zero")
+            }
+            TrappError::Unsupported(m) => write!(f, "unsupported operation: {m}"),
+            TrappError::Internal(m) => write!(f, "internal TRAPP error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TrappError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = TrappError::InvalidInterval { lo: 2.0, hi: 1.0 };
+        assert!(e.to_string().contains("lo (2)"));
+        let e = TrappError::Parse {
+            message: "expected FROM".into(),
+            offset: 17,
+        };
+        assert!(e.to_string().contains("byte 17"));
+        let e = TrappError::UnknownColumn("lat".into());
+        assert_eq!(e.to_string(), "unknown column: lat");
+    }
+
+    #[test]
+    fn error_trait_object_safe() {
+        let e: Box<dyn std::error::Error> = Box::new(TrappError::NanValue);
+        assert!(e.to_string().contains("NaN"));
+    }
+}

@@ -1,0 +1,493 @@
+//! Closed real intervals and the comparison semantics of Figure 8.
+//!
+//! A TRAPP cache stores, for every replicated object `Oᵢ`, a bound
+//! `[Lᵢ, Hᵢ]` guaranteed to contain the master value `Vᵢ` (§3.1). Bounded
+//! aggregate answers are intervals too (§1.3). This module implements:
+//!
+//! * interval construction and the width/containment queries used everywhere,
+//! * **interval arithmetic** (`+`, `−`, `×`, `÷`, negation) so that
+//!   aggregation and selection over arbitrary numeric *expressions* of bounded
+//!   columns remain sound over-approximations,
+//! * the **three-valued comparisons** of Figure 8 (`=`, `≠`, `<`, `≤`, `>`,
+//!   `≥` on ranges), returning [`Tri`],
+//! * helpers specific to the paper's algorithms: zero-extension for
+//!   `SUM` with predicates (§6.2) and endpoint clamping for the Appendix D
+//!   refinement.
+
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+use crate::error::TrappError;
+use crate::float::OrderedF64;
+use crate::tri::Tri;
+
+/// A closed interval `[lo, hi]` over the extended reals, with `lo ≤ hi` and
+/// neither endpoint NaN.
+///
+/// Degenerate (point) intervals represent exact values; `Interval::point(v)`
+/// has zero width. Infinite endpoints represent unbounded knowledge, e.g.
+/// the implicit `R = ∞` precision constraint.
+///
+/// ```
+/// use trapp_types::Interval;
+/// let b = Interval::new(2.0, 4.0).unwrap();
+/// assert_eq!(b.width(), 2.0);
+/// assert!(b.contains(3.0));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Interval {
+    lo: OrderedF64,
+    hi: OrderedF64,
+}
+
+impl Interval {
+    /// The full extended real line `[−∞, +∞]`.
+    pub const UNBOUNDED: Interval = Interval {
+        lo: OrderedF64::NEG_INFINITY,
+        hi: OrderedF64::INFINITY,
+    };
+
+    /// The degenerate interval `[0, 0]`.
+    pub const ZERO: Interval = Interval {
+        lo: OrderedF64::ZERO,
+        hi: OrderedF64::ZERO,
+    };
+
+    /// Creates `[lo, hi]`, validating `lo ≤ hi` and rejecting NaN.
+    pub fn new(lo: f64, hi: f64) -> Result<Interval, TrappError> {
+        if lo.is_nan() || hi.is_nan() {
+            return Err(TrappError::NanValue);
+        }
+        if lo > hi {
+            return Err(TrappError::InvalidInterval { lo, hi });
+        }
+        Ok(Interval {
+            lo: OrderedF64::new_unchecked(lo),
+            hi: OrderedF64::new_unchecked(hi),
+        })
+    }
+
+    /// Creates `[lo, hi]` without validation.
+    ///
+    /// # Panics
+    /// Debug-asserts the invariants; intended for internal hot paths where
+    /// the endpoints were already validated.
+    #[inline]
+    pub fn new_unchecked(lo: f64, hi: f64) -> Interval {
+        debug_assert!(!lo.is_nan() && !hi.is_nan() && lo <= hi);
+        Interval {
+            lo: OrderedF64::new_unchecked(lo),
+            hi: OrderedF64::new_unchecked(hi),
+        }
+    }
+
+    /// The degenerate interval `[v, v]` (an exact value).
+    pub fn point(v: f64) -> Result<Interval, TrappError> {
+        Interval::new(v, v)
+    }
+
+    /// Lower endpoint `L`.
+    #[inline]
+    pub fn lo(self) -> f64 {
+        self.lo.get()
+    }
+
+    /// Upper endpoint `H`.
+    #[inline]
+    pub fn hi(self) -> f64 {
+        self.hi.get()
+    }
+
+    /// Lower endpoint as an ordered float (for index keys).
+    #[inline]
+    pub fn lo_key(self) -> OrderedF64 {
+        self.lo
+    }
+
+    /// Upper endpoint as an ordered float (for index keys).
+    #[inline]
+    pub fn hi_key(self) -> OrderedF64 {
+        self.hi
+    }
+
+    /// The precision of the bound: `H − L` (0 = exact, ∞ = unbounded).
+    #[inline]
+    pub fn width(self) -> f64 {
+        let w = self.hi.get() - self.lo.get();
+        // [−∞, −∞] or [+∞, +∞] are degenerate points of width 0, but IEEE
+        // gives ∞ − ∞ = NaN; normalize.
+        if w.is_nan() {
+            0.0
+        } else {
+            w
+        }
+    }
+
+    /// `true` if the interval is a single point (width 0).
+    #[inline]
+    pub fn is_point(self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// `true` if both endpoints are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.lo.is_finite() && self.hi.is_finite()
+    }
+
+    /// `true` if `v ∈ [L, H]`.
+    #[inline]
+    pub fn contains(self, v: f64) -> bool {
+        !v.is_nan() && self.lo.get() <= v && v <= self.hi.get()
+    }
+
+    /// `true` if `other ⊆ self`.
+    #[inline]
+    pub fn contains_interval(self, other: Interval) -> bool {
+        self.lo <= other.lo && other.hi <= self.hi
+    }
+
+    /// The midpoint; for infinite endpoints returns the finite one, or 0.
+    pub fn midpoint(self) -> f64 {
+        match (self.lo.is_finite(), self.hi.is_finite()) {
+            (true, true) => self.lo.get() * 0.5 + self.hi.get() * 0.5,
+            (true, false) => self.lo.get(),
+            (false, true) => self.hi.get(),
+            (false, false) => 0.0,
+        }
+    }
+
+    /// Intersection, or `None` if disjoint.
+    pub fn intersect(self, other: Interval) -> Option<Interval> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        if lo <= hi {
+            Some(Interval { lo, hi })
+        } else {
+            None
+        }
+    }
+
+    /// Smallest interval containing both (convex hull).
+    pub fn hull(self, other: Interval) -> Interval {
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Extends the interval to include 0.
+    ///
+    /// §6.2: when computing `SUM` with a selection predicate, a `T?` tuple
+    /// might fall out of the selection and contribute 0, so its effective
+    /// bound is the hull of `[L, H]` and `{0}`.
+    pub fn extended_to_zero(self) -> Interval {
+        self.hull(Interval::ZERO)
+    }
+
+    /// The knapsack weight of this bound once zero-extended (§6.2):
+    /// `H` if `L ≥ 0`, `−L` if `H ≤ 0`, else `H − L`.
+    pub fn zero_extended_width(self) -> f64 {
+        self.extended_to_zero().width()
+    }
+
+    /// Raises the lower endpoint to `min_lo` if it is below it
+    /// (Appendix D refinement: a predicate `a > c` on the aggregation column
+    /// lets us use `[max(L, c), H]`). Returns `None` if that empties the
+    /// interval.
+    pub fn clamp_lo(self, min_lo: f64) -> Option<Interval> {
+        self.intersect(Interval::new_unchecked(min_lo, f64::INFINITY))
+    }
+
+    /// Lowers the upper endpoint to `max_hi` if it is above it. Returns
+    /// `None` if that empties the interval.
+    pub fn clamp_hi(self, max_hi: f64) -> Option<Interval> {
+        self.intersect(Interval::new_unchecked(f64::NEG_INFINITY, max_hi))
+    }
+
+    /// Scales both endpoints by a non-negative factor.
+    pub fn scale(self, k: f64) -> Interval {
+        debug_assert!(k >= 0.0 && !k.is_nan());
+        Interval {
+            lo: OrderedF64::new_unchecked(mul_ext(self.lo.get(), k)),
+            hi: OrderedF64::new_unchecked(mul_ext(self.hi.get(), k)),
+        }
+    }
+
+    // ----- Figure 8: three-valued comparisons over ranges -----
+    //
+    // Exact values participate as point intervals (the paper's convention
+    // K_min = K_max = K).
+
+    /// `[x] = [y]`: Possible ⇔ xmin ≤ ymax ∧ xmax ≥ ymin;
+    /// Certain ⇔ xmin = xmax = ymin = ymax.
+    pub fn tri_eq(self, other: Interval) -> Tri {
+        let possible = self.lo <= other.hi && self.hi >= other.lo;
+        let certain =
+            self.lo == self.hi && other.lo == other.hi && self.lo == other.lo;
+        Tri::from_possible_certain(possible, certain)
+    }
+
+    /// `[x] ≠ [y]` — the negation of [`Interval::tri_eq`].
+    pub fn tri_ne(self, other: Interval) -> Tri {
+        self.tri_eq(other).negate()
+    }
+
+    /// `[x] < [y]`: Possible ⇔ xmin < ymax; Certain ⇔ xmax < ymin.
+    pub fn tri_lt(self, other: Interval) -> Tri {
+        Tri::from_possible_certain(self.lo < other.hi, self.hi < other.lo)
+    }
+
+    /// `[x] ≤ [y]`: Possible ⇔ xmin ≤ ymax; Certain ⇔ xmax ≤ ymin.
+    pub fn tri_le(self, other: Interval) -> Tri {
+        Tri::from_possible_certain(self.lo <= other.hi, self.hi <= other.lo)
+    }
+
+    /// `[x] > [y]` — mirror of `<`.
+    pub fn tri_gt(self, other: Interval) -> Tri {
+        other.tri_lt(self)
+    }
+
+    /// `[x] ≥ [y]` — mirror of `≤`.
+    pub fn tri_ge(self, other: Interval) -> Tri {
+        other.tri_le(self)
+    }
+}
+
+/// Extended-real multiplication with the interval-arithmetic convention
+/// `0 × ±∞ = 0` (rather than IEEE's NaN).
+#[inline]
+fn mul_ext(a: f64, b: f64) -> f64 {
+    if a == 0.0 || b == 0.0 {
+        0.0
+    } else {
+        a * b
+    }
+}
+
+/// Extended-real addition; `∞ + (−∞)` cannot arise from valid interval
+/// operand pairings, but we keep a deterministic result (0) rather than NaN.
+#[inline]
+fn add_ext(a: f64, b: f64) -> f64 {
+    let s = a + b;
+    if s.is_nan() {
+        0.0
+    } else {
+        s
+    }
+}
+
+impl Add for Interval {
+    type Output = Interval;
+    /// `[a,b] + [c,d] = [a+c, b+d]`.
+    fn add(self, rhs: Interval) -> Interval {
+        Interval::new_unchecked(
+            add_ext(self.lo.get(), rhs.lo.get()),
+            add_ext(self.hi.get(), rhs.hi.get()),
+        )
+    }
+}
+
+impl Sub for Interval {
+    type Output = Interval;
+    /// `[a,b] − [c,d] = [a−d, b−c]`.
+    fn sub(self, rhs: Interval) -> Interval {
+        Interval::new_unchecked(
+            add_ext(self.lo.get(), -rhs.hi.get()),
+            add_ext(self.hi.get(), -rhs.lo.get()),
+        )
+    }
+}
+
+impl Neg for Interval {
+    type Output = Interval;
+    /// `−[a,b] = [−b, −a]`.
+    fn neg(self) -> Interval {
+        Interval {
+            lo: -self.hi,
+            hi: -self.lo,
+        }
+    }
+}
+
+impl Mul for Interval {
+    type Output = Interval;
+    /// `[a,b] × [c,d]` = hull of all endpoint products.
+    fn mul(self, rhs: Interval) -> Interval {
+        let (a, b) = (self.lo.get(), self.hi.get());
+        let (c, d) = (rhs.lo.get(), rhs.hi.get());
+        let p = [
+            mul_ext(a, c),
+            mul_ext(a, d),
+            mul_ext(b, c),
+            mul_ext(b, d),
+        ];
+        let mut lo = p[0];
+        let mut hi = p[0];
+        for &x in &p[1..] {
+            if x < lo {
+                lo = x;
+            }
+            if x > hi {
+                hi = x;
+            }
+        }
+        Interval::new_unchecked(lo, hi)
+    }
+}
+
+impl Div for Interval {
+    type Output = Result<Interval, TrappError>;
+    /// `[a,b] ÷ [c,d]`; errors if the divisor contains 0.
+    ///
+    /// TRAPP predicates and aggregate expressions treat division by an
+    /// interval straddling zero as a query error rather than returning the
+    /// unbounded interval — a silent `[−∞, +∞]` would satisfy no finite
+    /// precision constraint anyway, and an explicit error is more debuggable.
+    fn div(self, rhs: Interval) -> Result<Interval, TrappError> {
+        if rhs.contains(0.0) {
+            return Err(TrappError::DivisionByZeroInterval);
+        }
+        let inv = Interval::new_unchecked(1.0 / rhs.hi.get(), 1.0 / rhs.lo.get());
+        Ok(self * inv)
+    }
+}
+
+impl fmt::Debug for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(lo: f64, hi: f64) -> Interval {
+        Interval::new(lo, hi).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(Interval::new(1.0, 0.0).is_err());
+        assert!(Interval::new(f64::NAN, 1.0).is_err());
+        assert!(Interval::new(1.0, f64::NAN).is_err());
+        assert!(Interval::new(1.0, 1.0).unwrap().is_point());
+        assert!(Interval::UNBOUNDED.contains(1e300));
+    }
+
+    #[test]
+    fn width_and_contains() {
+        let b = iv(2.0, 4.0);
+        assert_eq!(b.width(), 2.0);
+        assert!(b.contains(2.0) && b.contains(4.0) && b.contains(3.0));
+        assert!(!b.contains(1.999) && !b.contains(4.001));
+        assert!(!b.contains(f64::NAN));
+        assert_eq!(Interval::UNBOUNDED.width(), f64::INFINITY);
+    }
+
+    #[test]
+    fn intersect_and_hull() {
+        assert_eq!(iv(0.0, 2.0).intersect(iv(1.0, 3.0)), Some(iv(1.0, 2.0)));
+        assert_eq!(iv(0.0, 1.0).intersect(iv(2.0, 3.0)), None);
+        // touching intervals intersect in a point
+        assert_eq!(iv(0.0, 1.0).intersect(iv(1.0, 2.0)), Some(iv(1.0, 1.0)));
+        assert_eq!(iv(0.0, 1.0).hull(iv(2.0, 3.0)), iv(0.0, 3.0));
+    }
+
+    #[test]
+    fn zero_extension_matches_paper_sum_weights() {
+        // §6.2: if L ≥ 0, W = H; if H ≤ 0, W = −L; otherwise W = H − L.
+        assert_eq!(iv(2.0, 4.0).zero_extended_width(), 4.0);
+        assert_eq!(iv(-4.0, -1.0).zero_extended_width(), 4.0);
+        assert_eq!(iv(-3.0, 5.0).zero_extended_width(), 8.0);
+        assert_eq!(iv(0.0, 7.0).zero_extended_width(), 7.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(iv(1.0, 2.0) + iv(10.0, 20.0), iv(11.0, 22.0));
+        assert_eq!(iv(1.0, 2.0) - iv(10.0, 20.0), iv(-19.0, -8.0));
+        assert_eq!(-iv(1.0, 2.0), iv(-2.0, -1.0));
+        assert_eq!(iv(1.0, 2.0) * iv(3.0, 4.0), iv(3.0, 8.0));
+        assert_eq!(iv(-1.0, 2.0) * iv(3.0, 4.0), iv(-4.0, 8.0));
+        assert_eq!(iv(-2.0, -1.0) * iv(-4.0, -3.0), iv(3.0, 8.0));
+        assert_eq!((iv(1.0, 2.0) / iv(2.0, 4.0)).unwrap(), iv(0.25, 1.0));
+        assert!((iv(1.0, 2.0) / iv(-1.0, 1.0)).is_err());
+        assert!((iv(1.0, 2.0) / iv(0.0, 1.0)).is_err());
+    }
+
+    #[test]
+    fn multiplication_with_infinite_endpoints() {
+        let unb = Interval::UNBOUNDED;
+        let z = Interval::ZERO;
+        // 0 × [−∞, ∞] = 0 under the interval convention.
+        assert_eq!(unb * z, z);
+        assert_eq!(unb * iv(2.0, 3.0), unb);
+    }
+
+    #[test]
+    fn figure8_lt() {
+        // Disjoint: certainly less.
+        assert_eq!(iv(1.0, 2.0).tri_lt(iv(3.0, 4.0)), Tri::True);
+        // Overlapping: maybe.
+        assert_eq!(iv(1.0, 3.0).tri_lt(iv(2.0, 4.0)), Tri::Maybe);
+        // Reversed disjoint: certainly not.
+        assert_eq!(iv(3.0, 4.0).tri_lt(iv(1.0, 2.0)), Tri::False);
+        // Touching endpoints: [1,2] < [2,3] is possible (1 < 3) but not
+        // certain (2 < 2 fails).
+        assert_eq!(iv(1.0, 2.0).tri_lt(iv(2.0, 3.0)), Tri::Maybe);
+        // Points: 2 < 2 is certainly false; but [2,2] < [2,3]? possible:
+        // xmin(2) < ymax(3) yes; certain: 2 < 2 no → Maybe.
+        assert_eq!(iv(2.0, 2.0).tri_lt(iv(2.0, 2.0)), Tri::False);
+        assert_eq!(iv(2.0, 2.0).tri_lt(iv(2.0, 3.0)), Tri::Maybe);
+    }
+
+    #[test]
+    fn figure8_le() {
+        assert_eq!(iv(1.0, 2.0).tri_le(iv(2.0, 3.0)), Tri::True);
+        assert_eq!(iv(1.0, 3.0).tri_le(iv(2.0, 4.0)), Tri::Maybe);
+        assert_eq!(iv(3.0, 4.0).tri_le(iv(1.0, 2.0)), Tri::False);
+        // [3,4] ≤ [2,3]: possible (3 ≤ 3), not certain (4 ≤ 2 fails).
+        assert_eq!(iv(3.0, 4.0).tri_le(iv(2.0, 3.0)), Tri::Maybe);
+    }
+
+    #[test]
+    fn figure8_eq() {
+        assert_eq!(iv(2.0, 2.0).tri_eq(iv(2.0, 2.0)), Tri::True);
+        assert_eq!(iv(1.0, 3.0).tri_eq(iv(2.0, 4.0)), Tri::Maybe);
+        assert_eq!(iv(1.0, 2.0).tri_eq(iv(3.0, 4.0)), Tri::False);
+        // Equal non-point ranges are only possibly equal.
+        assert_eq!(iv(1.0, 2.0).tri_eq(iv(1.0, 2.0)), Tri::Maybe);
+        assert_eq!(iv(1.0, 2.0).tri_ne(iv(3.0, 4.0)), Tri::True);
+        assert_eq!(iv(2.0, 2.0).tri_ne(iv(2.0, 2.0)), Tri::False);
+    }
+
+    #[test]
+    fn gt_ge_are_mirrors() {
+        let a = iv(1.0, 3.0);
+        let b = iv(2.0, 4.0);
+        assert_eq!(a.tri_gt(b), b.tri_lt(a));
+        assert_eq!(a.tri_ge(b), b.tri_le(a));
+    }
+
+    #[test]
+    fn clamp_refinement() {
+        // Appendix D example: bound [3,8] under predicate "< 5" can shrink to
+        // [3,5]; under "> 10" it empties.
+        let b = iv(3.0, 8.0);
+        assert_eq!(b.clamp_hi(5.0), Some(iv(3.0, 5.0)));
+        assert_eq!(b.clamp_lo(10.0), None);
+        assert_eq!(b.clamp_lo(1.0), Some(b));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{}", iv(2.0, 4.5)), "[2, 4.5]");
+    }
+}

@@ -1,0 +1,214 @@
+//! Kleene three-valued logic.
+//!
+//! Section 6 / Appendix D of the paper classify tuples against a selection
+//! predicate `P` evaluated over *bounded* data: a tuple may **certainly**
+//! satisfy `P` (it lands in `T+`), **possibly** satisfy it (`T?`), or
+//! certainly not (`T−`). The paper expresses this via two predicate
+//! transformations, `Possible(P)` and `Certain(P)` (Figure 8). Those
+//! transformations are exactly strong-Kleene three-valued evaluation:
+//!
+//! * `Certain(P)`  ⇔ `eval₃(P) = True`
+//! * `Possible(P)` ⇔ `eval₃(P) ≠ False`
+//!
+//! The asymmetries the paper notes — conjunction is only an *implication* for
+//! `Possible`, disjunction only an implication for `Certain` — correspond to
+//! Kleene logic being conservative in the presence of correlated
+//! subexpressions (e.g. `x < 5 OR x ≥ 5` evaluates to `Maybe` even though it
+//! is a tautology). This loses *optimality* only, never correctness, exactly
+//! as discussed in Appendix D.
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr, Not};
+
+/// A three-valued truth value: `False < Maybe < True`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Tri {
+    /// The predicate certainly does not hold for any values in the bounds.
+    False,
+    /// The predicate holds for some assignments within the bounds and fails
+    /// for others.
+    Maybe,
+    /// The predicate certainly holds for all values in the bounds.
+    True,
+}
+
+impl Tri {
+    /// Lifts a Boolean into three-valued logic.
+    #[inline]
+    pub fn from_bool(b: bool) -> Tri {
+        if b {
+            Tri::True
+        } else {
+            Tri::False
+        }
+    }
+
+    /// Builds a `Tri` from the pair (`possible`, `certain`).
+    ///
+    /// `certain ⇒ possible` is required; violations indicate a bug in a
+    /// comparison routine and panic in debug builds.
+    #[inline]
+    pub fn from_possible_certain(possible: bool, certain: bool) -> Tri {
+        debug_assert!(!certain || possible, "certain implies possible");
+        if certain {
+            Tri::True
+        } else if possible {
+            Tri::Maybe
+        } else {
+            Tri::False
+        }
+    }
+
+    /// `Certain(P)` in the paper's terminology: the predicate is guaranteed.
+    #[inline]
+    pub fn is_certain(self) -> bool {
+        self == Tri::True
+    }
+
+    /// `Possible(P)` in the paper's terminology: some assignment satisfies it.
+    #[inline]
+    pub fn is_possible(self) -> bool {
+        self != Tri::False
+    }
+
+    /// Kleene conjunction.
+    #[inline]
+    pub fn and(self, other: Tri) -> Tri {
+        std::cmp::min(self, other)
+    }
+
+    /// Kleene disjunction.
+    #[inline]
+    pub fn or(self, other: Tri) -> Tri {
+        std::cmp::max(self, other)
+    }
+
+    /// Kleene negation.
+    #[inline]
+    pub fn negate(self) -> Tri {
+        match self {
+            Tri::True => Tri::False,
+            Tri::Maybe => Tri::Maybe,
+            Tri::False => Tri::True,
+        }
+    }
+}
+
+impl Not for Tri {
+    type Output = Tri;
+    fn not(self) -> Tri {
+        self.negate()
+    }
+}
+impl BitAnd for Tri {
+    type Output = Tri;
+    fn bitand(self, rhs: Tri) -> Tri {
+        self.and(rhs)
+    }
+}
+impl BitOr for Tri {
+    type Output = Tri;
+    fn bitor(self, rhs: Tri) -> Tri {
+        self.or(rhs)
+    }
+}
+
+impl fmt::Display for Tri {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tri::True => write!(f, "true"),
+            Tri::Maybe => write!(f, "maybe"),
+            Tri::False => write!(f, "false"),
+        }
+    }
+}
+
+impl From<bool> for Tri {
+    fn from(b: bool) -> Tri {
+        Tri::from_bool(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [Tri; 3] = [Tri::False, Tri::Maybe, Tri::True];
+
+    #[test]
+    fn kleene_truth_tables() {
+        use Tri::*;
+        // AND
+        assert_eq!(True & True, True);
+        assert_eq!(True & Maybe, Maybe);
+        assert_eq!(True & False, False);
+        assert_eq!(Maybe & Maybe, Maybe);
+        assert_eq!(Maybe & False, False);
+        assert_eq!(False & False, False);
+        // OR
+        assert_eq!(False | False, False);
+        assert_eq!(False | Maybe, Maybe);
+        assert_eq!(False | True, True);
+        assert_eq!(Maybe | Maybe, Maybe);
+        assert_eq!(Maybe | True, True);
+        assert_eq!(True | True, True);
+        // NOT
+        assert_eq!(!True, False);
+        assert_eq!(!Maybe, Maybe);
+        assert_eq!(!False, True);
+    }
+
+    /// Figure 8's NOT rules: Possible(¬E) ⇔ ¬Certain(E); Certain(¬E) ⇔ ¬Possible(E).
+    #[test]
+    fn negation_swaps_possible_and_certain() {
+        for t in ALL {
+            assert_eq!((!t).is_possible(), !t.is_certain());
+            assert_eq!((!t).is_certain(), !t.is_possible());
+        }
+    }
+
+    /// Figure 8's AND rules: Certain(E1 ∧ E2) ⇔ Certain(E1) ∧ Certain(E2)
+    /// and Possible(E1 ∧ E2) ⇒ Possible(E1) ∧ Possible(E2) — in Kleene
+    /// evaluation the conjunction's Possible equals the conjunction of
+    /// Possibles (the implication direction the paper keeps is from the
+    /// original semantics to the translated formula; Kleene realises the
+    /// translated formula).
+    #[test]
+    fn conjunction_certainty() {
+        for a in ALL {
+            for b in ALL {
+                assert_eq!((a & b).is_certain(), a.is_certain() && b.is_certain());
+                assert_eq!((a & b).is_possible(), a.is_possible() && b.is_possible());
+            }
+        }
+    }
+
+    /// Figure 8's OR rules, dually.
+    #[test]
+    fn disjunction_possibility() {
+        for a in ALL {
+            for b in ALL {
+                assert_eq!((a | b).is_possible(), a.is_possible() || b.is_possible());
+                assert_eq!((a | b).is_certain(), a.is_certain() || b.is_certain());
+            }
+        }
+    }
+
+    #[test]
+    fn de_morgan_holds_in_kleene() {
+        for a in ALL {
+            for b in ALL {
+                assert_eq!(!(a & b), (!a) | (!b));
+                assert_eq!(!(a | b), (!a) & (!b));
+            }
+        }
+    }
+
+    #[test]
+    fn from_possible_certain_roundtrip() {
+        for t in ALL {
+            let back = Tri::from_possible_certain(t.is_possible(), t.is_certain());
+            assert_eq!(back, t);
+        }
+    }
+}

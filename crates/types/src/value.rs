@@ -1,0 +1,324 @@
+//! Dynamically typed cell values.
+//!
+//! TRAPP/AG aggregates numeric (real) data, but realistic tables also carry
+//! exact-valued descriptive columns (the `from`/`to` node ids of Figure 2,
+//! names, flags). A [`Value`] is an exact scalar of one of four types; a
+//! [`BoundedValue`] is what a cache actually stores per cell: either an
+//! exact value, or — for replicated numeric columns — a bound `[L, H]`
+//! guaranteed to contain the master value.
+
+use std::fmt;
+
+use crate::error::TrappError;
+use crate::interval::Interval;
+use crate::tri::Tri;
+
+/// The type of a column or scalar value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum ValueType {
+    /// 64-bit real; the only type that may be *bounded*.
+    Float,
+    /// 64-bit signed integer (exact only; coerces to Float in arithmetic).
+    Int,
+    /// UTF-8 string (exact only).
+    Str,
+    /// Boolean (exact only).
+    Bool,
+}
+
+impl ValueType {
+    /// `true` for types that participate in numeric arithmetic/aggregation.
+    pub fn is_numeric(self) -> bool {
+        matches!(self, ValueType::Float | ValueType::Int)
+    }
+}
+
+impl fmt::Display for ValueType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValueType::Float => write!(f, "FLOAT"),
+            ValueType::Int => write!(f, "INT"),
+            ValueType::Str => write!(f, "STRING"),
+            ValueType::Bool => write!(f, "BOOL"),
+        }
+    }
+}
+
+/// An exact scalar value.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum Value {
+    /// A real number (never NaN).
+    Float(f64),
+    /// An integer.
+    Int(i64),
+    /// A string.
+    Str(String),
+    /// A boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// The runtime type of this value.
+    pub fn value_type(&self) -> ValueType {
+        match self {
+            Value::Float(_) => ValueType::Float,
+            Value::Int(_) => ValueType::Int,
+            Value::Str(_) => ValueType::Str,
+            Value::Bool(_) => ValueType::Bool,
+        }
+    }
+
+    /// Numeric view, coercing Int → Float. Errors for Str/Bool.
+    pub fn as_f64(&self) -> Result<f64, TrappError> {
+        match self {
+            Value::Float(v) => Ok(*v),
+            Value::Int(v) => Ok(*v as f64),
+            other => Err(TrappError::TypeMismatch {
+                expected: "numeric value".into(),
+                actual: other.value_type().to_string(),
+            }),
+        }
+    }
+
+    /// Boolean view. Errors for non-booleans.
+    pub fn as_bool(&self) -> Result<bool, TrappError> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(TrappError::TypeMismatch {
+                expected: "boolean value".into(),
+                actual: other.value_type().to_string(),
+            }),
+        }
+    }
+
+    /// String view. Errors for non-strings.
+    pub fn as_str(&self) -> Result<&str, TrappError> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(TrappError::TypeMismatch {
+                expected: "string value".into(),
+                actual: other.value_type().to_string(),
+            }),
+        }
+    }
+
+    /// Three-valued equality against another exact value.
+    ///
+    /// Numeric values compare across Int/Float; comparing incompatible types
+    /// (e.g. a string to a number) is an error rather than `False`, because
+    /// it indicates a mis-typed query.
+    pub fn tri_eq(&self, other: &Value) -> Result<Tri, TrappError> {
+        match (self, other) {
+            (Value::Str(a), Value::Str(b)) => Ok(Tri::from_bool(a == b)),
+            (Value::Bool(a), Value::Bool(b)) => Ok(Tri::from_bool(a == b)),
+            (a, b) if a.value_type().is_numeric() && b.value_type().is_numeric() => {
+                Ok(Tri::from_bool(a.as_f64()? == b.as_f64()?))
+            }
+            (a, b) => Err(TrappError::TypeMismatch {
+                expected: a.value_type().to_string(),
+                actual: b.value_type().to_string(),
+            }),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "'{s}'"),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Float(v)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::Int(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+/// What a cache stores in one cell: an exact value or a numeric bound.
+///
+/// The paper's convention (§3.1) is that a *refresh* replaces a bound with
+/// the master value — representable here as switching a `Bounded` cell to
+/// `Exact`, or equivalently to a zero-width bound. Both forms are accepted
+/// by all algorithms (`as_interval` treats an exact numeric as a point).
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum BoundedValue {
+    /// An exact value of any type.
+    Exact(Value),
+    /// A range guaranteed to contain the current master value (numeric only).
+    Bounded(Interval),
+}
+
+impl BoundedValue {
+    /// Convenience constructor for an exact float.
+    pub fn exact_f64(v: f64) -> Result<BoundedValue, TrappError> {
+        if v.is_nan() {
+            return Err(TrappError::NanValue);
+        }
+        Ok(BoundedValue::Exact(Value::Float(v)))
+    }
+
+    /// Convenience constructor for a bound `[lo, hi]`.
+    pub fn bounded(lo: f64, hi: f64) -> Result<BoundedValue, TrappError> {
+        Ok(BoundedValue::Bounded(Interval::new(lo, hi)?))
+    }
+
+    /// `true` if the cell is exact (or a zero-width bound).
+    pub fn is_exact(&self) -> bool {
+        match self {
+            BoundedValue::Exact(_) => true,
+            BoundedValue::Bounded(b) => b.is_point(),
+        }
+    }
+
+    /// The numeric range view: exact numerics become point intervals.
+    /// Errors for strings/booleans.
+    pub fn as_interval(&self) -> Result<Interval, TrappError> {
+        match self {
+            BoundedValue::Exact(v) => Interval::point(v.as_f64()?),
+            BoundedValue::Bounded(b) => Ok(*b),
+        }
+    }
+
+    /// The exact value view. Errors if the cell is a non-degenerate bound.
+    pub fn as_exact(&self) -> Result<Value, TrappError> {
+        match self {
+            BoundedValue::Exact(v) => Ok(v.clone()),
+            BoundedValue::Bounded(b) if b.is_point() => Ok(Value::Float(b.lo())),
+            BoundedValue::Bounded(b) => Err(TrappError::BoundednessViolation(format!(
+                "expected exact value, found bound {b}"
+            ))),
+        }
+    }
+
+    /// The width of the cell's uncertainty: 0 for exact cells.
+    pub fn width(&self) -> f64 {
+        match self {
+            BoundedValue::Exact(_) => 0.0,
+            BoundedValue::Bounded(b) => b.width(),
+        }
+    }
+
+    /// The declared type of the cell.
+    pub fn value_type(&self) -> ValueType {
+        match self {
+            BoundedValue::Exact(v) => v.value_type(),
+            BoundedValue::Bounded(_) => ValueType::Float,
+        }
+    }
+
+    /// `true` if `master` is consistent with this cell (inside the bound, or
+    /// equal to the exact value). Used by correctness validators.
+    pub fn admits(&self, master: &Value) -> bool {
+        match self {
+            BoundedValue::Exact(v) => v == master,
+            BoundedValue::Bounded(b) => master.as_f64().map(|m| b.contains(m)).unwrap_or(false),
+        }
+    }
+}
+
+impl fmt::Display for BoundedValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BoundedValue::Exact(v) => write!(f, "{v}"),
+            BoundedValue::Bounded(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<Value> for BoundedValue {
+    fn from(v: Value) -> BoundedValue {
+        BoundedValue::Exact(v)
+    }
+}
+impl From<Interval> for BoundedValue {
+    fn from(b: Interval) -> BoundedValue {
+        BoundedValue::Bounded(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_coercion() {
+        assert_eq!(Value::Int(3).as_f64().unwrap(), 3.0);
+        assert_eq!(Value::Float(2.5).as_f64().unwrap(), 2.5);
+        assert!(Value::Str("x".into()).as_f64().is_err());
+        assert!(Value::Bool(true).as_f64().is_err());
+    }
+
+    #[test]
+    fn tri_eq_across_types() {
+        assert_eq!(
+            Value::Int(3).tri_eq(&Value::Float(3.0)).unwrap(),
+            Tri::True
+        );
+        assert_eq!(
+            Value::Str("a".into()).tri_eq(&Value::Str("b".into())).unwrap(),
+            Tri::False
+        );
+        assert!(Value::Str("a".into()).tri_eq(&Value::Int(1)).is_err());
+    }
+
+    #[test]
+    fn bounded_value_interval_view() {
+        let b = BoundedValue::bounded(2.0, 4.0).unwrap();
+        assert_eq!(b.as_interval().unwrap(), Interval::new(2.0, 4.0).unwrap());
+        assert_eq!(b.width(), 2.0);
+        assert!(!b.is_exact());
+
+        let e = BoundedValue::exact_f64(3.0).unwrap();
+        assert!(e.is_exact());
+        assert_eq!(e.as_interval().unwrap().width(), 0.0);
+
+        let s = BoundedValue::Exact(Value::Str("x".into()));
+        assert!(s.as_interval().is_err());
+    }
+
+    #[test]
+    fn zero_width_bound_counts_as_exact() {
+        let z = BoundedValue::Bounded(Interval::point(5.0).unwrap());
+        assert!(z.is_exact());
+        assert_eq!(z.as_exact().unwrap(), Value::Float(5.0));
+        let nz = BoundedValue::bounded(1.0, 2.0).unwrap();
+        assert!(nz.as_exact().is_err());
+    }
+
+    #[test]
+    fn admits_checks_containment() {
+        let b = BoundedValue::bounded(2.0, 4.0).unwrap();
+        assert!(b.admits(&Value::Float(3.0)));
+        assert!(b.admits(&Value::Int(2)));
+        assert!(!b.admits(&Value::Float(4.5)));
+        assert!(!b.admits(&Value::Str("x".into())));
+        let e = BoundedValue::Exact(Value::Str("x".into()));
+        assert!(e.admits(&Value::Str("x".into())));
+        assert!(!e.admits(&Value::Str("y".into())));
+    }
+}

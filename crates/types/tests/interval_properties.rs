@@ -1,0 +1,115 @@
+//! Property-based tests for interval arithmetic and the Figure 8 comparison
+//! semantics: every interval operation must be a sound over-approximation of
+//! the corresponding pointwise operation, and `Certain ⇒ truth ⇒ Possible`
+//! for every comparison and every choice of points inside the operand bounds.
+
+use proptest::prelude::*;
+use trapp_types::{Interval, Tri};
+
+/// A finite interval plus a sample point inside it.
+fn interval_with_point() -> impl Strategy<Value = (Interval, f64)> {
+    (-1e6f64..1e6, 0.0f64..1e4, 0.0f64..1.0).prop_map(|(lo, w, frac)| {
+        let iv = Interval::new(lo, lo + w).unwrap();
+        let p = lo + w * frac;
+        (iv, p.clamp(iv.lo(), iv.hi()))
+    })
+}
+
+proptest! {
+    #[test]
+    fn addition_is_sound((a, pa) in interval_with_point(), (b, pb) in interval_with_point()) {
+        let sum = a + b;
+        prop_assert!(sum.contains(pa + pb), "{a} + {b} = {sum} missing {}", pa + pb);
+    }
+
+    #[test]
+    fn subtraction_is_sound((a, pa) in interval_with_point(), (b, pb) in interval_with_point()) {
+        let d = a - b;
+        prop_assert!(d.contains(pa - pb));
+    }
+
+    #[test]
+    fn multiplication_is_sound((a, pa) in interval_with_point(), (b, pb) in interval_with_point()) {
+        let m = a * b;
+        // Allow for floating-point rounding at the extremes.
+        let slack = 1e-6 * (1.0 + m.width().abs() + (pa * pb).abs());
+        prop_assert!(
+            m.lo() - slack <= pa * pb && pa * pb <= m.hi() + slack,
+            "{a} * {b} = {m} missing {}", pa * pb
+        );
+    }
+
+    #[test]
+    fn division_is_sound((a, pa) in interval_with_point(), (b, pb) in interval_with_point()) {
+        // Shift the divisor fully positive to avoid zero-straddling.
+        let shift = 1.0 - b.lo().min(0.0) * 2.0 + 1.0;
+        let b2 = Interval::new(b.lo() + shift, b.hi() + shift).unwrap();
+        let pb2 = (pb + shift).clamp(b2.lo(), b2.hi());
+        let q = (a / b2).unwrap();
+        let slack = 1e-9 * (1.0 + (pa / pb2).abs());
+        prop_assert!(q.lo() - slack <= pa / pb2 && pa / pb2 <= q.hi() + slack);
+    }
+
+    #[test]
+    fn negation_is_sound((a, pa) in interval_with_point()) {
+        prop_assert!((-a).contains(-pa));
+    }
+
+    /// For every comparison op: Certain(result) ⇒ op(pa, pb) holds, and
+    /// op(pa, pb) holds ⇒ Possible(result), for all in-bound points.
+    #[test]
+    fn comparisons_bracket_truth((a, pa) in interval_with_point(), (b, pb) in interval_with_point()) {
+        let cases: [(Tri, bool); 6] = [
+            (a.tri_lt(b), pa < pb),
+            (a.tri_le(b), pa <= pb),
+            (a.tri_gt(b), pa > pb),
+            (a.tri_ge(b), pa >= pb),
+            (a.tri_eq(b), pa == pb),
+            (a.tri_ne(b), pa != pb),
+        ];
+        for (tri, truth) in cases {
+            if tri.is_certain() {
+                prop_assert!(truth, "{a} vs {b}: certain but false at ({pa}, {pb})");
+            }
+            if truth {
+                prop_assert!(tri.is_possible(), "{a} vs {b}: true at ({pa}, {pb}) but impossible");
+            }
+        }
+    }
+
+    #[test]
+    fn hull_contains_both((a, _) in interval_with_point(), (b, _) in interval_with_point()) {
+        let h = a.hull(b);
+        prop_assert!(h.contains_interval(a) && h.contains_interval(b));
+    }
+
+    #[test]
+    fn intersect_is_tight((a, _) in interval_with_point(), (b, _) in interval_with_point()) {
+        match a.intersect(b) {
+            Some(i) => {
+                prop_assert!(a.contains_interval(i) && b.contains_interval(i));
+                prop_assert!(i.width() <= a.width() + 1e-12 && i.width() <= b.width() + 1e-12);
+            }
+            None => {
+                prop_assert!(a.hi() < b.lo() || b.hi() < a.lo());
+            }
+        }
+    }
+
+    #[test]
+    fn zero_extension_contains_zero_and_original((a, pa) in interval_with_point()) {
+        let z = a.extended_to_zero();
+        prop_assert!(z.contains(0.0));
+        prop_assert!(z.contains(pa));
+        prop_assert!(z.width() >= a.width());
+        // §6.2 closed form.
+        let expected = if a.lo() >= 0.0 {
+            a.hi()
+        } else if a.hi() <= 0.0 {
+            -a.lo()
+        } else {
+            a.width()
+        };
+        prop_assert!((z.width() - expected).abs() < 1e-12);
+    }
+}

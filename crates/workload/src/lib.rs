@@ -1,0 +1,22 @@
+//! # trapp-workload
+//!
+//! Workload generators for the TRAPP experiments:
+//!
+//! * [`figure2`] — the paper's 6-link network-monitoring fixture (Figure 2)
+//!   with the worked examples Q1–Q6 as an executable specification;
+//! * [`stocks`] — the §5.2.1 experimental workload: intraday stock prices
+//!   whose day high/low become the cached bounds and whose close is the
+//!   precise value, with uniform-random integer refresh costs 1..=10.
+//!   **Substitution** (documented in DESIGN.md): the paper used 90 *actual*
+//!   stock prices; this generator produces seeded geometric random walks
+//!   with the same high/low/close structure;
+//! * [`netmon`] — larger network-monitoring topologies (the §1.1 scenario)
+//!   with random-walk link metrics, path queries, and update streams for
+//!   driving `trapp-system` simulations.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod figure2;
+pub mod netmon;
+pub mod stocks;

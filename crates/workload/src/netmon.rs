@@ -1,0 +1,285 @@
+//! Network-monitoring topologies (§1.1) at configurable scale.
+//!
+//! Generates a network of `n` nodes and `m` links with random-walk latency /
+//! bandwidth / traffic metrics, producing: the cached and master tables
+//! (like Figure 2 but larger), a path for Q1/Q2-style queries, refresh
+//! costs, and an *update stream* for driving `trapp-system` simulations.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use trapp_storage::{ColumnDef, Schema, Table};
+use trapp_types::{BoundedValue, Value, ValueType};
+
+/// Column indexes in the generated `links` table.
+pub const LATENCY: usize = 2;
+/// Bandwidth column.
+pub const BANDWIDTH: usize = 3;
+/// Traffic column.
+pub const TRAFFIC: usize = 4;
+
+/// One generated link.
+#[derive(Clone, Debug)]
+pub struct Link {
+    /// Source node.
+    pub from: usize,
+    /// Destination node.
+    pub to: usize,
+    /// Precise metrics `(latency ms, bandwidth Mbps, traffic units)`.
+    pub metrics: [f64; 3],
+    /// Cached bounds per metric.
+    pub bounds: [(f64, f64); 3],
+    /// Refresh cost.
+    pub cost: f64,
+    /// Whether the link lies on the designated monitoring path.
+    pub on_path: bool,
+}
+
+/// Generator configuration.
+#[derive(Clone, Debug)]
+pub struct NetworkConfig {
+    /// Node count.
+    pub nodes: usize,
+    /// Extra random links beyond the spanning path.
+    pub extra_links: usize,
+    /// Relative half-width of the cached bounds (e.g. 0.1 = ±10%).
+    pub bound_slack: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> NetworkConfig {
+        NetworkConfig {
+            nodes: 50,
+            extra_links: 100,
+            bound_slack: 0.15,
+            seed: 7,
+        }
+    }
+}
+
+/// A generated monitoring scenario.
+#[derive(Clone, Debug)]
+pub struct Network {
+    /// All links; the first `nodes − 1` form the monitoring path.
+    pub links: Vec<Link>,
+    /// Number of nodes.
+    pub nodes: usize,
+}
+
+/// Generates a topology: a path through all nodes (providing the Q1/Q2
+/// scenario) plus `extra_links` random chords.
+pub fn generate(config: &NetworkConfig) -> Network {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut links = Vec::with_capacity(config.nodes.saturating_sub(1) + config.extra_links);
+
+    let mk_link = |from: usize, to: usize, on_path: bool, rng: &mut StdRng| {
+        let latency = rng.gen_range(1.0..50.0);
+        let bandwidth = rng.gen_range(10.0..1000.0);
+        let traffic = rng.gen_range(50.0..500.0);
+        let metrics = [latency, bandwidth, traffic];
+        let mut bounds = [(0.0, 0.0); 3];
+        for (i, &m) in metrics.iter().enumerate() {
+            // The precise value sits uniformly inside its bound, matching
+            // how a value drifts after the last refresh.
+            let half = m * config.bound_slack;
+            let off = rng.gen_range(-half..=half);
+            bounds[i] = (m - half + off, m + half + off);
+        }
+        Link {
+            from,
+            to,
+            metrics,
+            bounds,
+            cost: rng.gen_range(1..=10) as f64,
+            on_path,
+        }
+    };
+
+    for i in 0..config.nodes.saturating_sub(1) {
+        links.push(mk_link(i, i + 1, true, &mut rng));
+    }
+    for _ in 0..config.extra_links {
+        let from = rng.gen_range(0..config.nodes);
+        let mut to = rng.gen_range(0..config.nodes);
+        if to == from {
+            to = (to + 1) % config.nodes;
+        }
+        links.push(mk_link(from, to, false, &mut rng));
+    }
+
+    Network {
+        links,
+        nodes: config.nodes,
+    }
+}
+
+/// The `links` schema (same shape as Figure 2).
+pub fn schema() -> Arc<Schema> {
+    Schema::new(vec![
+        ColumnDef::exact("from_node", ValueType::Int),
+        ColumnDef::exact("to_node", ValueType::Int),
+        ColumnDef::bounded_float("latency"),
+        ColumnDef::bounded_float("bandwidth"),
+        ColumnDef::bounded_float("traffic"),
+        ColumnDef::exact("on_path", ValueType::Bool),
+    ])
+    .expect("static schema")
+}
+
+impl Network {
+    /// Builds the cached (bounds) and master (precise) tables.
+    pub fn build_tables(&self) -> (Table, Table) {
+        let mut cache = Table::new("links", schema());
+        let mut master = Table::new("links", schema());
+        for l in &self.links {
+            let exact_cols = |lat: BoundedValue, bw: BoundedValue, tr: BoundedValue| {
+                vec![
+                    BoundedValue::Exact(Value::Int(l.from as i64)),
+                    BoundedValue::Exact(Value::Int(l.to as i64)),
+                    lat,
+                    bw,
+                    tr,
+                    BoundedValue::Exact(Value::Bool(l.on_path)),
+                ]
+            };
+            cache
+                .insert_with_cost(
+                    exact_cols(
+                        BoundedValue::bounded(l.bounds[0].0, l.bounds[0].1).expect("bound"),
+                        BoundedValue::bounded(l.bounds[1].0, l.bounds[1].1).expect("bound"),
+                        BoundedValue::bounded(l.bounds[2].0, l.bounds[2].1).expect("bound"),
+                    ),
+                    l.cost,
+                )
+                .expect("row");
+            master
+                .insert_with_cost(
+                    exact_cols(
+                        BoundedValue::exact_f64(l.metrics[0]).expect("value"),
+                        BoundedValue::exact_f64(l.metrics[1]).expect("value"),
+                        BoundedValue::exact_f64(l.metrics[2]).expect("value"),
+                    ),
+                    l.cost,
+                )
+                .expect("row");
+        }
+        (cache, master)
+    }
+
+    /// A random-walk update stream over link metrics:
+    /// `(time, link index, metric index, new value)` tuples, `ticks` steps
+    /// with `updates_per_tick` updates each.
+    pub fn update_stream(
+        &self,
+        ticks: usize,
+        updates_per_tick: usize,
+        step: f64,
+        seed: u64,
+    ) -> Vec<(f64, usize, usize, f64)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut current: Vec<[f64; 3]> = self.links.iter().map(|l| l.metrics).collect();
+        let mut out = Vec::with_capacity(ticks * updates_per_tick);
+        for t in 0..ticks {
+            for _ in 0..updates_per_tick {
+                let li = rng.gen_range(0..self.links.len());
+                let mi = rng.gen_range(0..3usize);
+                let delta = rng.gen_range(-step..=step) * current[li][mi].max(1.0);
+                current[li][mi] = (current[li][mi] + delta).max(0.0);
+                out.push((t as f64, li, mi, current[li][mi]));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topology_shape() {
+        let n = generate(&NetworkConfig::default());
+        assert_eq!(n.links.len(), 49 + 100);
+        assert_eq!(n.links.iter().filter(|l| l.on_path).count(), 49);
+        for l in &n.links {
+            assert_ne!(l.from, l.to, "no self-loops");
+            for (i, &(lo, hi)) in l.bounds.iter().enumerate() {
+                assert!(lo <= l.metrics[i] && l.metrics[i] <= hi, "{l:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let c = NetworkConfig::default();
+        let a = generate(&c);
+        let b = generate(&c);
+        assert_eq!(a.links.len(), b.links.len());
+        for (x, y) in a.links.iter().zip(&b.links) {
+            assert_eq!(x.metrics, y.metrics);
+            assert_eq!(x.cost, y.cost);
+        }
+    }
+
+    #[test]
+    fn tables_are_consistent() {
+        let n = generate(&NetworkConfig {
+            nodes: 10,
+            extra_links: 5,
+            ..NetworkConfig::default()
+        });
+        let (cache, master) = n.build_tables();
+        assert_eq!(cache.len(), 14);
+        for (tid, row) in cache.scan() {
+            for col in [LATENCY, BANDWIDTH, TRAFFIC] {
+                let bound = row.interval(col).unwrap();
+                let v = master.row(tid).unwrap().exact(col).unwrap().as_f64().unwrap();
+                assert!(bound.contains(v));
+            }
+        }
+    }
+
+    #[test]
+    fn update_stream_walks_from_current_metrics() {
+        let n = generate(&NetworkConfig {
+            nodes: 5,
+            extra_links: 0,
+            ..NetworkConfig::default()
+        });
+        let stream = n.update_stream(10, 3, 0.05, 1);
+        assert_eq!(stream.len(), 30);
+        for &(t, li, mi, v) in &stream {
+            assert!(t >= 0.0 && li < n.links.len() && mi < 3);
+            assert!(v >= 0.0);
+        }
+        // Deterministic per seed.
+        assert_eq!(stream, n.update_stream(10, 3, 0.05, 1));
+    }
+
+    #[test]
+    fn queries_run_against_generated_tables() {
+        use trapp_core::executor::{QuerySession, TableOracle};
+        let n = generate(&NetworkConfig {
+            nodes: 20,
+            extra_links: 30,
+            ..NetworkConfig::default()
+        });
+        let (cache, master) = n.build_tables();
+        let mut s = QuerySession::new(cache);
+        let mut o = TableOracle::from_table(master);
+        let r = s
+            .execute_sql(
+                "SELECT MIN(bandwidth) WITHIN 20 FROM links WHERE on_path = TRUE",
+                &mut o,
+            )
+            .unwrap();
+        assert!(r.satisfied);
+        let r = s
+            .execute_sql("SELECT AVG(latency) WITHIN 1 FROM links WHERE traffic > 200", &mut o)
+            .unwrap();
+        assert!(r.satisfied);
+    }
+}

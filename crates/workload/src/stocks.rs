@@ -1,0 +1,183 @@
+//! The §5.2.1 experimental workload: intraday stock prices.
+//!
+//! The paper: "We implemented the algorithm and ran experiments using 90
+//! actual stock prices that varied highly in one day. The high and low
+//! values for the day were used as the bounds `[Lᵢ, Hᵢ]`, the closing value
+//! was used as the precise value `Vᵢ`, and the refresh cost `Cᵢ` for each
+//! data object was set to a random number between 1 and 10."
+//!
+//! Substitution (see DESIGN.md): actual 2000-era intraday data is not
+//! available offline, so prices follow seeded geometric random walks. The
+//! properties the experiments depend on — the distribution of `high − low`
+//! widths and the independent integer costs — are preserved; every run is
+//! reproducible from its seed.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use trapp_storage::{ColumnDef, Schema, Table};
+use trapp_types::{BoundedValue, Value, ValueType};
+
+/// One synthesized stock day.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StockDay {
+    /// Ticker-ish identifier.
+    pub symbol: String,
+    /// Day low (bound lower endpoint).
+    pub low: f64,
+    /// Day high (bound upper endpoint).
+    pub high: f64,
+    /// Closing price (the precise master value).
+    pub close: f64,
+    /// Refresh cost, uniform integer 1..=10 as in the paper.
+    pub cost: f64,
+}
+
+/// Generator configuration.
+#[derive(Clone, Debug)]
+pub struct StockConfig {
+    /// Number of symbols (the paper uses 90).
+    pub symbols: usize,
+    /// Intraday steps (minutes) per symbol.
+    pub steps: usize,
+    /// Initial price range (uniform).
+    pub price_range: (f64, f64),
+    /// Per-step volatility (relative standard deviation of the walk).
+    pub volatility: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for StockConfig {
+    fn default() -> StockConfig {
+        StockConfig {
+            symbols: 90,
+            steps: 390, // one 6.5h trading day of minutes
+            price_range: (10.0, 200.0),
+            volatility: 0.002,
+            seed: 42,
+        }
+    }
+}
+
+/// Generates one day of prices per symbol.
+pub fn generate(config: &StockConfig) -> Vec<StockDay> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut out = Vec::with_capacity(config.symbols);
+    for i in 0..config.symbols {
+        let open = rng.gen_range(config.price_range.0..=config.price_range.1);
+        let mut price = open;
+        let mut low = open;
+        let mut high = open;
+        for _ in 0..config.steps {
+            // Geometric step: multiplicative, symmetric in log space.
+            let step: f64 = rng.gen_range(-1.0..=1.0) * config.volatility;
+            price *= (1.0 + step).max(0.01);
+            low = low.min(price);
+            high = high.max(price);
+        }
+        out.push(StockDay {
+            symbol: format!("SYM{i:03}"),
+            low,
+            high,
+            close: price,
+            cost: rng.gen_range(1..=10) as f64,
+        });
+    }
+    out
+}
+
+/// The `stocks(symbol STRING, price BOUNDED)` schema.
+pub fn schema() -> Arc<Schema> {
+    Schema::new(vec![
+        ColumnDef::exact("symbol", ValueType::Str),
+        ColumnDef::bounded_float("price"),
+    ])
+    .expect("static schema")
+}
+
+/// Index of the `price` column.
+pub const PRICE: usize = 1;
+
+/// Builds the cached table (day-range bounds) and the master table
+/// (closing prices) for a generated day.
+pub fn build_tables(days: &[StockDay]) -> (Table, Table) {
+    let mut cache = Table::new("stocks", schema());
+    let mut master = Table::new("stocks", schema());
+    for d in days {
+        cache
+            .insert_with_cost(
+                vec![
+                    BoundedValue::Exact(Value::Str(d.symbol.clone())),
+                    BoundedValue::bounded(d.low, d.high).expect("low <= high"),
+                ],
+                d.cost,
+            )
+            .expect("schema-consistent row");
+        master
+            .insert_with_cost(
+                vec![
+                    BoundedValue::Exact(Value::Str(d.symbol.clone())),
+                    BoundedValue::exact_f64(d.close).expect("finite close"),
+                ],
+                d.cost,
+            )
+            .expect("schema-consistent row");
+    }
+    (cache, master)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let c = StockConfig::default();
+        let a = generate(&c);
+        let b = generate(&c);
+        assert_eq!(a, b);
+        let c2 = StockConfig { seed: 43, ..c };
+        assert_ne!(generate(&c2), a);
+    }
+
+    #[test]
+    fn invariants_hold() {
+        let days = generate(&StockConfig::default());
+        assert_eq!(days.len(), 90);
+        for d in &days {
+            assert!(d.low <= d.close && d.close <= d.high, "{d:?}");
+            assert!(d.low > 0.0);
+            assert!((1.0..=10.0).contains(&d.cost));
+            assert_eq!(d.cost.fract(), 0.0, "costs are integers as in the paper");
+            assert!(d.high - d.low > 0.0, "a day with zero range is useless");
+        }
+    }
+
+    #[test]
+    fn tables_align_cache_and_master() {
+        let days = generate(&StockConfig {
+            symbols: 10,
+            ..StockConfig::default()
+        });
+        let (cache, master) = build_tables(&days);
+        assert_eq!(cache.len(), 10);
+        for (tid, row) in cache.scan() {
+            let bound = row.interval(PRICE).unwrap();
+            let close = master.row(tid).unwrap().exact(PRICE).unwrap().as_f64().unwrap();
+            assert!(bound.contains(close));
+            assert_eq!(cache.cost(tid).unwrap(), master.cost(tid).unwrap());
+        }
+    }
+
+    #[test]
+    fn widths_vary_across_symbols() {
+        let days = generate(&StockConfig::default());
+        let widths: Vec<f64> = days.iter().map(|d| d.high - d.low).collect();
+        let min = widths.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = widths.iter().cloned().fold(0.0, f64::max);
+        // The knapsack experiments need heterogeneous weights.
+        assert!(max / min > 2.0, "widths too uniform: {min}..{max}");
+    }
+}

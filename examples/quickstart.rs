@@ -1,0 +1,63 @@
+//! Quickstart: bounded aggregation queries with precision constraints.
+//!
+//! Builds the paper's Figure 2 network-monitoring table, then answers the
+//! running-example queries at different precision constraints to show the
+//! precision-performance tradeoff in action.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use trapp::prelude::*;
+use trapp_core::SolverStrategy;
+use trapp_workload::figure2;
+
+fn main() -> Result<(), TrappError> {
+    // The cache holds bounds [L, H]; the "sources" are stood in for by a
+    // master table served through a TableOracle.
+    let mut session = QuerySession::new(figure2::links_table());
+    session.config.strategy = SolverStrategy::Exact;
+    let mut oracle = trapp_core::TableOracle::from_table(figure2::master_table());
+
+    println!("TRAPP quickstart — Figure 2 network monitoring table\n");
+
+    // 1. A query answered entirely from cache: no precision constraint.
+    let r = session.execute_sql("SELECT SUM(latency) FROM links", &mut oracle)?;
+    println!("total latency, cache only:        {}  (cost 0)", r.answer);
+
+    // 2. The same query, but demand a bound no wider than 5 ms: TRAPP
+    //    combines cached bounds with the cheapest refresh set (knapsack).
+    let r = session.execute_sql("SELECT SUM(latency) WITHIN 5 FROM links", &mut oracle)?;
+    println!(
+        "total latency WITHIN 5:           {}  (cost {}, refreshed {:?})",
+        r.answer,
+        r.refresh_cost,
+        r.refreshed.iter().map(|(_, t)| t.raw()).collect::<Vec<_>>()
+    );
+
+    // 3. Aggregation with a selection predicate over bounded columns:
+    //    tuples classify into certain / possible / excluded (T+/T?/T−).
+    //    Note: refreshes persist in the cache, so queries after step 2 may
+    //    already be satisfied for free — refreshed cells have zero width.
+    let r = session.execute_sql(
+        "SELECT AVG(latency) WITHIN 2 FROM links WHERE traffic > 100",
+        &mut oracle,
+    )?;
+    println!(
+        "avg latency of busy links ±1:     {}  (cost {})",
+        r.answer, r.refresh_cost
+    );
+
+    // 4. WITHIN 0 forces an exact answer (precise mode); omitting WITHIN is
+    //    pure cache (imprecise mode). Everything between is the tradeoff.
+    let r = session.execute_sql("SELECT MIN(bandwidth) WITHIN 0 FROM links", &mut oracle)?;
+    println!("exact bottleneck bandwidth:       {}  (cost {})", r.answer, r.refresh_cost);
+
+    // 5. Queries parse to a plain AST you can inspect.
+    let q = parse_query("SELECT COUNT(*) WITHIN 1 FROM links WHERE latency > 10")?;
+    println!("\nparsed: {q}");
+    let r = session.execute(&q, &mut oracle)?;
+    println!("high-latency link count:          {}  (cost {})", r.answer, r.refresh_cost);
+
+    Ok(())
+}

@@ -1,0 +1,85 @@
+//! A stock "dashboard" over the §5.2.1 workload: 90 symbols cached as
+//! day-range bounds, queried at different precision levels.
+//!
+//! Shows the user-facing side of the tradeoff: the same portfolio-value
+//! query costs nothing when ±$200 is acceptable and progressively more as
+//! the analyst tightens the constraint — plus a relative-precision query
+//! (§8.1) and a grouped breakdown.
+//!
+//! ```sh
+//! cargo run --release --example stock_dashboard
+//! ```
+
+use trapp_core::{ExecutionMode, QuerySession, SolverStrategy, TableOracle};
+use trapp_core::refresh::iterative::IterativeHeuristic;
+use trapp_sql::parse_query;
+use trapp_types::TrappError;
+use trapp_workload::stocks::{build_tables, generate, StockConfig};
+
+fn main() -> Result<(), TrappError> {
+    let config = StockConfig::default();
+    let days = generate(&config);
+    let total_range: f64 = days.iter().map(|d| d.high - d.low).sum();
+    println!(
+        "dashboard over {} symbols; total day-range uncertainty ${:.0}\n",
+        days.len(),
+        total_range
+    );
+
+    // Sweep the portfolio-value precision constraint.
+    println!("portfolio value (SUM of prices) at decreasing tolerance:");
+    println!("{:>10}  {:>24}  {:>6}  {:>10}", "WITHIN $", "bounded answer", "cost", "refreshes");
+    for r in [total_range, 200.0, 100.0, 50.0, 20.0, 5.0, 0.0] {
+        let (cache, master) = build_tables(&days);
+        let mut session = QuerySession::new(cache);
+        session.config.strategy = SolverStrategy::Fptas(0.1);
+        let mut oracle = TableOracle::from_table(master);
+        let res = session.execute_sql(
+            &format!("SELECT SUM(price) WITHIN {r} FROM stocks"),
+            &mut oracle,
+        )?;
+        println!(
+            "{:>10.0}  [{:>9.2}, {:>9.2}]  {:>6.0}  {:>10}",
+            r,
+            res.answer.range.lo(),
+            res.answer.range.hi(),
+            res.refresh_cost,
+            res.refreshed.len()
+        );
+    }
+
+    // Relative precision: "the average price to within 1%".
+    let (cache, master) = build_tables(&days);
+    let mut session = QuerySession::new(cache);
+    let mut oracle = TableOracle::from_table(master);
+    let q = parse_query("SELECT AVG(price) FROM stocks")?;
+    let res = session.execute_relative(&q, 0.01, &mut oracle)?;
+    println!(
+        "\navg price within ±1% (relative): {} (cost {:.0})",
+        res.answer, res.refresh_cost
+    );
+
+    // Online mode: watch the bound tighten one refresh at a time.
+    let (cache, master) = build_tables(&days);
+    let mut session = QuerySession::new(cache);
+    session.config.mode = ExecutionMode::Iterative(IterativeHeuristic::BestRatio);
+    let mut oracle = TableOracle::from_table(master);
+    let res = session.execute_sql("SELECT SUM(price) WITHIN 25 FROM stocks", &mut oracle)?;
+    println!(
+        "iterative SUM WITHIN 25: {} after {} rounds (cost {:.0} vs batch plan)",
+        res.answer, res.rounds, res.refresh_cost
+    );
+
+    // Extremes of the market, cheap thanks to MIN/MAX's threshold rule.
+    let (cache, master) = build_tables(&days);
+    let mut session = QuerySession::new(cache);
+    let mut oracle = TableOracle::from_table(master);
+    let hi = session.execute_sql("SELECT MAX(price) WITHIN 1 FROM stocks", &mut oracle)?;
+    let lo = session.execute_sql("SELECT MIN(price) WITHIN 1 FROM stocks", &mut oracle)?;
+    println!(
+        "max price: {} (cost {:.0});  min price: {} (cost {:.0})",
+        hi.answer, hi.refresh_cost, lo.answer, lo.refresh_cost
+    );
+
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! # TRAPP — Tradeoff in Replication Precision and Performance
+//!
+//! A from-scratch Rust implementation of the TRAPP/AG system from
+//! Olston & Widom, *Offering a Precision-Performance Tradeoff for Aggregation
+//! Queries over Replicated Data* (VLDB 2000).
+//!
+//! This facade crate re-exports the full public API. See the individual
+//! crates for details:
+//!
+//! * [`types`] — intervals, three-valued logic, values.
+//! * [`bounds`] — time-parameterized bound functions and adaptive widths.
+//! * [`storage`] — the in-memory relational substrate.
+//! * [`expr`] — expressions and `Possible`/`Certain` classification.
+//! * [`sql`] — the TRAPP/AG query language parser.
+//! * [`knapsack`] — 0/1 knapsack solvers behind CHOOSE_REFRESH.
+//! * [`core`] — bounded aggregation and CHOOSE_REFRESH (the paper's
+//!   contribution).
+//! * [`system`] — sources, caches, refresh monitors, transports.
+//! * [`workload`] — experiment workload generators.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use trapp::prelude::*;
+//!
+//! // Build the paper's Figure 2 table and answer Q1 with a precision
+//! // constraint of 10 Mbps.
+//! let table = trapp::workload::figure2::links_table();
+//! let session = QuerySession::new(table);
+//! let query = parse_query(
+//!     "SELECT MIN(bandwidth) WITHIN 10 FROM links WHERE on_path = true",
+//! ).unwrap();
+//! # let _ = (session, query);
+//! ```
+
+pub use trapp_bounds as bounds;
+pub use trapp_core as core;
+pub use trapp_expr as expr;
+pub use trapp_knapsack as knapsack;
+pub use trapp_sql as sql;
+pub use trapp_storage as storage;
+pub use trapp_system as system;
+pub use trapp_types as types;
+pub use trapp_workload as workload;
+
+/// Commonly used items, re-exported for `use trapp::prelude::*`.
+pub mod prelude {
+    pub use trapp_core::{
+        agg::{Aggregate, BoundedAnswer},
+        executor::{QuerySession, RefreshOracle},
+        refresh::RefreshPlan,
+    };
+    pub use trapp_sql::parse_query;
+    pub use trapp_storage::{Catalog, ColumnDef, Schema, Table};
+    pub use trapp_types::{BoundedValue, Interval, Tri, TrappError, Value};
+}
