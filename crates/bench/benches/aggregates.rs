@@ -17,7 +17,9 @@ fn selected_input(links: usize) -> AggInput {
     });
     let (cache, _) = network.build_tables();
     let schema = cache.schema().clone();
-    let latency = Expr::Column(ColumnRef::bare("latency")).bind(&schema).expect("col");
+    let latency = Expr::Column(ColumnRef::bare("latency"))
+        .bind(&schema)
+        .expect("col");
     let pred = Expr::binary(
         BinaryOp::Gt,
         Expr::Column(ColumnRef::bare("traffic")),

@@ -16,7 +16,9 @@ fn inputs(nodes: usize, extra: usize) -> (AggInput, AggInput) {
     });
     let (cache, _) = network.build_tables();
     let schema = cache.schema().clone();
-    let latency = Expr::Column(ColumnRef::bare("latency")).bind(&schema).expect("col");
+    let latency = Expr::Column(ColumnRef::bare("latency"))
+        .bind(&schema)
+        .expect("col");
     let pred = Expr::binary(
         BinaryOp::Gt,
         Expr::Column(ColumnRef::bare("traffic")),

@@ -42,7 +42,9 @@ fn bench_classification(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("simple_cmp", cache.len()),
             &cache,
-            |b, cache| b.iter(|| black_box(classify_table(cache, Some(&simple)).expect("classify"))),
+            |b, cache| {
+                b.iter(|| black_box(classify_table(cache, Some(&simple)).expect("classify")))
+            },
         );
         group.bench_with_input(
             BenchmarkId::new("conjunction", cache.len()),

@@ -46,11 +46,9 @@ fn bench_fig5_epsilons(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig5_epsilon");
     let inst = random_instance(90, 42);
     for eps in [0.1, 0.06, 0.04, 0.02, 0.01] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(eps),
-            &eps,
-            |b, &eps| b.iter(|| black_box(inst.solve_fptas(eps).expect("valid eps"))),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(eps), &eps, |b, &eps| {
+            b.iter(|| black_box(inst.solve_fptas(eps).expect("valid eps")))
+        });
     }
     group.finish();
 }

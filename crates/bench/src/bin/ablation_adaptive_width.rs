@@ -48,7 +48,8 @@ fn run_scenario(initial_width: f64) -> (u64, u64) {
         sim.clock.advance(1.0);
         for (i, v) in values.iter_mut().enumerate() {
             *v += rng.gen_range(-1.0..=1.0);
-            sim.apply_update(ObjectId::new(i as u64 + 1), *v).expect("update");
+            sim.apply_update(ObjectId::new(i as u64 + 1), *v)
+                .expect("update");
         }
         if tick % 10 == 0 {
             sim.run_query("SELECT SUM(metric) WITHIN 40 FROM metrics")
@@ -79,7 +80,12 @@ fn main() {
     println!(
         "{}",
         render(
-            &["initial W", "value-initiated", "query-initiated", "total refreshes"],
+            &[
+                "initial W",
+                "value-initiated",
+                "query-initiated",
+                "total refreshes"
+            ],
             &rows
         )
     );

@@ -21,7 +21,9 @@ fn main() {
     let network = generate(&NetworkConfig::default());
     let (cache, _master) = network.build_tables();
     let schema = cache.schema().clone();
-    let latency = Expr::Column(ColumnRef::bare("latency")).bind(&schema).expect("col");
+    let latency = Expr::Column(ColumnRef::bare("latency"))
+        .bind(&schema)
+        .expect("col");
 
     let mut rows = Vec::new();
     for t in [100.0, 150.0, 200.0, 250.0, 300.0, 350.0, 400.0, 450.0] {

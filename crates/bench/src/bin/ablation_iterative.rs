@@ -35,8 +35,10 @@ fn main() {
         let r = total_width * frac;
         let sql = format!("SELECT SUM(price) WITHIN {r} FROM stocks");
         let (batch_cost, batch_n, _) = run(&sql, ExecutionMode::Batch);
-        let (iter_cost, iter_n, iter_rounds) =
-            run(&sql, ExecutionMode::Iterative(IterativeHeuristic::BestRatio));
+        let (iter_cost, iter_n, iter_rounds) = run(
+            &sql,
+            ExecutionMode::Iterative(IterativeHeuristic::BestRatio),
+        );
         rows.push(vec![
             num(r, 1),
             num(batch_cost, 0),
@@ -86,8 +88,10 @@ fn main() {
     for r in [1.0, 2.0, 4.0, 8.0, 12.0] {
         let sql = format!("SELECT MIN(x) WITHIN {r} FROM overlap");
         let (batch_cost, batch_n, _) = run_min(&sql, ExecutionMode::Batch);
-        let (iter_cost, iter_n, iter_rounds) =
-            run_min(&sql, ExecutionMode::Iterative(IterativeHeuristic::BestRatio));
+        let (iter_cost, iter_n, iter_rounds) = run_min(
+            &sql,
+            ExecutionMode::Iterative(IterativeHeuristic::BestRatio),
+        );
         rows.push(vec![
             num(r, 1),
             num(batch_cost, 0),

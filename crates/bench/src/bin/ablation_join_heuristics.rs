@@ -127,7 +127,10 @@ fn main() {
     }
     println!(
         "{}",
-        render(&["heuristic", "avg refresh cost", "avg rounds", "satisfied"], &rows)
+        render(
+            &["heuristic", "avg refresh cost", "avg rounds", "satisfied"],
+            &rows
+        )
     );
     println!("\nreading: best-ratio (width-reduction per unit cost) should dominate or tie;");
     println!("cost-blind widest-first pays more, benefit-blind cheapest-first takes more rounds.");

@@ -74,7 +74,13 @@ fn main() {
     println!(
         "{}",
         render(
-            &["instance class", "fptas ε=0.1", "fptas ε=0.01", "greedy density", "greedy by weight"],
+            &[
+                "instance class",
+                "fptas ε=0.1",
+                "fptas ε=0.01",
+                "greedy density",
+                "greedy by weight"
+            ],
             &rows
         )
     );

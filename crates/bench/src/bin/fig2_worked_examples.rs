@@ -6,7 +6,7 @@ use trapp_bench::tablefmt::{num, render};
 use trapp_core::agg::sum::sum_weight;
 use trapp_core::agg::AggInput;
 use trapp_core::{QuerySession, SolverStrategy, TableOracle};
-use trapp_expr::{BinaryOp, Band, ColumnRef, Expr};
+use trapp_expr::{Band, BinaryOp, ColumnRef, Expr};
 use trapp_types::Value;
 use trapp_workload::figure2::{self, links_table, master_table, worked_examples};
 
@@ -24,8 +24,12 @@ fn print_figure2_table() {
     // W′ (Q3: AVG traffic, §5.4), W″ (Q6: AVG latency WHERE traffic>100,
     // Appendix F).
     let schema = figure2::schema();
-    let latency = Expr::Column(ColumnRef::bare("latency")).bind(&schema).unwrap();
-    let traffic = Expr::Column(ColumnRef::bare("traffic")).bind(&schema).unwrap();
+    let latency = Expr::Column(ColumnRef::bare("latency"))
+        .bind(&schema)
+        .unwrap();
+    let traffic = Expr::Column(ColumnRef::bare("traffic"))
+        .bind(&schema)
+        .unwrap();
     let on_path = Expr::binary(
         BinaryOp::Eq,
         Expr::Column(ColumnRef::bare("on_path")),
@@ -58,14 +62,11 @@ fn print_figure2_table() {
             .map(sum_weight)
     };
     let lookup_wpp = |tid: u64| -> Option<f64> {
-        wpp_input.items.iter().find(|i| i.tid.raw() == tid).map(|i| {
-            sum_weight(i)
-                + if i.band == Band::Question {
-                    slope
-                } else {
-                    0.0
-                }
-        })
+        wpp_input
+            .items
+            .iter()
+            .find(|i| i.tid.raw() == tid)
+            .map(|i| sum_weight(i) + if i.band == Band::Question { slope } else { 0.0 })
     };
 
     let mut rows = Vec::new();
@@ -84,7 +85,9 @@ fn print_figure2_table() {
             num(ptr, 0),
             num(cost, 0),
             lookup(&w_input, tid).map(|w| num(w, 0)).unwrap_or_default(),
-            lookup(&wp_input, tid).map(|w| num(w, 0)).unwrap_or_default(),
+            lookup(&wp_input, tid)
+                .map(|w| num(w, 0))
+                .unwrap_or_default(),
             lookup_wpp(tid).map(|w| num(w, 1)).unwrap_or_default(),
         ]);
     }
@@ -92,8 +95,19 @@ fn print_figure2_table() {
         "{}",
         render(
             &[
-                "link", "from", "to", "lat cached", "lat V", "bw cached", "bw V", "traffic cached",
-                "traffic V", "cost", "W", "W'", "W''"
+                "link",
+                "from",
+                "to",
+                "lat cached",
+                "lat V",
+                "bw cached",
+                "bw V",
+                "traffic cached",
+                "traffic V",
+                "cost",
+                "W",
+                "W'",
+                "W''"
             ],
             &rows
         )
@@ -110,16 +124,28 @@ fn run_worked_examples() {
         session.config.strategy = SolverStrategy::Exact;
         let mut oracle = TableOracle::from_table(master_table());
         let r = session.execute_sql(ex.sql, &mut oracle).unwrap();
-        let refreshed: Vec<String> = r.refreshed.iter().map(|(_, t)| t.raw().to_string()).collect();
+        let refreshed: Vec<String> = r
+            .refreshed
+            .iter()
+            .map(|(_, t)| t.raw().to_string())
+            .collect();
         rows.push(vec![
             ex.id.to_string(),
-            format!("[{}, {}]", num(ex.expect_initial.0, 1), num(ex.expect_initial.1, 1)),
+            format!(
+                "[{}, {}]",
+                num(ex.expect_initial.0, 1),
+                num(ex.expect_initial.1, 1)
+            ),
             format!(
                 "[{}, {}]",
                 num(r.initial_answer.range.lo(), 1),
                 num(r.initial_answer.range.hi(), 1)
             ),
-            format!("[{}, {}]", num(ex.expect_final.0, 1), num(ex.expect_final.1, 1)),
+            format!(
+                "[{}, {}]",
+                num(ex.expect_final.0, 1),
+                num(ex.expect_final.1, 1)
+            ),
             format!(
                 "[{}, {}]",
                 num(r.answer.range.lo(), 1),
@@ -127,7 +153,11 @@ fn run_worked_examples() {
             ),
             format!("{{{}}}", refreshed.join(",")),
             num(r.refresh_cost, 0),
-            if r.satisfied { "yes".into() } else { "NO".into() },
+            if r.satisfied {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
         ]);
     }
     println!(

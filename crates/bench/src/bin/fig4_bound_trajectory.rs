@@ -5,12 +5,12 @@
 //!
 //! Prints the series as CSV-ish columns plus an ASCII strip chart.
 
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use trapp_bench::tablefmt::{num, render};
 use trapp_bounds::BoundShape;
 use trapp_system::{Refresh, RefreshKind, SimClock, Source};
 use trapp_types::{CacheId, ObjectId, SourceId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 fn main() {
     println!("== Figure 4: bound [L(T), H(T)] over time vs precise value V(T) ==\n");

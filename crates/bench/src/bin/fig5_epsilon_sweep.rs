@@ -46,7 +46,12 @@ fn main() {
     println!(
         "{}",
         render(
-            &["epsilon", "choose_refresh (ms)", "refresh cost", "cost / optimal"],
+            &[
+                "epsilon",
+                "choose_refresh (ms)",
+                "refresh cost",
+                "cost / optimal"
+            ],
             &table
         )
     );

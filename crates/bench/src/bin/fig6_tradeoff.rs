@@ -40,16 +40,15 @@ fn main() {
             } else {
                 0
             };
-            vec![
-                num(row.r, 1),
-                num(row.refresh_cost, 1),
-                "#".repeat(bar_len),
-            ]
+            vec![num(row.r, 1), num(row.refresh_cost, 1), "#".repeat(bar_len)]
         })
         .collect();
     println!(
         "{}",
-        render(&["R (precision constraint)", "refresh cost", "performance"], &table)
+        render(
+            &["R (precision constraint)", "refresh cost", "performance"],
+            &table
+        )
     );
     println!("shape check: continuous, monotonically decreasing; cost = 0 once R ≥ total width.");
 }

@@ -74,6 +74,8 @@ fn main() {
         .flat_map(|c| c.iter())
         .filter(|b| **b == Band::Question)
         .count();
-    println!("after-refresh T? count: {residual_question} (paper: 0 — exact values classify definitely)");
+    println!(
+        "after-refresh T? count: {residual_question} (paper: 0 — exact values classify definitely)"
+    );
     let _ = TupleId::new(1);
 }

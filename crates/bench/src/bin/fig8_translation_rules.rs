@@ -9,12 +9,30 @@ fn main() {
     println!("== Figure 8: Possible / Certain translation of range comparisons ==\n");
 
     let pairs = [
-        (Interval::new(1.0, 2.0).unwrap(), Interval::new(3.0, 4.0).unwrap()),
-        (Interval::new(1.0, 3.0).unwrap(), Interval::new(2.0, 4.0).unwrap()),
-        (Interval::new(3.0, 4.0).unwrap(), Interval::new(1.0, 2.0).unwrap()),
-        (Interval::new(1.0, 2.0).unwrap(), Interval::new(2.0, 3.0).unwrap()),
-        (Interval::new(2.0, 2.0).unwrap(), Interval::new(2.0, 2.0).unwrap()),
-        (Interval::new(1.0, 2.0).unwrap(), Interval::new(1.0, 2.0).unwrap()),
+        (
+            Interval::new(1.0, 2.0).unwrap(),
+            Interval::new(3.0, 4.0).unwrap(),
+        ),
+        (
+            Interval::new(1.0, 3.0).unwrap(),
+            Interval::new(2.0, 4.0).unwrap(),
+        ),
+        (
+            Interval::new(3.0, 4.0).unwrap(),
+            Interval::new(1.0, 2.0).unwrap(),
+        ),
+        (
+            Interval::new(1.0, 2.0).unwrap(),
+            Interval::new(2.0, 3.0).unwrap(),
+        ),
+        (
+            Interval::new(2.0, 2.0).unwrap(),
+            Interval::new(2.0, 2.0).unwrap(),
+        ),
+        (
+            Interval::new(1.0, 2.0).unwrap(),
+            Interval::new(1.0, 2.0).unwrap(),
+        ),
     ];
 
     type TriCmp = fn(Interval, Interval) -> Tri;
@@ -46,7 +64,15 @@ fn main() {
     println!(
         "{}",
         render(
-            &["x", "y", "op", "Possible", "Certain", "rule: Possible", "rule: Certain"],
+            &[
+                "x",
+                "y",
+                "op",
+                "Possible",
+                "Certain",
+                "rule: Possible",
+                "rule: Certain"
+            ],
             &rows
         )
     );

@@ -1,0 +1,222 @@
+//! Throughput / latency / round-trip benchmark for the `trapp-server`
+//! query service: per-object baseline vs batched source round-trips vs
+//! batching + refresh coalescing, on the zipfian `loadgen` workload.
+//!
+//! Eight closed-loop clients drive the service over a `ChannelTransport`
+//! with simulated per-round-trip latency; the stream is split into bursts
+//! with the clock advancing between bursts, so every burst's bounds have
+//! re-widened and tight queries must refresh again. Within a burst, hot
+//! groups overlap — the coalescing opportunity.
+//!
+//! Every answer is checked against ground truth computed from the master
+//! values (`contains(truth) && width ≤ R`), so the speedup numbers can
+//! never come at the cost of correctness.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use trapp_bench::tablefmt;
+use trapp_server::{QueryService, ServiceBuilder, ServiceConfig};
+use trapp_workload::loadgen::{self, AggTemplate, GeneratedQuery, LoadConfig, ServiceWorkload};
+
+const CLIENTS: usize = 8;
+const BURSTS: usize = 8;
+const LATENCY: Duration = Duration::from_micros(200);
+
+fn build_service(w: &ServiceWorkload, config: ServiceConfig) -> QueryService {
+    let mut b = ServiceBuilder::new()
+        .initial_width(1.0)
+        .config(config)
+        .table(loadgen::table());
+    for r in &w.rows {
+        b = b.row("metrics", r.source, r.cells.clone());
+    }
+    b.build_channel(LATENCY).expect("service builds")
+}
+
+/// Ground truth for one query, from the master values in the row specs.
+fn truth(w: &ServiceWorkload, q: &GeneratedQuery) -> f64 {
+    let mid = (w.config.value_range.0 + w.config.value_range.1) / 2.0;
+    let loads: Vec<f64> = w
+        .rows
+        .iter()
+        .filter(|r| {
+            matches!(&r.cells[0], trapp_types::BoundedValue::Exact(trapp_types::Value::Int(g))
+                if *g == q.group as i64)
+        })
+        .map(|r| r.cells[1].as_interval().expect("load cell").midpoint())
+        .collect();
+    match q.agg {
+        AggTemplate::Count => loads.iter().filter(|&&v| v > mid).count() as f64,
+        AggTemplate::Sum => loads.iter().sum(),
+        AggTemplate::Avg => loads.iter().sum::<f64>() / loads.len() as f64,
+        AggTemplate::Min => loads.iter().fold(f64::INFINITY, |a, &b| a.min(b)),
+    }
+}
+
+struct RunResult {
+    label: &'static str,
+    wall: Duration,
+    latencies_us: Vec<f64>,
+    queries: u64,
+    round_trips: u64,
+    forwarded: u64,
+    coalesced: u64,
+    violations: usize,
+}
+
+fn run(label: &'static str, w: &ServiceWorkload, config: ServiceConfig) -> RunResult {
+    let service = build_service(w, config);
+    let latencies = Mutex::new(Vec::with_capacity(w.queries.len()));
+    let violations = Mutex::new(0usize);
+    let started = Instant::now();
+
+    let burst_len = w.queries.len().div_ceil(BURSTS);
+    for burst in w.queries.chunks(burst_len) {
+        // Let every bound re-widen: this burst must pay for precision
+        // again.
+        service.advance_clock(25.0);
+        let per_client = burst.len().div_ceil(CLIENTS);
+        let (service, latencies, violations) = (&service, &latencies, &violations);
+        std::thread::scope(|s| {
+            for chunk in burst.chunks(per_client) {
+                s.spawn(move || {
+                    for q in chunk {
+                        let t0 = Instant::now();
+                        let reply = service.query(&q.sql).expect("query runs");
+                        let us = t0.elapsed().as_secs_f64() * 1e6;
+                        latencies.lock().unwrap().push(us);
+                        let range = reply.result.answer.range;
+                        let t = truth(w, q);
+                        let contains = range.lo() - 1e-9 <= t && t <= range.hi() + 1e-9;
+                        if !contains || !reply.result.satisfied {
+                            *violations.lock().unwrap() += 1;
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    let wall = started.elapsed();
+    let stats = service.stats();
+    service.shutdown();
+    RunResult {
+        label,
+        wall,
+        latencies_us: latencies.into_inner().unwrap(),
+        queries: stats.queries,
+        round_trips: stats.round_trips,
+        forwarded: stats.refreshes_forwarded,
+        coalesced: stats.refreshes_coalesced,
+        violations: violations.into_inner().unwrap(),
+    }
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let config = LoadConfig::default();
+    let w = loadgen::generate(&config);
+    eprintln!(
+        "workload: {} rows ({} groups × {}), {} sources, {} queries, zipf s={}, {} clients, {:?} RTT",
+        w.rows.len(),
+        config.groups,
+        config.rows_per_group,
+        config.sources,
+        w.queries.len(),
+        config.zipf_s,
+        CLIENTS,
+        LATENCY,
+    );
+
+    let runs = [
+        run(
+            "per-object (seed baseline)",
+            &w,
+            ServiceConfig {
+                workers: CLIENTS,
+                coalesce: false,
+                batch_refreshes: false,
+            },
+        ),
+        run(
+            "batched",
+            &w,
+            ServiceConfig {
+                workers: CLIENTS,
+                coalesce: false,
+                batch_refreshes: true,
+            },
+        ),
+        run(
+            "batched + coalesced",
+            &w,
+            ServiceConfig {
+                workers: CLIENTS,
+                coalesce: true,
+                batch_refreshes: true,
+            },
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    let mut total_violations = 0;
+    for r in &runs {
+        let mut sorted = r.latencies_us.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let qps = r.queries as f64 / r.wall.as_secs_f64();
+        rows.push(vec![
+            r.label.to_string(),
+            tablefmt::num(r.wall.as_secs_f64() * 1e3, 1),
+            tablefmt::num(qps, 0),
+            tablefmt::num(percentile(&sorted, 0.5), 0),
+            tablefmt::num(percentile(&sorted, 0.95), 0),
+            r.round_trips.to_string(),
+            tablefmt::num(r.round_trips as f64 / r.queries as f64, 2),
+            r.forwarded.to_string(),
+            r.coalesced.to_string(),
+        ]);
+        total_violations += r.violations;
+    }
+    println!(
+        "{}",
+        tablefmt::render(
+            &[
+                "config",
+                "wall ms",
+                "qps",
+                "p50 µs",
+                "p95 µs",
+                "round-trips",
+                "rt/query",
+                "refreshes",
+                "coalesced",
+            ],
+            &rows,
+        )
+    );
+
+    let baseline = &runs[0];
+    let best = &runs[2];
+    println!(
+        "round-trips per query: {} -> {} ({}x reduction); bounded-answer violations: {}",
+        tablefmt::num(baseline.round_trips as f64 / baseline.queries as f64, 2),
+        tablefmt::num(best.round_trips as f64 / best.queries as f64, 2),
+        tablefmt::num(
+            baseline.round_trips as f64 / best.round_trips.max(1) as f64,
+            1
+        ),
+        total_violations,
+    );
+    if total_violations > 0 {
+        eprintln!("FAIL: some answers violated their precision contract");
+        std::process::exit(1);
+    }
+}

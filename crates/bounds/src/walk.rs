@@ -112,7 +112,9 @@ mod tests {
     #[test]
     fn step_size_estimation() {
         // Deterministic alternating walk has RMS step exactly 1.
-        let samples: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 0.0 } else { 1.0 }).collect();
+        let samples: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 0.0 } else { 1.0 })
+            .collect();
         let s = estimate_step_size(&samples).unwrap();
         assert!((s - 1.0).abs() < 1e-12);
         assert_eq!(estimate_step_size(&[1.0]), None);
@@ -149,6 +151,9 @@ mod tests {
         let freq = escapes_at_horizon as f64 / trials as f64;
         // Chebyshev is loose; the true escape rate is far below P. Assert the
         // guarantee rather than the loose bound being tight.
-        assert!(freq <= p, "escape frequency {freq} exceeded Chebyshev bound {p}");
+        assert!(
+            freq <= p,
+            "escape frequency {freq} exceeded Chebyshev bound {p}"
+        );
     }
 }

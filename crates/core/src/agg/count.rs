@@ -91,9 +91,16 @@ mod tests {
         use trapp_expr::{ColumnRef, Expr};
         let mut t = links_table();
         t.set_cardinality_slack(1, 0);
-        let col = Expr::Column(ColumnRef::bare("latency")).bind(&schema()).unwrap();
+        let col = Expr::Column(ColumnRef::bare("latency"))
+            .bind(&schema())
+            .unwrap();
         let input = AggInput::build(&t, None, Some(&col)).unwrap();
-        for agg in [Aggregate::Sum, Aggregate::Min, Aggregate::Max, Aggregate::Avg] {
+        for agg in [
+            Aggregate::Sum,
+            Aggregate::Min,
+            Aggregate::Max,
+            Aggregate::Avg,
+        ] {
             assert!(bounded_answer(agg, &input).is_err(), "{agg:?}");
         }
         assert!(bounded_answer(Aggregate::Count, &input).is_ok());

@@ -15,8 +15,8 @@ pub mod sum;
 use std::fmt;
 
 use trapp_expr::{eval, implied_interval, Band, Expr};
-use trapp_storage::Table;
 use trapp_sql::AggregateFunc;
+use trapp_storage::Table;
 use trapp_types::{Interval, TrappError, TupleId};
 
 /// Re-export for convenience: the aggregate function enum comes from the

@@ -116,14 +116,13 @@ pub fn bounded_top_n(input: &AggInput, n: usize) -> Result<BoundedTopN, TrappErr
     for item in &input.items {
         let (lo, hi) = (item.interval.lo(), item.interval.hi());
         // Possible beaters: H_j > L_i, minus self when H_i > L_i.
-        let possible_beaters =
-            count_gt(&highs, lo) - usize::from(hi > lo);
-        if possible_beaters <= n - 1 {
+        let possible_beaters = count_gt(&highs, lo) - usize::from(hi > lo);
+        if possible_beaters < n {
             certain.push(item.tid);
         }
         // Certain beaters: L_j > H_i (self never qualifies: L_i ≤ H_i).
         let certain_beaters = count_gt(&lows, hi);
-        if certain_beaters <= n - 1 {
+        if certain_beaters < n {
             possible.push(item.tid);
         }
     }
@@ -169,7 +168,10 @@ mod tests {
         let mut prev_hi = f64::NEG_INFINITY;
         for k in 1..=6 {
             let iv = bounded_kth(&input, k).unwrap();
-            assert!(iv.lo() >= prev_lo && iv.hi() >= prev_hi, "rank {k} not monotone");
+            assert!(
+                iv.lo() >= prev_lo && iv.hi() >= prev_hi,
+                "rank {k} not monotone"
+            );
             prev_lo = iv.lo();
             prev_hi = iv.hi();
         }
@@ -187,11 +189,7 @@ mod tests {
         real.sort_by(f64::total_cmp);
         for k in 1..=6 {
             let iv = bounded_kth(&input, k).unwrap();
-            assert!(
-                iv.contains(real[k - 1]),
-                "rank {k}: {} ∉ {iv}",
-                real[k - 1]
-            );
+            assert!(iv.contains(real[k - 1]), "rank {k}: {} ∉ {iv}", real[k - 1]);
         }
     }
 
@@ -236,7 +234,7 @@ mod tests {
     /// Soundness against realizations: the realized top-n set always
     /// contains `certain` and is contained in `possible`.
     #[test]
-    fn top_n_brackets_every_realization()  {
+    fn top_n_brackets_every_realization() {
         use crate::verify::realize_table;
         let t = links_table();
         let input = AggInput::build(&t, None, Some(&col("latency"))).unwrap();

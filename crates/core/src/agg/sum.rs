@@ -93,9 +93,9 @@ mod tests {
         let input = AggInput {
             items: vec![
                 item(Band::Plus, 10.0, 12.0),
-                item(Band::Question, 5.0, 8.0),    // → [0, 8]
-                item(Band::Question, -6.0, -2.0),  // → [−6, 0]
-                item(Band::Question, -1.0, 3.0),   // stays [−1, 3]
+                item(Band::Question, 5.0, 8.0),   // → [0, 8]
+                item(Band::Question, -6.0, -2.0), // → [−6, 0]
+                item(Band::Question, -1.0, 3.0),  // stays [−1, 3]
             ],
             minus_count: 0,
             cardinality_slack: (0, 0),
@@ -105,9 +105,9 @@ mod tests {
         assert_eq!(s.hi(), 12.0 + 8.0 + 3.0);
         // Weights match §6.2's W assignments.
         assert_eq!(sum_weight(&input.items[0]), 2.0);
-        assert_eq!(sum_weight(&input.items[1]), 8.0);  // L ≥ 0 → W = H
-        assert_eq!(sum_weight(&input.items[2]), 6.0);  // H ≤ 0 → W = −L
-        assert_eq!(sum_weight(&input.items[3]), 4.0);  // straddles → H − L
+        assert_eq!(sum_weight(&input.items[1]), 8.0); // L ≥ 0 → W = H
+        assert_eq!(sum_weight(&input.items[2]), 6.0); // H ≤ 0 → W = −L
+        assert_eq!(sum_weight(&input.items[3]), 4.0); // straddles → H − L
     }
 
     #[test]

@@ -11,8 +11,8 @@
 //! at a time, stop early when actual values cooperate) and the §7 join
 //! loop, both driven by the heuristics in [`crate::refresh`].
 
-use trapp_storage::{Catalog, Table};
 use trapp_sql::Query;
+use trapp_storage::{Catalog, Table};
 use trapp_types::{TrappError, TupleId};
 
 use crate::agg::{bounded_answer, AggInput, Aggregate, BoundedAnswer};
@@ -65,6 +65,23 @@ pub trait RefreshOracle {
         tid: TupleId,
         columns: &[usize],
     ) -> Result<Vec<f64>, TrappError>;
+
+    /// Returns the current master values for `columns` of *each* tuple in
+    /// `tids` (outer order matches `tids`, inner order matches `columns`).
+    ///
+    /// The default forwards tuple-by-tuple; transport-backed oracles
+    /// override this to serve a whole CHOOSE_REFRESH plan with one
+    /// round-trip per *source* instead of one per object.
+    fn refresh_batch(
+        &mut self,
+        table: &str,
+        tids: &[TupleId],
+        columns: &[usize],
+    ) -> Result<Vec<Vec<f64>>, TrappError> {
+        tids.iter()
+            .map(|&tid| self.refresh(table, tid, columns))
+            .collect()
+    }
 }
 
 /// A [`RefreshOracle`] backed by master tables with exact values — the
@@ -113,6 +130,29 @@ impl RefreshOracle for TableOracle {
         self.refreshes_served += 1;
         Ok(out)
     }
+}
+
+/// The outcome of planning a query *without* executing its refreshes —
+/// the read-only first phase a serving layer runs under its cache lock
+/// before going to the sources with the lock released.
+#[derive(Clone, Debug)]
+pub enum PlannedQuery {
+    /// The cached bounds already satisfy the constraint; here is the
+    /// complete result.
+    Satisfied(QueryResult),
+    /// Refresh these tuples (a batch-mode, single-table CHOOSE_REFRESH
+    /// plan), then re-evaluate.
+    NeedsRefresh {
+        /// The queried table.
+        table: String,
+        /// The plan's tuples, ascending.
+        tuples: Vec<TupleId>,
+        /// `Σ Cᵢ` over the plan.
+        refresh_cost: f64,
+    },
+    /// Not plannable ahead of execution (join sources, grouped queries,
+    /// or iterative mode) — run [`QuerySession::execute`] instead.
+    Unsupported,
 }
 
 /// The outcome of one query execution.
@@ -218,6 +258,50 @@ impl QuerySession {
         self.execute(&constrained, oracle)
     }
 
+    /// Plans a query read-only: computes the cache-only answer and, if the
+    /// precision constraint is not met, the CHOOSE_REFRESH plan that will
+    /// meet it — without touching the catalog or any oracle. Callers that
+    /// install the planned refreshes themselves (e.g. a concurrent serving
+    /// layer fetching with its cache lock released) re-run the query
+    /// afterwards; the CHOOSE_REFRESH guarantee makes the second pass
+    /// satisfied unless the clock advanced in between.
+    pub fn plan_query(&self, query: &Query) -> Result<PlannedQuery, TrappError> {
+        if !matches!(self.config.mode, ExecutionMode::Batch) {
+            return Ok(PlannedQuery::Unsupported);
+        }
+        let bound = bind_query(query, &self.catalog)?;
+        if !bound.group_by.is_empty() {
+            return Ok(PlannedQuery::Unsupported);
+        }
+        let QuerySource::Table(name) = &bound.source else {
+            return Ok(PlannedQuery::Unsupported);
+        };
+        let input = AggInput::build_filtered(
+            self.catalog.table(name)?,
+            bound.predicate.as_ref(),
+            bound.arg.as_ref(),
+            |_, _| true,
+        )?;
+        let initial = bounded_answer(bound.agg, &input)?;
+        if initial.satisfies(bound.within) {
+            return Ok(PlannedQuery::Satisfied(QueryResult {
+                answer: initial,
+                initial_answer: initial,
+                refreshed: Vec::new(),
+                refresh_cost: 0.0,
+                rounds: 0,
+                satisfied: true,
+            }));
+        }
+        let r = bound.within.expect("unsatisfied implies finite R");
+        let plan = choose_refresh(bound.agg, &input, r, self.config.strategy)?;
+        Ok(PlannedQuery::NeedsRefresh {
+            table: name.clone(),
+            refresh_cost: plan.planned_cost,
+            tuples: plan.tuples,
+        })
+    }
+
     fn run_single(
         &mut self,
         table_name: String,
@@ -265,10 +349,8 @@ impl QuerySession {
             ExecutionMode::Batch => {
                 let plan = choose_refresh(bound.agg, &input, r, self.config.strategy)?;
                 rounds = 1;
-                for &tid in &plan.tuples {
-                    cost += self.refresh_tuple(&table_name, tid, oracle)?;
-                    refreshed.push((table_name.clone(), tid));
-                }
+                cost += self.refresh_tuples(&table_name, &plan.tuples, oracle)?;
+                refreshed.extend(plan.tuples.iter().map(|&tid| (table_name.clone(), tid)));
             }
             ExecutionMode::Iterative(heuristic) => {
                 loop {
@@ -296,9 +378,7 @@ impl QuerySession {
         let answer = bounded_answer(bound.agg, &input)?;
         let satisfied = answer.satisfies(bound.within);
         debug_assert!(
-            satisfied
-                || bound.agg == Aggregate::Median
-                || input.cardinality_slack != (0, 0),
+            satisfied || bound.agg == Aggregate::Median || input.cardinality_slack != (0, 0),
             "CHOOSE_REFRESH must guarantee the constraint: width {} > R {r}",
             answer.width(),
         );
@@ -393,30 +473,47 @@ impl QuerySession {
         tid: TupleId,
         oracle: &mut dyn RefreshOracle,
     ) -> Result<f64, TrappError> {
-        let columns: Vec<usize> = {
-            let table = self.catalog.table(table_name)?;
-            table
-                .schema()
-                .columns()
-                .iter()
-                .enumerate()
-                .filter(|(_, c)| c.bounded)
-                .map(|(i, _)| i)
-                .collect()
-        };
-        let values = oracle.refresh(table_name, tid, &columns)?;
-        if values.len() != columns.len() {
+        self.refresh_tuples(table_name, &[tid], oracle)
+    }
+
+    /// Refreshes a whole plan's worth of tuples through one
+    /// [`RefreshOracle::refresh_batch`] call, letting batching-aware
+    /// oracles collapse the plan into one round-trip per source. Returns
+    /// the total refresh cost paid.
+    pub fn refresh_tuples(
+        &mut self,
+        table_name: &str,
+        tids: &[TupleId],
+        oracle: &mut dyn RefreshOracle,
+    ) -> Result<f64, TrappError> {
+        if tids.is_empty() {
+            return Ok(0.0);
+        }
+        let columns = self.catalog.table(table_name)?.schema().bounded_columns();
+        let per_tuple = oracle.refresh_batch(table_name, tids, &columns)?;
+        if per_tuple.len() != tids.len() {
             return Err(TrappError::RefreshFailed(format!(
-                "oracle returned {} values for {} columns",
-                values.len(),
-                columns.len()
+                "oracle returned {} rows for {} tuples",
+                per_tuple.len(),
+                tids.len()
             )));
         }
         let table = self.catalog.table_mut(table_name)?;
-        for (&c, &v) in columns.iter().zip(&values) {
-            table.refresh_cell(tid, c, v)?;
+        let mut cost = 0.0;
+        for (&tid, values) in tids.iter().zip(&per_tuple) {
+            if values.len() != columns.len() {
+                return Err(TrappError::RefreshFailed(format!(
+                    "oracle returned {} values for {} columns",
+                    values.len(),
+                    columns.len()
+                )));
+            }
+            for (&c, &v) in columns.iter().zip(values) {
+                table.refresh_cell(tid, c, v)?;
+            }
+            cost += table.cost(tid)?;
         }
-        table.cost(tid)
+        Ok(cost)
     }
 }
 
@@ -535,7 +632,9 @@ mod tests {
         assert!(r.refreshed.is_empty());
         assert_eq!(o.refreshes_served, 0);
         // No WITHIN at all = pure cache read.
-        let r = s.execute_sql("SELECT SUM(latency) FROM links", &mut o).unwrap();
+        let r = s
+            .execute_sql("SELECT SUM(latency) FROM links", &mut o)
+            .unwrap();
         assert!(r.satisfied);
         assert_eq!(o.refreshes_served, 0);
     }

@@ -10,8 +10,8 @@
 
 use std::collections::BTreeMap;
 
-use trapp_storage::Row;
 use trapp_sql::Query;
+use trapp_storage::Row;
 use trapp_types::{TrappError, TupleId, Value};
 
 use crate::executor::{QueryResult, QuerySession, RefreshOracle};
@@ -76,8 +76,7 @@ impl QuerySession {
         let mut out = Vec::with_capacity(groups.len());
         for (_, (key, tids)) in groups {
             let member = move |tid: TupleId, _row: &Row| tids.binary_search(&tid).is_ok();
-            let result =
-                self.run_single_filtered(table_name.clone(), &bound, oracle, &member)?;
+            let result = self.run_single_filtered(table_name.clone(), &bound, oracle, &member)?;
             out.push(GroupResult { key, result });
         }
         Ok(out)
@@ -99,10 +98,9 @@ mod tests {
     fn groups_partition_and_answer_independently() {
         let mut s = QuerySession::new(links_table());
         let mut o = TableOracle::from_table(master_table());
-        let q = trapp_sql::parse_query(
-            "SELECT SUM(latency) WITHIN 3 FROM links GROUP BY from_node",
-        )
-        .unwrap();
+        let q =
+            trapp_sql::parse_query("SELECT SUM(latency) WITHIN 3 FROM links GROUP BY from_node")
+                .unwrap();
         let groups = s.execute_grouped(&q, &mut o).unwrap();
         // from_node values: 1, 2 (×2), 3, 4, 5 → 5 groups, key-sorted.
         assert_eq!(groups.len(), 5);
@@ -130,10 +128,8 @@ mod tests {
     fn multi_column_keys() {
         let mut s = QuerySession::new(links_table());
         let mut o = TableOracle::from_table(master_table());
-        let q = trapp_sql::parse_query(
-            "SELECT COUNT(*) FROM links GROUP BY from_node, on_path",
-        )
-        .unwrap();
+        let q = trapp_sql::parse_query("SELECT COUNT(*) FROM links GROUP BY from_node, on_path")
+            .unwrap();
         let groups = s.execute_grouped(&q, &mut o).unwrap();
         // from_node = 2 appears with both on_path values (tuples 2 and 4),
         // so the composite key splits it: 6 groups in total.

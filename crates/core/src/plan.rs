@@ -8,8 +8,8 @@
 use std::sync::Arc;
 
 use trapp_expr::{typecheck, ColumnRef, Expr};
-use trapp_storage::{Catalog, ColumnDef, Schema};
 use trapp_sql::Query;
+use trapp_storage::{Catalog, ColumnDef, Schema};
 use trapp_types::TrappError;
 
 use crate::agg::Aggregate;
@@ -283,9 +283,15 @@ mod tests {
     fn unknown_names_fail_cleanly() {
         let c = catalog();
         let q = parse_query("SELECT AVG(latency) FROM missing").unwrap();
-        assert!(matches!(bind_query(&q, &c), Err(TrappError::UnknownTable(_))));
+        assert!(matches!(
+            bind_query(&q, &c),
+            Err(TrappError::UnknownTable(_))
+        ));
         let q = parse_query("SELECT AVG(nope) FROM links").unwrap();
-        assert!(matches!(bind_query(&q, &c), Err(TrappError::UnknownColumn(_))));
+        assert!(matches!(
+            bind_query(&q, &c),
+            Err(TrappError::UnknownColumn(_))
+        ));
         let q = parse_query("SELECT AVG(nodes.cpu_load) FROM links").unwrap();
         assert!(bind_query(&q, &c).is_err());
     }

@@ -122,11 +122,17 @@ mod tests {
         let mut o = TableOracle::from_table(master_table());
         // Width = |T?| + 2 = 4; R = 3 is achievable (refresh 1), R = 1 is not.
         let r = s
-            .execute_sql("SELECT COUNT(*) WITHIN 3 FROM links WHERE latency > 10", &mut o)
+            .execute_sql(
+                "SELECT COUNT(*) WITHIN 3 FROM links WHERE latency > 10",
+                &mut o,
+            )
             .unwrap();
         assert!(r.satisfied);
         let r = s
-            .execute_sql("SELECT COUNT(*) WITHIN 1 FROM links WHERE latency > 10", &mut o)
+            .execute_sql(
+                "SELECT COUNT(*) WITHIN 1 FROM links WHERE latency > 10",
+                &mut o,
+            )
             .unwrap();
         assert!(!r.satisfied);
         assert!(r.answer.width() > 1.0);

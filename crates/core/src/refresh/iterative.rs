@@ -64,10 +64,7 @@ pub fn next_refresh(
                 .map(|i| (i.tid, i.interval.hi() - max_plus_lo - r, i.cost))
                 .collect()
         }
-        Aggregate::Count => input
-            .question()
-            .map(|i| (i.tid, 1.0, i.cost))
-            .collect(),
+        Aggregate::Count => input.question().map(|i| (i.tid, 1.0, i.cost)).collect(),
         Aggregate::Sum => input
             .items
             .iter()
@@ -82,7 +79,11 @@ pub fn next_refresh(
             // candidate — refreshing it resolves the predicate columns.
             .filter(|i| sum_weight(i) > 0.0 || i.band == trapp_expr::Band::Question)
             .map(|i| {
-                let membership = if i.band == trapp_expr::Band::Question { 1.0 } else { 0.0 };
+                let membership = if i.band == trapp_expr::Band::Question {
+                    1.0
+                } else {
+                    0.0
+                };
                 (i.tid, sum_weight(i) + membership, i.cost)
             })
             .collect(),
@@ -143,10 +144,20 @@ mod tests {
         let next = next_refresh(Aggregate::Sum, &input, 10.0, IterativeHeuristic::BestRatio);
         assert_eq!(next, Some(trapp_types::TupleId::new(6)));
         // Cheapest-first also picks tuple 6 (cost 2).
-        let next = next_refresh(Aggregate::Sum, &input, 10.0, IterativeHeuristic::CheapestFirst);
+        let next = next_refresh(
+            Aggregate::Sum,
+            &input,
+            10.0,
+            IterativeHeuristic::CheapestFirst,
+        );
         assert_eq!(next, Some(trapp_types::TupleId::new(6)));
         // Widest-first picks tuple 4 (width 25).
-        let next = next_refresh(Aggregate::Sum, &input, 10.0, IterativeHeuristic::WidestFirst);
+        let next = next_refresh(
+            Aggregate::Sum,
+            &input,
+            10.0,
+            IterativeHeuristic::WidestFirst,
+        );
         assert_eq!(next, Some(trapp_types::TupleId::new(4)));
     }
 
@@ -180,7 +191,12 @@ mod tests {
         .bind(&schema())
         .unwrap();
         let input = AggInput::build(&t, Some(&pred), None).unwrap();
-        let next = next_refresh(Aggregate::Count, &input, 0.0, IterativeHeuristic::CheapestFirst);
+        let next = next_refresh(
+            Aggregate::Count,
+            &input,
+            0.0,
+            IterativeHeuristic::CheapestFirst,
+        );
         assert_eq!(next, Some(trapp_types::TupleId::new(5))); // cost 4 < 8
     }
 
@@ -190,8 +206,13 @@ mod tests {
         let input = AggInput::build(&t, None, Some(&col("latency"))).unwrap();
         // Median band is [5, 7]; tuple 3 ([12,16]) does not overlap it and
         // must never be picked.
-        let next = next_refresh(Aggregate::Median, &input, 0.5, IterativeHeuristic::WidestFirst)
-            .unwrap();
+        let next = next_refresh(
+            Aggregate::Median,
+            &input,
+            0.5,
+            IterativeHeuristic::WidestFirst,
+        )
+        .unwrap();
         assert_ne!(next, trapp_types::TupleId::new(3));
     }
 
@@ -199,7 +220,12 @@ mod tests {
     fn exact_everything_yields_none() {
         let t = master_table();
         let input = AggInput::build(&t, None, Some(&col("latency"))).unwrap();
-        for agg in [Aggregate::Sum, Aggregate::Min, Aggregate::Max, Aggregate::Median] {
+        for agg in [
+            Aggregate::Sum,
+            Aggregate::Min,
+            Aggregate::Max,
+            Aggregate::Median,
+        ] {
             assert_eq!(
                 next_refresh(agg, &input, 0.0, IterativeHeuristic::BestRatio),
                 None,

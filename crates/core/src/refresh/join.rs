@@ -64,7 +64,9 @@ pub fn build_join_input(
 ) -> Result<JoinInput, TrappError> {
     let mut out = JoinInput {
         left_arity: left.schema().arity(),
-        arg_cols: arg.map(|e| e.columns().into_iter().copied().collect()).unwrap_or_default(),
+        arg_cols: arg
+            .map(|e| e.columns().into_iter().copied().collect())
+            .unwrap_or_default(),
         pred_cols: predicate
             .map(|e| e.columns().into_iter().copied().collect())
             .unwrap_or_default(),
@@ -77,9 +79,7 @@ pub fn build_join_input(
             let joined = Row::from_cells_unchecked(cells);
             let band = match predicate {
                 None => Band::Plus,
-                Some(pred) => {
-                    Band::from_tri(trapp_expr::eval::eval_predicate(pred, &joined)?)
-                }
+                Some(pred) => Band::from_tri(trapp_expr::eval::eval_predicate(pred, &joined)?),
             };
             if band == Band::Minus {
                 out.input.minus_count += 1;
@@ -114,7 +114,9 @@ fn side_can_help(
     side_range: std::ops::Range<usize>,
     left_arity: usize,
 ) -> bool {
-    let Ok(row) = table.row(tid) else { return false };
+    let Ok(row) = table.row(tid) else {
+        return false;
+    };
     cols.iter().any(|&c| {
         side_range.contains(&c)
             && row
@@ -151,7 +153,11 @@ pub fn next_join_refresh(
             _ => {
                 // MIN/MAX/MEDIAN: width plus membership uncertainty.
                 item.interval.width()
-                    + if item.band == Band::Question { 1.0 } else { 0.0 }
+                    + if item.band == Band::Question {
+                        1.0
+                    } else {
+                        0.0
+                    }
             }
         };
         if w <= 0.0 {
@@ -341,8 +347,7 @@ mod tests {
         // For SUM over latency, only links carry width on the aggregation
         // column; nodes.load never appears → candidates are link tuples.
         let next =
-            next_join_refresh(&ji, &n, &l, Aggregate::Sum, IterativeHeuristic::BestRatio)
-                .unwrap();
+            next_join_refresh(&ji, &n, &l, Aggregate::Sum, IterativeHeuristic::BestRatio).unwrap();
         assert_eq!(next.0, JoinSide::Right);
         // widths/costs: l1 2/1, l2 2/2, l3 2/3 → l1.
         assert_eq!(next.1, TupleId::new(1));

@@ -58,10 +58,7 @@ pub fn choose_refresh_min_indexed(table: &Table, column: usize, r: f64) -> Optio
     let threshold = trapp_types::OrderedF64::new(min_hi - r).ok()?;
     let mut tuples: Vec<TupleId> = lo.below(threshold).collect();
     tuples.sort_unstable();
-    let cost = tuples
-        .iter()
-        .map(|&t| table.cost(t).unwrap_or(0.0))
-        .sum();
+    let cost = tuples.iter().map(|&t| table.cost(t).unwrap_or(0.0)).sum();
     Some(RefreshPlan {
         tuples,
         planned_cost: cost,
@@ -80,10 +77,7 @@ pub fn choose_refresh_max_indexed(table: &Table, column: usize, r: f64) -> Optio
     let threshold = trapp_types::OrderedF64::new(max_lo + r).ok()?;
     let mut tuples: Vec<TupleId> = hi.above(threshold).collect();
     tuples.sort_unstable();
-    let cost = tuples
-        .iter()
-        .map(|&t| table.cost(t).unwrap_or(0.0))
-        .sum();
+    let cost = tuples.iter().map(|&t| table.cost(t).unwrap_or(0.0)).sum();
     Some(RefreshPlan {
         tuples,
         planned_cost: cost,
@@ -204,8 +198,10 @@ mod tests {
     #[test]
     fn indexed_min_matches_scan_planner() {
         let mut t = links_table();
-        t.create_index(trapp_storage::IndexKey::Lo { column: BANDWIDTH }).unwrap();
-        t.create_index(trapp_storage::IndexKey::Hi { column: BANDWIDTH }).unwrap();
+        t.create_index(trapp_storage::IndexKey::Lo { column: BANDWIDTH })
+            .unwrap();
+        t.create_index(trapp_storage::IndexKey::Hi { column: BANDWIDTH })
+            .unwrap();
         for r in [0.0, 5.0, 10.0, 15.0, 30.0, 100.0] {
             let input = AggInput::build(&t, None, Some(&col("bandwidth"))).unwrap();
             let scan = choose_refresh_min(&input, r);
@@ -220,8 +216,10 @@ mod tests {
     #[test]
     fn indexed_max_matches_scan_planner() {
         let mut t = links_table();
-        t.create_index(trapp_storage::IndexKey::Lo { column: LATENCY }).unwrap();
-        t.create_index(trapp_storage::IndexKey::Hi { column: LATENCY }).unwrap();
+        t.create_index(trapp_storage::IndexKey::Lo { column: LATENCY })
+            .unwrap();
+        t.create_index(trapp_storage::IndexKey::Hi { column: LATENCY })
+            .unwrap();
         for r in [0.0, 2.0, 4.0, 10.0] {
             let input = AggInput::build(&t, None, Some(&col("latency"))).unwrap();
             let scan = choose_refresh_max(&input, r);
@@ -235,14 +233,17 @@ mod tests {
     #[test]
     fn indexed_plan_tracks_mutations() {
         let mut t = links_table();
-        t.create_index(trapp_storage::IndexKey::Lo { column: BANDWIDTH }).unwrap();
-        t.create_index(trapp_storage::IndexKey::Hi { column: BANDWIDTH }).unwrap();
+        t.create_index(trapp_storage::IndexKey::Lo { column: BANDWIDTH })
+            .unwrap();
+        t.create_index(trapp_storage::IndexKey::Hi { column: BANDWIDTH })
+            .unwrap();
         // Initially tuple 5 blocks at R = 10 (Q1).
         let before = choose_refresh_min_indexed(&t, BANDWIDTH, 10.0).unwrap();
         assert_eq!(before.tuples, ids(&[5]));
         // Refresh tuple 5 to its master value 50: min(H) drops to 50 and
         // nothing has lo < 40.
-        t.refresh_cell(trapp_types::TupleId::new(5), BANDWIDTH, 50.0).unwrap();
+        t.refresh_cell(trapp_types::TupleId::new(5), BANDWIDTH, 50.0)
+            .unwrap();
         let after = choose_refresh_min_indexed(&t, BANDWIDTH, 10.0).unwrap();
         assert!(after.is_empty(), "{:?}", after.tuples);
     }

@@ -35,8 +35,8 @@ pub(crate) fn solve_keep_set(
         .map(|(item, &w)| Item::new(item.cost, w))
         .collect();
     let items = items.map_err(|e| TrappError::Plan(format!("bad knapsack item: {e}")))?;
-    let instance =
-        Instance::new(items, capacity).map_err(|e| TrappError::Plan(format!("bad capacity: {e}")))?;
+    let instance = Instance::new(items, capacity)
+        .map_err(|e| TrappError::Plan(format!("bad capacity: {e}")))?;
     let solution = run_solver(&instance, strategy)?;
     let refresh: Vec<TupleId> = solution
         .complement(input.items.len())
@@ -191,12 +191,12 @@ mod tests {
         for tid in t.tuple_ids().collect::<Vec<_>>() {
             t.set_cost(tid, 4.0).unwrap();
         }
-        t.create_index(trapp_storage::IndexKey::Width { column: TRAFFIC }).unwrap();
+        t.create_index(trapp_storage::IndexKey::Width { column: TRAFFIC })
+            .unwrap();
         for r in [0.0, 10.0, 24.9, 25.0, 40.0, 60.0, 95.0, 200.0] {
             let input = AggInput::build(&t, None, Some(&col("traffic"))).unwrap();
             let exact = choose_refresh_sum(&input, r, SolverStrategy::Exact).unwrap();
-            let indexed =
-                choose_refresh_sum_uniform_indexed(&t, TRAFFIC, r).unwrap();
+            let indexed = choose_refresh_sum_uniform_indexed(&t, TRAFFIC, r).unwrap();
             assert_eq!(
                 exact.planned_cost, indexed.planned_cost,
                 "R = {r}: exact {:?} vs indexed {:?}",
@@ -218,7 +218,8 @@ mod tests {
         let t = links_table(); // non-uniform costs, no index
         assert!(choose_refresh_sum_uniform_indexed(&t, TRAFFIC, 10.0).is_none());
         let mut t = links_table();
-        t.create_index(trapp_storage::IndexKey::Width { column: TRAFFIC }).unwrap();
+        t.create_index(trapp_storage::IndexKey::Width { column: TRAFFIC })
+            .unwrap();
         // Index present but costs differ → refuse.
         assert!(choose_refresh_sum_uniform_indexed(&t, TRAFFIC, 10.0).is_none());
     }
@@ -230,7 +231,8 @@ mod tests {
         let mut t = links_table();
         // Pin tuple 1's latency to exactly 3 but leave traffic bounded, so
         // under `traffic > 100` it stays in T? with latency weight |3| = 3.
-        t.refresh_cell(trapp_types::TupleId::new(1), LATENCY, 3.0).unwrap();
+        t.refresh_cell(trapp_types::TupleId::new(1), LATENCY, 3.0)
+            .unwrap();
         let pred = Expr::binary(
             BinaryOp::Gt,
             Expr::Column(ColumnRef::bare("traffic")),

@@ -55,9 +55,7 @@ pub fn realize_table(cache: &Table, seed: u64) -> Result<Table, TrappError> {
         let mut cells = Vec::with_capacity(row.cells().len());
         for cell in row.cells() {
             cells.push(match cell {
-                trapp_types::BoundedValue::Exact(v) => {
-                    trapp_types::BoundedValue::Exact(v.clone())
-                }
+                trapp_types::BoundedValue::Exact(v) => trapp_types::BoundedValue::Exact(v.clone()),
                 trapp_types::BoundedValue::Bounded(b) => {
                     let v = if b.is_finite() {
                         rng.in_range(b.lo(), b.hi())
@@ -129,11 +127,7 @@ pub fn check_containment(
 
 /// Applies a refresh plan against a given master realization: every tuple
 /// in `plan` has its bounded cells pinned to the master values.
-pub fn apply_plan(
-    cache: &mut Table,
-    master: &Table,
-    plan: &[TupleId],
-) -> Result<(), TrappError> {
+pub fn apply_plan(cache: &mut Table, master: &Table, plan: &[TupleId]) -> Result<(), TrappError> {
     let bounded_cols: Vec<usize> = cache
         .schema()
         .columns()
@@ -197,13 +191,24 @@ mod tests {
         .unwrap();
         for seed in 0..50u64 {
             let master = realize_table(&cache, seed).unwrap();
-            for agg in [Aggregate::Min, Aggregate::Max, Aggregate::Sum, Aggregate::Avg] {
+            for agg in [
+                Aggregate::Min,
+                Aggregate::Max,
+                Aggregate::Sum,
+                Aggregate::Avg,
+            ] {
                 check_containment(agg, &cache, &master, Some(&pred), Some(&col("latency")))
                     .unwrap_or_else(|e| panic!("seed {seed} {agg:?}: {e}"));
             }
             check_containment(Aggregate::Count, &cache, &master, Some(&pred), None).unwrap();
-            check_containment(Aggregate::Median, &cache, &master, None, Some(&col("latency")))
-                .unwrap();
+            check_containment(
+                Aggregate::Median,
+                &cache,
+                &master,
+                None,
+                Some(&col("latency")),
+            )
+            .unwrap();
         }
     }
 

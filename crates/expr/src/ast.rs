@@ -79,7 +79,10 @@ pub enum BinaryOp {
 impl BinaryOp {
     /// `true` for `+ - * /`.
     pub fn is_arithmetic(self) -> bool {
-        matches!(self, BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul | BinaryOp::Div)
+        matches!(
+            self,
+            BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul | BinaryOp::Div
+        )
     }
 
     /// `true` for the six comparisons.
@@ -204,10 +207,7 @@ impl<C> Expr<C> {
 
 impl Expr<ColumnRef> {
     /// Binds named columns to positions in `schema`.
-    pub fn bind(
-        &self,
-        schema: &trapp_storage::Schema,
-    ) -> Result<Expr<usize>, TrappError> {
+    pub fn bind(&self, schema: &trapp_storage::Schema) -> Result<Expr<usize>, TrappError> {
         self.map_columns(&mut |c: &ColumnRef| schema.column_index(&c.column))
     }
 }

@@ -177,9 +177,12 @@ mod tests {
     #[test]
     fn figure7_conjunction_before_refresh() {
         let t = figure2_table();
-        let pred = Expr::and(cmp("bandwidth", BinaryOp::Gt, 50.0), cmp("latency", BinaryOp::Lt, 10.0))
-            .bind(t.schema())
-            .unwrap();
+        let pred = Expr::and(
+            cmp("bandwidth", BinaryOp::Gt, 50.0),
+            cmp("latency", BinaryOp::Lt, 10.0),
+        )
+        .bind(t.schema())
+        .unwrap();
         let c = classify_table(&t, Some(&pred)).unwrap();
         assert_eq!(c.plus, ids(&[1]));
         assert_eq!(c.question, ids(&[2, 4, 5, 6]));
@@ -203,7 +206,9 @@ mod tests {
     #[test]
     fn figure7_traffic_before_refresh() {
         let t = figure2_table();
-        let pred = cmp("traffic", BinaryOp::Gt, 100.0).bind(t.schema()).unwrap();
+        let pred = cmp("traffic", BinaryOp::Gt, 100.0)
+            .bind(t.schema())
+            .unwrap();
         let c = classify_table(&t, Some(&pred)).unwrap();
         assert_eq!(c.plus, ids(&[2, 4]));
         assert_eq!(c.question, ids(&[1, 3, 5, 6]));
@@ -230,9 +235,12 @@ mod tests {
             t.refresh_cell(tid, 2, *tr).unwrap();
         }
         // (bandwidth > 50) AND (latency < 10): after → {1,2,4} T+, rest T−.
-        let pred = Expr::and(cmp("bandwidth", BinaryOp::Gt, 50.0), cmp("latency", BinaryOp::Lt, 10.0))
-            .bind(t.schema())
-            .unwrap();
+        let pred = Expr::and(
+            cmp("bandwidth", BinaryOp::Gt, 50.0),
+            cmp("latency", BinaryOp::Lt, 10.0),
+        )
+        .bind(t.schema())
+        .unwrap();
         let c = classify_table(&t, Some(&pred)).unwrap();
         assert_eq!(c.plus, ids(&[1, 2, 4]));
         assert!(c.question.is_empty());
@@ -243,7 +251,9 @@ mod tests {
         assert_eq!(c.plus, ids(&[3, 5]));
         assert!(c.question.is_empty());
         // traffic > 100: after → {2,3,4,6} T+.
-        let pred = cmp("traffic", BinaryOp::Gt, 100.0).bind(t.schema()).unwrap();
+        let pred = cmp("traffic", BinaryOp::Gt, 100.0)
+            .bind(t.schema())
+            .unwrap();
         let c = classify_table(&t, Some(&pred)).unwrap();
         assert_eq!(c.plus, ids(&[2, 3, 4, 6]));
         assert_eq!(c.minus, ids(&[1, 5]));
@@ -262,7 +272,9 @@ mod tests {
     #[test]
     fn plus_and_question_iterates_both() {
         let t = figure2_table();
-        let pred = cmp("traffic", BinaryOp::Gt, 100.0).bind(t.schema()).unwrap();
+        let pred = cmp("traffic", BinaryOp::Gt, 100.0)
+            .bind(t.schema())
+            .unwrap();
         let c = classify_table(&t, Some(&pred)).unwrap();
         let all: Vec<u64> = c.plus_and_question().map(|t| t.raw()).collect();
         assert_eq!(all, vec![2, 4, 1, 3, 5, 6]);

@@ -219,8 +219,13 @@ mod tests {
     fn column_and_literal_eval() {
         let r = row((2.0, 4.0), (60.0, 70.0));
         let e = Expr::<usize>::Literal(Value::Float(5.0));
-        assert_eq!(eval(&e, &r).unwrap(), EvalResult::Num(Interval::point(5.0).unwrap()));
-        let c = Expr::Column(ColumnRef::bare("latency")).bind(&schema()).unwrap();
+        assert_eq!(
+            eval(&e, &r).unwrap(),
+            EvalResult::Num(Interval::point(5.0).unwrap())
+        );
+        let c = Expr::Column(ColumnRef::bare("latency"))
+            .bind(&schema())
+            .unwrap();
         assert_eq!(
             eval(&c, &r).unwrap().as_interval().unwrap(),
             Interval::new(2.0, 4.0).unwrap()

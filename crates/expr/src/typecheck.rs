@@ -177,15 +177,27 @@ mod tests {
     #[test]
     fn comparisons_require_matching_types() {
         let s = schema();
-        let ok = bind(Expr::binary(BinaryOp::Lt, col("x"), Expr::Literal(Value::Int(3))));
+        let ok = bind(Expr::binary(
+            BinaryOp::Lt,
+            col("x"),
+            Expr::Literal(Value::Int(3)),
+        ));
         assert_eq!(typecheck(&ok, &s).unwrap(), ExprType::Bool);
         let bad = bind(Expr::binary(BinaryOp::Lt, col("x"), col("name")));
         assert!(typecheck(&bad, &s).is_err());
         // bool ordering comparison rejected
-        let bad = bind(Expr::binary(BinaryOp::Lt, col("up"), Expr::Literal(Value::Bool(true))));
+        let bad = bind(Expr::binary(
+            BinaryOp::Lt,
+            col("up"),
+            Expr::Literal(Value::Bool(true)),
+        ));
         assert!(typecheck(&bad, &s).is_err());
         // bool equality accepted
-        let ok = bind(Expr::binary(BinaryOp::Eq, col("up"), Expr::Literal(Value::Bool(true))));
+        let ok = bind(Expr::binary(
+            BinaryOp::Eq,
+            col("up"),
+            Expr::Literal(Value::Bool(true)),
+        ));
         assert_eq!(typecheck(&ok, &s).unwrap(), ExprType::Bool);
     }
 
@@ -204,7 +216,11 @@ mod tests {
     #[test]
     fn predicate_and_aggregand_validators() {
         let s = schema();
-        let pred = bind(Expr::binary(BinaryOp::Gt, col("x"), Expr::Literal(Value::Float(1.0))));
+        let pred = bind(Expr::binary(
+            BinaryOp::Gt,
+            col("x"),
+            Expr::Literal(Value::Float(1.0)),
+        ));
         typecheck_predicate(&pred, &s).unwrap();
         assert!(typecheck_predicate(&bind(col("x")), &s).is_err());
         typecheck_aggregand(&bind(col("x")), &s).unwrap();

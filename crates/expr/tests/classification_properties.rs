@@ -40,9 +40,15 @@ fn arb_atom() -> impl Strategy<Value = Expr<ColumnRef>> {
 fn arb_numeric() -> impl Strategy<Value = Expr<ColumnRef>> {
     arb_atom().prop_recursive(2, 12, 2, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone(), prop_oneof![
-                Just(BinaryOp::Add), Just(BinaryOp::Sub), Just(BinaryOp::Mul),
-            ])
+            (
+                inner.clone(),
+                inner.clone(),
+                prop_oneof![
+                    Just(BinaryOp::Add),
+                    Just(BinaryOp::Sub),
+                    Just(BinaryOp::Mul),
+                ]
+            )
                 .prop_map(|(a, b, op)| Expr::binary(op, a, b)),
             inner.prop_map(|x| Expr::unary(UnaryOp::Neg, x)),
         ]
@@ -50,10 +56,18 @@ fn arb_numeric() -> impl Strategy<Value = Expr<ColumnRef>> {
 }
 
 fn arb_predicate() -> impl Strategy<Value = Expr<ColumnRef>> {
-    let cmp = (arb_numeric(), arb_numeric(), prop_oneof![
-        Just(BinaryOp::Lt), Just(BinaryOp::Le), Just(BinaryOp::Gt),
-        Just(BinaryOp::Ge), Just(BinaryOp::Eq), Just(BinaryOp::Ne),
-    ])
+    let cmp = (
+        arb_numeric(),
+        arb_numeric(),
+        prop_oneof![
+            Just(BinaryOp::Lt),
+            Just(BinaryOp::Le),
+            Just(BinaryOp::Gt),
+            Just(BinaryOp::Ge),
+            Just(BinaryOp::Eq),
+            Just(BinaryOp::Ne),
+        ],
+    )
         .prop_map(|(a, b, op)| Expr::binary(op, a, b));
     cmp.prop_recursive(2, 12, 2, |inner| {
         prop_oneof![

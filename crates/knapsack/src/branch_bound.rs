@@ -132,7 +132,10 @@ mod tests {
 
     fn inst(items: &[(f64, f64)], cap: f64) -> Instance {
         Instance::new(
-            items.iter().map(|&(p, w)| Item::new(p, w).unwrap()).collect(),
+            items
+                .iter()
+                .map(|&(p, w)| Item::new(p, w).unwrap())
+                .collect(),
             cap,
         )
         .unwrap()
@@ -160,7 +163,18 @@ mod tests {
     #[test]
     fn matches_brute_force_on_small_instances() {
         let cases: Vec<(Vec<(f64, f64)>, f64)> = vec![
-            (vec![(6.0, 2.0), (5.0, 3.0), (8.0, 6.0), (9.0, 7.0), (6.0, 5.0), (7.0, 9.0), (3.0, 4.0)], 9.0),
+            (
+                vec![
+                    (6.0, 2.0),
+                    (5.0, 3.0),
+                    (8.0, 6.0),
+                    (9.0, 7.0),
+                    (6.0, 5.0),
+                    (7.0, 9.0),
+                    (3.0, 4.0),
+                ],
+                9.0,
+            ),
             (vec![(2.0, 2.0), (4.0, 4.0), (6.0, 6.0), (9.0, 9.0)], 10.0),
             (vec![(1.5, 0.5), (2.5, 1.5), (3.5, 2.5)], 3.0),
             (vec![], 3.0),
@@ -200,7 +214,14 @@ mod tests {
     #[test]
     fn paper_q3_example() {
         let i = inst(
-            &[(3.0, 10.0), (6.0, 10.0), (6.0, 15.0), (8.0, 25.0), (4.0, 20.0), (2.0, 15.0)],
+            &[
+                (3.0, 10.0),
+                (6.0, 10.0),
+                (6.0, 15.0),
+                (8.0, 25.0),
+                (4.0, 20.0),
+                (2.0, 15.0),
+            ],
             60.0,
         );
         let s = i.solve_exact();

@@ -43,11 +43,7 @@ impl TakeBits {
 /// `scaled[i]` is item `i`'s integer profit; `weights[i]` its real weight.
 /// Returns `(min_w, take)` where `min_w[q]` is the minimal weight reaching
 /// scaled profit `q` (`f64::INFINITY` if unreachable).
-pub(crate) fn profit_dp(
-    scaled: &[u64],
-    weights: &[f64],
-    qmax: usize,
-) -> (Vec<f64>, TakeBits) {
+pub(crate) fn profit_dp(scaled: &[u64], weights: &[f64], qmax: usize) -> (Vec<f64>, TakeBits) {
     let n = scaled.len();
     let mut min_w = vec![f64::INFINITY; qmax + 1];
     min_w[0] = 0.0;
@@ -116,10 +112,7 @@ pub(crate) fn solve_integral_profits(inst: &Instance) -> Solution {
     let weights: Vec<f64> = active.iter().map(|&i| items[i].weight).collect();
     let (min_w, take) = profit_dp(&scaled, &weights, qmax);
 
-    let best_q = (0..=qmax)
-        .rev()
-        .find(|&q| min_w[q] <= cap)
-        .unwrap_or(0);
+    let best_q = (0..=qmax).rev().find(|&q| min_w[q] <= cap).unwrap_or(0);
     let mut chosen: Vec<usize> = reconstruct(&scaled, &take, best_q)
         .into_iter()
         .map(|k| active[k])
@@ -136,7 +129,10 @@ mod tests {
 
     fn inst(items: &[(f64, f64)], cap: f64) -> Instance {
         Instance::new(
-            items.iter().map(|&(p, w)| Item::new(p, w).unwrap()).collect(),
+            items
+                .iter()
+                .map(|&(p, w)| Item::new(p, w).unwrap())
+                .collect(),
             cap,
         )
         .unwrap()
@@ -145,7 +141,18 @@ mod tests {
     #[test]
     fn dp_matches_branch_and_bound_on_integer_profits() {
         let cases: Vec<(Vec<(f64, f64)>, f64)> = vec![
-            (vec![(6.0, 2.0), (5.0, 3.0), (8.0, 6.0), (9.0, 7.0), (6.0, 5.0), (7.0, 9.0), (3.0, 4.0)], 9.0),
+            (
+                vec![
+                    (6.0, 2.0),
+                    (5.0, 3.0),
+                    (8.0, 6.0),
+                    (9.0, 7.0),
+                    (6.0, 5.0),
+                    (7.0, 9.0),
+                    (3.0, 4.0),
+                ],
+                9.0,
+            ),
             (vec![(3.0, 2.0), (6.0, 2.0), (4.0, 3.0), (2.0, 2.0)], 5.0),
             (vec![(1.0, 0.5), (2.0, 1.5), (3.0, 2.25)], 3.0),
             (vec![(5.0, 0.0), (7.0, 3.0)], 1.0),

@@ -150,7 +150,10 @@ mod tests {
 
     fn inst(items: &[(f64, f64)], cap: f64) -> Instance {
         Instance::new(
-            items.iter().map(|&(p, w)| Item::new(p, w).unwrap()).collect(),
+            items
+                .iter()
+                .map(|&(p, w)| Item::new(p, w).unwrap())
+                .collect(),
             cap,
         )
         .unwrap()

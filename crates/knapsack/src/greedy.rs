@@ -69,9 +69,7 @@ pub fn solve_by_weight(inst: &Instance) -> Solution {
         }
     }
     // Optimal only under uniform profits; report optimal=true only then.
-    let uniform = items
-        .windows(2)
-        .all(|w| w[0].profit == w[1].profit);
+    let uniform = items.windows(2).all(|w| w[0].profit == w[1].profit);
     finish(items, chosen, uniform)
 }
 
@@ -90,7 +88,10 @@ mod tests {
 
     fn inst(items: &[(f64, f64)], cap: f64) -> Instance {
         Instance::new(
-            items.iter().map(|&(p, w)| Item::new(p, w).unwrap()).collect(),
+            items
+                .iter()
+                .map(|&(p, w)| Item::new(p, w).unwrap())
+                .collect(),
             cap,
         )
         .unwrap()

@@ -1,0 +1,676 @@
+//! The refresh gateway: a single-flight in-flight table that coalesces
+//! duplicate query-initiated refreshes across concurrent queries.
+//!
+//! TRAPP refreshes are idempotent *within one logical instant*: a
+//! query-initiated refresh at time `T` returns the master value `V(T)` and
+//! a bound re-centered at `T`. When concurrent queries' CHOOSE_REFRESH
+//! plans overlap on an object at the same instant — the common case under
+//! zipfian object popularity — every request after the first is pure
+//! duplicate traffic.
+//!
+//! The gateway keeps an in-flight table keyed by [`ObjectId`]. A fetch
+//! first *claims* its objects: objects nobody is fetching are claimed
+//! `InFlight` and go to the source (batched per source); objects another
+//! query already completed at the same instant are served from the table;
+//! objects another query is *currently* fetching are awaited — the claim /
+//! publish protocol guarantees the awaited result arrives without the
+//! waiter holding any cache lock.
+//!
+//! Two staleness defenses compose here. First, an update to an object
+//! removes its memoized entry **and** bumps an invalidation epoch; a fetch
+//! that claimed before the update refuses to memoize its (possibly
+//! pre-update) result, so a stale master value is never replayed to later
+//! queries. Second, every [`Refresh`] carries a source-stamped sequence
+//! ([`Refresh::seq`]), so even the fetching query's own install is
+//! ignored by the cache if a newer bound (e.g. the update's
+//! value-initiated refresh) already landed.
+//!
+//! Coalescing also deliberately skips the duplicate width-narrowing a
+//! repeated [`serve_refresh`](trapp_system::Source::serve_refresh) would
+//! apply: one instant of query interest is one signal to the Appendix A
+//! width controller, not `n` signals.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+use trapp_system::message::Refresh;
+use trapp_system::Transport;
+use trapp_types::{CacheId, ObjectId, SourceId, TrappError};
+
+/// How long an awaiting fetch waits for the in-flight owner before giving
+/// up and fetching itself (a liveness backstop, not a correctness lever).
+const AWAIT_TIMEOUT: Duration = Duration::from_secs(5);
+
+#[derive(Clone, Copy, Debug)]
+enum Slot {
+    /// Someone is fetching this object right now.
+    InFlight,
+    /// Fetched; the memoized refresh is valid for the entry's instant.
+    Done(Refresh),
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    cache: CacheId,
+    now: f64,
+    slot: Slot,
+}
+
+/// The in-flight table plus invalidation bookkeeping, under one lock.
+#[derive(Default)]
+struct TableState {
+    entries: HashMap<ObjectId, Entry>,
+    /// Invalidation epoch per object: bumped by every update. A fetch that
+    /// claimed at an earlier epoch must not memoize its result.
+    dirty: HashMap<ObjectId, u64>,
+    epoch: u64,
+}
+
+/// Per-fetch accounting returned by [`RefreshGateway::fetch`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FetchStats {
+    /// Round-trips this fetch issued.
+    pub round_trips: u64,
+    /// Refreshes obtained from the table or another query's in-flight
+    /// fetch — work this query did not pay for.
+    pub coalesced: u64,
+    /// Refreshes this fetch obtained from sources itself.
+    pub forwarded: u64,
+}
+
+/// What a [`RefreshGateway::fetch`] produced. On partial failure,
+/// `refreshes` still holds everything obtained before the failure — those
+/// refreshes have already mutated their sources' monitor state, so the
+/// caller **must install them** even when `error` is set, or cache and
+/// Refresh Monitor diverge.
+pub struct FetchOutcome {
+    /// Every refresh obtained (order unspecified; callers install all).
+    pub refreshes: Vec<Refresh>,
+    /// Per-fetch accounting.
+    pub stats: FetchStats,
+    /// Set when part of the plan failed after earlier parts succeeded.
+    pub error: Option<TrappError>,
+}
+
+/// A single-flight refresh coalescing layer over a [`Transport`]. See the
+/// module docs.
+pub struct RefreshGateway<T> {
+    inner: T,
+    enabled: bool,
+    table: Mutex<TableState>,
+    done: Condvar,
+    coalesced: AtomicU64,
+    forwarded: AtomicU64,
+}
+
+impl<T: Transport> RefreshGateway<T> {
+    /// Wraps `inner`; `enabled = false` turns the gateway into a pure
+    /// pass-through (the measurable baseline).
+    pub fn new(inner: T, enabled: bool) -> RefreshGateway<T> {
+        RefreshGateway {
+            inner,
+            enabled,
+            table: Mutex::new(TableState::default()),
+            done: Condvar::new(),
+            coalesced: AtomicU64::new(0),
+            forwarded: AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped transport.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+
+    /// Refreshes served from the in-flight table instead of a source,
+    /// across all fetches.
+    pub fn refreshes_coalesced(&self) -> u64 {
+        self.coalesced.load(Ordering::Relaxed)
+    }
+
+    /// Refreshes that went through to a source.
+    pub fn refreshes_forwarded(&self) -> u64 {
+        self.forwarded.load(Ordering::Relaxed)
+    }
+
+    /// Fetches refreshes for a whole plan, `plan` listing each source's
+    /// objects. Claims de-duplicate against concurrent fetches; `batch`
+    /// chooses one round-trip per source versus one per object (the seed's
+    /// baseline).
+    ///
+    /// Must be called *without* holding the cache lock: the whole point is
+    /// that the source round-trips of concurrent queries overlap.
+    pub fn fetch(
+        &self,
+        cache: CacheId,
+        now: f64,
+        plan: &[(SourceId, Vec<ObjectId>)],
+        batch: bool,
+    ) -> FetchOutcome {
+        let mut stats = FetchStats::default();
+        let mut out: Vec<Refresh> = Vec::new();
+
+        // Claim phase: table hits fill `out`; unclaimed objects become
+        // ours to fetch; objects in flight elsewhere are awaited later.
+        let mut to_fetch: Vec<(SourceId, Vec<ObjectId>)> = Vec::new();
+        let mut to_await: Vec<(SourceId, ObjectId)> = Vec::new();
+        let claim_epoch;
+        {
+            let mut state = self.table.lock();
+            claim_epoch = state.epoch;
+            for (source, objects) in plan {
+                let mut mine: Vec<ObjectId> = Vec::new();
+                for &object in objects {
+                    if mine.contains(&object) {
+                        continue; // duplicate within the plan itself
+                    }
+                    if !self.enabled {
+                        mine.push(object);
+                        continue;
+                    }
+                    match state.entries.get(&object) {
+                        Some(e) if e.cache == cache && e.now == now => match e.slot {
+                            Slot::Done(refresh) => {
+                                out.push(refresh);
+                                stats.coalesced += 1;
+                            }
+                            Slot::InFlight => to_await.push((*source, object)),
+                        },
+                        _ => {
+                            state.entries.insert(
+                                object,
+                                Entry {
+                                    cache,
+                                    now,
+                                    slot: Slot::InFlight,
+                                },
+                            );
+                            mine.push(object);
+                        }
+                    }
+                }
+                if !mine.is_empty() {
+                    to_fetch.push((*source, mine));
+                }
+            }
+        }
+
+        // Fetch phase — no locks held; concurrent fetches overlap here.
+        // On failure, everything fetched *before* the failing request is
+        // kept: those refreshes already mutated their sources.
+        let mut fetched: Vec<Refresh> = Vec::new();
+        let mut error: Option<TrappError> = None;
+        'sources: for (source, objects) in &to_fetch {
+            if batch {
+                match self
+                    .inner
+                    .request_refresh_batch(*source, cache, objects, now)
+                {
+                    Ok(rs) => {
+                        stats.round_trips += 1;
+                        fetched.extend(rs);
+                    }
+                    Err(e) => {
+                        error = Some(e);
+                        break 'sources;
+                    }
+                }
+            } else {
+                for &object in objects {
+                    match self.inner.request_refresh(*source, cache, object, now) {
+                        Ok(r) => {
+                            stats.round_trips += 1;
+                            fetched.push(r);
+                        }
+                        Err(e) => {
+                            error = Some(e);
+                            break 'sources;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Publish what we fetched and release every unfulfilled claim —
+        // *before* awaiting or returning, so no waiter deadlocks on us.
+        stats.forwarded += fetched.len() as u64;
+        if self.enabled {
+            let mut state = self.table.lock();
+            for &refresh in &fetched {
+                publish_locked(&mut state, cache, now, claim_epoch, refresh);
+            }
+            if error.is_some() {
+                for (_, objects) in &to_fetch {
+                    for &object in objects {
+                        if !fetched.iter().any(|r| r.object == object) {
+                            abort_locked(&mut state, cache, now, object);
+                        }
+                    }
+                }
+            }
+            drop(state);
+            self.done.notify_all();
+        }
+        out.extend(fetched);
+
+        // Await phase: collect results other queries are fetching. On
+        // timeout or an aborted owner, fall back to fetching ourselves.
+        if error.is_none() {
+            for (source, object) in to_await {
+                match self.await_done(cache, now, object) {
+                    Some(refresh) => {
+                        out.push(refresh);
+                        stats.coalesced += 1;
+                    }
+                    None => match self.inner.request_refresh(source, cache, object, now) {
+                        Ok(refresh) => {
+                            stats.round_trips += 1;
+                            stats.forwarded += 1;
+                            if self.enabled {
+                                let mut state = self.table.lock();
+                                publish_locked(&mut state, cache, now, claim_epoch, refresh);
+                                drop(state);
+                                self.done.notify_all();
+                            }
+                            out.push(refresh);
+                        }
+                        Err(e) => {
+                            error = Some(e);
+                            break;
+                        }
+                    },
+                }
+            }
+        }
+
+        self.coalesced.fetch_add(stats.coalesced, Ordering::Relaxed);
+        self.forwarded.fetch_add(stats.forwarded, Ordering::Relaxed);
+        FetchOutcome {
+            refreshes: out,
+            stats,
+            error,
+        }
+    }
+
+    /// Waits for another fetch to publish `object`. `None` means the
+    /// owner aborted, its result was invalidated, or the wait timed out —
+    /// the caller must fetch itself.
+    fn await_done(&self, cache: CacheId, now: f64, object: ObjectId) -> Option<Refresh> {
+        let mut state = self.table.lock();
+        loop {
+            match state.entries.get(&object) {
+                Some(e) if e.cache == cache && e.now == now => match e.slot {
+                    Slot::Done(refresh) => return Some(refresh),
+                    Slot::InFlight => {
+                        if self.done.wait_for(&mut state, AWAIT_TIMEOUT) {
+                            return None; // timed out
+                        }
+                    }
+                },
+                // Entry gone (owner aborted / invalidated) or replaced by
+                // another instant: fetch it ourselves.
+                _ => return None,
+            }
+        }
+    }
+
+    /// Serves one object through the same claim/await/publish protocol —
+    /// used by the locked fallback execution path via [`Transport`].
+    fn fetch_one(
+        &self,
+        source: SourceId,
+        cache: CacheId,
+        object: ObjectId,
+        now: f64,
+    ) -> Result<Refresh, TrappError> {
+        let outcome = self.fetch(cache, now, &[(source, vec![object])], false);
+        if let Some(e) = outcome.error {
+            return Err(e);
+        }
+        outcome
+            .refreshes
+            .into_iter()
+            .next()
+            .ok_or_else(|| TrappError::Internal("gateway returned empty fetch".into()))
+    }
+}
+
+/// Writes a `Done` entry — unless the object was invalidated after the
+/// claim (an update landed mid-fetch: the result may predate it and must
+/// not be replayed) or a different instant owns the slot. When
+/// suppressed, our own `InFlight` claim is released so waiters re-fetch.
+fn publish_locked(
+    state: &mut TableState,
+    cache: CacheId,
+    now: f64,
+    claim_epoch: u64,
+    refresh: Refresh,
+) {
+    if state
+        .dirty
+        .get(&refresh.object)
+        .is_some_and(|&e| e > claim_epoch)
+    {
+        abort_locked(state, cache, now, refresh.object);
+        return;
+    }
+    match state.entries.get(&refresh.object) {
+        // Never clobber an entry from a different instant or cache — that
+        // fetch owns the slot now.
+        Some(e) if !(e.cache == cache && e.now == now) => {}
+        _ => {
+            state.entries.insert(
+                refresh.object,
+                Entry {
+                    cache,
+                    now,
+                    slot: Slot::Done(refresh),
+                },
+            );
+        }
+    }
+}
+
+/// Removes our own `InFlight` claim (failed or invalidated fetch).
+fn abort_locked(state: &mut TableState, cache: CacheId, now: f64, object: ObjectId) {
+    if let Some(e) = state.entries.get(&object) {
+        if e.cache == cache && e.now == now && matches!(e.slot, Slot::InFlight) {
+            state.entries.remove(&object);
+        }
+    }
+}
+
+impl<T: Transport> Transport for RefreshGateway<T> {
+    fn request_refresh(
+        &self,
+        source: SourceId,
+        cache: CacheId,
+        object: ObjectId,
+        now: f64,
+    ) -> Result<Refresh, TrappError> {
+        self.fetch_one(source, cache, object, now)
+    }
+
+    fn request_refresh_batch(
+        &self,
+        source: SourceId,
+        cache: CacheId,
+        objects: &[ObjectId],
+        now: f64,
+    ) -> Result<Vec<Refresh>, TrappError> {
+        let outcome = self.fetch(cache, now, &[(source, objects.to_vec())], true);
+        // Single-source batches are atomic at the source, so on error
+        // nothing was mutated and plain Err is safe here.
+        if let Some(e) = outcome.error {
+            return Err(e);
+        }
+        // Restore request order (fetch() does not guarantee one).
+        let by_object: HashMap<ObjectId, Refresh> = outcome
+            .refreshes
+            .into_iter()
+            .map(|r| (r.object, r))
+            .collect();
+        objects
+            .iter()
+            .map(|o| {
+                by_object.get(o).copied().ok_or_else(|| {
+                    TrappError::RefreshFailed(format!("source {source} did not return {o}"))
+                })
+            })
+            .collect()
+    }
+
+    fn apply_update(
+        &self,
+        source: SourceId,
+        object: ObjectId,
+        value: f64,
+        now: f64,
+    ) -> Result<Vec<(CacheId, Refresh)>, TrappError> {
+        // Invalidate *before* the write reaches the source: remove any
+        // memoized result and bump the epoch so an in-flight fetch that
+        // claimed earlier refuses to memoize its (possibly pre-update)
+        // result. The fetcher's own install is ordered by `Refresh::seq`.
+        {
+            let mut state = self.table.lock();
+            state.epoch += 1;
+            let epoch = state.epoch;
+            state.dirty.insert(object, epoch);
+            if let Some(e) = state.entries.get(&object) {
+                if matches!(e.slot, Slot::Done(_)) {
+                    state.entries.remove(&object);
+                }
+            }
+        }
+        self.inner.apply_update(source, object, value, now)
+    }
+
+    fn messages(&self) -> u64 {
+        self.inner.messages()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use trapp_bounds::BoundShape;
+    use trapp_system::{ChannelTransport, DirectTransport, Source};
+
+    fn transport() -> DirectTransport {
+        let mut s = Source::new(SourceId::new(1), BoundShape::Sqrt);
+        s.register_object(ObjectId::new(1), 10.0).unwrap();
+        s.register_object(ObjectId::new(2), 20.0).unwrap();
+        let mut t = DirectTransport::new();
+        let arc = t.add_source(s);
+        let mut s = arc.lock();
+        s.subscribe(CacheId::new(1), ObjectId::new(1), 1.0, 0.0)
+            .unwrap();
+        s.subscribe(CacheId::new(1), ObjectId::new(2), 1.0, 0.0)
+            .unwrap();
+        drop(s);
+        t
+    }
+
+    #[test]
+    fn duplicate_refresh_at_same_instant_is_coalesced() {
+        let g = RefreshGateway::new(transport(), true);
+        let a = g
+            .request_refresh(SourceId::new(1), CacheId::new(1), ObjectId::new(1), 1.0)
+            .unwrap();
+        let b = g
+            .request_refresh(SourceId::new(1), CacheId::new(1), ObjectId::new(1), 1.0)
+            .unwrap();
+        assert_eq!(a.value, b.value);
+        assert_eq!(g.messages(), 1, "second refresh must not reach the source");
+        assert_eq!(g.refreshes_coalesced(), 1);
+        assert_eq!(g.refreshes_forwarded(), 1);
+    }
+
+    #[test]
+    fn different_instant_misses() {
+        let g = RefreshGateway::new(transport(), true);
+        g.request_refresh(SourceId::new(1), CacheId::new(1), ObjectId::new(1), 1.0)
+            .unwrap();
+        g.request_refresh(SourceId::new(1), CacheId::new(1), ObjectId::new(1), 2.0)
+            .unwrap();
+        assert_eq!(g.messages(), 2);
+        assert_eq!(g.refreshes_coalesced(), 0);
+    }
+
+    #[test]
+    fn update_invalidates_entry() {
+        let g = RefreshGateway::new(transport(), true);
+        let a = g
+            .request_refresh(SourceId::new(1), CacheId::new(1), ObjectId::new(1), 1.0)
+            .unwrap();
+        assert_eq!(a.value, 10.0);
+        g.apply_update(SourceId::new(1), ObjectId::new(1), 99.0, 1.0)
+            .unwrap();
+        let b = g
+            .request_refresh(SourceId::new(1), CacheId::new(1), ObjectId::new(1), 1.0)
+            .unwrap();
+        assert_eq!(b.value, 99.0, "post-update refresh must see the new master");
+        assert_eq!(g.refreshes_coalesced(), 0);
+    }
+
+    #[test]
+    fn batch_mixes_hits_and_misses() {
+        let g = RefreshGateway::new(transport(), true);
+        g.request_refresh(SourceId::new(1), CacheId::new(1), ObjectId::new(1), 1.0)
+            .unwrap();
+        let rs = g
+            .request_refresh_batch(
+                SourceId::new(1),
+                CacheId::new(1),
+                &[ObjectId::new(1), ObjectId::new(2)],
+                1.0,
+            )
+            .unwrap();
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs[0].value, 10.0);
+        assert_eq!(rs[1].value, 20.0);
+        // One single-object message, then one batch message for the miss.
+        assert_eq!(g.messages(), 2);
+        assert_eq!(g.refreshes_coalesced(), 1);
+
+        // A fully-hit batch costs zero messages.
+        let rs = g
+            .request_refresh_batch(
+                SourceId::new(1),
+                CacheId::new(1),
+                &[ObjectId::new(1), ObjectId::new(2)],
+                1.0,
+            )
+            .unwrap();
+        assert_eq!(rs.len(), 2);
+        assert_eq!(g.messages(), 2);
+    }
+
+    #[test]
+    fn disabled_gateway_is_a_pass_through() {
+        let g = RefreshGateway::new(transport(), false);
+        g.request_refresh(SourceId::new(1), CacheId::new(1), ObjectId::new(1), 1.0)
+            .unwrap();
+        g.request_refresh(SourceId::new(1), CacheId::new(1), ObjectId::new(1), 1.0)
+            .unwrap();
+        assert_eq!(g.messages(), 2);
+        assert_eq!(g.refreshes_coalesced(), 0);
+    }
+
+    /// Many threads fetching the same object at the same instant: exactly
+    /// one round-trip, everyone gets the same value — the single-flight
+    /// property under real concurrency.
+    #[test]
+    fn concurrent_fetches_single_flight() {
+        let g = Arc::new(RefreshGateway::new(transport(), true));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let g = g.clone();
+            handles.push(std::thread::spawn(move || {
+                let outcome = g.fetch(
+                    CacheId::new(1),
+                    1.0,
+                    &[(SourceId::new(1), vec![ObjectId::new(1)])],
+                    true,
+                );
+                assert!(outcome.error.is_none());
+                outcome
+            }));
+        }
+        let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for outcome in &results {
+            assert_eq!(outcome.refreshes.len(), 1);
+            assert_eq!(outcome.refreshes[0].value, 10.0);
+        }
+        assert_eq!(g.messages(), 1, "eight fetches, one round-trip");
+        let total_coalesced: u64 = results.iter().map(|o| o.stats.coalesced).sum();
+        assert_eq!(total_coalesced, 7);
+    }
+
+    #[test]
+    fn failed_fetch_aborts_claim_for_others() {
+        let g = RefreshGateway::new(transport(), true);
+        // Unknown object: the fetch fails and must clean up its claim so a
+        // later valid fetch is not stuck awaiting forever.
+        let outcome = g.fetch(
+            CacheId::new(1),
+            1.0,
+            &[(SourceId::new(1), vec![ObjectId::new(99)])],
+            true,
+        );
+        assert!(outcome.error.is_some());
+        let outcome = g.fetch(
+            CacheId::new(1),
+            1.0,
+            &[(SourceId::new(1), vec![ObjectId::new(1)])],
+            true,
+        );
+        assert!(outcome.error.is_none());
+        assert_eq!(outcome.refreshes.len(), 1);
+        assert_eq!(outcome.stats.coalesced, 0);
+    }
+
+    /// Partial failure keeps the refreshes fetched before the failing
+    /// request so the caller can install them (their sources already
+    /// narrowed their tracked bounds).
+    #[test]
+    fn partial_failure_returns_earlier_refreshes() {
+        let g = RefreshGateway::new(transport(), true);
+        let outcome = g.fetch(
+            CacheId::new(1),
+            1.0,
+            &[
+                (SourceId::new(1), vec![ObjectId::new(1)]),
+                (SourceId::new(1), vec![ObjectId::new(99)]), // unknown
+            ],
+            true,
+        );
+        assert!(outcome.error.is_some());
+        assert_eq!(outcome.refreshes.len(), 1, "object 1 was fetched and kept");
+        assert_eq!(outcome.refreshes[0].object, ObjectId::new(1));
+        assert_eq!(outcome.stats.forwarded, 1);
+    }
+
+    /// An update racing an in-flight fetch: the fetch's result must not be
+    /// memoized (it may predate the update), so the next query at the same
+    /// instant sees the post-update master.
+    #[test]
+    fn update_racing_inflight_fetch_is_not_replayed() {
+        // 50ms source latency so the fetch is reliably in flight when the
+        // update arrives.
+        let mut transport = ChannelTransport::new(Duration::from_millis(50));
+        let mut s = Source::new(SourceId::new(1), BoundShape::Sqrt);
+        s.register_object(ObjectId::new(1), 10.0).unwrap();
+        s.subscribe(CacheId::new(1), ObjectId::new(1), 1.0, 0.0)
+            .unwrap();
+        transport.add_source(s);
+        let g = Arc::new(RefreshGateway::new(transport, true));
+
+        let g2 = g.clone();
+        let fetcher = std::thread::spawn(move || {
+            g2.fetch(
+                CacheId::new(1),
+                1.0,
+                &[(SourceId::new(1), vec![ObjectId::new(1)])],
+                true,
+            )
+        });
+        // Let the fetch claim + enter the source queue, then update.
+        std::thread::sleep(Duration::from_millis(10));
+        g.apply_update(SourceId::new(1), ObjectId::new(1), 77.0, 1.0)
+            .unwrap();
+        let outcome = fetcher.join().unwrap();
+        assert!(outcome.error.is_none());
+
+        // Whatever the fetch returned, a *new* request at the same instant
+        // must reach the source and see the updated master — the racing
+        // result must not have been memoized.
+        let r = g
+            .request_refresh(SourceId::new(1), CacheId::new(1), ObjectId::new(1), 1.0)
+            .unwrap();
+        assert_eq!(r.value, 77.0, "stale master replayed after update");
+    }
+}

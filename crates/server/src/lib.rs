@@ -1,0 +1,59 @@
+//! # trapp-server
+//!
+//! A concurrent multi-client query service over the TRAPP replication
+//! substrate — the serving layer the paper's single-cache, one-query-at-a-
+//! time loop (§3–§4) grows into under heavy traffic.
+//!
+//! Clients submit TRAPP/AG SQL with precision constraints from many
+//! threads; a worker pool executes them against one [`CacheNode`] behind
+//! two traffic-reduction mechanisms:
+//!
+//! * **batched source round-trips** — each CHOOSE_REFRESH plan issues one
+//!   [`Transport::request_refresh_batch`] per *source* instead of one
+//!   round-trip per *object*;
+//! * **refresh coalescing** — a shared [`RefreshGateway`] in-flight table
+//!   lets queries overlapping on an object at the same logical instant
+//!   share a single refresh, with per-query stats recording the refreshes
+//!   saved.
+//!
+//! ```
+//! use trapp_server::{ServiceBuilder, ServiceConfig};
+//! use trapp_storage::{ColumnDef, Schema, Table};
+//! use trapp_types::{BoundedValue, SourceId, Value, ValueType};
+//!
+//! let schema = Schema::new(vec![
+//!     ColumnDef::exact("name", ValueType::Str),
+//!     ColumnDef::bounded_float("load"),
+//! ])
+//! .unwrap();
+//! let service = ServiceBuilder::new()
+//!     .table(Table::new("nodes", schema))
+//!     .row(
+//!         "nodes",
+//!         SourceId::new(1),
+//!         vec![
+//!             BoundedValue::Exact(Value::Str("a".into())),
+//!             BoundedValue::exact_f64(42.0).unwrap(),
+//!         ],
+//!     )
+//!     .config(ServiceConfig::default())
+//!     .build_direct()
+//!     .unwrap();
+//!
+//! let reply = service.query("SELECT SUM(load) WITHIN 1 FROM nodes").unwrap();
+//! assert!(reply.result.satisfied);
+//! ```
+//!
+//! [`CacheNode`]: trapp_system::CacheNode
+//! [`Transport::request_refresh_batch`]: trapp_system::Transport::request_refresh_batch
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod gateway;
+pub mod service;
+
+pub use gateway::RefreshGateway;
+pub use service::{
+    QueryService, QueryTicket, ServiceBuilder, ServiceConfig, ServiceReply, ServiceStats,
+};

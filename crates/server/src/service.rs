@@ -1,0 +1,530 @@
+//! The query service: a concurrent multi-client front-end over one TRAPP
+//! cache.
+//!
+//! Clients [`submit`](QueryService::submit) TRAPP/AG SQL with precision
+//! constraints from any thread; a pool of worker threads drains the shared
+//! job queue and executes each query against the [`CacheNode`]. Two
+//! mechanisms cut the refresh traffic that dominates tight-precision
+//! workloads:
+//!
+//! * **batched source round-trips** — the cache's oracle serves each
+//!   CHOOSE_REFRESH plan with one [`Transport::request_refresh_batch`] per
+//!   source instead of one round-trip per object;
+//! * **refresh coalescing** — all workers share one
+//!   [`RefreshGateway`](crate::RefreshGateway), so queries overlapping on
+//!   an object at the same logical instant share a single refresh.
+//!
+//! Execution is phased so that the expensive part — source round-trips —
+//! runs *outside* the cache lock:
+//!
+//! 1. **plan** (cache lock): materialize bounds at the current instant,
+//!    compute the cache-only answer; if the constraint is unmet, take the
+//!    CHOOSE_REFRESH plan ([`trapp_core::executor::PlannedQuery`]);
+//! 2. **fetch** (no lock): resolve the plan's tuples to replicated objects
+//!    and pull them through the shared gateway — concurrent queries'
+//!    round-trips overlap here, and the gateway's single-flight table
+//!    de-duplicates overlapping objects;
+//! 3. **install + answer** (cache lock): install the refreshes and re-run
+//!    the query; the CHOOSE_REFRESH guarantee makes the second pass
+//!    satisfied from cache, and if a concurrent clock advance re-widened
+//!    anything, the classic locked path patches the gap.
+//!
+//! Every answer is therefore computed against a consistent snapshot and
+//! meets its precision constraint under any interleaving; what batching
+//! and coalescing change is the *traffic*, which `trapp-bench`'s
+//! `service_throughput` binary measures rather than asserts.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use trapp_bounds::BoundShape;
+use trapp_core::executor::QueryResult;
+use trapp_storage::Table;
+use trapp_system::{
+    CacheNode, ChannelTransport, CostModel, DirectTransport, SimClock, Source, Transport,
+};
+use trapp_types::{BoundedValue, CacheId, ObjectId, SourceId, TrappError, TupleId};
+
+use crate::gateway::RefreshGateway;
+
+/// Service tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads draining the query queue.
+    pub workers: usize,
+    /// Share refreshes across queries via the gateway's in-flight table.
+    pub coalesce: bool,
+    /// Serve refresh plans with one round-trip per source (`false` falls
+    /// back to the per-object seed path — the measurable baseline).
+    pub batch_refreshes: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            workers: 4,
+            coalesce: true,
+            batch_refreshes: true,
+        }
+    }
+}
+
+/// One query's answer plus its per-query service accounting.
+#[derive(Clone, Debug)]
+pub struct ServiceReply {
+    /// The executor's result (bounded answer, refresh plan, cost).
+    pub result: QueryResult,
+    /// Refreshes this query obtained from the shared in-flight table
+    /// instead of a source — work another query already paid for.
+    pub refreshes_saved: u64,
+    /// Transport round-trips this query actually issued.
+    pub round_trips: u64,
+    /// Time spent executing at the cache (excludes queue wait).
+    pub exec_time: Duration,
+}
+
+/// Aggregate service counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Queries answered successfully.
+    pub queries: u64,
+    /// Queries that returned an error.
+    pub errors: u64,
+    /// Refreshes served from the in-flight table across all queries.
+    pub refreshes_coalesced: u64,
+    /// Refreshes forwarded to sources.
+    pub refreshes_forwarded: u64,
+    /// Transport round-trips issued.
+    pub round_trips: u64,
+}
+
+struct Job {
+    sql: String,
+    reply: Sender<Result<ServiceReply, TrappError>>,
+}
+
+struct ServiceCore {
+    cache: Mutex<CacheNode>,
+    cache_id: CacheId,
+    gateway: RefreshGateway<Box<dyn Transport>>,
+    clock: SimClock,
+    batch_refreshes: bool,
+    counters: Mutex<ServiceStats>,
+}
+
+impl ServiceCore {
+    fn run_query(&self, sql: &str) -> Result<ServiceReply, TrappError> {
+        let started = Instant::now();
+        let outcome = self.run_query_inner(sql);
+        let exec_time = started.elapsed();
+
+        let mut counters = self.counters.lock();
+        match outcome {
+            Ok((result, stats)) => {
+                counters.queries += 1;
+                counters.round_trips += stats.round_trips;
+                Ok(ServiceReply {
+                    result,
+                    refreshes_saved: stats.coalesced,
+                    round_trips: stats.round_trips,
+                    exec_time,
+                })
+            }
+            Err(e) => {
+                counters.errors += 1;
+                Err(e)
+            }
+        }
+    }
+
+    fn run_query_inner(
+        &self,
+        sql: &str,
+    ) -> Result<(QueryResult, crate::gateway::FetchStats), TrappError> {
+        use trapp_core::executor::PlannedQuery;
+
+        let query = trapp_sql::parse_query(sql)?;
+        // Phase 1 — plan under the cache lock, against bounds materialized
+        // at this instant.
+        let now;
+        let planned = {
+            let mut cache = self.cache.lock();
+            cache.materialize()?;
+            now = self.clock.now();
+            cache.session().plan_query(&query)?
+        };
+        match planned {
+            PlannedQuery::Satisfied(result) => Ok((result, crate::gateway::FetchStats::default())),
+            PlannedQuery::Unsupported => {
+                // Joins / grouped / iterative: the classic locked loop.
+                // (Refresh traffic still flows through the gateway, so
+                // coalescing and the global counters stay coherent; only
+                // the per-query round-trip attribution is unavailable.)
+                let mut cache = self.cache.lock();
+                let result = cache.execute(&query, &self.gateway)?;
+                Ok((result, crate::gateway::FetchStats::default()))
+            }
+            PlannedQuery::NeedsRefresh {
+                table,
+                tuples,
+                refresh_cost,
+            } => {
+                // Resolve tuples to (source, objects) with a short lock.
+                let plan: Vec<(SourceId, Vec<ObjectId>)> = {
+                    let cache = self.cache.lock();
+                    let mut per_source: std::collections::BTreeMap<SourceId, Vec<ObjectId>> =
+                        std::collections::BTreeMap::new();
+                    for &tid in &tuples {
+                        for (object, source) in cache.objects_backing(&table, tid)? {
+                            per_source.entry(source).or_default().push(object);
+                        }
+                    }
+                    per_source.into_iter().collect()
+                };
+
+                // Phase 2 — fetch with the cache lock RELEASED: concurrent
+                // queries overlap their round-trips here and the gateway
+                // coalesces shared objects.
+                let outcome = self
+                    .gateway
+                    .fetch(self.cache_id, now, &plan, self.batch_refreshes);
+
+                // Phase 3 — install and answer under the lock. Refreshes
+                // obtained before a partial failure are installed too —
+                // their sources already narrowed their tracked bounds, and
+                // dropping them would desynchronize cache and monitor.
+                let mut cache = self.cache.lock();
+                for refresh in outcome.refreshes {
+                    cache.install_refresh(refresh)?;
+                }
+                if let Some(e) = outcome.error {
+                    return Err(e);
+                }
+                let mut result = cache.execute(&query, &self.gateway)?;
+                if result.refreshed.is_empty() {
+                    // The normal case: the second pass was satisfied from
+                    // the pinned cells. Attribute the work this query
+                    // actually planned and paid for.
+                    result.refreshed = tuples.iter().map(|&tid| (table.clone(), tid)).collect();
+                    result.refresh_cost = refresh_cost;
+                    result.rounds = 1;
+                }
+                Ok((result, outcome.stats))
+            }
+        }
+    }
+}
+
+/// A pending answer; see [`QueryService::submit`].
+pub struct QueryTicket {
+    rx: Receiver<Result<ServiceReply, TrappError>>,
+}
+
+impl QueryTicket {
+    /// Blocks until the answer is ready.
+    pub fn wait(self) -> Result<ServiceReply, TrappError> {
+        self.rx
+            .recv()
+            .map_err(|_| TrappError::Internal("query service shut down mid-query".into()))?
+    }
+}
+
+/// A running query service. See the module docs.
+pub struct QueryService {
+    core: Arc<ServiceCore>,
+    jobs: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl QueryService {
+    /// Starts a service over an already-wired cache + transport. Most
+    /// callers want [`ServiceBuilder`] instead.
+    pub fn start(
+        cache: CacheNode,
+        transport: impl Transport + 'static,
+        clock: SimClock,
+        mut config: ServiceConfig,
+    ) -> QueryService {
+        let mut cache = cache;
+        cache.set_batch_refreshes(config.batch_refreshes);
+        config.workers = config.workers.max(1);
+        let core = Arc::new(ServiceCore {
+            cache_id: cache.id(),
+            cache: Mutex::new(cache),
+            gateway: RefreshGateway::new(
+                Box::new(transport) as Box<dyn Transport>,
+                config.coalesce,
+            ),
+            clock,
+            batch_refreshes: config.batch_refreshes,
+            counters: Mutex::new(ServiceStats::default()),
+        });
+        let (jobs_tx, jobs_rx) = unbounded::<Job>();
+        let workers = (0..config.workers)
+            .map(|i| {
+                let core = core.clone();
+                let rx = jobs_rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("trapp-query-worker-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            let _ = job.reply.send(core.run_query(&job.sql));
+                        }
+                    })
+                    .expect("spawn query worker")
+            })
+            .collect();
+        QueryService {
+            core,
+            jobs: Some(jobs_tx),
+            workers,
+        }
+    }
+
+    /// Enqueues a query; the returned ticket resolves to the answer.
+    pub fn submit(&self, sql: impl Into<String>) -> QueryTicket {
+        let (reply, rx) = unbounded();
+        let job = Job {
+            sql: sql.into(),
+            reply,
+        };
+        if let Some(jobs) = &self.jobs {
+            // A send only fails after shutdown; the ticket then reports it.
+            let _ = jobs.send(job);
+        }
+        QueryTicket { rx }
+    }
+
+    /// Convenience: submit and wait.
+    pub fn query(&self, sql: impl Into<String>) -> Result<ServiceReply, TrappError> {
+        self.submit(sql).wait()
+    }
+
+    /// Applies an update to a replicated object's master value, delivering
+    /// any value-initiated refreshes to the cache. Returns how many were
+    /// delivered.
+    pub fn apply_update(&self, object: ObjectId, value: f64) -> Result<usize, TrappError> {
+        let mut cache = self.core.cache.lock();
+        let source = cache
+            .route(object)
+            .map(|r| r.source)
+            .ok_or_else(|| TrappError::RefreshFailed(format!("{object} is not replicated")))?;
+        let refreshes =
+            self.core
+                .gateway
+                .apply_update(source, object, value, self.core.clock.now())?;
+        let n = refreshes.len();
+        for (cache_id, refresh) in refreshes {
+            debug_assert_eq!(cache_id, cache.id());
+            cache.install_refresh(refresh)?;
+        }
+        Ok(n)
+    }
+
+    /// Advances the shared clock (bounds widen as time passes).
+    pub fn advance_clock(&self, dt: f64) {
+        self.core.clock.advance(dt);
+    }
+
+    /// The shared clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.core.clock
+    }
+
+    /// Runs `f` against the cache (setup, inspection); serialized with
+    /// query execution.
+    pub fn with_cache<R>(&self, f: impl FnOnce(&mut CacheNode) -> R) -> R {
+        f(&mut self.core.cache.lock())
+    }
+
+    /// A consistent snapshot of the aggregate counters.
+    pub fn stats(&self) -> ServiceStats {
+        let mut s = *self.core.counters.lock();
+        s.refreshes_coalesced = self.core.gateway.refreshes_coalesced();
+        s.refreshes_forwarded = self.core.gateway.refreshes_forwarded();
+        s
+    }
+
+    /// Stops accepting work and joins every worker.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        self.jobs = None; // closes the queue; workers drain and exit
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for QueryService {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+/// Declarative service setup: tables, then rows bound to sources, then
+/// [`build_direct`](ServiceBuilder::build_direct) or
+/// [`build_channel`](ServiceBuilder::build_channel).
+///
+/// Mirrors [`trapp_system::Simulation`]'s wiring exactly (same object-id
+/// assignment order, same subscription flow, same cost model), so a
+/// service and a simulation built from the same specs hold identical
+/// initial state — the property the correctness tests lean on.
+pub struct ServiceBuilder {
+    shape: BoundShape,
+    initial_width: f64,
+    cost_model: CostModel,
+    config: ServiceConfig,
+    tables: Vec<Table>,
+    rows: Vec<(String, SourceId, Vec<BoundedValue>)>,
+}
+
+impl Default for ServiceBuilder {
+    fn default() -> ServiceBuilder {
+        ServiceBuilder {
+            shape: BoundShape::Sqrt,
+            initial_width: 1.0,
+            cost_model: CostModel::unit(),
+            config: ServiceConfig::default(),
+            tables: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+}
+
+impl ServiceBuilder {
+    /// Starts a builder with √t bounds, width 1, unit costs.
+    pub fn new() -> ServiceBuilder {
+        ServiceBuilder::default()
+    }
+
+    /// Sets the bound shape issued by all sources.
+    pub fn shape(mut self, shape: BoundShape) -> Self {
+        self.shape = shape;
+        self
+    }
+
+    /// Sets the initial adaptive width parameter.
+    pub fn initial_width(mut self, w: f64) -> Self {
+        self.initial_width = w;
+        self
+    }
+
+    /// Sets the refresh cost model.
+    pub fn cost_model(mut self, m: CostModel) -> Self {
+        self.cost_model = m;
+        self
+    }
+
+    /// Sets the service configuration.
+    pub fn config(mut self, config: ServiceConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Adds a cached table (rows via [`ServiceBuilder::row`]).
+    pub fn table(mut self, table: Table) -> Self {
+        self.tables.push(table);
+        self
+    }
+
+    /// Adds a row whose bounded cells hold initial master values owned by
+    /// `source` (exact values for exact columns, exact floats as initial
+    /// master values for bounded columns).
+    pub fn row(
+        mut self,
+        table: impl Into<String>,
+        source: SourceId,
+        cells: Vec<BoundedValue>,
+    ) -> Self {
+        self.rows.push((table.into(), source, cells));
+        self
+    }
+
+    /// Builds over the synchronous [`DirectTransport`].
+    pub fn build_direct(self) -> Result<QueryService, TrappError> {
+        let config = self.config;
+        let (clock, cache, sources) = self.wire()?;
+        let mut transport = DirectTransport::new();
+        for source in sources {
+            transport.add_source(source);
+        }
+        Ok(QueryService::start(cache, transport, clock, config))
+    }
+
+    /// Builds over the threaded [`ChannelTransport`] with the given
+    /// simulated one-way latency per round-trip.
+    pub fn build_channel(self, latency: Duration) -> Result<QueryService, TrappError> {
+        let config = self.config;
+        let (clock, cache, sources) = self.wire()?;
+        let mut transport = ChannelTransport::new(latency);
+        for source in sources {
+            transport.add_source(source);
+        }
+        Ok(QueryService::start(cache, transport, clock, config))
+    }
+
+    /// Shared wiring: registers objects, subscribes the cache, prices
+    /// tuples — transport-agnostic because subscription happens before the
+    /// sources move behind a transport.
+    fn wire(self) -> Result<(SimClock, CacheNode, Vec<Source>), TrappError> {
+        self.cost_model.validate()?;
+        let clock = SimClock::new();
+        let now = clock.now();
+        let mut cache = CacheNode::new(CacheId::new(1), clock.clone());
+        for table in self.tables {
+            cache.add_table(table)?;
+        }
+
+        let mut sources: Vec<Source> = Vec::new();
+        let mut next_object = 1u64;
+        for (table, source_id, cells) in self.rows {
+            if !sources.iter().any(|s| s.id() == source_id) {
+                sources.push(Source::new(source_id, self.shape));
+            }
+            let source = sources
+                .iter_mut()
+                .find(|s| s.id() == source_id)
+                .expect("just ensured");
+
+            let bounded_cols = cache
+                .session()
+                .catalog()
+                .table(&table)?
+                .schema()
+                .bounded_columns();
+            let tid: TupleId = cache
+                .session_mut()
+                .catalog_mut()
+                .table_mut(&table)?
+                .insert(cells.clone())?;
+
+            let mut tuple_cost = 0.0;
+            for &col in &bounded_cols {
+                let initial = cells
+                    .get(col)
+                    .ok_or_else(|| TrappError::SchemaViolation("row arity".into()))?
+                    .as_interval()?
+                    .midpoint();
+                let object = ObjectId::new(next_object);
+                next_object += 1;
+                source.register_object(object, initial)?;
+                cache.bind_object(object, source_id, table.as_str(), tid, col)?;
+                let refresh = source.subscribe(cache.id(), object, self.initial_width, now)?;
+                cache.install_refresh(refresh)?;
+                tuple_cost += self.cost_model.cost(source_id, object);
+            }
+            cache
+                .session_mut()
+                .catalog_mut()
+                .table_mut(&table)?
+                .set_cost(tid, tuple_cost.max(f64::MIN_POSITIVE))?;
+        }
+        Ok((clock, cache, sources))
+    }
+}

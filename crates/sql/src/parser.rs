@@ -118,9 +118,7 @@ impl Parser {
         match self.peek().clone() {
             Tok::Ident(s) => {
                 if is_reserved(&s) {
-                    return Err(self.err(format!(
-                        "expected {what}, found reserved word `{s}`"
-                    )));
+                    return Err(self.err(format!("expected {what}, found reserved word `{s}`")));
                 }
                 self.bump();
                 Ok(s)
@@ -141,8 +139,8 @@ impl Parser {
                 }
                 None => {
                     return Err(self.err(format!(
-                        "expected an aggregate function (COUNT/MIN/MAX/SUM/AVG/MEDIAN), found `{name}`"
-                    )))
+                    "expected an aggregate function (COUNT/MIN/MAX/SUM/AVG/MEDIAN), found `{name}`"
+                )))
                 }
             },
             other => {
@@ -348,7 +346,10 @@ impl Parser {
                 Ok(Expr::Literal(Value::Bool(false)))
             }
             Tok::Ident(_) => Ok(Expr::Column(self.column_ref()?)),
-            other => Err(self.err(format!("expected an expression, found {}", other.describe()))),
+            other => Err(self.err(format!(
+                "expected an expression, found {}",
+                other.describe()
+            ))),
         }
     }
 }
@@ -391,8 +392,7 @@ mod tests {
         assert!(q.arg.is_none());
 
         // Q6-style AVG.
-        let q =
-            parse_query("SELECT AVG(latency) WITHIN 2 FROM links WHERE traffic > 100").unwrap();
+        let q = parse_query("SELECT AVG(latency) WITHIN 2 FROM links WHERE traffic > 100").unwrap();
         assert_eq!(q.agg, AggregateFunc::Avg);
         assert_eq!(q.arg.unwrap().to_string(), "latency");
     }
@@ -409,8 +409,8 @@ mod tests {
 
     #[test]
     fn precedence_is_sql_like() {
-        let q = parse_query("SELECT SUM(x) FROM t WHERE a + b * 2 > 4 OR NOT c = 1 AND d < 2")
-            .unwrap();
+        let q =
+            parse_query("SELECT SUM(x) FROM t WHERE a + b * 2 > 4 OR NOT c = 1 AND d < 2").unwrap();
         // OR binds loosest; AND tighter; NOT applies to the comparison.
         assert_eq!(
             q.predicate.unwrap().to_string(),
@@ -434,10 +434,7 @@ mod tests {
 
     #[test]
     fn joins_and_qualified_columns() {
-        let q = parse_query(
-            "SELECT SUM(a.x) FROM a, b WHERE a.id = b.id AND b.y > 5",
-        )
-        .unwrap();
+        let q = parse_query("SELECT SUM(a.x) FROM a, b WHERE a.id = b.id AND b.y > 5").unwrap();
         assert_eq!(q.tables, vec!["a", "b"]);
         assert_eq!(
             q.predicate.unwrap().to_string(),

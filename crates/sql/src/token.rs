@@ -104,44 +104,78 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, TrappError> {
                 }
             }
             '(' => {
-                out.push(SpannedTok { tok: Tok::LParen, offset: i });
+                out.push(SpannedTok {
+                    tok: Tok::LParen,
+                    offset: i,
+                });
                 i += 1;
             }
             ')' => {
-                out.push(SpannedTok { tok: Tok::RParen, offset: i });
+                out.push(SpannedTok {
+                    tok: Tok::RParen,
+                    offset: i,
+                });
                 i += 1;
             }
             ',' => {
-                out.push(SpannedTok { tok: Tok::Comma, offset: i });
+                out.push(SpannedTok {
+                    tok: Tok::Comma,
+                    offset: i,
+                });
                 i += 1;
             }
-            '.' if !bytes.get(i + 1).map(|b| b.is_ascii_digit()).unwrap_or(false) => {
-                out.push(SpannedTok { tok: Tok::Dot, offset: i });
+            '.' if !bytes
+                .get(i + 1)
+                .map(|b| b.is_ascii_digit())
+                .unwrap_or(false) =>
+            {
+                out.push(SpannedTok {
+                    tok: Tok::Dot,
+                    offset: i,
+                });
                 i += 1;
             }
             '*' => {
-                out.push(SpannedTok { tok: Tok::Star, offset: i });
+                out.push(SpannedTok {
+                    tok: Tok::Star,
+                    offset: i,
+                });
                 i += 1;
             }
             '+' => {
-                out.push(SpannedTok { tok: Tok::Plus, offset: i });
+                out.push(SpannedTok {
+                    tok: Tok::Plus,
+                    offset: i,
+                });
                 i += 1;
             }
             '-' => {
-                out.push(SpannedTok { tok: Tok::Minus, offset: i });
+                out.push(SpannedTok {
+                    tok: Tok::Minus,
+                    offset: i,
+                });
                 i += 1;
             }
             '/' => {
-                out.push(SpannedTok { tok: Tok::Slash, offset: i });
+                out.push(SpannedTok {
+                    tok: Tok::Slash,
+                    offset: i,
+                });
                 i += 1;
             }
             '=' => {
-                out.push(SpannedTok { tok: Tok::Eq, offset: i });
+                out.push(SpannedTok {
+                    tok: Tok::Eq,
+                    offset: i,
+                });
                 i += 1;
             }
             '!' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(SpannedTok { tok: Tok::Ne, offset: i });
+                    out.push(SpannedTok {
+                        tok: Tok::Ne,
+                        offset: i,
+                    });
                     i += 2;
                 } else {
                     return Err(err("unexpected `!` (did you mean `!=`?)", i));
@@ -149,24 +183,39 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, TrappError> {
             }
             '<' => match bytes.get(i + 1) {
                 Some(b'=') => {
-                    out.push(SpannedTok { tok: Tok::Le, offset: i });
+                    out.push(SpannedTok {
+                        tok: Tok::Le,
+                        offset: i,
+                    });
                     i += 2;
                 }
                 Some(b'>') => {
-                    out.push(SpannedTok { tok: Tok::Ne, offset: i });
+                    out.push(SpannedTok {
+                        tok: Tok::Ne,
+                        offset: i,
+                    });
                     i += 2;
                 }
                 _ => {
-                    out.push(SpannedTok { tok: Tok::Lt, offset: i });
+                    out.push(SpannedTok {
+                        tok: Tok::Lt,
+                        offset: i,
+                    });
                     i += 1;
                 }
             },
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(SpannedTok { tok: Tok::Ge, offset: i });
+                    out.push(SpannedTok {
+                        tok: Tok::Ge,
+                        offset: i,
+                    });
                     i += 2;
                 } else {
-                    out.push(SpannedTok { tok: Tok::Gt, offset: i });
+                    out.push(SpannedTok {
+                        tok: Tok::Gt,
+                        offset: i,
+                    });
                     i += 1;
                 }
             }
@@ -191,9 +240,12 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, TrappError> {
                 // multi-byte UTF-8 content intact; then unescape ''.
                 let s = src[seg_start..i].replace("''", "'");
                 i += 1; // closing quote
-                out.push(SpannedTok { tok: Tok::Str(s), offset: start });
+                out.push(SpannedTok {
+                    tok: Tok::Str(s),
+                    offset: start,
+                });
             }
-            c if c.is_ascii_digit() || (c == '.' ) => {
+            c if c.is_ascii_digit() || (c == '.') => {
                 let start = i;
                 let mut saw_dot = false;
                 let mut saw_exp = false;
@@ -225,7 +277,10 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, TrappError> {
                 let n: f64 = text
                     .parse()
                     .map_err(|_| err(format!("invalid number `{text}`"), start))?;
-                out.push(SpannedTok { tok: Tok::Number(n), offset: start });
+                out.push(SpannedTok {
+                    tok: Tok::Number(n),
+                    offset: start,
+                });
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
@@ -245,7 +300,10 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, TrappError> {
             other => return Err(err(format!("unexpected character `{other}`"), i)),
         }
     }
-    out.push(SpannedTok { tok: Tok::Eof, offset: src.len() });
+    out.push(SpannedTok {
+        tok: Tok::Eof,
+        offset: src.len(),
+    });
     Ok(out)
 }
 
@@ -308,14 +366,17 @@ mod tests {
 
     #[test]
     fn lexes_numbers() {
-        assert_eq!(toks("1 2.5 .75 1e3 2.5e-2"), vec![
-            Tok::Number(1.0),
-            Tok::Number(2.5),
-            Tok::Number(0.75),
-            Tok::Number(1000.0),
-            Tok::Number(0.025),
-            Tok::Eof,
-        ]);
+        assert_eq!(
+            toks("1 2.5 .75 1e3 2.5e-2"),
+            vec![
+                Tok::Number(1.0),
+                Tok::Number(2.5),
+                Tok::Number(0.75),
+                Tok::Number(1000.0),
+                Tok::Number(0.025),
+                Tok::Eof,
+            ]
+        );
     }
 
     #[test]

@@ -20,9 +20,11 @@ fn arb_agg() -> impl Strategy<Value = AggregateFunc> {
 
 fn arb_ident() -> impl Strategy<Value = String> {
     "[a-z][a-z0-9_]{0,8}".prop_filter("not reserved", |s| {
-        !["select", "from", "where", "within", "and", "or", "not", "group", "by", "true",
-          "false", "as"]
-            .contains(&s.as_str())
+        ![
+            "select", "from", "where", "within", "and", "or", "not", "group", "by", "true",
+            "false", "as",
+        ]
+        .contains(&s.as_str())
     })
 }
 
@@ -46,10 +48,16 @@ fn arb_num_expr() -> impl Strategy<Value = Expr<ColumnRef>> {
     ];
     leaf.prop_recursive(3, 24, 4, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone(), prop_oneof![
-                Just(BinaryOp::Add), Just(BinaryOp::Sub),
-                Just(BinaryOp::Mul), Just(BinaryOp::Div),
-            ])
+            (
+                inner.clone(),
+                inner.clone(),
+                prop_oneof![
+                    Just(BinaryOp::Add),
+                    Just(BinaryOp::Sub),
+                    Just(BinaryOp::Mul),
+                    Just(BinaryOp::Div),
+                ]
+            )
                 .prop_map(|(a, b, op)| Expr::binary(op, a, b)),
             inner.prop_map(|x| Expr::unary(UnaryOp::Neg, x)),
         ]
@@ -57,10 +65,18 @@ fn arb_num_expr() -> impl Strategy<Value = Expr<ColumnRef>> {
 }
 
 fn arb_predicate() -> impl Strategy<Value = Expr<ColumnRef>> {
-    let cmp = (arb_num_expr(), arb_num_expr(), prop_oneof![
-        Just(BinaryOp::Eq), Just(BinaryOp::Ne), Just(BinaryOp::Lt),
-        Just(BinaryOp::Le), Just(BinaryOp::Gt), Just(BinaryOp::Ge),
-    ])
+    let cmp = (
+        arb_num_expr(),
+        arb_num_expr(),
+        prop_oneof![
+            Just(BinaryOp::Eq),
+            Just(BinaryOp::Ne),
+            Just(BinaryOp::Lt),
+            Just(BinaryOp::Le),
+            Just(BinaryOp::Gt),
+            Just(BinaryOp::Ge),
+        ],
+    )
         .prop_map(|(a, b, op)| Expr::binary(op, a, b));
     cmp.prop_recursive(3, 24, 2, |inner| {
         prop_oneof![

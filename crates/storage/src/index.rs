@@ -117,7 +117,10 @@ impl OrderedIndex {
 
     /// Tuples holding exactly `key`.
     pub fn get(&self, key: OrderedF64) -> impl Iterator<Item = TupleId> + '_ {
-        self.map.get(&key).into_iter().flat_map(|s| s.iter().copied())
+        self.map
+            .get(&key)
+            .into_iter()
+            .flat_map(|s| s.iter().copied())
     }
 }
 

@@ -44,9 +44,9 @@ impl Row {
 
     /// The cell at position `idx`.
     pub fn cell(&self, idx: usize) -> Result<&BoundedValue, TrappError> {
-        self.cells.get(idx).ok_or_else(|| {
-            TrappError::SchemaViolation(format!("cell index {idx} out of range"))
-        })
+        self.cells
+            .get(idx)
+            .ok_or_else(|| TrappError::SchemaViolation(format!("cell index {idx} out of range")))
     }
 
     /// Numeric range view of the cell at `idx` (exact numerics become point

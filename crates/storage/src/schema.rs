@@ -95,6 +95,17 @@ impl Schema {
         &self.columns
     }
 
+    /// Indexes of the bounded columns, in declaration order — the cells
+    /// that back replicated objects and participate in refreshes.
+    pub fn bounded_columns(&self) -> Vec<usize> {
+        self.columns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.bounded)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
     /// Index of the named column.
     pub fn column_index(&self, name: &str) -> Result<usize, TrappError> {
         self.by_name
@@ -125,8 +136,8 @@ impl Schema {
         match cell {
             BoundedValue::Exact(v) => {
                 let vt = v.value_type();
-                let compatible = vt == col.ty
-                    || (col.ty == ValueType::Float && vt == ValueType::Int);
+                let compatible =
+                    vt == col.ty || (col.ty == ValueType::Float && vt == ValueType::Int);
                 if !compatible {
                     return Err(TrappError::SchemaViolation(format!(
                         "column {} expects {}, got {}",
@@ -210,9 +221,11 @@ mod tests {
     fn cell_validation() {
         let s = sample();
         // exact int into int column: ok
-        s.validate_cell(0, &BoundedValue::Exact(Value::Int(1))).unwrap();
+        s.validate_cell(0, &BoundedValue::Exact(Value::Int(1)))
+            .unwrap();
         // int into float column: coercible, ok
-        s.validate_cell(2, &BoundedValue::Exact(Value::Int(1))).unwrap();
+        s.validate_cell(2, &BoundedValue::Exact(Value::Int(1)))
+            .unwrap();
         // bound into bounded column: ok
         s.validate_cell(2, &BoundedValue::bounded(1.0, 2.0).unwrap())
             .unwrap();

@@ -114,7 +114,9 @@ impl Table {
 
     /// The row for `tid`.
     pub fn row(&self, tid: TupleId) -> Result<&Row, TrappError> {
-        self.rows.get(&tid).ok_or(TrappError::UnknownTuple(tid.raw()))
+        self.rows
+            .get(&tid)
+            .ok_or(TrappError::UnknownTuple(tid.raw()))
     }
 
     /// The refresh cost `Cᵢ` for `tid`.
@@ -175,7 +177,9 @@ impl Table {
         // Update indexes touching this column.
         for (key, ix) in self.indexes.iter_mut() {
             let col = match key {
-                IndexKey::Lo { column: c } | IndexKey::Hi { column: c } | IndexKey::Width { column: c } => *c,
+                IndexKey::Lo { column: c }
+                | IndexKey::Hi { column: c }
+                | IndexKey::Width { column: c } => *c,
                 IndexKey::Cost => continue,
             };
             if col != column {
@@ -428,9 +432,15 @@ mod tests {
         let mut t = table();
         let a = t.insert_with_cost(row(1, 0.0, 1.0), 5.0).unwrap();
         t.create_index(IndexKey::Cost).unwrap();
-        assert_eq!(t.index(IndexKey::Cost).unwrap().min_key().unwrap().get(), 5.0);
+        assert_eq!(
+            t.index(IndexKey::Cost).unwrap().min_key().unwrap().get(),
+            5.0
+        );
         t.set_cost(a, 2.0).unwrap();
-        assert_eq!(t.index(IndexKey::Cost).unwrap().min_key().unwrap().get(), 2.0);
+        assert_eq!(
+            t.index(IndexKey::Cost).unwrap().min_key().unwrap().get(),
+            2.0
+        );
     }
 
     #[test]

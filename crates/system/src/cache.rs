@@ -48,6 +48,13 @@ pub struct CacheNode {
     by_cell: HashMap<CellKey, ObjectId>,
     /// Current bound function per object.
     bounds: HashMap<ObjectId, BoundFunction>,
+    /// Sequence of the last installed refresh per object (see
+    /// [`Refresh::seq`]); installs arriving out of order are skipped.
+    installed_seq: HashMap<ObjectId, u64>,
+    /// When `true` (the default), a CHOOSE_REFRESH plan is served with one
+    /// transport round-trip per *source*; when `false`, one per *object*
+    /// (the seed's behavior, kept as a measurable baseline).
+    batch_refreshes: bool,
     stats: CacheStats,
 }
 
@@ -61,6 +68,8 @@ impl CacheNode {
             routes: HashMap::new(),
             by_cell: HashMap::new(),
             bounds: HashMap::new(),
+            installed_seq: HashMap::new(),
+            batch_refreshes: true,
             stats: CacheStats::default(),
         }
     }
@@ -68,6 +77,49 @@ impl CacheNode {
     /// This cache's id.
     pub fn id(&self) -> CacheId {
         self.id
+    }
+
+    /// Chooses between batched (per-source) and per-object refresh
+    /// round-trips for query-initiated refreshes.
+    pub fn set_batch_refreshes(&mut self, on: bool) {
+        self.batch_refreshes = on;
+    }
+
+    /// Where `object` lives and which cell it backs, if bound here.
+    pub fn route(&self, object: ObjectId) -> Option<&ObjectRoute> {
+        self.routes.get(&object)
+    }
+
+    /// Iterates all bound objects with their routes.
+    pub fn objects(&self) -> impl Iterator<Item = (ObjectId, &ObjectRoute)> {
+        self.routes.iter().map(|(&o, r)| (o, r))
+    }
+
+    /// The replicated objects backing `tid`'s bounded cells, with their
+    /// owning sources — what a refresh of the tuple must fetch.
+    pub fn objects_backing(
+        &self,
+        table: &str,
+        tuple: TupleId,
+    ) -> Result<Vec<(ObjectId, SourceId)>, TrappError> {
+        let columns = self
+            .session
+            .catalog()
+            .table(table)?
+            .schema()
+            .bounded_columns();
+        columns
+            .into_iter()
+            .map(|col| {
+                let key: CellKey = (table.to_owned(), tuple, col);
+                let object = self.by_cell.get(&key).ok_or_else(|| {
+                    TrappError::RefreshFailed(format!(
+                        "no replicated object backs {table}[{tuple}].{col}"
+                    ))
+                })?;
+                Ok((*object, self.routes[object].source))
+            })
+            .collect()
     }
 
     /// Statistics so far.
@@ -125,10 +177,25 @@ impl CacheNode {
     /// Installs a refresh (any kind): records the bound function and pins
     /// the cell to the refreshed exact value (the bound at `T_r` is the
     /// point `V(T_r)`; it widens again at the next materialization).
+    ///
+    /// Installs are *ordered*: a refresh whose [`Refresh::seq`] is behind
+    /// one already installed for the object is stale — a newer bound from
+    /// the source has already landed, e.g. a value-initiated refresh that
+    /// raced a concurrently fetched query refresh — and is skipped, so the
+    /// cache can never regress behind the Refresh Monitor's tracked bound.
     pub fn install_refresh(&mut self, refresh: Refresh) -> Result<(), TrappError> {
         let route = self.routes.get(&refresh.object).ok_or_else(|| {
             TrappError::RefreshFailed(format!("{} is not bound here", refresh.object))
         })?;
+        if self
+            .installed_seq
+            .get(&refresh.object)
+            .is_some_and(|&last| refresh.seq < last)
+        {
+            self.stats.stale_skipped += 1;
+            return Ok(());
+        }
+        self.installed_seq.insert(refresh.object, refresh.seq);
         let (table, tuple, column) = route.cell.clone();
         self.bounds.insert(refresh.object, refresh.bound);
         self.session
@@ -155,20 +222,32 @@ impl CacheNode {
                 .ok_or_else(|| TrappError::Internal(format!("{object} has bound but no route")))?;
             let (table, tuple, column) = route.cell.clone();
             let iv = bound.interval_at(now);
-            self.session
-                .catalog_mut()
-                .table_mut(&table)?
-                .update_cell(tuple, column, BoundedValue::Bounded(iv))?;
+            self.session.catalog_mut().table_mut(&table)?.update_cell(
+                tuple,
+                column,
+                BoundedValue::Bounded(iv),
+            )?;
         }
         Ok(())
     }
 
-    /// Executes a query: materializes bounds at the current time, runs the
-    /// `trapp-core` executor with a transport-backed oracle, installs the
-    /// new bound functions received from sources, and updates statistics.
+    /// Executes a query from SQL text; see [`CacheNode::execute`].
     pub fn execute_query(
         &mut self,
         sql: &str,
+        transport: &dyn Transport,
+    ) -> Result<QueryResult, TrappError> {
+        let query = trapp_sql::parse_query(sql)?;
+        self.execute(&query, transport)
+    }
+
+    /// Executes a parsed query: materializes bounds at the current time,
+    /// runs the `trapp-core` executor with a transport-backed oracle,
+    /// installs the new bound functions received from sources, and updates
+    /// statistics.
+    pub fn execute(
+        &mut self,
+        query: &trapp_sql::Query,
         transport: &dyn Transport,
     ) -> Result<QueryResult, TrappError> {
         self.materialize()?;
@@ -178,15 +257,26 @@ impl CacheNode {
             by_cell: &self.by_cell,
             routes: &self.routes,
             transport,
+            batch: self.batch_refreshes,
             received: Vec::new(),
         };
-        let result = self.session.execute_sql(sql, &mut oracle);
+        let result = self.session.execute(query, &mut oracle);
         // Install bound functions from whatever refreshes arrived, even on
         // error paths (the exact values are already in the table; the bound
         // functions must follow or the next materialization would resurrect
-        // stale bounds).
+        // stale bounds). Sequence-stale refreshes are skipped like in
+        // [`CacheNode::install_refresh`].
         let received = oracle.received;
         for refresh in received {
+            if self
+                .installed_seq
+                .get(&refresh.object)
+                .is_some_and(|&last| refresh.seq < last)
+            {
+                self.stats.stale_skipped += 1;
+                continue;
+            }
+            self.installed_seq.insert(refresh.object, refresh.seq);
             self.bounds.insert(refresh.object, refresh.bound);
             self.stats.query_initiated += 1;
         }
@@ -204,7 +294,26 @@ struct SystemOracle<'a> {
     by_cell: &'a HashMap<CellKey, ObjectId>,
     routes: &'a HashMap<ObjectId, ObjectRoute>,
     transport: &'a dyn Transport,
+    batch: bool,
     received: Vec<Refresh>,
+}
+
+impl SystemOracle<'_> {
+    /// The object backing `table[tid].column`, with its owning source.
+    fn object_at(
+        &self,
+        table: &str,
+        tid: TupleId,
+        column: usize,
+    ) -> Result<(ObjectId, SourceId), TrappError> {
+        let key: CellKey = (table.to_owned(), tid, column);
+        let object = self.by_cell.get(&key).ok_or_else(|| {
+            TrappError::RefreshFailed(format!(
+                "no replicated object backs {table}[{tid}].{column}"
+            ))
+        })?;
+        Ok((*object, self.routes[object].source))
+    }
 }
 
 impl RefreshOracle for SystemOracle<'_> {
@@ -216,19 +325,78 @@ impl RefreshOracle for SystemOracle<'_> {
     ) -> Result<Vec<f64>, TrappError> {
         let mut out = Vec::with_capacity(columns.len());
         for &column in columns {
-            let key: CellKey = (table.to_owned(), tid, column);
-            let object = self.by_cell.get(&key).ok_or_else(|| {
-                TrappError::RefreshFailed(format!(
-                    "no replicated object backs {table}[{tid}].{column}"
-                ))
-            })?;
-            let route = &self.routes[object];
-            let refresh =
-                self.transport
-                    .request_refresh(route.source, self.cache, *object, self.now)?;
+            let (object, source) = self.object_at(table, tid, column)?;
+            let refresh = self
+                .transport
+                .request_refresh(source, self.cache, object, self.now)?;
             out.push(refresh.value);
             self.received.push(refresh);
         }
+        Ok(out)
+    }
+
+    /// Serves a whole refresh plan with one round-trip per source: the
+    /// plan's `(tuple, column)` cells are resolved to objects, grouped by
+    /// owning source, fetched via [`Transport::request_refresh_batch`],
+    /// and scattered back into per-tuple value rows.
+    fn refresh_batch(
+        &mut self,
+        table: &str,
+        tids: &[TupleId],
+        columns: &[usize],
+    ) -> Result<Vec<Vec<f64>>, TrappError> {
+        if !self.batch {
+            // Per-object baseline: identical traffic shape to the seed.
+            return tids
+                .iter()
+                .map(|&tid| self.refresh(table, tid, columns))
+                .collect();
+        }
+        // Resolve every cell up front; slot maps (tuple row, column slot)
+        // to its position in the per-source request vectors.
+        let mut per_source: HashMap<SourceId, Vec<ObjectId>> = HashMap::new();
+        let mut slots: Vec<Vec<(SourceId, usize)>> = Vec::with_capacity(tids.len());
+        for &tid in tids {
+            let mut row = Vec::with_capacity(columns.len());
+            for &column in columns {
+                let (object, source) = self.object_at(table, tid, column)?;
+                let bucket = per_source.entry(source).or_default();
+                bucket.push(object);
+                row.push((source, bucket.len() - 1));
+            }
+            slots.push(row);
+        }
+        // One round-trip per source. BTree order keeps the request
+        // sequence deterministic.
+        let ordered: std::collections::BTreeMap<SourceId, Vec<ObjectId>> =
+            per_source.into_iter().collect();
+        let mut responses: HashMap<SourceId, Vec<Refresh>> = HashMap::new();
+        for (source, objects) in ordered {
+            let refreshes = self
+                .transport
+                .request_refresh_batch(source, self.cache, &objects, self.now)?;
+            if refreshes.len() != objects.len() {
+                return Err(TrappError::RefreshFailed(format!(
+                    "source {source} returned {} refreshes for {} objects",
+                    refreshes.len(),
+                    objects.len()
+                )));
+            }
+            // Record each source's refreshes the moment they arrive: if a
+            // *later* source's batch fails, these have still mutated their
+            // source's monitor state, and the error-path install in
+            // `execute` must see them or cache and monitor diverge.
+            self.received.extend(refreshes.iter().copied());
+            responses.insert(source, refreshes);
+        }
+        let out = slots
+            .into_iter()
+            .map(|row| {
+                row.into_iter()
+                    .map(|(source, idx)| responses[&source][idx].value)
+                    .collect()
+            })
+            .collect();
         Ok(out)
     }
 }
@@ -368,15 +536,33 @@ mod tests {
         let (_c, mut cache, _t) = setup();
         // Column 0 is exact.
         assert!(cache
-            .bind_object(ObjectId::new(9), SourceId::new(1), "sensors", TupleId::new(1), 0)
+            .bind_object(
+                ObjectId::new(9),
+                SourceId::new(1),
+                "sensors",
+                TupleId::new(1),
+                0
+            )
             .is_err());
         // Unknown tuple.
         assert!(cache
-            .bind_object(ObjectId::new(9), SourceId::new(1), "sensors", TupleId::new(99), 1)
+            .bind_object(
+                ObjectId::new(9),
+                SourceId::new(1),
+                "sensors",
+                TupleId::new(99),
+                1
+            )
             .is_err());
         // Unknown table.
         assert!(cache
-            .bind_object(ObjectId::new(9), SourceId::new(1), "nope", TupleId::new(1), 1)
+            .bind_object(
+                ObjectId::new(9),
+                SourceId::new(1),
+                "nope",
+                TupleId::new(1),
+                1
+            )
             .is_err());
     }
 
@@ -388,7 +574,48 @@ mod tests {
             value: 1.0,
             bound: BoundFunction::exact(1.0, 0.0).unwrap(),
             kind: RefreshKind::ValueInitiated,
+            seq: 0,
         };
         assert!(cache.install_refresh(r).is_err());
+    }
+
+    /// Installs are ordered by [`Refresh::seq`]: a refresh that arrives
+    /// after a newer one for the same object (a fetch racing an update)
+    /// must not regress the cache behind the monitor's tracked bound.
+    #[test]
+    fn stale_refresh_installs_are_skipped() {
+        let (clock, mut cache, transport) = setup();
+        clock.advance(1.0);
+        let src = transport.source(SourceId::new(1)).unwrap();
+
+        // A query refresh is served first (seq k)…
+        let older = src
+            .lock()
+            .serve_refresh(CacheId::new(1), ObjectId::new(1), 1.0)
+            .unwrap();
+        // …then an escaping update issues a newer bound (seq k+1), which
+        // reaches the cache *before* the query refresh does.
+        let newer = src
+            .lock()
+            .apply_update(ObjectId::new(1), 500.0, 1.0)
+            .unwrap()
+            .remove(0)
+            .1;
+        assert!(newer.seq > older.seq);
+        cache.install_refresh(newer).unwrap();
+        cache.install_refresh(older).unwrap(); // late arrival: skipped
+
+        assert_eq!(cache.stats().stale_skipped, 1);
+        cache.materialize().unwrap();
+        let t = cache.session().catalog().table("sensors").unwrap();
+        let iv = t.interval(TupleId::new(1), 1).unwrap();
+        assert!(
+            iv.contains(500.0),
+            "stale install must not evict the newer bound: {iv}"
+        );
+
+        // Same-seq duplicates (coalesced installs) remain idempotent.
+        cache.install_refresh(newer).unwrap();
+        assert_eq!(cache.stats().stale_skipped, 1);
     }
 }

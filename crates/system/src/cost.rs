@@ -78,11 +78,7 @@ impl CostModel {
     /// The §8.2 batching amortization: refreshes grouped by source, the
     /// first at full price, subsequent ones in the same batch multiplied by
     /// `discount ∈ [0, 1]`. `discount = 1` recovers additive costs.
-    pub fn batch_cost(
-        &self,
-        refreshes: &[(SourceId, ObjectId)],
-        discount: f64,
-    ) -> f64 {
+    pub fn batch_cost(&self, refreshes: &[(SourceId, ObjectId)], discount: f64) -> f64 {
         let mut per_source: HashMap<SourceId, Vec<ObjectId>> = HashMap::new();
         for &(s, o) in refreshes {
             per_source.entry(s).or_default().push(o);

@@ -33,6 +33,12 @@ pub struct Refresh {
     pub bound: BoundFunction,
     /// Why this refresh was sent.
     pub kind: RefreshKind,
+    /// Per-(cache, object) issue sequence, stamped by the source's Refresh
+    /// Monitor. Caches install refreshes idempotently in sequence order:
+    /// a refresh that arrives after a newer one (possible when refreshes
+    /// are fetched concurrently) is recognized as stale and skipped, so
+    /// the cache's bound can never regress behind what the source tracks.
+    pub seq: u64,
 }
 
 #[cfg(test)]
@@ -48,6 +54,7 @@ mod tests {
             value: 42.0,
             bound,
             kind: RefreshKind::ValueInitiated,
+            seq: 1,
         };
         // At refresh time the bound pins the exact value.
         let iv = r.bound.interval_at(10.0);

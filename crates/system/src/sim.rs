@@ -11,9 +11,7 @@ use std::collections::HashMap;
 use trapp_bounds::BoundShape;
 use trapp_core::executor::QueryResult;
 use trapp_storage::Table;
-use trapp_types::{
-    BoundedValue, CacheId, ObjectId, SourceId, TrappError, TupleId,
-};
+use trapp_types::{BoundedValue, CacheId, ObjectId, SourceId, TrappError, TupleId};
 
 use crate::cache::CacheNode;
 use crate::clock::SimClock;
@@ -130,16 +128,13 @@ impl Simulation {
             .ok_or_else(|| TrappError::RefreshFailed(format!("unknown source {source}")))?;
 
         // Identify bounded columns and their initial values.
-        let bounded_cols: Vec<usize> = {
-            let t = self.cache.session().catalog().table(table)?;
-            t.schema()
-                .columns()
-                .iter()
-                .enumerate()
-                .filter(|(_, c)| c.bounded)
-                .map(|(i, _)| i)
-                .collect()
-        };
+        let bounded_cols = self
+            .cache
+            .session()
+            .catalog()
+            .table(table)?
+            .schema()
+            .bounded_columns();
 
         // Insert the row (bounded cells as points at the initial values —
         // the subscription refresh re-pins them immediately).
@@ -201,6 +196,12 @@ impl Simulation {
         self.cache.execute_query(sql, &self.transport)
     }
 
+    /// Chooses between batched (per-source) and per-object refresh
+    /// round-trips; see [`CacheNode::set_batch_refreshes`].
+    pub fn set_batch_refreshes(&mut self, on: bool) {
+        self.cache.set_batch_refreshes(on);
+    }
+
     /// §8.3 pre-refreshing: every source re-centers the bounds of objects
     /// whose master value sits within `margin` (fraction of the half-width)
     /// of the bound's edge. Returns the number of pre-refreshes pushed.
@@ -214,7 +215,9 @@ impl Simulation {
             self.source_of.values().copied().collect();
         let mut pushed = 0usize;
         for source in distinct {
-            let Some(src) = self.transport.source(source) else { continue };
+            let Some(src) = self.transport.source(source) else {
+                continue;
+            };
             let candidates = src.lock().near_edge(cache_id, now, margin);
             for object in candidates {
                 let refresh = src.lock().pre_refresh(cache_id, object, now)?;
@@ -259,10 +262,7 @@ mod tests {
     use trapp_types::{Value, ValueType};
 
     fn build_sim() -> Simulation {
-        let mut sim = Simulation::builder()
-            .initial_width(2.0)
-            .build()
-            .unwrap();
+        let mut sim = Simulation::builder().initial_width(2.0).build().unwrap();
         sim.add_source(SourceId::new(1));
         sim.add_source(SourceId::new(2));
         let schema = Schema::new(vec![
@@ -289,7 +289,9 @@ mod tests {
     #[test]
     fn fresh_subscription_answers_exactly_from_cache() {
         let mut sim = build_sim();
-        let r = sim.run_query("SELECT SUM(latency) WITHIN 0 FROM links").unwrap();
+        let r = sim
+            .run_query("SELECT SUM(latency) WITHIN 0 FROM links")
+            .unwrap();
         assert!(r.satisfied);
         assert_eq!(r.answer.range.lo(), 60.0);
         assert_eq!(r.refresh_cost, 0.0); // bounds still have zero width

@@ -22,6 +22,10 @@ use crate::message::{Refresh, RefreshKind};
 struct Tracked {
     bound: BoundFunction,
     width: AdaptiveWidth,
+    /// Sequence of the last refresh issued for this (cache, object); every
+    /// outgoing [`Refresh`] is stamped so the cache can order concurrent
+    /// installs (see [`Refresh::seq`]).
+    seq: u64,
 }
 
 /// Counters kept by each source.
@@ -33,6 +37,8 @@ pub struct SourceStats {
     pub value_initiated: u64,
     /// Query-initiated refreshes served.
     pub query_initiated: u64,
+    /// Batched refresh requests served (each covering ≥ 1 object).
+    pub batches_served: u64,
     /// §8.3 pre-refreshes pushed.
     pub pre_refreshes: u64,
 }
@@ -99,12 +105,17 @@ impl Source {
         let value = self.master(object)?;
         let width = AdaptiveWidth::with_defaults(initial_width)?;
         let bound = BoundFunction::new(value, width.width(), now, self.shape)?;
-        self.tracked.insert((cache, object), Tracked { bound, width });
+        // Re-subscription continues the sequence so installs delivered out
+        // of order around it still resolve correctly.
+        let seq = self.tracked.get(&(cache, object)).map_or(0, |t| t.seq + 1);
+        self.tracked
+            .insert((cache, object), Tracked { bound, width, seq });
         Ok(Refresh {
             object,
             value,
             bound,
             kind: RefreshKind::Subscription,
+            seq,
         })
     }
 
@@ -136,6 +147,7 @@ impl Source {
             if t.bound.violated_by(value, now) {
                 t.width.on_value_initiated_refresh();
                 t.bound = BoundFunction::new(value, t.width.width(), now, self.shape)?;
+                t.seq += 1;
                 self.stats.value_initiated += 1;
                 out.push((
                     *cache,
@@ -144,6 +156,7 @@ impl Source {
                         value,
                         bound: t.bound,
                         kind: RefreshKind::ValueInitiated,
+                        seq: t.seq,
                     },
                 ));
             }
@@ -160,24 +173,53 @@ impl Source {
         now: f64,
     ) -> Result<Refresh, TrappError> {
         let value = self.master(object)?;
-        let t = self
-            .tracked
-            .get_mut(&(cache, object))
-            .ok_or_else(|| {
-                TrappError::RefreshFailed(format!(
-                    "{cache} is not subscribed to {object} at source {}",
-                    self.id
-                ))
-            })?;
+        let t = self.tracked.get_mut(&(cache, object)).ok_or_else(|| {
+            TrappError::RefreshFailed(format!(
+                "{cache} is not subscribed to {object} at source {}",
+                self.id
+            ))
+        })?;
         t.width.on_query_initiated_refresh();
         t.bound = BoundFunction::new(value, t.width.width(), now, self.shape)?;
+        t.seq += 1;
         self.stats.query_initiated += 1;
         Ok(Refresh {
             object,
             value,
             bound: t.bound,
             kind: RefreshKind::QueryInitiated,
+            seq: t.seq,
         })
+    }
+
+    /// Serves one batched query-initiated refresh covering many objects in
+    /// a single round-trip (the batched-transport fast path): each object
+    /// gets the same treatment as [`Source::serve_refresh`], but the whole
+    /// batch counts as one served batch. Fails atomically — if any object
+    /// is unknown or unsubscribed, no monitor state is touched.
+    pub fn serve_refresh_batch(
+        &mut self,
+        cache: CacheId,
+        objects: &[ObjectId],
+        now: f64,
+    ) -> Result<Vec<Refresh>, TrappError> {
+        // Validate up front so a bad object mid-batch cannot leave half the
+        // batch's width controllers narrowed.
+        for &object in objects {
+            self.master(object)?;
+            if !self.tracked.contains_key(&(cache, object)) {
+                return Err(TrappError::RefreshFailed(format!(
+                    "{cache} is not subscribed to {object} at source {}",
+                    self.id
+                )));
+            }
+        }
+        let out = objects
+            .iter()
+            .map(|&object| self.serve_refresh(cache, object, now))
+            .collect::<Result<Vec<_>, _>>()?;
+        self.stats.batches_served += 1;
+        Ok(out)
     }
 
     /// Performs a §8.3 pre-refresh: re-centers the bound on the current
@@ -198,12 +240,14 @@ impl Source {
             ))
         })?;
         t.bound = BoundFunction::new(value, t.width.width(), now, self.shape)?;
+        t.seq += 1;
         self.stats.pre_refreshes += 1;
         Ok(Refresh {
             object,
             value,
             bound: t.bound,
             kind: RefreshKind::PreRefresh,
+            seq: t.seq,
         })
     }
 
@@ -222,7 +266,9 @@ impl Source {
             if *c != cache {
                 continue;
             }
-            let Some(&v) = self.masters.get(obj) else { continue };
+            let Some(&v) = self.masters.get(obj) else {
+                continue;
+            };
             let iv = t.bound.interval_at(now);
             let half = iv.width() / 2.0;
             if half <= 0.0 {
@@ -265,7 +311,8 @@ mod tests {
     #[test]
     fn small_updates_stay_inside_the_bound() {
         let mut s = source();
-        s.subscribe(CacheId::new(1), ObjectId::new(1), 2.0, 0.0).unwrap();
+        s.subscribe(CacheId::new(1), ObjectId::new(1), 2.0, 0.0)
+            .unwrap();
         // At t = 4 the bound is [96, 104]; 103 stays inside.
         let refreshes = s.apply_update(ObjectId::new(1), 103.0, 4.0).unwrap();
         assert!(refreshes.is_empty());
@@ -275,7 +322,8 @@ mod tests {
     #[test]
     fn escaping_update_triggers_value_initiated_refresh_and_widens() {
         let mut s = source();
-        s.subscribe(CacheId::new(1), ObjectId::new(1), 2.0, 0.0).unwrap();
+        s.subscribe(CacheId::new(1), ObjectId::new(1), 2.0, 0.0)
+            .unwrap();
         let refreshes = s.apply_update(ObjectId::new(1), 110.0, 4.0).unwrap();
         assert_eq!(refreshes.len(), 1);
         let (cache, r) = refreshes[0];
@@ -290,7 +338,8 @@ mod tests {
     #[test]
     fn query_refresh_narrows_width() {
         let mut s = source();
-        s.subscribe(CacheId::new(1), ObjectId::new(1), 2.0, 0.0).unwrap();
+        s.subscribe(CacheId::new(1), ObjectId::new(1), 2.0, 0.0)
+            .unwrap();
         let r = s
             .serve_refresh(CacheId::new(1), ObjectId::new(1), 3.0)
             .unwrap();
@@ -307,8 +356,10 @@ mod tests {
     #[test]
     fn multiple_caches_tracked_independently() {
         let mut s = source();
-        s.subscribe(CacheId::new(1), ObjectId::new(1), 2.0, 0.0).unwrap();
-        s.subscribe(CacheId::new(2), ObjectId::new(1), 50.0, 0.0).unwrap();
+        s.subscribe(CacheId::new(1), ObjectId::new(1), 2.0, 0.0)
+            .unwrap();
+        s.subscribe(CacheId::new(2), ObjectId::new(1), 50.0, 0.0)
+            .unwrap();
         // At t=4: cache 1's bound is ±4 (violated by 110), cache 2's is
         // ±100 (not violated).
         let refreshes = s.apply_update(ObjectId::new(1), 110.0, 4.0).unwrap();
@@ -320,8 +371,10 @@ mod tests {
     fn near_edge_flags_pre_refresh_candidates() {
         let mut s = source();
         s.register_object(ObjectId::new(2), 200.0).unwrap();
-        s.subscribe(CacheId::new(1), ObjectId::new(1), 2.0, 0.0).unwrap();
-        s.subscribe(CacheId::new(1), ObjectId::new(2), 2.0, 0.0).unwrap();
+        s.subscribe(CacheId::new(1), ObjectId::new(1), 2.0, 0.0)
+            .unwrap();
+        s.subscribe(CacheId::new(1), ObjectId::new(2), 2.0, 0.0)
+            .unwrap();
         // At t = 4 bounds are ±4. Move object 1 near its edge (103.9),
         // object 2 stays centered.
         s.apply_update(ObjectId::new(1), 103.9, 4.0).unwrap();

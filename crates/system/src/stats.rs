@@ -19,6 +19,9 @@ pub struct CacheStats {
     pub subscriptions: u64,
     /// §8.3 pre-refreshes installed.
     pub pre_refreshes: u64,
+    /// Refreshes skipped as sequence-stale (a newer bound was already
+    /// installed; see [`crate::message::Refresh::seq`]).
+    pub stale_skipped: u64,
     /// Total refresh cost paid by queries.
     pub refresh_cost: f64,
 }

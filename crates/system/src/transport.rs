@@ -23,6 +23,15 @@ use crate::message::Refresh;
 use crate::source::Source;
 
 /// A refresh-request pathway from caches to sources.
+///
+/// # Message accounting
+///
+/// [`Transport::messages`] counts *round-trips*, identically on every
+/// implementation: each [`Transport::request_refresh`] call is one
+/// round-trip, and each non-empty [`Transport::request_refresh_batch`]
+/// call is one round-trip regardless of how many objects it covers (an
+/// empty batch is free). Updates pushed via [`Transport::apply_update`]
+/// are not refresh round-trips and are never counted.
 pub trait Transport: Send + Sync {
     /// Performs one query-initiated refresh round-trip.
     fn request_refresh(
@@ -33,8 +42,66 @@ pub trait Transport: Send + Sync {
         now: f64,
     ) -> Result<Refresh, TrappError>;
 
+    /// Performs one *batched* query-initiated refresh round-trip: all
+    /// `objects` (owned by `source`) are refreshed in a single message
+    /// exchange. Returns one [`Refresh`] per object, in request order.
+    fn request_refresh_batch(
+        &self,
+        source: SourceId,
+        cache: CacheId,
+        objects: &[ObjectId],
+        now: f64,
+    ) -> Result<Vec<Refresh>, TrappError>;
+
+    /// Applies an update to a master value at `source`, returning the
+    /// value-initiated refreshes it triggered (one per cache whose bound
+    /// the new value escapes).
+    fn apply_update(
+        &self,
+        source: SourceId,
+        object: ObjectId,
+        value: f64,
+        now: f64,
+    ) -> Result<Vec<(CacheId, Refresh)>, TrappError>;
+
     /// Number of refresh round-trips served so far.
     fn messages(&self) -> u64;
+}
+
+impl<T: Transport + ?Sized> Transport for Box<T> {
+    fn request_refresh(
+        &self,
+        source: SourceId,
+        cache: CacheId,
+        object: ObjectId,
+        now: f64,
+    ) -> Result<Refresh, TrappError> {
+        (**self).request_refresh(source, cache, object, now)
+    }
+
+    fn request_refresh_batch(
+        &self,
+        source: SourceId,
+        cache: CacheId,
+        objects: &[ObjectId],
+        now: f64,
+    ) -> Result<Vec<Refresh>, TrappError> {
+        (**self).request_refresh_batch(source, cache, objects, now)
+    }
+
+    fn apply_update(
+        &self,
+        source: SourceId,
+        object: ObjectId,
+        value: f64,
+        now: f64,
+    ) -> Result<Vec<(CacheId, Refresh)>, TrappError> {
+        (**self).apply_update(source, object, value, now)
+    }
+
+    fn messages(&self) -> u64 {
+        (**self).messages()
+    }
 }
 
 /// Synchronous, deterministic transport over shared sources.
@@ -81,6 +148,38 @@ impl Transport for DirectTransport {
         src.lock().serve_refresh(cache, object, now)
     }
 
+    fn request_refresh_batch(
+        &self,
+        source: SourceId,
+        cache: CacheId,
+        objects: &[ObjectId],
+        now: f64,
+    ) -> Result<Vec<Refresh>, TrappError> {
+        if objects.is_empty() {
+            return Ok(Vec::new());
+        }
+        let src = self
+            .sources
+            .get(&source)
+            .ok_or_else(|| TrappError::RefreshFailed(format!("unknown source {source}")))?;
+        self.messages.fetch_add(1, Ordering::Relaxed);
+        src.lock().serve_refresh_batch(cache, objects, now)
+    }
+
+    fn apply_update(
+        &self,
+        source: SourceId,
+        object: ObjectId,
+        value: f64,
+        now: f64,
+    ) -> Result<Vec<(CacheId, Refresh)>, TrappError> {
+        let src = self
+            .sources
+            .get(&source)
+            .ok_or_else(|| TrappError::RefreshFailed(format!("unknown source {source}")))?;
+        src.lock().apply_update(object, value, now)
+    }
+
     fn messages(&self) -> u64 {
         self.messages.load(Ordering::Relaxed)
     }
@@ -92,6 +191,12 @@ enum SourceRequest {
         object: ObjectId,
         now: f64,
         reply: Sender<Result<Refresh, TrappError>>,
+    },
+    RefreshBatch {
+        cache: CacheId,
+        objects: Vec<ObjectId>,
+        now: f64,
+        reply: Sender<Result<Vec<Refresh>, TrappError>>,
     },
     Update {
         object: ObjectId,
@@ -146,6 +251,20 @@ impl ChannelTransport {
                         }
                         let _ = reply.send(source.serve_refresh(cache, object, now));
                     }
+                    SourceRequest::RefreshBatch {
+                        cache,
+                        objects,
+                        now,
+                        reply,
+                    } => {
+                        // One latency charge for the whole batch: the point
+                        // of batching is that n objects share one
+                        // round-trip.
+                        if !latency.is_zero() {
+                            std::thread::sleep(latency);
+                        }
+                        let _ = reply.send(source.serve_refresh_batch(cache, &objects, now));
+                    }
                     SourceRequest::Update {
                         object,
                         value,
@@ -158,40 +277,31 @@ impl ChannelTransport {
                 }
             }
         });
-        self.actors.insert(
+        if let Some(replaced) = self.actors.insert(
             id,
             SourceActor {
                 tx,
                 handle: Some(handle),
             },
-        );
+        ) {
+            // Re-registering a source id must not leak the old actor's
+            // thread past this transport: shut it down and join it now.
+            shutdown_actor(replaced);
+        }
     }
 
-    /// Sends an update to a source actor and returns the value-initiated
-    /// refreshes it produced.
-    pub fn apply_update(
-        &self,
-        source: SourceId,
-        object: ObjectId,
-        value: f64,
-        now: f64,
-    ) -> Result<Vec<(CacheId, Refresh)>, TrappError> {
-        let actor = self
-            .actors
+    fn actor(&self, source: SourceId) -> Result<&SourceActor, TrappError> {
+        self.actors
             .get(&source)
-            .ok_or_else(|| TrappError::RefreshFailed(format!("unknown source {source}")))?;
-        let (reply, rx) = unbounded();
-        actor
-            .tx
-            .send(SourceRequest::Update {
-                object,
-                value,
-                now,
-                reply,
-            })
-            .map_err(|_| TrappError::RefreshFailed("source actor gone".into()))?;
-        rx.recv()
-            .map_err(|_| TrappError::RefreshFailed("source actor dropped reply".into()))?
+            .ok_or_else(|| TrappError::RefreshFailed(format!("unknown source {source}")))
+    }
+}
+
+/// Asks one actor to stop and joins its thread.
+fn shutdown_actor(mut actor: SourceActor) {
+    let _ = actor.tx.send(SourceRequest::Shutdown);
+    if let Some(h) = actor.handle.take() {
+        let _ = h.join();
     }
 }
 
@@ -203,10 +313,7 @@ impl Transport for ChannelTransport {
         object: ObjectId,
         now: f64,
     ) -> Result<Refresh, TrappError> {
-        let actor = self
-            .actors
-            .get(&source)
-            .ok_or_else(|| TrappError::RefreshFailed(format!("unknown source {source}")))?;
+        let actor = self.actor(source)?;
         let (reply, rx) = unbounded();
         actor
             .tx
@@ -222,6 +329,54 @@ impl Transport for ChannelTransport {
             .map_err(|_| TrappError::RefreshFailed("source actor dropped reply".into()))?
     }
 
+    fn request_refresh_batch(
+        &self,
+        source: SourceId,
+        cache: CacheId,
+        objects: &[ObjectId],
+        now: f64,
+    ) -> Result<Vec<Refresh>, TrappError> {
+        if objects.is_empty() {
+            return Ok(Vec::new());
+        }
+        let actor = self.actor(source)?;
+        let (reply, rx) = unbounded();
+        actor
+            .tx
+            .send(SourceRequest::RefreshBatch {
+                cache,
+                objects: objects.to_vec(),
+                now,
+                reply,
+            })
+            .map_err(|_| TrappError::RefreshFailed("source actor gone".into()))?;
+        self.messages.fetch_add(1, Ordering::Relaxed);
+        rx.recv()
+            .map_err(|_| TrappError::RefreshFailed("source actor dropped reply".into()))?
+    }
+
+    fn apply_update(
+        &self,
+        source: SourceId,
+        object: ObjectId,
+        value: f64,
+        now: f64,
+    ) -> Result<Vec<(CacheId, Refresh)>, TrappError> {
+        let actor = self.actor(source)?;
+        let (reply, rx) = unbounded();
+        actor
+            .tx
+            .send(SourceRequest::Update {
+                object,
+                value,
+                now,
+                reply,
+            })
+            .map_err(|_| TrappError::RefreshFailed("source actor gone".into()))?;
+        rx.recv()
+            .map_err(|_| TrappError::RefreshFailed("source actor dropped reply".into()))?
+    }
+
     fn messages(&self) -> u64 {
         self.messages.load(Ordering::Relaxed)
     }
@@ -229,11 +384,8 @@ impl Transport for ChannelTransport {
 
 impl Drop for ChannelTransport {
     fn drop(&mut self) {
-        for actor in self.actors.values_mut() {
-            let _ = actor.tx.send(SourceRequest::Shutdown);
-            if let Some(h) = actor.handle.take() {
-                let _ = h.join();
-            }
+        for (_, actor) in self.actors.drain() {
+            shutdown_actor(actor);
         }
     }
 }
@@ -272,7 +424,8 @@ mod tests {
     fn channel_round_trip_and_updates() {
         let mut t = ChannelTransport::new(Duration::ZERO);
         let mut s = mk_source(1);
-        s.subscribe(CacheId::new(1), ObjectId::new(1), 1.0, 0.0).unwrap();
+        s.subscribe(CacheId::new(1), ObjectId::new(1), 1.0, 0.0)
+            .unwrap();
         t.add_source(s);
 
         // Query-initiated pull through the thread.
@@ -295,7 +448,8 @@ mod tests {
         let mut t = ChannelTransport::new(Duration::from_millis(1));
         for id in 1..=4u64 {
             let mut s = mk_source(id);
-            s.subscribe(CacheId::new(1), ObjectId::new(1), 1.0, 0.0).unwrap();
+            s.subscribe(CacheId::new(1), ObjectId::new(1), 1.0, 0.0)
+                .unwrap();
             t.add_source(s);
         }
         let t = Arc::new(t);
@@ -304,13 +458,8 @@ mod tests {
             let t = t.clone();
             handles.push(std::thread::spawn(move || {
                 for _ in 0..5 {
-                    t.request_refresh(
-                        SourceId::new(id),
-                        CacheId::new(1),
-                        ObjectId::new(1),
-                        1.0,
-                    )
-                    .unwrap();
+                    t.request_refresh(SourceId::new(id), CacheId::new(1), ObjectId::new(1), 1.0)
+                        .unwrap();
                 }
             }));
         }

@@ -20,10 +20,7 @@ fn sensor_schema() -> std::sync::Arc<Schema> {
 
 /// Builds a cache over `n` objects spread across `sources` threaded
 /// sources, returning `(clock, cache, transport)`.
-fn threaded_setup(
-    n: usize,
-    sources: usize,
-) -> (SimClock, CacheNode, ChannelTransport) {
+fn threaded_setup(n: usize, sources: usize) -> (SimClock, CacheNode, ChannelTransport) {
     let clock = SimClock::new();
     let mut cache = CacheNode::new(CacheId::new(1), clock.clone());
     let mut table = Table::new("sensors", sensor_schema());
@@ -95,6 +92,127 @@ fn exact_answers_match_across_transport_kinds() {
     assert_eq!(r.answer.range.lo(), 27.0); // 20 + 7
 }
 
+/// Batched refresh accounting: a tight query whose CHOOSE_REFRESH plan
+/// spans every source issues exactly one round-trip per source — on both
+/// transports — while the per-object baseline issues one per object.
+#[test]
+fn multi_source_plan_is_one_round_trip_per_source() {
+    // 12 objects across 3 sources; WITHIN 0 forces a full refresh.
+    let (clock, mut cache, transport) = threaded_setup(12, 3);
+    clock.advance(9.0);
+    let r = cache
+        .execute_query("SELECT SUM(temp) WITHIN 0 FROM sensors", &transport)
+        .unwrap();
+    assert!(r.satisfied);
+    assert_eq!(r.refreshed.len(), 12, "full refresh expected");
+    assert_eq!(
+        transport.messages(),
+        3,
+        "one batched round-trip per source, not one per object"
+    );
+
+    // Same plan over the per-object baseline: 12 round-trips.
+    let (clock, mut cache, transport) = threaded_setup(12, 3);
+    cache.set_batch_refreshes(false);
+    clock.advance(9.0);
+    let r = cache
+        .execute_query("SELECT SUM(temp) WITHIN 0 FROM sensors", &transport)
+        .unwrap();
+    assert!(r.satisfied);
+    assert_eq!(transport.messages(), 12);
+}
+
+/// The same one-round-trip-per-source accounting on the synchronous
+/// transport, and identical answers either way.
+#[test]
+fn batching_counts_match_across_transports_and_preserves_answers() {
+    let build = |batch: bool| {
+        let mut sim = trapp_system::Simulation::builder()
+            .initial_width(2.0)
+            .build()
+            .unwrap();
+        for s in 1..=3u64 {
+            sim.add_source(SourceId::new(s));
+        }
+        sim.add_table(Table::new("sensors", sensor_schema()))
+            .unwrap();
+        for i in 0..9u64 {
+            sim.add_row(
+                "sensors",
+                SourceId::new(1 + i % 3),
+                vec![
+                    BoundedValue::Exact(Value::Str(format!("s{i}"))),
+                    BoundedValue::exact_f64(5.0 * i as f64).unwrap(),
+                ],
+            )
+            .unwrap();
+        }
+        sim.set_batch_refreshes(batch);
+        sim.clock.advance(4.0);
+        sim
+    };
+
+    let mut batched = build(true);
+    let rb = batched
+        .run_query("SELECT SUM(temp) WITHIN 0 FROM sensors")
+        .unwrap();
+    assert_eq!(batched.stats().messages, 3);
+
+    let mut baseline = build(false);
+    let ro = baseline
+        .run_query("SELECT SUM(temp) WITHIN 0 FROM sensors")
+        .unwrap();
+    assert_eq!(baseline.stats().messages, 9);
+
+    assert_eq!(
+        rb.answer.range, ro.answer.range,
+        "batching must not change answers"
+    );
+    assert_eq!(rb.refreshed, ro.refreshed);
+    assert_eq!(rb.refresh_cost, ro.refresh_cost);
+    // Source-side accounting: same refreshes served, batches only counted
+    // on the batched run.
+    let count = |sim: &trapp_system::Simulation| {
+        (1..=3u64)
+            .map(|s| {
+                let src = sim.transport.source(SourceId::new(s)).unwrap();
+                let st = src.lock().stats();
+                (st.query_initiated, st.batches_served)
+            })
+            .fold((0, 0), |acc, (q, b)| (acc.0 + q, acc.1 + b))
+    };
+    assert_eq!(count(&batched), (9, 3));
+    assert_eq!(count(&baseline), (9, 0));
+}
+
+/// Re-registering a source id must shut down and join the old actor
+/// thread (no detached `JoinHandle`s), and the replacement must serve.
+#[test]
+fn replaced_source_actor_is_joined_and_replacement_serves() {
+    let mut transport = ChannelTransport::new(Duration::ZERO);
+    let mut old = Source::new(SourceId::new(1), BoundShape::Sqrt);
+    old.register_object(ObjectId::new(1), 1.0).unwrap();
+    old.subscribe(CacheId::new(1), ObjectId::new(1), 1.0, 0.0)
+        .unwrap();
+    transport.add_source(old);
+
+    let mut new = Source::new(SourceId::new(1), BoundShape::Sqrt);
+    new.register_object(ObjectId::new(1), 2.0).unwrap();
+    new.subscribe(CacheId::new(1), ObjectId::new(1), 1.0, 0.0)
+        .unwrap();
+    transport.add_source(new); // joins the old actor internally
+
+    let r = transport
+        .request_refresh(SourceId::new(1), CacheId::new(1), ObjectId::new(1), 0.5)
+        .unwrap();
+    assert_eq!(r.value, 2.0, "requests must reach the replacement source");
+    let rs = transport
+        .request_refresh_batch(SourceId::new(1), CacheId::new(1), &[ObjectId::new(1)], 0.5)
+        .unwrap();
+    assert_eq!(rs.len(), 1);
+    assert_eq!(transport.messages(), 2);
+}
+
 /// The Refresh Monitor invariant: after any interleaving of updates,
 /// queries, and clock advances, the bound the source tracks for
 /// (cache, object) is identical to the bound function the cache holds —
@@ -108,7 +226,8 @@ fn monitor_view_matches_cache_view() {
         .unwrap();
     let _ = clock;
     sim.add_source(SourceId::new(1));
-    sim.add_table(Table::new("sensors", sensor_schema())).unwrap();
+    sim.add_table(Table::new("sensors", sensor_schema()))
+        .unwrap();
     let mut values = Vec::new();
     for i in 0..6 {
         sim.add_row(
@@ -128,9 +247,11 @@ fn monitor_view_matches_cache_view() {
         // Drift a rotating object, sometimes escaping.
         let k = (tick % 6) as usize;
         values[k] += if tick % 7 == 0 { 9.0 } else { 0.3 };
-        sim.apply_update(ObjectId::new(k as u64 + 1), values[k]).unwrap();
+        sim.apply_update(ObjectId::new(k as u64 + 1), values[k])
+            .unwrap();
         if tick % 8 == 0 {
-            sim.run_query("SELECT SUM(temp) WITHIN 3 FROM sensors").unwrap();
+            sim.run_query("SELECT SUM(temp) WITHIN 3 FROM sensors")
+                .unwrap();
         }
         if tick % 11 == 0 {
             sim.pre_refresh_near_edge(0.25).unwrap();
@@ -162,6 +283,9 @@ fn monitor_view_matches_cache_view() {
         }
     }
     let stats = sim.stats();
-    assert!(stats.value_initiated > 0, "drift must have escaped at least once");
+    assert!(
+        stats.value_initiated > 0,
+        "drift must have escaped at least once"
+    );
     assert!(stats.query_initiated > 0);
 }

@@ -223,8 +223,7 @@ impl Interval {
     /// Certain ⇔ xmin = xmax = ymin = ymax.
     pub fn tri_eq(self, other: Interval) -> Tri {
         let possible = self.lo <= other.hi && self.hi >= other.lo;
-        let certain =
-            self.lo == self.hi && other.lo == other.hi && self.lo == other.lo;
+        let certain = self.lo == self.hi && other.lo == other.hi && self.lo == other.lo;
         Tri::from_possible_certain(possible, certain)
     }
 
@@ -316,12 +315,7 @@ impl Mul for Interval {
     fn mul(self, rhs: Interval) -> Interval {
         let (a, b) = (self.lo.get(), self.hi.get());
         let (c, d) = (rhs.lo.get(), rhs.hi.get());
-        let p = [
-            mul_ext(a, c),
-            mul_ext(a, d),
-            mul_ext(b, c),
-            mul_ext(b, d),
-        ];
+        let p = [mul_ext(a, c), mul_ext(a, d), mul_ext(b, c), mul_ext(b, d)];
         let mut lo = p[0];
         let mut hi = p[0];
         for &x in &p[1..] {

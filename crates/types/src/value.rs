@@ -275,12 +275,11 @@ mod tests {
 
     #[test]
     fn tri_eq_across_types() {
+        assert_eq!(Value::Int(3).tri_eq(&Value::Float(3.0)).unwrap(), Tri::True);
         assert_eq!(
-            Value::Int(3).tri_eq(&Value::Float(3.0)).unwrap(),
-            Tri::True
-        );
-        assert_eq!(
-            Value::Str("a".into()).tri_eq(&Value::Str("b".into())).unwrap(),
+            Value::Str("a".into())
+                .tri_eq(&Value::Str("b".into()))
+                .unwrap(),
             Tri::False
         );
         assert!(Value::Str("a".into()).tri_eq(&Value::Int(1)).is_err());

@@ -212,7 +212,13 @@ mod tests {
         for (tid, row) in cache.scan() {
             for col in [LATENCY, BANDWIDTH, TRAFFIC] {
                 let bound = row.interval(col).unwrap();
-                let precise = master.row(tid).unwrap().exact(col).unwrap().as_f64().unwrap();
+                let precise = master
+                    .row(tid)
+                    .unwrap()
+                    .exact(col)
+                    .unwrap()
+                    .as_f64()
+                    .unwrap();
                 assert!(bound.contains(precise), "{tid} col {col}");
             }
         }

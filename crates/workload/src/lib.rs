@@ -12,11 +12,15 @@
 //!   with the same high/low/close structure;
 //! * [`netmon`] — larger network-monitoring topologies (the §1.1 scenario)
 //!   with random-walk link metrics, path queries, and update streams for
-//!   driving `trapp-system` simulations.
+//!   driving `trapp-system` simulations;
+//! * [`loadgen`] — the closed-loop serving workload for `trapp-server`:
+//!   zipfian group popularity, mixed COUNT/SUM/AVG/MIN templates, and a
+//!   configurable precision-constraint mix.
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod figure2;
+pub mod loadgen;
 pub mod netmon;
 pub mod stocks;

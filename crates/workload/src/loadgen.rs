@@ -1,0 +1,341 @@
+//! Closed-loop service workload generator: zipfian object popularity,
+//! mixed aggregate templates, configurable precision-constraint mix.
+//!
+//! Models the serving regime the query service targets: a `metrics` table
+//! partitioned into groups ("segments"), many concurrent clients issuing
+//! `SELECT agg(load) WITHIN r FROM metrics WHERE grp = g` with group
+//! popularity following a zipfian distribution — so hot groups' replicated
+//! objects are hit by many overlapping refresh plans (the coalescing
+//! opportunity) and each group's rows span several sources (the batching
+//! opportunity).
+//!
+//! The generator emits plain data — row specs and SQL strings — so the same
+//! workload can drive a single-threaded [`trapp_system::Simulation`], the
+//! concurrent `trapp-server` service, or anything else, and their answers
+//! can be compared.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use trapp_storage::{ColumnDef, Schema, Table};
+use trapp_types::{BoundedValue, SourceId, Value, ValueType};
+
+/// Aggregate templates the generator mixes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AggTemplate {
+    /// `COUNT(*) … WHERE grp = g AND load > thr` (bounded predicate).
+    Count,
+    /// `SUM(load) … WHERE grp = g`.
+    Sum,
+    /// `AVG(load) … WHERE grp = g`.
+    Avg,
+    /// `MIN(load) … WHERE grp = g`.
+    Min,
+}
+
+impl AggTemplate {
+    /// All templates, in weight order.
+    pub const ALL: [AggTemplate; 4] = [
+        AggTemplate::Count,
+        AggTemplate::Sum,
+        AggTemplate::Avg,
+        AggTemplate::Min,
+    ];
+}
+
+/// Generator configuration.
+#[derive(Clone, Debug)]
+pub struct LoadConfig {
+    /// RNG seed (the whole workload is deterministic per seed).
+    pub seed: u64,
+    /// Number of groups (distinct `grp` values).
+    pub groups: usize,
+    /// Rows per group.
+    pub rows_per_group: usize,
+    /// Number of data sources rows are spread across.
+    pub sources: usize,
+    /// Queries to generate.
+    pub queries: usize,
+    /// Zipf exponent for group popularity (`0` = uniform; `≈1` = classic).
+    pub zipf_s: f64,
+    /// Relative weights for `[COUNT, SUM, AVG, MIN]` templates.
+    pub agg_weights: [u32; 4],
+    /// Precision-constraint mix: `(R, weight)` pairs.
+    pub precision: Vec<(f64, u32)>,
+    /// Master values are drawn uniformly from this range.
+    pub value_range: (f64, f64),
+}
+
+impl Default for LoadConfig {
+    fn default() -> LoadConfig {
+        LoadConfig {
+            seed: 42,
+            groups: 16,
+            rows_per_group: 6,
+            sources: 4,
+            queries: 256,
+            zipf_s: 1.1,
+            agg_weights: [1, 2, 2, 1],
+            // Mostly tight constraints (they force refreshes — the traffic
+            // the service exists to reduce), some loose.
+            precision: vec![(0.5, 3), (2.0, 2), (25.0, 1)],
+            value_range: (50.0, 100.0),
+        }
+    }
+}
+
+/// One row of the generated table: which source owns its bounded cell and
+/// the cell values to install.
+#[derive(Clone, Debug)]
+pub struct RowSpec {
+    /// The owning source.
+    pub source: SourceId,
+    /// `[grp (exact int), load (initial master value)]`.
+    pub cells: Vec<BoundedValue>,
+}
+
+/// One generated query.
+#[derive(Clone, Debug)]
+pub struct GeneratedQuery {
+    /// Renderable TRAPP/AG SQL.
+    pub sql: String,
+    /// The targeted group.
+    pub group: usize,
+    /// The template used.
+    pub agg: AggTemplate,
+    /// The precision constraint.
+    pub within: f64,
+}
+
+/// A generated workload: table shape, rows, and a query stream.
+#[derive(Clone, Debug)]
+pub struct ServiceWorkload {
+    /// Configuration it was generated from.
+    pub config: LoadConfig,
+    /// Rows for the `metrics` table, in insertion order.
+    pub rows: Vec<RowSpec>,
+    /// The query stream, in submission order.
+    pub queries: Vec<GeneratedQuery>,
+}
+
+/// The `metrics` table schema: exact group key, bounded load.
+pub fn schema() -> std::sync::Arc<Schema> {
+    Schema::new(vec![
+        ColumnDef::exact("grp", ValueType::Int),
+        ColumnDef::bounded_float("load"),
+    ])
+    .expect("static schema")
+}
+
+/// An empty `metrics` table.
+pub fn table() -> Table {
+    Table::new("metrics", schema())
+}
+
+/// A seeded zipfian sampler over `0..n` (rank `k` has weight
+/// `1/(k+1)^s`).
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the distribution; `n` must be nonzero.
+    pub fn new(n: usize, s: f64) -> Zipf {
+        assert!(n > 0, "zipf over empty domain");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 0..n {
+            total += 1.0 / ((k + 1) as f64).powf(s);
+            cumulative.push(total);
+        }
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        Zipf { cumulative }
+    }
+
+    /// Samples one rank.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        self.cumulative
+            .iter()
+            .position(|&c| u < c)
+            .unwrap_or(self.cumulative.len() - 1)
+    }
+}
+
+/// Generates the workload for `config`.
+pub fn generate(config: &LoadConfig) -> ServiceWorkload {
+    assert!(config.groups > 0 && config.rows_per_group > 0 && config.sources > 0);
+    assert!(!config.precision.is_empty(), "empty precision mix");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // Rows: group g's i-th row lives at source (g + i) mod sources, so
+    // every group with ≥ 2 rows spans several sources and a tight query's
+    // refresh plan is a multi-source batch.
+    let mut rows = Vec::with_capacity(config.groups * config.rows_per_group);
+    for g in 0..config.groups {
+        for i in 0..config.rows_per_group {
+            let source = SourceId::new(1 + ((g + i) % config.sources) as u64);
+            let load = rng.gen_range(config.value_range.0..=config.value_range.1);
+            rows.push(RowSpec {
+                source,
+                cells: vec![
+                    BoundedValue::Exact(Value::Int(g as i64)),
+                    BoundedValue::exact_f64(load).expect("finite load"),
+                ],
+            });
+        }
+    }
+
+    // Queries: zipfian group, weighted template, weighted precision.
+    let zipf = Zipf::new(config.groups, config.zipf_s);
+    let agg_total: u32 = config.agg_weights.iter().sum();
+    assert!(agg_total > 0, "all aggregate weights zero");
+    let precision_total: u32 = config.precision.iter().map(|(_, w)| w).sum();
+    assert!(precision_total > 0, "all precision weights zero");
+    let mid_threshold = (config.value_range.0 + config.value_range.1) / 2.0;
+
+    let mut queries = Vec::with_capacity(config.queries);
+    for _ in 0..config.queries {
+        let group = zipf.sample(&mut rng);
+        let agg = {
+            let mut pick = rng.gen_range(0..agg_total);
+            let mut chosen = AggTemplate::ALL[0];
+            for (template, &w) in AggTemplate::ALL.iter().zip(&config.agg_weights) {
+                if pick < w {
+                    chosen = *template;
+                    break;
+                }
+                pick -= w;
+            }
+            chosen
+        };
+        let within = {
+            let mut pick = rng.gen_range(0..precision_total);
+            let mut chosen = config.precision[0].0;
+            for &(r, w) in &config.precision {
+                if pick < w {
+                    chosen = r;
+                    break;
+                }
+                pick -= w;
+            }
+            chosen
+        };
+        let sql = match agg {
+            AggTemplate::Count => format!(
+                "SELECT COUNT(*) WITHIN {within} FROM metrics \
+                 WHERE grp = {group} AND load > {mid_threshold}"
+            ),
+            AggTemplate::Sum => {
+                format!("SELECT SUM(load) WITHIN {within} FROM metrics WHERE grp = {group}")
+            }
+            AggTemplate::Avg => {
+                format!("SELECT AVG(load) WITHIN {within} FROM metrics WHERE grp = {group}")
+            }
+            AggTemplate::Min => {
+                format!("SELECT MIN(load) WITHIN {within} FROM metrics WHERE grp = {group}")
+            }
+        };
+        queries.push(GeneratedQuery {
+            sql,
+            group,
+            agg,
+            within,
+        });
+    }
+
+    ServiceWorkload {
+        config: config.clone(),
+        rows,
+        queries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trapp_core::executor::{QuerySession, TableOracle};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let c = LoadConfig::default();
+        let a = generate(&c);
+        let b = generate(&c);
+        assert_eq!(a.rows.len(), b.rows.len());
+        for (x, y) in a.queries.iter().zip(&b.queries) {
+            assert_eq!(x.sql, y.sql);
+        }
+        let c2 = LoadConfig {
+            seed: 43,
+            ..LoadConfig::default()
+        };
+        let d = generate(&c2);
+        assert!(a
+            .queries
+            .iter()
+            .zip(&d.queries)
+            .any(|(x, y)| x.sql != y.sql));
+    }
+
+    #[test]
+    fn zipf_skews_toward_low_ranks() {
+        let z = Zipf::new(10, 1.2);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut counts = [0usize; 10];
+        for _ in 0..5000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[4] && counts[4] > 0, "{counts:?}");
+        assert_eq!(counts.iter().sum::<usize>(), 5000);
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniformish() {
+        let z = Zipf::new(4, 0.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts = [0usize; 4];
+        for _ in 0..4000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!(c > 700, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn groups_span_multiple_sources() {
+        let w = generate(&LoadConfig::default());
+        let per_group = w.config.rows_per_group;
+        for g in 0..w.config.groups {
+            let sources: std::collections::BTreeSet<SourceId> = w.rows
+                [g * per_group..(g + 1) * per_group]
+                .iter()
+                .map(|r| r.source)
+                .collect();
+            assert!(sources.len() > 1, "group {g} lives on one source");
+        }
+    }
+
+    #[test]
+    fn queries_parse_and_run() {
+        let w = generate(&LoadConfig {
+            queries: 40,
+            ..LoadConfig::default()
+        });
+        // Build identical cached and master tables from the row specs and
+        // run the stream with loose session defaults.
+        let (mut cached, mut master) = (table(), table());
+        for r in &w.rows {
+            cached.insert(r.cells.clone()).unwrap();
+            master.insert(r.cells.clone()).unwrap();
+        }
+        let mut session = QuerySession::new(cached);
+        let mut oracle = TableOracle::from_table(master);
+        for q in &w.queries {
+            let r = session.execute_sql(&q.sql, &mut oracle).unwrap();
+            assert!(r.satisfied, "{}", q.sql);
+        }
+    }
+}

@@ -236,7 +236,13 @@ mod tests {
         for (tid, row) in cache.scan() {
             for col in [LATENCY, BANDWIDTH, TRAFFIC] {
                 let bound = row.interval(col).unwrap();
-                let v = master.row(tid).unwrap().exact(col).unwrap().as_f64().unwrap();
+                let v = master
+                    .row(tid)
+                    .unwrap()
+                    .exact(col)
+                    .unwrap()
+                    .as_f64()
+                    .unwrap();
                 assert!(bound.contains(v));
             }
         }
@@ -278,7 +284,10 @@ mod tests {
             .unwrap();
         assert!(r.satisfied);
         let r = s
-            .execute_sql("SELECT AVG(latency) WITHIN 1 FROM links WHERE traffic > 200", &mut o)
+            .execute_sql(
+                "SELECT AVG(latency) WITHIN 1 FROM links WHERE traffic > 200",
+                &mut o,
+            )
             .unwrap();
         assert!(r.satisfied);
     }

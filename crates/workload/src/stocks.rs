@@ -165,7 +165,13 @@ mod tests {
         assert_eq!(cache.len(), 10);
         for (tid, row) in cache.scan() {
             let bound = row.interval(PRICE).unwrap();
-            let close = master.row(tid).unwrap().exact(PRICE).unwrap().as_f64().unwrap();
+            let close = master
+                .row(tid)
+                .unwrap()
+                .exact(PRICE)
+                .unwrap()
+                .as_f64()
+                .unwrap();
             assert!(bound.contains(close));
             assert_eq!(cache.cost(tid).unwrap(), master.cost(tid).unwrap());
         }

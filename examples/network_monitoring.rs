@@ -72,16 +72,14 @@ fn main() -> Result<(), TrappError> {
 
         if tick % 25 == 0 {
             println!("— tick {tick} —");
-            let bottleneck = sim.run_query(
-                "SELECT MIN(bandwidth) WITHIN 25 FROM links WHERE on_path = TRUE",
-            )?;
+            let bottleneck =
+                sim.run_query("SELECT MIN(bandwidth) WITHIN 25 FROM links WHERE on_path = TRUE")?;
             println!(
                 "  Q1 bottleneck bandwidth: {} (cost {:.0})",
                 bottleneck.answer, bottleneck.refresh_cost
             );
-            let latency = sim.run_query(
-                "SELECT SUM(latency) WITHIN 10 FROM links WHERE on_path = TRUE",
-            )?;
+            let latency =
+                sim.run_query("SELECT SUM(latency) WITHIN 10 FROM links WHERE on_path = TRUE")?;
             println!(
                 "  Q2 path latency:         {} (cost {:.0})",
                 latency.answer, latency.refresh_cost

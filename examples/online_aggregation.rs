@@ -30,15 +30,14 @@ fn main() -> Result<(), TrappError> {
     let mut oracle = TableOracle::from_table(master);
 
     println!("online SUM(price) WITHIN {r} over 40 cached stocks\n");
-    println!("{:>5}  {:>26}  {:>9}  {:>10}", "round", "bound", "width", "spent");
+    println!(
+        "{:>5}  {:>26}  {:>9}  {:>10}",
+        "round", "bound", "width", "spent"
+    );
 
     let mut spent = 0.0;
     for round in 0.. {
-        let input = AggInput::build(
-            session.catalog().table("stocks")?,
-            None,
-            Some(&price),
-        )?;
+        let input = AggInput::build(session.catalog().table("stocks")?, None, Some(&price))?;
         let answer = bounded_answer(Aggregate::Sum, &input)?;
         let bar = "#".repeat((answer.width() / 2.0).ceil() as usize);
         println!(

@@ -1,0 +1,55 @@
+//! Stand up the concurrent query service, drive it with the zipfian load
+//! generator from eight client threads, and print the stats snapshot —
+//! the README quickstart, runnable as `cargo run --example query_service`.
+
+use trapp::prelude::*;
+use trapp::workload::loadgen::{self, LoadConfig};
+
+fn main() -> Result<(), TrappError> {
+    // A zipfian serving workload: 16 groups × 6 rows over 4 sources, 128
+    // queries mixing COUNT/SUM/AVG/MIN with mostly-tight precision
+    // constraints.
+    let workload = loadgen::generate(&LoadConfig {
+        queries: 128,
+        ..LoadConfig::default()
+    });
+
+    // The service: 8 workers over one cache, refresh coalescing and
+    // batched source round-trips on.
+    let mut builder = ServiceBuilder::new()
+        .config(ServiceConfig::default())
+        .table(loadgen::table());
+    for row in &workload.rows {
+        builder = builder.row("metrics", row.source, row.cells.clone());
+    }
+    // The threaded transport simulates 500µs per source round-trip — the
+    // regime where batching and coalescing pay.
+    let service = builder.build_channel(std::time::Duration::from_micros(500))?;
+
+    // Let the bounds widen so tight queries must refresh, then serve the
+    // stream from eight concurrent clients.
+    service.advance_clock(25.0);
+    let per_client = workload.queries.len().div_ceil(8);
+    let service_ref = &service;
+    std::thread::scope(|scope| {
+        for (client, chunk) in workload.queries.chunks(per_client).enumerate() {
+            scope.spawn(move || {
+                for q in chunk {
+                    let reply = service_ref.query(&q.sql).expect("query runs");
+                    assert!(reply.result.satisfied);
+                    if reply.refreshes_saved > 0 {
+                        println!(
+                            "client {client}: {} -> {} (saved {} refreshes)",
+                            q.sql, reply.result.answer, reply.refreshes_saved
+                        );
+                    }
+                }
+            });
+        }
+    });
+
+    let stats = service.stats();
+    println!("\nservice stats: {stats:?}");
+    assert_eq!(stats.queries, workload.queries.len() as u64);
+    Ok(())
+}

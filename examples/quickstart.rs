@@ -51,13 +51,19 @@ fn main() -> Result<(), TrappError> {
     // 4. WITHIN 0 forces an exact answer (precise mode); omitting WITHIN is
     //    pure cache (imprecise mode). Everything between is the tradeoff.
     let r = session.execute_sql("SELECT MIN(bandwidth) WITHIN 0 FROM links", &mut oracle)?;
-    println!("exact bottleneck bandwidth:       {}  (cost {})", r.answer, r.refresh_cost);
+    println!(
+        "exact bottleneck bandwidth:       {}  (cost {})",
+        r.answer, r.refresh_cost
+    );
 
     // 5. Queries parse to a plain AST you can inspect.
     let q = parse_query("SELECT COUNT(*) WITHIN 1 FROM links WHERE latency > 10")?;
     println!("\nparsed: {q}");
     let r = session.execute(&q, &mut oracle)?;
-    println!("high-latency link count:          {}  (cost {})", r.answer, r.refresh_cost);
+    println!(
+        "high-latency link count:          {}  (cost {})",
+        r.answer, r.refresh_cost
+    );
 
     Ok(())
 }

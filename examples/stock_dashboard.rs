@@ -10,8 +10,8 @@
 //! cargo run --release --example stock_dashboard
 //! ```
 
-use trapp_core::{ExecutionMode, QuerySession, SolverStrategy, TableOracle};
 use trapp_core::refresh::iterative::IterativeHeuristic;
+use trapp_core::{ExecutionMode, QuerySession, SolverStrategy, TableOracle};
 use trapp_sql::parse_query;
 use trapp_types::TrappError;
 use trapp_workload::stocks::{build_tables, generate, StockConfig};
@@ -28,7 +28,10 @@ fn main() -> Result<(), TrappError> {
 
     // Sweep the portfolio-value precision constraint.
     println!("portfolio value (SUM of prices) at decreasing tolerance:");
-    println!("{:>10}  {:>24}  {:>6}  {:>10}", "WITHIN $", "bounded answer", "cost", "refreshes");
+    println!(
+        "{:>10}  {:>24}  {:>6}  {:>10}",
+        "WITHIN $", "bounded answer", "cost", "refreshes"
+    );
     for r in [total_range, 200.0, 100.0, 50.0, 20.0, 5.0, 0.0] {
         let (cache, master) = build_tables(&days);
         let mut session = QuerySession::new(cache);

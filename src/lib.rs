@@ -16,7 +16,9 @@
 //! * [`core`] — bounded aggregation and CHOOSE_REFRESH (the paper's
 //!   contribution).
 //! * [`system`] — sources, caches, refresh monitors, transports.
-//! * [`workload`] — experiment workload generators.
+//! * [`server`] — the concurrent multi-client query service: worker pool,
+//!   refresh coalescing, batched source round-trips.
+//! * [`workload`] — experiment and serving workload generators.
 //!
 //! ## Quickstart
 //!
@@ -37,6 +39,7 @@ pub use trapp_bounds as bounds;
 pub use trapp_core as core;
 pub use trapp_expr as expr;
 pub use trapp_knapsack as knapsack;
+pub use trapp_server as server;
 pub use trapp_sql as sql;
 pub use trapp_storage as storage;
 pub use trapp_system as system;
@@ -50,7 +53,8 @@ pub mod prelude {
         executor::{QuerySession, RefreshOracle},
         refresh::RefreshPlan,
     };
+    pub use trapp_server::{QueryService, ServiceBuilder, ServiceConfig};
     pub use trapp_sql::parse_query;
     pub use trapp_storage::{Catalog, ColumnDef, Schema, Table};
-    pub use trapp_types::{BoundedValue, Interval, Tri, TrappError, Value};
+    pub use trapp_types::{BoundedValue, Interval, TrappError, Tri, Value};
 }

@@ -161,8 +161,7 @@ fn system_simulation_answers_contain_master_truth() {
             assert!(r.satisfied);
             let truth: f64 = values.iter().sum();
             assert!(
-                r.answer.range.contains(truth)
-                    || (truth - r.answer.range.midpoint()).abs() < 1e-6,
+                r.answer.range.contains(truth) || (truth - r.answer.range.midpoint()).abs() < 1e-6,
                 "tick {tick}: {} missing {truth}",
                 r.answer
             );
@@ -292,7 +291,9 @@ fn join_query_end_to_end_contains_truth() {
 fn eager_insert_delete_keeps_count_exact() {
     let mut session = QuerySession::new(figure2::links_table());
     let mut oracle = TableOracle::from_table(figure2::master_table());
-    let r = session.execute_sql("SELECT COUNT(*) FROM links", &mut oracle).unwrap();
+    let r = session
+        .execute_sql("SELECT COUNT(*) FROM links", &mut oracle)
+        .unwrap();
     assert_eq!(r.answer.range.lo(), 6.0);
     assert!(r.answer.is_exact());
 
@@ -302,7 +303,9 @@ fn eager_insert_delete_keeps_count_exact() {
         .unwrap()
         .delete(TupleId::new(3))
         .unwrap();
-    let r = session.execute_sql("SELECT COUNT(*) FROM links", &mut oracle).unwrap();
+    let r = session
+        .execute_sql("SELECT COUNT(*) FROM links", &mut oracle)
+        .unwrap();
     assert_eq!(r.answer.range.lo(), 5.0);
     assert!(r.answer.is_exact());
 }

@@ -36,9 +36,13 @@ fn parse_errors_surface_with_positions() {
 #[test]
 fn binding_errors_name_the_missing_entity() {
     let (mut s, mut o) = session();
-    let err = s.execute_sql("SELECT SUM(latency) FROM ghosts", &mut o).unwrap_err();
+    let err = s
+        .execute_sql("SELECT SUM(latency) FROM ghosts", &mut o)
+        .unwrap_err();
     assert!(matches!(err, TrappError::UnknownTable(t) if t == "ghosts"));
-    let err = s.execute_sql("SELECT SUM(ghost_col) FROM links", &mut o).unwrap_err();
+    let err = s
+        .execute_sql("SELECT SUM(ghost_col) FROM links", &mut o)
+        .unwrap_err();
     assert!(matches!(err, TrappError::UnknownColumn(c) if c == "ghost_col"));
 }
 
@@ -63,12 +67,18 @@ fn type_errors_are_rejected_before_execution() {
 fn avg_over_certainly_empty_selection_errors() {
     let (mut s, mut o) = session();
     let err = s
-        .execute_sql("SELECT AVG(latency) FROM links WHERE latency > 1000", &mut o)
+        .execute_sql(
+            "SELECT AVG(latency) FROM links WHERE latency > 1000",
+            &mut o,
+        )
         .unwrap_err();
     assert!(matches!(err, TrappError::Unsupported(_)));
     // MIN over the same empty selection is fine ([+∞, +∞], width 0).
     let ok = s
-        .execute_sql("SELECT MIN(latency) FROM links WHERE latency > 1000", &mut o)
+        .execute_sql(
+            "SELECT MIN(latency) FROM links WHERE latency > 1000",
+            &mut o,
+        )
         .unwrap();
     assert!(ok.satisfied);
 }
@@ -77,7 +87,10 @@ fn avg_over_certainly_empty_selection_errors() {
 fn median_with_predicate_is_rejected() {
     let (mut s, mut o) = session();
     let err = s
-        .execute_sql("SELECT MEDIAN(latency) WITHIN 1 FROM links WHERE traffic > 100", &mut o)
+        .execute_sql(
+            "SELECT MEDIAN(latency) WITHIN 1 FROM links WHERE traffic > 100",
+            &mut o,
+        )
         .unwrap_err();
     assert!(err.to_string().contains("not supported"));
 }
@@ -106,7 +119,9 @@ fn oracle_failures_propagate_cleanly() {
     assert!(matches!(err, TrappError::RefreshFailed(_)));
     // Cache-only queries still work afterwards.
     let mut o = TableOracle::from_table(figure2::master_table());
-    let ok = s.execute_sql("SELECT SUM(latency) FROM links", &mut o).unwrap();
+    let ok = s
+        .execute_sql("SELECT SUM(latency) FROM links", &mut o)
+        .unwrap();
     assert!(ok.satisfied);
 }
 
@@ -152,7 +167,9 @@ fn empty_tables_answer_gracefully() {
     ])
     .unwrap();
     let mut catalog = Catalog::new();
-    catalog.add_table(Table::new("empty", schema.clone())).unwrap();
+    catalog
+        .add_table(Table::new("empty", schema.clone()))
+        .unwrap();
     let mut s = QuerySession::with_catalog(catalog);
     let mut master = Catalog::new();
     master.add_table(Table::new("empty", schema)).unwrap();
@@ -160,7 +177,9 @@ fn empty_tables_answer_gracefully() {
 
     let r = s.execute_sql("SELECT COUNT(*) FROM empty", &mut o).unwrap();
     assert_eq!(r.answer.range.lo(), 0.0);
-    let r = s.execute_sql("SELECT SUM(x) WITHIN 1 FROM empty", &mut o).unwrap();
+    let r = s
+        .execute_sql("SELECT SUM(x) WITHIN 1 FROM empty", &mut o)
+        .unwrap();
     assert_eq!(r.answer.range.lo(), 0.0);
     assert!(r.satisfied);
     let r = s.execute_sql("SELECT MIN(x) FROM empty", &mut o).unwrap();
@@ -172,9 +191,13 @@ fn empty_tables_answer_gracefully() {
 fn refreshing_unknown_tuples_errors() {
     let (mut s, _o) = session();
     let mut o = TableOracle::from_table(figure2::master_table());
-    let err = s.refresh_tuple("links", TupleId::new(99), &mut o).unwrap_err();
+    let err = s
+        .refresh_tuple("links", TupleId::new(99), &mut o)
+        .unwrap_err();
     assert!(matches!(err, TrappError::UnknownTuple(99)));
-    let err = s.refresh_tuple("ghosts", TupleId::new(1), &mut o).unwrap_err();
+    let err = s
+        .refresh_tuple("ghosts", TupleId::new(1), &mut o)
+        .unwrap_err();
     assert!(matches!(err, TrappError::UnknownTable(_)));
 }
 
@@ -215,6 +238,8 @@ fn inserted_rows_participate_immediately() {
     let r = s.execute_sql("SELECT COUNT(*) FROM links", &mut o).unwrap();
     assert_eq!(r.answer.range.lo(), 7.0);
     // MIN over latency now sees the new row's [1, 2] bound.
-    let r = s.execute_sql("SELECT MIN(latency) FROM links", &mut o).unwrap();
+    let r = s
+        .execute_sql("SELECT MIN(latency) FROM links", &mut o)
+        .unwrap();
     assert_eq!(r.answer.range.lo(), 1.0);
 }

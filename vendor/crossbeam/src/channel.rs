@@ -1,0 +1,276 @@
+//! Unbounded MPMC channels with crossbeam-compatible surface.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+struct Shared<T> {
+    queue: Mutex<VecDeque<T>>,
+    ready: Condvar,
+    senders: AtomicUsize,
+    receivers: AtomicUsize,
+}
+
+impl<T> Shared<T> {
+    fn queue(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        self.queue.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Creates an unbounded channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(VecDeque::new()),
+        ready: Condvar::new(),
+        senders: AtomicUsize::new(1),
+        receivers: AtomicUsize::new(1),
+    });
+    (
+        Sender {
+            shared: shared.clone(),
+        },
+        Receiver { shared },
+    )
+}
+
+/// Error returned by [`Sender::send`] when all receivers are gone.
+#[derive(PartialEq, Eq, Clone, Copy)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("sending on a disconnected channel")
+    }
+}
+
+impl<T> std::error::Error for SendError<T> {}
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and all
+/// senders are gone.
+#[derive(PartialEq, Eq, Clone, Copy, Debug)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("receiving on an empty and disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(PartialEq, Eq, Clone, Copy, Debug)]
+pub enum TryRecvError {
+    /// The channel is currently empty.
+    Empty,
+    /// The channel is empty and all senders are gone.
+    Disconnected,
+}
+
+impl fmt::Display for TryRecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TryRecvError::Empty => f.write_str("receiving on an empty channel"),
+            TryRecvError::Disconnected => {
+                f.write_str("receiving on an empty and disconnected channel")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TryRecvError {}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(PartialEq, Eq, Clone, Copy, Debug)]
+pub enum RecvTimeoutError {
+    /// No message arrived within the timeout.
+    Timeout,
+    /// The channel is empty and all senders are gone.
+    Disconnected,
+}
+
+impl fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecvTimeoutError::Timeout => f.write_str("timed out waiting on channel"),
+            RecvTimeoutError::Disconnected => {
+                f.write_str("receiving on an empty and disconnected channel")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecvTimeoutError {}
+
+/// The sending half of a channel.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Sender<T> {
+    /// Enqueues `value`, failing if every receiver has been dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        if self.shared.receivers.load(Ordering::Acquire) == 0 {
+            return Err(SendError(value));
+        }
+        self.shared.queue().push_back(value);
+        self.shared.ready.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Sender<T> {
+        self.shared.senders.fetch_add(1, Ordering::AcqRel);
+        Sender {
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        if self.shared.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last sender gone: wake all blocked receivers so they observe
+            // the disconnect. The lock serializes this notify against a
+            // receiver's check-then-wait, preventing a missed wakeup.
+            let _guard = self.shared.queue();
+            self.shared.ready.notify_all();
+        }
+    }
+}
+
+/// The receiving half of a channel.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a message arrives or all senders are gone.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut queue = self.shared.queue();
+        loop {
+            if let Some(v) = queue.pop_front() {
+                return Ok(v);
+            }
+            if self.shared.senders.load(Ordering::Acquire) == 0 {
+                return Err(RecvError);
+            }
+            queue = self
+                .shared
+                .ready
+                .wait(queue)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut queue = self.shared.queue();
+        if let Some(v) = queue.pop_front() {
+            return Ok(v);
+        }
+        if self.shared.senders.load(Ordering::Acquire) == 0 {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    /// Blocks until a message arrives, all senders are gone, or `timeout`
+    /// elapses.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut queue = self.shared.queue();
+        loop {
+            if let Some(v) = queue.pop_front() {
+                return Ok(v);
+            }
+            if self.shared.senders.load(Ordering::Acquire) == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (q, _timed_out) = self
+                .shared
+                .ready
+                .wait_timeout(queue, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            queue = q;
+        }
+    }
+
+    /// Drains and returns every message currently queued, without blocking.
+    pub fn try_iter(&self) -> impl Iterator<Item = T> + '_ {
+        std::iter::from_fn(move || self.try_recv().ok())
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Receiver<T> {
+        self.shared.receivers.fetch_add(1, Ordering::AcqRel);
+        Receiver {
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.shared.receivers.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_recv_fifo() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn disconnect_semantics() {
+        let (tx, rx) = unbounded::<i32>();
+        drop(rx);
+        assert!(tx.send(1).is_err());
+
+        let (tx, rx) = unbounded::<i32>();
+        tx.send(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(7));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn cross_thread_wakeup() {
+        let (tx, rx) = unbounded();
+        let h = std::thread::spawn(move || rx.recv().unwrap());
+        std::thread::sleep(Duration::from_millis(10));
+        tx.send(42).unwrap();
+        assert_eq!(h.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn timeout_elapses() {
+        let (_tx, rx) = unbounded::<i32>();
+        let r = rx.recv_timeout(Duration::from_millis(5));
+        assert_eq!(r, Err(RecvTimeoutError::Timeout));
+    }
+}

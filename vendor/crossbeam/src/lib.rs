@@ -1,0 +1,9 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Implements the subset this repository uses: `crossbeam::channel`'s
+//! unbounded MPMC channel with cloneable senders *and* receivers, built on
+//! `std::sync::{Mutex, Condvar}`. Semantics mirror crossbeam's: `send`
+//! fails once every receiver is gone, `recv` drains remaining messages and
+//! then fails once every sender is gone.
+
+pub mod channel;

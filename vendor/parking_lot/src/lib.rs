@@ -1,0 +1,141 @@
+//! Offline stand-in for `parking_lot`.
+//!
+//! Wraps `std::sync` primitives behind the `parking_lot` API shape the repo
+//! uses: `lock()`/`read()`/`write()` return guards directly (no poison
+//! `Result`). Poisoning is swallowed by continuing with the inner value —
+//! matching `parking_lot`'s no-poisoning semantics.
+
+use std::sync::PoisonError;
+
+pub use self::condvar::Condvar;
+
+/// A mutex whose `lock` never fails.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+/// Guard returned by [`Mutex::lock`].
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex.
+    pub const fn new(value: T) -> Mutex<T> {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, ignoring poisoning (parking_lot semantics).
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Tries to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(g) => Some(g),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// A reader-writer lock whose `read`/`write` never fail.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+
+/// Guard returned by [`RwLock::read`].
+pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
+/// Guard returned by [`RwLock::write`].
+pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
+
+impl<T> RwLock<T> {
+    /// Creates a new rwlock.
+    pub const fn new(value: T) -> RwLock<T> {
+        RwLock(std::sync::RwLock::new(value))
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires a shared read lock, ignoring poisoning.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Acquires an exclusive write lock, ignoring poisoning.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+mod condvar {
+    use super::MutexGuard;
+    use std::sync::PoisonError;
+    use std::time::Duration;
+
+    /// Condition variable compatible with [`super::Mutex`] guards.
+    #[derive(Debug, Default)]
+    pub struct Condvar(std::sync::Condvar);
+
+    impl Condvar {
+        /// Creates a new condition variable.
+        pub const fn new() -> Condvar {
+            Condvar(std::sync::Condvar::new())
+        }
+
+        /// Blocks until notified.
+        pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+            replace_guard(guard, |g| {
+                self.0.wait(g).unwrap_or_else(PoisonError::into_inner)
+            });
+        }
+
+        /// Blocks until notified or the timeout elapses. Returns `true` if
+        /// the wait timed out.
+        pub fn wait_for<T>(&self, guard: &mut MutexGuard<'_, T>, timeout: Duration) -> bool {
+            let mut timed_out = false;
+            replace_guard(guard, |g| {
+                let (g, r) = self
+                    .0
+                    .wait_timeout(g, timeout)
+                    .unwrap_or_else(PoisonError::into_inner);
+                timed_out = r.timed_out();
+                g
+            });
+            timed_out
+        }
+
+        /// Wakes one waiter.
+        pub fn notify_one(&self) {
+            self.0.notify_one();
+        }
+
+        /// Wakes all waiters.
+        pub fn notify_all(&self) {
+            self.0.notify_all();
+        }
+    }
+
+    /// Applies a guard-consuming wait to a `&mut` guard in place.
+    fn replace_guard<T>(
+        slot: &mut MutexGuard<'_, T>,
+        f: impl FnOnce(MutexGuard<'_, T>) -> MutexGuard<'_, T>,
+    ) {
+        // SAFETY-free swap via Option dance: std's wait() consumes the
+        // guard, but callers hold `&mut guard`. Temporarily move it out.
+        unsafe {
+            let guard = std::ptr::read(slot);
+            let new_guard = f(guard);
+            std::ptr::write(slot, new_guard);
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Option strategies: `proptest::option::of`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Generates `None` a quarter of the time, `Some` otherwise.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// See [`of`].
+#[derive(Clone, Debug)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.next_u64() % 4 == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Offline stand-in for `rand` (0.8-era API surface).
+//!
+//! Implements the subset this repository uses: `StdRng` seeded via
+//! `SeedableRng::seed_from_u64`, plus `Rng::{gen_range, gen_bool, gen}`
+//! over integer and float ranges. The generator is xoshiro256** seeded
+//! through SplitMix64 — deterministic per seed, which is all the workload
+//! generators and tests rely on (the exact stream differs from upstream
+//! `rand`; nothing in the repo depends on upstream's stream).
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod rngs {
+    //! Named RNG types.
+    pub use super::StdRng;
+}
+
+/// Seeding interface: the repo only uses `seed_from_u64`.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A deterministic xoshiro256** generator.
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> StdRng {
+        // SplitMix64 expansion, as recommended by the xoshiro authors.
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        StdRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+}
+
+impl StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// The user-facing random-value interface.
+pub trait Rng {
+    /// The next raw 64 bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform `f64` in `[0, 1)`.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// A uniform sample from `range` (half-open or inclusive, ints or
+    /// floats).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p out of range: {p}");
+        self.next_f64() < p
+    }
+
+    /// A random value of a supported type.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+}
+
+impl Rng for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        StdRng::next_u64(self)
+    }
+}
+
+/// Types producible by [`Rng::gen`].
+pub trait Standard {
+    /// Samples one value.
+    fn sample<R: Rng>(rng: &mut R) -> Self;
+}
+
+impl Standard for bool {
+    fn sample<R: Rng>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: Rng>(rng: &mut R) -> f64 {
+        rng.next_f64()
+    }
+}
+
+/// Ranges [`Rng::gen_range`] accepts. Mirrors upstream rand's structure —
+/// blanket impls over [`SampleUniform`] element types — so type inference
+/// behaves the same as with the real crate.
+pub trait SampleRange<T> {
+    /// Samples uniformly from the range.
+    fn sample<R: Rng>(self, rng: &mut R) -> T;
+}
+
+/// Types uniformly sampleable from a `lo..hi` span.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform sample in `[lo, hi)` (`inclusive = false`) or `[lo, hi]`.
+    fn sample_in<R: Rng>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample<R: Rng>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "empty gen_range");
+        T::sample_in(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample<R: Rng>(self, rng: &mut R) -> T {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "empty gen_range");
+        T::sample_in(rng, start, end, true)
+    }
+}
+
+macro_rules! int_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_in<R: Rng>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self {
+                let span = (hi as i128 - lo as i128) as u128 + if inclusive { 1 } else { 0 };
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_in<R: Rng>(rng: &mut R, lo: Self, hi: Self, _inclusive: bool) -> Self {
+                lo + (rng.next_f64() as $t) * (hi - lo)
+            }
+        }
+    )*};
+}
+
+float_uniform!(f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v: i64 = rng.gen_range(-5..5);
+            assert!((-5..5).contains(&v));
+            let v: u64 = rng.gen_range(1..=10);
+            assert!((1..=10).contains(&v));
+            let f: f64 = rng.gen_range(-1.5..2.5);
+            assert!((-1.5..2.5).contains(&f));
+            let f: f64 = rng.gen_range(0.0..=1.0);
+            assert!((0.0..=1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+}

@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` derive macros (as no-ops) and
+//! same-named marker traits so `serde::Serialize` resolves in both the
+//! macro and trait namespaces. No serialization machinery is included —
+//! nothing in this repository serializes values; the derives only mark
+//! wire-safe types.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods in the stub).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods in the stub).
+pub trait Deserialize<'de> {}

@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The real crate is unavailable in this build environment (no network, no
+//! vendored registry). The repo only uses `#[derive(serde::Serialize,
+//! serde::Deserialize)]` plus `#[serde(...)]` helper attributes to mark
+//! types as serializable; nothing actually serializes them. These derives
+//! therefore accept the same syntax and expand to nothing, keeping every
+//! annotated type compiling unchanged.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (and `#[serde(...)]` helpers); emits nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (and `#[serde(...)]` helpers); emits nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
