@@ -1,8 +1,15 @@
 //! Throughput / latency / round-trip benchmark for the `trapp-server`
-//! query service: per-object baseline vs batched source round-trips vs
-//! batching + refresh coalescing, on the zipfian `loadgen` workload.
+//! query service, in two parts:
 //!
-//! Eight closed-loop clients drive the service over a `ChannelTransport`
+//! 1. **traffic mechanisms** (single shard): per-object baseline vs
+//!    batched source round-trips vs batching + refresh coalescing;
+//! 2. **shard scaling**: the same zipfian workload against 1/2/4/8 cache
+//!    shards (`--shards 1,2,4,8`; a single value, e.g. `--shards 4`, runs
+//!    that count against the 1-shard baseline). Group-pinned queries
+//!    route to one shard each; a slice of group-free queries exercises
+//!    the cross-shard scatter-gather + merge path.
+//!
+//! Eight closed-loop clients drive the service over `ChannelTransport`s
 //! with simulated per-round-trip latency; the stream is split into bursts
 //! with the clock advancing between bursts, so every burst's bounds have
 //! re-widened and tight queries must refresh again. Within a burst, hot
@@ -10,14 +17,14 @@
 //!
 //! Every answer is checked against ground truth computed from the master
 //! values (`contains(truth) && width ≤ R`), so the speedup numbers can
-//! never come at the cost of correctness.
+//! never come at the cost of correctness; any violation fails the run.
 
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use trapp_bench::tablefmt;
 use trapp_server::{QueryService, ServiceBuilder, ServiceConfig};
-use trapp_workload::loadgen::{self, AggTemplate, GeneratedQuery, LoadConfig, ServiceWorkload};
+use trapp_workload::loadgen::{self, LoadConfig, ServiceWorkload};
 
 const CLIENTS: usize = 8;
 const BURSTS: usize = 8;
@@ -27,6 +34,7 @@ fn build_service(w: &ServiceWorkload, config: ServiceConfig) -> QueryService {
     let mut b = ServiceBuilder::new()
         .initial_width(1.0)
         .config(config)
+        .partition_by("grp")
         .table(loadgen::table());
     for r in &w.rows {
         b = b.row("metrics", r.source, r.cells.clone());
@@ -34,38 +42,19 @@ fn build_service(w: &ServiceWorkload, config: ServiceConfig) -> QueryService {
     b.build_channel(LATENCY).expect("service builds")
 }
 
-/// Ground truth for one query, from the master values in the row specs.
-fn truth(w: &ServiceWorkload, q: &GeneratedQuery) -> f64 {
-    let mid = (w.config.value_range.0 + w.config.value_range.1) / 2.0;
-    let loads: Vec<f64> = w
-        .rows
-        .iter()
-        .filter(|r| {
-            matches!(&r.cells[0], trapp_types::BoundedValue::Exact(trapp_types::Value::Int(g))
-                if *g == q.group as i64)
-        })
-        .map(|r| r.cells[1].as_interval().expect("load cell").midpoint())
-        .collect();
-    match q.agg {
-        AggTemplate::Count => loads.iter().filter(|&&v| v > mid).count() as f64,
-        AggTemplate::Sum => loads.iter().sum(),
-        AggTemplate::Avg => loads.iter().sum::<f64>() / loads.len() as f64,
-        AggTemplate::Min => loads.iter().fold(f64::INFINITY, |a, &b| a.min(b)),
-    }
-}
-
 struct RunResult {
-    label: &'static str,
+    label: String,
     wall: Duration,
     latencies_us: Vec<f64>,
     queries: u64,
+    scattered: u64,
     round_trips: u64,
     forwarded: u64,
     coalesced: u64,
     violations: usize,
 }
 
-fn run(label: &'static str, w: &ServiceWorkload, config: ServiceConfig) -> RunResult {
+fn run(label: impl Into<String>, w: &ServiceWorkload, config: ServiceConfig) -> RunResult {
     let service = build_service(w, config);
     let latencies = Mutex::new(Vec::with_capacity(w.queries.len()));
     let violations = Mutex::new(0usize);
@@ -87,7 +76,7 @@ fn run(label: &'static str, w: &ServiceWorkload, config: ServiceConfig) -> RunRe
                         let us = t0.elapsed().as_secs_f64() * 1e6;
                         latencies.lock().unwrap().push(us);
                         let range = reply.result.answer.range;
-                        let t = truth(w, q);
+                        let t = loadgen::ground_truth(w, q);
                         let contains = range.lo() - 1e-9 <= t && t <= range.hi() + 1e-9;
                         if !contains || !reply.result.satisfied {
                             *violations.lock().unwrap() += 1;
@@ -102,10 +91,11 @@ fn run(label: &'static str, w: &ServiceWorkload, config: ServiceConfig) -> RunRe
     let stats = service.stats();
     service.shutdown();
     RunResult {
-        label,
+        label: label.into(),
         wall,
         latencies_us: latencies.into_inner().unwrap(),
         queries: stats.queries,
+        scattered: stats.scatter_queries,
         round_trips: stats.round_trips,
         forwarded: stats.refreshes_forwarded,
         coalesced: stats.refreshes_coalesced,
@@ -121,7 +111,89 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
     sorted[idx]
 }
 
+fn render(title: &str, runs: &[RunResult]) -> usize {
+    let mut rows = Vec::new();
+    let mut total_violations = 0;
+    for r in runs {
+        let mut sorted = r.latencies_us.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let qps = r.queries as f64 / r.wall.as_secs_f64();
+        rows.push(vec![
+            r.label.clone(),
+            tablefmt::num(r.wall.as_secs_f64() * 1e3, 1),
+            tablefmt::num(qps, 0),
+            tablefmt::num(percentile(&sorted, 0.5), 0),
+            tablefmt::num(percentile(&sorted, 0.95), 0),
+            r.scattered.to_string(),
+            r.round_trips.to_string(),
+            tablefmt::num(r.round_trips as f64 / r.queries.max(1) as f64, 2),
+            r.forwarded.to_string(),
+            r.coalesced.to_string(),
+            r.violations.to_string(),
+        ]);
+        total_violations += r.violations;
+    }
+    println!("{title}");
+    println!(
+        "{}",
+        tablefmt::render(
+            &[
+                "config",
+                "wall ms",
+                "qps",
+                "p50 µs",
+                "p95 µs",
+                "scattered",
+                "round-trips",
+                "rt/query",
+                "refreshes",
+                "coalesced",
+                "violations",
+            ],
+            &rows,
+        )
+    );
+    total_violations
+}
+
+/// Parses `--shards LIST` (comma-separated). A single value above 1 gets
+/// the 1-shard baseline prepended so one invocation shows the comparison.
+fn shard_counts() -> Vec<usize> {
+    let mut args = std::env::args().skip(1);
+    let mut list: Vec<usize> = vec![1, 2, 4, 8];
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--shards" => {
+                let spec = args.next().unwrap_or_else(|| {
+                    eprintln!("--shards needs a value, e.g. --shards 4 or --shards 1,2,4,8");
+                    std::process::exit(2);
+                });
+                list = spec
+                    .split(',')
+                    .map(|s| {
+                        s.trim().parse().unwrap_or_else(|_| {
+                            eprintln!("invalid shard count {s:?}");
+                            std::process::exit(2);
+                        })
+                    })
+                    .collect();
+                if list.len() == 1 && list[0] > 1 {
+                    list.insert(0, 1);
+                }
+            }
+            other => {
+                eprintln!("unknown argument {other:?}; supported: --shards LIST");
+                std::process::exit(2);
+            }
+        }
+    }
+    list
+}
+
 fn main() {
+    let shard_list = shard_counts();
+
+    // Part 1: the traffic mechanisms on one shard (the PR-1 comparison).
     let config = LoadConfig::default();
     let w = loadgen::generate(&config);
     eprintln!(
@@ -135,13 +207,13 @@ fn main() {
         CLIENTS,
         LATENCY,
     );
-
-    let runs = [
+    let mechanisms = [
         run(
             "per-object (seed baseline)",
             &w,
             ServiceConfig {
                 workers: CLIENTS,
+                shards: 1,
                 coalesce: false,
                 batch_refreshes: false,
             },
@@ -151,6 +223,7 @@ fn main() {
             &w,
             ServiceConfig {
                 workers: CLIENTS,
+                shards: 1,
                 coalesce: false,
                 batch_refreshes: true,
             },
@@ -160,61 +233,67 @@ fn main() {
             &w,
             ServiceConfig {
                 workers: CLIENTS,
+                shards: 1,
                 coalesce: true,
                 batch_refreshes: true,
             },
         ),
     ];
+    let mut total_violations = render("traffic mechanisms (1 shard):", &mechanisms);
 
-    let mut rows = Vec::new();
-    let mut total_violations = 0;
-    for r in &runs {
-        let mut sorted = r.latencies_us.clone();
-        sorted.sort_by(|a, b| a.total_cmp(b));
-        let qps = r.queries as f64 / r.wall.as_secs_f64();
-        rows.push(vec![
-            r.label.to_string(),
-            tablefmt::num(r.wall.as_secs_f64() * 1e3, 1),
-            tablefmt::num(qps, 0),
-            tablefmt::num(percentile(&sorted, 0.5), 0),
-            tablefmt::num(percentile(&sorted, 0.95), 0),
-            r.round_trips.to_string(),
-            tablefmt::num(r.round_trips as f64 / r.queries as f64, 2),
-            r.forwarded.to_string(),
-            r.coalesced.to_string(),
-        ]);
-        total_violations += r.violations;
+    // Part 2: shard scaling. More groups so every shard owns several, and
+    // a slice of group-free queries to keep the scatter-gather merge path
+    // honest under load.
+    let scale_config = LoadConfig {
+        seed: 97,
+        groups: 64,
+        rows_per_group: 12,
+        sources: 4,
+        queries: 1024,
+        global_fraction: 0.02,
+        ..LoadConfig::default()
+    };
+    let sw = loadgen::generate(&scale_config);
+    eprintln!(
+        "\nscaling workload: {} rows ({} groups × {}), {} queries ({}% global)",
+        sw.rows.len(),
+        scale_config.groups,
+        scale_config.rows_per_group,
+        sw.queries.len(),
+        (scale_config.global_fraction * 100.0) as u32,
+    );
+    let scaling: Vec<RunResult> = shard_list
+        .iter()
+        .map(|&shards| {
+            run(
+                format!("{shards} shard{}", if shards == 1 { "" } else { "s" }),
+                &sw,
+                ServiceConfig {
+                    workers: CLIENTS,
+                    shards,
+                    coalesce: true,
+                    batch_refreshes: true,
+                },
+            )
+        })
+        .collect();
+    println!();
+    total_violations += render("shard scaling (batched + coalesced):", &scaling);
+
+    if let (Some(first), Some(last)) = (scaling.first(), scaling.last()) {
+        if scaling.len() > 1 {
+            let qps = |r: &RunResult| r.queries as f64 / r.wall.as_secs_f64();
+            println!(
+                "throughput {} -> {}: {} -> {} qps ({}x)",
+                first.label,
+                last.label,
+                tablefmt::num(qps(first), 0),
+                tablefmt::num(qps(last), 0),
+                tablefmt::num(qps(last) / qps(first), 2),
+            );
+        }
     }
-    println!(
-        "{}",
-        tablefmt::render(
-            &[
-                "config",
-                "wall ms",
-                "qps",
-                "p50 µs",
-                "p95 µs",
-                "round-trips",
-                "rt/query",
-                "refreshes",
-                "coalesced",
-            ],
-            &rows,
-        )
-    );
-
-    let baseline = &runs[0];
-    let best = &runs[2];
-    println!(
-        "round-trips per query: {} -> {} ({}x reduction); bounded-answer violations: {}",
-        tablefmt::num(baseline.round_trips as f64 / baseline.queries as f64, 2),
-        tablefmt::num(best.round_trips as f64 / best.queries as f64, 2),
-        tablefmt::num(
-            baseline.round_trips as f64 / best.round_trips.max(1) as f64,
-            1
-        ),
-        total_violations,
-    );
+    println!("bounded-answer violations: {total_violations}");
     if total_violations > 0 {
         eprintln!("FAIL: some answers violated their precision contract");
         std::process::exit(1);

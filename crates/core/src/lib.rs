@@ -20,6 +20,10 @@
 //! * [`executor`] — the three-step query execution loop of §4
 //!   (answer from cache → CHOOSE_REFRESH → refresh → recompute), wired to a
 //!   pluggable [`executor::RefreshOracle`];
+//! * [`merge`] — cross-shard partial-aggregate merging: per-shard
+//!   [`AggInput`]s recombine into the exact single-cache input, so a
+//!   sharded deployment's answers and refresh plans are bit-equivalent to
+//!   one cache's (the gather half of `trapp-server`'s scatter-gather);
 //! * [`group_by`] — `GROUP BY` over exact columns (§8.1 extension);
 //! * [`relative`] — relative precision constraints (§8.1 extension);
 //! * [`verify`] — validation helpers used by tests and debug assertions:
@@ -32,14 +36,17 @@
 pub mod agg;
 pub mod executor;
 pub mod group_by;
+pub mod merge;
 pub mod plan;
 pub mod refresh;
 pub mod relative;
 pub mod verify;
 
-pub use agg::{AggInput, AggItem, Aggregate, BoundedAnswer};
+pub use agg::{bounded_answer, AggInput, AggItem, Aggregate, BoundedAnswer};
 pub use executor::{
-    ExecutionMode, QueryResult, QuerySession, RefreshOracle, SessionConfig, TableOracle,
+    ExecutionMode, PartialQuery, QueryResult, QuerySession, RefreshOracle, SessionConfig,
+    TableOracle,
 };
+pub use merge::{merge_partials, ShardPartial};
 pub use plan::BoundQuery;
 pub use refresh::{choose_refresh, RefreshPlan, SolverStrategy};

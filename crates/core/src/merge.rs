@@ -1,0 +1,258 @@
+//! Cross-shard partial-aggregate merging: the *gather* half of a sharded
+//! TRAPP deployment's scatter-gather execution.
+//!
+//! A sharded serving layer splits a table's rows across N caches. A query
+//! whose group set spans shards is answered by asking every shard for its
+//! **partial input** — the shard's classified, evaluated [`AggInput`]
+//! ([`QuerySession::partial_query`](crate::executor::QuerySession::partial_query))
+//! — and merging those partials back into the exact `AggInput` a single
+//! cache holding all the rows would have built. Bounds are then derived
+//! *once*, from the merged input, by the ordinary
+//! [`bounded_answer`](crate::agg::bounded_answer) /
+//! [`choose_refresh`](crate::refresh::choose_refresh) machinery:
+//!
+//! * COUNT merges by summing the per-band cardinalities (exact in `f64`);
+//! * SUM/AVG merge by re-running the interval sum / tight Appendix E
+//!   algorithm over the union of items;
+//! * MIN/MAX merge by folding interval endpoints (associative and exact).
+//!
+//! Deriving the bounds from the merged *input* — rather than combining
+//! per-shard answer intervals — is what makes the sharded answer
+//! **bit-equivalent** to the single-cache answer: floating-point addition
+//! is not associative, so summing per-shard partial sums would drift in
+//! the last ulp, and the tight AVG bound is not decomposable at all. It
+//! also lets CHOOSE_REFRESH plan globally, so a sharded deployment
+//! refreshes exactly the tuples a single cache would have chosen.
+//!
+//! ## Tuple-id spaces
+//!
+//! Each shard numbers its tuples locally. Before merging, the caller must
+//! rewrite every item's [`AggItem::tid`] into a shared *global* id space
+//! ([`ShardPartial::rewrite_tids`]); the ids must be unique across shards.
+//! When the global ids equal the tuple ids a single cache would have
+//! assigned (insertion order), the merged input — item order included —
+//! reproduces the single-cache input exactly.
+
+use crate::agg::{AggInput, AggItem};
+use crate::Aggregate;
+use trapp_expr::Band;
+use trapp_types::{TrappError, TupleId};
+
+/// One shard's contribution to a scatter-gathered aggregate: the bound
+/// query's shape plus the shard's evaluated input.
+///
+/// Produced by
+/// [`QuerySession::partial_query`](crate::executor::QuerySession::partial_query);
+/// consumed by [`merge_partials`] after tuple-id rewriting.
+#[derive(Clone, Debug)]
+pub struct ShardPartial {
+    /// The queried table.
+    pub table: String,
+    /// The aggregate.
+    pub agg: Aggregate,
+    /// Precision constraint `R` (`None` = ∞).
+    pub within: Option<f64>,
+    /// The shard's classified, evaluated aggregate input.
+    pub input: AggInput,
+}
+
+impl ShardPartial {
+    /// Rewrites every item's tuple id via `f` — shard-local ids into the
+    /// global id space shared by all partials of one query.
+    pub fn rewrite_tids(&mut self, mut f: impl FnMut(TupleId) -> TupleId) {
+        for item in &mut self.input.items {
+            item.tid = f(item.tid);
+        }
+    }
+}
+
+/// Merges per-shard partial inputs into the input a single cache holding
+/// every row would have built.
+///
+/// Items are re-ordered exactly as [`AggInput::build`] orders them — all
+/// `T+` items by ascending tuple id, then all `T?` items by ascending
+/// tuple id — so every downstream consumer (bounded answers, refresh
+/// planning, tie-breaking) behaves bit-identically to the single-cache
+/// path. `minus_count` and the §8.3 cardinality slack add componentwise.
+///
+/// Tuple ids must already be globally unique (see
+/// [`ShardPartial::rewrite_tids`]); duplicates are rejected because a
+/// tuple counted by two shards would silently double its contribution.
+pub fn merge_partials(inputs: impl IntoIterator<Item = AggInput>) -> Result<AggInput, TrappError> {
+    let mut items: Vec<AggItem> = Vec::new();
+    let mut minus_count = 0usize;
+    let mut slack = (0u64, 0u64);
+    for input in inputs {
+        items.extend(input.items);
+        minus_count += input.minus_count;
+        slack.0 += input.cardinality_slack.0;
+        slack.1 += input.cardinality_slack.1;
+    }
+    // AggInput::build order: T+ in tid order, then T? in tid order.
+    items.sort_by_key(|i| (i.band != Band::Plus, i.tid));
+    if items.windows(2).any(|w| w[0].tid == w[1].tid) {
+        return Err(TrappError::Internal(
+            "merge_partials: duplicate tuple id across shard partials \
+             (rewrite shard-local ids to a global space first)"
+                .into(),
+        ));
+    }
+    Ok(AggInput {
+        items,
+        minus_count,
+        cardinality_slack: slack,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::test_fixture::*;
+    use crate::agg::{bounded_answer, AggInput};
+    use crate::executor::QuerySession;
+    use crate::refresh::{choose_refresh, SolverStrategy};
+    use trapp_expr::{BinaryOp, ColumnRef, Expr};
+    use trapp_storage::Table;
+    use trapp_types::Value;
+
+    fn col(name: &str) -> Expr<usize> {
+        Expr::Column(ColumnRef::bare(name)).bind(&schema()).unwrap()
+    }
+
+    fn cmp(name: &str, op: BinaryOp, k: f64) -> Expr<usize> {
+        Expr::binary(
+            op,
+            Expr::Column(ColumnRef::bare(name)),
+            Expr::Literal(Value::Float(k)),
+        )
+        .bind(&schema())
+        .unwrap()
+    }
+
+    /// Splits the Figure 2 table into `n` shard tables (row `i` → shard
+    /// `i % n`) and returns the per-shard tables plus each shard's
+    /// local→global tid map (global = position in the original table).
+    fn split(n: usize) -> Vec<(Table, Vec<TupleId>)> {
+        let whole = links_table();
+        let mut shards: Vec<(Table, Vec<TupleId>)> = (0..n)
+            .map(|_| (Table::new("links", schema()), Vec::new()))
+            .collect();
+        for (global, row) in whole.scan() {
+            let s = (global.raw() as usize - 1) % n;
+            let cells = row.cells().to_vec();
+            let (table, map) = &mut shards[s];
+            table
+                .insert_with_cost(cells, whole.cost(global).unwrap())
+                .unwrap();
+            map.push(global);
+        }
+        shards
+    }
+
+    fn merged_input(
+        n: usize,
+        predicate: Option<&Expr<usize>>,
+        arg: Option<&Expr<usize>>,
+    ) -> AggInput {
+        let partials = split(n).into_iter().map(|(table, map)| {
+            let mut input = AggInput::build(&table, predicate, arg).unwrap();
+            for item in &mut input.items {
+                item.tid = map[item.tid.raw() as usize - 1];
+            }
+            input
+        });
+        merge_partials(partials).unwrap()
+    }
+
+    /// The merged input must literally equal the single-table input —
+    /// items, order, bands, intervals, costs — for every shard count.
+    #[test]
+    fn merge_reconstructs_single_table_input() {
+        let whole = links_table();
+        for (pred, arg) in [
+            (None, Some(col("traffic"))),
+            (
+                Some(cmp("latency", BinaryOp::Gt, 10.0)),
+                Some(col("latency")),
+            ),
+            (Some(cmp("traffic", BinaryOp::Gt, 100.0)), None),
+        ] {
+            let reference = AggInput::build(&whole, pred.as_ref(), arg.as_ref()).unwrap();
+            for n in 1..=4 {
+                let merged = merged_input(n, pred.as_ref(), arg.as_ref());
+                assert_eq!(merged.items, reference.items, "n={n}");
+                assert_eq!(merged.minus_count, reference.minus_count);
+                assert_eq!(merged.cardinality_slack, reference.cardinality_slack);
+            }
+        }
+    }
+
+    /// Bit-equivalent answers and identical refresh plans from the merged
+    /// input, for every aggregate and shard count.
+    #[test]
+    fn merged_answers_and_plans_are_bit_equal() {
+        let whole = links_table();
+        let arg = col("traffic");
+        let reference = AggInput::build(&whole, None, Some(&arg)).unwrap();
+        for n in 1..=4 {
+            let merged = merged_input(n, None, Some(&arg));
+            for agg in [
+                Aggregate::Count,
+                Aggregate::Sum,
+                Aggregate::Avg,
+                Aggregate::Min,
+                Aggregate::Max,
+            ] {
+                let a = bounded_answer(agg, &reference).unwrap();
+                let b = bounded_answer(agg, &merged).unwrap();
+                assert_eq!(a.range, b.range, "{agg}, n={n}");
+                let pa = choose_refresh(agg, &reference, 10.0, SolverStrategy::Exact).unwrap();
+                let pb = choose_refresh(agg, &merged, 10.0, SolverStrategy::Exact).unwrap();
+                assert_eq!(pa.tuples, pb.tuples, "{agg}, n={n}");
+                assert_eq!(pa.planned_cost, pb.planned_cost);
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_global_ids_are_rejected() {
+        let whole = links_table();
+        let input = AggInput::build(&whole, None, Some(&col("latency"))).unwrap();
+        let err = merge_partials([input.clone(), input]).unwrap_err();
+        assert!(matches!(err, TrappError::Internal(_)));
+    }
+
+    /// `partial_query` on a one-shard session agrees with `plan_query`'s
+    /// view of the same query.
+    #[test]
+    fn partial_query_matches_direct_build() {
+        let session = QuerySession::new(links_table());
+        let query = trapp_sql::parse_query("SELECT SUM(traffic) WITHIN 10 FROM links").unwrap();
+        let partial = match session.partial_query(&query).unwrap() {
+            crate::executor::PartialQuery::Partial(p) => p,
+            other => panic!("expected partial, got {other:?}"),
+        };
+        assert_eq!(partial.table, "links");
+        assert_eq!(partial.agg, Aggregate::Sum);
+        assert_eq!(partial.within, Some(10.0));
+        let direct = AggInput::build(&links_table(), None, Some(&col("traffic"))).unwrap();
+        assert_eq!(partial.input.items, direct.items);
+    }
+
+    #[test]
+    fn partial_query_rejects_unshardable_shapes() {
+        let session = QuerySession::new(links_table());
+        for sql in [
+            "SELECT SUM(latency) WITHIN 5 FROM links GROUP BY from_node",
+            "SELECT SUM(latency) FROM links, links2",
+        ] {
+            let Ok(query) = trapp_sql::parse_query(sql) else {
+                continue;
+            };
+            match session.partial_query(&query) {
+                Ok(crate::executor::PartialQuery::Unsupported) | Err(_) => {}
+                Ok(other) => panic!("{sql}: expected unsupported, got {other:?}"),
+            }
+        }
+    }
+}

@@ -1,20 +1,30 @@
 //! # trapp-server
 //!
-//! A concurrent multi-client query service over the TRAPP replication
-//! substrate — the serving layer the paper's single-cache, one-query-at-a-
-//! time loop (§3–§4) grows into under heavy traffic.
+//! A concurrent, **sharded** multi-client query service over the TRAPP
+//! replication substrate — the serving layer the paper's single-cache,
+//! one-query-at-a-time loop (§3–§4) grows into under heavy traffic.
 //!
 //! Clients submit TRAPP/AG SQL with precision constraints from many
-//! threads; a worker pool executes them against one [`CacheNode`] behind
-//! two traffic-reduction mechanisms:
+//! threads. A worker pool executes them against
+//! [`ServiceConfig::shards`] independent [`CacheNode`]s whose group key
+//! space is hash-partitioned by a [`ShardRouter`]:
 //!
-//! * **batched source round-trips** — each CHOOSE_REFRESH plan issues one
-//!   [`Transport::request_refresh_batch`] per *source* instead of one
-//!   round-trip per *object*;
-//! * **refresh coalescing** — a shared [`RefreshGateway`] in-flight table
-//!   lets queries overlapping on an object at the same logical instant
-//!   share a single refresh, with per-query stats recording the refreshes
-//!   saved.
+//! * **group-routed queries** (`… WHERE grp = 7 …`) run entirely on one
+//!   shard — queries for different groups share no lock, which is what
+//!   lets throughput scale with the shard count;
+//! * **shard-spanning queries** scatter to every shard for partial
+//!   aggregate inputs, merge them via [`trapp_core::merge`] into exactly
+//!   the input a single cache would hold, plan CHOOSE_REFRESH globally,
+//!   and fetch every shard's slice of the plan concurrently — so the
+//!   sharded answer is *bit-equivalent* to the single-cache answer;
+//! * within each shard, the two traffic reducers from the single-cache
+//!   service still apply: **batched source round-trips** (one
+//!   [`Transport::request_refresh_batch`] per source per plan) and
+//!   **refresh coalescing** (a per-shard single-flight [`RefreshGateway`]
+//!   in-flight table).
+//!
+//! See `ARCHITECTURE.md` at the repository root for the full data-flow
+//! walkthrough.
 //!
 //! ```
 //! use trapp_server::{ServiceBuilder, ServiceConfig};
@@ -22,26 +32,39 @@
 //! use trapp_types::{BoundedValue, SourceId, Value, ValueType};
 //!
 //! let schema = Schema::new(vec![
-//!     ColumnDef::exact("name", ValueType::Str),
+//!     ColumnDef::exact("grp", ValueType::Int),
 //!     ColumnDef::bounded_float("load"),
 //! ])
 //! .unwrap();
-//! let service = ServiceBuilder::new()
-//!     .table(Table::new("nodes", schema))
-//!     .row(
-//!         "nodes",
-//!         SourceId::new(1),
+//! let mut builder = ServiceBuilder::new()
+//!     .table(Table::new("metrics", schema))
+//!     .partition_by("grp") // rows place on shards by hash of `grp`
+//!     .config(ServiceConfig {
+//!         shards: 4,
+//!         ..ServiceConfig::default()
+//!     });
+//! for group in 0..8i64 {
+//!     builder = builder.row(
+//!         "metrics",
+//!         SourceId::new(1 + (group as u64) % 2),
 //!         vec![
-//!             BoundedValue::Exact(Value::Str("a".into())),
-//!             BoundedValue::exact_f64(42.0).unwrap(),
+//!             BoundedValue::Exact(Value::Int(group)),
+//!             BoundedValue::exact_f64(10.0 * group as f64).unwrap(),
 //!         ],
-//!     )
-//!     .config(ServiceConfig::default())
-//!     .build_direct()
-//!     .unwrap();
+//!     );
+//! }
+//! let service = builder.build_direct().unwrap();
 //!
-//! let reply = service.query("SELECT SUM(load) WITHIN 1 FROM nodes").unwrap();
+//! // Pinned to group 3: routed to the one shard that owns it.
+//! let reply = service
+//!     .query("SELECT SUM(load) WITHIN 1 FROM metrics WHERE grp = 3")
+//!     .unwrap();
 //! assert!(reply.result.satisfied);
+//!
+//! // No group pin: scatter-gathered across all four shards and merged.
+//! let reply = service.query("SELECT SUM(load) WITHIN 1 FROM metrics").unwrap();
+//! assert!(reply.result.satisfied);
+//! assert_eq!(service.stats().scatter_queries, 1);
 //! ```
 //!
 //! [`CacheNode`]: trapp_system::CacheNode
@@ -51,9 +74,11 @@
 #![deny(unsafe_code)]
 
 pub mod gateway;
+pub mod router;
 pub mod service;
 
 pub use gateway::RefreshGateway;
+pub use router::{Route, ShardRouter};
 pub use service::{
     QueryService, QueryTicket, ServiceBuilder, ServiceConfig, ServiceReply, ServiceStats,
 };

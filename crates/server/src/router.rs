@@ -1,0 +1,267 @@
+//! The shard router: partition metadata and per-shard state for a
+//! multi-cache query service.
+//!
+//! A sharded [`QueryService`](crate::QueryService) owns N [`Shard`]s, each
+//! a fully independent TRAPP stack — its own [`CacheNode`], its own
+//! single-flight [`RefreshGateway`], its own transport with its own source
+//! actors — so shards never contend on locks or in-flight tables. Rows are
+//! placed at build time by hashing the *partition column* (an exact
+//! integer group key) with [`trapp_types::shard_of`]; rows of tables
+//! without the column (or with non-integer keys) fall back to hashing
+//! their global tuple id, which spreads them evenly but makes their
+//! queries scatter-gather.
+//!
+//! The router answers three questions:
+//!
+//! * [`route`](ShardRouter::route) — which shard(s) must a parsed query
+//!   touch? A query whose predicate pins the partition column to one group
+//!   (`… WHERE grp = 7 AND …`) of a fully group-placed table runs on that
+//!   group's shard alone; everything else scatters.
+//! * `locate` — where does a global tuple id live? (Used to split a
+//!   globally planned CHOOSE_REFRESH across shards.)
+//! * `object_shard` — which shard's cache is subscribed to a replicated
+//!   object? (Used to deliver updates.)
+//!
+//! Tuple ids are *global* at the service boundary and *local* inside each
+//! shard; the maps here translate both directions. Global ids equal the
+//! ids a single cache ingesting the same rows would have assigned, which
+//! is what makes scatter-gathered answers bit-equivalent to single-cache
+//! answers (see [`trapp_core::merge`]).
+
+use std::collections::{HashMap, HashSet};
+
+use parking_lot::Mutex;
+use trapp_expr::{BinaryOp, ColumnRef, Expr};
+use trapp_sql::Query;
+use trapp_system::{CacheNode, Transport};
+use trapp_types::{shard_of, CacheId, ObjectId, TrappError, TupleId, Value};
+
+use crate::gateway::RefreshGateway;
+
+/// A tuple-id translation map, bucketed per table so lookups hash a
+/// `&str` instead of allocating a `(String, TupleId)` key per probe.
+pub(crate) type TidMap<V> = HashMap<String, HashMap<TupleId, V>>;
+
+/// One shard of the service: an independent cache + gateway + transport
+/// stack plus its local→global tuple-id map.
+pub struct Shard {
+    pub(crate) cache: Mutex<CacheNode>,
+    pub(crate) cache_id: CacheId,
+    pub(crate) gateway: RefreshGateway<Box<dyn Transport>>,
+    /// table → (local tid → global tid). Empty = identity (the
+    /// single-shard compatibility path).
+    to_global: TidMap<TupleId>,
+}
+
+impl Shard {
+    /// Wraps a wired cache and its transport into a shard.
+    pub(crate) fn new(
+        cache: CacheNode,
+        transport: Box<dyn Transport>,
+        coalesce: bool,
+        to_global: TidMap<TupleId>,
+    ) -> Shard {
+        Shard {
+            cache_id: cache.id(),
+            cache: Mutex::new(cache),
+            gateway: RefreshGateway::new(transport, coalesce),
+            to_global,
+        }
+    }
+
+    /// Translates a shard-local tuple id to the global id space.
+    pub(crate) fn global_tid(&self, table: &str, local: TupleId) -> TupleId {
+        self.to_global
+            .get(table)
+            .and_then(|m| m.get(&local))
+            .copied()
+            .unwrap_or(local)
+    }
+}
+
+/// Where a query must run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Route {
+    /// Every row the query can touch lives on this one shard.
+    Single(usize),
+    /// The query's group set (potentially) spans shards: scatter the
+    /// partial-input request to every shard and gather-merge.
+    Scatter,
+}
+
+/// Partition metadata plus the shards themselves. See the module docs.
+pub struct ShardRouter {
+    shards: Vec<Shard>,
+    partition_column: Option<String>,
+    /// Tables whose every row was placed by the partition column — only
+    /// their group-pinned queries may be routed to a single shard.
+    group_placed: HashSet<String>,
+    /// table → (global tid → (shard, local tid)). Empty = identity on
+    /// shard 0.
+    from_global: TidMap<(usize, TupleId)>,
+    /// Replicated object → owning shard.
+    object_shard: HashMap<ObjectId, usize>,
+}
+
+impl ShardRouter {
+    /// Assembles a router over wired shards. The object→shard index is
+    /// derived from each cache's bound objects.
+    pub(crate) fn new(
+        shards: Vec<Shard>,
+        partition_column: Option<String>,
+        group_placed: HashSet<String>,
+        from_global: TidMap<(usize, TupleId)>,
+    ) -> ShardRouter {
+        assert!(!shards.is_empty(), "a service needs at least one shard");
+        let mut object_shard = HashMap::new();
+        for (idx, shard) in shards.iter().enumerate() {
+            for (object, _) in shard.cache.lock().objects() {
+                object_shard.insert(object, idx);
+            }
+        }
+        ShardRouter {
+            shards,
+            partition_column,
+            group_placed,
+            from_global,
+            object_shard,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shards, in index order.
+    pub(crate) fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    /// One shard by index.
+    pub(crate) fn shard(&self, idx: usize) -> &Shard {
+        &self.shards[idx]
+    }
+
+    /// Decides where `query` runs: a single shard when its predicate pins
+    /// the partition column to one group of a fully group-placed table,
+    /// scatter-gather otherwise. One-shard services always route single.
+    pub fn route(&self, query: &Query) -> Route {
+        if self.shards.len() == 1 {
+            return Route::Single(0);
+        }
+        let Some(col) = &self.partition_column else {
+            return Route::Scatter;
+        };
+        let [table] = query.tables.as_slice() else {
+            return Route::Scatter;
+        };
+        if !self.group_placed.contains(table) {
+            return Route::Scatter;
+        }
+        match query
+            .predicate
+            .as_ref()
+            .and_then(|p| pinned_group(p, col, table))
+        {
+            Some(group) => Route::Single(shard_of(group as u64, self.shards.len())),
+            None => Route::Scatter,
+        }
+    }
+
+    /// Resolves a global tuple id to its shard and local id.
+    pub(crate) fn locate(
+        &self,
+        table: &str,
+        global: TupleId,
+    ) -> Result<(usize, TupleId), TrappError> {
+        if self.from_global.is_empty() {
+            return Ok((0, global));
+        }
+        self.from_global
+            .get(table)
+            .and_then(|m| m.get(&global))
+            .copied()
+            .ok_or_else(|| TrappError::Internal(format!("no shard holds {table} tuple {global}")))
+    }
+
+    /// The shard whose cache is subscribed to `object`, if any.
+    pub(crate) fn object_shard(&self, object: ObjectId) -> Option<usize> {
+        self.object_shard.get(&object).copied()
+    }
+}
+
+/// Extracts the group an AND-tree of conjuncts pins the partition column
+/// to: a conjunct of the form `col = <int>` (either operand order), with
+/// `col` bare or qualified by the queried table. OR branches and other
+/// comparisons never pin — they may admit several groups.
+fn pinned_group(pred: &Expr<ColumnRef>, col: &str, table: &str) -> Option<i64> {
+    match pred {
+        Expr::Binary(BinaryOp::And, a, b) => {
+            pinned_group(a, col, table).or_else(|| pinned_group(b, col, table))
+        }
+        Expr::Binary(BinaryOp::Eq, a, b) => {
+            eq_group(a, b, col, table).or_else(|| eq_group(b, a, col, table))
+        }
+        _ => None,
+    }
+}
+
+/// `lhs = rhs` where `lhs` is the partition column and `rhs` an integer
+/// literal (the SQL lexer produces floats, so integral floats count).
+fn eq_group(lhs: &Expr<ColumnRef>, rhs: &Expr<ColumnRef>, col: &str, table: &str) -> Option<i64> {
+    let Expr::Column(c) = lhs else {
+        return None;
+    };
+    let g = match rhs {
+        Expr::Literal(Value::Int(g)) => *g,
+        Expr::Literal(Value::Float(g)) if g.fract() == 0.0 && g.abs() <= i64::MAX as f64 => {
+            *g as i64
+        }
+        _ => return None,
+    };
+    let qualified_ok = c.table.as_deref().is_none_or(|t| t == table);
+    (c.column == col && qualified_ok).then_some(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pred(sql: &str) -> Expr<ColumnRef> {
+        trapp_sql::parse_query(&format!("SELECT SUM(load) FROM metrics WHERE {sql}"))
+            .unwrap()
+            .predicate
+            .unwrap()
+    }
+
+    #[test]
+    fn pins_group_through_and_trees() {
+        assert_eq!(pinned_group(&pred("grp = 3"), "grp", "metrics"), Some(3));
+        assert_eq!(
+            pinned_group(&pred("load > 5 AND grp = 7"), "grp", "metrics"),
+            Some(7)
+        );
+        assert_eq!(
+            pinned_group(&pred("3 = grp AND load > 5"), "grp", "metrics"),
+            Some(3)
+        );
+        assert_eq!(
+            pinned_group(&pred("metrics.grp = 2"), "grp", "metrics"),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn refuses_to_pin_when_groups_may_vary() {
+        for p in [
+            "grp > 3",            // range: many groups
+            "grp = 1 OR grp = 2", // disjunction
+            "other.grp = 1",      // different table
+            "load = 3",           // different column
+            "NOT grp = 3",        // negation
+        ] {
+            assert_eq!(pinned_group(&pred(p), "grp", "metrics"), None, "{p}");
+        }
+    }
+}

@@ -1,39 +1,58 @@
-//! The query service: a concurrent multi-client front-end over one TRAPP
-//! cache.
+//! The query service: a concurrent multi-client front-end over one or
+//! more TRAPP cache shards.
 //!
 //! Clients [`submit`](QueryService::submit) TRAPP/AG SQL with precision
 //! constraints from any thread; a pool of worker threads drains the shared
-//! job queue and executes each query against the [`CacheNode`]. Two
-//! mechanisms cut the refresh traffic that dominates tight-precision
-//! workloads:
+//! job queue. The service hash-partitions the group key space over
+//! [`ServiceConfig::shards`] independent [`CacheNode`]s (see
+//! [`crate::ShardRouter`]) and executes each query on the
+//! narrowest footprint that can answer it:
 //!
-//! * **batched source round-trips** — the cache's oracle serves each
-//!   CHOOSE_REFRESH plan with one [`Transport::request_refresh_batch`] per
-//!   source instead of one round-trip per object;
-//! * **refresh coalescing** — all workers share one
-//!   [`RefreshGateway`](crate::RefreshGateway), so queries overlapping on
-//!   an object at the same logical instant share a single refresh.
+//! * **single-shard** — a query whose predicate pins the partition column
+//!   to one group runs entirely on that group's shard: plan under that
+//!   shard's lock, fetch through that shard's gateway, install + answer
+//!   under the lock again. Queries for different groups proceed in
+//!   parallel with *no shared lock at all* — the scaling mechanism.
+//! * **scatter-gather** — a query whose group set spans shards asks every
+//!   shard for its partial aggregate input under *all* shard locks at
+//!   once (a short, consistent snapshot — updates cannot interleave
+//!   between shards mid-gather), merges them with
+//!   [`trapp_core::merge::merge_partials`] into exactly the input one
+//!   big cache would hold, plans CHOOSE_REFRESH *globally* over the merged
+//!   input, splits the plan back per shard, fetches every shard's slice
+//!   **concurrently** with no locks held, installs per shard, and
+//!   recomputes. Deriving bounds only from the merged input keeps the
+//!   sharded answer bit-equivalent to the single-cache answer.
 //!
-//! Execution is phased so that the expensive part — source round-trips —
-//! runs *outside* the cache lock:
+//! Within each shard the two PR-1 traffic reducers still apply: **batched
+//! source round-trips** (one [`Transport::request_refresh_batch`] per
+//! source per plan) and **refresh coalescing** (a per-shard single-flight
+//! [`RefreshGateway`](crate::RefreshGateway); keying the in-flight table
+//! per shard is free because objects never span shards).
 //!
-//! 1. **plan** (cache lock): materialize bounds at the current instant,
+//! Execution stays phased so source round-trips run *outside* every cache
+//! lock:
+//!
+//! 1. **plan** (shard lock): materialize bounds at the current instant,
 //!    compute the cache-only answer; if the constraint is unmet, take the
-//!    CHOOSE_REFRESH plan ([`trapp_core::executor::PlannedQuery`]);
+//!    CHOOSE_REFRESH plan;
 //! 2. **fetch** (no lock): resolve the plan's tuples to replicated objects
-//!    and pull them through the shared gateway — concurrent queries'
-//!    round-trips overlap here, and the gateway's single-flight table
-//!    de-duplicates overlapping objects;
-//! 3. **install + answer** (cache lock): install the refreshes and re-run
-//!    the query; the CHOOSE_REFRESH guarantee makes the second pass
-//!    satisfied from cache, and if a concurrent clock advance re-widened
-//!    anything, the classic locked path patches the gap.
+//!    and pull them through the owning shard's gateway — concurrent
+//!    queries' round-trips overlap here, and cross-shard fetches of one
+//!    query overlap with *each other*;
+//! 3. **install + answer** (shard lock): install the refreshes and re-run;
+//!    the CHOOSE_REFRESH guarantee makes the second pass satisfied from
+//!    cache unless the clock advanced concurrently, in which case the loop
+//!    repeats.
 //!
-//! Every answer is therefore computed against a consistent snapshot and
-//! meets its precision constraint under any interleaving; what batching
-//! and coalescing change is the *traffic*, which `trapp-bench`'s
-//! `service_throughput` binary measures rather than asserts.
+//! If one shard of a scatter fails mid-fetch, the refreshes that did
+//! arrive are still installed (their sources already narrowed their
+//! tracked bounds — dropping them would desynchronize cache and Refresh
+//! Monitor) and the query returns
+//! [`TrappError::PartialResult`] instead of a bound that silently ignores
+//! the missing shard.
 
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -41,21 +60,33 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use trapp_bounds::BoundShape;
-use trapp_core::executor::QueryResult;
+use trapp_core::executor::{PartialQuery, PlannedQuery, QueryResult};
+use trapp_core::{bounded_answer, choose_refresh, merge_partials, BoundedAnswer};
 use trapp_storage::Table;
 use trapp_system::{
     CacheNode, ChannelTransport, CostModel, DirectTransport, SimClock, Source, Transport,
 };
-use trapp_types::{BoundedValue, CacheId, ObjectId, SourceId, TrappError, TupleId};
+use trapp_types::{
+    shard_of, BoundedValue, CacheId, ObjectId, SourceId, TrappError, TupleId, Value,
+};
 
-use crate::gateway::RefreshGateway;
+use crate::gateway::{FetchOutcome, FetchStats};
+use crate::router::{Route, Shard, ShardRouter, TidMap};
+
+/// Safety valve for the scatter-gather loop: each extra round means a
+/// concurrent clock advance re-widened bounds mid-query.
+const MAX_SCATTER_ROUNDS: usize = 8;
 
 /// Service tuning knobs.
 #[derive(Clone, Copy, Debug)]
 pub struct ServiceConfig {
     /// Worker threads draining the query queue.
     pub workers: usize,
-    /// Share refreshes across queries via the gateway's in-flight table.
+    /// Number of cache shards the group key space is hash-partitioned
+    /// over. `1` reproduces the single-cache service exactly.
+    pub shards: usize,
+    /// Share refreshes across queries via each shard gateway's in-flight
+    /// table.
     pub coalesce: bool,
     /// Serve refresh plans with one round-trip per source (`false` falls
     /// back to the per-object seed path — the measurable baseline).
@@ -66,6 +97,7 @@ impl Default for ServiceConfig {
     fn default() -> ServiceConfig {
         ServiceConfig {
             workers: 4,
+            shards: 1,
             coalesce: true,
             batch_refreshes: true,
         }
@@ -75,14 +107,16 @@ impl Default for ServiceConfig {
 /// One query's answer plus its per-query service accounting.
 #[derive(Clone, Debug)]
 pub struct ServiceReply {
-    /// The executor's result (bounded answer, refresh plan, cost).
+    /// The executor's result (bounded answer, refresh plan, cost). For
+    /// scatter-gathered queries, `refreshed` is reported in the global
+    /// tuple-id space.
     pub result: QueryResult,
-    /// Refreshes this query obtained from the shared in-flight table
+    /// Refreshes this query obtained from a shared in-flight table
     /// instead of a source — work another query already paid for.
     pub refreshes_saved: u64,
-    /// Transport round-trips this query actually issued.
+    /// Transport round-trips this query actually issued (all shards).
     pub round_trips: u64,
-    /// Time spent executing at the cache (excludes queue wait).
+    /// Time spent executing (excludes queue wait).
     pub exec_time: Duration,
 }
 
@@ -93,7 +127,9 @@ pub struct ServiceStats {
     pub queries: u64,
     /// Queries that returned an error.
     pub errors: u64,
-    /// Refreshes served from the in-flight table across all queries.
+    /// Queries answered by cross-shard scatter-gather.
+    pub scatter_queries: u64,
+    /// Refreshes served from in-flight tables across all queries/shards.
     pub refreshes_coalesced: u64,
     /// Refreshes forwarded to sources.
     pub refreshes_forwarded: u64,
@@ -107,9 +143,7 @@ struct Job {
 }
 
 struct ServiceCore {
-    cache: Mutex<CacheNode>,
-    cache_id: CacheId,
-    gateway: RefreshGateway<Box<dyn Transport>>,
+    router: ShardRouter,
     clock: SimClock,
     batch_refreshes: bool,
     counters: Mutex<ServiceStats>,
@@ -123,9 +157,10 @@ impl ServiceCore {
 
         let mut counters = self.counters.lock();
         match outcome {
-            Ok((result, stats)) => {
+            Ok((result, stats, scattered)) => {
                 counters.queries += 1;
                 counters.round_trips += stats.round_trips;
+                counters.scatter_queries += u64::from(scattered);
                 Ok(ServiceReply {
                     result,
                     refreshes_saved: stats.coalesced,
@@ -140,43 +175,60 @@ impl ServiceCore {
         }
     }
 
-    fn run_query_inner(
-        &self,
-        sql: &str,
-    ) -> Result<(QueryResult, crate::gateway::FetchStats), TrappError> {
-        use trapp_core::executor::PlannedQuery;
-
+    fn run_query_inner(&self, sql: &str) -> Result<(QueryResult, FetchStats, bool), TrappError> {
         let query = trapp_sql::parse_query(sql)?;
-        // Phase 1 — plan under the cache lock, against bounds materialized
+        match self.router.route(&query) {
+            Route::Single(s) => self
+                .run_on_shard(&query, s)
+                .map(|(result, stats)| (result, stats, false)),
+            Route::Scatter => self
+                .run_scatter(&query)
+                .map(|(result, stats)| (result, stats, true)),
+        }
+    }
+
+    /// The single-shard phased execution: plan → fetch → install + answer,
+    /// all against one shard's cache and gateway.
+    fn run_on_shard(
+        &self,
+        query: &trapp_sql::Query,
+        idx: usize,
+    ) -> Result<(QueryResult, FetchStats), TrappError> {
+        let shard = self.router.shard(idx);
+        // Phase 1 — plan under the shard lock, against bounds materialized
         // at this instant.
         let now;
         let planned = {
-            let mut cache = self.cache.lock();
+            let mut cache = shard.cache.lock();
             cache.materialize()?;
             now = self.clock.now();
-            cache.session().plan_query(&query)?
+            cache.session().plan_query(query)?
         };
         match planned {
-            PlannedQuery::Satisfied(result) => Ok((result, crate::gateway::FetchStats::default())),
+            PlannedQuery::Satisfied(result) => Ok((result, FetchStats::default())),
             PlannedQuery::Unsupported => {
                 // Joins / grouped / iterative: the classic locked loop.
-                // (Refresh traffic still flows through the gateway, so
-                // coalescing and the global counters stay coherent; only
-                // the per-query round-trip attribution is unavailable.)
-                let mut cache = self.cache.lock();
-                let result = cache.execute(&query, &self.gateway)?;
-                Ok((result, crate::gateway::FetchStats::default()))
+                // (Refresh traffic still flows through the shard gateway,
+                // so coalescing and the global counters stay coherent;
+                // only the per-query round-trip attribution is
+                // unavailable.)
+                let mut cache = shard.cache.lock();
+                let mut result = cache.execute(query, &shard.gateway)?;
+                for (table, tid) in &mut result.refreshed {
+                    *tid = shard.global_tid(table, *tid);
+                }
+                Ok((result, FetchStats::default()))
             }
             PlannedQuery::NeedsRefresh {
                 table,
                 tuples,
                 refresh_cost,
+                initial,
             } => {
                 // Resolve tuples to (source, objects) with a short lock.
                 let plan: Vec<(SourceId, Vec<ObjectId>)> = {
-                    let cache = self.cache.lock();
-                    let mut per_source: std::collections::BTreeMap<SourceId, Vec<ObjectId>> =
-                        std::collections::BTreeMap::new();
+                    let cache = shard.cache.lock();
+                    let mut per_source: BTreeMap<SourceId, Vec<ObjectId>> = BTreeMap::new();
                     for &tid in &tuples {
                         for (object, source) in cache.objects_backing(&table, tid)? {
                             per_source.entry(source).or_default().push(object);
@@ -188,22 +240,25 @@ impl ServiceCore {
                 // Phase 2 — fetch with the cache lock RELEASED: concurrent
                 // queries overlap their round-trips here and the gateway
                 // coalesces shared objects.
-                let outcome = self
+                let outcome = shard
                     .gateway
-                    .fetch(self.cache_id, now, &plan, self.batch_refreshes);
+                    .fetch(shard.cache_id, now, &plan, self.batch_refreshes);
 
                 // Phase 3 — install and answer under the lock. Refreshes
                 // obtained before a partial failure are installed too —
                 // their sources already narrowed their tracked bounds, and
                 // dropping them would desynchronize cache and monitor.
-                let mut cache = self.cache.lock();
+                let mut cache = shard.cache.lock();
                 for refresh in outcome.refreshes {
                     cache.install_refresh(refresh)?;
                 }
                 if let Some(e) = outcome.error {
                     return Err(e);
                 }
-                let mut result = cache.execute(&query, &self.gateway)?;
+                let mut result = cache.execute(query, &shard.gateway)?;
+                // The second pass saw pinned cells; report the true
+                // pre-refresh initial answer from planning time.
+                result.initial_answer = initial;
                 if result.refreshed.is_empty() {
                     // The normal case: the second pass was satisfied from
                     // the pinned cells. Attribute the work this query
@@ -212,8 +267,198 @@ impl ServiceCore {
                     result.refresh_cost = refresh_cost;
                     result.rounds = 1;
                 }
+                for (table, tid) in &mut result.refreshed {
+                    *tid = shard.global_tid(table, *tid);
+                }
                 Ok((result, outcome.stats))
             }
+        }
+    }
+
+    /// Cross-shard scatter-gather: partial inputs from every shard, a
+    /// global plan over the merged input, concurrent per-shard fetches,
+    /// per-shard installs, merged recompute. See the module docs.
+    fn run_scatter(
+        &self,
+        query: &trapp_sql::Query,
+    ) -> Result<(QueryResult, FetchStats), TrappError> {
+        let mut stats = FetchStats::default();
+        let mut refreshed: Vec<(String, TupleId)> = Vec::new();
+        let mut cost = 0.0;
+        let mut rounds = 0usize;
+        let mut initial: Option<BoundedAnswer> = None;
+
+        loop {
+            // Gather phase: take *every* shard's lock (in index order —
+            // this is the only multi-lock acquisition in the service, so
+            // ordered acquisition cannot deadlock) and only then build the
+            // partial inputs. Holding all locks makes the merged input a
+            // consistent snapshot: an update cannot land on shard 1 after
+            // shard 0 was already gathered, which would merge bounds from
+            // two different logical states into an answer that was valid
+            // at no instant.
+            let mut inputs = Vec::with_capacity(self.router.shard_count());
+            let mut shape: Option<(String, trapp_core::Aggregate, Option<f64>)> = None;
+            let mut strategy = trapp_core::SolverStrategy::default();
+            let now;
+            {
+                let mut guards: Vec<_> = self
+                    .router
+                    .shards()
+                    .iter()
+                    .map(|s| s.cache.lock())
+                    .collect();
+                for (shard, cache) in self.router.shards().iter().zip(guards.iter_mut()) {
+                    cache.materialize()?;
+                    strategy = cache.session().config.strategy;
+                    match cache.session().partial_query(query)? {
+                        PartialQuery::Partial(mut p) => {
+                            let table = p.table.clone();
+                            p.rewrite_tids(|tid| shard.global_tid(&table, tid));
+                            shape.get_or_insert((p.table, p.agg, p.within));
+                            inputs.push(p.input);
+                        }
+                        PartialQuery::Unsupported => {
+                            return Err(TrappError::Unsupported(
+                                "joins, GROUP BY, and iterative execution cannot be \
+                                 scatter-gathered across shards; run them on a \
+                                 single-shard service (shards = 1)"
+                                    .into(),
+                            ))
+                        }
+                    }
+                }
+                now = self.clock.now();
+            }
+            let (table, agg, within) = shape.expect("at least one shard");
+            let merged = merge_partials(inputs)?;
+            let answer = bounded_answer(agg, &merged)?;
+            let initial_answer = *initial.get_or_insert(answer);
+
+            if answer.satisfies(within) {
+                return Ok((
+                    QueryResult {
+                        answer,
+                        initial_answer,
+                        refreshed,
+                        refresh_cost: cost,
+                        rounds,
+                        satisfied: true,
+                    },
+                    stats,
+                ));
+            }
+            if rounds >= MAX_SCATTER_ROUNDS {
+                return Err(TrappError::Internal(format!(
+                    "scatter-gather did not converge in {rounds} rounds \
+                     (bounds kept re-widening under the refresh plan)"
+                )));
+            }
+
+            // Plan phase: CHOOSE_REFRESH over the merged input — exactly
+            // the plan a single cache holding every row would pick.
+            let r = within.expect("unsatisfied implies finite R");
+            let plan = choose_refresh(agg, &merged, r, strategy)?;
+            if plan.tuples.is_empty() {
+                // No refresh can help further (e.g. MEDIAN's slack).
+                return Ok((
+                    QueryResult {
+                        answer,
+                        initial_answer,
+                        refreshed,
+                        refresh_cost: cost,
+                        rounds,
+                        satisfied: false,
+                    },
+                    stats,
+                ));
+            }
+            rounds += 1;
+            cost += plan.planned_cost;
+
+            // Split the global plan by owning shard and resolve each
+            // shard's tuples to (source, objects) under a short lock.
+            let shard_count = self.router.shard_count();
+            let mut local_tuples: Vec<Vec<TupleId>> = vec![Vec::new(); shard_count];
+            for &gtid in &plan.tuples {
+                let (s, local) = self.router.locate(&table, gtid)?;
+                local_tuples[s].push(local);
+                // A later round (concurrent clock advance) may re-plan a
+                // tuple already refreshed; report each tuple once, like
+                // the single-shard attribution does.
+                if !refreshed.iter().any(|(t, id)| *id == gtid && t == &table) {
+                    refreshed.push((table.clone(), gtid));
+                }
+            }
+            let mut fetch_plans: Vec<Vec<(SourceId, Vec<ObjectId>)>> =
+                vec![Vec::new(); shard_count];
+            for (s, tuples) in local_tuples.iter().enumerate() {
+                if tuples.is_empty() {
+                    continue;
+                }
+                let cache = self.router.shard(s).cache.lock();
+                let mut per_source: BTreeMap<SourceId, Vec<ObjectId>> = BTreeMap::new();
+                for &tid in tuples {
+                    for (object, source) in cache.objects_backing(&table, tid)? {
+                        per_source.entry(source).or_default().push(object);
+                    }
+                }
+                fetch_plans[s] = per_source.into_iter().collect();
+            }
+
+            // Fetch phase: every shard's slice in parallel, no cache locks
+            // held — the cross-shard round-trips overlap each other *and*
+            // other queries' fetches on the same shards.
+            let outcomes: Vec<(usize, FetchOutcome)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = fetch_plans
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, plan)| !plan.is_empty())
+                    .map(|(s, plan)| {
+                        let shard = self.router.shard(s);
+                        scope.spawn(move || {
+                            (
+                                s,
+                                shard.gateway.fetch(
+                                    shard.cache_id,
+                                    now,
+                                    plan,
+                                    self.batch_refreshes,
+                                ),
+                            )
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("scatter fetch panicked"))
+                    .collect()
+            });
+
+            // Install phase: everything that arrived goes in — even on a
+            // failed shard, its sources already narrowed their tracked
+            // bounds — then a failure surfaces as a partial-result error
+            // rather than a bound that pretends the lost shard is exact.
+            let mut failure: Option<(usize, TrappError)> = None;
+            for (s, outcome) in outcomes {
+                let mut cache = self.router.shard(s).cache.lock();
+                for refresh in outcome.refreshes {
+                    cache.install_refresh(refresh)?;
+                }
+                stats.round_trips += outcome.stats.round_trips;
+                stats.coalesced += outcome.stats.coalesced;
+                stats.forwarded += outcome.stats.forwarded;
+                if let Some(e) = outcome.error {
+                    failure.get_or_insert((s, e));
+                }
+            }
+            if let Some((s, e)) = failure {
+                return Err(TrappError::PartialResult(format!(
+                    "shard {s} failed while refreshing its slice of the plan: {e}"
+                )));
+            }
+            // Loop: recompute the merged answer. The CHOOSE_REFRESH
+            // guarantee makes it satisfied unless the clock advanced.
         }
     }
 }
@@ -240,30 +485,37 @@ pub struct QueryService {
 }
 
 impl QueryService {
-    /// Starts a service over an already-wired cache + transport. Most
-    /// callers want [`ServiceBuilder`] instead.
+    /// Starts a single-shard service over an already-wired cache +
+    /// transport. Most callers want [`ServiceBuilder`] (which also builds
+    /// sharded services).
     pub fn start(
         cache: CacheNode,
         transport: impl Transport + 'static,
         clock: SimClock,
-        mut config: ServiceConfig,
+        config: ServiceConfig,
     ) -> QueryService {
         let mut cache = cache;
         cache.set_batch_refreshes(config.batch_refreshes);
-        config.workers = config.workers.max(1);
+        let shard = Shard::new(
+            cache,
+            Box::new(transport) as Box<dyn Transport>,
+            config.coalesce,
+            HashMap::new(),
+        );
+        let router = ShardRouter::new(vec![shard], None, HashSet::new(), HashMap::new());
+        QueryService::start_router(router, clock, config)
+    }
+
+    /// Starts workers over an assembled router.
+    fn start_router(router: ShardRouter, clock: SimClock, config: ServiceConfig) -> QueryService {
         let core = Arc::new(ServiceCore {
-            cache_id: cache.id(),
-            cache: Mutex::new(cache),
-            gateway: RefreshGateway::new(
-                Box::new(transport) as Box<dyn Transport>,
-                config.coalesce,
-            ),
+            router,
             clock,
             batch_refreshes: config.batch_refreshes,
             counters: Mutex::new(ServiceStats::default()),
         });
         let (jobs_tx, jobs_rx) = unbounded::<Job>();
-        let workers = (0..config.workers)
+        let workers = (0..config.workers.max(1))
             .map(|i| {
                 let core = core.clone();
                 let rx = jobs_rx.clone();
@@ -304,18 +556,23 @@ impl QueryService {
     }
 
     /// Applies an update to a replicated object's master value, delivering
-    /// any value-initiated refreshes to the cache. Returns how many were
-    /// delivered.
+    /// any value-initiated refreshes to the owning shard's cache. Returns
+    /// how many were delivered.
     pub fn apply_update(&self, object: ObjectId, value: f64) -> Result<usize, TrappError> {
-        let mut cache = self.core.cache.lock();
+        let idx = self
+            .core
+            .router
+            .object_shard(object)
+            .ok_or_else(|| TrappError::RefreshFailed(format!("{object} is not replicated")))?;
+        let shard = self.core.router.shard(idx);
+        let mut cache = shard.cache.lock();
         let source = cache
             .route(object)
             .map(|r| r.source)
             .ok_or_else(|| TrappError::RefreshFailed(format!("{object} is not replicated")))?;
-        let refreshes =
-            self.core
-                .gateway
-                .apply_update(source, object, value, self.core.clock.now())?;
+        let refreshes = shard
+            .gateway
+            .apply_update(source, object, value, self.core.clock.now())?;
         let n = refreshes.len();
         for (cache_id, refresh) in refreshes {
             debug_assert_eq!(cache_id, cache.id());
@@ -334,17 +591,31 @@ impl QueryService {
         &self.core.clock
     }
 
-    /// Runs `f` against the cache (setup, inspection); serialized with
-    /// query execution.
+    /// Number of cache shards.
+    pub fn shard_count(&self) -> usize {
+        self.core.router.shard_count()
+    }
+
+    /// Runs `f` against shard 0's cache (setup, inspection); serialized
+    /// with query execution on that shard. Sharded services usually want
+    /// [`QueryService::with_shard_cache`].
     pub fn with_cache<R>(&self, f: impl FnOnce(&mut CacheNode) -> R) -> R {
-        f(&mut self.core.cache.lock())
+        self.with_shard_cache(0, f)
+    }
+
+    /// Runs `f` against one shard's cache; serialized with query execution
+    /// on that shard.
+    pub fn with_shard_cache<R>(&self, shard: usize, f: impl FnOnce(&mut CacheNode) -> R) -> R {
+        f(&mut self.core.router.shard(shard).cache.lock())
     }
 
     /// A consistent snapshot of the aggregate counters.
     pub fn stats(&self) -> ServiceStats {
         let mut s = *self.core.counters.lock();
-        s.refreshes_coalesced = self.core.gateway.refreshes_coalesced();
-        s.refreshes_forwarded = self.core.gateway.refreshes_forwarded();
+        for shard in self.core.router.shards() {
+            s.refreshes_coalesced += shard.gateway.refreshes_coalesced();
+            s.refreshes_forwarded += shard.gateway.refreshes_forwarded();
+        }
         s
     }
 
@@ -367,19 +638,36 @@ impl Drop for QueryService {
     }
 }
 
+/// Everything `wire` produces for one shard, before the transport choice.
+struct WiredShard {
+    cache: CacheNode,
+    sources: Vec<Source>,
+    to_global: TidMap<TupleId>,
+}
+
 /// Declarative service setup: tables, then rows bound to sources, then
 /// [`build_direct`](ServiceBuilder::build_direct) or
 /// [`build_channel`](ServiceBuilder::build_channel).
 ///
-/// Mirrors [`trapp_system::Simulation`]'s wiring exactly (same object-id
+/// With `config.shards = 1` (the default) this mirrors
+/// [`trapp_system::Simulation`]'s wiring exactly (same object-id
 /// assignment order, same subscription flow, same cost model), so a
 /// service and a simulation built from the same specs hold identical
 /// initial state — the property the correctness tests lean on.
+///
+/// With more shards, rows are placed by hashing the
+/// [`partition_by`](ServiceBuilder::partition_by) column's exact integer
+/// value ([`trapp_types::shard_of`]); rows without such a cell spread by
+/// global tuple id. Global tuple ids and object ids are assigned in the
+/// same order as the single-shard build, so the *union* of the shards is
+/// cell-for-cell the single-shard service — which is what makes sharded
+/// answers comparable (indeed bit-equal) across shard counts.
 pub struct ServiceBuilder {
     shape: BoundShape,
     initial_width: f64,
     cost_model: CostModel,
     config: ServiceConfig,
+    partition_by: Option<String>,
     tables: Vec<Table>,
     rows: Vec<(String, SourceId, Vec<BoundedValue>)>,
 }
@@ -391,6 +679,7 @@ impl Default for ServiceBuilder {
             initial_width: 1.0,
             cost_model: CostModel::unit(),
             config: ServiceConfig::default(),
+            partition_by: None,
             tables: Vec::new(),
             rows: Vec::new(),
         }
@@ -427,6 +716,15 @@ impl ServiceBuilder {
         self
     }
 
+    /// Names the partition column: rows are placed on shards by the hash
+    /// of this column's exact integer value, and queries pinning it to one
+    /// group route to a single shard. Without it, a multi-shard service
+    /// spreads rows by tuple id and answers every query by scatter-gather.
+    pub fn partition_by(mut self, column: impl Into<String>) -> Self {
+        self.partition_by = Some(column.into());
+        self
+    }
+
     /// Adds a cached table (rows via [`ServiceBuilder::row`]).
     pub fn table(mut self, table: Table) -> Self {
         self.tables.push(table);
@@ -446,63 +744,177 @@ impl ServiceBuilder {
         self
     }
 
-    /// Builds over the synchronous [`DirectTransport`].
+    /// Builds over the synchronous [`DirectTransport`] (one per shard).
     pub fn build_direct(self) -> Result<QueryService, TrappError> {
-        let config = self.config;
-        let (clock, cache, sources) = self.wire()?;
-        let mut transport = DirectTransport::new();
-        for source in sources {
-            transport.add_source(source);
-        }
-        Ok(QueryService::start(cache, transport, clock, config))
+        self.build_with(|sources| {
+            let mut transport = DirectTransport::new();
+            for source in sources {
+                transport.add_source(source);
+            }
+            Box::new(transport) as Box<dyn Transport>
+        })
     }
 
     /// Builds over the threaded [`ChannelTransport`] with the given
-    /// simulated one-way latency per round-trip.
+    /// simulated one-way latency per round-trip (one transport — and one
+    /// set of source actor threads — per shard).
     pub fn build_channel(self, latency: Duration) -> Result<QueryService, TrappError> {
-        let config = self.config;
-        let (clock, cache, sources) = self.wire()?;
-        let mut transport = ChannelTransport::new(latency);
-        for source in sources {
-            transport.add_source(source);
-        }
-        Ok(QueryService::start(cache, transport, clock, config))
+        self.build_with(move |sources| {
+            let mut transport = ChannelTransport::new(latency);
+            for source in sources {
+                transport.add_source(source);
+            }
+            Box::new(transport) as Box<dyn Transport>
+        })
     }
 
-    /// Shared wiring: registers objects, subscribes the cache, prices
-    /// tuples — transport-agnostic because subscription happens before the
-    /// sources move behind a transport.
-    fn wire(self) -> Result<(SimClock, CacheNode, Vec<Source>), TrappError> {
+    /// Shared build: wire the shards, wrap each one's sources in a
+    /// transport, assemble the router, start the workers.
+    fn build_with(
+        self,
+        mut make_transport: impl FnMut(Vec<Source>) -> Box<dyn Transport>,
+    ) -> Result<QueryService, TrappError> {
+        let config = self.config;
+        let partition_column = self.partition_by.clone();
+        let (clock, wired, group_placed, from_global) = self.wire()?;
+        let shards = wired
+            .into_iter()
+            .map(|w| {
+                let mut cache = w.cache;
+                cache.set_batch_refreshes(config.batch_refreshes);
+                Shard::new(
+                    cache,
+                    make_transport(w.sources),
+                    config.coalesce,
+                    w.to_global,
+                )
+            })
+            .collect();
+        let router = ShardRouter::new(shards, partition_column, group_placed, from_global);
+        Ok(QueryService::start_router(router, clock, config))
+    }
+
+    /// The shard a row lands on: hash of the partition cell's exact
+    /// integer value when available, hash of the global tuple id
+    /// otherwise. Returns the shard plus whether the row was group-placed.
+    fn place(
+        partition_by: Option<&str>,
+        table: &Table,
+        cells: &[BoundedValue],
+        global_tid: TupleId,
+        shards: usize,
+    ) -> (usize, bool) {
+        if let Some(col) = partition_by {
+            if let Ok(idx) = table.schema().column_index(col) {
+                if let Some(BoundedValue::Exact(Value::Int(g))) = cells.get(idx) {
+                    return (shard_of(*g as u64, shards), true);
+                }
+            }
+        }
+        (shard_of(global_tid.raw(), shards), false)
+    }
+
+    /// Shared wiring: registers objects, subscribes each shard's cache,
+    /// prices tuples — transport-agnostic because subscription happens
+    /// before the sources move behind a transport.
+    #[allow(clippy::type_complexity)]
+    fn wire(
+        self,
+    ) -> Result<
+        (
+            SimClock,
+            Vec<WiredShard>,
+            HashSet<String>,
+            TidMap<(usize, TupleId)>,
+        ),
+        TrappError,
+    > {
         self.cost_model.validate()?;
+        let shards = self.config.shards.max(1);
         let clock = SimClock::new();
         let now = clock.now();
-        let mut cache = CacheNode::new(CacheId::new(1), clock.clone());
-        for table in self.tables {
-            cache.add_table(table)?;
-        }
 
-        let mut sources: Vec<Source> = Vec::new();
+        let mut wired: Vec<WiredShard> = (0..shards)
+            .map(|i| {
+                Ok(WiredShard {
+                    cache: {
+                        let mut cache = CacheNode::new(CacheId::new(i as u64 + 1), clock.clone());
+                        for table in &self.tables {
+                            cache.add_table(table.clone())?;
+                        }
+                        cache
+                    },
+                    sources: Vec::new(),
+                    to_global: HashMap::new(),
+                })
+            })
+            .collect::<Result<_, TrappError>>()?;
+
+        // Tables start fully group-placed; any row that falls back to
+        // tuple-id placement revokes single-shard routing for its table.
+        let mut group_placed: HashSet<String> =
+            self.tables.iter().map(|t| t.name().to_owned()).collect();
+        let mut from_global: TidMap<(usize, TupleId)> = HashMap::new();
+
+        // Global id assignment matches the single-shard build exactly:
+        // tuple ids count up per table in row order, object ids count up
+        // across all rows in row order.
+        let mut next_global: HashMap<String, u64> = HashMap::new();
         let mut next_object = 1u64;
-        for (table, source_id, cells) in self.rows {
-            if !sources.iter().any(|s| s.id() == source_id) {
-                sources.push(Source::new(source_id, self.shape));
+
+        for (table_name, source_id, cells) in self.rows {
+            let counter = next_global.entry(table_name.clone()).or_insert(1);
+            let global_tid = TupleId::new(*counter);
+            *counter += 1;
+
+            let template = self
+                .tables
+                .iter()
+                .find(|t| t.name() == table_name)
+                .ok_or_else(|| TrappError::UnknownTable(table_name.clone()))?;
+            let (shard_idx, by_group) = Self::place(
+                self.partition_by.as_deref(),
+                template,
+                &cells,
+                global_tid,
+                shards,
+            );
+            if !by_group {
+                group_placed.remove(&table_name);
             }
-            let source = sources
+            let shard = &mut wired[shard_idx];
+
+            if !shard.sources.iter().any(|s| s.id() == source_id) {
+                shard.sources.push(Source::new(source_id, self.shape));
+            }
+            let source = shard
+                .sources
                 .iter_mut()
                 .find(|s| s.id() == source_id)
                 .expect("just ensured");
 
-            let bounded_cols = cache
+            let bounded_cols = shard
+                .cache
                 .session()
                 .catalog()
-                .table(&table)?
+                .table(&table_name)?
                 .schema()
                 .bounded_columns();
-            let tid: TupleId = cache
+            let tid: TupleId = shard
+                .cache
                 .session_mut()
                 .catalog_mut()
-                .table_mut(&table)?
+                .table_mut(&table_name)?
                 .insert(cells.clone())?;
+            shard
+                .to_global
+                .entry(table_name.clone())
+                .or_default()
+                .insert(tid, global_tid);
+            from_global
+                .entry(table_name.clone())
+                .or_default()
+                .insert(global_tid, (shard_idx, tid));
 
             let mut tuple_cost = 0.0;
             for &col in &bounded_cols {
@@ -514,17 +926,21 @@ impl ServiceBuilder {
                 let object = ObjectId::new(next_object);
                 next_object += 1;
                 source.register_object(object, initial)?;
-                cache.bind_object(object, source_id, table.as_str(), tid, col)?;
-                let refresh = source.subscribe(cache.id(), object, self.initial_width, now)?;
-                cache.install_refresh(refresh)?;
+                shard
+                    .cache
+                    .bind_object(object, source_id, table_name.as_str(), tid, col)?;
+                let refresh =
+                    source.subscribe(shard.cache.id(), object, self.initial_width, now)?;
+                shard.cache.install_refresh(refresh)?;
                 tuple_cost += self.cost_model.cost(source_id, object);
             }
-            cache
+            shard
+                .cache
                 .session_mut()
                 .catalog_mut()
-                .table_mut(&table)?
+                .table_mut(&table_name)?
                 .set_cost(tid, tuple_cost.max(f64::MIN_POSITIVE))?;
         }
-        Ok((clock, cache, sources))
+        Ok((clock, wired, group_placed, from_global))
     }
 }

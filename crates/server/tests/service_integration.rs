@@ -12,8 +12,8 @@ use std::time::Duration;
 
 use trapp_server::{QueryService, ServiceBuilder, ServiceConfig};
 use trapp_system::Simulation;
-use trapp_types::{BoundedValue, SourceId, Value};
-use trapp_workload::loadgen::{self, AggTemplate, GeneratedQuery, LoadConfig, ServiceWorkload};
+use trapp_types::SourceId;
+use trapp_workload::loadgen::{self, LoadConfig, ServiceWorkload};
 
 fn small_workload() -> ServiceWorkload {
     loadgen::generate(&LoadConfig {
@@ -46,25 +46,6 @@ fn build_service(w: &ServiceWorkload, config: ServiceConfig) -> QueryService {
     b.build_direct().unwrap()
 }
 
-/// Ground truth for one query from the master values in the row specs.
-fn truth(w: &ServiceWorkload, q: &GeneratedQuery) -> f64 {
-    let mid = (w.config.value_range.0 + w.config.value_range.1) / 2.0;
-    let loads: Vec<f64> = w
-        .rows
-        .iter()
-        .filter(
-            |r| matches!(&r.cells[0], BoundedValue::Exact(Value::Int(g)) if *g == q.group as i64),
-        )
-        .map(|r| r.cells[1].as_interval().unwrap().midpoint())
-        .collect();
-    match q.agg {
-        AggTemplate::Count => loads.iter().filter(|&&v| v > mid).count() as f64,
-        AggTemplate::Sum => loads.iter().sum(),
-        AggTemplate::Avg => loads.iter().sum::<f64>() / loads.len() as f64,
-        AggTemplate::Min => loads.iter().fold(f64::INFINITY, |a, &b| a.min(b)),
-    }
-}
-
 /// Run sequentially through the service and the simulation in lockstep:
 /// every answer, refresh set, and cost must match exactly — the service's
 /// phased plan/fetch/install execution is semantically the seed loop.
@@ -76,6 +57,7 @@ fn sequential_service_is_bit_identical_to_simulation() {
         &w,
         ServiceConfig {
             workers: 1,
+            shards: 1,
             coalesce: true,
             batch_refreshes: true,
         },
@@ -119,6 +101,7 @@ fn eight_concurrent_clients_get_correct_bounded_answers() {
         &w,
         ServiceConfig {
             workers: 8,
+            shards: 1,
             coalesce: true,
             batch_refreshes: true,
         },
@@ -134,7 +117,7 @@ fn eight_concurrent_clients_get_correct_bounded_answers() {
             s.spawn(move || {
                 for q in chunk {
                     let reply = service_ref.query(&q.sql).unwrap();
-                    let t = truth(w_ref, q);
+                    let t = loadgen::ground_truth(w_ref, q);
                     let range = reply.result.answer.range;
                     assert!(reply.result.satisfied, "{}", q.sql);
                     assert!(
@@ -171,6 +154,7 @@ fn overlapping_concurrent_queries_share_refreshes() {
             &w,
             ServiceConfig {
                 workers: 2,
+                shards: 1,
                 coalesce,
                 batch_refreshes: true,
             },
@@ -223,6 +207,7 @@ fn coalescing_saves_refreshes_under_latency() {
     let mut b = ServiceBuilder::new()
         .config(ServiceConfig {
             workers: 4,
+            shards: 1,
             coalesce: true,
             batch_refreshes: true,
         })

@@ -1,0 +1,247 @@
+//! Cross-shard scatter-gather correctness: the sharded service must be
+//! indistinguishable from the single-cache service — not approximately,
+//! **bit-for-bit** — and a lost shard must surface an error instead of a
+//! silently narrowed bound.
+//!
+//! * property: for random workloads and shard counts, every COUNT / SUM /
+//!   AVG / MIN answer (global *and* group-pinned), refresh set, and
+//!   refresh cost matches the 1-shard service exactly;
+//! * a shard that fails mid-fetch turns the query into
+//!   [`TrappError::PartialResult`], while healthy shards keep serving;
+//! * updates route to the shard whose cache subscribes the object;
+//! * concurrent mixed pinned/global load over 4 shards stays within every
+//!   precision contract.
+
+use proptest::prelude::*;
+use trapp_server::{QueryService, ServiceBuilder, ServiceConfig};
+use trapp_types::{shard_of, ObjectId, SourceId, TrappError};
+use trapp_workload::loadgen::{self, LoadConfig, ServiceWorkload};
+
+fn build(w: &ServiceWorkload, shards: usize, workers: usize) -> QueryService {
+    let mut b = ServiceBuilder::new()
+        .config(ServiceConfig {
+            workers,
+            shards,
+            coalesce: true,
+            batch_refreshes: true,
+        })
+        .partition_by("grp")
+        .table(loadgen::table());
+    for r in &w.rows {
+        b = b.row("metrics", r.source, r.cells.clone());
+    }
+    b.build_direct().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The acceptance property: running the same mixed stream (half the
+    /// queries group-free, i.e. scatter-gathered) sequentially against an
+    /// N-shard service and a 1-shard service yields bit-identical bounded
+    /// answers, identical refresh sets (in global tuple ids), and
+    /// identical refresh costs — across clock advances that force
+    /// re-refreshing.
+    #[test]
+    fn scatter_gather_is_bit_equivalent_to_single_cache(
+        seed in 0u64..1000,
+        groups in 2usize..9,
+        rows_per_group in 1usize..5,
+        sources in 1usize..4,
+        shards in 2usize..5,
+    ) {
+        let w = loadgen::generate(&LoadConfig {
+            seed,
+            groups,
+            rows_per_group,
+            sources,
+            queries: 24,
+            global_fraction: 0.5,
+            ..LoadConfig::default()
+        });
+        let single = build(&w, 1, 1);
+        let sharded = build(&w, shards, 1);
+        for (i, q) in w.queries.iter().enumerate() {
+            if i % 6 == 0 {
+                single.advance_clock(25.0);
+                sharded.advance_clock(25.0);
+            }
+            let a = single.query(&q.sql).unwrap();
+            let b = sharded.query(&q.sql).unwrap();
+            prop_assert_eq!(
+                a.result.answer.range, b.result.answer.range,
+                "query {}: {} (shards={})", i, q.sql, shards
+            );
+            prop_assert_eq!(
+                a.result.initial_answer.range, b.result.initial_answer.range,
+                "initial answer for {}", q.sql
+            );
+            prop_assert_eq!(a.result.satisfied, b.result.satisfied, "{}", q.sql);
+            prop_assert_eq!(
+                &a.result.refreshed, &b.result.refreshed,
+                "refresh sets for {}", q.sql
+            );
+            prop_assert_eq!(
+                a.result.refresh_cost, b.result.refresh_cost,
+                "refresh cost for {}", q.sql
+            );
+            prop_assert_eq!(a.result.rounds, b.result.rounds, "{}", q.sql);
+        }
+        let scattered = sharded.stats().scatter_queries;
+        prop_assert!(scattered > 0, "no query exercised the scatter path");
+    }
+}
+
+/// A shard that fails mid-fetch must not produce an answer: the merged
+/// bound would silently treat the lost shard's tuples as exact. The query
+/// reports a partial-result error; healthy shards keep serving.
+#[test]
+fn lost_shard_surfaces_partial_result_error() {
+    let shards = 4;
+    let w = loadgen::generate(&LoadConfig {
+        seed: 5,
+        groups: 8,
+        rows_per_group: 3,
+        sources: 2,
+        queries: 0,
+        ..LoadConfig::default()
+    });
+    let service = build(&w, shards, 2);
+    service.advance_clock(25.0);
+
+    // Sabotage one shard that owns rows: rebind one of its bounded cells
+    // to an object id no source has ever registered, so its slice of any
+    // refresh plan fails at the transport.
+    let sabotaged = (0..shards)
+        .find(|&s| {
+            service.with_shard_cache(s, |cache| {
+                cache
+                    .session()
+                    .catalog()
+                    .table("metrics")
+                    .unwrap()
+                    .scan()
+                    .next()
+                    .is_some()
+            })
+        })
+        .expect("some shard holds rows");
+    service.with_shard_cache(sabotaged, |cache| {
+        let tid = cache
+            .session()
+            .catalog()
+            .table("metrics")
+            .unwrap()
+            .scan()
+            .next()
+            .unwrap()
+            .0;
+        cache
+            .bind_object(ObjectId::new(999_999), SourceId::new(1), "metrics", tid, 1)
+            .unwrap();
+    });
+
+    // WITHIN 0 forces every shard to refresh: the sabotaged one fails.
+    let err = service
+        .query("SELECT SUM(load) WITHIN 0 FROM metrics")
+        .unwrap_err();
+    assert!(
+        matches!(err, TrappError::PartialResult(_)),
+        "expected a partial-result error, got: {err}"
+    );
+
+    // A group on a healthy shard still gets exact answers.
+    let healthy_group = (0..w.config.groups)
+        .find(|&g| shard_of(g as u64, shards) != sabotaged)
+        .expect("some group lives elsewhere");
+    let reply = service
+        .query(format!(
+            "SELECT SUM(load) WITHIN 0 FROM metrics WHERE grp = {healthy_group}"
+        ))
+        .unwrap();
+    assert!(reply.result.satisfied);
+    assert!(reply.result.answer.is_exact());
+}
+
+/// Updates reach the shard whose cache subscribes the object, and the next
+/// pinned query on that shard observes the new master value.
+#[test]
+fn updates_route_to_the_owning_shard() {
+    let w = loadgen::generate(&LoadConfig {
+        seed: 9,
+        groups: 4,
+        rows_per_group: 2,
+        sources: 2,
+        queries: 0,
+        ..LoadConfig::default()
+    });
+    let service = build(&w, 3, 2);
+    service.advance_clock(5.0);
+
+    // The loadgen schema has one bounded column, so row k (0-based, global
+    // order) is backed by object k+1. Row 0 belongs to group 0.
+    let delivered = service.apply_update(ObjectId::new(1), 500.0).unwrap();
+    assert_eq!(delivered, 1, "an escaping update must reach the cache");
+
+    let reply = service
+        .query("SELECT SUM(load) WITHIN 0 FROM metrics WHERE grp = 0")
+        .unwrap();
+    let expected = 500.0 + w.rows[1].cells[1].as_interval().unwrap().midpoint();
+    assert!(reply.result.answer.is_exact());
+    assert!(
+        (reply.result.answer.range.lo() - expected).abs() < 1e-9,
+        "updated master not visible: {} vs {expected}",
+        reply.result.answer
+    );
+
+    // Unknown objects are rejected, not misrouted.
+    assert!(service.apply_update(ObjectId::new(12_345), 1.0).is_err());
+}
+
+/// Concurrent mixed load (8 clients, pinned + global queries) over four
+/// shards: every bounded answer contains the truth and satisfies its
+/// precision constraint, and both execution paths are exercised.
+#[test]
+fn concurrent_mixed_load_on_four_shards_is_correct() {
+    let w = loadgen::generate(&LoadConfig {
+        seed: 17,
+        groups: 16,
+        rows_per_group: 4,
+        sources: 4,
+        queries: 160,
+        global_fraction: 0.15,
+        ..LoadConfig::default()
+    });
+    let service = build(&w, 4, 8);
+    service.advance_clock(25.0);
+
+    let clients = 8;
+    let per_client = w.queries.len().div_ceil(clients);
+    let service_ref = &service;
+    let w_ref = &w;
+    std::thread::scope(|s| {
+        for chunk in w.queries.chunks(per_client) {
+            s.spawn(move || {
+                for q in chunk {
+                    let reply = service_ref.query(&q.sql).unwrap();
+                    let t = loadgen::ground_truth(w_ref, q);
+                    let range = reply.result.answer.range;
+                    assert!(reply.result.satisfied, "{}", q.sql);
+                    assert!(
+                        range.lo() - 1e-9 <= t && t <= range.hi() + 1e-9,
+                        "{}: {range:?} excludes truth {t}",
+                        q.sql
+                    );
+                }
+            });
+        }
+    });
+    let stats = service.stats();
+    assert_eq!(stats.queries, w.queries.len() as u64);
+    assert_eq!(stats.errors, 0);
+    assert!(stats.scatter_queries > 0, "global queries must scatter");
+    assert!(
+        stats.scatter_queries < stats.queries,
+        "pinned queries must route single-shard"
+    );
+}

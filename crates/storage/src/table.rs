@@ -21,6 +21,7 @@ use crate::schema::Schema;
 ///   which the CHOOSE_REFRESH algorithms probe for their sub-linear paths.
 ///
 /// Mutations keep all registered indexes consistent.
+#[derive(Clone)]
 pub struct Table {
     name: String,
     schema: Arc<Schema>,

@@ -57,6 +57,11 @@ pub enum TrappError {
     Plan(String),
     /// The refresh oracle could not supply a master value for an object.
     RefreshFailed(String),
+    /// A scatter-gathered query lost one or more shards: the surviving
+    /// partial aggregates cannot bound the full answer, so no answer is
+    /// returned (a wrong-but-confident bound would violate TRAPP's core
+    /// guarantee). The payload names the failed shard and its error.
+    PartialResult(String),
     /// Division by an interval containing zero during interval evaluation.
     DivisionByZeroInterval,
     /// The operation is not supported in this configuration.
@@ -94,6 +99,9 @@ impl fmt::Display for TrappError {
             }
             TrappError::Plan(m) => write!(f, "planning error: {m}"),
             TrappError::RefreshFailed(m) => write!(f, "refresh failed: {m}"),
+            TrappError::PartialResult(m) => {
+                write!(f, "partial result: {m}")
+            }
             TrappError::DivisionByZeroInterval => {
                 write!(f, "division by an interval containing zero")
             }

@@ -20,6 +20,8 @@
 //! * [`Value`] / [`BoundedValue`] — dynamically typed cell values; numeric
 //!   cells may be *exact* or *bounded*.
 //! * Strongly typed identifiers for objects, tuples, sources, and caches.
+//! * [`shard_of`] — the partition hash a sharded deployment's server and
+//!   workload sides share.
 //! * [`TrappError`] — the shared error type.
 
 #![deny(missing_docs)]
@@ -29,6 +31,7 @@ pub mod error;
 pub mod float;
 pub mod id;
 pub mod interval;
+pub mod shard;
 pub mod tri;
 pub mod value;
 
@@ -36,5 +39,6 @@ pub use error::{TrappError, TrappResult};
 pub use float::OrderedF64;
 pub use id::{CacheId, ObjectId, SourceId, TupleId};
 pub use interval::Interval;
+pub use shard::shard_of;
 pub use tri::Tri;
 pub use value::{BoundedValue, Value, ValueType};

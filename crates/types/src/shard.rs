@@ -1,0 +1,79 @@
+//! Shard partitioning: the one hash both sides of a sharded deployment
+//! agree on.
+//!
+//! `trapp-server` hash-partitions the group/object key space across N
+//! caches, and `trapp-workload`'s load generator needs the *same* mapping
+//! to steer skew at specific shards (its `shard_skew` knob concentrates
+//! query popularity on one shard's groups). Keeping the function here —
+//! below both crates in the dependency graph — guarantees they can never
+//! disagree.
+//!
+//! The hash is a [SplitMix64] finalizer: two rounds of xor-shift-multiply
+//! that avalanche every input bit, so consecutive integer group keys (the
+//! common case) spread evenly across shards instead of striping by
+//! residue.
+//!
+//! [SplitMix64]: https://prng.di.unimi.it/splitmix64.c
+
+/// The SplitMix64 finalizer: a cheap, well-mixed `u64 → u64` permutation.
+#[inline]
+pub const fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The shard owning `key` in an `shards`-way partition.
+///
+/// Signed group keys should be passed via `as u64` (the two's-complement
+/// bit pattern); the hash does not care about sign.
+///
+/// # Panics
+///
+/// Panics if `shards == 0`.
+#[inline]
+pub fn shard_of(key: u64, shards: usize) -> usize {
+    assert!(shards > 0, "shard_of over zero shards");
+    (splitmix64(key) % shards as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_shard_owns_everything() {
+        for k in 0..100 {
+            assert_eq!(shard_of(k, 1), 0);
+        }
+    }
+
+    #[test]
+    fn partition_is_total_and_stable() {
+        for shards in [2usize, 3, 4, 8] {
+            for k in 0..1000u64 {
+                let s = shard_of(k, shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of(k, shards), "stable per key");
+            }
+        }
+    }
+
+    /// Consecutive integer keys must not stripe onto one shard — the whole
+    /// point of hashing instead of taking residues.
+    #[test]
+    fn consecutive_keys_spread() {
+        let shards = 4;
+        let mut counts = [0usize; 4];
+        for k in 0..64u64 {
+            counts[shard_of(k, shards)] += 1;
+        }
+        for (s, &c) in counts.iter().enumerate() {
+            assert!(
+                c >= 4,
+                "shard {s} got {c} of 64 consecutive keys: {counts:?}"
+            );
+        }
+    }
+}

@@ -10,14 +10,20 @@
 //! opportunity).
 //!
 //! The generator emits plain data — row specs and SQL strings — so the same
-//! workload can drive a single-threaded [`trapp_system::Simulation`], the
+//! workload can drive a single-threaded `trapp_system::Simulation`, the
 //! concurrent `trapp-server` service, or anything else, and their answers
 //! can be compared.
+//!
+//! Two knobs target **sharded** deployments: `global_fraction` mixes in
+//! group-free queries that a sharded service must scatter-gather, and
+//! `shard_skew` concentrates query popularity on the groups of one shard
+//! (via the same [`trapp_types::shard_of`] hash the server partitions
+//! with) to measure scaling under hot-shard imbalance.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use trapp_storage::{ColumnDef, Schema, Table};
-use trapp_types::{BoundedValue, SourceId, Value, ValueType};
+use trapp_types::{shard_of, BoundedValue, SourceId, Value, ValueType};
 
 /// Aggregate templates the generator mixes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -63,6 +69,22 @@ pub struct LoadConfig {
     pub precision: Vec<(f64, u32)>,
     /// Master values are drawn uniformly from this range.
     pub value_range: (f64, f64),
+    /// Fraction of queries issued with **no group predicate**: they span
+    /// every group, so a sharded service answers them by cross-shard
+    /// scatter-gather. `0.0` (the default) keeps every query group-pinned.
+    pub global_fraction: f64,
+    /// Shard-skew knob: the probability that a sampled group is remapped
+    /// onto the *hot shard* — the shard that owns group 0 under a
+    /// [`skew_shards`](LoadConfig::skew_shards)-way
+    /// [`trapp_types::shard_of`] partition. `0.0` leaves placement to the
+    /// zipf alone (popularity spreads across shards because the partition
+    /// hash mixes consecutive group ids); `1.0` aims every group-pinned
+    /// query at one shard, the worst case for shard scaling.
+    pub shard_skew: f64,
+    /// The shard count [`shard_skew`](LoadConfig::shard_skew) targets.
+    /// Must match the served topology for the skew to land where
+    /// intended; `1` (the default) disables remapping.
+    pub skew_shards: usize,
 }
 
 impl Default for LoadConfig {
@@ -79,6 +101,9 @@ impl Default for LoadConfig {
             // the service exists to reduce), some loose.
             precision: vec![(0.5, 3), (2.0, 2), (25.0, 1)],
             value_range: (50.0, 100.0),
+            global_fraction: 0.0,
+            shard_skew: 0.0,
+            skew_shards: 1,
         }
     }
 }
@@ -98,8 +123,9 @@ pub struct RowSpec {
 pub struct GeneratedQuery {
     /// Renderable TRAPP/AG SQL.
     pub sql: String,
-    /// The targeted group.
-    pub group: usize,
+    /// The targeted group; `None` for a global (all-groups) query, which
+    /// a sharded service answers by scatter-gather.
+    pub group: Option<usize>,
     /// The template used.
     pub agg: AggTemplate,
     /// The precision constraint.
@@ -129,6 +155,35 @@ pub fn schema() -> std::sync::Arc<Schema> {
 /// An empty `metrics` table.
 pub fn table() -> Table {
     Table::new("metrics", schema())
+}
+
+/// The precise aggregate `q` should return, computed from the master
+/// values in the workload's row specs — the ground truth benches and
+/// tests check bounded answers against (`range` must contain it).
+pub fn ground_truth(w: &ServiceWorkload, q: &GeneratedQuery) -> f64 {
+    let mid = (w.config.value_range.0 + w.config.value_range.1) / 2.0;
+    let loads: Vec<f64> = w
+        .rows
+        .iter()
+        .filter(|r| match q.group {
+            Some(g) => {
+                matches!(&r.cells[0], BoundedValue::Exact(Value::Int(v)) if *v == g as i64)
+            }
+            None => true,
+        })
+        .map(|r| {
+            r.cells[1]
+                .as_interval()
+                .expect("load cell is numeric")
+                .midpoint()
+        })
+        .collect();
+    match q.agg {
+        AggTemplate::Count => loads.iter().filter(|&&v| v > mid).count() as f64,
+        AggTemplate::Sum => loads.iter().sum(),
+        AggTemplate::Avg => loads.iter().sum::<f64>() / loads.len() as f64,
+        AggTemplate::Min => loads.iter().fold(f64::INFINITY, |a, &b| a.min(b)),
+    }
 }
 
 /// A seeded zipfian sampler over `0..n` (rank `k` has weight
@@ -196,9 +251,29 @@ pub fn generate(config: &LoadConfig) -> ServiceWorkload {
     assert!(precision_total > 0, "all precision weights zero");
     let mid_threshold = (config.value_range.0 + config.value_range.1) / 2.0;
 
+    // The hot shard's groups, for the shard-skew remap: every group that
+    // `shard_of` co-locates with group 0 under a `skew_shards`-way
+    // partition. Non-empty by construction (it contains group 0).
+    let hot_groups: Vec<usize> = if config.skew_shards > 1 && config.shard_skew > 0.0 {
+        let hot = shard_of(0, config.skew_shards);
+        (0..config.groups)
+            .filter(|&g| shard_of(g as u64, config.skew_shards) == hot)
+            .collect()
+    } else {
+        Vec::new()
+    };
+
     let mut queries = Vec::with_capacity(config.queries);
     for _ in 0..config.queries {
-        let group = zipf.sample(&mut rng);
+        let mut group = Some(zipf.sample(&mut rng));
+        if !hot_groups.is_empty() && rng.gen_range(0.0..1.0) < config.shard_skew {
+            // Preserve the zipf rank ordering while landing on the hot
+            // shard: popular ranks map to popular hot-shard groups.
+            group = group.map(|g| hot_groups[g % hot_groups.len()]);
+        }
+        if config.global_fraction > 0.0 && rng.gen_range(0.0..1.0) < config.global_fraction {
+            group = None;
+        }
         let agg = {
             let mut pick = rng.gen_range(0..agg_total);
             let mut chosen = AggTemplate::ALL[0];
@@ -223,19 +298,31 @@ pub fn generate(config: &LoadConfig) -> ServiceWorkload {
             }
             chosen
         };
-        let sql = match agg {
-            AggTemplate::Count => format!(
+        let sql = match (agg, group) {
+            (AggTemplate::Count, Some(g)) => format!(
                 "SELECT COUNT(*) WITHIN {within} FROM metrics \
-                 WHERE grp = {group} AND load > {mid_threshold}"
+                 WHERE grp = {g} AND load > {mid_threshold}"
             ),
-            AggTemplate::Sum => {
-                format!("SELECT SUM(load) WITHIN {within} FROM metrics WHERE grp = {group}")
+            (AggTemplate::Count, None) => {
+                format!("SELECT COUNT(*) WITHIN {within} FROM metrics WHERE load > {mid_threshold}")
             }
-            AggTemplate::Avg => {
-                format!("SELECT AVG(load) WITHIN {within} FROM metrics WHERE grp = {group}")
+            (AggTemplate::Sum, Some(g)) => {
+                format!("SELECT SUM(load) WITHIN {within} FROM metrics WHERE grp = {g}")
             }
-            AggTemplate::Min => {
-                format!("SELECT MIN(load) WITHIN {within} FROM metrics WHERE grp = {group}")
+            (AggTemplate::Sum, None) => {
+                format!("SELECT SUM(load) WITHIN {within} FROM metrics")
+            }
+            (AggTemplate::Avg, Some(g)) => {
+                format!("SELECT AVG(load) WITHIN {within} FROM metrics WHERE grp = {g}")
+            }
+            (AggTemplate::Avg, None) => {
+                format!("SELECT AVG(load) WITHIN {within} FROM metrics")
+            }
+            (AggTemplate::Min, Some(g)) => {
+                format!("SELECT MIN(load) WITHIN {within} FROM metrics WHERE grp = {g}")
+            }
+            (AggTemplate::Min, None) => {
+                format!("SELECT MIN(load) WITHIN {within} FROM metrics")
             }
         };
         queries.push(GeneratedQuery {
@@ -315,6 +402,56 @@ mod tests {
                 .map(|r| r.source)
                 .collect();
             assert!(sources.len() > 1, "group {g} lives on one source");
+        }
+    }
+
+    #[test]
+    fn shard_skew_concentrates_on_the_hot_shard() {
+        let shards = 4;
+        let skewed = generate(&LoadConfig {
+            seed: 13,
+            groups: 32,
+            queries: 400,
+            shard_skew: 1.0,
+            skew_shards: shards,
+            ..LoadConfig::default()
+        });
+        let hot = shard_of(0, shards);
+        for q in &skewed.queries {
+            let g = q.group.expect("no global queries by default");
+            assert_eq!(shard_of(g as u64, shards), hot, "{}", q.sql);
+        }
+
+        // Without skew the zipf alone must leave several shards busy.
+        let spread = generate(&LoadConfig {
+            seed: 13,
+            groups: 32,
+            queries: 400,
+            ..LoadConfig::default()
+        });
+        let shards_hit: std::collections::BTreeSet<usize> = spread
+            .queries
+            .iter()
+            .map(|q| shard_of(q.group.unwrap() as u64, shards))
+            .collect();
+        assert!(shards_hit.len() > 1, "unskewed load stuck on one shard");
+    }
+
+    #[test]
+    fn global_fraction_emits_group_free_queries() {
+        let w = generate(&LoadConfig {
+            seed: 21,
+            queries: 200,
+            global_fraction: 0.3,
+            ..LoadConfig::default()
+        });
+        let globals = w.queries.iter().filter(|q| q.group.is_none()).count();
+        assert!(
+            (20..=120).contains(&globals),
+            "expected roughly 30% global queries, got {globals}/200"
+        );
+        for q in w.queries.iter().filter(|q| q.group.is_none()) {
+            assert!(!q.sql.contains("grp ="), "{}", q.sql);
         }
     }
 

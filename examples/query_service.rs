@@ -1,6 +1,7 @@
-//! Stand up the concurrent query service, drive it with the zipfian load
-//! generator from eight client threads, and print the stats snapshot —
-//! the README quickstart, runnable as `cargo run --example query_service`.
+//! Stand up the **sharded** query service — four caches, group key space
+//! hash-partitioned — drive it with the zipfian load generator from eight
+//! client threads, and print the stats snapshot. The README quickstart,
+//! runnable as `cargo run --example query_service`.
 
 use trapp::prelude::*;
 use trapp::workload::loadgen::{self, LoadConfig};
@@ -8,22 +9,30 @@ use trapp::workload::loadgen::{self, LoadConfig};
 fn main() -> Result<(), TrappError> {
     // A zipfian serving workload: 16 groups × 6 rows over 4 sources, 128
     // queries mixing COUNT/SUM/AVG/MIN with mostly-tight precision
-    // constraints.
+    // constraints. One query in ten has no group predicate — those span
+    // every shard and are answered by scatter-gather.
     let workload = loadgen::generate(&LoadConfig {
         queries: 128,
+        global_fraction: 0.1,
         ..LoadConfig::default()
     });
 
-    // The service: 8 workers over one cache, refresh coalescing and
-    // batched source round-trips on.
+    // The service: 8 workers over 4 cache shards (rows placed by hashing
+    // the `grp` column), refresh coalescing and batched source
+    // round-trips on within every shard.
     let mut builder = ServiceBuilder::new()
-        .config(ServiceConfig::default())
+        .config(ServiceConfig {
+            workers: 8,
+            shards: 4,
+            ..ServiceConfig::default()
+        })
+        .partition_by("grp")
         .table(loadgen::table());
     for row in &workload.rows {
         builder = builder.row("metrics", row.source, row.cells.clone());
     }
     // The threaded transport simulates 500µs per source round-trip — the
-    // regime where batching and coalescing pay.
+    // regime where batching, coalescing, and shard parallelism pay.
     let service = builder.build_channel(std::time::Duration::from_micros(500))?;
 
     // Let the bounds widen so tight queries must refresh, then serve the
@@ -49,7 +58,11 @@ fn main() -> Result<(), TrappError> {
     });
 
     let stats = service.stats();
-    println!("\nservice stats: {stats:?}");
+    println!(
+        "\nservice stats ({} shards): {stats:?}",
+        service.shard_count()
+    );
     assert_eq!(stats.queries, workload.queries.len() as u64);
+    assert!(stats.scatter_queries > 0, "global queries scatter-gather");
     Ok(())
 }

@@ -16,8 +16,9 @@
 //! * [`core`] — bounded aggregation and CHOOSE_REFRESH (the paper's
 //!   contribution).
 //! * [`system`] — sources, caches, refresh monitors, transports.
-//! * [`server`] — the concurrent multi-client query service: worker pool,
-//!   refresh coalescing, batched source round-trips.
+//! * [`server`] — the sharded, concurrent multi-client query service:
+//!   worker pool, hash-partitioned cache shards with scatter-gather
+//!   merging, refresh coalescing, batched source round-trips.
 //! * [`workload`] — experiment and serving workload generators.
 //!
 //! ## Quickstart
