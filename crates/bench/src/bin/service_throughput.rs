@@ -1,36 +1,76 @@
 //! Throughput / latency / round-trip benchmark for the `trapp-server`
-//! query service, in two parts:
+//! query service, in four parts:
 //!
 //! 1. **traffic mechanisms** (single shard): per-object baseline vs
 //!    batched source round-trips vs batching + refresh coalescing;
 //! 2. **shard scaling**: the same zipfian workload against 1/2/4/8 cache
 //!    shards (`--shards 1,2,4,8`; a single value, e.g. `--shards 4`, runs
-//!    that count against the 1-shard baseline). Group-pinned queries
-//!    route to one shard each; a slice of group-free queries exercises
-//!    the cross-shard scatter-gather + merge path.
+//!    that count against the 1-shard baseline) over the threaded
+//!    transport — the PR 2 baseline curve;
+//! 3. **transport duel**: at the largest shard count and `--sources`
+//!    sources (default 64), thread-per-source `ChannelTransport` vs the
+//!    completion-based `CompletionTransport` with a `--pool`-thread
+//!    shared fetch pool — the regime where thread churn dominates;
+//! 4. **update churn**: `--update-rate` (default 32) random-walk master
+//!    writes per burst race the query stream through
+//!    `QueryService::apply_update`, so coalescing invalidation is
+//!    measured under write pressure, not just read-only bursts.
 //!
-//! Eight closed-loop clients drive the service over `ChannelTransport`s
-//! with simulated per-round-trip latency; the stream is split into bursts
-//! with the clock advancing between bursts, so every burst's bounds have
+//! Eight closed-loop clients drive the service over transports with
+//! simulated per-round-trip latency; the stream is split into bursts with
+//! the clock advancing between bursts, so every burst's bounds have
 //! re-widened and tight queries must refresh again. Within a burst, hot
 //! groups overlap — the coalescing opportunity.
 //!
-//! Every answer is checked against ground truth computed from the master
-//! values (`contains(truth) && width ≤ R`), so the speedup numbers can
-//! never come at the cost of correctness; any violation fails the run.
+//! Every read-only answer is checked against ground truth computed from
+//! the master values (`contains(truth) && width ≤ R`). Under churn the
+//! instantaneous truth is a moving target, so answers are checked against
+//! the per-burst envelope of master values
+//! (`loadgen::ground_truth_bounds`) plus a final `WITHIN 0` exactness
+//! probe against the tracked masters. Any violation fails the run.
+//!
+//! `--json PATH` additionally writes every number in machine-readable
+//! form — `BENCH_3.json` at the repository root is the checked-in
+//! baseline. `--quick` shrinks every part for CI smoke runs.
 
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use trapp_bench::json::Json;
 use trapp_bench::tablefmt;
 use trapp_server::{QueryService, ServiceBuilder, ServiceConfig};
+use trapp_types::ObjectId;
 use trapp_workload::loadgen::{self, LoadConfig, ServiceWorkload};
 
 const CLIENTS: usize = 8;
 const BURSTS: usize = 8;
 const LATENCY: Duration = Duration::from_micros(200);
 
-fn build_service(w: &ServiceWorkload, config: ServiceConfig) -> QueryService {
+/// Which transport stack a run is built over.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum TransportKind {
+    /// `ChannelTransport`: one OS thread per source per shard.
+    Channel,
+    /// `CompletionTransport` over one service-wide fetch pool.
+    Completion { pool: usize },
+}
+
+impl TransportKind {
+    fn name(&self) -> &'static str {
+        match self {
+            TransportKind::Channel => "channel",
+            TransportKind::Completion { .. } => "completion",
+        }
+    }
+}
+
+fn build_service(
+    w: &ServiceWorkload,
+    config: ServiceConfig,
+    transport: TransportKind,
+) -> QueryService {
     let mut b = ServiceBuilder::new()
         .initial_width(1.0)
         .config(config)
@@ -39,11 +79,18 @@ fn build_service(w: &ServiceWorkload, config: ServiceConfig) -> QueryService {
     for r in &w.rows {
         b = b.row("metrics", r.source, r.cells.clone());
     }
-    b.build_channel(LATENCY).expect("service builds")
+    match transport {
+        TransportKind::Channel => b.build_channel(LATENCY).expect("service builds"),
+        TransportKind::Completion { pool } => {
+            b.build_completion(LATENCY, pool).expect("service builds")
+        }
+    }
 }
 
 struct RunResult {
     label: String,
+    transport: &'static str,
+    shards: usize,
     wall: Duration,
     latencies_us: Vec<f64>,
     queries: u64,
@@ -51,23 +98,100 @@ struct RunResult {
     round_trips: u64,
     forwarded: u64,
     coalesced: u64,
+    updates: u64,
     violations: usize,
 }
 
-fn run(label: impl Into<String>, w: &ServiceWorkload, config: ServiceConfig) -> RunResult {
-    let service = build_service(w, config);
+impl RunResult {
+    fn qps(&self) -> f64 {
+        self.queries as f64 / self.wall.as_secs_f64()
+    }
+}
+
+/// Per-row master-value state while an update stream runs: the current
+/// value plus the envelope (`lo`, `hi`) of every value the row has held
+/// since the envelope was last reset. The envelope is extended *before*
+/// the write reaches the source, so at any instant the true master lies
+/// inside it — which is what makes checking racing answers against it
+/// sound.
+struct ChurnState {
+    rows: Vec<(f64, f64, f64)>, // (current, lo, hi)
+}
+
+impl ChurnState {
+    fn new(w: &ServiceWorkload) -> ChurnState {
+        ChurnState {
+            rows: w
+                .rows
+                .iter()
+                .map(|r| {
+                    let m = r.cells[1].as_interval().expect("load cell").midpoint();
+                    (m, m, m)
+                })
+                .collect(),
+        }
+    }
+
+    fn reset_envelope(&mut self) {
+        for (cur, lo, hi) in &mut self.rows {
+            *lo = *cur;
+            *hi = *cur;
+        }
+    }
+
+    fn envelope(&self) -> Vec<(f64, f64)> {
+        self.rows.iter().map(|&(_, lo, hi)| (lo, hi)).collect()
+    }
+}
+
+fn run(
+    label: impl Into<String>,
+    w: &ServiceWorkload,
+    config: ServiceConfig,
+    transport: TransportKind,
+    update_rate: u64,
+) -> RunResult {
+    let service = build_service(w, config, transport);
     let latencies = Mutex::new(Vec::with_capacity(w.queries.len()));
     let violations = Mutex::new(0usize);
+    let churn = Mutex::new(ChurnState::new(w));
     let started = Instant::now();
 
     let burst_len = w.queries.len().div_ceil(BURSTS);
-    for burst in w.queries.chunks(burst_len) {
+    let bursts_run = w.queries.chunks(burst_len).count() as u64;
+    for (burst_idx, burst) in w.queries.chunks(burst_len).enumerate() {
         // Let every bound re-widen: this burst must pay for precision
         // again.
         service.advance_clock(25.0);
+        churn.lock().unwrap().reset_envelope();
         let per_client = burst.len().div_ceil(CLIENTS);
-        let (service, latencies, violations) = (&service, &latencies, &violations);
+        let (service, latencies, violations, churn) = (&service, &latencies, &violations, &churn);
         std::thread::scope(|s| {
+            if update_rate > 0 {
+                // The update stream races the query burst: a seeded random
+                // walk over row masters, clamped to the value range.
+                s.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(w.config.seed ^ ((burst_idx as u64) << 17));
+                    let (lo, hi) = w.config.value_range;
+                    let step = (hi - lo) * 0.1;
+                    for _ in 0..update_rate {
+                        let row = rng.gen_range(0..w.rows.len());
+                        let value = {
+                            let mut state = churn.lock().unwrap();
+                            let (cur, env_lo, env_hi) = &mut state.rows[row];
+                            *cur = (*cur + rng.gen_range(-step..=step)).clamp(lo, hi);
+                            *env_lo = env_lo.min(*cur);
+                            *env_hi = env_hi.max(*cur);
+                            *cur
+                        };
+                        // Envelope already covers `value`: safe to publish.
+                        service
+                            .apply_update(ObjectId::new(row as u64 + 1), value)
+                            .expect("update routes");
+                        std::thread::sleep(Duration::from_micros(50));
+                    }
+                });
+            }
             for chunk in burst.chunks(per_client) {
                 s.spawn(move || {
                     for q in chunk {
@@ -76,9 +200,18 @@ fn run(label: impl Into<String>, w: &ServiceWorkload, config: ServiceConfig) -> 
                         let us = t0.elapsed().as_secs_f64() * 1e6;
                         latencies.lock().unwrap().push(us);
                         let range = reply.result.answer.range;
-                        let t = loadgen::ground_truth(w, q);
-                        let contains = range.lo() - 1e-9 <= t && t <= range.hi() + 1e-9;
-                        if !contains || !reply.result.satisfied {
+                        let ok = if update_rate == 0 {
+                            let t = loadgen::ground_truth(w, q);
+                            range.lo() - 1e-9 <= t && t <= range.hi() + 1e-9
+                        } else {
+                            // The truth moves while the query runs, but it
+                            // cannot leave the burst envelope — a correct
+                            // answer must intersect it.
+                            let env = churn.lock().unwrap().envelope();
+                            let (lo, hi) = loadgen::ground_truth_bounds(w, q, &env);
+                            range.hi() >= lo - 1e-9 && range.lo() <= hi + 1e-9
+                        };
+                        if !ok || !reply.result.satisfied {
                             *violations.lock().unwrap() += 1;
                         }
                     }
@@ -88,10 +221,37 @@ fn run(label: impl Into<String>, w: &ServiceWorkload, config: ServiceConfig) -> 
     }
 
     let wall = started.elapsed();
+
+    if update_rate > 0 {
+        // Final exactness probe: with the writers quiesced, a WITHIN 0
+        // query must reproduce the tracked masters to the bit — any
+        // cache/monitor desync the churn provoked surfaces here.
+        service.advance_clock(25.0);
+        let reply = service
+            .query("SELECT SUM(load) WITHIN 0 FROM metrics")
+            .expect("final probe runs");
+        let expected: f64 = churn
+            .lock()
+            .unwrap()
+            .rows
+            .iter()
+            .map(|&(cur, _, _)| cur)
+            .sum();
+        let got = reply.result.answer.range.midpoint();
+        if !reply.result.answer.is_exact()
+            || (got - expected).abs() > 1e-6 * expected.abs().max(1.0)
+        {
+            eprintln!("final exactness probe failed: got {got}, masters sum to {expected}");
+            *violations.lock().unwrap() += 1;
+        }
+    }
+
     let stats = service.stats();
     service.shutdown();
     RunResult {
         label: label.into(),
+        transport: transport.name(),
+        shards: config.shards,
         wall,
         latencies_us: latencies.into_inner().unwrap(),
         queries: stats.queries,
@@ -99,6 +259,7 @@ fn run(label: impl Into<String>, w: &ServiceWorkload, config: ServiceConfig) -> 
         round_trips: stats.round_trips,
         forwarded: stats.refreshes_forwarded,
         coalesced: stats.refreshes_coalesced,
+        updates: update_rate * bursts_run,
         violations: violations.into_inner().unwrap(),
     }
 }
@@ -117,11 +278,10 @@ fn render(title: &str, runs: &[RunResult]) -> usize {
     for r in runs {
         let mut sorted = r.latencies_us.clone();
         sorted.sort_by(|a, b| a.total_cmp(b));
-        let qps = r.queries as f64 / r.wall.as_secs_f64();
         rows.push(vec![
             r.label.clone(),
             tablefmt::num(r.wall.as_secs_f64() * 1e3, 1),
-            tablefmt::num(qps, 0),
+            tablefmt::num(r.qps(), 0),
             tablefmt::num(percentile(&sorted, 0.5), 0),
             tablefmt::num(percentile(&sorted, 0.95), 0),
             r.scattered.to_string(),
@@ -156,45 +316,123 @@ fn render(title: &str, runs: &[RunResult]) -> usize {
     total_violations
 }
 
-/// Parses `--shards LIST` (comma-separated). A single value above 1 gets
-/// the 1-shard baseline prepended so one invocation shows the comparison.
-fn shard_counts() -> Vec<usize> {
+fn run_json(r: &RunResult) -> Json {
+    let mut sorted = r.latencies_us.clone();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    Json::obj([
+        ("label", Json::str(r.label.clone())),
+        ("transport", Json::str(r.transport)),
+        ("shards", Json::Num(r.shards as f64)),
+        ("wall_ms", Json::Num(r.wall.as_secs_f64() * 1e3)),
+        ("qps", Json::Num(r.qps())),
+        ("p50_us", Json::Num(percentile(&sorted, 0.5))),
+        ("p95_us", Json::Num(percentile(&sorted, 0.95))),
+        ("queries", Json::Num(r.queries as f64)),
+        ("scattered", Json::Num(r.scattered as f64)),
+        ("round_trips", Json::Num(r.round_trips as f64)),
+        (
+            "rt_per_query",
+            Json::Num(r.round_trips as f64 / r.queries.max(1) as f64),
+        ),
+        ("forwarded", Json::Num(r.forwarded as f64)),
+        ("coalesced", Json::Num(r.coalesced as f64)),
+        ("updates", Json::Num(r.updates as f64)),
+        ("violations", Json::Num(r.violations as f64)),
+    ])
+}
+
+struct Cli {
+    shards: Vec<usize>,
+    sources: usize,
+    pool: usize,
+    update_rate: u64,
+    json: Option<String>,
+    quick: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: service_throughput [--shards LIST] [--sources N] [--pool N] \
+         [--update-rate N] [--json PATH] [--quick]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_cli() -> Cli {
+    let mut cli = Cli {
+        shards: vec![1, 2, 4, 8],
+        sources: 64,
+        pool: 2,
+        update_rate: 32,
+        json: None,
+        quick: false,
+    };
     let mut args = std::env::args().skip(1);
-    let mut list: Vec<usize> = vec![1, 2, 4, 8];
     while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
         match arg.as_str() {
             "--shards" => {
-                let spec = args.next().unwrap_or_else(|| {
-                    eprintln!("--shards needs a value, e.g. --shards 4 or --shards 1,2,4,8");
-                    std::process::exit(2);
-                });
-                list = spec
+                let spec = value("--shards");
+                cli.shards = spec
                     .split(',')
                     .map(|s| {
                         s.trim().parse().unwrap_or_else(|_| {
                             eprintln!("invalid shard count {s:?}");
-                            std::process::exit(2);
+                            usage()
                         })
                     })
                     .collect();
-                if list.len() == 1 && list[0] > 1 {
-                    list.insert(0, 1);
+                if cli.shards.is_empty() {
+                    usage();
+                }
+                if cli.shards.len() == 1 && cli.shards[0] > 1 {
+                    cli.shards.insert(0, 1);
                 }
             }
+            "--sources" => {
+                cli.sources = value("--sources").parse().unwrap_or_else(|_| usage());
+                if cli.sources == 0 {
+                    usage();
+                }
+            }
+            "--pool" => {
+                cli.pool = value("--pool").parse().unwrap_or_else(|_| usage());
+            }
+            "--update-rate" => {
+                cli.update_rate = value("--update-rate").parse().unwrap_or_else(|_| usage());
+            }
+            "--json" => cli.json = Some(value("--json")),
+            "--quick" => cli.quick = true,
             other => {
-                eprintln!("unknown argument {other:?}; supported: --shards LIST");
-                std::process::exit(2);
+                eprintln!("unknown argument {other:?}");
+                usage()
             }
         }
     }
-    list
+    if cli.quick {
+        cli.shards = vec![1, 2];
+        cli.sources = cli.sources.min(16);
+        cli.update_rate = cli.update_rate.min(8);
+    }
+    cli
 }
 
 fn main() {
-    let shard_list = shard_counts();
+    let cli = parse_cli();
+    let max_shards = *cli.shards.iter().max().expect("non-empty shard list");
+    let mut sections: Vec<Json> = Vec::new();
+    let mut total_violations = 0;
 
     // Part 1: the traffic mechanisms on one shard (the PR-1 comparison).
-    let config = LoadConfig::default();
+    let config = LoadConfig {
+        queries: if cli.quick { 96 } else { 256 },
+        ..LoadConfig::default()
+    };
     let w = loadgen::generate(&config);
     eprintln!(
         "workload: {} rows ({} groups × {}), {} sources, {} queries, zipf s={}, {} clients, {:?} RTT",
@@ -207,49 +445,50 @@ fn main() {
         CLIENTS,
         LATENCY,
     );
+    let single = |coalesce, batch_refreshes| ServiceConfig {
+        workers: CLIENTS,
+        shards: 1,
+        coalesce,
+        batch_refreshes,
+    };
     let mechanisms = [
         run(
             "per-object (seed baseline)",
             &w,
-            ServiceConfig {
-                workers: CLIENTS,
-                shards: 1,
-                coalesce: false,
-                batch_refreshes: false,
-            },
+            single(false, false),
+            TransportKind::Channel,
+            0,
         ),
         run(
             "batched",
             &w,
-            ServiceConfig {
-                workers: CLIENTS,
-                shards: 1,
-                coalesce: false,
-                batch_refreshes: true,
-            },
+            single(false, true),
+            TransportKind::Channel,
+            0,
         ),
         run(
             "batched + coalesced",
             &w,
-            ServiceConfig {
-                workers: CLIENTS,
-                shards: 1,
-                coalesce: true,
-                batch_refreshes: true,
-            },
+            single(true, true),
+            TransportKind::Channel,
+            0,
         ),
     ];
-    let mut total_violations = render("traffic mechanisms (1 shard):", &mechanisms);
+    total_violations += render("traffic mechanisms (1 shard):", &mechanisms);
+    sections.push(Json::obj([
+        ("title", Json::str("mechanisms")),
+        ("runs", Json::Arr(mechanisms.iter().map(run_json).collect())),
+    ]));
 
-    // Part 2: shard scaling. More groups so every shard owns several, and
-    // a slice of group-free queries to keep the scatter-gather merge path
-    // honest under load.
+    // Part 2: shard scaling over the threaded transport (PR 2 curve).
+    // More groups so every shard owns several, and a slice of group-free
+    // queries to keep the scatter-gather merge path honest under load.
     let scale_config = LoadConfig {
         seed: 97,
         groups: 64,
         rows_per_group: 12,
         sources: 4,
-        queries: 1024,
+        queries: if cli.quick { 256 } else { 1024 },
         global_fraction: 0.02,
         ..LoadConfig::default()
     };
@@ -262,38 +501,159 @@ fn main() {
         sw.queries.len(),
         (scale_config.global_fraction * 100.0) as u32,
     );
-    let scaling: Vec<RunResult> = shard_list
+    let sharded = |shards| ServiceConfig {
+        workers: CLIENTS,
+        shards,
+        coalesce: true,
+        batch_refreshes: true,
+    };
+    let scaling: Vec<RunResult> = cli
+        .shards
         .iter()
         .map(|&shards| {
             run(
                 format!("{shards} shard{}", if shards == 1 { "" } else { "s" }),
                 &sw,
-                ServiceConfig {
-                    workers: CLIENTS,
-                    shards,
-                    coalesce: true,
-                    batch_refreshes: true,
-                },
+                sharded(shards),
+                TransportKind::Channel,
+                0,
             )
         })
         .collect();
     println!();
-    total_violations += render("shard scaling (batched + coalesced):", &scaling);
-
+    total_violations += render("shard scaling (batched + coalesced, channel):", &scaling);
     if let (Some(first), Some(last)) = (scaling.first(), scaling.last()) {
         if scaling.len() > 1 {
-            let qps = |r: &RunResult| r.queries as f64 / r.wall.as_secs_f64();
             println!(
                 "throughput {} -> {}: {} -> {} qps ({}x)",
                 first.label,
                 last.label,
-                tablefmt::num(qps(first), 0),
-                tablefmt::num(qps(last), 0),
-                tablefmt::num(qps(last) / qps(first), 2),
+                tablefmt::num(first.qps(), 0),
+                tablefmt::num(last.qps(), 0),
+                tablefmt::num(last.qps() / first.qps(), 2),
             );
         }
     }
+    sections.push(Json::obj([
+        ("title", Json::str("shard_scaling")),
+        ("runs", Json::Arr(scaling.iter().map(run_json).collect())),
+    ]));
+
+    // Part 3: transport duel at the largest shard count with many
+    // sources — the regime where the threaded stack's per-source actor
+    // threads and per-round scoped spawns dominate.
+    // Flat popularity, uniformly tight constraints, and a real scatter
+    // slice: every burst fans out to most sources on most shards, which
+    // is exactly where per-source threads and per-round spawns hurt.
+    let duel_config = LoadConfig {
+        seed: 131,
+        groups: 64,
+        rows_per_group: (cli.sources / 16).max(4),
+        sources: cli.sources,
+        queries: if cli.quick { 192 } else { 1024 },
+        zipf_s: 0.2,
+        precision: vec![(0.5, 1)],
+        global_fraction: 0.1,
+        ..LoadConfig::default()
+    };
+    let dw = loadgen::generate(&duel_config);
+    eprintln!(
+        "\nduel workload: {} rows, {} sources, {} shards, {} queries, pool={}",
+        dw.rows.len(),
+        duel_config.sources,
+        max_shards,
+        dw.queries.len(),
+        cli.pool,
+    );
+    let duel = [
+        run(
+            format!("channel ({} shards)", max_shards),
+            &dw,
+            sharded(max_shards),
+            TransportKind::Channel,
+            0,
+        ),
+        run(
+            format!("completion ({} shards, pool={})", max_shards, cli.pool),
+            &dw,
+            sharded(max_shards),
+            TransportKind::Completion { pool: cli.pool },
+            0,
+        ),
+    ];
+    println!();
+    total_violations += render(
+        &format!(
+            "transport duel ({} sources, {max_shards} shards):",
+            duel_config.sources
+        ),
+        &duel,
+    );
+    println!(
+        "transport duel: channel {} qps -> completion {} qps ({}x)",
+        tablefmt::num(duel[0].qps(), 0),
+        tablefmt::num(duel[1].qps(), 0),
+        tablefmt::num(duel[1].qps() / duel[0].qps(), 2),
+    );
+    sections.push(Json::obj([
+        ("title", Json::str("transport_duel")),
+        ("sources", Json::Num(duel_config.sources as f64)),
+        ("runs", Json::Arr(duel.iter().map(run_json).collect())),
+    ]));
+
+    // Part 4: the same duel workload under update churn — coalescing
+    // invalidation and value-initiated refreshes race the query stream.
+    if cli.update_rate > 0 {
+        let churn = [
+            run(
+                "completion, read-only",
+                &dw,
+                sharded(max_shards),
+                TransportKind::Completion { pool: cli.pool },
+                0,
+            ),
+            run(
+                format!("completion, {}/burst updates", cli.update_rate),
+                &dw,
+                sharded(max_shards),
+                TransportKind::Completion { pool: cli.pool },
+                cli.update_rate,
+            ),
+        ];
+        println!();
+        total_violations += render(
+            &format!(
+                "update churn ({} shards, {} updates/burst):",
+                max_shards, cli.update_rate
+            ),
+            &churn,
+        );
+        sections.push(Json::obj([
+            ("title", Json::str("churn")),
+            ("update_rate", Json::Num(cli.update_rate as f64)),
+            ("runs", Json::Arr(churn.iter().map(run_json).collect())),
+        ]));
+    }
+
     println!("bounded-answer violations: {total_violations}");
+
+    if let Some(path) = &cli.json {
+        let doc = Json::obj([
+            ("bench", Json::str("service_throughput")),
+            ("clients", Json::Num(CLIENTS as f64)),
+            ("bursts", Json::Num(BURSTS as f64)),
+            ("latency_us", Json::Num(LATENCY.as_micros() as f64)),
+            ("quick", Json::Bool(cli.quick)),
+            ("violations", Json::Num(total_violations as f64)),
+            ("sections", Json::Arr(sections)),
+        ]);
+        std::fs::write(path, doc.render()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("wrote {path}");
+    }
+
     if total_violations > 0 {
         eprintln!("FAIL: some answers violated their precision contract");
         std::process::exit(1);

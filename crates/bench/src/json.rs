@@ -1,0 +1,152 @@
+//! A minimal JSON emitter for machine-readable bench results.
+//!
+//! The offline dependency budget has no `serde_json`, and bench output
+//! needs exactly one thing: serializing a tree of numbers and strings
+//! deterministically so successive `BENCH_N.json` baselines diff cleanly.
+//! Object keys keep insertion order.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `true` / `false`.
+    Bool(bool),
+    /// A finite number; non-finite values render as `null`.
+    Num(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, keys in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// An object from `(key, value)` pairs.
+    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+    }
+
+    /// Renders with 2-space indentation and a trailing newline.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Num(n) => {
+                if !n.is_finite() {
+                    out.push_str("null");
+                } else if n.fract() == 0.0 && n.abs() < 9.0e15 {
+                    let _ = write!(out, "{}", *n as i64);
+                } else {
+                    let _ = write!(out, "{n}");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => write_items(out, indent, ('[', ']'), items.iter(), |out, item| {
+                item.write(out, indent + 1);
+            }),
+            Json::Obj(pairs) => {
+                write_items(out, indent, ('{', '}'), pairs.iter(), |out, (k, v)| {
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                })
+            }
+        }
+    }
+}
+
+fn write_items<I: ExactSizeIterator>(
+    out: &mut String,
+    indent: usize,
+    (open, close): (char, char),
+    items: I,
+    mut write_item: impl FnMut(&mut String, I::Item),
+) {
+    if items.len() == 0 {
+        out.push(open);
+        out.push(close);
+        return;
+    }
+    out.push(open);
+    let inner = "  ".repeat(indent + 1);
+    let mut first = true;
+    for item in items {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push('\n');
+        out.push_str(&inner);
+        write_item(out, item);
+    }
+    out.push('\n');
+    out.push_str(&"  ".repeat(indent));
+    out.push(close);
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_structure() {
+        let v = Json::obj([
+            ("name", Json::str("bench")),
+            ("qps", Json::Num(1234.5)),
+            ("count", Json::Num(42.0)),
+            ("ok", Json::Bool(true)),
+            ("runs", Json::Arr(vec![Json::Num(1.0), Json::Num(2.0)])),
+            ("empty", Json::Arr(vec![])),
+        ]);
+        let s = v.render();
+        assert!(s.contains("\"qps\": 1234.5"));
+        assert!(s.contains("\"count\": 42"), "integers render without .0");
+        assert!(s.contains("\"ok\": true"));
+        assert!(s.contains("\"empty\": []"));
+        assert!(s.ends_with("}\n"));
+    }
+
+    #[test]
+    fn escapes_strings_and_nulls_non_finite() {
+        let v = Json::obj([
+            ("s", Json::str("a\"b\\c\nd")),
+            ("inf", Json::Num(f64::INFINITY)),
+        ]);
+        let s = v.render();
+        assert!(s.contains(r#""a\"b\\c\nd""#));
+        assert!(s.contains("\"inf\": null"));
+    }
+}

@@ -9,6 +9,7 @@
 #![deny(unsafe_code)]
 
 pub mod experiments;
+pub mod json;
 pub mod tablefmt;
 
 pub use experiments::{fig5_sweep, fig6_sweep, Fig5Row, Fig6Row};

@@ -16,6 +16,16 @@
 //! publish protocol guarantees the awaited result arrives without the
 //! waiter holding any cache lock.
 //!
+//! Fetches are **submitted, then awaited**: the claim phase submits every
+//! per-source batch through the transport's nonblocking
+//! [`Transport::submit_refresh_batch`] API before waiting on any
+//! completion, so one plan's round-trips to different sources overlap —
+//! and a scatter-gathering query can submit *every shard's* slice before
+//! waiting on any of them, with no per-round threads (the crate-internal
+//! `begin_fetch` / `finish_fetch` halves of [`RefreshGateway::fetch`]).
+//! Queries that lose the claim race park on the gateway's condvar and are
+//! woken when the owning fetch's completion resolves and publishes.
+//!
 //! Two staleness defenses compose here. First, an update to an object
 //! removes its memoized entry **and** bumps an invalidation epoch; a fetch
 //! that claimed before the update refuses to memoize its (possibly
@@ -36,7 +46,7 @@ use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
 use trapp_system::message::Refresh;
-use trapp_system::Transport;
+use trapp_system::{Completion, Transport};
 use trapp_types::{CacheId, ObjectId, SourceId, TrappError};
 
 /// How long an awaiting fetch waits for the in-flight owner before giving
@@ -94,6 +104,33 @@ pub struct FetchOutcome {
     pub error: Option<TrappError>,
 }
 
+/// One submitted transport request a [`PendingFetch`] still has to wait
+/// on.
+enum PendingReply {
+    /// A batched per-source round-trip.
+    Batch(Completion<Vec<Refresh>>),
+    /// A per-object round-trip (the seed's baseline mode).
+    Single(Completion<Refresh>),
+}
+
+/// A fetch whose requests are on the wire but not yet awaited — the
+/// product of [`RefreshGateway::begin_fetch`], consumed by
+/// [`RefreshGateway::finish_fetch`] on the same gateway.
+pub(crate) struct PendingFetch {
+    cache: CacheId,
+    now: f64,
+    claim_epoch: u64,
+    /// Refreshes already in hand from the in-flight table.
+    out: Vec<Refresh>,
+    stats: FetchStats,
+    /// Objects this fetch claimed `InFlight` (for failure cleanup).
+    claimed: Vec<ObjectId>,
+    /// Submitted requests, in plan order.
+    waits: Vec<PendingReply>,
+    /// Objects another query is fetching; awaited in the finish phase.
+    to_await: Vec<(SourceId, ObjectId)>,
+}
+
 /// A single-flight refresh coalescing layer over a [`Transport`]. See the
 /// module docs.
 pub struct RefreshGateway<T> {
@@ -149,6 +186,24 @@ impl<T: Transport> RefreshGateway<T> {
         plan: &[(SourceId, Vec<ObjectId>)],
         batch: bool,
     ) -> FetchOutcome {
+        self.finish_fetch(self.begin_fetch(cache, now, plan, batch))
+    }
+
+    /// The submit half of a fetch: claims the plan's objects in the
+    /// in-flight table and submits every per-source request through the
+    /// transport's nonblocking API — then returns *without waiting*, so a
+    /// caller holding several plans (one per shard, say) can submit them
+    /// all before waiting on any. Must be paired with
+    /// [`RefreshGateway::finish_fetch`] on the **same** gateway, promptly:
+    /// the claims it holds block concurrent fetches of the same objects
+    /// until finished.
+    pub(crate) fn begin_fetch(
+        &self,
+        cache: CacheId,
+        now: f64,
+        plan: &[(SourceId, Vec<ObjectId>)],
+        batch: bool,
+    ) -> PendingFetch {
         let mut stats = FetchStats::default();
         let mut out: Vec<Refresh> = Vec::new();
 
@@ -197,39 +252,77 @@ impl<T: Transport> RefreshGateway<T> {
             }
         }
 
-        // Fetch phase — no locks held; concurrent fetches overlap here.
-        // On failure, everything fetched *before* the failing request is
-        // kept: those refreshes already mutated their sources.
+        // Submit phase — no locks held, nothing awaited yet: all of this
+        // plan's round-trips go on the wire together.
+        let mut claimed: Vec<ObjectId> = Vec::new();
+        let mut waits: Vec<PendingReply> = Vec::new();
+        for (source, objects) in to_fetch {
+            claimed.extend(objects.iter().copied());
+            if batch {
+                waits.push(PendingReply::Batch(
+                    self.inner.submit_refresh_batch(source, cache, objects, now),
+                ));
+            } else {
+                for object in objects {
+                    waits.push(PendingReply::Single(
+                        self.inner.submit_refresh(source, cache, object, now),
+                    ));
+                }
+            }
+        }
+        PendingFetch {
+            cache,
+            now,
+            claim_epoch,
+            out,
+            stats,
+            claimed,
+            waits,
+            to_await,
+        }
+    }
+
+    /// The wait half of a fetch: blocks on the submitted completions,
+    /// publishes what arrived (waking parked waiters), releases failed
+    /// claims, and awaits objects other queries were fetching.
+    pub(crate) fn finish_fetch(&self, pending: PendingFetch) -> FetchOutcome {
+        let PendingFetch {
+            cache,
+            now,
+            claim_epoch,
+            mut out,
+            mut stats,
+            claimed,
+            waits,
+            to_await,
+        } = pending;
+
+        // Wait phase. Every submitted request is waited on even after a
+        // failure: the source may have served it already (narrowing its
+        // tracked bound), and dropping a served refresh would
+        // desynchronize cache and Refresh Monitor.
         let mut fetched: Vec<Refresh> = Vec::new();
         let mut error: Option<TrappError> = None;
-        'sources: for (source, objects) in &to_fetch {
-            if batch {
-                match self
-                    .inner
-                    .request_refresh_batch(*source, cache, objects, now)
-                {
+        for wait in waits {
+            match wait {
+                PendingReply::Batch(completion) => match completion.wait() {
                     Ok(rs) => {
                         stats.round_trips += 1;
                         fetched.extend(rs);
                     }
                     Err(e) => {
-                        error = Some(e);
-                        break 'sources;
+                        error.get_or_insert(e);
                     }
-                }
-            } else {
-                for &object in objects {
-                    match self.inner.request_refresh(*source, cache, object, now) {
-                        Ok(r) => {
-                            stats.round_trips += 1;
-                            fetched.push(r);
-                        }
-                        Err(e) => {
-                            error = Some(e);
-                            break 'sources;
-                        }
+                },
+                PendingReply::Single(completion) => match completion.wait() {
+                    Ok(r) => {
+                        stats.round_trips += 1;
+                        fetched.push(r);
                     }
-                }
+                    Err(e) => {
+                        error.get_or_insert(e);
+                    }
+                },
             }
         }
 
@@ -242,11 +335,9 @@ impl<T: Transport> RefreshGateway<T> {
                 publish_locked(&mut state, cache, now, claim_epoch, refresh);
             }
             if error.is_some() {
-                for (_, objects) in &to_fetch {
-                    for &object in objects {
-                        if !fetched.iter().any(|r| r.object == object) {
-                            abort_locked(&mut state, cache, now, object);
-                        }
+                for &object in &claimed {
+                    if !fetched.iter().any(|r| r.object == object) {
+                        abort_locked(&mut state, cache, now, object);
                     }
                 }
             }

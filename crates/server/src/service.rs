@@ -64,13 +64,14 @@ use trapp_core::executor::{PartialQuery, PlannedQuery, QueryResult};
 use trapp_core::{bounded_answer, choose_refresh, merge_partials, BoundedAnswer};
 use trapp_storage::Table;
 use trapp_system::{
-    CacheNode, ChannelTransport, CostModel, DirectTransport, SimClock, Source, Transport,
+    CacheNode, ChannelTransport, CompletionTransport, CostModel, DirectTransport, FetchPool,
+    SimClock, Source, Transport,
 };
 use trapp_types::{
     shard_of, BoundedValue, CacheId, ObjectId, SourceId, TrappError, TupleId, Value,
 };
 
-use crate::gateway::{FetchOutcome, FetchStats};
+use crate::gateway::{FetchOutcome, FetchStats, PendingFetch};
 use crate::router::{Route, Shard, ShardRouter, TidMap};
 
 /// Safety valve for the scatter-gather loop: each extra round means a
@@ -406,34 +407,31 @@ impl ServiceCore {
                 fetch_plans[s] = per_source.into_iter().collect();
             }
 
-            // Fetch phase: every shard's slice in parallel, no cache locks
-            // held — the cross-shard round-trips overlap each other *and*
-            // other queries' fetches on the same shards.
-            let outcomes: Vec<(usize, FetchOutcome)> = std::thread::scope(|scope| {
-                let handles: Vec<_> = fetch_plans
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, plan)| !plan.is_empty())
-                    .map(|(s, plan)| {
-                        let shard = self.router.shard(s);
-                        scope.spawn(move || {
-                            (
-                                s,
-                                shard.gateway.fetch(
-                                    shard.cache_id,
-                                    now,
-                                    plan,
-                                    self.batch_refreshes,
-                                ),
-                            )
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("scatter fetch panicked"))
-                    .collect()
-            });
+            // Fetch phase: submit every shard's slice through its gateway
+            // *before* waiting on any of them — the cross-shard
+            // round-trips ride the transport's completion queues and
+            // overlap each other *and* other queries' fetches on the same
+            // shards, with no per-round thread spawns. (Wall-clock is the
+            // slowest shard's slice, exactly as with the old scoped
+            // threads, but the fan-out now costs zero OS threads.)
+            let pending: Vec<(usize, PendingFetch)> = fetch_plans
+                .iter()
+                .enumerate()
+                .filter(|(_, plan)| !plan.is_empty())
+                .map(|(s, plan)| {
+                    let shard = self.router.shard(s);
+                    (
+                        s,
+                        shard
+                            .gateway
+                            .begin_fetch(shard.cache_id, now, plan, self.batch_refreshes),
+                    )
+                })
+                .collect();
+            let outcomes: Vec<(usize, FetchOutcome)> = pending
+                .into_iter()
+                .map(|(s, p)| (s, self.router.shard(s).gateway.finish_fetch(p)))
+                .collect();
 
             // Install phase: everything that arrived goes in — even on a
             // failed shard, its sources already narrowed their tracked
@@ -761,6 +759,29 @@ impl ServiceBuilder {
     pub fn build_channel(self, latency: Duration) -> Result<QueryService, TrappError> {
         self.build_with(move |sources| {
             let mut transport = ChannelTransport::new(latency);
+            for source in sources {
+                transport.add_source(source);
+            }
+            Box::new(transport) as Box<dyn Transport>
+        })
+    }
+
+    /// Builds over the completion-based [`CompletionTransport`]: one
+    /// **service-wide** [`FetchPool`] of `pool_threads` demux threads
+    /// multiplexes every shard's sources, so total transport threads are
+    /// `O(pool_threads)` — independent of the source × shard count —
+    /// where [`build_channel`](ServiceBuilder::build_channel) burns one OS
+    /// thread per source per shard. `latency` is the simulated one-way
+    /// wire time per refresh round-trip (held on a timer, not a sleeping
+    /// thread).
+    pub fn build_completion(
+        self,
+        latency: Duration,
+        pool_threads: usize,
+    ) -> Result<QueryService, TrappError> {
+        let pool = FetchPool::new(pool_threads);
+        self.build_with(move |sources| {
+            let mut transport = CompletionTransport::new(latency, pool.clone());
             for source in sources {
                 transport.add_source(source);
             }

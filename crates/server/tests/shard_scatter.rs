@@ -5,7 +5,9 @@
 //!
 //! * property: for random workloads and shard counts, every COUNT / SUM /
 //!   AVG / MIN answer (global *and* group-pinned), refresh set, and
-//!   refresh cost matches the 1-shard service exactly;
+//!   refresh cost matches the 1-shard service exactly — on the blocking
+//!   transport *and* on the completion-based transport (whose shared
+//!   fetch pool and nonblocking submits must not perturb a single bit);
 //! * a shard that fails mid-fetch turns the query into
 //!   [`TrappError::PartialResult`], while healthy shards keep serving;
 //! * updates route to the shard whose cache subscribes the object;
@@ -17,7 +19,16 @@ use trapp_server::{QueryService, ServiceBuilder, ServiceConfig};
 use trapp_types::{shard_of, ObjectId, SourceId, TrappError};
 use trapp_workload::loadgen::{self, LoadConfig, ServiceWorkload};
 
-fn build(w: &ServiceWorkload, shards: usize, workers: usize) -> QueryService {
+/// Which transport stack a service is built over.
+#[derive(Clone, Copy, Debug)]
+enum Stack {
+    /// Blocking, synchronous [`trapp_system::DirectTransport`].
+    Blocking,
+    /// Completion-based transport over a 2-thread shared fetch pool.
+    Completion,
+}
+
+fn build_on(w: &ServiceWorkload, shards: usize, workers: usize, stack: Stack) -> QueryService {
     let mut b = ServiceBuilder::new()
         .config(ServiceConfig {
             workers,
@@ -30,7 +41,14 @@ fn build(w: &ServiceWorkload, shards: usize, workers: usize) -> QueryService {
     for r in &w.rows {
         b = b.row("metrics", r.source, r.cells.clone());
     }
-    b.build_direct().unwrap()
+    match stack {
+        Stack::Blocking => b.build_direct().unwrap(),
+        Stack::Completion => b.build_completion(std::time::Duration::ZERO, 2).unwrap(),
+    }
+}
+
+fn build(w: &ServiceWorkload, shards: usize, workers: usize) -> QueryService {
+    build_on(w, shards, workers, Stack::Blocking)
 }
 
 proptest! {
@@ -41,7 +59,10 @@ proptest! {
     /// N-shard service and a 1-shard service yields bit-identical bounded
     /// answers, identical refresh sets (in global tuple ids), and
     /// identical refresh costs — across clock advances that force
-    /// re-refreshing.
+    /// re-refreshing, and on **both** transport stacks: the sharded
+    /// service runs once over the blocking transport and once over the
+    /// completion transport, and each must match the single cache
+    /// bit-for-bit.
     #[test]
     fn scatter_gather_is_bit_equivalent_to_single_cache(
         seed in 0u64..1000,
@@ -60,35 +81,43 @@ proptest! {
             ..LoadConfig::default()
         });
         let single = build(&w, 1, 1);
-        let sharded = build(&w, shards, 1);
+        let sharded = build_on(&w, shards, 1, Stack::Blocking);
+        let completion = build_on(&w, shards, 1, Stack::Completion);
         for (i, q) in w.queries.iter().enumerate() {
             if i % 6 == 0 {
                 single.advance_clock(25.0);
                 sharded.advance_clock(25.0);
+                completion.advance_clock(25.0);
             }
             let a = single.query(&q.sql).unwrap();
-            let b = sharded.query(&q.sql).unwrap();
-            prop_assert_eq!(
-                a.result.answer.range, b.result.answer.range,
-                "query {}: {} (shards={})", i, q.sql, shards
-            );
-            prop_assert_eq!(
-                a.result.initial_answer.range, b.result.initial_answer.range,
-                "initial answer for {}", q.sql
-            );
-            prop_assert_eq!(a.result.satisfied, b.result.satisfied, "{}", q.sql);
-            prop_assert_eq!(
-                &a.result.refreshed, &b.result.refreshed,
-                "refresh sets for {}", q.sql
-            );
-            prop_assert_eq!(
-                a.result.refresh_cost, b.result.refresh_cost,
-                "refresh cost for {}", q.sql
-            );
-            prop_assert_eq!(a.result.rounds, b.result.rounds, "{}", q.sql);
+            for (stack, service) in [("blocking", &sharded), ("completion", &completion)] {
+                let b = service.query(&q.sql).unwrap();
+                prop_assert_eq!(
+                    a.result.answer.range, b.result.answer.range,
+                    "query {}: {} (shards={}, {})", i, q.sql, shards, stack
+                );
+                prop_assert_eq!(
+                    a.result.initial_answer.range, b.result.initial_answer.range,
+                    "initial answer for {} ({})", q.sql, stack
+                );
+                prop_assert_eq!(a.result.satisfied, b.result.satisfied, "{} ({})", q.sql, stack);
+                prop_assert_eq!(
+                    &a.result.refreshed, &b.result.refreshed,
+                    "refresh sets for {} ({})", q.sql, stack
+                );
+                prop_assert_eq!(
+                    a.result.refresh_cost, b.result.refresh_cost,
+                    "refresh cost for {} ({})", q.sql, stack
+                );
+                prop_assert_eq!(a.result.rounds, b.result.rounds, "{} ({})", q.sql, stack);
+            }
         }
-        let scattered = sharded.stats().scatter_queries;
-        prop_assert!(scattered > 0, "no query exercised the scatter path");
+        for service in [&sharded, &completion] {
+            prop_assert!(
+                service.stats().scatter_queries > 0,
+                "no query exercised the scatter path"
+            );
+        }
     }
 }
 

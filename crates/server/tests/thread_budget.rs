@@ -1,0 +1,109 @@
+//! The acceptance property of the completion-based transport: a service
+//! built over [`ServiceBuilder::build_completion`] uses `O(pool + workers)`
+//! OS threads **independent of the source × shard count**, where the
+//! thread-per-source [`build_channel`](ServiceBuilder::build_channel)
+//! stack scales its thread count with the topology.
+//!
+//! Kept in its own integration-test binary so no sibling test's threads
+//! pollute the `/proc/self/task` census.
+
+#![cfg(target_os = "linux")]
+
+use std::time::Duration;
+
+use trapp_server::{QueryService, ServiceBuilder, ServiceConfig};
+use trapp_workload::loadgen::{self, LoadConfig, ServiceWorkload};
+
+/// Live OS threads in this process (Linux: one /proc/self/task entry per
+/// thread, including the main thread).
+fn os_threads() -> usize {
+    std::fs::read_dir("/proc/self/task")
+        .expect("linux procfs")
+        .count()
+}
+
+const WORKERS: usize = 4;
+const SHARDS: usize = 4;
+const POOL: usize = 4;
+
+fn workload() -> ServiceWorkload {
+    // 64 sources spread over 4 shards: the channel transport spawns one
+    // actor thread per (shard, source) pair that owns rows there.
+    loadgen::generate(&LoadConfig {
+        seed: 3,
+        groups: 64,
+        rows_per_group: 2,
+        sources: 64,
+        queries: 24,
+        global_fraction: 0.1,
+        ..LoadConfig::default()
+    })
+}
+
+fn builder(w: &ServiceWorkload) -> ServiceBuilder {
+    let mut b = ServiceBuilder::new()
+        .config(ServiceConfig {
+            workers: WORKERS,
+            shards: SHARDS,
+            coalesce: true,
+            batch_refreshes: true,
+        })
+        .partition_by("grp")
+        .table(loadgen::table());
+    for r in &w.rows {
+        b = b.row("metrics", r.source, r.cells.clone());
+    }
+    b
+}
+
+fn exercise(service: &QueryService, w: &ServiceWorkload) {
+    service.advance_clock(25.0);
+    for q in &w.queries {
+        let reply = service.query(&q.sql).expect("query runs");
+        assert!(reply.result.satisfied, "{}", q.sql);
+    }
+}
+
+#[test]
+fn completion_service_threads_are_o_pool_plus_workers() {
+    let w = workload();
+    let baseline = os_threads();
+
+    // Thread-per-source baseline: actor threads scale with the topology.
+    let channel = builder(&w)
+        .build_channel(Duration::ZERO)
+        .expect("channel service");
+    let channel_added = os_threads() - baseline;
+    exercise(&channel, &w);
+    drop(channel);
+
+    // Completion transport: one service-wide pool, O(pool + workers)
+    // threads no matter how many sources × shards exist.
+    let completion = builder(&w)
+        .build_completion(Duration::ZERO, POOL)
+        .expect("completion service");
+    let completion_added = os_threads() - baseline;
+    exercise(&completion, &w);
+
+    // workers + pool demux threads + 1 timer; a little slack for runtime
+    // housekeeping threads, none of which scale with sources.
+    let budget = WORKERS + POOL + 1 + 2;
+    assert!(
+        completion_added <= budget,
+        "completion service spawned {completion_added} threads (budget {budget})"
+    );
+    assert!(
+        channel_added > 2 * budget,
+        "channel baseline unexpectedly small ({channel_added} threads ≤ {}): \
+         the comparison no longer demonstrates the win",
+        2 * budget
+    );
+
+    // Shutdown joins everything the service spawned.
+    drop(completion);
+    let after = os_threads();
+    assert!(
+        after <= baseline + 1,
+        "threads leaked past shutdown: {baseline} before, {after} after"
+    );
+}

@@ -15,15 +15,19 @@
 //! per-(cache, object) [`trapp_bounds::AdaptiveWidth`] controllers on the
 //! source side (Appendix A): widen on escapes, narrow on query refreshes.
 //!
-//! Two transports are provided:
+//! Three transports are provided:
 //!
 //! * [`transport::DirectTransport`] — synchronous, single-threaded,
 //!   deterministic; used by tests and the reproducible experiments;
 //! * [`transport::ChannelTransport`] — each source runs on its own OS
 //!   thread behind `crossbeam` channels with optional simulated latency;
-//!   the concurrency shape of a real deployment (the paper's era would have
-//!   used RPC; an async runtime is not in the dependency budget, and
-//!   threads + channels preserve the actor structure).
+//!   the actor structure of a real deployment, at one thread per source;
+//! * [`transport::CompletionTransport`] — the scalable variant: a shared
+//!   [`fetch_pool::FetchPool`] of demux threads multiplexes every source
+//!   actor over completion queues, so fan-out costs `O(pool)` threads no
+//!   matter how many sources exist. All transports also expose the
+//!   nonblocking [`transport::Transport::submit_refresh_batch`] API so
+//!   callers can overlap independent round-trips.
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
@@ -31,6 +35,7 @@
 pub mod cache;
 pub mod clock;
 pub mod cost;
+pub mod fetch_pool;
 pub mod message;
 pub mod sim;
 pub mod source;
@@ -40,8 +45,11 @@ pub mod transport;
 pub use cache::CacheNode;
 pub use clock::SimClock;
 pub use cost::CostModel;
+pub use fetch_pool::FetchPool;
 pub use message::{Refresh, RefreshKind};
 pub use sim::{Simulation, SimulationBuilder};
 pub use source::Source;
 pub use stats::SystemStats;
-pub use transport::{ChannelTransport, DirectTransport, Transport};
+pub use transport::{
+    ChannelTransport, Completion, CompletionSender, CompletionTransport, DirectTransport, Transport,
+};

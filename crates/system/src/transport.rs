@@ -5,9 +5,22 @@
 //!   reproducible experiments.
 //! * [`ChannelTransport`] — every source runs on its own OS thread behind
 //!   `crossbeam` channels, with optional per-request simulated latency.
-//!   This preserves the actor structure of a real deployment: concurrent
-//!   caches block only on their own replies while sources serve requests
-//!   in arrival order.
+//!   This preserves the actor structure of a real deployment, but costs
+//!   one thread per source: fan-out scales with topology size, not
+//!   hardware.
+//! * [`CompletionTransport`] — the completion-based transport: a small
+//!   shared [`FetchPool`] of demux threads multiplexes *all* source
+//!   actors, and requests are submitted nonblockingly, resolving through
+//!   [`Completion`] handles. Thousands of sources, `O(pool)` threads;
+//!   per-source FIFO ordering is preserved so [`Refresh::seq`] stamping
+//!   matches the thread-per-source actors exactly.
+//!
+//! Every transport also exposes the nonblocking half of the API
+//! ([`Transport::submit_refresh`] / [`Transport::submit_refresh_batch`]):
+//! callers submit all their per-source requests first, then wait on the
+//! completions, so independent round-trips overlap instead of
+//! serializing. Blocking transports default to resolving the completion
+//! inline, which keeps them bit-equivalent with sequential execution.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -15,12 +28,73 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crossbeam::channel::{unbounded, Sender};
+use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use trapp_types::{CacheId, ObjectId, SourceId, TrappError};
 
+use crate::fetch_pool::{ActorHandle, FetchPool};
 use crate::message::Refresh;
 use crate::source::Source;
+
+/// A pending transport reply: the nonblocking submit API returns one of
+/// these, and the result arrives when the source (or its simulated
+/// network) finishes. [`Completion::wait`] blocks until then.
+pub struct Completion<T> {
+    inner: CompletionInner<T>,
+}
+
+enum CompletionInner<T> {
+    /// Resolved at submit time (blocking transports, early errors) — no
+    /// channel allocated.
+    Ready(Result<T, TrappError>),
+    /// In flight; the transport resolves it through a channel.
+    Pending(Receiver<Result<T, TrappError>>),
+}
+
+impl<T> Completion<T> {
+    /// A completion that already holds its result — how blocking
+    /// transports satisfy the nonblocking API.
+    pub fn ready(result: Result<T, TrappError>) -> Completion<T> {
+        Completion {
+            inner: CompletionInner::Ready(result),
+        }
+    }
+
+    /// An unresolved completion plus the sender that resolves it.
+    pub fn pending() -> (CompletionSender<T>, Completion<T>) {
+        let (tx, rx) = unbounded();
+        (
+            CompletionSender { tx },
+            Completion {
+                inner: CompletionInner::Pending(rx),
+            },
+        )
+    }
+
+    /// Blocks until the result is delivered. A transport torn down before
+    /// resolving the request surfaces as [`TrappError::RefreshFailed`].
+    pub fn wait(self) -> Result<T, TrappError> {
+        match self.inner {
+            CompletionInner::Ready(result) => result,
+            CompletionInner::Pending(rx) => rx.recv().map_err(|_| {
+                TrappError::RefreshFailed("transport dropped the completion".into())
+            })?,
+        }
+    }
+}
+
+/// Resolves a [`Completion`]. Dropping it unresolved makes the paired
+/// [`Completion::wait`] report a refresh failure.
+pub struct CompletionSender<T> {
+    tx: Sender<Result<T, TrappError>>,
+}
+
+impl<T> CompletionSender<T> {
+    /// Delivers the result to the waiting side.
+    pub fn complete(self, result: Result<T, TrappError>) {
+        let _ = self.tx.send(result);
+    }
+}
 
 /// A refresh-request pathway from caches to sources.
 ///
@@ -30,8 +104,9 @@ use crate::source::Source;
 /// implementation: each [`Transport::request_refresh`] call is one
 /// round-trip, and each non-empty [`Transport::request_refresh_batch`]
 /// call is one round-trip regardless of how many objects it covers (an
-/// empty batch is free). Updates pushed via [`Transport::apply_update`]
-/// are not refresh round-trips and are never counted.
+/// empty batch is free). The nonblocking submit variants count at submit
+/// time. Updates pushed via [`Transport::apply_update`] are not refresh
+/// round-trips and are never counted.
 pub trait Transport: Send + Sync {
     /// Performs one query-initiated refresh round-trip.
     fn request_refresh(
@@ -52,6 +127,31 @@ pub trait Transport: Send + Sync {
         objects: &[ObjectId],
         now: f64,
     ) -> Result<Vec<Refresh>, TrappError>;
+
+    /// Nonblocking [`Transport::request_refresh`]: submits the request and
+    /// returns immediately; the refresh arrives through the completion.
+    /// Blocking transports resolve it inline before returning.
+    fn submit_refresh(
+        &self,
+        source: SourceId,
+        cache: CacheId,
+        object: ObjectId,
+        now: f64,
+    ) -> Completion<Refresh> {
+        Completion::ready(self.request_refresh(source, cache, object, now))
+    }
+
+    /// Nonblocking [`Transport::request_refresh_batch`]. Submitting several
+    /// sources' batches before waiting overlaps their round-trips.
+    fn submit_refresh_batch(
+        &self,
+        source: SourceId,
+        cache: CacheId,
+        objects: Vec<ObjectId>,
+        now: f64,
+    ) -> Completion<Vec<Refresh>> {
+        Completion::ready(self.request_refresh_batch(source, cache, &objects, now))
+    }
 
     /// Applies an update to a master value at `source`, returning the
     /// value-initiated refreshes it triggered (one per cache whose bound
@@ -87,6 +187,26 @@ impl<T: Transport + ?Sized> Transport for Box<T> {
         now: f64,
     ) -> Result<Vec<Refresh>, TrappError> {
         (**self).request_refresh_batch(source, cache, objects, now)
+    }
+
+    fn submit_refresh(
+        &self,
+        source: SourceId,
+        cache: CacheId,
+        object: ObjectId,
+        now: f64,
+    ) -> Completion<Refresh> {
+        (**self).submit_refresh(source, cache, object, now)
+    }
+
+    fn submit_refresh_batch(
+        &self,
+        source: SourceId,
+        cache: CacheId,
+        objects: Vec<ObjectId>,
+        now: f64,
+    ) -> Completion<Vec<Refresh>> {
+        (**self).submit_refresh_batch(source, cache, objects, now)
     }
 
     fn apply_update(
@@ -190,27 +310,26 @@ enum SourceRequest {
         cache: CacheId,
         object: ObjectId,
         now: f64,
-        reply: Sender<Result<Refresh, TrappError>>,
+        reply: CompletionSender<Refresh>,
     },
     RefreshBatch {
         cache: CacheId,
         objects: Vec<ObjectId>,
         now: f64,
-        reply: Sender<Result<Vec<Refresh>, TrappError>>,
+        reply: CompletionSender<Vec<Refresh>>,
     },
     Update {
         object: ObjectId,
         value: f64,
         now: f64,
-        reply: Sender<Result<Vec<(CacheId, Refresh)>, TrappError>>,
+        reply: CompletionSender<Vec<(CacheId, Refresh)>>,
     },
-    Shutdown,
 }
 
 /// One source actor: a thread draining a request channel.
 struct SourceActor {
     tx: Sender<SourceRequest>,
-    handle: Option<JoinHandle<()>>,
+    handle: JoinHandle<()>,
 }
 
 /// Threaded transport: each source behind its own channel + thread.
@@ -249,7 +368,7 @@ impl ChannelTransport {
                         if !latency.is_zero() {
                             std::thread::sleep(latency);
                         }
-                        let _ = reply.send(source.serve_refresh(cache, object, now));
+                        reply.complete(source.serve_refresh(cache, object, now));
                     }
                     SourceRequest::RefreshBatch {
                         cache,
@@ -263,7 +382,7 @@ impl ChannelTransport {
                         if !latency.is_zero() {
                             std::thread::sleep(latency);
                         }
-                        let _ = reply.send(source.serve_refresh_batch(cache, &objects, now));
+                        reply.complete(source.serve_refresh_batch(cache, &objects, now));
                     }
                     SourceRequest::Update {
                         object,
@@ -271,21 +390,14 @@ impl ChannelTransport {
                         now,
                         reply,
                     } => {
-                        let _ = reply.send(source.apply_update(object, value, now));
+                        reply.complete(source.apply_update(object, value, now));
                     }
-                    SourceRequest::Shutdown => break,
                 }
             }
         });
-        if let Some(replaced) = self.actors.insert(
-            id,
-            SourceActor {
-                tx,
-                handle: Some(handle),
-            },
-        ) {
+        if let Some(replaced) = self.actors.insert(id, SourceActor { tx, handle }) {
             // Re-registering a source id must not leak the old actor's
-            // thread past this transport: shut it down and join it now.
+            // thread past this transport: drain it and join it now.
             shutdown_actor(replaced);
         }
     }
@@ -297,12 +409,16 @@ impl ChannelTransport {
     }
 }
 
-/// Asks one actor to stop and joins its thread.
-fn shutdown_actor(mut actor: SourceActor) {
-    let _ = actor.tx.send(SourceRequest::Shutdown);
-    if let Some(h) = actor.handle.take() {
-        let _ = h.join();
-    }
+/// Stops one actor by *closing its channel* and joining the thread. The
+/// actor loop exits only when the channel is closed **and drained**, so
+/// every request accepted before shutdown — including nonblocking submits
+/// still in flight — is served, counted, and answered exactly once before
+/// the join returns. (A poison message would instead race ahead of queued
+/// requests it should drain behind.)
+fn shutdown_actor(actor: SourceActor) {
+    let SourceActor { tx, handle } = actor;
+    drop(tx);
+    let _ = handle.join();
 }
 
 impl Transport for ChannelTransport {
@@ -313,20 +429,7 @@ impl Transport for ChannelTransport {
         object: ObjectId,
         now: f64,
     ) -> Result<Refresh, TrappError> {
-        let actor = self.actor(source)?;
-        let (reply, rx) = unbounded();
-        actor
-            .tx
-            .send(SourceRequest::Refresh {
-                cache,
-                object,
-                now,
-                reply,
-            })
-            .map_err(|_| TrappError::RefreshFailed("source actor gone".into()))?;
-        self.messages.fetch_add(1, Ordering::Relaxed);
-        rx.recv()
-            .map_err(|_| TrappError::RefreshFailed("source actor dropped reply".into()))?
+        self.submit_refresh(source, cache, object, now).wait()
     }
 
     fn request_refresh_batch(
@@ -336,23 +439,67 @@ impl Transport for ChannelTransport {
         objects: &[ObjectId],
         now: f64,
     ) -> Result<Vec<Refresh>, TrappError> {
-        if objects.is_empty() {
-            return Ok(Vec::new());
-        }
-        let actor = self.actor(source)?;
-        let (reply, rx) = unbounded();
-        actor
+        self.submit_refresh_batch(source, cache, objects.to_vec(), now)
+            .wait()
+    }
+
+    fn submit_refresh(
+        &self,
+        source: SourceId,
+        cache: CacheId,
+        object: ObjectId,
+        now: f64,
+    ) -> Completion<Refresh> {
+        let actor = match self.actor(source) {
+            Ok(actor) => actor,
+            Err(e) => return Completion::ready(Err(e)),
+        };
+        let (reply, completion) = Completion::pending();
+        if actor
             .tx
-            .send(SourceRequest::RefreshBatch {
+            .send(SourceRequest::Refresh {
                 cache,
-                objects: objects.to_vec(),
+                object,
                 now,
                 reply,
             })
-            .map_err(|_| TrappError::RefreshFailed("source actor gone".into()))?;
+            .is_err()
+        {
+            return Completion::ready(Err(TrappError::RefreshFailed("source actor gone".into())));
+        }
         self.messages.fetch_add(1, Ordering::Relaxed);
-        rx.recv()
-            .map_err(|_| TrappError::RefreshFailed("source actor dropped reply".into()))?
+        completion
+    }
+
+    fn submit_refresh_batch(
+        &self,
+        source: SourceId,
+        cache: CacheId,
+        objects: Vec<ObjectId>,
+        now: f64,
+    ) -> Completion<Vec<Refresh>> {
+        if objects.is_empty() {
+            return Completion::ready(Ok(Vec::new()));
+        }
+        let actor = match self.actor(source) {
+            Ok(actor) => actor,
+            Err(e) => return Completion::ready(Err(e)),
+        };
+        let (reply, completion) = Completion::pending();
+        if actor
+            .tx
+            .send(SourceRequest::RefreshBatch {
+                cache,
+                objects,
+                now,
+                reply,
+            })
+            .is_err()
+        {
+            return Completion::ready(Err(TrappError::RefreshFailed("source actor gone".into())));
+        }
+        self.messages.fetch_add(1, Ordering::Relaxed);
+        completion
     }
 
     fn apply_update(
@@ -363,7 +510,7 @@ impl Transport for ChannelTransport {
         now: f64,
     ) -> Result<Vec<(CacheId, Refresh)>, TrappError> {
         let actor = self.actor(source)?;
-        let (reply, rx) = unbounded();
+        let (reply, completion) = Completion::pending();
         actor
             .tx
             .send(SourceRequest::Update {
@@ -373,8 +520,7 @@ impl Transport for ChannelTransport {
                 reply,
             })
             .map_err(|_| TrappError::RefreshFailed("source actor gone".into()))?;
-        rx.recv()
-            .map_err(|_| TrappError::RefreshFailed("source actor dropped reply".into()))?
+        completion.wait()
     }
 
     fn messages(&self) -> u64 {
@@ -390,15 +536,203 @@ impl Drop for ChannelTransport {
     }
 }
 
+/// One source multiplexed on the shared pool: its state plus its FIFO
+/// submission handle.
+struct CompletionActor {
+    source: Arc<Mutex<Source>>,
+    handle: ActorHandle,
+}
+
+/// Completion-based transport: every source is an actor on a shared
+/// [`FetchPool`], requests are submitted nonblockingly and resolve through
+/// [`Completion`]s. Total threads are `O(pool)` regardless of how many
+/// sources (or how many transports share the pool) exist.
+///
+/// Semantics relative to [`ChannelTransport`]:
+///
+/// * **Per-source FIFO is preserved** — refresh requests to one source are
+///   served in submission order, so [`Refresh::seq`] stamping (and hence
+///   install ordering) is identical to the thread-per-source actors.
+/// * **Latency costs no threads** — simulated one-way latency is a timer
+///   deadline, not a sleeping thread: a request spends `latency` "on the
+///   wire", then enters its source's queue. A thousand concurrent
+///   in-flight requests occupy zero pool threads while in transit.
+/// * **Updates may overtake in-flight refreshes** — [`apply_update`] is
+///   driver-side and enters the source queue immediately, ahead of
+///   refreshes still in transit. Real networks reorder this way too; the
+///   refresh sequencing invariants ([`Refresh::seq`] ordering, the
+///   gateway's epoch guard) make the interleaving safe.
+///
+/// [`apply_update`]: Transport::apply_update
+pub struct CompletionTransport {
+    actors: HashMap<SourceId, CompletionActor>,
+    latency: Duration,
+    pool: FetchPool,
+    messages: Arc<AtomicU64>,
+}
+
+impl CompletionTransport {
+    /// Creates a transport over an existing (possibly shared) pool, with
+    /// the given simulated one-way latency per refresh request.
+    pub fn new(latency: Duration, pool: FetchPool) -> CompletionTransport {
+        CompletionTransport {
+            actors: HashMap::new(),
+            latency,
+            pool,
+            messages: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Convenience: a transport over its own private pool of `threads`
+    /// demux workers.
+    pub fn with_pool_size(latency: Duration, threads: usize) -> CompletionTransport {
+        CompletionTransport::new(latency, FetchPool::new(threads))
+    }
+
+    /// The pool this transport submits to.
+    pub fn pool(&self) -> &FetchPool {
+        &self.pool
+    }
+
+    /// Registers a source as a pool actor, returning the shared handle for
+    /// driver-side inspection (like [`DirectTransport::add_source`]).
+    pub fn add_source(&mut self, source: Source) -> Arc<Mutex<Source>> {
+        let id = source.id();
+        let arc = Arc::new(Mutex::new(source));
+        self.actors.insert(
+            id,
+            CompletionActor {
+                source: arc.clone(),
+                handle: self.pool.register(),
+            },
+        );
+        arc
+    }
+
+    fn actor(&self, source: SourceId) -> Result<&CompletionActor, TrappError> {
+        self.actors
+            .get(&source)
+            .ok_or_else(|| TrappError::RefreshFailed(format!("unknown source {source}")))
+    }
+
+    /// Submits a job against one source's state, after the simulated wire
+    /// latency when `delayed`.
+    fn dispatch(
+        &self,
+        actor: &CompletionActor,
+        delayed: bool,
+        job: impl FnOnce(&mut Source) + Send + 'static,
+    ) {
+        let source = actor.source.clone();
+        let run = move || job(&mut source.lock());
+        if delayed && !self.latency.is_zero() {
+            actor.handle.submit_after(self.latency, run);
+        } else {
+            actor.handle.submit(run);
+        }
+    }
+}
+
+impl Transport for CompletionTransport {
+    fn request_refresh(
+        &self,
+        source: SourceId,
+        cache: CacheId,
+        object: ObjectId,
+        now: f64,
+    ) -> Result<Refresh, TrappError> {
+        self.submit_refresh(source, cache, object, now).wait()
+    }
+
+    fn request_refresh_batch(
+        &self,
+        source: SourceId,
+        cache: CacheId,
+        objects: &[ObjectId],
+        now: f64,
+    ) -> Result<Vec<Refresh>, TrappError> {
+        self.submit_refresh_batch(source, cache, objects.to_vec(), now)
+            .wait()
+    }
+
+    fn submit_refresh(
+        &self,
+        source: SourceId,
+        cache: CacheId,
+        object: ObjectId,
+        now: f64,
+    ) -> Completion<Refresh> {
+        let actor = match self.actor(source) {
+            Ok(actor) => actor,
+            Err(e) => return Completion::ready(Err(e)),
+        };
+        self.messages.fetch_add(1, Ordering::Relaxed);
+        let (reply, completion) = Completion::pending();
+        self.dispatch(actor, true, move |s| {
+            reply.complete(s.serve_refresh(cache, object, now));
+        });
+        completion
+    }
+
+    fn submit_refresh_batch(
+        &self,
+        source: SourceId,
+        cache: CacheId,
+        objects: Vec<ObjectId>,
+        now: f64,
+    ) -> Completion<Vec<Refresh>> {
+        if objects.is_empty() {
+            return Completion::ready(Ok(Vec::new()));
+        }
+        let actor = match self.actor(source) {
+            Ok(actor) => actor,
+            Err(e) => return Completion::ready(Err(e)),
+        };
+        self.messages.fetch_add(1, Ordering::Relaxed);
+        let (reply, completion) = Completion::pending();
+        self.dispatch(actor, true, move |s| {
+            reply.complete(s.serve_refresh_batch(cache, &objects, now));
+        });
+        completion
+    }
+
+    fn apply_update(
+        &self,
+        source: SourceId,
+        object: ObjectId,
+        value: f64,
+        now: f64,
+    ) -> Result<Vec<(CacheId, Refresh)>, TrappError> {
+        let actor = self.actor(source)?;
+        let (reply, completion) = Completion::pending();
+        self.dispatch(actor, false, move |s| {
+            reply.complete(s.apply_update(object, value, now));
+        });
+        completion.wait()
+    }
+
+    fn messages(&self) -> u64 {
+        self.messages.load(Ordering::Relaxed)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::message::RefreshKind;
+    use std::time::Instant;
     use trapp_bounds::BoundShape;
 
     fn mk_source(id: u64) -> Source {
         let mut s = Source::new(SourceId::new(id), BoundShape::Sqrt);
         s.register_object(ObjectId::new(1), 10.0).unwrap();
+        s
+    }
+
+    fn subscribed_source(id: u64) -> Source {
+        let mut s = mk_source(id);
+        s.subscribe(CacheId::new(1), ObjectId::new(1), 1.0, 0.0)
+            .unwrap();
         s
     }
 
@@ -423,10 +757,7 @@ mod tests {
     #[test]
     fn channel_round_trip_and_updates() {
         let mut t = ChannelTransport::new(Duration::ZERO);
-        let mut s = mk_source(1);
-        s.subscribe(CacheId::new(1), ObjectId::new(1), 1.0, 0.0)
-            .unwrap();
-        t.add_source(s);
+        t.add_source(subscribed_source(1));
 
         // Query-initiated pull through the thread.
         let r = t
@@ -447,10 +778,7 @@ mod tests {
     fn channel_transport_is_concurrent() {
         let mut t = ChannelTransport::new(Duration::from_millis(1));
         for id in 1..=4u64 {
-            let mut s = mk_source(id);
-            s.subscribe(CacheId::new(1), ObjectId::new(1), 1.0, 0.0)
-                .unwrap();
-            t.add_source(s);
+            t.add_source(subscribed_source(id));
         }
         let t = Arc::new(t);
         let mut handles = Vec::new();
@@ -467,5 +795,147 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(t.messages(), 20);
+    }
+
+    /// Replacing a source actor must drain every in-flight nonblocking
+    /// submit before the join: each accepted request is served, counted,
+    /// and answered exactly once — none lost, none duplicated.
+    #[test]
+    fn channel_replacement_drains_inflight_submits() {
+        let mut t = ChannelTransport::new(Duration::from_millis(2));
+        t.add_source(subscribed_source(1));
+
+        let completions: Vec<Completion<Refresh>> = (0..5)
+            .map(|i| {
+                t.submit_refresh(
+                    SourceId::new(1),
+                    CacheId::new(1),
+                    ObjectId::new(1),
+                    1.0 + i as f64,
+                )
+            })
+            .collect();
+        // Replace the actor while the five submits are still queued behind
+        // its simulated latency: add_source joins the old thread, which
+        // must first drain them all.
+        t.add_source(subscribed_source(1));
+
+        let seqs: Vec<u64> = completions
+            .into_iter()
+            .map(|c| c.wait().expect("drained before join").seq)
+            .collect();
+        // Subscription stamped seq 0; five serves exactly once each, in
+        // submission order.
+        assert_eq!(seqs, vec![1, 2, 3, 4, 5]);
+        assert_eq!(t.messages(), 5, "each submit counted exactly once");
+
+        // The replacement actor serves fresh requests.
+        let r = t
+            .request_refresh(SourceId::new(1), CacheId::new(1), ObjectId::new(1), 9.0)
+            .unwrap();
+        assert_eq!(r.value, 10.0);
+        assert_eq!(t.messages(), 6);
+    }
+
+    #[test]
+    fn completion_round_trip_and_updates() {
+        let mut t = CompletionTransport::with_pool_size(Duration::ZERO, 2);
+        t.add_source(subscribed_source(1));
+
+        let r = t
+            .request_refresh(SourceId::new(1), CacheId::new(1), ObjectId::new(1), 1.0)
+            .unwrap();
+        assert_eq!(r.value, 10.0);
+        assert_eq!(r.kind, RefreshKind::QueryInitiated);
+
+        let refreshes = t
+            .apply_update(SourceId::new(1), ObjectId::new(1), 99.0, 2.0)
+            .unwrap();
+        assert_eq!(refreshes.len(), 1);
+        assert_eq!(refreshes[0].1.kind, RefreshKind::ValueInitiated);
+        assert_eq!(t.messages(), 1);
+
+        assert!(t
+            .request_refresh(SourceId::new(9), CacheId::new(1), ObjectId::new(1), 1.0)
+            .is_err());
+        let batch = t
+            .request_refresh_batch(SourceId::new(1), CacheId::new(1), &[ObjectId::new(1)], 3.0)
+            .unwrap();
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].value, 99.0);
+    }
+
+    /// Submitted batches to distinct sources spend their latency on the
+    /// timer concurrently: 4 × 50 ms of simulated wire time must resolve
+    /// in well under the 200 ms a serialized transport would need, with
+    /// only 2 pool threads. (The upper bound leaves 100 ms of scheduler
+    /// slack so a loaded CI machine cannot trip it spuriously.)
+    #[test]
+    fn completion_submits_overlap_latency() {
+        let latency = Duration::from_millis(50);
+        let mut t = CompletionTransport::with_pool_size(latency, 2);
+        for id in 1..=4u64 {
+            t.add_source(subscribed_source(id));
+        }
+        let started = Instant::now();
+        let completions: Vec<Completion<Vec<Refresh>>> = (1..=4u64)
+            .map(|id| {
+                t.submit_refresh_batch(
+                    SourceId::new(id),
+                    CacheId::new(1),
+                    vec![ObjectId::new(1)],
+                    1.0,
+                )
+            })
+            .collect();
+        for c in completions {
+            assert_eq!(c.wait().unwrap().len(), 1);
+        }
+        let elapsed = started.elapsed();
+        assert!(elapsed >= latency, "latency must apply: {elapsed:?}");
+        assert!(
+            elapsed < 3 * latency,
+            "round-trips must overlap, not serialize (4 × {latency:?} serial): {elapsed:?}"
+        );
+        assert_eq!(t.messages(), 4);
+    }
+
+    /// Per-source FIFO with sources ≫ pool threads: every source's
+    /// refreshes are served exactly once, in submission order — the seq
+    /// stamps come back strictly consecutive.
+    #[test]
+    fn completion_preserves_per_source_fifo_under_contention() {
+        const SOURCES: u64 = 32;
+        const ROUNDS: u64 = 8;
+        let mut t = CompletionTransport::with_pool_size(Duration::from_micros(500), 2);
+        for id in 1..=SOURCES {
+            t.add_source(subscribed_source(id));
+        }
+        // Interleave submissions across all sources, round-robin.
+        let mut completions: Vec<Vec<Completion<Refresh>>> =
+            (0..SOURCES).map(|_| Vec::new()).collect();
+        for round in 0..ROUNDS {
+            for id in 1..=SOURCES {
+                completions[(id - 1) as usize].push(t.submit_refresh(
+                    SourceId::new(id),
+                    CacheId::new(1),
+                    ObjectId::new(1),
+                    1.0 + round as f64,
+                ));
+            }
+        }
+        for (idx, per_source) in completions.into_iter().enumerate() {
+            let seqs: Vec<u64> = per_source
+                .into_iter()
+                .map(|c| c.wait().expect("served").seq)
+                .collect();
+            assert_eq!(
+                seqs,
+                (1..=ROUNDS).collect::<Vec<_>>(),
+                "source {} served out of order",
+                idx + 1
+            );
+        }
+        assert_eq!(t.messages(), SOURCES * ROUNDS);
     }
 }

@@ -161,28 +161,66 @@ pub fn table() -> Table {
 /// values in the workload's row specs — the ground truth benches and
 /// tests check bounded answers against (`range` must contain it).
 pub fn ground_truth(w: &ServiceWorkload, q: &GeneratedQuery) -> f64 {
-    let mid = (w.config.value_range.0 + w.config.value_range.1) / 2.0;
-    let loads: Vec<f64> = w
+    let points: Vec<(f64, f64)> = w
         .rows
         .iter()
-        .filter(|r| match q.group {
+        .map(|r| {
+            let m = r.cells[1]
+                .as_interval()
+                .expect("load cell is numeric")
+                .midpoint();
+            (m, m)
+        })
+        .collect();
+    ground_truth_bounds(w, q, &points).0
+}
+
+/// The range the precise aggregate must lie in when each row's master
+/// value is only known to lie in `current[i] = (lo, hi)` — the envelope
+/// benches use to sanity-check answers while an update stream is
+/// concurrently rewriting masters (the instantaneous truth is then a
+/// moving target, but it can never leave this envelope). `current` is
+/// indexed like [`ServiceWorkload::rows`]; with point intervals this
+/// degenerates to the exact [`ground_truth`].
+pub fn ground_truth_bounds(
+    w: &ServiceWorkload,
+    q: &GeneratedQuery,
+    current: &[(f64, f64)],
+) -> (f64, f64) {
+    assert_eq!(current.len(), w.rows.len(), "one (lo, hi) per row");
+    let mid = (w.config.value_range.0 + w.config.value_range.1) / 2.0;
+    let selected: Vec<(f64, f64)> = w
+        .rows
+        .iter()
+        .zip(current)
+        .filter(|(r, _)| match q.group {
             Some(g) => {
                 matches!(&r.cells[0], BoundedValue::Exact(Value::Int(v)) if *v == g as i64)
             }
             None => true,
         })
-        .map(|r| {
-            r.cells[1]
-                .as_interval()
-                .expect("load cell is numeric")
-                .midpoint()
-        })
+        .map(|(_, &range)| range)
         .collect();
+    let n = selected.len() as f64;
     match q.agg {
-        AggTemplate::Count => loads.iter().filter(|&&v| v > mid).count() as f64,
-        AggTemplate::Sum => loads.iter().sum(),
-        AggTemplate::Avg => loads.iter().sum::<f64>() / loads.len() as f64,
-        AggTemplate::Min => loads.iter().fold(f64::INFINITY, |a, &b| a.min(b)),
+        // A row certainly passes `load > mid` only if its whole envelope
+        // does; it possibly passes if any of it does.
+        AggTemplate::Count => (
+            selected.iter().filter(|&&(lo, _)| lo > mid).count() as f64,
+            selected.iter().filter(|&&(_, hi)| hi > mid).count() as f64,
+        ),
+        AggTemplate::Sum => (
+            selected.iter().map(|&(lo, _)| lo).sum(),
+            selected.iter().map(|&(_, hi)| hi).sum(),
+        ),
+        AggTemplate::Avg => (
+            selected.iter().map(|&(lo, _)| lo).sum::<f64>() / n,
+            selected.iter().map(|&(_, hi)| hi).sum::<f64>() / n,
+        ),
+        AggTemplate::Min => (
+            selected.iter().fold(f64::INFINITY, |a, &(lo, _)| a.min(lo)),
+            selected.iter().fold(f64::INFINITY, |a, &(_, hi)| a.min(hi)),
+        ),
     }
 }
 
@@ -452,6 +490,39 @@ mod tests {
         );
         for q in w.queries.iter().filter(|q| q.group.is_none()) {
             assert!(!q.sql.contains("grp ="), "{}", q.sql);
+        }
+    }
+
+    #[test]
+    fn ground_truth_bounds_widen_with_the_envelope() {
+        let w = generate(&LoadConfig {
+            queries: 50,
+            global_fraction: 0.2,
+            ..LoadConfig::default()
+        });
+        // Point envelopes reproduce the exact ground truth.
+        let points: Vec<(f64, f64)> = w
+            .rows
+            .iter()
+            .map(|r| {
+                let m = r.cells[1].as_interval().unwrap().midpoint();
+                (m, m)
+            })
+            .collect();
+        for q in &w.queries {
+            let t = ground_truth(&w, q);
+            assert_eq!(ground_truth_bounds(&w, q, &points), (t, t), "{}", q.sql);
+        }
+        // Widening every row's envelope widens (never shrinks) the bound,
+        // and the exact truth stays inside it.
+        let widened: Vec<(f64, f64)> = points
+            .iter()
+            .map(|&(lo, hi)| (lo - 3.0, hi + 3.0))
+            .collect();
+        for q in &w.queries {
+            let t = ground_truth(&w, q);
+            let (lo, hi) = ground_truth_bounds(&w, q, &widened);
+            assert!(lo <= t && t <= hi, "{}: {t} outside [{lo}, {hi}]", q.sql);
         }
     }
 
