@@ -1,5 +1,5 @@
 //! Throughput / latency / round-trip benchmark for the `trapp-server`
-//! query service, in four parts:
+//! query service, in five parts:
 //!
 //! 1. **traffic mechanisms** (single shard): per-object baseline vs
 //!    batched source round-trips vs batching + refresh coalescing;
@@ -12,9 +12,16 @@
 //!    completion-based `CompletionTransport` with a `--pool`-thread
 //!    shared fetch pool — the regime where thread churn dominates;
 //! 4. **update churn**: `--update-rate` (default 32) random-walk master
-//!    writes per burst race the query stream through
-//!    `QueryService::apply_update`, so coalescing invalidation is
-//!    measured under write pressure, not just read-only bursts.
+//!    writes per burst race the query stream, submitted in batches of
+//!    [`UPDATE_BATCH`] through `QueryService::apply_update_batch` (one
+//!    completion per shard × source batch instead of one blocking
+//!    round-trip per write), so coalescing invalidation is measured
+//!    under write pressure, not just read-only bursts;
+//! 5. **query surface**: a mixed stream with `GROUP BY` and two-table
+//!    join slices at 1 shard and at the largest shard count over the
+//!    completion transport — every grouped answer is checked per group
+//!    and every join answer against the join ground truth, read-only and
+//!    under churn.
 //!
 //! Eight closed-loop clients drive the service over transports with
 //! simulated per-round-trip latency; the stream is split into bursts with
@@ -41,12 +48,14 @@ use rand::{Rng, SeedableRng};
 use trapp_bench::json::Json;
 use trapp_bench::tablefmt;
 use trapp_server::{QueryService, ServiceBuilder, ServiceConfig};
-use trapp_types::ObjectId;
-use trapp_workload::loadgen::{self, LoadConfig, ServiceWorkload};
+use trapp_types::{ObjectId, Value};
+use trapp_workload::loadgen::{self, LoadConfig, QueryShape, ServiceWorkload};
 
 const CLIENTS: usize = 8;
 const BURSTS: usize = 8;
 const LATENCY: Duration = Duration::from_micros(200);
+/// Updates per `apply_update_batch` call in the churn stream.
+const UPDATE_BATCH: usize = 8;
 
 /// Which transport stack a run is built over.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -76,8 +85,16 @@ fn build_service(
         .config(config)
         .partition_by("grp")
         .table(loadgen::table());
+    if !w.segments.is_empty() {
+        b = b.table(loadgen::segments_table());
+    }
     for r in &w.rows {
         b = b.row("metrics", r.source, r.cells.clone());
+    }
+    // Segments after every metrics row: metrics row k keeps backing
+    // object k+1, which the churn stream relies on.
+    for s in &w.segments {
+        b = b.row("segments", s.source, s.cells.clone());
     }
     match transport {
         TransportKind::Channel => b.build_channel(LATENCY).expect("service builds"),
@@ -169,26 +186,35 @@ fn run(
         std::thread::scope(|s| {
             if update_rate > 0 {
                 // The update stream races the query burst: a seeded random
-                // walk over row masters, clamped to the value range.
+                // walk over row masters, clamped to the value range and
+                // submitted in UPDATE_BATCH-sized `apply_update_batch`
+                // calls — the batched write path under measurement.
                 s.spawn(move || {
                     let mut rng = StdRng::seed_from_u64(w.config.seed ^ ((burst_idx as u64) << 17));
                     let (lo, hi) = w.config.value_range;
                     let step = (hi - lo) * 0.1;
-                    for _ in 0..update_rate {
-                        let row = rng.gen_range(0..w.rows.len());
-                        let value = {
+                    let mut remaining = update_rate as usize;
+                    while remaining > 0 {
+                        let n = remaining.min(UPDATE_BATCH);
+                        remaining -= n;
+                        // Extend every envelope *before* any write of the
+                        // batch is published, so racing answers can never
+                        // observe a master outside it.
+                        let batch: Vec<(ObjectId, f64)> = {
                             let mut state = churn.lock().unwrap();
-                            let (cur, env_lo, env_hi) = &mut state.rows[row];
-                            *cur = (*cur + rng.gen_range(-step..=step)).clamp(lo, hi);
-                            *env_lo = env_lo.min(*cur);
-                            *env_hi = env_hi.max(*cur);
-                            *cur
+                            (0..n)
+                                .map(|_| {
+                                    let row = rng.gen_range(0..w.rows.len());
+                                    let (cur, env_lo, env_hi) = &mut state.rows[row];
+                                    *cur = (*cur + rng.gen_range(-step..=step)).clamp(lo, hi);
+                                    *env_lo = env_lo.min(*cur);
+                                    *env_hi = env_hi.max(*cur);
+                                    (ObjectId::new(row as u64 + 1), *cur)
+                                })
+                                .collect()
                         };
-                        // Envelope already covers `value`: safe to publish.
-                        service
-                            .apply_update(ObjectId::new(row as u64 + 1), value)
-                            .expect("update routes");
-                        std::thread::sleep(Duration::from_micros(50));
+                        service.apply_update_batch(&batch).expect("updates route");
+                        std::thread::sleep(Duration::from_micros(50 * n as u64));
                     }
                 });
             }
@@ -199,17 +225,47 @@ fn run(
                         let reply = service.query(&q.sql).expect("query runs");
                         let us = t0.elapsed().as_secs_f64() * 1e6;
                         latencies.lock().unwrap().push(us);
-                        let range = reply.result.answer.range;
-                        let ok = if update_rate == 0 {
-                            let t = loadgen::ground_truth(w, q);
-                            range.lo() - 1e-9 <= t && t <= range.hi() + 1e-9
-                        } else {
-                            // The truth moves while the query runs, but it
-                            // cannot leave the burst envelope — a correct
-                            // answer must intersect it.
-                            let env = churn.lock().unwrap().envelope();
-                            let (lo, hi) = loadgen::ground_truth_bounds(w, q, &env);
-                            range.hi() >= lo - 1e-9 && range.lo() <= hi + 1e-9
+                        // Read-only runs check containment of the exact
+                        // truth; under churn the truth moves while the
+                        // query runs, but it cannot leave the burst
+                        // envelope — a correct answer must intersect it.
+                        let ok = match q.shape {
+                            QueryShape::Grouped => {
+                                let bounds = if update_rate == 0 {
+                                    loadgen::ground_truth_groups(w, q)
+                                        .into_iter()
+                                        .map(|(g, t)| (g, (t, t)))
+                                        .collect::<Vec<_>>()
+                                } else {
+                                    let env = churn.lock().unwrap().envelope();
+                                    loadgen::ground_truth_group_bounds(w, q, &env)
+                                };
+                                reply.groups.len() == bounds.len()
+                                    && reply.groups.iter().all(|g| {
+                                        let id = match g.key.first() {
+                                            Some(Value::Int(v)) => *v,
+                                            _ => return false,
+                                        };
+                                        let Some(&(_, (lo, hi))) =
+                                            bounds.iter().find(|(tg, _)| *tg == id)
+                                        else {
+                                            return false;
+                                        };
+                                        let range = g.result.answer.range;
+                                        range.hi() >= lo - 1e-9 && range.lo() <= hi + 1e-9
+                                    })
+                            }
+                            QueryShape::Scalar | QueryShape::Join => {
+                                let range = reply.result.answer.range;
+                                if update_rate == 0 {
+                                    let t = loadgen::ground_truth(w, q);
+                                    range.lo() - 1e-9 <= t && t <= range.hi() + 1e-9
+                                } else {
+                                    let env = churn.lock().unwrap().envelope();
+                                    let (lo, hi) = loadgen::ground_truth_bounds(w, q, &env);
+                                    range.hi() >= lo - 1e-9 && range.lo() <= hi + 1e-9
+                                }
+                            }
                         };
                         if !ok || !reply.result.satisfied {
                             *violations.lock().unwrap() += 1;
@@ -634,6 +690,71 @@ fn main() {
             ("runs", Json::Arr(churn.iter().map(run_json).collect())),
         ]));
     }
+
+    // Part 5: the full query surface — grouped + join slices over the
+    // completion transport at 1 shard and at the largest shard count,
+    // read-only and under batched update churn. Every grouped answer is
+    // checked per group, every join answer against the join ground truth.
+    let surface_config = LoadConfig {
+        seed: 211,
+        groups: 32,
+        rows_per_group: 8,
+        sources: cli.sources.min(16),
+        queries: if cli.quick { 64 } else { 512 },
+        global_fraction: 0.05,
+        grouped_fraction: 0.15,
+        join_fraction: 0.15,
+        ..LoadConfig::default()
+    };
+    let qw = loadgen::generate(&surface_config);
+    let n_grouped = qw
+        .queries
+        .iter()
+        .filter(|q| q.shape == QueryShape::Grouped)
+        .count();
+    let n_join = qw
+        .queries
+        .iter()
+        .filter(|q| q.shape == QueryShape::Join)
+        .count();
+    eprintln!(
+        "\nquery-surface workload: {} rows + {} segments, {} queries \
+         ({n_grouped} grouped, {n_join} join)",
+        qw.rows.len(),
+        qw.segments.len(),
+        qw.queries.len(),
+    );
+    let surface = [
+        run(
+            "1 shard (completion)",
+            &qw,
+            sharded(1),
+            TransportKind::Completion { pool: cli.pool },
+            0,
+        ),
+        run(
+            format!("{max_shards} shards (completion)"),
+            &qw,
+            sharded(max_shards),
+            TransportKind::Completion { pool: cli.pool },
+            0,
+        ),
+        run(
+            format!("{max_shards} shards, {}/burst updates", cli.update_rate),
+            &qw,
+            sharded(max_shards),
+            TransportKind::Completion { pool: cli.pool },
+            cli.update_rate,
+        ),
+    ];
+    println!();
+    total_violations += render("query surface (grouped + join, completion):", &surface);
+    sections.push(Json::obj([
+        ("title", Json::str("query_surface")),
+        ("grouped_queries", Json::Num(n_grouped as f64)),
+        ("join_queries", Json::Num(n_join as f64)),
+        ("runs", Json::Arr(surface.iter().map(run_json).collect())),
+    ]));
 
     println!("bounded-answer violations: {total_violations}");
 

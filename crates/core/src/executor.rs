@@ -132,48 +132,6 @@ impl RefreshOracle for TableOracle {
     }
 }
 
-/// The outcome of planning a query *without* executing its refreshes —
-/// the read-only first phase a serving layer runs under its cache lock
-/// before going to the sources with the lock released.
-#[derive(Clone, Debug)]
-pub enum PlannedQuery {
-    /// The cached bounds already satisfy the constraint; here is the
-    /// complete result.
-    Satisfied(QueryResult),
-    /// Refresh these tuples (a batch-mode, single-table CHOOSE_REFRESH
-    /// plan), then re-evaluate.
-    NeedsRefresh {
-        /// The queried table.
-        table: String,
-        /// The plan's tuples, ascending.
-        tuples: Vec<TupleId>,
-        /// `Σ Cᵢ` over the plan.
-        refresh_cost: f64,
-        /// The cache-only answer at planning time (it fails the
-        /// constraint — that is why the plan exists). Callers that re-run
-        /// the query after installing the refreshes use this to report
-        /// the true pre-refresh initial answer: the second pass sees
-        /// pinned cells and cannot reconstruct it.
-        initial: BoundedAnswer,
-    },
-    /// Not plannable ahead of execution (join sources, grouped queries,
-    /// or iterative mode) — run [`QuerySession::execute`] instead.
-    Unsupported,
-}
-
-/// The outcome of asking one shard for its contribution to a
-/// scatter-gathered aggregate; see [`QuerySession::partial_query`].
-#[derive(Clone, Debug)]
-pub enum PartialQuery {
-    /// The shard's evaluated input, ready for
-    /// [`merge_partials`](crate::merge::merge_partials) after tuple-id
-    /// rewriting.
-    Partial(crate::merge::ShardPartial),
-    /// The query shape cannot be decomposed into independent per-shard
-    /// inputs (joins, `GROUP BY`, iterative mode).
-    Unsupported,
-}
-
 /// The outcome of one query execution.
 #[derive(Clone, Debug)]
 pub struct QueryResult {
@@ -275,88 +233,6 @@ impl QuerySession {
         let mut constrained = query.clone();
         constrained.within = Some(r);
         self.execute(&constrained, oracle)
-    }
-
-    /// Plans a query read-only: computes the cache-only answer and, if the
-    /// precision constraint is not met, the CHOOSE_REFRESH plan that will
-    /// meet it — without touching the catalog or any oracle. Callers that
-    /// install the planned refreshes themselves (e.g. a concurrent serving
-    /// layer fetching with its cache lock released) re-run the query
-    /// afterwards; the CHOOSE_REFRESH guarantee makes the second pass
-    /// satisfied unless the clock advanced in between.
-    pub fn plan_query(&self, query: &Query) -> Result<PlannedQuery, TrappError> {
-        if !matches!(self.config.mode, ExecutionMode::Batch) {
-            return Ok(PlannedQuery::Unsupported);
-        }
-        let bound = bind_query(query, &self.catalog)?;
-        if !bound.group_by.is_empty() {
-            return Ok(PlannedQuery::Unsupported);
-        }
-        let QuerySource::Table(name) = &bound.source else {
-            return Ok(PlannedQuery::Unsupported);
-        };
-        let input = AggInput::build_filtered(
-            self.catalog.table(name)?,
-            bound.predicate.as_ref(),
-            bound.arg.as_ref(),
-            |_, _| true,
-        )?;
-        let initial = bounded_answer(bound.agg, &input)?;
-        if initial.satisfies(bound.within) {
-            return Ok(PlannedQuery::Satisfied(QueryResult {
-                answer: initial,
-                initial_answer: initial,
-                refreshed: Vec::new(),
-                refresh_cost: 0.0,
-                rounds: 0,
-                satisfied: true,
-            }));
-        }
-        let r = bound.within.expect("unsatisfied implies finite R");
-        let plan = choose_refresh(bound.agg, &input, r, self.config.strategy)?;
-        Ok(PlannedQuery::NeedsRefresh {
-            table: name.clone(),
-            refresh_cost: plan.planned_cost,
-            tuples: plan.tuples,
-            initial,
-        })
-    }
-
-    /// Builds this session's *partial input* for a scatter-gathered query:
-    /// the classified, evaluated [`AggInput`] over the locally held rows,
-    /// read-only. A sharded serving layer collects one partial per shard,
-    /// rewrites tuple ids into a global space, and merges them with
-    /// [`merge_partials`](crate::merge::merge_partials) — the merged input
-    /// is bit-identical to what a single cache holding every row would
-    /// build, so answers and refresh plans derived from it match the
-    /// single-cache execution exactly.
-    ///
-    /// Joins, `GROUP BY`, and iterative mode return
-    /// [`PartialQuery::Unsupported`]: their execution is not decomposable
-    /// into independent per-shard inputs.
-    pub fn partial_query(&self, query: &Query) -> Result<PartialQuery, TrappError> {
-        if !matches!(self.config.mode, ExecutionMode::Batch) {
-            return Ok(PartialQuery::Unsupported);
-        }
-        let bound = bind_query(query, &self.catalog)?;
-        if !bound.group_by.is_empty() {
-            return Ok(PartialQuery::Unsupported);
-        }
-        let QuerySource::Table(name) = &bound.source else {
-            return Ok(PartialQuery::Unsupported);
-        };
-        let input = AggInput::build_filtered(
-            self.catalog.table(name)?,
-            bound.predicate.as_ref(),
-            bound.arg.as_ref(),
-            |_, _| true,
-        )?;
-        Ok(PartialQuery::Partial(crate::merge::ShardPartial {
-            table: name.clone(),
-            agg: bound.agg,
-            within: bound.within,
-            input,
-        }))
     }
 
     fn run_single(

@@ -11,7 +11,7 @@
 use std::collections::BTreeMap;
 
 use trapp_sql::Query;
-use trapp_storage::Row;
+use trapp_storage::{Row, Table};
 use trapp_types::{TrappError, TupleId, Value};
 
 use crate::executor::{QueryResult, QuerySession, RefreshOracle};
@@ -53,25 +53,7 @@ impl QuerySession {
             }
         };
 
-        // Partition tuple ids by exact group key. BTreeMap keys must be
-        // orderable, so keys are rendered to a stable string; the original
-        // values ride along.
-        let mut groups: BTreeMap<String, (GroupKey, Vec<TupleId>)> = BTreeMap::new();
-        {
-            let table = self.catalog().table(&table_name)?;
-            for (tid, row) in table.scan() {
-                let mut key: GroupKey = Vec::with_capacity(bound.group_by.len());
-                for &col in &bound.group_by {
-                    key.push(row.exact(col)?);
-                }
-                let rendered = render_key(&key);
-                groups
-                    .entry(rendered)
-                    .or_insert_with(|| (key, Vec::new()))
-                    .1
-                    .push(tid);
-            }
-        }
+        let groups = group_partitions(self.catalog().table(&table_name)?, &bound.group_by)?;
 
         let mut out = Vec::with_capacity(groups.len());
         for (_, (key, tids)) in groups {
@@ -83,9 +65,37 @@ impl QuerySession {
     }
 }
 
-fn render_key(key: &GroupKey) -> String {
+/// Renders a group key to a stable string (unit-separator joined) — the
+/// canonical ordering and lookup key for group results everywhere:
+/// per-session execution, cross-shard merging, and serving-layer
+/// attribution all sort and match groups by this rendering.
+pub fn render_key(key: &GroupKey) -> String {
     let parts: Vec<String> = key.iter().map(|v| format!("{v}")).collect();
     parts.join("\u{1f}")
+}
+
+/// Partitions a table's tuples by the exact values of the `group_by`
+/// columns: rendered key → (original key, member tuple ids ascending), in
+/// rendered-key order. BTreeMap keys must be orderable, so keys are
+/// rendered to a stable string; the original values ride along.
+pub fn group_partitions(
+    table: &Table,
+    group_by: &[usize],
+) -> Result<BTreeMap<String, (GroupKey, Vec<TupleId>)>, TrappError> {
+    let mut groups: BTreeMap<String, (GroupKey, Vec<TupleId>)> = BTreeMap::new();
+    for (tid, row) in table.scan() {
+        let mut key: GroupKey = Vec::with_capacity(group_by.len());
+        for &col in group_by {
+            key.push(row.exact(col)?);
+        }
+        let rendered = render_key(&key);
+        groups
+            .entry(rendered)
+            .or_insert_with(|| (key, Vec::new()))
+            .1
+            .push(tid);
+    }
+    Ok(groups)
 }
 
 #[cfg(test)]

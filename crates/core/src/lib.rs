@@ -17,6 +17,10 @@
 //!   (§8.2), and join heuristics (§7);
 //! * [`plan`] — binding parsed queries against a catalog (including
 //!   two-table joins);
+//! * [`query_plan`] — shape-generic read-only planning: every supported
+//!   shape (scalar, `GROUP BY`, two-table join) lowers into one
+//!   [`QueryPlan`] for phased plan/fetch/install execution and one
+//!   [`QueryPartial`] for sharded scatter-gather;
 //! * [`executor`] — the three-step query execution loop of §4
 //!   (answer from cache → CHOOSE_REFRESH → refresh → recompute), wired to a
 //!   pluggable [`executor::RefreshOracle`];
@@ -38,15 +42,19 @@ pub mod executor;
 pub mod group_by;
 pub mod merge;
 pub mod plan;
+pub mod query_plan;
 pub mod refresh;
 pub mod relative;
 pub mod verify;
 
 pub use agg::{bounded_answer, AggInput, AggItem, Aggregate, BoundedAnswer};
 pub use executor::{
-    ExecutionMode, PartialQuery, QueryResult, QuerySession, RefreshOracle, SessionConfig,
-    TableOracle,
+    ExecutionMode, QueryResult, QuerySession, RefreshOracle, SessionConfig, TableOracle,
 };
-pub use merge::{merge_partials, ShardPartial};
+pub use group_by::{GroupKey, GroupResult};
+pub use merge::{merge_grouped_partials, merge_partials, merge_table_slices, ShardPartial};
 pub use plan::BoundQuery;
+pub use query_plan::{
+    FetchPlan, JoinPartial, QueryOutcome, QueryPartial, QueryPlan, TableSlice, UnitFetch, UnitState,
+};
 pub use refresh::{choose_refresh, RefreshPlan, SolverStrategy};

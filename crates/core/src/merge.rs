@@ -4,7 +4,8 @@
 //! A sharded serving layer splits a table's rows across N caches. A query
 //! whose group set spans shards is answered by asking every shard for its
 //! **partial input** — the shard's classified, evaluated [`AggInput`]
-//! ([`QuerySession::partial_query`](crate::executor::QuerySession::partial_query))
+//! ([`QuerySession::partial_query`](crate::executor::QuerySession::partial_query),
+//! now shape-generic — see [`crate::query_plan::QueryPartial`])
 //! — and merging those partials back into the exact `AggInput` a single
 //! cache holding all the rows would have built. Bounds are then derived
 //! *once*, from the merged input, by the ordinary
@@ -33,16 +34,22 @@
 //! assigned (insertion order), the merged input — item order included —
 //! reproduces the single-cache input exactly.
 
+use std::collections::BTreeMap;
+
 use crate::agg::{AggInput, AggItem};
+use crate::group_by::{render_key, GroupKey};
+use crate::query_plan::TableSlice;
 use crate::Aggregate;
 use trapp_expr::Band;
+use trapp_storage::Table;
 use trapp_types::{TrappError, TupleId};
 
 /// One shard's contribution to a scatter-gathered aggregate: the bound
 /// query's shape plus the shard's evaluated input.
 ///
 /// Produced by
-/// [`QuerySession::partial_query`](crate::executor::QuerySession::partial_query);
+/// [`QuerySession::partial_query`](crate::executor::QuerySession::partial_query)
+/// (standalone for scalar queries, one per group for `GROUP BY`);
 /// consumed by [`merge_partials`] after tuple-id rewriting.
 #[derive(Clone, Debug)]
 pub struct ShardPartial {
@@ -102,6 +109,89 @@ pub fn merge_partials(inputs: impl IntoIterator<Item = AggInput>) -> Result<AggI
         minus_count,
         cardinality_slack: slack,
     })
+}
+
+/// Merges per-shard *grouped* partials — the `GROUP BY` gather half.
+///
+/// The group key partitions the row space, so with the partition column
+/// as the group key each group's rows are co-located on one shard and the
+/// merge is a pure key-indexed re-assembly; when the two columns differ a
+/// group may span shards, and its inputs merge through the ordinary
+/// [`merge_partials`] (same bit-equivalence argument, per key). Output is
+/// in rendered-key order — the same deterministic order
+/// [`QuerySession::execute_grouped`](crate::executor::QuerySession::execute_grouped)
+/// produces.
+pub fn merge_grouped_partials(
+    shards: impl IntoIterator<Item = Vec<(GroupKey, ShardPartial)>>,
+) -> Result<Vec<(GroupKey, ShardPartial)>, TrappError> {
+    let mut by_key: BTreeMap<String, (GroupKey, ShardPartial, Vec<AggInput>)> = BTreeMap::new();
+    for shard in shards {
+        for (key, partial) in shard {
+            match by_key.entry(render_key(&key)) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert((key, partial, Vec::new()));
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    e.get_mut().2.push(partial.input);
+                }
+            }
+        }
+    }
+    by_key
+        .into_values()
+        .map(|(key, mut first, rest)| {
+            if !rest.is_empty() {
+                let inputs = std::iter::once(first.input).chain(rest);
+                first.input = merge_partials(inputs)?;
+            }
+            Ok((key, first))
+        })
+        .collect()
+}
+
+/// Concatenates per-shard [`TableSlice`]s back into the base table a
+/// single cache holding every row would hold — the join gather half.
+///
+/// Tuple ids must already be rewritten into the global space and form the
+/// dense range `1..=n` (the id assignment a single cache ingesting the
+/// same rows would have produced); rows are inserted in ascending id
+/// order so the merged table's ids, cells, and refresh costs are
+/// cell-for-cell the single cache's, which is what lets the join pipeline
+/// derive bit-identical bounds and refresh choices from it.
+pub fn merge_table_slices(
+    schema: std::sync::Arc<trapp_storage::Schema>,
+    slices: impl IntoIterator<Item = TableSlice>,
+) -> Result<Table, TrappError> {
+    let mut name: Option<String> = None;
+    let mut rows: Vec<(TupleId, Vec<trapp_types::BoundedValue>, f64)> = Vec::new();
+    for slice in slices {
+        match &name {
+            None => name = Some(slice.table.clone()),
+            Some(n) if *n != slice.table => {
+                return Err(TrappError::Internal(format!(
+                    "merge_table_slices: mixed tables {n} and {}",
+                    slice.table
+                )))
+            }
+            Some(_) => {}
+        }
+        rows.extend(slice.rows);
+    }
+    let name = name.ok_or_else(|| TrappError::Internal("merge_table_slices: no slices".into()))?;
+    rows.sort_by_key(|(tid, _, _)| *tid);
+    let mut table = Table::new(name, schema);
+    for (i, (tid, cells, cost)) in rows.into_iter().enumerate() {
+        if tid.raw() != i as u64 + 1 {
+            return Err(TrappError::Internal(format!(
+                "merge_table_slices: global tuple ids must be dense 1..=n \
+                 (slot {} holds {tid}; rewrite shard-local ids first)",
+                i + 1
+            )));
+        }
+        let assigned = table.insert_with_cost(cells, cost)?;
+        debug_assert_eq!(assigned, tid);
+    }
+    Ok(table)
 }
 
 #[cfg(test)]
@@ -222,15 +312,15 @@ mod tests {
         assert!(matches!(err, TrappError::Internal(_)));
     }
 
-    /// `partial_query` on a one-shard session agrees with `plan_query`'s
-    /// view of the same query.
+    /// `partial_query` on a one-shard session agrees with a direct build
+    /// of the same query's input.
     #[test]
     fn partial_query_matches_direct_build() {
         let session = QuerySession::new(links_table());
         let query = trapp_sql::parse_query("SELECT SUM(traffic) WITHIN 10 FROM links").unwrap();
         let partial = match session.partial_query(&query).unwrap() {
-            crate::executor::PartialQuery::Partial(p) => p,
-            other => panic!("expected partial, got {other:?}"),
+            crate::query_plan::QueryPartial::Scalar(p) => p,
+            other => panic!("expected scalar partial, got {other:?}"),
         };
         assert_eq!(partial.table, "links");
         assert_eq!(partial.agg, Aggregate::Sum);
@@ -239,20 +329,85 @@ mod tests {
         assert_eq!(partial.input.items, direct.items);
     }
 
+    /// Grouped partials key-merge back into the whole-table grouping, and
+    /// cross-shard groups recombine through `merge_partials` per key.
     #[test]
-    fn partial_query_rejects_unshardable_shapes() {
-        let session = QuerySession::new(links_table());
-        for sql in [
-            "SELECT SUM(latency) WITHIN 5 FROM links GROUP BY from_node",
-            "SELECT SUM(latency) FROM links, links2",
-        ] {
-            let Ok(query) = trapp_sql::parse_query(sql) else {
-                continue;
-            };
-            match session.partial_query(&query) {
-                Ok(crate::executor::PartialQuery::Unsupported) | Err(_) => {}
-                Ok(other) => panic!("{sql}: expected unsupported, got {other:?}"),
+    fn grouped_partials_merge_by_key() {
+        let query =
+            trapp_sql::parse_query("SELECT SUM(latency) WITHIN 5 FROM links GROUP BY from_node")
+                .unwrap();
+        // Reference: the whole table's grouped partials.
+        let whole = QuerySession::new(links_table());
+        let reference = match whole.partial_query(&query).unwrap() {
+            crate::query_plan::QueryPartial::Grouped(g) => g,
+            other => panic!("expected grouped, got {other:?}"),
+        };
+        for n in 1..=4 {
+            let shards: Vec<Vec<(crate::group_by::GroupKey, ShardPartial)>> = split(n)
+                .into_iter()
+                .map(|(table, map)| {
+                    let session = QuerySession::new(table);
+                    let mut groups = match session.partial_query(&query).unwrap() {
+                        crate::query_plan::QueryPartial::Grouped(g) => g,
+                        other => panic!("expected grouped, got {other:?}"),
+                    };
+                    for (_, p) in &mut groups {
+                        p.rewrite_tids(|tid| map[tid.raw() as usize - 1]);
+                    }
+                    groups
+                })
+                .collect();
+            let merged = merge_grouped_partials(shards).unwrap();
+            assert_eq!(merged.len(), reference.len(), "n={n}");
+            for ((ka, pa), (kb, pb)) in merged.iter().zip(&reference) {
+                assert_eq!(
+                    crate::group_by::render_key(ka),
+                    crate::group_by::render_key(kb)
+                );
+                assert_eq!(pa.input.items, pb.input.items, "n={n}");
             }
         }
+    }
+
+    /// Merged table slices literally equal the original table — ids,
+    /// cells, costs — for every shard count; non-dense ids are rejected.
+    #[test]
+    fn table_slices_reassemble_the_original_table() {
+        let whole = links_table();
+        for n in 1..=4 {
+            let slices: Vec<crate::query_plan::TableSlice> = split(n)
+                .into_iter()
+                .map(|(table, map)| {
+                    let mut rows = Vec::new();
+                    for (tid, row) in table.scan() {
+                        rows.push((
+                            map[tid.raw() as usize - 1],
+                            row.cells().to_vec(),
+                            table.cost(tid).unwrap(),
+                        ));
+                    }
+                    crate::query_plan::TableSlice {
+                        table: "links".into(),
+                        rows,
+                    }
+                })
+                .collect();
+            let merged = merge_table_slices(schema(), slices).unwrap();
+            assert_eq!(merged.len(), whole.len(), "n={n}");
+            for (tid, row) in whole.scan() {
+                assert_eq!(merged.row(tid).unwrap().cells(), row.cells(), "n={n}");
+                assert_eq!(merged.cost(tid).unwrap(), whole.cost(tid).unwrap());
+            }
+        }
+        // A gap in the global id space is an error, not a silent renumber.
+        let bad = crate::query_plan::TableSlice {
+            table: "links".into(),
+            rows: vec![(
+                TupleId::new(2),
+                links_table().row(TupleId::new(1)).unwrap().cells().to_vec(),
+                1.0,
+            )],
+        };
+        assert!(merge_table_slices(schema(), [bad]).is_err());
     }
 }

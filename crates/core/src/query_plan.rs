@@ -1,0 +1,682 @@
+//! Shape-generic query planning: one [`QueryPlan`] every query shape
+//! lowers into, and one [`QueryPartial`] every shape decomposes into for
+//! sharded scatter-gather.
+//!
+//! Historically the read-only planning surface was two parallel enums —
+//! `PlannedQuery` for the serving layer's phased plan/fetch/install loop
+//! and `PartialQuery` for the scatter half of a sharded deployment — each
+//! with an ad-hoc `Unsupported` arm for joins, `GROUP BY`, and iterative
+//! mode. This module replaces both with a single lowering that covers the
+//! paper's full query surface:
+//!
+//! * **scalar** (single table, no `GROUP BY`) — one [`UnitState`] holding
+//!   the cache-only answer and, if unsatisfied, the batch CHOOSE_REFRESH
+//!   fetch set. Installing the set guarantees the constraint
+//!   ([`FetchPlan::complete`]), so one fetch round normally suffices.
+//! * **grouped** (§8.1) — one [`UnitState`] *per group*: the group key
+//!   partitions the rows, each partition independently receives the
+//!   query's `WITHIN` constraint, and the per-group fetch sets are
+//!   disjoint (groups partition the table), so a serving layer merges
+//!   them into one multi-tuple fetch round.
+//! * **join** (§7) — the paper stops at per-round heuristics for join
+//!   refresh, so a join lowers into *incomplete* single-tuple fetch
+//!   rounds ([`FetchPlan::complete`]` = false`): each round the best
+//!   base-tuple candidate under the session's
+//!   [`IterativeHeuristic`] is fetched and the plan re-derived. The
+//!   fetches still run outside any cache lock — that is the point.
+//!
+//! Iterative mode (§8.2) picks each refresh from *live* master values and
+//! therefore cannot be planned ahead; it is the one remaining
+//! [`QueryPlan::Iterative`] escape hatch, executed by the caller under
+//! its cache lock.
+//!
+//! The scatter side mirrors the same three shapes: a scalar partial is
+//! today's [`ShardPartial`], a grouped partial is a key-indexed list of
+//! them (merged per key by
+//! [`merge_grouped_partials`](crate::merge::merge_grouped_partials)), and
+//! a join partial is a [`TableSlice`] per side — the shard's materialized
+//! base rows, gathered and concatenated by
+//! [`merge_table_slices`](crate::merge::merge_table_slices) into exactly
+//! the tables a single cache would hold, before the ordinary join
+//! pipeline derives bounds once from the merged input. Deriving from
+//! merged *inputs* (never from per-shard answers) is what keeps sharded
+//! answers bit-equivalent to the single-cache answers.
+
+use trapp_sql::Query;
+use trapp_storage::Table;
+use trapp_types::{BoundedValue, TrappError, TupleId};
+
+use crate::agg::{bounded_answer, AggInput, Aggregate, BoundedAnswer};
+use crate::executor::{ExecutionMode, QueryResult, QuerySession};
+use crate::group_by::{group_partitions, GroupKey, GroupResult};
+use crate::merge::ShardPartial;
+use crate::plan::{bind_query, BoundQuery, QuerySource};
+use crate::refresh::iterative::IterativeHeuristic;
+use crate::refresh::join::{build_join_input, next_join_refresh, JoinSide};
+use crate::refresh::{choose_refresh, SolverStrategy};
+
+/// The complete result(s) of one query: a single bounded answer, or one
+/// per group for `GROUP BY` queries (key-sorted).
+#[derive(Clone, Debug)]
+pub enum QueryOutcome {
+    /// A single-row answer (scalar and join queries).
+    Scalar(QueryResult),
+    /// One result per group, in deterministic key-sorted order.
+    Grouped(Vec<GroupResult>),
+}
+
+/// The tuples one unsatisfied unit (whole query, or one group) must have
+/// refreshed, with the planned cost.
+#[derive(Clone, Debug)]
+pub struct UnitFetch {
+    /// The table holding the tuples (for joins, the chosen side).
+    pub table: String,
+    /// Tuples to refresh, ascending.
+    pub tuples: Vec<TupleId>,
+    /// `Σ Cᵢ` over the tuples.
+    pub refresh_cost: f64,
+}
+
+/// One plannable unit's state at planning time: the whole query for
+/// scalar/join shapes, one group for grouped shapes.
+#[derive(Clone, Debug)]
+pub struct UnitState {
+    /// The group key (empty for scalar and join units).
+    pub key: GroupKey,
+    /// The cache-only answer at planning time.
+    pub initial: BoundedAnswer,
+    /// Whether `initial` already satisfies the constraint. `false` with
+    /// [`UnitState::fetch`]` = None` means no refresh can help further
+    /// (e.g. MEDIAN's conservative plan under cardinality slack).
+    pub satisfied: bool,
+    /// The refresh set that will satisfy the constraint (`None` when
+    /// satisfied or when no refresh can help).
+    pub fetch: Option<UnitFetch>,
+}
+
+/// The fetch round a query plan requests: per-unit refresh sets to pull
+/// from the sources with no cache lock held, then install and re-plan.
+#[derive(Clone, Debug)]
+pub struct FetchPlan {
+    /// Every unit's state — including already-satisfied units, so a
+    /// caller can record each unit's true pre-refresh initial answer.
+    pub units: Vec<UnitState>,
+    /// `true` for `GROUP BY` plans (units carry group keys).
+    pub grouped: bool,
+    /// `true` when installing the whole round guarantees the constraint
+    /// (the CHOOSE_REFRESH batch guarantee — scalar and grouped shapes);
+    /// `false` for join rounds, which are heuristic single-tuple steps
+    /// and re-plan until the answer converges.
+    pub complete: bool,
+}
+
+/// The outcome of planning a query read-only — the shape-generic
+/// replacement for the old `PlannedQuery` / `PartialQuery` pair. See the
+/// module docs.
+#[derive(Clone, Debug)]
+pub enum QueryPlan {
+    /// Every unit is satisfied from cache (or no refresh can help); here
+    /// is the complete outcome.
+    Ready(QueryOutcome),
+    /// Refresh the units' tuples (outside any cache lock), install, and
+    /// plan again.
+    NeedsFetch(FetchPlan),
+    /// Iterative mode (§8.2) chooses refreshes from live values and is
+    /// not plannable ahead — run [`QuerySession::execute`] instead.
+    Iterative,
+}
+
+/// One shard's materialized rows of one base table — the join partial's
+/// per-side payload. Tuple ids are shard-local until the caller rewrites
+/// them into the global space; rows travel with their refresh costs so
+/// the merged table prices candidates exactly like the single cache.
+#[derive(Clone, Debug)]
+pub struct TableSlice {
+    /// The sliced table.
+    pub table: String,
+    /// `(tuple id, materialized cells, refresh cost)` in scan order.
+    pub rows: Vec<(TupleId, Vec<BoundedValue>, f64)>,
+}
+
+impl TableSlice {
+    /// Rewrites every row's tuple id via `f` (shard-local → global).
+    pub fn rewrite_tids(&mut self, mut f: impl FnMut(TupleId) -> TupleId) {
+        for (tid, _, _) in &mut self.rows {
+            *tid = f(*tid);
+        }
+    }
+}
+
+/// One shard's contribution to a scatter-gathered two-table join: its
+/// slice of each side's base rows. The gather side concatenates all
+/// shards' slices with
+/// [`merge_table_slices`](crate::merge::merge_table_slices) and runs the
+/// ordinary join pipeline over the merged tables.
+#[derive(Clone, Debug)]
+pub struct JoinPartial {
+    /// The first FROM table's rows held by this shard.
+    pub left: TableSlice,
+    /// The second FROM table's rows held by this shard.
+    pub right: TableSlice,
+}
+
+/// One shard's contribution to a scatter-gathered query, for every
+/// supported shape — the shape-generic replacement for the old
+/// `PartialQuery`.
+#[derive(Clone, Debug)]
+pub enum QueryPartial {
+    /// Single-table scalar: the shard's evaluated [`AggInput`], ready for
+    /// [`merge_partials`](crate::merge::merge_partials).
+    Scalar(ShardPartial),
+    /// `GROUP BY`: one [`ShardPartial`] per group held on this shard,
+    /// key-sorted; merged per key by
+    /// [`merge_grouped_partials`](crate::merge::merge_grouped_partials).
+    Grouped(Vec<(GroupKey, ShardPartial)>),
+    /// Two-table join: the shard's slice of each side's base rows.
+    Join(JoinPartial),
+}
+
+/// Plans one scalar unit (a whole single-table query, or one group):
+/// computes the cache-only answer and, if the constraint is unmet, the
+/// CHOOSE_REFRESH set that will meet it. Shared by
+/// [`QuerySession::plan_query`] (local inputs) and sharded serving layers
+/// (merged inputs) so both derive bit-identical plans.
+pub fn plan_unit(
+    agg: Aggregate,
+    within: Option<f64>,
+    strategy: SolverStrategy,
+    table: &str,
+    key: GroupKey,
+    input: &AggInput,
+) -> Result<UnitState, TrappError> {
+    let initial = bounded_answer(agg, input)?;
+    if initial.satisfies(within) {
+        return Ok(UnitState {
+            key,
+            initial,
+            satisfied: true,
+            fetch: None,
+        });
+    }
+    let r = within.expect("unsatisfied implies finite R");
+    let plan = choose_refresh(agg, input, r, strategy)?;
+    if plan.tuples.is_empty() {
+        // No refresh can help further (e.g. cardinality slack).
+        return Ok(UnitState {
+            key,
+            initial,
+            satisfied: false,
+            fetch: None,
+        });
+    }
+    Ok(UnitState {
+        key,
+        initial,
+        satisfied: false,
+        fetch: Some(UnitFetch {
+            table: table.to_owned(),
+            tuples: plan.tuples,
+            refresh_cost: plan.planned_cost,
+        }),
+    })
+}
+
+/// Assembles unit states into a [`QueryPlan`]: a complete fetch round if
+/// any unit still needs tuples, the finished outcome otherwise.
+pub fn assemble_units(units: Vec<UnitState>, grouped: bool) -> QueryPlan {
+    if units.iter().any(|u| u.fetch.is_some()) {
+        QueryPlan::NeedsFetch(FetchPlan {
+            units,
+            grouped,
+            complete: true,
+        })
+    } else {
+        QueryPlan::Ready(units_outcome(&units, grouped))
+    }
+}
+
+/// The finished outcome of units that need no refresh: each unit's
+/// cache-only answer *is* its answer.
+pub fn units_outcome(units: &[UnitState], grouped: bool) -> QueryOutcome {
+    let result = |u: &UnitState| QueryResult {
+        answer: u.initial,
+        initial_answer: u.initial,
+        refreshed: Vec::new(),
+        refresh_cost: 0.0,
+        rounds: 0,
+        satisfied: u.satisfied,
+    };
+    if grouped {
+        QueryOutcome::Grouped(
+            units
+                .iter()
+                .map(|u| GroupResult {
+                    key: u.key.clone(),
+                    result: result(u),
+                })
+                .collect(),
+        )
+    } else {
+        QueryOutcome::Scalar(result(&units[0]))
+    }
+}
+
+/// Plans one round of a two-table join: computes the bounded answer over
+/// the (possibly merged) base tables and, if the constraint is unmet,
+/// picks the next base tuple to refresh under `heuristic` — an
+/// *incomplete* plan the caller re-derives after installing the fetch.
+/// Shared by [`QuerySession::plan_query`] (local tables) and sharded
+/// serving layers (tables merged from [`TableSlice`]s), so both walk the
+/// identical refresh sequence.
+pub fn plan_join_round(
+    bound: &BoundQuery,
+    left: &Table,
+    right: &Table,
+    heuristic: IterativeHeuristic,
+) -> Result<QueryPlan, TrappError> {
+    let QuerySource::Join {
+        left: lname,
+        right: rname,
+    } = &bound.source
+    else {
+        return Err(TrappError::Internal(
+            "plan_join_round requires a join-shaped bound query".into(),
+        ));
+    };
+    let ji = build_join_input(left, right, bound.predicate.as_ref(), bound.arg.as_ref())?;
+    let answer = bounded_answer(bound.agg, &ji.input)?;
+    if answer.satisfies(bound.within) {
+        return Ok(QueryPlan::Ready(QueryOutcome::Scalar(QueryResult {
+            answer,
+            initial_answer: answer,
+            refreshed: Vec::new(),
+            refresh_cost: 0.0,
+            rounds: 0,
+            satisfied: true,
+        })));
+    }
+    match next_join_refresh(&ji, left, right, bound.agg, heuristic) {
+        None => Ok(QueryPlan::Ready(QueryOutcome::Scalar(QueryResult {
+            answer,
+            initial_answer: answer,
+            refreshed: Vec::new(),
+            refresh_cost: 0.0,
+            rounds: 0,
+            satisfied: false,
+        }))),
+        Some((side, tid)) => {
+            let (table, cost) = match side {
+                JoinSide::Left => (lname.clone(), left.cost(tid)?),
+                JoinSide::Right => (rname.clone(), right.cost(tid)?),
+            };
+            Ok(QueryPlan::NeedsFetch(FetchPlan {
+                units: vec![UnitState {
+                    key: Vec::new(),
+                    initial: answer,
+                    satisfied: false,
+                    fetch: Some(UnitFetch {
+                        table,
+                        tuples: vec![tid],
+                        refresh_cost: cost,
+                    }),
+                }],
+                grouped: false,
+                complete: false,
+            }))
+        }
+    }
+}
+
+impl QuerySession {
+    /// Plans a query read-only: lowers any supported shape — scalar,
+    /// `GROUP BY`, or two-table join — into a [`QueryPlan`] without
+    /// touching the catalog or any oracle. Callers install the planned
+    /// refreshes themselves (e.g. a concurrent serving layer fetching
+    /// with its cache lock released) and plan again; for complete
+    /// (scalar/grouped) plans the CHOOSE_REFRESH guarantee makes the
+    /// second pass [`QueryPlan::Ready`] unless the clock advanced in
+    /// between, while join plans are heuristic single-tuple rounds that
+    /// converge over several iterations.
+    pub fn plan_query(&self, query: &Query) -> Result<QueryPlan, TrappError> {
+        if !matches!(self.config.mode, ExecutionMode::Batch) {
+            return Ok(QueryPlan::Iterative);
+        }
+        let bound = bind_query(query, self.catalog())?;
+        match &bound.source {
+            QuerySource::Table(name) if bound.group_by.is_empty() => {
+                let input = AggInput::build_filtered(
+                    self.catalog().table(name)?,
+                    bound.predicate.as_ref(),
+                    bound.arg.as_ref(),
+                    |_, _| true,
+                )?;
+                let unit = plan_unit(
+                    bound.agg,
+                    bound.within,
+                    self.config.strategy,
+                    name,
+                    Vec::new(),
+                    &input,
+                )?;
+                Ok(assemble_units(vec![unit], false))
+            }
+            QuerySource::Table(name) => {
+                let table = self.catalog().table(name)?;
+                let mut units = Vec::new();
+                for (_, (key, tids)) in group_partitions(table, &bound.group_by)? {
+                    let input = AggInput::build_filtered(
+                        table,
+                        bound.predicate.as_ref(),
+                        bound.arg.as_ref(),
+                        |tid, _| tids.binary_search(&tid).is_ok(),
+                    )?;
+                    units.push(plan_unit(
+                        bound.agg,
+                        bound.within,
+                        self.config.strategy,
+                        name,
+                        key,
+                        &input,
+                    )?);
+                }
+                Ok(assemble_units(units, true))
+            }
+            QuerySource::Join { left, right } => plan_join_round(
+                &bound,
+                self.catalog().table(left)?,
+                self.catalog().table(right)?,
+                self.config.join_heuristic,
+            ),
+        }
+    }
+
+    /// Builds this session's contribution to a scatter-gathered query:
+    /// the shape-generic [`QueryPartial`] over the locally held rows,
+    /// read-only. A sharded serving layer collects one partial per shard,
+    /// rewrites tuple ids into a global space, merges them (see
+    /// [`crate::merge`]), and derives answers and refresh plans once from
+    /// the merged input — bit-identical to a single cache holding every
+    /// row.
+    ///
+    /// Iterative mode is the one shape that cannot be decomposed: each
+    /// refresh decision depends on live master values, so it returns
+    /// [`TrappError::Unsupported`] naming the alternative.
+    pub fn partial_query(&self, query: &Query) -> Result<QueryPartial, TrappError> {
+        if !matches!(self.config.mode, ExecutionMode::Batch) {
+            return Err(TrappError::Unsupported(
+                "iterative execution (§8.2) picks each refresh from live master \
+                 values and cannot be scatter-gathered across shards; use batch \
+                 mode (the default ExecutionMode) or a single-shard service \
+                 (ServiceConfig.shards = 1)"
+                    .into(),
+            ));
+        }
+        let bound = bind_query(query, self.catalog())?;
+        match &bound.source {
+            QuerySource::Table(name) if bound.group_by.is_empty() => {
+                let input = AggInput::build_filtered(
+                    self.catalog().table(name)?,
+                    bound.predicate.as_ref(),
+                    bound.arg.as_ref(),
+                    |_, _| true,
+                )?;
+                Ok(QueryPartial::Scalar(ShardPartial {
+                    table: name.clone(),
+                    agg: bound.agg,
+                    within: bound.within,
+                    input,
+                }))
+            }
+            QuerySource::Table(name) => {
+                let table = self.catalog().table(name)?;
+                let mut groups = Vec::new();
+                for (_, (key, tids)) in group_partitions(table, &bound.group_by)? {
+                    let input = AggInput::build_filtered(
+                        table,
+                        bound.predicate.as_ref(),
+                        bound.arg.as_ref(),
+                        |tid, _| tids.binary_search(&tid).is_ok(),
+                    )?;
+                    groups.push((
+                        key,
+                        ShardPartial {
+                            table: name.clone(),
+                            agg: bound.agg,
+                            within: bound.within,
+                            input,
+                        },
+                    ));
+                }
+                Ok(QueryPartial::Grouped(groups))
+            }
+            QuerySource::Join { left, right } => Ok(QueryPartial::Join(JoinPartial {
+                left: table_slice(self.catalog().table(left)?)?,
+                right: table_slice(self.catalog().table(right)?)?,
+            })),
+        }
+    }
+}
+
+/// Slices a table into its materialized rows (cells + refresh costs).
+fn table_slice(table: &Table) -> Result<TableSlice, TrappError> {
+    let mut rows = Vec::with_capacity(table.len());
+    for (tid, row) in table.scan() {
+        rows.push((tid, row.cells().to_vec(), table.cost(tid)?));
+    }
+    Ok(TableSlice {
+        table: table.name().to_owned(),
+        rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::test_fixture::*;
+    use crate::executor::TableOracle;
+    use trapp_types::Interval;
+
+    fn parse(sql: &str) -> Query {
+        trapp_sql::parse_query(sql).unwrap()
+    }
+
+    /// Scalar lowering matches the old `plan_query` semantics: satisfied
+    /// from cache → Ready; otherwise one complete fetch round whose
+    /// installation satisfies the constraint.
+    #[test]
+    fn scalar_lowering_round_trips() {
+        let s = QuerySession::new(links_table());
+        match s
+            .plan_query(&parse("SELECT SUM(latency) WITHIN 100 FROM links"))
+            .unwrap()
+        {
+            QueryPlan::Ready(QueryOutcome::Scalar(r)) => {
+                assert!(r.satisfied);
+                assert_eq!(r.answer.range, Interval::new(40.0, 55.0).unwrap());
+            }
+            other => panic!("expected ready scalar, got {other:?}"),
+        }
+        match s
+            .plan_query(&parse(
+                "SELECT MIN(bandwidth) WITHIN 10 FROM links WHERE on_path = TRUE",
+            ))
+            .unwrap()
+        {
+            QueryPlan::NeedsFetch(fp) => {
+                assert!(fp.complete && !fp.grouped);
+                assert_eq!(fp.units.len(), 1);
+                let fetch = fp.units[0].fetch.as_ref().unwrap();
+                assert_eq!(fetch.table, "links");
+                assert_eq!(fetch.tuples, vec![TupleId::new(5)]);
+                assert_eq!(fetch.refresh_cost, 4.0);
+                assert_eq!(
+                    fp.units[0].initial.range,
+                    Interval::new(40.0, 55.0).unwrap()
+                );
+            }
+            other => panic!("expected fetch, got {other:?}"),
+        }
+    }
+
+    /// Grouped lowering: one unit per group, disjoint fetch sets, and the
+    /// per-group plans match what `execute_grouped` would refresh.
+    #[test]
+    fn grouped_lowering_plans_per_group() {
+        let s = QuerySession::new(links_table());
+        let q = parse("SELECT SUM(latency) WITHIN 3 FROM links GROUP BY from_node");
+        let QueryPlan::NeedsFetch(fp) = s.plan_query(&q).unwrap() else {
+            panic!("tight grouped query must need fetches");
+        };
+        assert!(fp.grouped && fp.complete);
+        // from_node values 1..5 → 5 groups, key-sorted, all present.
+        assert_eq!(fp.units.len(), 5);
+        let keys: Vec<String> = fp.units.iter().map(|u| format!("{}", u.key[0])).collect();
+        assert_eq!(keys, vec!["1", "2", "3", "4", "5"]);
+        // Group "2" (tuples 2 and 4) has initial width 4 > 3: must fetch.
+        assert!(fp.units[1].fetch.is_some());
+        // Fetch sets are disjoint (groups partition the table).
+        let mut seen = std::collections::HashSet::new();
+        for u in &fp.units {
+            if let Some(f) = &u.fetch {
+                for t in &f.tuples {
+                    assert!(seen.insert(*t), "tuple {t} planned twice");
+                }
+            }
+        }
+        // Executing the same query refreshes exactly the planned tuples.
+        let mut s2 = QuerySession::new(links_table());
+        let mut o = TableOracle::from_table(master_table());
+        let groups = s2.execute_grouped(&q, &mut o).unwrap();
+        let executed: std::collections::HashSet<TupleId> = groups
+            .iter()
+            .flat_map(|g| g.result.refreshed.iter().map(|(_, t)| *t))
+            .collect();
+        assert_eq!(seen, executed);
+    }
+
+    /// Join lowering: incomplete single-tuple rounds that, replayed
+    /// against an oracle, converge to the same refresh sequence as the
+    /// locked executor loop.
+    #[test]
+    fn join_rounds_replay_the_executor_sequence() {
+        let q = parse(
+            "SELECT SUM(latency) WITHIN 2 FROM links, nodes \
+             WHERE from_node = node_id AND cpu_load < 0.7",
+        );
+        let (mut planned_session, mut oracle) = join_fixture();
+        let (mut exec_session, mut exec_oracle) = join_fixture();
+        let reference = exec_session.execute(&q, &mut exec_oracle).unwrap();
+
+        // Drive the plan/fetch/install loop by hand.
+        let mut refreshed = Vec::new();
+        let mut rounds = 0;
+        let final_answer = loop {
+            match planned_session.plan_query(&q).unwrap() {
+                QueryPlan::Ready(QueryOutcome::Scalar(r)) => break r.answer,
+                QueryPlan::NeedsFetch(fp) => {
+                    assert!(!fp.complete, "join plans are heuristic rounds");
+                    let fetch = fp.units[0].fetch.clone().unwrap();
+                    assert_eq!(fetch.tuples.len(), 1, "one tuple per join round");
+                    planned_session
+                        .refresh_tuples(&fetch.table, &fetch.tuples, &mut oracle)
+                        .unwrap();
+                    refreshed.push((fetch.table, fetch.tuples[0]));
+                    rounds += 1;
+                    assert!(rounds < 100, "join rounds must converge");
+                }
+                other => panic!("unexpected plan {other:?}"),
+            }
+        };
+        assert_eq!(final_answer.range, reference.answer.range);
+        assert_eq!(refreshed, reference.refreshed);
+    }
+
+    /// Iterative mode is the one remaining non-plannable shape, and the
+    /// partial side names the supported alternative.
+    #[test]
+    fn iterative_mode_is_the_only_escape_hatch() {
+        let mut s = QuerySession::new(links_table());
+        s.config.mode =
+            ExecutionMode::Iterative(crate::refresh::iterative::IterativeHeuristic::BestRatio);
+        let q = parse("SELECT SUM(latency) WITHIN 5 FROM links");
+        assert!(matches!(s.plan_query(&q).unwrap(), QueryPlan::Iterative));
+        let err = s.partial_query(&q).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("iterative") && msg.contains("shards = 1"),
+            "error must name the feature and the alternative: {msg}"
+        );
+    }
+
+    /// Grouped and join shapes now produce partials instead of erroring.
+    #[test]
+    fn partials_cover_grouped_and_join_shapes() {
+        let (s, _) = join_fixture();
+        match s
+            .partial_query(&parse(
+                "SELECT SUM(latency) WITHIN 5 FROM links GROUP BY from_node",
+            ))
+            .unwrap()
+        {
+            QueryPartial::Grouped(groups) => {
+                assert_eq!(groups.len(), 5);
+                let total: usize = groups.iter().map(|(_, p)| p.input.items.len()).sum();
+                assert_eq!(total, 6, "groups partition the table");
+            }
+            other => panic!("expected grouped partial, got {other:?}"),
+        }
+        match s
+            .partial_query(&parse(
+                "SELECT SUM(latency) FROM links, nodes WHERE from_node = node_id",
+            ))
+            .unwrap()
+        {
+            QueryPartial::Join(jp) => {
+                assert_eq!(jp.left.table, "links");
+                assert_eq!(jp.left.rows.len(), 6);
+                assert_eq!(jp.right.table, "nodes");
+                assert_eq!(jp.right.rows.len(), 2);
+                // Costs travel with the slice.
+                assert_eq!(jp.left.rows[0].2, 3.0);
+            }
+            other => panic!("expected join partial, got {other:?}"),
+        }
+    }
+
+    /// The links ⋈ nodes fixture shared with the executor's join test.
+    fn join_fixture() -> (QuerySession, TableOracle) {
+        use trapp_storage::{Catalog, ColumnDef, Schema, Table};
+        use trapp_types::{BoundedValue, Value, ValueType};
+        let mut catalog = Catalog::new();
+        catalog.add_table(links_table()).unwrap();
+        let schema = Schema::new(vec![
+            ColumnDef::exact("node_id", ValueType::Int),
+            ColumnDef::bounded_float("cpu_load"),
+        ])
+        .unwrap();
+        let mut nodes = Table::new("nodes", schema.clone());
+        let mut master_nodes = Table::new("nodes", schema);
+        for (id, lo, hi, exact) in [(1i64, 0.1, 0.9, 0.5), (2, 0.2, 0.8, 0.6)] {
+            nodes
+                .insert(vec![
+                    BoundedValue::Exact(Value::Int(id)),
+                    BoundedValue::bounded(lo, hi).unwrap(),
+                ])
+                .unwrap();
+            master_nodes
+                .insert(vec![
+                    BoundedValue::Exact(Value::Int(id)),
+                    BoundedValue::exact_f64(exact).unwrap(),
+                ])
+                .unwrap();
+        }
+        catalog.add_table(nodes).unwrap();
+        let mut master = Catalog::new();
+        master.add_table(master_table()).unwrap();
+        master.add_table(master_nodes).unwrap();
+        (
+            QuerySession::with_catalog(catalog),
+            TableOracle::new(master),
+        )
+    }
+}

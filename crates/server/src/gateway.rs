@@ -407,6 +407,22 @@ impl<T: Transport> RefreshGateway<T> {
         }
     }
 
+    /// Removes memoized entries and bumps the invalidation epoch for the
+    /// given objects — the pre-write half of every update path.
+    fn invalidate(&self, objects: impl Iterator<Item = ObjectId>) {
+        let mut state = self.table.lock();
+        for object in objects {
+            state.epoch += 1;
+            let epoch = state.epoch;
+            state.dirty.insert(object, epoch);
+            if let Some(e) = state.entries.get(&object) {
+                if matches!(e.slot, Slot::Done(_)) {
+                    state.entries.remove(&object);
+                }
+            }
+        }
+    }
+
     /// Serves one object through the same claim/await/publish protocol —
     /// used by the locked fallback execution path via [`Transport`].
     fn fetch_one(
@@ -524,18 +540,21 @@ impl<T: Transport> Transport for RefreshGateway<T> {
         // memoized result and bump the epoch so an in-flight fetch that
         // claimed earlier refuses to memoize its (possibly pre-update)
         // result. The fetcher's own install is ordered by `Refresh::seq`.
-        {
-            let mut state = self.table.lock();
-            state.epoch += 1;
-            let epoch = state.epoch;
-            state.dirty.insert(object, epoch);
-            if let Some(e) = state.entries.get(&object) {
-                if matches!(e.slot, Slot::Done(_)) {
-                    state.entries.remove(&object);
-                }
-            }
-        }
+        self.invalidate(std::iter::once(object));
         self.inner.apply_update(source, object, value, now)
+    }
+
+    fn submit_update_batch(
+        &self,
+        source: SourceId,
+        updates: Vec<(ObjectId, f64)>,
+        now: f64,
+    ) -> Completion<Vec<(CacheId, Refresh)>> {
+        // Same invalidation as `apply_update`, for the whole batch, before
+        // any write reaches the source — a fetch that claimed before *any*
+        // update in the batch must not memoize its result.
+        self.invalidate(updates.iter().map(|&(object, _)| object));
+        self.inner.submit_update_batch(source, updates, now)
     }
 
     fn messages(&self) -> u64 {

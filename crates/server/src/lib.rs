@@ -82,3 +82,5 @@ pub use router::{Route, ShardRouter};
 pub use service::{
     QueryService, QueryTicket, ServiceBuilder, ServiceConfig, ServiceReply, ServiceStats,
 };
+// The grouped half of [`ServiceReply`], re-exported for callers.
+pub use trapp_core::group_by::{GroupKey, GroupResult};

@@ -14,15 +14,24 @@
 //!   under the lock again. Queries for different groups proceed in
 //!   parallel with *no shared lock at all* — the scaling mechanism.
 //! * **scatter-gather** — a query whose group set spans shards asks every
-//!   shard for its partial aggregate input under *all* shard locks at
+//!   shard for its shape-generic partial
+//!   ([`trapp_core::query_plan::QueryPartial`]) under *all* shard locks at
 //!   once (a short, consistent snapshot — updates cannot interleave
-//!   between shards mid-gather), merges them with
-//!   [`trapp_core::merge::merge_partials`] into exactly the input one
-//!   big cache would hold, plans CHOOSE_REFRESH *globally* over the merged
-//!   input, splits the plan back per shard, fetches every shard's slice
-//!   **concurrently** with no locks held, installs per shard, and
-//!   recomputes. Deriving bounds only from the merged input keeps the
-//!   sharded answer bit-equivalent to the single-cache answer.
+//!   between shards mid-gather), merges them into exactly the input one
+//!   big cache would hold, plans *globally* over the merged input, splits
+//!   the plan back per shard, fetches every shard's slice **concurrently**
+//!   with no locks held, installs per shard, and recomputes. Deriving
+//!   bounds only from the merged input keeps the sharded answer
+//!   bit-equivalent to the single-cache answer. Every shape scatters:
+//!   scalar aggregates merge via
+//!   [`trapp_core::merge::merge_partials`], `GROUP BY` queries merge
+//!   per-group partials by key
+//!   ([`trapp_core::merge::merge_grouped_partials`] — with the group key
+//!   as the partition key each group's rows are co-located on one shard),
+//!   and two-table joins gather each side's base rows
+//!   ([`trapp_core::merge::merge_table_slices`]) and run the ordinary
+//!   join pipeline over the merged tables, fetching one heuristic
+//!   candidate per round through the owning shard's gateway.
 //!
 //! Within each shard the two PR-1 traffic reducers still apply: **batched
 //! source round-trips** (one [`Transport::request_refresh_batch`] per
@@ -31,19 +40,22 @@
 //! per shard is free because objects never span shards).
 //!
 //! Execution stays phased so source round-trips run *outside* every cache
-//! lock:
+//! lock, for every shape — scalar, `GROUP BY`, and join alike:
 //!
-//! 1. **plan** (shard lock): materialize bounds at the current instant,
-//!    compute the cache-only answer; if the constraint is unmet, take the
-//!    CHOOSE_REFRESH plan;
+//! 1. **plan** (shard lock): materialize bounds at the current instant and
+//!    lower the query into a [`trapp_core::query_plan::QueryPlan`] — the
+//!    cache-only answer(s) plus, where the constraint is unmet, the
+//!    refresh set per unit;
 //! 2. **fetch** (no lock): resolve the plan's tuples to replicated objects
 //!    and pull them through the owning shard's gateway — concurrent
 //!    queries' round-trips overlap here, and cross-shard fetches of one
 //!    query overlap with *each other*;
-//! 3. **install + answer** (shard lock): install the refreshes and re-run;
-//!    the CHOOSE_REFRESH guarantee makes the second pass satisfied from
-//!    cache unless the clock advanced concurrently, in which case the loop
-//!    repeats.
+//! 3. **install + plan again** (shard lock): install the refreshes and
+//!    re-derive; for scalar/grouped plans the CHOOSE_REFRESH guarantee
+//!    makes the second pass satisfied from cache unless the clock advanced
+//!    concurrently, while join plans iterate one heuristic tuple per
+//!    round. Only iterative mode (§8.2), whose refresh choices depend on
+//!    live master values, still executes under the shard lock.
 //!
 //! If one shard of a scatter fails mid-fetch, the refreshes that did
 //! arrive are still installed (their sources already narrowed their
@@ -60,15 +72,21 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use trapp_bounds::BoundShape;
-use trapp_core::executor::{PartialQuery, PlannedQuery, QueryResult};
-use trapp_core::{bounded_answer, choose_refresh, merge_partials, BoundedAnswer};
+use trapp_core::executor::QueryResult;
+use trapp_core::group_by::{render_key, GroupResult};
+use trapp_core::plan::{bind_query, BoundQuery, QuerySource};
+use trapp_core::query_plan::{
+    assemble_units, plan_join_round, plan_unit, QueryOutcome, QueryPartial, QueryPlan,
+};
+use trapp_core::refresh::iterative::IterativeHeuristic;
+use trapp_core::{merge_grouped_partials, merge_table_slices, BoundedAnswer};
 use trapp_storage::Table;
 use trapp_system::{
     CacheNode, ChannelTransport, CompletionTransport, CostModel, DirectTransport, FetchPool,
     SimClock, Source, Transport,
 };
 use trapp_types::{
-    shard_of, BoundedValue, CacheId, ObjectId, SourceId, TrappError, TupleId, Value,
+    shard_of, BoundedValue, CacheId, Interval, ObjectId, SourceId, TrappError, TupleId, Value,
 };
 
 use crate::gateway::{FetchOutcome, FetchStats, PendingFetch};
@@ -110,8 +128,16 @@ impl Default for ServiceConfig {
 pub struct ServiceReply {
     /// The executor's result (bounded answer, refresh plan, cost). For
     /// scatter-gathered queries, `refreshed` is reported in the global
-    /// tuple-id space.
+    /// tuple-id space. For `GROUP BY` queries this is the *roll-up* of
+    /// [`ServiceReply::groups`]: `answer` / `initial_answer` are the hulls
+    /// of the group ranges, `refreshed` and `refresh_cost` are totals,
+    /// `rounds` the per-group maximum, and `satisfied` requires every
+    /// group to be satisfied.
     pub result: QueryResult,
+    /// Per-group results for `GROUP BY` queries in deterministic
+    /// key-sorted order — the authoritative grouped answer. Empty for
+    /// scalar and join queries.
+    pub groups: Vec<GroupResult>,
     /// Refreshes this query obtained from a shared in-flight table
     /// instead of a source — work another query already paid for.
     pub refreshes_saved: u64,
@@ -119,6 +145,36 @@ pub struct ServiceReply {
     pub round_trips: u64,
     /// Time spent executing (excludes queue wait).
     pub exec_time: Duration,
+}
+
+/// Rolls per-group results up into one [`QueryResult`]; see
+/// [`ServiceReply::result`].
+fn rollup(groups: &[GroupResult]) -> QueryResult {
+    let hull = |range_of: &dyn Fn(&GroupResult) -> Interval| {
+        groups
+            .iter()
+            .fold(None::<(f64, f64)>, |acc, g| {
+                let iv = range_of(g);
+                Some(match acc {
+                    None => (iv.lo(), iv.hi()),
+                    Some((lo, hi)) => (lo.min(iv.lo()), hi.max(iv.hi())),
+                })
+            })
+            .map(|(lo, hi)| Interval::new_unchecked(lo, hi))
+            // Zero groups (empty table): a degenerate point hull.
+            .unwrap_or_else(|| Interval::new_unchecked(0.0, 0.0))
+    };
+    QueryResult {
+        answer: BoundedAnswer::new(hull(&|g| g.result.answer.range)),
+        initial_answer: BoundedAnswer::new(hull(&|g| g.result.initial_answer.range)),
+        refreshed: groups
+            .iter()
+            .flat_map(|g| g.result.refreshed.iter().cloned())
+            .collect(),
+        refresh_cost: groups.iter().map(|g| g.result.refresh_cost).sum(),
+        rounds: groups.iter().map(|g| g.result.rounds).max().unwrap_or(0),
+        satisfied: groups.iter().all(|g| g.result.satisfied),
+    }
 }
 
 /// Aggregate service counters.
@@ -150,6 +206,49 @@ struct ServiceCore {
     counters: Mutex<ServiceStats>,
 }
 
+/// Attribution one unit (whole query, or one group) accumulates across
+/// fetch rounds: the serving layer pays for refreshes round by round, but
+/// the final [`QueryPlan::Ready`] pass sees pinned cells and reports
+/// nothing refreshed — this records what the query actually planned and
+/// paid for, keyed by rendered group key.
+#[derive(Default)]
+struct UnitAttr {
+    /// The unit's cache-only answer from its first planning round.
+    initial: Option<BoundedAnswer>,
+    /// Tuples refreshed (global ids), each reported once.
+    refreshed: Vec<(String, TupleId)>,
+    /// Total planned refresh cost.
+    cost: f64,
+    /// Rounds in which this unit fetched something.
+    rounds: usize,
+}
+
+/// Patches accumulated attribution into the final planned outcome.
+fn patch_outcome(outcome: QueryOutcome, attr: &HashMap<String, UnitAttr>) -> QueryOutcome {
+    let patch = |result: &mut QueryResult, rendered: &str| {
+        if let Some(a) = attr.get(rendered) {
+            if let Some(initial) = a.initial {
+                result.initial_answer = initial;
+            }
+            result.refreshed = a.refreshed.clone();
+            result.refresh_cost = a.cost;
+            result.rounds = a.rounds;
+        }
+    };
+    match outcome {
+        QueryOutcome::Scalar(mut r) => {
+            patch(&mut r, &render_key(&Vec::new()));
+            QueryOutcome::Scalar(r)
+        }
+        QueryOutcome::Grouped(mut groups) => {
+            for g in &mut groups {
+                patch(&mut g.result, &render_key(&g.key));
+            }
+            QueryOutcome::Grouped(groups)
+        }
+    }
+}
+
 impl ServiceCore {
     fn run_query(&self, sql: &str) -> Result<ServiceReply, TrappError> {
         let started = Instant::now();
@@ -158,12 +257,17 @@ impl ServiceCore {
 
         let mut counters = self.counters.lock();
         match outcome {
-            Ok((result, stats, scattered)) => {
+            Ok((outcome, stats, scattered)) => {
                 counters.queries += 1;
                 counters.round_trips += stats.round_trips;
                 counters.scatter_queries += u64::from(scattered);
+                let (result, groups) = match outcome {
+                    QueryOutcome::Scalar(result) => (result, Vec::new()),
+                    QueryOutcome::Grouped(groups) => (rollup(&groups), groups),
+                };
                 Ok(ServiceReply {
                     result,
+                    groups,
                     refreshes_saved: stats.coalesced,
                     round_trips: stats.round_trips,
                     exec_time,
@@ -176,244 +280,166 @@ impl ServiceCore {
         }
     }
 
-    fn run_query_inner(&self, sql: &str) -> Result<(QueryResult, FetchStats, bool), TrappError> {
+    fn run_query_inner(&self, sql: &str) -> Result<(QueryOutcome, FetchStats, bool), TrappError> {
         let query = trapp_sql::parse_query(sql)?;
-        match self.router.route(&query) {
-            Route::Single(s) => self
-                .run_on_shard(&query, s)
-                .map(|(result, stats)| (result, stats, false)),
-            Route::Scatter => self
-                .run_scatter(&query)
-                .map(|(result, stats)| (result, stats, true)),
-        }
+        let route = self.router.route(&query);
+        let scattered = matches!(route, Route::Scatter);
+        self.run_routed(&query, route)
+            .map(|(outcome, stats)| (outcome, stats, scattered))
     }
 
-    /// The single-shard phased execution: plan → fetch → install + answer,
-    /// all against one shard's cache and gateway.
-    fn run_on_shard(
+    /// The shape-generic phased execution loop — one body for every route
+    /// and every query shape:
+    ///
+    /// 1. **plan** (shard lock(s)): lower the query into a
+    ///    [`QueryPlan`] — locally for a single-shard route, from merged
+    ///    per-shard partials for scatter;
+    /// 2. **fetch** (no locks): resolve every unit's tuples to
+    ///    `(source, objects)` with short per-shard locks, submit every
+    ///    shard's slice through its gateway before waiting on any —
+    ///    join fetches run out here exactly like scalar ones;
+    /// 3. **install** (per-shard locks) and plan again. Complete
+    ///    (scalar/grouped) plans normally finish on the second pass; join
+    ///    plans iterate one heuristic tuple per round until converged.
+    fn run_routed(
         &self,
         query: &trapp_sql::Query,
-        idx: usize,
-    ) -> Result<(QueryResult, FetchStats), TrappError> {
-        let shard = self.router.shard(idx);
-        // Phase 1 — plan under the shard lock, against bounds materialized
-        // at this instant.
-        let now;
-        let planned = {
-            let mut cache = shard.cache.lock();
-            cache.materialize()?;
-            now = self.clock.now();
-            cache.session().plan_query(query)?
-        };
-        match planned {
-            PlannedQuery::Satisfied(result) => Ok((result, FetchStats::default())),
-            PlannedQuery::Unsupported => {
-                // Joins / grouped / iterative: the classic locked loop.
-                // (Refresh traffic still flows through the shard gateway,
-                // so coalescing and the global counters stay coherent;
-                // only the per-query round-trip attribution is
-                // unavailable.)
-                let mut cache = shard.cache.lock();
-                let mut result = cache.execute(query, &shard.gateway)?;
-                for (table, tid) in &mut result.refreshed {
-                    *tid = shard.global_tid(table, *tid);
-                }
-                Ok((result, FetchStats::default()))
-            }
-            PlannedQuery::NeedsRefresh {
-                table,
-                tuples,
-                refresh_cost,
-                initial,
-            } => {
-                // Resolve tuples to (source, objects) with a short lock.
-                let plan: Vec<(SourceId, Vec<ObjectId>)> = {
-                    let cache = shard.cache.lock();
-                    let mut per_source: BTreeMap<SourceId, Vec<ObjectId>> = BTreeMap::new();
-                    for &tid in &tuples {
-                        for (object, source) in cache.objects_backing(&table, tid)? {
-                            per_source.entry(source).or_default().push(object);
-                        }
-                    }
-                    per_source.into_iter().collect()
-                };
-
-                // Phase 2 — fetch with the cache lock RELEASED: concurrent
-                // queries overlap their round-trips here and the gateway
-                // coalesces shared objects.
-                let outcome = shard
-                    .gateway
-                    .fetch(shard.cache_id, now, &plan, self.batch_refreshes);
-
-                // Phase 3 — install and answer under the lock. Refreshes
-                // obtained before a partial failure are installed too —
-                // their sources already narrowed their tracked bounds, and
-                // dropping them would desynchronize cache and monitor.
-                let mut cache = shard.cache.lock();
-                for refresh in outcome.refreshes {
-                    cache.install_refresh(refresh)?;
-                }
-                if let Some(e) = outcome.error {
-                    return Err(e);
-                }
-                let mut result = cache.execute(query, &shard.gateway)?;
-                // The second pass saw pinned cells; report the true
-                // pre-refresh initial answer from planning time.
-                result.initial_answer = initial;
-                if result.refreshed.is_empty() {
-                    // The normal case: the second pass was satisfied from
-                    // the pinned cells. Attribute the work this query
-                    // actually planned and paid for.
-                    result.refreshed = tuples.iter().map(|&tid| (table.clone(), tid)).collect();
-                    result.refresh_cost = refresh_cost;
-                    result.rounds = 1;
-                }
-                for (table, tid) in &mut result.refreshed {
-                    *tid = shard.global_tid(table, *tid);
-                }
-                Ok((result, outcome.stats))
-            }
-        }
-    }
-
-    /// Cross-shard scatter-gather: partial inputs from every shard, a
-    /// global plan over the merged input, concurrent per-shard fetches,
-    /// per-shard installs, merged recompute. See the module docs.
-    fn run_scatter(
-        &self,
-        query: &trapp_sql::Query,
-    ) -> Result<(QueryResult, FetchStats), TrappError> {
+        route: Route,
+    ) -> Result<(QueryOutcome, FetchStats), TrappError> {
         let mut stats = FetchStats::default();
-        let mut refreshed: Vec<(String, TupleId)> = Vec::new();
-        let mut cost = 0.0;
-        let mut rounds = 0usize;
-        let mut initial: Option<BoundedAnswer> = None;
+        let mut attr: HashMap<String, UnitAttr> = HashMap::new();
+        // Re-planning after a *complete* round means a concurrent clock
+        // advance re-widened bounds mid-query; join rounds are expected
+        // and budgeted separately.
+        let mut widen_rounds = 0usize;
+        let mut join_rounds = 0usize;
 
         loop {
-            // Gather phase: take *every* shard's lock (in index order —
-            // this is the only multi-lock acquisition in the service, so
-            // ordered acquisition cannot deadlock) and only then build the
-            // partial inputs. Holding all locks makes the merged input a
-            // consistent snapshot: an update cannot land on shard 1 after
-            // shard 0 was already gathered, which would merge bounds from
-            // two different logical states into an answer that was valid
-            // at no instant.
-            let mut inputs = Vec::with_capacity(self.router.shard_count());
-            let mut shape: Option<(String, trapp_core::Aggregate, Option<f64>)> = None;
-            let mut strategy = trapp_core::SolverStrategy::default();
-            let now;
-            {
-                let mut guards: Vec<_> = self
-                    .router
-                    .shards()
-                    .iter()
-                    .map(|s| s.cache.lock())
-                    .collect();
-                for (shard, cache) in self.router.shards().iter().zip(guards.iter_mut()) {
+            // ---- Plan phase (under the cache lock(s)) ----
+            let (plan, now, max_join_rounds) = match route {
+                Route::Single(s) => {
+                    let shard = self.router.shard(s);
+                    let mut cache = shard.cache.lock();
                     cache.materialize()?;
-                    strategy = cache.session().config.strategy;
-                    match cache.session().partial_query(query)? {
-                        PartialQuery::Partial(mut p) => {
-                            let table = p.table.clone();
-                            p.rewrite_tids(|tid| shard.global_tid(&table, tid));
-                            shape.get_or_insert((p.table, p.agg, p.within));
-                            inputs.push(p.input);
+                    let now = self.clock.now();
+                    let max_join_rounds = cache.session().config.max_refresh_rounds;
+                    match cache.session().plan_query(query)? {
+                        QueryPlan::Iterative => {
+                            // Iterative mode (§8.2) picks each refresh from
+                            // live master values: execution stays under the
+                            // shard lock, flowing through the shard gateway
+                            // so coalescing and the global counters stay
+                            // coherent.
+                            return if query.group_by.is_empty() {
+                                let mut result = cache.execute(query, &shard.gateway)?;
+                                for (table, tid) in &mut result.refreshed {
+                                    *tid = shard.global_tid(table, *tid);
+                                }
+                                Ok((QueryOutcome::Scalar(result), stats))
+                            } else {
+                                let mut groups = cache.execute_grouped(query, &shard.gateway)?;
+                                for g in &mut groups {
+                                    for (table, tid) in &mut g.result.refreshed {
+                                        *tid = shard.global_tid(table, *tid);
+                                    }
+                                }
+                                Ok((QueryOutcome::Grouped(groups), stats))
+                            };
                         }
-                        PartialQuery::Unsupported => {
-                            return Err(TrappError::Unsupported(
-                                "joins, GROUP BY, and iterative execution cannot be \
-                                 scatter-gathered across shards; run them on a \
-                                 single-shard service (shards = 1)"
-                                    .into(),
-                            ))
-                        }
+                        plan => (plan, now, max_join_rounds),
                     }
                 }
-                now = self.clock.now();
-            }
-            let (table, agg, within) = shape.expect("at least one shard");
-            let merged = merge_partials(inputs)?;
-            let answer = bounded_answer(agg, &merged)?;
-            let initial_answer = *initial.get_or_insert(answer);
+                Route::Scatter => self.plan_scatter(query)?,
+            };
 
-            if answer.satisfies(within) {
-                return Ok((
-                    QueryResult {
-                        answer,
-                        initial_answer,
-                        refreshed,
-                        refresh_cost: cost,
-                        rounds,
-                        satisfied: true,
-                    },
-                    stats,
-                ));
-            }
-            if rounds >= MAX_SCATTER_ROUNDS {
-                return Err(TrappError::Internal(format!(
-                    "scatter-gather did not converge in {rounds} rounds \
-                     (bounds kept re-widening under the refresh plan)"
-                )));
-            }
-
-            // Plan phase: CHOOSE_REFRESH over the merged input — exactly
-            // the plan a single cache holding every row would pick.
-            let r = within.expect("unsatisfied implies finite R");
-            let plan = choose_refresh(agg, &merged, r, strategy)?;
-            if plan.tuples.is_empty() {
-                // No refresh can help further (e.g. MEDIAN's slack).
-                return Ok((
-                    QueryResult {
-                        answer,
-                        initial_answer,
-                        refreshed,
-                        refresh_cost: cost,
-                        rounds,
-                        satisfied: false,
-                    },
-                    stats,
-                ));
-            }
-            rounds += 1;
-            cost += plan.planned_cost;
-
-            // Split the global plan by owning shard and resolve each
-            // shard's tuples to (source, objects) under a short lock.
-            let shard_count = self.router.shard_count();
-            let mut local_tuples: Vec<Vec<TupleId>> = vec![Vec::new(); shard_count];
-            for &gtid in &plan.tuples {
-                let (s, local) = self.router.locate(&table, gtid)?;
-                local_tuples[s].push(local);
-                // A later round (concurrent clock advance) may re-plan a
-                // tuple already refreshed; report each tuple once, like
-                // the single-shard attribution does.
-                if !refreshed.iter().any(|(t, id)| *id == gtid && t == &table) {
-                    refreshed.push((table.clone(), gtid));
+            let fp = match plan {
+                QueryPlan::Ready(outcome) => {
+                    return Ok((patch_outcome(outcome, &attr), stats));
+                }
+                QueryPlan::Iterative => {
+                    // `plan_scatter` rejects iterative mode with a typed
+                    // error before producing a plan; only the single-shard
+                    // arm (handled above) can lower into this.
+                    return Err(TrappError::Internal(
+                        "iterative plan escaped the locked fallback".into(),
+                    ));
+                }
+                QueryPlan::NeedsFetch(fp) => fp,
+            };
+            if fp.complete {
+                widen_rounds += 1;
+                if widen_rounds > MAX_SCATTER_ROUNDS {
+                    return Err(TrappError::Internal(format!(
+                        "phased execution did not converge in {widen_rounds} rounds \
+                         (bounds kept re-widening under the refresh plan)"
+                    )));
+                }
+            } else {
+                join_rounds += 1;
+                if join_rounds > max_join_rounds {
+                    return Err(TrappError::Internal(format!(
+                        "join refresh did not converge in {join_rounds} rounds"
+                    )));
                 }
             }
+
+            // ---- Attribute and localize the fetch set ----
+            let shard_count = self.router.shard_count();
+            let mut work: Vec<Vec<(String, TupleId)>> = vec![Vec::new(); shard_count];
+            for unit in &fp.units {
+                let entry = attr.entry(render_key(&unit.key)).or_default();
+                if entry.initial.is_none() {
+                    entry.initial = Some(unit.initial);
+                }
+                let Some(fetch) = &unit.fetch else { continue };
+                entry.cost += fetch.refresh_cost;
+                entry.rounds += 1;
+                for &tid in &fetch.tuples {
+                    let (s, local, global) = match route {
+                        Route::Single(s) => {
+                            (s, tid, self.router.shard(s).global_tid(&fetch.table, tid))
+                        }
+                        Route::Scatter => {
+                            let (s, local) = self.router.locate(&fetch.table, tid)?;
+                            (s, local, tid)
+                        }
+                    };
+                    // A later round (concurrent clock advance) may re-plan
+                    // a tuple already refreshed; report each tuple once.
+                    if !entry
+                        .refreshed
+                        .iter()
+                        .any(|(t, id)| *id == global && t == &fetch.table)
+                    {
+                        entry.refreshed.push((fetch.table.clone(), global));
+                    }
+                    work[s].push((fetch.table.clone(), local));
+                }
+            }
+
+            // Resolve tuples to (source, objects) with one short lock per
+            // owning shard.
             let mut fetch_plans: Vec<Vec<(SourceId, Vec<ObjectId>)>> =
                 vec![Vec::new(); shard_count];
-            for (s, tuples) in local_tuples.iter().enumerate() {
-                if tuples.is_empty() {
+            for (s, items) in work.iter().enumerate() {
+                if items.is_empty() {
                     continue;
                 }
                 let cache = self.router.shard(s).cache.lock();
                 let mut per_source: BTreeMap<SourceId, Vec<ObjectId>> = BTreeMap::new();
-                for &tid in tuples {
-                    for (object, source) in cache.objects_backing(&table, tid)? {
+                for (table, tid) in items {
+                    for (object, source) in cache.objects_backing(table, *tid)? {
                         per_source.entry(source).or_default().push(object);
                     }
                 }
                 fetch_plans[s] = per_source.into_iter().collect();
             }
 
-            // Fetch phase: submit every shard's slice through its gateway
-            // *before* waiting on any of them — the cross-shard
-            // round-trips ride the transport's completion queues and
-            // overlap each other *and* other queries' fetches on the same
-            // shards, with no per-round thread spawns. (Wall-clock is the
-            // slowest shard's slice, exactly as with the old scoped
-            // threads, but the fan-out now costs zero OS threads.)
+            // ---- Fetch phase: submit every shard's slice through its
+            // gateway *before* waiting on any of them — the round-trips
+            // ride the transport's completion queues and overlap each
+            // other and other queries' fetches, with zero per-round
+            // thread spawns.
             let pending: Vec<(usize, PendingFetch)> = fetch_plans
                 .iter()
                 .enumerate()
@@ -433,10 +459,10 @@ impl ServiceCore {
                 .map(|(s, p)| (s, self.router.shard(s).gateway.finish_fetch(p)))
                 .collect();
 
-            // Install phase: everything that arrived goes in — even on a
-            // failed shard, its sources already narrowed their tracked
-            // bounds — then a failure surfaces as a partial-result error
-            // rather than a bound that pretends the lost shard is exact.
+            // ---- Install phase: everything that arrived goes in — even
+            // on a failed shard, its sources already narrowed their
+            // tracked bounds — then a failure surfaces as an error rather
+            // than a bound that pretends the lost refreshes are exact.
             let mut failure: Option<(usize, TrappError)> = None;
             for (s, outcome) in outcomes {
                 let mut cache = self.router.shard(s).cache.lock();
@@ -451,15 +477,153 @@ impl ServiceCore {
                 }
             }
             if let Some((s, e)) = failure {
-                return Err(TrappError::PartialResult(format!(
-                    "shard {s} failed while refreshing its slice of the plan: {e}"
-                )));
+                return Err(match route {
+                    Route::Single(_) => e,
+                    Route::Scatter => TrappError::PartialResult(format!(
+                        "shard {s} failed while refreshing its slice of the plan: {e}"
+                    )),
+                });
             }
-            // Loop: recompute the merged answer. The CHOOSE_REFRESH
-            // guarantee makes it satisfied unless the clock advanced.
+            // Loop: plan again over the installed refreshes. For complete
+            // plans the CHOOSE_REFRESH guarantee makes the next pass Ready
+            // unless the clock advanced; join rounds iterate.
         }
     }
+
+    /// The scatter-side plan phase: gather every shard's
+    /// [`QueryPartial`] under *all* shard locks (in index order — the only
+    /// multi-lock acquisition in the service, so ordered acquisition
+    /// cannot deadlock), merge them shape-by-shape with no locks held, and
+    /// derive the plan once from the merged input. Holding all locks makes
+    /// the merged input a consistent snapshot: an update cannot land on
+    /// shard 1 after shard 0 was already gathered, which would merge
+    /// bounds from two different logical states into an answer that was
+    /// valid at no instant.
+    ///
+    /// Returns the plan, the gather instant, and the join-round budget.
+    fn plan_scatter(
+        &self,
+        query: &trapp_sql::Query,
+    ) -> Result<(QueryPlan, f64, usize), TrappError> {
+        let mut strategy = trapp_core::SolverStrategy::default();
+        let mut heuristic = IterativeHeuristic::BestRatio;
+        let mut max_join_rounds = 0usize;
+        let mut partials: Vec<QueryPartial> = Vec::with_capacity(self.router.shard_count());
+        let mut join_meta: Option<(BoundQuery, JoinSchemas)> = None;
+        let now;
+        {
+            let mut guards: Vec<_> = self
+                .router
+                .shards()
+                .iter()
+                .map(|s| s.cache.lock())
+                .collect();
+            for (shard, cache) in self.router.shards().iter().zip(guards.iter_mut()) {
+                cache.materialize()?;
+                let config = &cache.session().config;
+                strategy = config.strategy;
+                heuristic = config.join_heuristic;
+                max_join_rounds = config.max_refresh_rounds;
+                let mut partial = cache.session().partial_query(query)?;
+                match &mut partial {
+                    QueryPartial::Scalar(p) => {
+                        let table = p.table.clone();
+                        p.rewrite_tids(|tid| shard.global_tid(&table, tid));
+                    }
+                    QueryPartial::Grouped(groups) => {
+                        for (_, p) in groups.iter_mut() {
+                            let table = p.table.clone();
+                            p.rewrite_tids(|tid| shard.global_tid(&table, tid));
+                        }
+                    }
+                    QueryPartial::Join(jp) => {
+                        let table = jp.left.table.clone();
+                        jp.left.rewrite_tids(|tid| shard.global_tid(&table, tid));
+                        let table = jp.right.table.clone();
+                        jp.right.rewrite_tids(|tid| shard.global_tid(&table, tid));
+                    }
+                }
+                partials.push(partial);
+            }
+            // Join shape metadata comes from shard 0's catalog — every
+            // shard holds every table's schema.
+            if matches!(partials.first(), Some(QueryPartial::Join(_))) {
+                let catalog = guards[0].session().catalog();
+                let bound = bind_query(query, catalog)?;
+                let QuerySource::Join { left, right } = &bound.source else {
+                    return Err(TrappError::Internal(
+                        "join partial from a non-join query".into(),
+                    ));
+                };
+                let schemas = (
+                    catalog.table(left)?.schema().clone(),
+                    catalog.table(right)?.schema().clone(),
+                );
+                join_meta = Some((bound, schemas));
+            }
+            now = self.clock.now();
+        }
+
+        // ---- Merge + derive (no locks held) ----
+        let shape_err = || TrappError::Internal("shards disagreed on query shape".into());
+        let plan = match partials.first().expect("at least one shard") {
+            QueryPartial::Scalar(_) => {
+                let mut shape: Option<(String, trapp_core::Aggregate, Option<f64>)> = None;
+                let mut inputs = Vec::with_capacity(partials.len());
+                for partial in partials {
+                    let QueryPartial::Scalar(p) = partial else {
+                        return Err(shape_err());
+                    };
+                    shape.get_or_insert((p.table, p.agg, p.within));
+                    inputs.push(p.input);
+                }
+                let (table, agg, within) = shape.expect("at least one shard");
+                let merged = trapp_core::merge_partials(inputs)?;
+                let unit = plan_unit(agg, within, strategy, &table, Vec::new(), &merged)?;
+                assemble_units(vec![unit], false)
+            }
+            QueryPartial::Grouped(_) => {
+                let mut shards_groups = Vec::with_capacity(partials.len());
+                for partial in partials {
+                    let QueryPartial::Grouped(groups) = partial else {
+                        return Err(shape_err());
+                    };
+                    shards_groups.push(groups);
+                }
+                let merged = merge_grouped_partials(shards_groups)?;
+                let mut units = Vec::with_capacity(merged.len());
+                for (key, p) in merged {
+                    units.push(plan_unit(
+                        p.agg, p.within, strategy, &p.table, key, &p.input,
+                    )?);
+                }
+                assemble_units(units, true)
+            }
+            QueryPartial::Join(_) => {
+                let (bound, (lschema, rschema)) = join_meta.expect("set under the gather locks");
+                let mut lefts = Vec::with_capacity(partials.len());
+                let mut rights = Vec::with_capacity(partials.len());
+                for partial in partials {
+                    let QueryPartial::Join(jp) = partial else {
+                        return Err(shape_err());
+                    };
+                    lefts.push(jp.left);
+                    rights.push(jp.right);
+                }
+                let left = merge_table_slices(lschema, lefts)?;
+                let right = merge_table_slices(rschema, rights)?;
+                plan_join_round(&bound, &left, &right, heuristic)?
+            }
+        };
+        Ok((plan, now, max_join_rounds))
+    }
 }
+
+/// The per-side schemas of a gathered join.
+type JoinSchemas = (
+    std::sync::Arc<trapp_storage::Schema>,
+    std::sync::Arc<trapp_storage::Schema>,
+);
 
 /// A pending answer; see [`QueryService::submit`].
 pub struct QueryTicket {
@@ -557,26 +721,86 @@ impl QueryService {
     /// any value-initiated refreshes to the owning shard's cache. Returns
     /// how many were delivered.
     pub fn apply_update(&self, object: ObjectId, value: f64) -> Result<usize, TrappError> {
-        let idx = self
-            .core
-            .router
-            .object_shard(object)
-            .ok_or_else(|| TrappError::RefreshFailed(format!("{object} is not replicated")))?;
-        let shard = self.core.router.shard(idx);
-        let mut cache = shard.cache.lock();
-        let source = cache
-            .route(object)
-            .map(|r| r.source)
-            .ok_or_else(|| TrappError::RefreshFailed(format!("{object} is not replicated")))?;
-        let refreshes = shard
-            .gateway
-            .apply_update(source, object, value, self.core.clock.now())?;
-        let n = refreshes.len();
-        for (cache_id, refresh) in refreshes {
-            debug_assert_eq!(cache_id, cache.id());
-            cache.install_refresh(refresh)?;
+        self.apply_update_batch(&[(object, value)])
+    }
+
+    /// Applies a whole batch of master-value updates, paying one
+    /// completion per `(shard, source)` batch instead of one blocking
+    /// round-trip per write: updates are grouped by the owning shard and
+    /// source (submission order preserved within each source), every
+    /// batch is submitted through the gateways' nonblocking
+    /// [`Transport::submit_update_batch`] before any is waited on, and
+    /// the triggered value-initiated refreshes install on their owning
+    /// shards. Returns how many refreshes were delivered; on a failed
+    /// batch the surviving batches' refreshes are still installed before
+    /// the first error is reported.
+    pub fn apply_update_batch(&self, updates: &[(ObjectId, f64)]) -> Result<usize, TrappError> {
+        let now = self.core.clock.now();
+        // Group by owning shard first, then resolve each shard's sources
+        // under one short lock per shard.
+        let mut shard_updates: BTreeMap<usize, Vec<(ObjectId, f64)>> = BTreeMap::new();
+        for &(object, value) in updates {
+            let idx =
+                self.core.router.object_shard(object).ok_or_else(|| {
+                    TrappError::RefreshFailed(format!("{object} is not replicated"))
+                })?;
+            shard_updates.entry(idx).or_default().push((object, value));
         }
-        Ok(n)
+        let mut per_shard: BTreeMap<usize, BTreeMap<SourceId, Vec<(ObjectId, f64)>>> =
+            BTreeMap::new();
+        for (idx, batch) in shard_updates {
+            let cache = self.core.router.shard(idx).cache.lock();
+            let per_source = per_shard.entry(idx).or_default();
+            for (object, value) in batch {
+                let source = cache.route(object).map(|r| r.source).ok_or_else(|| {
+                    TrappError::RefreshFailed(format!("{object} is not replicated"))
+                })?;
+                per_source.entry(source).or_default().push((object, value));
+            }
+        }
+        // Submit every per-source batch before waiting on any (the
+        // gateways invalidate their memoized entries at submit time).
+        let pending: Vec<(usize, _)> = per_shard
+            .into_iter()
+            .flat_map(|(idx, per_source)| {
+                let shard = self.core.router.shard(idx);
+                per_source
+                    .into_iter()
+                    .map(move |(source, batch)| {
+                        (idx, shard.gateway.submit_update_batch(source, batch, now))
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        // Drain every completion even after a failure: the sources behind
+        // the other batches already applied their writes and narrowed
+        // their tracked bounds — their refreshes must install or cache
+        // and Refresh Monitor diverge.
+        let mut delivered = 0usize;
+        let mut failure: Option<TrappError> = None;
+        for (idx, completion) in pending {
+            match completion.wait() {
+                Ok(refreshes) => {
+                    let mut cache = self.core.router.shard(idx).cache.lock();
+                    for (cache_id, refresh) in refreshes {
+                        debug_assert_eq!(cache_id, cache.id());
+                        match cache.install_refresh(refresh) {
+                            Ok(()) => delivered += 1,
+                            Err(e) => {
+                                failure.get_or_insert(e);
+                            }
+                        }
+                    }
+                }
+                Err(e) => {
+                    failure.get_or_insert(e);
+                }
+            }
+        }
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(delivered),
+        }
     }
 
     /// Advances the shared clock (bounds widen as time passes).

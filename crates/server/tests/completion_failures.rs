@@ -126,6 +126,75 @@ fn source_failure_mid_completion_surfaces_partial_result_with_survivors_installe
     assert!(reply.result.answer.is_exact());
 }
 
+/// A batched update sweep reaches every owning shard with one completion
+/// per (shard, source) batch, the last write per object wins, and the
+/// gateways' memoized entries are invalidated exactly as on the
+/// one-write-at-a-time path.
+#[test]
+fn update_batches_deliver_and_invalidate_across_shards() {
+    let w = loadgen::generate(&LoadConfig {
+        seed: 13,
+        groups: 8,
+        rows_per_group: 2,
+        sources: 3,
+        queries: 0,
+        ..LoadConfig::default()
+    });
+    let service = build(&w);
+    service.advance_clock(5.0);
+
+    // Warm every bound (and the gateways' in-flight tables) first.
+    let warm = service
+        .query("SELECT SUM(load) WITHIN 0 FROM metrics")
+        .unwrap();
+    assert!(warm.result.answer.is_exact());
+
+    // One batch spanning every shard and source: two writes per object
+    // for the first four rows — the second must win.
+    let updates: Vec<(ObjectId, f64)> = (0..4u64)
+        .flat_map(|row| {
+            [
+                (ObjectId::new(row + 1), 1_000.0 + row as f64),
+                (ObjectId::new(row + 1), 2_000.0 + row as f64),
+            ]
+        })
+        .collect();
+    let delivered = service.apply_update_batch(&updates).unwrap();
+    assert!(
+        delivered >= 4,
+        "escaping batched updates must reach their caches (got {delivered})"
+    );
+
+    // The post-batch masters are visible exactly: same instant, so any
+    // stale memoized refresh would surface here.
+    let reply = service
+        .query("SELECT SUM(load) WITHIN 0 FROM metrics")
+        .unwrap();
+    let expected: f64 = w
+        .rows
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            if i < 4 {
+                2_000.0 + i as f64
+            } else {
+                r.cells[1].as_interval().unwrap().midpoint()
+            }
+        })
+        .sum();
+    assert!(reply.result.answer.is_exact());
+    assert!(
+        (reply.result.answer.range.lo() - expected).abs() < 1e-9,
+        "batched masters not visible: {} vs {expected}",
+        reply.result.answer
+    );
+
+    // Unknown objects fail the whole batch up front.
+    assert!(service
+        .apply_update_batch(&[(ObjectId::new(54_321), 1.0)])
+        .is_err());
+}
+
 /// Updates routed through the completion transport reach the owning
 /// shard's cache exactly as on the blocking transports.
 #[test]

@@ -15,9 +15,9 @@
 //!   precision contract.
 
 use proptest::prelude::*;
-use trapp_server::{QueryService, ServiceBuilder, ServiceConfig};
-use trapp_types::{shard_of, ObjectId, SourceId, TrappError};
-use trapp_workload::loadgen::{self, LoadConfig, ServiceWorkload};
+use trapp_server::{QueryService, ServiceBuilder, ServiceConfig, ServiceReply};
+use trapp_types::{shard_of, ObjectId, SourceId, TrappError, Value};
+use trapp_workload::loadgen::{self, LoadConfig, QueryShape, ServiceWorkload};
 
 /// Which transport stack a service is built over.
 #[derive(Clone, Copy, Debug)]
@@ -38,8 +38,16 @@ fn build_on(w: &ServiceWorkload, shards: usize, workers: usize, stack: Stack) ->
         })
         .partition_by("grp")
         .table(loadgen::table());
+    if !w.segments.is_empty() {
+        b = b.table(loadgen::segments_table());
+    }
     for r in &w.rows {
         b = b.row("metrics", r.source, r.cells.clone());
+    }
+    // Segments after every metrics row, so metrics rows keep backing
+    // objects 1..=rows.len().
+    for s in &w.segments {
+        b = b.row("segments", s.source, s.cells.clone());
     }
     match stack {
         Stack::Blocking => b.build_direct().unwrap(),
@@ -49,6 +57,59 @@ fn build_on(w: &ServiceWorkload, shards: usize, workers: usize, stack: Stack) ->
 
 fn build(w: &ServiceWorkload, shards: usize, workers: usize) -> QueryService {
     build_on(w, shards, workers, Stack::Blocking)
+}
+
+/// Asserts two replies are bit-identical — scalar roll-up and per-group
+/// results alike.
+fn assert_replies_match(a: &ServiceReply, b: &ServiceReply, context: &str) {
+    assert_eq!(
+        a.result.answer.range, b.result.answer.range,
+        "answer for {context}"
+    );
+    assert_eq!(
+        a.result.initial_answer.range, b.result.initial_answer.range,
+        "initial answer for {context}"
+    );
+    assert_eq!(a.result.satisfied, b.result.satisfied, "{context}");
+    assert_eq!(
+        a.result.refreshed, b.result.refreshed,
+        "refresh sets for {context}"
+    );
+    assert_eq!(
+        a.result.refresh_cost, b.result.refresh_cost,
+        "refresh cost for {context}"
+    );
+    assert_eq!(a.result.rounds, b.result.rounds, "rounds for {context}");
+    assert_eq!(a.groups.len(), b.groups.len(), "group count for {context}");
+    for (ga, gb) in a.groups.iter().zip(&b.groups) {
+        assert_eq!(ga.key, gb.key, "group keys for {context}");
+        assert_eq!(
+            ga.result.answer.range, gb.result.answer.range,
+            "group {:?} answer for {context}",
+            ga.key
+        );
+        assert_eq!(
+            ga.result.initial_answer.range, gb.result.initial_answer.range,
+            "group {:?} initial for {context}",
+            ga.key
+        );
+        assert_eq!(ga.result.satisfied, gb.result.satisfied, "{context}");
+        assert_eq!(
+            ga.result.refreshed, gb.result.refreshed,
+            "group {:?} refresh set for {context}",
+            ga.key
+        );
+        assert_eq!(
+            ga.result.refresh_cost, gb.result.refresh_cost,
+            "group {:?} cost for {context}",
+            ga.key
+        );
+        assert_eq!(
+            ga.result.rounds, gb.result.rounds,
+            "group {:?} rounds for {context}",
+            ga.key
+        );
+    }
 }
 
 proptest! {
@@ -119,6 +180,239 @@ proptest! {
             );
         }
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The full-query-surface acceptance property: a mixed stream of
+    /// pinned, global, `GROUP BY`, and join queries runs bit-identically
+    /// on an N-shard service and the 1-shard service — per-group answers,
+    /// refresh sets (global tuple ids), and costs included — on the
+    /// blocking *and* completion transports.
+    #[test]
+    fn grouped_and_join_scatter_is_bit_equivalent(
+        seed in 0u64..1000,
+        groups in 2usize..8,
+        rows_per_group in 1usize..4,
+        sources in 1usize..4,
+        shards in 2usize..5,
+    ) {
+        let w = loadgen::generate(&LoadConfig {
+            seed,
+            groups,
+            rows_per_group,
+            sources,
+            queries: 20,
+            global_fraction: 0.25,
+            grouped_fraction: 0.3,
+            join_fraction: 0.3,
+            ..LoadConfig::default()
+        });
+        let single = build(&w, 1, 1);
+        let sharded = build_on(&w, shards, 1, Stack::Blocking);
+        let completion = build_on(&w, shards, 1, Stack::Completion);
+        for (i, q) in w.queries.iter().enumerate() {
+            if i % 5 == 0 {
+                single.advance_clock(25.0);
+                sharded.advance_clock(25.0);
+                completion.advance_clock(25.0);
+            }
+            let a = single.query(&q.sql).unwrap();
+            for (stack, service) in [("blocking", &sharded), ("completion", &completion)] {
+                let b = service.query(&q.sql).unwrap();
+                assert_replies_match(
+                    &a,
+                    &b,
+                    &format!("query {i}: {} (shards={shards}, {stack})", q.sql),
+                );
+            }
+        }
+    }
+}
+
+/// The tentpole acceptance scenario, deterministically: `GROUP BY` and
+/// join queries execute on an **8-shard completion-transport** service
+/// with answers bit-identical to the single-cache service, every query
+/// scatter-gathered (no `Unsupported` fallback anywhere), and every
+/// answer containing its ground truth.
+#[test]
+fn grouped_and_join_on_eight_shard_completion_service() {
+    let w = loadgen::generate(&LoadConfig {
+        seed: 77,
+        groups: 24,
+        rows_per_group: 3,
+        sources: 6,
+        queries: 48,
+        grouped_fraction: 0.5,
+        join_fraction: 0.5, // every query is grouped or join
+        ..LoadConfig::default()
+    });
+    let single = build(&w, 1, 2);
+    let service = build_on(&w, 8, 4, Stack::Completion);
+
+    let mut saw = (0usize, 0usize);
+    for (i, q) in w.queries.iter().enumerate() {
+        if i % 8 == 0 {
+            single.advance_clock(25.0);
+            service.advance_clock(25.0);
+        }
+        match q.shape {
+            QueryShape::Grouped => saw.0 += 1,
+            QueryShape::Join => saw.1 += 1,
+            QueryShape::Scalar => unreachable!("fractions sum to 1"),
+        }
+        let a = single.query(&q.sql).unwrap();
+        let b = service.query(&q.sql).unwrap();
+        assert_replies_match(&a, &b, &format!("query {i}: {}", q.sql));
+
+        // Correctness against the master values, not just equivalence.
+        match q.shape {
+            QueryShape::Grouped => {
+                let truths = loadgen::ground_truth_groups(&w, q);
+                assert_eq!(b.groups.len(), truths.len(), "{}", q.sql);
+                for g in &b.groups {
+                    let Value::Int(id) = g.key[0] else {
+                        panic!("int group key expected")
+                    };
+                    let &(_, t) = truths.iter().find(|(tg, _)| *tg == id).unwrap();
+                    let range = g.result.answer.range;
+                    assert!(g.result.satisfied, "{}: group {id}", q.sql);
+                    assert!(
+                        range.lo() - 1e-9 <= t && t <= range.hi() + 1e-9,
+                        "{}: group {id} truth {t} outside {range:?}",
+                        q.sql
+                    );
+                }
+            }
+            _ => {
+                let t = loadgen::ground_truth(&w, q);
+                let range = b.result.answer.range;
+                assert!(b.result.satisfied, "{}", q.sql);
+                assert!(
+                    range.lo() - 1e-9 <= t && t <= range.hi() + 1e-9,
+                    "{}: truth {t} outside {range:?}",
+                    q.sql
+                );
+            }
+        }
+    }
+    assert!(saw.0 > 0 && saw.1 > 0, "stream must exercise both shapes");
+
+    let stats = service.stats();
+    assert_eq!(stats.errors, 0);
+    assert_eq!(
+        stats.scatter_queries,
+        w.queries.len() as u64,
+        "grouped and join queries must scatter-gather, not error"
+    );
+}
+
+/// A shard that dies while its slice of a *join* round is being fetched
+/// surfaces [`TrappError::PartialResult`] instead of an answer that
+/// pretends the lost base tuples are exact; healthy groups keep serving.
+#[test]
+fn lost_shard_mid_join_gather_surfaces_partial_result() {
+    let shards = 4;
+    let w = loadgen::generate(&LoadConfig {
+        seed: 5,
+        groups: 8,
+        rows_per_group: 2,
+        sources: 2,
+        queries: 0,
+        join_fraction: 0.5, // generates the segments side table
+        ..LoadConfig::default()
+    });
+    let service = build(&w, shards, 2);
+    service.advance_clock(25.0);
+
+    // Sabotage one shard that owns metrics rows: rebind one of its bounded
+    // cells to an object id no source has ever registered.
+    let sabotaged = (0..shards)
+        .find(|&s| {
+            service.with_shard_cache(s, |cache| {
+                cache
+                    .session()
+                    .catalog()
+                    .table("metrics")
+                    .unwrap()
+                    .scan()
+                    .next()
+                    .is_some()
+            })
+        })
+        .expect("some shard holds rows");
+    service.with_shard_cache(sabotaged, |cache| {
+        let tid = cache
+            .session()
+            .catalog()
+            .table("metrics")
+            .unwrap()
+            .scan()
+            .next()
+            .unwrap()
+            .0;
+        cache
+            .bind_object(ObjectId::new(999_999), SourceId::new(1), "metrics", tid, 1)
+            .unwrap();
+    });
+
+    // WITHIN 0 over the exact equi-join forces every metrics load into
+    // the join refresh rounds; the sabotaged tuple's round fails at the
+    // transport mid-gather.
+    let err = service
+        .query("SELECT SUM(load) WITHIN 0 FROM metrics, segments WHERE metrics.grp = segments.grp")
+        .unwrap_err();
+    assert!(
+        matches!(err, TrappError::PartialResult(_)),
+        "expected a partial-result error, got: {err}"
+    );
+
+    // A group on a healthy shard still gets exact answers.
+    let healthy_group = (0..w.config.groups)
+        .find(|&g| shard_of(g as u64, shards) != sabotaged)
+        .expect("some group lives elsewhere");
+    let reply = service
+        .query(format!(
+            "SELECT SUM(load) WITHIN 0 FROM metrics WHERE grp = {healthy_group}"
+        ))
+        .unwrap();
+    assert!(reply.result.satisfied);
+    assert!(reply.result.answer.is_exact());
+}
+
+/// Iterative mode stays the one unsupported shape on a multi-shard
+/// service — and the error now names the feature and the alternative.
+#[test]
+fn iterative_mode_error_names_feature_and_alternative() {
+    let w = loadgen::generate(&LoadConfig {
+        seed: 2,
+        groups: 4,
+        rows_per_group: 2,
+        sources: 2,
+        queries: 0,
+        ..LoadConfig::default()
+    });
+    let service = build(&w, 3, 1);
+    for s in 0..3 {
+        service.with_shard_cache(s, |cache| {
+            cache.session_mut().config.mode = trapp_core::ExecutionMode::Iterative(
+                trapp_core::refresh::iterative::IterativeHeuristic::BestRatio,
+            );
+        });
+    }
+    let err = service
+        .query("SELECT SUM(load) WITHIN 1 FROM metrics")
+        .unwrap_err();
+    let msg = err.to_string();
+    assert!(
+        matches!(err, TrappError::Unsupported(_)),
+        "expected Unsupported, got {err:?}"
+    );
+    assert!(
+        msg.contains("iterative") && msg.contains("shards = 1"),
+        "error must name the feature and the supported alternative: {msg}"
+    );
 }
 
 /// A shard that fails mid-fetch must not produce an answer: the merged

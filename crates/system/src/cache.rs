@@ -250,6 +250,43 @@ impl CacheNode {
         query: &trapp_sql::Query,
         transport: &dyn Transport,
     ) -> Result<QueryResult, TrappError> {
+        let result =
+            self.with_oracle(transport, |session, oracle| session.execute(query, oracle))?;
+        self.stats.queries += 1;
+        self.stats.refresh_cost += result.refresh_cost;
+        Ok(result)
+    }
+
+    /// Executes a parsed `GROUP BY` query through the same
+    /// materialize/execute/install pipeline as [`CacheNode::execute`],
+    /// returning one result per group in key-sorted order. Used as the
+    /// locked fallback for grouped queries in iterative execution mode
+    /// (batch mode plans grouped queries ahead via
+    /// [`trapp_core::query_plan`] instead).
+    pub fn execute_grouped(
+        &mut self,
+        query: &trapp_sql::Query,
+        transport: &dyn Transport,
+    ) -> Result<Vec<trapp_core::GroupResult>, TrappError> {
+        let groups = self.with_oracle(transport, |session, oracle| {
+            session.execute_grouped(query, oracle)
+        })?;
+        self.stats.queries += 1;
+        self.stats.refresh_cost += groups.iter().map(|g| g.result.refresh_cost).sum::<f64>();
+        Ok(groups)
+    }
+
+    /// Shared execution harness: materializes bounds, runs `f` with a
+    /// transport-backed oracle, and installs the bound functions of every
+    /// refresh that arrived — even on error paths (the exact values are
+    /// already in the table; the bound functions must follow or the next
+    /// materialization would resurrect stale bounds). Sequence-stale
+    /// refreshes are skipped like in [`CacheNode::install_refresh`].
+    fn with_oracle<R>(
+        &mut self,
+        transport: &dyn Transport,
+        f: impl FnOnce(&mut QuerySession, &mut SystemOracle) -> Result<R, TrappError>,
+    ) -> Result<R, TrappError> {
         self.materialize()?;
         let mut oracle = SystemOracle {
             cache: self.id,
@@ -260,12 +297,7 @@ impl CacheNode {
             batch: self.batch_refreshes,
             received: Vec::new(),
         };
-        let result = self.session.execute(query, &mut oracle);
-        // Install bound functions from whatever refreshes arrived, even on
-        // error paths (the exact values are already in the table; the bound
-        // functions must follow or the next materialization would resurrect
-        // stale bounds). Sequence-stale refreshes are skipped like in
-        // [`CacheNode::install_refresh`].
+        let result = f(&mut self.session, &mut oracle);
         let received = oracle.received;
         for refresh in received {
             if self
@@ -280,10 +312,7 @@ impl CacheNode {
             self.bounds.insert(refresh.object, refresh.bound);
             self.stats.query_initiated += 1;
         }
-        let result = result?;
-        self.stats.queries += 1;
-        self.stats.refresh_cost += result.refresh_cost;
-        Ok(result)
+        result
     }
 }
 

@@ -164,6 +164,33 @@ pub trait Transport: Send + Sync {
         now: f64,
     ) -> Result<Vec<(CacheId, Refresh)>, TrappError>;
 
+    /// Nonblocking *batched* [`Transport::apply_update`], mirroring
+    /// [`Transport::submit_refresh_batch`]: all `updates` to objects
+    /// owned by `source` are applied in submission order with one
+    /// completion for the whole batch, so a write-heavy driver stops
+    /// paying one blocking round-trip per write — submit every
+    /// per-source batch, then wait once per batch. Returns the
+    /// concatenated value-initiated refreshes; on the first failing
+    /// update the batch stops and the completion reports the error
+    /// (updates already applied keep their effects, exactly as separate
+    /// `apply_update` calls would). Blocking transports resolve it
+    /// inline.
+    fn submit_update_batch(
+        &self,
+        source: SourceId,
+        updates: Vec<(ObjectId, f64)>,
+        now: f64,
+    ) -> Completion<Vec<(CacheId, Refresh)>> {
+        let mut out = Vec::new();
+        for (object, value) in updates {
+            match self.apply_update(source, object, value, now) {
+                Ok(refreshes) => out.extend(refreshes),
+                Err(e) => return Completion::ready(Err(e)),
+            }
+        }
+        Completion::ready(Ok(out))
+    }
+
     /// Number of refresh round-trips served so far.
     fn messages(&self) -> u64;
 }
@@ -217,6 +244,15 @@ impl<T: Transport + ?Sized> Transport for Box<T> {
         now: f64,
     ) -> Result<Vec<(CacheId, Refresh)>, TrappError> {
         (**self).apply_update(source, object, value, now)
+    }
+
+    fn submit_update_batch(
+        &self,
+        source: SourceId,
+        updates: Vec<(ObjectId, f64)>,
+        now: f64,
+    ) -> Completion<Vec<(CacheId, Refresh)>> {
+        (**self).submit_update_batch(source, updates, now)
     }
 
     fn messages(&self) -> u64 {
@@ -324,6 +360,26 @@ enum SourceRequest {
         now: f64,
         reply: CompletionSender<Vec<(CacheId, Refresh)>>,
     },
+    UpdateBatch {
+        updates: Vec<(ObjectId, f64)>,
+        now: f64,
+        reply: CompletionSender<Vec<(CacheId, Refresh)>>,
+    },
+}
+
+/// Applies a whole update batch against one source's state, in order,
+/// stopping at the first failure — the shared actor-side half of
+/// [`Transport::submit_update_batch`].
+fn apply_update_batch(
+    source: &mut Source,
+    updates: Vec<(ObjectId, f64)>,
+    now: f64,
+) -> Result<Vec<(CacheId, Refresh)>, TrappError> {
+    let mut out = Vec::new();
+    for (object, value) in updates {
+        out.extend(source.apply_update(object, value, now)?);
+    }
+    Ok(out)
 }
 
 /// One source actor: a thread draining a request channel.
@@ -391,6 +447,13 @@ impl ChannelTransport {
                         reply,
                     } => {
                         reply.complete(source.apply_update(object, value, now));
+                    }
+                    SourceRequest::UpdateBatch {
+                        updates,
+                        now,
+                        reply,
+                    } => {
+                        reply.complete(apply_update_batch(&mut source, updates, now));
                     }
                 }
             }
@@ -521,6 +584,34 @@ impl Transport for ChannelTransport {
             })
             .map_err(|_| TrappError::RefreshFailed("source actor gone".into()))?;
         completion.wait()
+    }
+
+    fn submit_update_batch(
+        &self,
+        source: SourceId,
+        updates: Vec<(ObjectId, f64)>,
+        now: f64,
+    ) -> Completion<Vec<(CacheId, Refresh)>> {
+        if updates.is_empty() {
+            return Completion::ready(Ok(Vec::new()));
+        }
+        let actor = match self.actor(source) {
+            Ok(actor) => actor,
+            Err(e) => return Completion::ready(Err(e)),
+        };
+        let (reply, completion) = Completion::pending();
+        if actor
+            .tx
+            .send(SourceRequest::UpdateBatch {
+                updates,
+                now,
+                reply,
+            })
+            .is_err()
+        {
+            return Completion::ready(Err(TrappError::RefreshFailed("source actor gone".into())));
+        }
+        completion
     }
 
     fn messages(&self) -> u64 {
@@ -711,6 +802,26 @@ impl Transport for CompletionTransport {
         completion.wait()
     }
 
+    fn submit_update_batch(
+        &self,
+        source: SourceId,
+        updates: Vec<(ObjectId, f64)>,
+        now: f64,
+    ) -> Completion<Vec<(CacheId, Refresh)>> {
+        if updates.is_empty() {
+            return Completion::ready(Ok(Vec::new()));
+        }
+        let actor = match self.actor(source) {
+            Ok(actor) => actor,
+            Err(e) => return Completion::ready(Err(e)),
+        };
+        let (reply, completion) = Completion::pending();
+        self.dispatch(actor, false, move |s| {
+            reply.complete(apply_update_batch(s, updates, now));
+        });
+        completion
+    }
+
     fn messages(&self) -> u64 {
         self.messages.load(Ordering::Relaxed)
     }
@@ -898,6 +1009,52 @@ mod tests {
             "round-trips must overlap, not serialize (4 × {latency:?} serial): {elapsed:?}"
         );
         assert_eq!(t.messages(), 4);
+    }
+
+    /// One completion per update *batch*: every update in the batch is
+    /// applied in submission order (the refresh seq stamps come back
+    /// consecutive), the triggered value-initiated refreshes are
+    /// concatenated, and the final master value is the last write — on
+    /// the default (inline) path, the channel actor, and the completion
+    /// pool alike.
+    #[test]
+    fn update_batches_apply_in_order_on_every_transport() {
+        let updates = vec![
+            (ObjectId::new(1), 500.0),
+            (ObjectId::new(1), -500.0),
+            (ObjectId::new(1), 123.0),
+        ];
+        let check = |t: &dyn Transport| {
+            let refreshes = t
+                .submit_update_batch(SourceId::new(1), updates.clone(), 1.0)
+                .wait()
+                .unwrap();
+            // Narrow √t bounds at t=1: every jump escapes → 3 refreshes.
+            assert_eq!(refreshes.len(), 3);
+            let seqs: Vec<u64> = refreshes.iter().map(|(_, r)| r.seq).collect();
+            assert!(seqs.windows(2).all(|w| w[1] == w[0] + 1), "{seqs:?}");
+            let last = t
+                .request_refresh(SourceId::new(1), CacheId::new(1), ObjectId::new(1), 2.0)
+                .unwrap();
+            assert_eq!(last.value, 123.0, "batch must apply in order");
+            // An unknown source resolves to an error, not a hang.
+            assert!(t
+                .submit_update_batch(SourceId::new(9), updates.clone(), 1.0)
+                .wait()
+                .is_err());
+        };
+
+        let mut direct = DirectTransport::new();
+        direct.add_source(subscribed_source(1));
+        check(&direct);
+
+        let mut channel = ChannelTransport::new(Duration::ZERO);
+        channel.add_source(subscribed_source(1));
+        check(&channel);
+
+        let mut completion = CompletionTransport::with_pool_size(Duration::ZERO, 2);
+        completion.add_source(subscribed_source(1));
+        check(&completion);
     }
 
     /// Per-source FIFO with sources ≫ pool threads: every source's

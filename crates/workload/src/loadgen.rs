@@ -20,10 +20,15 @@
 //! (via the same [`trapp_types::shard_of`] hash the server partitions
 //! with) to measure scaling under hot-shard imbalance.
 
+use std::collections::BTreeMap;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use trapp_storage::{ColumnDef, Schema, Table};
 use trapp_types::{shard_of, BoundedValue, SourceId, Value, ValueType};
+
+/// The `weight > thr` threshold join queries filter segments by.
+pub const JOIN_WEIGHT_THRESHOLD: f64 = 0.5;
 
 /// Aggregate templates the generator mixes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -85,6 +90,16 @@ pub struct LoadConfig {
     /// Must match the served topology for the skew to land where
     /// intended; `1` (the default) disables remapping.
     pub skew_shards: usize,
+    /// Fraction of queries issued as `GROUP BY grp` over all groups: one
+    /// bounded answer per group, each independently under the sampled
+    /// `WITHIN`. `0.0` (the default) emits none.
+    pub grouped_fraction: f64,
+    /// Fraction of queries issued as two-table joins
+    /// (`metrics ⋈ segments` on the group key, filtered by the segment's
+    /// bounded `weight`). Any non-zero value also adds the `segments`
+    /// side table (one row per group) to the workload; `0.0` (the
+    /// default) emits neither, keeping historical workloads bit-stable.
+    pub join_fraction: f64,
 }
 
 impl Default for LoadConfig {
@@ -104,6 +119,8 @@ impl Default for LoadConfig {
             global_fraction: 0.0,
             shard_skew: 0.0,
             skew_shards: 1,
+            grouped_fraction: 0.0,
+            join_fraction: 0.0,
         }
     }
 }
@@ -118,18 +135,33 @@ pub struct RowSpec {
     pub cells: Vec<BoundedValue>,
 }
 
+/// The shape of a generated query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueryShape {
+    /// One bounded answer over `metrics` (group-pinned or global).
+    Scalar,
+    /// `GROUP BY grp` over all groups: one bounded answer per group.
+    Grouped,
+    /// `metrics ⋈ segments` on the group key, filtered by the segment's
+    /// bounded `weight` — uncertainty on both join sides.
+    Join,
+}
+
 /// One generated query.
 #[derive(Clone, Debug)]
 pub struct GeneratedQuery {
     /// Renderable TRAPP/AG SQL.
     pub sql: String,
     /// The targeted group; `None` for a global (all-groups) query, which
-    /// a sharded service answers by scatter-gather.
+    /// a sharded service answers by scatter-gather. Always `None` for
+    /// grouped and join shapes.
     pub group: Option<usize>,
-    /// The template used.
+    /// The template used (always [`AggTemplate::Sum`] for joins).
     pub agg: AggTemplate,
-    /// The precision constraint.
+    /// The precision constraint (per group for grouped queries).
     pub within: f64,
+    /// The query's shape.
+    pub shape: QueryShape,
 }
 
 /// A generated workload: table shape, rows, and a query stream.
@@ -139,6 +171,11 @@ pub struct ServiceWorkload {
     pub config: LoadConfig,
     /// Rows for the `metrics` table, in insertion order.
     pub rows: Vec<RowSpec>,
+    /// Rows for the `segments` side table (one per group, in group
+    /// order); empty unless [`LoadConfig::join_fraction`] is non-zero.
+    /// Serving layers should add these *after* every `metrics` row so
+    /// object ids `1..=rows.len()` keep backing the metrics rows.
+    pub segments: Vec<RowSpec>,
     /// The query stream, in submission order.
     pub queries: Vec<GeneratedQuery>,
 }
@@ -157,12 +194,31 @@ pub fn table() -> Table {
     Table::new("metrics", schema())
 }
 
-/// The precise aggregate `q` should return, computed from the master
-/// values in the workload's row specs — the ground truth benches and
-/// tests check bounded answers against (`range` must contain it).
-pub fn ground_truth(w: &ServiceWorkload, q: &GeneratedQuery) -> f64 {
-    let points: Vec<(f64, f64)> = w
-        .rows
+/// The `segments` side-table schema: exact group key, bounded weight.
+pub fn segments_schema() -> std::sync::Arc<Schema> {
+    Schema::new(vec![
+        ColumnDef::exact("grp", ValueType::Int),
+        ColumnDef::bounded_float("weight"),
+    ])
+    .expect("static schema")
+}
+
+/// An empty `segments` table.
+pub fn segments_table() -> Table {
+    Table::new("segments", segments_schema())
+}
+
+/// The group key of a generated row.
+fn row_group(r: &RowSpec) -> i64 {
+    match &r.cells[0] {
+        BoundedValue::Exact(Value::Int(g)) => *g,
+        other => unreachable!("generated rows carry exact int group keys, got {other:?}"),
+    }
+}
+
+/// The point envelope of the metrics masters (each row known exactly).
+fn point_envelope(w: &ServiceWorkload) -> Vec<(f64, f64)> {
+    w.rows
         .iter()
         .map(|r| {
             let m = r.cells[1]
@@ -171,38 +227,28 @@ pub fn ground_truth(w: &ServiceWorkload, q: &GeneratedQuery) -> f64 {
                 .midpoint();
             (m, m)
         })
-        .collect();
-    ground_truth_bounds(w, q, &points).0
+        .collect()
 }
 
-/// The range the precise aggregate must lie in when each row's master
-/// value is only known to lie in `current[i] = (lo, hi)` — the envelope
-/// benches use to sanity-check answers while an update stream is
-/// concurrently rewriting masters (the instantaneous truth is then a
-/// moving target, but it can never leave this envelope). `current` is
-/// indexed like [`ServiceWorkload::rows`]; with point intervals this
-/// degenerates to the exact [`ground_truth`].
-pub fn ground_truth_bounds(
-    w: &ServiceWorkload,
-    q: &GeneratedQuery,
-    current: &[(f64, f64)],
-) -> (f64, f64) {
-    assert_eq!(current.len(), w.rows.len(), "one (lo, hi) per row");
-    let mid = (w.config.value_range.0 + w.config.value_range.1) / 2.0;
-    let selected: Vec<(f64, f64)> = w
-        .rows
+/// The master weight of one group's segment row.
+pub fn segment_weight(w: &ServiceWorkload, group: i64) -> f64 {
+    w.segments
         .iter()
-        .zip(current)
-        .filter(|(r, _)| match q.group {
-            Some(g) => {
-                matches!(&r.cells[0], BoundedValue::Exact(Value::Int(v)) if *v == g as i64)
-            }
-            None => true,
+        .find(|s| row_group(s) == group)
+        .map(|s| {
+            s.cells[1]
+                .as_interval()
+                .expect("weight cell is numeric")
+                .midpoint()
         })
-        .map(|(_, &range)| range)
-        .collect();
+        .unwrap_or_else(|| panic!("no segment row for group {group}"))
+}
+
+/// The `(lo, hi)` envelope of one aggregate over the selected rows'
+/// per-row envelopes — the shared kernel of every ground-truth checker.
+fn agg_bounds(agg: AggTemplate, selected: &[(f64, f64)], mid: f64) -> (f64, f64) {
     let n = selected.len() as f64;
-    match q.agg {
+    match agg {
         // A row certainly passes `load > mid` only if its whole envelope
         // does; it possibly passes if any of it does.
         AggTemplate::Count => (
@@ -222,6 +268,83 @@ pub fn ground_truth_bounds(
             selected.iter().fold(f64::INFINITY, |a, &(_, hi)| a.min(hi)),
         ),
     }
+}
+
+/// The precise aggregate `q` should return, computed from the master
+/// values in the workload's row specs — the ground truth benches and
+/// tests check bounded answers against (`range` must contain it).
+/// Handles scalar *and* join shapes; grouped queries have one truth per
+/// group — use [`ground_truth_groups`].
+pub fn ground_truth(w: &ServiceWorkload, q: &GeneratedQuery) -> f64 {
+    ground_truth_bounds(w, q, &point_envelope(w)).0
+}
+
+/// The range the precise aggregate must lie in when each metrics row's
+/// master value is only known to lie in `current[i] = (lo, hi)` — the
+/// envelope benches use to sanity-check answers while an update stream is
+/// concurrently rewriting masters (the instantaneous truth is then a
+/// moving target, but it can never leave this envelope). `current` is
+/// indexed like [`ServiceWorkload::rows`]; with point intervals this
+/// degenerates to the exact [`ground_truth`].
+///
+/// Join queries select the rows whose group's segment clears the
+/// `weight` threshold at its *master* value — segment masters are static
+/// (the churn stream only rewrites metrics objects), so membership is
+/// exact while values carry the envelope.
+pub fn ground_truth_bounds(
+    w: &ServiceWorkload,
+    q: &GeneratedQuery,
+    current: &[(f64, f64)],
+) -> (f64, f64) {
+    assert_eq!(current.len(), w.rows.len(), "one (lo, hi) per row");
+    let mid = (w.config.value_range.0 + w.config.value_range.1) / 2.0;
+    let selected: Vec<(f64, f64)> = w
+        .rows
+        .iter()
+        .zip(current)
+        .filter(|(r, _)| match q.shape {
+            QueryShape::Scalar => match q.group {
+                Some(g) => row_group(r) == g as i64,
+                None => true,
+            },
+            QueryShape::Join => segment_weight(w, row_group(r)) > JOIN_WEIGHT_THRESHOLD,
+            QueryShape::Grouped => {
+                panic!("grouped queries have one truth per group; use ground_truth_group_bounds")
+            }
+        })
+        .map(|(_, &range)| range)
+        .collect();
+    agg_bounds(q.agg, &selected, mid)
+}
+
+/// Per-group precise aggregates for a grouped query, ascending by group
+/// id. (Serving layers order groups by *rendered* key — match by id, not
+/// by position, when group counts reach double digits.)
+pub fn ground_truth_groups(w: &ServiceWorkload, q: &GeneratedQuery) -> Vec<(i64, f64)> {
+    ground_truth_group_bounds(w, q, &point_envelope(w))
+        .into_iter()
+        .map(|(g, (lo, _))| (g, lo))
+        .collect()
+}
+
+/// Per-group envelope bounds for a grouped query under churn — the
+/// grouped counterpart of [`ground_truth_bounds`].
+pub fn ground_truth_group_bounds(
+    w: &ServiceWorkload,
+    q: &GeneratedQuery,
+    current: &[(f64, f64)],
+) -> Vec<(i64, (f64, f64))> {
+    assert_eq!(current.len(), w.rows.len(), "one (lo, hi) per row");
+    assert_eq!(q.shape, QueryShape::Grouped, "not a grouped query");
+    let mid = (w.config.value_range.0 + w.config.value_range.1) / 2.0;
+    let mut by_group: BTreeMap<i64, Vec<(f64, f64)>> = BTreeMap::new();
+    for (r, &range) in w.rows.iter().zip(current) {
+        by_group.entry(row_group(r)).or_default().push(range);
+    }
+    by_group
+        .into_iter()
+        .map(|(g, selected)| (g, agg_bounds(q.agg, &selected, mid)))
+        .collect()
 }
 
 /// A seeded zipfian sampler over `0..n` (rank `k` has weight
@@ -281,6 +404,28 @@ pub fn generate(config: &LoadConfig) -> ServiceWorkload {
         }
     }
 
+    // Segments: one row per group — the join workload's second side.
+    // Generated only when join queries are requested, so workloads
+    // without them keep their exact historical shape (row set, object-id
+    // assignment, rng stream).
+    assert!(
+        (0.0..=1.0).contains(&(config.grouped_fraction + config.join_fraction)),
+        "grouped_fraction + join_fraction must stay within [0, 1]"
+    );
+    let segments: Vec<RowSpec> = if config.join_fraction > 0.0 {
+        (0..config.groups)
+            .map(|g| RowSpec {
+                source: SourceId::new(1 + (g % config.sources) as u64),
+                cells: vec![
+                    BoundedValue::Exact(Value::Int(g as i64)),
+                    BoundedValue::exact_f64(rng.gen_range(0.0..=1.0)).expect("finite weight"),
+                ],
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+
     // Queries: zipfian group, weighted template, weighted precision.
     let zipf = Zipf::new(config.groups, config.zipf_s);
     let agg_total: u32 = config.agg_weights.iter().sum();
@@ -336,6 +481,65 @@ pub fn generate(config: &LoadConfig) -> ServiceWorkload {
             }
             chosen
         };
+        // Shape draw last, and only when shaped queries are requested —
+        // historical seeds keep their exact query streams otherwise.
+        let shape = if config.grouped_fraction > 0.0 || config.join_fraction > 0.0 {
+            let u: f64 = rng.gen_range(0.0..1.0);
+            if u < config.join_fraction {
+                QueryShape::Join
+            } else if u < config.join_fraction + config.grouped_fraction {
+                QueryShape::Grouped
+            } else {
+                QueryShape::Scalar
+            }
+        } else {
+            QueryShape::Scalar
+        };
+        match shape {
+            QueryShape::Join => {
+                // Joins aggregate SUM(load) over metrics ⋈ segments: the
+                // exact equi-join pins membership per group, the bounded
+                // weight filter makes membership itself uncertain — the
+                // two-sided refresh regime of §7.
+                queries.push(GeneratedQuery {
+                    sql: format!(
+                        "SELECT SUM(load) WITHIN {within} FROM metrics, segments \
+                         WHERE metrics.grp = segments.grp AND weight > {JOIN_WEIGHT_THRESHOLD}"
+                    ),
+                    group: None,
+                    agg: AggTemplate::Sum,
+                    within,
+                    shape,
+                });
+                continue;
+            }
+            QueryShape::Grouped => {
+                let sql = match agg {
+                    AggTemplate::Count => format!(
+                        "SELECT COUNT(*) WITHIN {within} FROM metrics \
+                         WHERE load > {mid_threshold} GROUP BY grp"
+                    ),
+                    AggTemplate::Sum => {
+                        format!("SELECT SUM(load) WITHIN {within} FROM metrics GROUP BY grp")
+                    }
+                    AggTemplate::Avg => {
+                        format!("SELECT AVG(load) WITHIN {within} FROM metrics GROUP BY grp")
+                    }
+                    AggTemplate::Min => {
+                        format!("SELECT MIN(load) WITHIN {within} FROM metrics GROUP BY grp")
+                    }
+                };
+                queries.push(GeneratedQuery {
+                    sql,
+                    group: None,
+                    agg,
+                    within,
+                    shape,
+                });
+                continue;
+            }
+            QueryShape::Scalar => {}
+        }
         let sql = match (agg, group) {
             (AggTemplate::Count, Some(g)) => format!(
                 "SELECT COUNT(*) WITHIN {within} FROM metrics \
@@ -368,12 +572,14 @@ pub fn generate(config: &LoadConfig) -> ServiceWorkload {
             group,
             agg,
             within,
+            shape: QueryShape::Scalar,
         });
     }
 
     ServiceWorkload {
         config: config.clone(),
         rows,
+        segments,
         queries,
     }
 }
@@ -544,6 +750,139 @@ mod tests {
         for q in &w.queries {
             let r = session.execute_sql(&q.sql, &mut oracle).unwrap();
             assert!(r.satisfied, "{}", q.sql);
+        }
+    }
+
+    /// A zero join fraction leaves historical workloads bit-stable: no
+    /// segments, no shape draws perturbing the rng stream.
+    #[test]
+    fn zero_fractions_preserve_historical_streams() {
+        let plain = generate(&LoadConfig::default());
+        assert!(plain.segments.is_empty());
+        assert!(plain.queries.iter().all(|q| q.shape == QueryShape::Scalar));
+    }
+
+    /// Grouped and join queries generate at roughly the requested rates,
+    /// parse, execute on a core session, and agree with the extended
+    /// ground-truth checkers.
+    #[test]
+    fn grouped_and_join_queries_run_and_match_ground_truth() {
+        let w = generate(&LoadConfig {
+            seed: 31,
+            groups: 6,
+            rows_per_group: 3,
+            sources: 2,
+            queries: 120,
+            grouped_fraction: 0.3,
+            join_fraction: 0.3,
+            ..LoadConfig::default()
+        });
+        assert_eq!(w.segments.len(), 6, "one segment per group");
+        let grouped = w
+            .queries
+            .iter()
+            .filter(|q| q.shape == QueryShape::Grouped)
+            .count();
+        let joins = w
+            .queries
+            .iter()
+            .filter(|q| q.shape == QueryShape::Join)
+            .count();
+        assert!(
+            (15..=60).contains(&grouped) && (15..=60).contains(&joins),
+            "{grouped} grouped / {joins} joins of 120"
+        );
+
+        let mut catalog = trapp_storage::Catalog::new();
+        let mut masters = trapp_storage::Catalog::new();
+        let (mut cached, mut master) = (table(), table());
+        for r in &w.rows {
+            cached.insert(r.cells.clone()).unwrap();
+            master.insert(r.cells.clone()).unwrap();
+        }
+        let (mut cseg, mut mseg) = (segments_table(), segments_table());
+        for s in &w.segments {
+            cseg.insert(s.cells.clone()).unwrap();
+            mseg.insert(s.cells.clone()).unwrap();
+        }
+        catalog.add_table(cached).unwrap();
+        catalog.add_table(cseg).unwrap();
+        masters.add_table(master).unwrap();
+        masters.add_table(mseg).unwrap();
+        let mut session = QuerySession::with_catalog(catalog);
+        let mut oracle = TableOracle::new(masters);
+
+        let contains =
+            |range: trapp_types::Interval, t: f64| range.lo() - 1e-9 <= t && t <= range.hi() + 1e-9;
+        for q in &w.queries {
+            let query = trapp_sql::parse_query(&q.sql).unwrap();
+            match q.shape {
+                QueryShape::Grouped => {
+                    let groups = session.execute_grouped(&query, &mut oracle).unwrap();
+                    let truths = ground_truth_groups(&w, q);
+                    assert_eq!(groups.len(), truths.len(), "{}", q.sql);
+                    for g in &groups {
+                        let Value::Int(id) = g.key[0] else {
+                            panic!("int group keys expected")
+                        };
+                        let &(_, t) = truths.iter().find(|(tg, _)| *tg == id).unwrap();
+                        assert!(g.result.satisfied, "{}", q.sql);
+                        assert!(
+                            contains(g.result.answer.range, t),
+                            "{}: group {id} truth {t} outside {}",
+                            q.sql,
+                            g.result.answer
+                        );
+                    }
+                }
+                QueryShape::Scalar | QueryShape::Join => {
+                    let r = session.execute(&query, &mut oracle).unwrap();
+                    let t = ground_truth(&w, q);
+                    assert!(r.satisfied, "{}", q.sql);
+                    assert!(
+                        contains(r.answer.range, t),
+                        "{}: truth {t} outside {}",
+                        q.sql,
+                        r.answer
+                    );
+                }
+            }
+        }
+    }
+
+    /// The grouped envelope checker widens with the envelope and keeps
+    /// every group's exact truth inside it.
+    #[test]
+    fn grouped_ground_truth_bounds_cover_the_truth() {
+        let w = generate(&LoadConfig {
+            seed: 8,
+            groups: 12,
+            queries: 30,
+            grouped_fraction: 1.0,
+            ..LoadConfig::default()
+        });
+        let points: Vec<(f64, f64)> = w
+            .rows
+            .iter()
+            .map(|r| {
+                let m = r.cells[1].as_interval().unwrap().midpoint();
+                (m, m)
+            })
+            .collect();
+        let widened: Vec<(f64, f64)> = points
+            .iter()
+            .map(|&(lo, hi)| (lo - 3.0, hi + 3.0))
+            .collect();
+        for q in &w.queries {
+            let truths = ground_truth_groups(&w, q);
+            assert_eq!(truths.len(), w.config.groups);
+            for ((g, t), (g2, (lo, hi))) in truths
+                .iter()
+                .zip(ground_truth_group_bounds(&w, q, &widened))
+            {
+                assert_eq!(*g, g2);
+                assert!(lo <= *t && *t <= hi, "{}: group {g}", q.sql);
+            }
         }
     }
 }
