@@ -1,5 +1,5 @@
 //! Throughput / latency / round-trip benchmark for the `trapp-server`
-//! query service, in five parts:
+//! query service, in six parts:
 //!
 //! 1. **traffic mechanisms** (single shard): per-object baseline vs
 //!    batched source round-trips vs batching + refresh coalescing;
@@ -21,7 +21,13 @@
 //!    join slices at 1 shard and at the largest shard count over the
 //!    completion transport — every grouped answer is checked per group
 //!    and every join answer against the join ground truth, read-only and
-//!    under churn.
+//!    under churn;
+//! 6. **table scaling**: `--rows` (default 1k/10k/50k) group-pinned
+//!    workloads with a *fixed* group size, full-scan planning
+//!    (`cache_views = false`, the seed hot path) vs the incremental
+//!    band-view cache + indexed CHOOSE_REFRESH — the per-pass rescan
+//!    term in isolation, with zipfian repetition supplying the warm-view
+//!    serving regime.
 //!
 //! Eight closed-loop clients drive the service over transports with
 //! simulated per-round-trip latency; the stream is split into bursts with
@@ -37,7 +43,7 @@
 //! probe against the tracked masters. Any violation fails the run.
 //!
 //! `--json PATH` additionally writes every number in machine-readable
-//! form — `BENCH_3.json` at the repository root is the checked-in
+//! form — `BENCH_5.json` at the repository root is the checked-in
 //! baseline. `--quick` shrinks every part for CI smoke runs.
 
 use std::sync::Mutex;
@@ -62,8 +68,9 @@ const UPDATE_BATCH: usize = 8;
 enum TransportKind {
     /// `ChannelTransport`: one OS thread per source per shard.
     Channel,
-    /// `CompletionTransport` over one service-wide fetch pool.
-    Completion { pool: usize },
+    /// `CompletionTransport` over one service-wide fetch pool (`None` =
+    /// adaptive sizing from the machine and shard count).
+    Completion { pool: Option<usize> },
 }
 
 impl TransportKind {
@@ -400,7 +407,8 @@ fn run_json(r: &RunResult) -> Json {
 struct Cli {
     shards: Vec<usize>,
     sources: usize,
-    pool: usize,
+    pool: Option<usize>,
+    rows: Vec<usize>,
     update_rate: u64,
     json: Option<String>,
     quick: bool,
@@ -408,8 +416,8 @@ struct Cli {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: service_throughput [--shards LIST] [--sources N] [--pool N] \
-         [--update-rate N] [--json PATH] [--quick]"
+        "usage: service_throughput [--shards LIST] [--sources N] [--pool N|auto] \
+         [--rows LIST] [--update-rate N] [--json PATH] [--quick]"
     );
     std::process::exit(2);
 }
@@ -418,7 +426,10 @@ fn parse_cli() -> Cli {
     let mut cli = Cli {
         shards: vec![1, 2, 4, 8],
         sources: 64,
-        pool: 2,
+        // Adaptive by default: the service sizes its shared fetch pool
+        // from available_parallelism × shard count; `--pool N` overrides.
+        pool: None,
+        rows: vec![1_000, 10_000, 50_000],
         update_rate: 32,
         json: None,
         quick: false,
@@ -457,7 +468,28 @@ fn parse_cli() -> Cli {
                 }
             }
             "--pool" => {
-                cli.pool = value("--pool").parse().unwrap_or_else(|_| usage());
+                let spec = value("--pool");
+                cli.pool = if spec == "auto" {
+                    // Adaptive sizing from available_parallelism × shards.
+                    None
+                } else {
+                    Some(spec.parse().unwrap_or_else(|_| usage()))
+                };
+            }
+            "--rows" => {
+                let spec = value("--rows");
+                cli.rows = spec
+                    .split(',')
+                    .map(|s| {
+                        s.trim().parse().unwrap_or_else(|_| {
+                            eprintln!("invalid row count {s:?}");
+                            usage()
+                        })
+                    })
+                    .collect();
+                if cli.rows.is_empty() || cli.rows.contains(&0) {
+                    usage();
+                }
             }
             "--update-rate" => {
                 cli.update_rate = value("--update-rate").parse().unwrap_or_else(|_| usage());
@@ -474,6 +506,7 @@ fn parse_cli() -> Cli {
         cli.shards = vec![1, 2];
         cli.sources = cli.sources.min(16);
         cli.update_rate = cli.update_rate.min(8);
+        cli.rows = vec![512, 2048];
     }
     cli
 }
@@ -506,6 +539,7 @@ fn main() {
         shards: 1,
         coalesce,
         batch_refreshes,
+        cache_views: true,
     };
     let mechanisms = [
         run(
@@ -562,6 +596,7 @@ fn main() {
         shards,
         coalesce: true,
         batch_refreshes: true,
+        cache_views: true,
     };
     let scaling: Vec<RunResult> = cli
         .shards
@@ -613,13 +648,17 @@ fn main() {
         ..LoadConfig::default()
     };
     let dw = loadgen::generate(&duel_config);
+    let pool_label = match cli.pool {
+        Some(n) => n.to_string(),
+        None => format!("auto:{}", trapp_server::default_fetch_pool_size(max_shards)),
+    };
     eprintln!(
         "\nduel workload: {} rows, {} sources, {} shards, {} queries, pool={}",
         dw.rows.len(),
         duel_config.sources,
         max_shards,
         dw.queries.len(),
-        cli.pool,
+        pool_label,
     );
     let duel = [
         run(
@@ -630,7 +669,7 @@ fn main() {
             0,
         ),
         run(
-            format!("completion ({} shards, pool={})", max_shards, cli.pool),
+            format!("completion ({} shards, pool={})", max_shards, pool_label),
             &dw,
             sharded(max_shards),
             TransportKind::Completion { pool: cli.pool },
@@ -754,6 +793,79 @@ fn main() {
         ("grouped_queries", Json::Num(n_grouped as f64)),
         ("join_queries", Json::Num(n_join as f64)),
         ("runs", Json::Arr(surface.iter().map(run_json).collect())),
+    ]));
+
+    // Part 6: table scaling — full-scan planning (the seed hot path:
+    // every plan pass rebuilds the classified input from a table scan)
+    // vs the incremental band-view cache + indexed CHOOSE_REFRESH, at
+    // growing row counts. Group size is held constant while the *number*
+    // of groups scales, so per-query refresh work stays fixed and the
+    // runs isolate exactly the per-pass rescan term the views remove;
+    // zipfian popularity supplies the hot-group repetition a serving
+    // deployment sees. Every answer is still ground-truth checked.
+    let mut scaling_entries: Vec<Json> = Vec::new();
+    for &rows in &cli.rows {
+        let groups = rows.div_ceil(8).max(1);
+        let scale_config = LoadConfig {
+            seed: 307,
+            groups,
+            rows_per_group: 8,
+            sources: 16,
+            queries: if cli.quick { 64 } else { 240 },
+            zipf_s: 1.6,
+            global_fraction: 0.0,
+            ..LoadConfig::default()
+        };
+        let tw = loadgen::generate(&scale_config);
+        eprintln!(
+            "\ntable-scaling workload: {} rows ({} groups × {}), {} queries",
+            tw.rows.len(),
+            groups,
+            scale_config.rows_per_group,
+            tw.queries.len(),
+        );
+        let planner = |cache_views| ServiceConfig {
+            workers: CLIENTS,
+            shards: 1,
+            coalesce: true,
+            batch_refreshes: true,
+            cache_views,
+        };
+        let pair = [
+            run(
+                format!("scan, {rows} rows"),
+                &tw,
+                planner(false),
+                TransportKind::Completion { pool: cli.pool },
+                0,
+            ),
+            run(
+                format!("views, {rows} rows"),
+                &tw,
+                planner(true),
+                TransportKind::Completion { pool: cli.pool },
+                0,
+            ),
+        ];
+        println!();
+        total_violations += render(&format!("table scaling ({rows} rows):"), &pair);
+        let speedup = pair[1].qps() / pair[0].qps().max(f64::MIN_POSITIVE);
+        println!(
+            "table scaling at {rows} rows: scan {} qps -> views {} qps ({}x)",
+            tablefmt::num(pair[0].qps(), 0),
+            tablefmt::num(pair[1].qps(), 0),
+            tablefmt::num(speedup, 2),
+        );
+        scaling_entries.push(Json::obj([
+            ("rows", Json::Num(tw.rows.len() as f64)),
+            ("speedup", Json::Num(speedup)),
+            ("scan", run_json(&pair[0])),
+            ("views", run_json(&pair[1])),
+        ]));
+    }
+    sections.push(Json::obj([
+        ("title", Json::str("table_scaling")),
+        ("entries", Json::Arr(scaling_entries)),
     ]));
 
     println!("bounded-answer violations: {total_violations}");

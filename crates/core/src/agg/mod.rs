@@ -48,15 +48,44 @@ impl AggItem {
 #[derive(Clone, Debug, Default)]
 pub struct AggInput {
     /// Items for tuples in `T+ ∪ T?`.
+    ///
+    /// Read freely, but **never push to this directly or flip an item's
+    /// band in place** — the O(1) band counts are maintained by
+    /// [`AggInput::new`] / [`AggInput::push_item`], and a bypass desyncs
+    /// [`AggInput::plus_count`] (a debug assertion catches it in debug
+    /// builds). Rewriting fields that don't touch `band` (e.g.
+    /// tuple-id rewrites for cross-shard merging) is fine.
     pub items: Vec<AggItem>,
     /// `|T−|` (kept for diagnostics).
     pub minus_count: usize,
     /// Unpropagated `(inserts, deletes)` at the source (§8.3 relaxation);
     /// `(0, 0)` under the paper's default eager propagation.
     pub cardinality_slack: (u64, u64),
+    /// `|T+|`, maintained by the constructors so the per-plan band counts
+    /// are O(1) instead of re-scanning `items` on every call.
+    pub(crate) plus_items: usize,
 }
 
 impl AggInput {
+    /// Wraps already-classified items, counting the bands once so
+    /// [`plus_count`](AggInput::plus_count) /
+    /// [`question_count`](AggInput::question_count) never rescan.
+    pub fn new(items: Vec<AggItem>, minus_count: usize, cardinality_slack: (u64, u64)) -> AggInput {
+        let plus_items = items.iter().filter(|i| i.band == Band::Plus).count();
+        AggInput {
+            items,
+            minus_count,
+            cardinality_slack,
+            plus_items,
+        }
+    }
+
+    /// Appends one classified item, keeping the band counts current.
+    pub fn push_item(&mut self, item: AggItem) {
+        self.plus_items += usize::from(item.band == Band::Plus);
+        self.items.push(item);
+    }
+
     /// Items in `T+`.
     pub fn plus(&self) -> impl Iterator<Item = &AggItem> + '_ {
         self.items.iter().filter(|i| i.band == Band::Plus)
@@ -69,12 +98,13 @@ impl AggInput {
 
     /// `|T+|`.
     pub fn plus_count(&self) -> usize {
-        self.plus().count()
+        debug_assert_eq!(self.plus_items, self.plus().count());
+        self.plus_items
     }
 
     /// `|T?|`.
     pub fn question_count(&self) -> usize {
-        self.question().count()
+        self.items.len() - self.plus_count()
     }
 
     /// Builds the input for `table`, classifying against `predicate` and
@@ -102,77 +132,97 @@ impl AggInput {
         arg: Option<&Expr<usize>>,
         filter: impl Fn(trapp_types::TupleId, &trapp_storage::Row) -> bool,
     ) -> Result<AggInput, TrappError> {
-        let classification = match predicate {
-            None => trapp_expr::Classification::all_plus(
-                table
-                    .scan()
-                    .filter(|(tid, row)| filter(*tid, row))
-                    .map(|(tid, _)| tid),
-            ),
-            Some(pred) => trapp_expr::classify_rows(
-                table.scan().filter(|(tid, row)| filter(*tid, row)),
-                pred,
-            )?,
-        };
-        let refinement = match (predicate, arg) {
-            (Some(pred), Some(Expr::Column(c))) => Some(implied_interval(pred, *c)),
-            _ => None,
-        };
-
-        let mut items = Vec::with_capacity(classification.len());
-        let mut minus_count = classification.minus.len();
-
-        for (band, ids) in [
-            (Band::Plus, &classification.plus),
-            (Band::Question, &classification.question),
-        ] {
-            for &tid in ids {
-                let row = table.row(tid)?;
-                let interval = match arg {
-                    Some(e) => eval(e, row)?.as_interval()?,
-                    None => Interval::new_unchecked(1.0, 1.0),
-                };
-                // Appendix D refinement: only sound for T? tuples (T+ tuples
-                // are already known to satisfy the predicate, their values
-                // need no conditioning — and for them the restriction holds
-                // anyway, so intersecting is sound there too; we apply it to
-                // both for tighter bounds).
-                let interval = match refinement {
-                    Some(s) => match interval.intersect(s) {
-                        Some(iv) => iv,
-                        None => {
-                            match band {
-                                // A T+ tuple certainly satisfies the
-                                // predicate, yet its value range is disjoint
-                                // from what the predicate implies — only
-                                // possible through conservative
-                                // classification; keep the original interval.
-                                Band::Plus => interval,
-                                _ => {
-                                    // The tuple cannot satisfy the predicate:
-                                    // actually T−.
-                                    minus_count += 1;
-                                    continue;
-                                }
-                            }
-                        }
-                    },
-                    None => interval,
-                };
-                items.push(AggItem {
-                    tid,
-                    band,
-                    interval,
-                    cost: table.cost(tid)?,
-                });
+        let refinement = refinement_for(predicate, arg);
+        let mut plus_items = Vec::new();
+        let mut question_items = Vec::new();
+        let mut minus_count = 0usize;
+        for (tid, row) in table.scan() {
+            if !filter(tid, row) {
+                continue;
+            }
+            match classify_tuple(predicate, arg, refinement, tid, row, table.cost(tid)?)? {
+                Some(item) if item.band == Band::Plus => plus_items.push(item),
+                Some(item) => question_items.push(item),
+                None => minus_count += 1,
             }
         }
+        // Canonical item order: all `T+` items in scan order, then all
+        // `T?` items in scan order — the order every downstream consumer
+        // (tie-breaking, knapsack indexing, merging) is keyed to.
+        let plus_len = plus_items.len();
+        let mut items = plus_items;
+        items.append(&mut question_items);
         Ok(AggInput {
             items,
             minus_count,
             cardinality_slack: table.cardinality_slack(),
+            plus_items: plus_len,
         })
     }
+}
+
+/// The Appendix D refinement interval for a `(predicate, arg)` pair: the
+/// predicate-implied range of the aggregation column when the aggregation
+/// argument is a bare column reference, `None` otherwise.
+pub(crate) fn refinement_for(
+    predicate: Option<&Expr<usize>>,
+    arg: Option<&Expr<usize>>,
+) -> Option<Interval> {
+    match (predicate, arg) {
+        (Some(pred), Some(Expr::Column(c))) => Some(implied_interval(pred, *c)),
+        _ => None,
+    }
+}
+
+/// The per-tuple classification + evaluation step shared by
+/// [`AggInput::build_filtered`] and the incremental band views
+/// ([`crate::view`]): classifies `row` against `predicate`, evaluates
+/// `arg`, and applies the Appendix D refinement. Returns `None` when the
+/// tuple lands in `T−` (including a `T?` tuple reclassified because the
+/// refinement emptied its bound).
+pub(crate) fn classify_tuple(
+    predicate: Option<&Expr<usize>>,
+    arg: Option<&Expr<usize>>,
+    refinement: Option<Interval>,
+    tid: TupleId,
+    row: &trapp_storage::Row,
+    cost: f64,
+) -> Result<Option<AggItem>, TrappError> {
+    let band = match predicate {
+        None => Band::Plus,
+        Some(pred) => Band::from_tri(trapp_expr::eval::eval_predicate(pred, row)?),
+    };
+    if band == Band::Minus {
+        return Ok(None);
+    }
+    let interval = match arg {
+        Some(e) => eval(e, row)?.as_interval()?,
+        None => Interval::new_unchecked(1.0, 1.0),
+    };
+    // Appendix D refinement: only sound for T? tuples (T+ tuples are
+    // already known to satisfy the predicate, their values need no
+    // conditioning — and for them the restriction holds anyway, so
+    // intersecting is sound there too; we apply it to both for tighter
+    // bounds).
+    let interval = match refinement {
+        Some(s) => match interval.intersect(s) {
+            Some(iv) => iv,
+            // A T+ tuple certainly satisfies the predicate, yet its value
+            // range is disjoint from what the predicate implies — only
+            // possible through conservative classification; keep the
+            // original interval. A T? tuple cannot satisfy the predicate:
+            // actually T−.
+            None if band == Band::Plus => interval,
+            None => return Ok(None),
+        },
+        None => interval,
+    };
+    Ok(Some(AggItem {
+        tid,
+        band,
+        interval,
+        cost,
+    }))
 }
 
 /// A bounded answer `[L_A, H_A]` guaranteed to contain the precise answer.

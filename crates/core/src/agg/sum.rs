@@ -90,16 +90,16 @@ mod tests {
                 cost: 1.0,
             }
         }
-        let input = AggInput {
-            items: vec![
+        let input = AggInput::new(
+            vec![
                 item(Band::Plus, 10.0, 12.0),
                 item(Band::Question, 5.0, 8.0),   // → [0, 8]
                 item(Band::Question, -6.0, -2.0), // → [−6, 0]
                 item(Band::Question, -1.0, 3.0),  // stays [−1, 3]
             ],
-            minus_count: 0,
-            cardinality_slack: (0, 0),
-        };
+            0,
+            (0, 0),
+        );
         let s = bounded_sum(&input);
         assert_eq!(s.lo(), 10.0 - 6.0 - 1.0);
         assert_eq!(s.hi(), 12.0 + 8.0 + 3.0);

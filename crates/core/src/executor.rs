@@ -41,6 +41,12 @@ pub struct SessionConfig {
     pub join_heuristic: IterativeHeuristic,
     /// Safety valve for iterative loops.
     pub max_refresh_rounds: usize,
+    /// Serve read-only planning ([`QuerySession::plan_query`] /
+    /// [`QuerySession::partial_query`]) from incremental band views
+    /// ([`crate::view`]) instead of rescanning the table per pass.
+    /// Answers and plans are bit-identical either way; `false` keeps the
+    /// full-scan path as a measurable baseline.
+    pub cache_views: bool,
 }
 
 impl Default for SessionConfig {
@@ -50,6 +56,7 @@ impl Default for SessionConfig {
             mode: ExecutionMode::Batch,
             join_heuristic: IterativeHeuristic::BestRatio,
             max_refresh_rounds: 100_000,
+            cache_views: true,
         }
     }
 }
@@ -155,6 +162,10 @@ pub struct QuerySession {
     catalog: Catalog,
     /// Execution configuration (public for direct adjustment).
     pub config: SessionConfig,
+    /// Memoized band views over the catalog's tables, keyed by query
+    /// shape; see [`crate::view`]. Interior mutability because read-only
+    /// planning (`&self`) is what populates and syncs them.
+    pub(crate) views: std::sync::Mutex<crate::view::ViewCache>,
 }
 
 impl QuerySession {
@@ -170,6 +181,7 @@ impl QuerySession {
         QuerySession {
             catalog,
             config: SessionConfig::default(),
+            views: std::sync::Mutex::new(crate::view::ViewCache::default()),
         }
     }
 

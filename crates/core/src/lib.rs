@@ -46,6 +46,7 @@ pub mod query_plan;
 pub mod refresh;
 pub mod relative;
 pub mod verify;
+pub mod view;
 
 pub use agg::{bounded_answer, AggInput, AggItem, Aggregate, BoundedAnswer};
 pub use executor::{
@@ -57,4 +58,4 @@ pub use plan::BoundQuery;
 pub use query_plan::{
     FetchPlan, JoinPartial, QueryOutcome, QueryPartial, QueryPlan, TableSlice, UnitFetch, UnitState,
 };
-pub use refresh::{choose_refresh, RefreshPlan, SolverStrategy};
+pub use refresh::{choose_refresh, choose_refresh_probed, PlanProbe, RefreshPlan, SolverStrategy};

@@ -104,11 +104,7 @@ pub fn merge_partials(inputs: impl IntoIterator<Item = AggInput>) -> Result<AggI
                 .into(),
         ));
     }
-    Ok(AggInput {
-        items,
-        minus_count,
-        cardinality_slack: slack,
-    })
+    Ok(AggInput::new(items, minus_count, slack))
 }
 
 /// Merges per-shard *grouped* partials — the `GROUP BY` gather half.

@@ -53,7 +53,7 @@ use crate::merge::ShardPartial;
 use crate::plan::{bind_query, BoundQuery, QuerySource};
 use crate::refresh::iterative::IterativeHeuristic;
 use crate::refresh::join::{build_join_input, next_join_refresh, JoinSide};
-use crate::refresh::{choose_refresh, SolverStrategy};
+use crate::refresh::{choose_refresh_probed, PlanProbe, SolverStrategy};
 
 /// The complete result(s) of one query: a single bounded answer, or one
 /// per group for `GROUP BY` queries (key-sorted).
@@ -179,8 +179,10 @@ pub enum QueryPartial {
 /// Plans one scalar unit (a whole single-table query, or one group):
 /// computes the cache-only answer and, if the constraint is unmet, the
 /// CHOOSE_REFRESH set that will meet it. Shared by
-/// [`QuerySession::plan_query`] (local inputs) and sharded serving layers
-/// (merged inputs) so both derive bit-identical plans.
+/// [`QuerySession::plan_query`] (local inputs, with ordered-index
+/// `probe`s) and sharded serving layers (merged inputs, `probe = None`)
+/// — both derive bit-identical plans either way (the probed planners
+/// reproduce the scan planners exactly).
 pub fn plan_unit(
     agg: Aggregate,
     within: Option<f64>,
@@ -188,6 +190,7 @@ pub fn plan_unit(
     table: &str,
     key: GroupKey,
     input: &AggInput,
+    probe: Option<&PlanProbe<'_>>,
 ) -> Result<UnitState, TrappError> {
     let initial = bounded_answer(agg, input)?;
     if initial.satisfies(within) {
@@ -199,7 +202,7 @@ pub fn plan_unit(
         });
     }
     let r = within.expect("unsatisfied implies finite R");
-    let plan = choose_refresh(agg, input, r, strategy)?;
+    let plan = choose_refresh_probed(agg, input, r, strategy, probe)?;
     if plan.tuples.is_empty() {
         // No refresh can help further (e.g. cardinality slack).
         return Ok(UnitState {
@@ -344,40 +347,77 @@ impl QuerySession {
         let bound = bind_query(query, self.catalog())?;
         match &bound.source {
             QuerySource::Table(name) if bound.group_by.is_empty() => {
-                let input = AggInput::build_filtered(
-                    self.catalog().table(name)?,
-                    bound.predicate.as_ref(),
-                    bound.arg.as_ref(),
-                    |_, _| true,
-                )?;
-                let unit = plan_unit(
-                    bound.agg,
-                    bound.within,
-                    self.config.strategy,
-                    name,
-                    Vec::new(),
-                    &input,
-                )?;
+                let table = self.catalog().table(name)?;
+                // Probes ride with the view cache: `cache_views = false`
+                // is the measurable full-scan baseline, scan planners
+                // included.
+                let probe = self.config.cache_views.then(|| table_probe(table, &bound));
+                let plan = |input: &AggInput| {
+                    plan_unit(
+                        bound.agg,
+                        bound.within,
+                        self.config.strategy,
+                        name,
+                        Vec::new(),
+                        input,
+                        probe.as_ref(),
+                    )
+                };
+                let unit = if self.config.cache_views {
+                    let mut views = self.views.lock().expect("view cache poisoned");
+                    let view = views.view_for(name, &bound);
+                    view.sync(table)?;
+                    plan(view.input())?
+                } else {
+                    plan(&AggInput::build_filtered(
+                        table,
+                        bound.predicate.as_ref(),
+                        bound.arg.as_ref(),
+                        |_, _| true,
+                    )?)?
+                };
                 Ok(assemble_units(vec![unit], false))
             }
             QuerySource::Table(name) => {
                 let table = self.catalog().table(name)?;
-                let mut units = Vec::new();
-                for (_, (key, tids)) in group_partitions(table, &bound.group_by)? {
-                    let input = AggInput::build_filtered(
-                        table,
-                        bound.predicate.as_ref(),
-                        bound.arg.as_ref(),
-                        |tid, _| tids.binary_search(&tid).is_ok(),
-                    )?;
-                    units.push(plan_unit(
+                // A group filter restricts the input, so only the COUNT
+                // cost-index probe (membership-checked) stays eligible.
+                let probe = self.config.cache_views.then_some(PlanProbe {
+                    table,
+                    column: None,
+                    unfiltered: false,
+                });
+                let plan = |key: GroupKey, input: &AggInput| {
+                    plan_unit(
                         bound.agg,
                         bound.within,
                         self.config.strategy,
                         name,
                         key,
-                        &input,
-                    )?);
+                        input,
+                        probe.as_ref(),
+                    )
+                };
+                let mut units = Vec::new();
+                if self.config.cache_views {
+                    let mut views = self.views.lock().expect("view cache poisoned");
+                    let view = views.view_for(name, &bound);
+                    view.sync(table)?;
+                    // All group inputs come from ONE pass over the view —
+                    // not one table scan per group.
+                    for (key, input) in view.grouped_inputs() {
+                        units.push(plan(key.clone(), input)?);
+                    }
+                } else {
+                    for (_, (key, tids)) in group_partitions(table, &bound.group_by)? {
+                        let input = AggInput::build_filtered(
+                            table,
+                            bound.predicate.as_ref(),
+                            bound.arg.as_ref(),
+                            |tid, _| tids.binary_search(&tid).is_ok(),
+                        )?;
+                        units.push(plan(key, &input)?);
+                    }
                 }
                 Ok(assemble_units(units, true))
             }
@@ -414,12 +454,20 @@ impl QuerySession {
         let bound = bind_query(query, self.catalog())?;
         match &bound.source {
             QuerySource::Table(name) if bound.group_by.is_empty() => {
-                let input = AggInput::build_filtered(
-                    self.catalog().table(name)?,
-                    bound.predicate.as_ref(),
-                    bound.arg.as_ref(),
-                    |_, _| true,
-                )?;
+                let table = self.catalog().table(name)?;
+                let input = if self.config.cache_views {
+                    let mut views = self.views.lock().expect("view cache poisoned");
+                    let view = views.view_for(name, &bound);
+                    view.sync(table)?;
+                    view.input().clone()
+                } else {
+                    AggInput::build_filtered(
+                        table,
+                        bound.predicate.as_ref(),
+                        bound.arg.as_ref(),
+                        |_, _| true,
+                    )?
+                };
                 Ok(QueryPartial::Scalar(ShardPartial {
                     table: name.clone(),
                     agg: bound.agg,
@@ -430,22 +478,39 @@ impl QuerySession {
             QuerySource::Table(name) => {
                 let table = self.catalog().table(name)?;
                 let mut groups = Vec::new();
-                for (_, (key, tids)) in group_partitions(table, &bound.group_by)? {
-                    let input = AggInput::build_filtered(
-                        table,
-                        bound.predicate.as_ref(),
-                        bound.arg.as_ref(),
-                        |tid, _| tids.binary_search(&tid).is_ok(),
-                    )?;
-                    groups.push((
-                        key,
-                        ShardPartial {
-                            table: name.clone(),
-                            agg: bound.agg,
-                            within: bound.within,
-                            input,
-                        },
-                    ));
+                if self.config.cache_views {
+                    let mut views = self.views.lock().expect("view cache poisoned");
+                    let view = views.view_for(name, &bound);
+                    view.sync(table)?;
+                    for (key, input) in view.grouped_inputs() {
+                        groups.push((
+                            key.clone(),
+                            ShardPartial {
+                                table: name.clone(),
+                                agg: bound.agg,
+                                within: bound.within,
+                                input: input.clone(),
+                            },
+                        ));
+                    }
+                } else {
+                    for (_, (key, tids)) in group_partitions(table, &bound.group_by)? {
+                        let input = AggInput::build_filtered(
+                            table,
+                            bound.predicate.as_ref(),
+                            bound.arg.as_ref(),
+                            |tid, _| tids.binary_search(&tid).is_ok(),
+                        )?;
+                        groups.push((
+                            key,
+                            ShardPartial {
+                                table: name.clone(),
+                                agg: bound.agg,
+                                within: bound.within,
+                                input,
+                            },
+                        ));
+                    }
                 }
                 Ok(QueryPartial::Grouped(groups))
             }
@@ -454,6 +519,20 @@ impl QuerySession {
                 right: table_slice(self.catalog().table(right)?)?,
             })),
         }
+    }
+}
+
+/// The index probe for a whole-table scalar unit: eligible for the
+/// endpoint/width paths only when no predicate filters the table and the
+/// aggregation argument is a bare column.
+fn table_probe<'a>(table: &'a Table, bound: &BoundQuery) -> PlanProbe<'a> {
+    PlanProbe {
+        table,
+        column: match &bound.arg {
+            Some(trapp_expr::Expr::Column(c)) => Some(*c),
+            _ => None,
+        },
+        unfiltered: bound.predicate.is_none(),
     }
 }
 

@@ -6,11 +6,29 @@
 //! `⌈|T?| − R⌉` cheapest `T?` tuples — the one place where CHOOSE_REFRESH
 //! is a pure cost selection.
 
+use std::collections::HashSet;
+
+use trapp_storage::{IndexKey, Table};
 use trapp_types::TupleId;
 
 use crate::agg::AggInput;
 
 use super::RefreshPlan;
+
+/// How many `T?` tuples must refresh to meet `r` under the input's
+/// cardinality slack, shared by the scan and index planners. `None` means
+/// the constraint is already met.
+fn tuples_needed(input: &AggInput, r: f64) -> Option<usize> {
+    let (inserts, deletes) = input.cardinality_slack;
+    let effective_r = r - inserts as f64 - deletes as f64;
+    let question = input.question_count();
+    let excess = question as f64 - effective_r;
+    if excess <= 0.0 {
+        None
+    } else {
+        Some((excess.ceil() as usize).min(question))
+    }
+}
 
 /// CHOOSE_REFRESH for COUNT: refresh the `⌈|T?| − R⌉` cheapest `T?` tuples.
 ///
@@ -20,18 +38,60 @@ use super::RefreshPlan;
 /// when even that cannot meet `R` — the executor then reports the honest
 /// `satisfied = false`).
 pub fn choose_refresh_count(input: &AggInput, r: f64) -> RefreshPlan {
-    let question: Vec<_> = input.question().collect();
-    let (inserts, deletes) = input.cardinality_slack;
-    let effective_r = r - inserts as f64 - deletes as f64;
-    let excess = question.len() as f64 - effective_r;
-    if excess <= 0.0 {
+    let Some(need) = tuples_needed(input, r) else {
         return RefreshPlan::empty();
-    }
-    let need = (excess.ceil() as usize).min(question.len());
-    let mut by_cost: Vec<_> = question;
+    };
+    let mut by_cost: Vec<_> = input.question().collect();
     by_cost.sort_by(|a, b| a.cost.total_cmp(&b.cost).then(a.tid.cmp(&b.tid)));
     let tuples: Vec<TupleId> = by_cost.iter().take(need).map(|i| i.tid).collect();
     RefreshPlan::from_tuples(input, tuples)
+}
+
+/// Index-accelerated CHOOSE_REFRESH for COUNT (§6.3's sub-linear remark):
+/// instead of sorting the full `T?` candidate vector per pass, walk the
+/// table's maintained refresh-cost index in ascending `(cost, tuple)`
+/// order — the exact order the scan planner sorts into — keeping the
+/// first `⌈|T?| − R⌉` tuples that are members of `T?`. Works with any
+/// selection predicate because membership comes from the classified
+/// input; only the *ordering* comes from the index.
+///
+/// Returns `None` when the cost index is missing (callers fall back to
+/// [`choose_refresh_count`]). The returned plan — tuples and bit-exact
+/// planned cost — is identical to the scan planner's.
+pub fn choose_refresh_count_indexed(
+    input: &AggInput,
+    table: &Table,
+    r: f64,
+) -> Option<RefreshPlan> {
+    let cost_ix = table.index(IndexKey::Cost)?;
+    let Some(need) = tuples_needed(input, r) else {
+        return Some(RefreshPlan::empty());
+    };
+    let members: HashSet<TupleId> = input.question().map(|i| i.tid).collect();
+    // The walk visits index entries until `need` members surface. When
+    // the input is a thin slice of the table (a small group against the
+    // table-global cost index) its members are scattered through the
+    // whole order, so an unbounded walk would cost O(index) — worse than
+    // the O(|T?| log |T?|) sort it replaces. Budget the walk and hand
+    // narrow inputs back to the scan planner.
+    let budget = (members.len() * 4).max(256);
+    let mut tuples: Vec<TupleId> = Vec::with_capacity(need);
+    for (visited, (_, tid)) in cost_ix.ascending().enumerate() {
+        if members.contains(&tid) {
+            tuples.push(tid);
+            if tuples.len() == need {
+                break;
+            }
+        } else if visited >= budget {
+            return None;
+        }
+    }
+    if tuples.len() < need {
+        // The index does not cover every T? member (e.g. an input merged
+        // from elsewhere): refuse rather than under-plan.
+        return None;
+    }
+    Some(RefreshPlan::from_tuples(input, tuples))
 }
 
 #[cfg(test)]

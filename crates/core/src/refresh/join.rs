@@ -92,7 +92,7 @@ pub fn build_join_input(
             let k = out.pairs.len();
             // Planning cost of "resolving" this pair: refreshing both ends.
             let cost = left.cost(ltid)? + right.cost(rtid)?;
-            out.input.items.push(AggItem {
+            out.input.push_item(AggItem {
                 tid: TupleId::new(k as u64),
                 band,
                 interval,

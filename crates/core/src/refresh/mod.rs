@@ -75,16 +75,19 @@ impl RefreshPlan {
     pub(crate) fn from_tuples(input: &AggInput, mut tuples: Vec<TupleId>) -> RefreshPlan {
         tuples.sort_unstable();
         tuples.dedup();
+        // One pass over the items instead of one scan per chosen tuple;
+        // the cost sum still runs in ascending tuple order so the float
+        // total is bit-stable against the old quadratic path.
+        let mut costs: std::collections::HashMap<TupleId, f64> =
+            std::collections::HashMap::with_capacity(tuples.len());
+        for item in &input.items {
+            if tuples.binary_search(&item.tid).is_ok() {
+                costs.insert(item.tid, item.cost);
+            }
+        }
         let cost = tuples
             .iter()
-            .map(|tid| {
-                input
-                    .items
-                    .iter()
-                    .find(|i| i.tid == *tid)
-                    .map(|i| i.cost)
-                    .unwrap_or(0.0)
-            })
+            .map(|tid| costs.get(tid).copied().unwrap_or(0.0))
             .sum();
         RefreshPlan {
             tuples,
@@ -131,6 +134,64 @@ pub fn choose_refresh(
             Ok(RefreshPlan::from_tuples(input, tuples))
         }
     }
+}
+
+/// The ordered-index probes available to CHOOSE_REFRESH when the input
+/// was classified directly from a cached [`trapp_storage::Table`] — the
+/// single-cache / single-shard planning routes. Merged scatter-gather
+/// inputs have no backing table and plan without probes; every probed
+/// planner produces plans **bit-identical** to its scan counterpart
+/// (same tuple set, same tie-breaking, same cost-summation order), so
+/// routes with and without probes stay interchangeable.
+#[derive(Clone, Copy)]
+pub struct PlanProbe<'a> {
+    /// The cached table the input was classified from.
+    pub table: &'a trapp_storage::Table,
+    /// The aggregation argument's column, when it is a bare column
+    /// reference (the §5.1/§5.2 endpoint and width probes need one).
+    pub column: Option<usize>,
+    /// `true` when the input covers the whole table with no selection
+    /// predicate: classification is all-`T+` and no Appendix D refinement
+    /// applies, so raw cell endpoints equal the item intervals — the
+    /// precondition of the MIN/MAX/SUM index paths. The COUNT cost-index
+    /// path works for any input (membership is checked against `T?`).
+    pub unfiltered: bool,
+}
+
+/// [`choose_refresh`] with ordered-index acceleration where the paper
+/// licenses it (§5.1 endpoint probes for MIN/MAX, the §5.2 uniform-cost
+/// width walk for SUM under [`SolverStrategy::GreedyByWeight`], the §6.3
+/// cheapest-`T?` cost walk for COUNT). Falls back to the scan planners —
+/// with identical output — whenever a precondition or index is missing.
+pub fn choose_refresh_probed(
+    agg: Aggregate,
+    input: &AggInput,
+    r: f64,
+    strategy: SolverStrategy,
+    probe: Option<&PlanProbe<'_>>,
+) -> Result<RefreshPlan, TrappError> {
+    if r < 0.0 || r.is_nan() {
+        return Err(TrappError::NegativePrecision(r));
+    }
+    if let Some(p) = probe {
+        let indexed = match agg {
+            Aggregate::Min if p.unfiltered => p
+                .column
+                .and_then(|c| min_max::choose_refresh_min_indexed(p.table, c, r)),
+            Aggregate::Max if p.unfiltered => p
+                .column
+                .and_then(|c| min_max::choose_refresh_max_indexed(p.table, c, r)),
+            Aggregate::Count => count::choose_refresh_count_indexed(input, p.table, r),
+            Aggregate::Sum if p.unfiltered && strategy == SolverStrategy::GreedyByWeight => p
+                .column
+                .and_then(|c| sum::choose_refresh_sum_uniform_indexed(p.table, c, r)),
+            _ => None,
+        };
+        if let Some(plan) = indexed {
+            return Ok(plan);
+        }
+    }
+    choose_refresh(agg, input, r, strategy)
 }
 
 /// Solves a knapsack instance under the configured strategy.

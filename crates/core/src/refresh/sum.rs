@@ -82,7 +82,9 @@ pub fn choose_refresh_sum_uniform_indexed(
     }
 
     // Keep lightest-first while the capacity holds; everything after the
-    // cut refreshes.
+    // cut refreshes. The walk visits `(width, tuple)` ascending — the
+    // same order the greedy-by-weight knapsack sorts the canonical item
+    // vector into, so the kept set (and thus the plan) is identical.
     let mut kept_width = 0.0;
     let mut refresh: Vec<trapp_types::TupleId> = Vec::new();
     let mut keeping = true;
@@ -95,7 +97,9 @@ pub fn choose_refresh_sum_uniform_indexed(
         }
     }
     refresh.sort_unstable();
-    let planned_cost = first * refresh.len() as f64;
+    // Sum in ascending tuple order — the scan planner's summation order —
+    // so the planned cost is bit-equal, not merely mathematically equal.
+    let planned_cost = refresh.iter().map(|&t| table.cost(t).unwrap_or(0.0)).sum();
     Some(RefreshPlan {
         tuples: refresh,
         planned_cost,

@@ -1,0 +1,298 @@
+//! Incremental band-view maintenance must be **bit-identical** to a
+//! from-scratch `AggInput::build_filtered` under random interleavings of
+//! cell updates, refresh installs, cost changes, inserts, deletes, slack
+//! changes, and queries — the correctness contract that lets the serving
+//! layer plan from memoized views instead of rescanning per pass.
+//!
+//! Two layers of comparison per query point:
+//!
+//! * `partial_query` (the view-backed classified input) against a fresh
+//!   `build_filtered` over the same table state — items, order, bands,
+//!   intervals, costs, minus counts, slack;
+//! * `plan_query` on the view-planning session against a views-off
+//!   session over a clone of the same table — initial answers, refresh
+//!   sets, and planned costs, which also pins the ordered-index
+//!   CHOOSE_REFRESH paths (the views-on session has indexes and probes;
+//!   the clone plans by scan) to the scan planners bit-for-bit.
+
+use proptest::prelude::*;
+use trapp_core::query_plan::{QueryOutcome, QueryPartial, QueryPlan};
+use trapp_core::{AggInput, QuerySession, SolverStrategy};
+use trapp_storage::{ColumnDef, Schema, Table};
+use trapp_types::{BoundedValue, TupleId, Value};
+
+fn schema() -> std::sync::Arc<Schema> {
+    Schema::new(vec![
+        ColumnDef::exact("grp", trapp_types::ValueType::Int),
+        ColumnDef::bounded_float("load"),
+        ColumnDef::bounded_float("aux"),
+    ])
+    .unwrap()
+}
+
+fn row(grp: i64, lo: f64, hi: f64, aux: f64) -> Vec<BoundedValue> {
+    vec![
+        BoundedValue::Exact(Value::Int(grp)),
+        BoundedValue::bounded(lo.min(hi), lo.max(hi)).unwrap(),
+        BoundedValue::bounded(aux, aux + 1.0).unwrap(),
+    ]
+}
+
+/// One step of the random interleaving.
+#[derive(Clone, Debug)]
+enum Op {
+    /// Pin `load` of the k-th live tuple to a point (a refresh install).
+    Refresh(usize, f64),
+    /// Re-widen `load` of the k-th live tuple (a materialization write).
+    Widen(usize, f64, f64),
+    /// Change the k-th live tuple's refresh cost.
+    Cost(usize, f64),
+    /// Insert a fresh row.
+    Insert(i64, f64, f64),
+    /// Delete the k-th live tuple.
+    Delete(usize),
+    /// Set cardinality slack (COUNT-only regime while non-zero).
+    Slack(u64, u64),
+    /// Run query shape `q` with constraint `r` and compare both layers.
+    Query(usize, f64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..64, -50.0f64..50.0).prop_map(|(k, v)| Op::Refresh(k, v)),
+        (0usize..64, -50.0f64..50.0, 0.0f64..10.0).prop_map(|(k, lo, w)| Op::Widen(k, lo, lo + w)),
+        (0usize..64, 0.5f64..9.0).prop_map(|(k, c)| Op::Cost(k, c)),
+        (0i64..5, -50.0f64..50.0, 0.0f64..8.0).prop_map(|(g, lo, w)| Op::Insert(g, lo, w)),
+        (0usize..64).prop_map(Op::Delete),
+        (0u64..3, 0u64..2).prop_map(|(i, d)| Op::Slack(i, d)),
+        (0usize..7, 0.0f64..30.0).prop_map(|(q, r)| Op::Query(q, r)),
+        (0usize..7, 0.0f64..30.0).prop_map(|(q, r)| Op::Query(q, r)),
+        (0usize..7, 0.0f64..30.0).prop_map(|(q, r)| Op::Query(q, r)),
+    ]
+}
+
+/// The query shapes under test: unfiltered bare-column aggregates (the
+/// §5.1/§5.2 index probes), predicated COUNT/SUM (the §6.3 cost walk and
+/// the refinement path), and GROUP BY.
+fn sql(shape: usize, r: f64) -> String {
+    match shape {
+        0 => format!("SELECT MIN(load) WITHIN {r} FROM t"),
+        1 => format!("SELECT MAX(load) WITHIN {r} FROM t"),
+        2 => format!("SELECT SUM(load) WITHIN {r} FROM t"),
+        3 => format!("SELECT COUNT(*) WITHIN {r} FROM t WHERE load > 0"),
+        4 => format!("SELECT SUM(load) WITHIN {r} FROM t WHERE load > 0"),
+        5 => format!("SELECT AVG(load) WITHIN {r} FROM t GROUP BY grp"),
+        _ => format!("SELECT COUNT(*) WITHIN {r} FROM t WHERE grp = 2 AND load > 0"),
+    }
+}
+
+fn live_tuple(table: &Table, k: usize) -> Option<TupleId> {
+    let ids: Vec<TupleId> = table.tuple_ids().collect();
+    if ids.is_empty() {
+        None
+    } else {
+        Some(ids[k % ids.len()])
+    }
+}
+
+/// Flattens a plan into comparable parts: per unit `(rendered key,
+/// initial range, satisfied, fetch tuples, fetch cost)`.
+#[allow(clippy::type_complexity)]
+fn plan_parts(plan: &QueryPlan) -> Vec<(String, (f64, f64), bool, Vec<TupleId>, f64)> {
+    let from_units = |units: &[trapp_core::UnitState]| {
+        units
+            .iter()
+            .map(|u| {
+                (
+                    format!("{:?}", u.key),
+                    (u.initial.range.lo(), u.initial.range.hi()),
+                    u.satisfied,
+                    u.fetch
+                        .as_ref()
+                        .map(|f| f.tuples.clone())
+                        .unwrap_or_default(),
+                    u.fetch.as_ref().map(|f| f.refresh_cost).unwrap_or(0.0),
+                )
+            })
+            .collect::<Vec<_>>()
+    };
+    match plan {
+        QueryPlan::NeedsFetch(fp) => from_units(&fp.units),
+        QueryPlan::Ready(QueryOutcome::Scalar(r)) => vec![(
+            String::new(),
+            (r.answer.range.lo(), r.answer.range.hi()),
+            r.satisfied,
+            Vec::new(),
+            0.0,
+        )],
+        QueryPlan::Ready(QueryOutcome::Grouped(groups)) => groups
+            .iter()
+            .map(|g| {
+                (
+                    format!("{:?}", g.key),
+                    (g.result.answer.range.lo(), g.result.answer.range.hi()),
+                    g.result.satisfied,
+                    Vec::new(),
+                    0.0,
+                )
+            })
+            .collect(),
+        QueryPlan::Iterative => vec![],
+    }
+}
+
+fn assert_inputs_equal(a: &AggInput, b: &AggInput, context: &str) -> Result<(), String> {
+    prop_assert_eq!(&a.items, &b.items, "items for {}", context);
+    prop_assert_eq!(a.minus_count, b.minus_count, "minus for {}", context);
+    prop_assert_eq!(
+        a.cardinality_slack,
+        b.cardinality_slack,
+        "slack for {}",
+        context
+    );
+    prop_assert_eq!(a.plus_count(), b.plus_count(), "plus count for {}", context);
+    prop_assert_eq!(
+        a.question_count(),
+        b.question_count(),
+        "question count for {}",
+        context
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn incremental_views_match_scratch_builds(
+        seed_rows in proptest::collection::vec(
+            (0i64..5, -50.0f64..50.0, 0.0f64..8.0, 0.5f64..9.0), 1..12),
+        ops in proptest::collection::vec(op_strategy(), 1..60),
+        uniform in proptest::strategy::any::<bool>(),
+    ) {
+        // The session under test: views on, default indexes registered.
+        let mut table = Table::new("t", schema());
+        for (g, lo, w, c) in &seed_rows {
+            table.insert_with_cost(row(*g, *lo, *lo + *w, 1.0), *c).unwrap();
+        }
+        if uniform {
+            // Uniform costs + greedy-by-weight: the §5.2 width-index walk.
+            for tid in table.tuple_ids().collect::<Vec<_>>() {
+                table.set_cost(tid, 4.0).unwrap();
+            }
+        }
+        table.create_default_indexes().unwrap();
+        let mut session = QuerySession::new(table);
+        prop_assert!(session.config.cache_views);
+        if uniform {
+            session.config.strategy = SolverStrategy::GreedyByWeight;
+        }
+
+        for (step, op) in ops.iter().enumerate() {
+            match op {
+                Op::Refresh(k, v) => {
+                    let t = session.catalog_mut().table_mut("t").unwrap();
+                    if let Some(tid) = live_tuple(t, *k) {
+                        t.refresh_cell(tid, 1, *v).unwrap();
+                    }
+                }
+                Op::Widen(k, lo, hi) => {
+                    let t = session.catalog_mut().table_mut("t").unwrap();
+                    if let Some(tid) = live_tuple(t, *k) {
+                        t.update_cell(tid, 1, BoundedValue::bounded(*lo, *hi).unwrap())
+                            .unwrap();
+                    }
+                }
+                Op::Cost(k, c) => {
+                    let t = session.catalog_mut().table_mut("t").unwrap();
+                    if let Some(tid) = live_tuple(t, *k) {
+                        let c = if uniform { 4.0 } else { *c };
+                        t.set_cost(tid, c).unwrap();
+                    }
+                }
+                Op::Insert(g, lo, w) => {
+                    let cost = if uniform { 4.0 } else { 1.0 + *w };
+                    session
+                        .catalog_mut()
+                        .table_mut("t")
+                        .unwrap()
+                        .insert_with_cost(row(*g, *lo, *lo + *w, 1.0), cost)
+                        .unwrap();
+                }
+                Op::Delete(k) => {
+                    let t = session.catalog_mut().table_mut("t").unwrap();
+                    if let Some(tid) = live_tuple(t, *k) {
+                        t.delete(tid).unwrap();
+                    }
+                }
+                Op::Slack(i, d) => {
+                    session
+                        .catalog_mut()
+                        .table_mut("t")
+                        .unwrap()
+                        .set_cardinality_slack(*i, *d);
+                }
+                Op::Query(shape, r) => {
+                    let slack = session.catalog().table("t").unwrap().cardinality_slack();
+                    // Value aggregates are (correctly) rejected under
+                    // slack; restrict to COUNT shapes there.
+                    let shape = if slack == (0, 0) { *shape } else { 3 + (*shape % 2) * 3 };
+                    let q = trapp_sql::parse_query(&sql(shape, *r)).unwrap();
+                    let context = format!("step {step}: {}", sql(shape, *r));
+
+                    // Layer 1: the view-backed input equals a scratch build.
+                    let table = session.catalog().table("t").unwrap();
+                    match session.partial_query(&q).unwrap() {
+                        QueryPartial::Scalar(p) => {
+                            let bound = trapp_core::plan::bind_query(&q, session.catalog()).unwrap();
+                            let scratch = AggInput::build_filtered(
+                                table, bound.predicate.as_ref(), bound.arg.as_ref(), |_, _| true,
+                            ).unwrap();
+                            assert_inputs_equal(&p.input, &scratch, &context)?;
+                        }
+                        QueryPartial::Grouped(groups) => {
+                            let bound = trapp_core::plan::bind_query(&q, session.catalog()).unwrap();
+                            let partitions =
+                                trapp_core::group_by::group_partitions(table, &bound.group_by)
+                                    .unwrap();
+                            prop_assert_eq!(groups.len(), partitions.len(), "{}", &context);
+                            for ((key, p), (_, (pkey, tids))) in
+                                groups.iter().zip(partitions.iter())
+                            {
+                                prop_assert_eq!(
+                                    format!("{key:?}"), format!("{pkey:?}"), "{}", &context
+                                );
+                                let scratch = AggInput::build_filtered(
+                                    table,
+                                    bound.predicate.as_ref(),
+                                    bound.arg.as_ref(),
+                                    |tid, _| tids.binary_search(&tid).is_ok(),
+                                ).unwrap();
+                                assert_inputs_equal(&p.input, &scratch, &context)?;
+                            }
+                        }
+                        QueryPartial::Join(_) => unreachable!("no join shapes generated"),
+                    }
+
+                    // Layer 2: plans (incl. the probed index planners)
+                    // equal a scan-planning session over the same rows.
+                    let mut scan_session =
+                        QuerySession::new(session.catalog().table("t").unwrap().clone());
+                    scan_session.config.cache_views = false;
+                    scan_session.config.strategy = session.config.strategy;
+                    match (session.plan_query(&q), scan_session.plan_query(&q)) {
+                        (Ok(a), Ok(b)) => {
+                            prop_assert_eq!(plan_parts(&a), plan_parts(&b), "{}", &context);
+                        }
+                        (Err(a), Err(b)) => {
+                            prop_assert_eq!(a.to_string(), b.to_string(), "{}", &context);
+                        }
+                        (a, b) => {
+                            return Err(format!("{context}: one path errored: {a:?} vs {b:?}"));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -80,7 +80,8 @@ pub mod service;
 pub use gateway::RefreshGateway;
 pub use router::{Route, ShardRouter};
 pub use service::{
-    QueryService, QueryTicket, ServiceBuilder, ServiceConfig, ServiceReply, ServiceStats,
+    default_fetch_pool_size, QueryService, QueryTicket, ServiceBuilder, ServiceConfig,
+    ServiceReply, ServiceStats,
 };
 // The grouped half of [`ServiceReply`], re-exported for callers.
 pub use trapp_core::group_by::{GroupKey, GroupResult};

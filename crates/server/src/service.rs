@@ -110,6 +110,12 @@ pub struct ServiceConfig {
     /// Serve refresh plans with one round-trip per source (`false` falls
     /// back to the per-object seed path — the measurable baseline).
     pub batch_refreshes: bool,
+    /// Plan queries from incremental band views (memoized classified
+    /// inputs, invalidated per tuple) instead of rescanning the cached
+    /// tables on every plan pass. Answers, plans, and refresh costs are
+    /// bit-identical either way; `false` keeps the full-scan planner as a
+    /// measurable baseline.
+    pub cache_views: bool,
 }
 
 impl Default for ServiceConfig {
@@ -119,6 +125,7 @@ impl Default for ServiceConfig {
             shards: 1,
             coalesce: true,
             batch_refreshes: true,
+            cache_views: true,
         }
     }
 }
@@ -579,7 +586,7 @@ impl ServiceCore {
                 }
                 let (table, agg, within) = shape.expect("at least one shard");
                 let merged = trapp_core::merge_partials(inputs)?;
-                let unit = plan_unit(agg, within, strategy, &table, Vec::new(), &merged)?;
+                let unit = plan_unit(agg, within, strategy, &table, Vec::new(), &merged, None)?;
                 assemble_units(vec![unit], false)
             }
             QueryPartial::Grouped(_) => {
@@ -594,7 +601,7 @@ impl ServiceCore {
                 let mut units = Vec::with_capacity(merged.len());
                 for (key, p) in merged {
                     units.push(plan_unit(
-                        p.agg, p.within, strategy, &p.table, key, &p.input,
+                        p.agg, p.within, strategy, &p.table, key, &p.input, None,
                     )?);
                 }
                 assemble_units(units, true)
@@ -657,7 +664,8 @@ impl QueryService {
         config: ServiceConfig,
     ) -> QueryService {
         let mut cache = cache;
-        cache.set_batch_refreshes(config.batch_refreshes);
+        configure_cache(&mut cache, &config)
+            .expect("cost-index registration over the cache's own catalog cannot fail");
         let shard = Shard::new(
             cache,
             Box::new(transport) as Box<dyn Transport>,
@@ -860,6 +868,53 @@ impl Drop for QueryService {
     }
 }
 
+/// The adaptive default size of the shared fetch pool (the
+/// [`ServiceBuilder::build_completion`] `None` case): enough demux
+/// threads to keep every shard's fetch slice moving — up to two per
+/// shard, matching the plan/install double pass — but never more than
+/// the hardware offers, and at least two so one slow source cannot
+/// stall an unrelated completion.
+pub fn default_fetch_pool_size(shards: usize) -> usize {
+    let hardware = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    (2 * shards.max(1)).min(hardware).max(2)
+}
+
+/// Applies one `ServiceConfig` to a cache: refresh batching, the view
+/// planner toggle, and — when views are on — the refresh-cost index on
+/// every cached table (it keys the §6.3 COUNT probe and never churns on
+/// bound re-materialization, since costs are write-once per tuple). The
+/// §5.1/§5.2 endpoint/width indexes are deliberately *not* registered:
+/// every clock advance rewrites every bound cell, so their maintenance
+/// (six B-tree moves per cell per advance) costs more than the
+/// unfiltered queries they accelerate — embedders with slow-moving
+/// bounds can opt in via `Table::create_default_indexes`. With
+/// `cache_views = false` nothing is registered at all: the complete
+/// scan-era baseline (no views, no indexes, no probes). Shared by
+/// [`QueryService::start`] and the builder so both construction paths
+/// configure identically.
+fn configure_cache(cache: &mut CacheNode, config: &ServiceConfig) -> Result<(), TrappError> {
+    cache.set_batch_refreshes(config.batch_refreshes);
+    cache.session_mut().config.cache_views = config.cache_views;
+    if config.cache_views {
+        let names: Vec<String> = cache
+            .session()
+            .catalog()
+            .table_names()
+            .map(str::to_owned)
+            .collect();
+        for name in names {
+            cache
+                .session_mut()
+                .catalog_mut()
+                .table_mut(&name)?
+                .create_index(trapp_storage::IndexKey::Cost)?;
+        }
+    }
+    Ok(())
+}
+
 /// Everything `wire` produces for one shard, before the transport choice.
 struct WiredShard {
     cache: CacheNode,
@@ -998,11 +1053,18 @@ impl ServiceBuilder {
     /// thread per source per shard. `latency` is the simulated one-way
     /// wire time per refresh round-trip (held on a timer, not a sleeping
     /// thread).
+    ///
+    /// `pool_threads` accepts a plain count (the explicit override) or
+    /// `None`, which sizes the pool adaptively from the machine and the
+    /// topology — see [`default_fetch_pool_size`].
     pub fn build_completion(
         self,
         latency: Duration,
-        pool_threads: usize,
+        pool_threads: impl Into<Option<usize>>,
     ) -> Result<QueryService, TrappError> {
+        let pool_threads = pool_threads
+            .into()
+            .unwrap_or_else(|| default_fetch_pool_size(self.config.shards));
         let pool = FetchPool::new(pool_threads);
         self.build_with(move |sources| {
             let mut transport = CompletionTransport::new(latency, pool.clone());
@@ -1022,19 +1084,17 @@ impl ServiceBuilder {
         let config = self.config;
         let partition_column = self.partition_by.clone();
         let (clock, wired, group_placed, from_global) = self.wire()?;
-        let shards = wired
-            .into_iter()
-            .map(|w| {
-                let mut cache = w.cache;
-                cache.set_batch_refreshes(config.batch_refreshes);
-                Shard::new(
-                    cache,
-                    make_transport(w.sources),
-                    config.coalesce,
-                    w.to_global,
-                )
-            })
-            .collect();
+        let mut shards = Vec::with_capacity(wired.len());
+        for w in wired {
+            let mut cache = w.cache;
+            configure_cache(&mut cache, &config)?;
+            shards.push(Shard::new(
+                cache,
+                make_transport(w.sources),
+                config.coalesce,
+                w.to_global,
+            ));
+        }
         let router = ShardRouter::new(shards, partition_column, group_placed, from_global);
         Ok(QueryService::start_router(router, clock, config))
     }

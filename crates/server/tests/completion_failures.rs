@@ -19,6 +19,7 @@ fn build(w: &ServiceWorkload) -> QueryService {
             shards: SHARDS,
             coalesce: true,
             batch_refreshes: true,
+            cache_views: true,
         })
         .partition_by("grp")
         .table(loadgen::table());

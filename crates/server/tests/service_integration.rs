@@ -60,6 +60,7 @@ fn sequential_service_is_bit_identical_to_simulation() {
             shards: 1,
             coalesce: true,
             batch_refreshes: true,
+            cache_views: true,
         },
     );
 
@@ -104,6 +105,7 @@ fn eight_concurrent_clients_get_correct_bounded_answers() {
             shards: 1,
             coalesce: true,
             batch_refreshes: true,
+            cache_views: true,
         },
     );
     service.advance_clock(25.0);
@@ -157,6 +159,7 @@ fn overlapping_concurrent_queries_share_refreshes() {
                 shards: 1,
                 coalesce,
                 batch_refreshes: true,
+                cache_views: true,
             },
         );
         service.advance_clock(25.0);
@@ -210,6 +213,7 @@ fn coalescing_saves_refreshes_under_latency() {
             shards: 1,
             coalesce: true,
             batch_refreshes: true,
+            cache_views: true,
         })
         .table(loadgen::table());
     for r in &w.rows {

@@ -35,6 +35,7 @@ fn build_on(w: &ServiceWorkload, shards: usize, workers: usize, stack: Stack) ->
             shards,
             coalesce: true,
             batch_refreshes: true,
+            cache_views: true,
         })
         .partition_by("grp")
         .table(loadgen::table());

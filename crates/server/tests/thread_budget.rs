@@ -47,6 +47,7 @@ fn builder(w: &ServiceWorkload) -> ServiceBuilder {
             shards: SHARDS,
             coalesce: true,
             batch_refreshes: true,
+            cache_views: true,
         })
         .partition_by("grp")
         .table(loadgen::table());

@@ -1,0 +1,157 @@
+//! Serving-layer acceptance for incremental band views: a service that
+//! plans from memoized views (`ServiceConfig::cache_views = true`, the
+//! default) must be **bit-identical** to the full-scan planner under
+//! random interleavings of master-value updates (which install
+//! value-initiated refreshes), clock advances (which re-widen every
+//! bound), and queries (whose query-initiated refreshes install between
+//! the two plan passes) — on the blocking transport *and* on the
+//! completion transport, at one shard and at several.
+
+use proptest::prelude::*;
+use trapp_server::{QueryService, ServiceBuilder, ServiceConfig, ServiceReply};
+use trapp_types::ObjectId;
+use trapp_workload::loadgen::{self, LoadConfig, ServiceWorkload};
+
+/// Which transport stack a service is built over.
+#[derive(Clone, Copy, Debug)]
+enum Stack {
+    Blocking,
+    Completion,
+}
+
+fn build(w: &ServiceWorkload, shards: usize, views: bool, stack: Stack) -> QueryService {
+    let mut b = ServiceBuilder::new()
+        .config(ServiceConfig {
+            workers: 1,
+            shards,
+            coalesce: true,
+            batch_refreshes: true,
+            cache_views: views,
+        })
+        .partition_by("grp")
+        .table(loadgen::table());
+    if !w.segments.is_empty() {
+        b = b.table(loadgen::segments_table());
+    }
+    for r in &w.rows {
+        b = b.row("metrics", r.source, r.cells.clone());
+    }
+    for s in &w.segments {
+        b = b.row("segments", s.source, s.cells.clone());
+    }
+    match stack {
+        Stack::Blocking => b.build_direct().unwrap(),
+        Stack::Completion => b.build_completion(std::time::Duration::ZERO, 2).unwrap(),
+    }
+}
+
+fn assert_replies_match(a: &ServiceReply, b: &ServiceReply, context: &str) -> Result<(), String> {
+    prop_assert_eq!(
+        a.result.answer.range,
+        b.result.answer.range,
+        "answer for {}",
+        context
+    );
+    prop_assert_eq!(
+        a.result.initial_answer.range,
+        b.result.initial_answer.range,
+        "initial for {}",
+        context
+    );
+    prop_assert_eq!(a.result.satisfied, b.result.satisfied, "{}", context);
+    prop_assert_eq!(
+        &a.result.refreshed,
+        &b.result.refreshed,
+        "refresh set for {}",
+        context
+    );
+    prop_assert_eq!(
+        a.result.refresh_cost,
+        b.result.refresh_cost,
+        "cost for {}",
+        context
+    );
+    prop_assert_eq!(a.groups.len(), b.groups.len(), "groups for {}", context);
+    for (ga, gb) in a.groups.iter().zip(&b.groups) {
+        prop_assert_eq!(&ga.key, &gb.key, "group key for {}", context);
+        prop_assert_eq!(
+            ga.result.answer.range,
+            gb.result.answer.range,
+            "group answer for {}",
+            context
+        );
+        prop_assert_eq!(
+            &ga.result.refreshed,
+            &gb.result.refreshed,
+            "group refresh set for {}",
+            context
+        );
+        prop_assert_eq!(
+            ga.result.refresh_cost,
+            gb.result.refresh_cost,
+            "group cost for {}",
+            context
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The satellite acceptance property: view-planned and scan-planned
+    /// services stay bit-identical while refresh installs (query- and
+    /// value-initiated), update batches, and clock advances interleave
+    /// with the query stream, on both transports.
+    #[test]
+    fn view_planning_is_bit_identical_to_scans_under_interleaving(
+        seed in 0u64..1000,
+        groups in 2usize..8,
+        rows_per_group in 1usize..4,
+        sources in 1usize..4,
+        shards in 1usize..4,
+        update_gap in 2usize..5,
+        advance_gap in 4usize..8,
+    ) {
+        let w = loadgen::generate(&LoadConfig {
+            seed,
+            groups,
+            rows_per_group,
+            sources,
+            queries: 20,
+            global_fraction: 0.3,
+            grouped_fraction: 0.2,
+            ..LoadConfig::default()
+        });
+        for stack in [Stack::Blocking, Stack::Completion] {
+            let with_views = build(&w, shards, true, stack);
+            let with_scans = build(&w, shards, false, stack);
+            for (i, q) in w.queries.iter().enumerate() {
+                if i % advance_gap == 0 {
+                    with_views.advance_clock(25.0);
+                    with_scans.advance_clock(25.0);
+                }
+                if i % update_gap == 0 && !w.rows.is_empty() {
+                    // A deterministic update batch: walk a few masters.
+                    let batch: Vec<(ObjectId, f64)> = (0..3)
+                        .map(|k| {
+                            let row = (seed as usize + i + k) % w.rows.len();
+                            let v = 50.0 + ((seed + i as u64 * 7 + k as u64) % 50) as f64;
+                            (ObjectId::new(row as u64 + 1), v)
+                        })
+                        .collect();
+                    let da = with_views.apply_update_batch(&batch).unwrap();
+                    let db = with_scans.apply_update_batch(&batch).unwrap();
+                    prop_assert_eq!(da, db, "update delivery diverged at query {}", i);
+                }
+                let a = with_views.query(&q.sql).unwrap();
+                let b = with_scans.query(&q.sql).unwrap();
+                assert_replies_match(
+                    &a,
+                    &b,
+                    &format!("query {i} ({:?}, {shards} shards): {}", stack, q.sql),
+                )?;
+            }
+        }
+    }
+}

@@ -20,7 +20,11 @@ use crate::schema::Schema;
 /// * maintained **ordered indexes** on bound endpoints, widths, and costs,
 ///   which the CHOOSE_REFRESH algorithms probe for their sub-linear paths.
 ///
-/// Mutations keep all registered indexes consistent.
+/// Mutations keep all registered indexes consistent, bump a monotonic
+/// [`version`](Table::version), and append the touched tuple to a bounded
+/// **change log** ([`Table::changes_since`]) so memoized views over the
+/// table (`trapp_core`'s band views) can re-derive only the tuples that
+/// actually changed instead of rescanning.
 #[derive(Clone)]
 pub struct Table {
     name: String,
@@ -32,6 +36,20 @@ pub struct Table {
     default_cost: f64,
     pending_inserts: u64,
     pending_deletes: u64,
+    /// Monotonic mutation counter; bumped by every change that can alter
+    /// a classified view (row content, cost, cardinality slack, deletes).
+    version: u64,
+    /// Bumped only when an **exact** (non-bounded) cell changes. Band
+    /// views lean on this: a tuple whose predicate fails on its exact
+    /// cells alone stays `T−` through any amount of bound movement, so
+    /// replays skip it as long as this counter stands still.
+    exact_version: u64,
+    /// Versions at or below this are no longer covered by `change_log`
+    /// (the log was compacted, or a table-global change invalidated
+    /// everything); readers behind the floor must rebuild.
+    log_floor: u64,
+    /// `(version, tuple)` per logged mutation, ascending by version.
+    change_log: Vec<(u64, TupleId)>,
 }
 
 impl Table {
@@ -47,7 +65,63 @@ impl Table {
             default_cost: 1.0,
             pending_inserts: 0,
             pending_deletes: 0,
+            version: 0,
+            exact_version: 0,
+            log_floor: 0,
+            change_log: Vec::new(),
         }
+    }
+
+    /// The table's monotonic mutation version. Two reads returning the
+    /// same version bracket a span with no view-visible change.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The exact-cell mutation version; see the field docs.
+    pub fn exact_version(&self) -> u64 {
+        self.exact_version
+    }
+
+    /// The `(version, tuple)` log entries after version `since`, in
+    /// version order, or `None` when the log no longer reaches back that
+    /// far — the caller must rebuild from a full scan. The slice is raw:
+    /// a tuple touched twice appears twice (replays are idempotent, and
+    /// skipping the dedup keeps this O(1) — callers can decide to rebuild
+    /// from the entry *count* without ever walking the tail). Deleted
+    /// tuples appear like any other change; readers detect the deletion
+    /// by the missing row.
+    pub fn changes_since(&self, since: u64) -> Option<&[(u64, TupleId)]> {
+        if since < self.log_floor || since > self.version {
+            return None;
+        }
+        // The log is version-ascending: binary search the first entry
+        // strictly after `since`.
+        let start = self.change_log.partition_point(|&(v, _)| v <= since);
+        Some(&self.change_log[start..])
+    }
+
+    /// Records one tuple-scoped mutation, compacting the log when it
+    /// outgrows its budget (readers further behind than the floor simply
+    /// rebuild — correctness never depends on log depth).
+    fn log_change(&mut self, tid: TupleId) {
+        let cap = (self.rows.len() * 2).max(1024);
+        if self.change_log.len() >= cap {
+            // Readers already synced to the current version keep working;
+            // anything further behind rebuilds.
+            self.change_log.clear();
+            self.log_floor = self.version;
+        }
+        self.version += 1;
+        self.change_log.push((self.version, tid));
+    }
+
+    /// Records a table-global mutation (e.g. cardinality slack): every
+    /// memoized view must rebuild.
+    fn log_global_change(&mut self) {
+        self.version += 1;
+        self.change_log.clear();
+        self.log_floor = self.version;
     }
 
     /// Table name.
@@ -99,6 +173,7 @@ impl Table {
         self.index_row(tid, &row, cost);
         self.rows.insert(tid, row);
         self.costs.insert(tid, cost);
+        self.log_change(tid);
         Ok(tid)
     }
 
@@ -110,6 +185,7 @@ impl Table {
             .ok_or(TrappError::UnknownTuple(tid.raw()))?;
         let cost = self.costs.remove(&tid).unwrap_or(self.default_cost);
         self.unindex_row(tid, &row, cost);
+        self.log_change(tid);
         Ok(())
     }
 
@@ -136,11 +212,15 @@ impl Table {
             .get_mut(&tid)
             .ok_or(TrappError::UnknownTuple(tid.raw()))?;
         let prev = *old;
+        if prev == cost {
+            return Ok(());
+        }
         *old = cost;
         if let Some(ix) = self.indexes.get_mut(&IndexKey::Cost) {
             ix.remove(OrderedF64::new_unchecked(prev), tid);
             ix.insert(OrderedF64::new_unchecked(cost), tid);
         }
+        self.log_change(tid);
         Ok(())
     }
 
@@ -175,6 +255,19 @@ impl Table {
             .get_mut(&tid)
             .ok_or(TrappError::UnknownTuple(tid.raw()))?;
         let old = row.cell(column)?.clone();
+        // Nothing changed: skip index churn and keep the version stable,
+        // so re-materializing bounds at an unchanged instant leaves
+        // memoized views valid. Numeric cells compare by interval, so
+        // re-materializing a freshly pinned `Exact(v)` as the point bound
+        // `[v, v]` is also a no-op rather than a representation flip.
+        let unchanged = old == cell
+            || matches!(
+                (old.as_interval(), cell.as_interval()),
+                (Ok(a), Ok(b)) if a == b
+            );
+        if unchanged {
+            return Ok(());
+        }
         // Update indexes touching this column.
         for (key, ix) in self.indexes.iter_mut() {
             let col = match key {
@@ -194,7 +287,18 @@ impl Table {
             }
         }
         let _ = cost;
+        // Conservative on the error arm: an unplaceable column counts as
+        // exact, forcing dependent views to rebuild rather than skip.
+        if self
+            .schema
+            .column_at(column)
+            .map(|d| !d.bounded)
+            .unwrap_or(true)
+        {
+            self.exact_version += 1;
+        }
         row.set_cell(column, cell);
+        self.log_change(tid);
         Ok(())
     }
 
@@ -250,6 +354,18 @@ impl Table {
         self.indexes.get(&key)
     }
 
+    /// Registers the full CHOOSE_REFRESH index set: `Lo` / `Hi` / `Width`
+    /// on every bounded column plus the refresh-cost index — everything
+    /// the §5.1/§5.2/§6.3 sub-linear planners probe. Idempotent.
+    pub fn create_default_indexes(&mut self) -> Result<(), TrappError> {
+        for column in self.schema.clone().bounded_columns() {
+            self.create_index(IndexKey::Lo { column })?;
+            self.create_index(IndexKey::Hi { column })?;
+            self.create_index(IndexKey::Width { column })?;
+        }
+        self.create_index(IndexKey::Cost)
+    }
+
     /// Declares **cardinality slack** (§8.3's relaxation of eager
     /// insert/delete propagation): the source may have performed up to
     /// `inserts` insertions and `deletes` deletions that have not yet been
@@ -258,8 +374,13 @@ impl Table {
     /// carry unknown values, so value aggregates become unbounded);
     /// `trapp-core` enforces that restriction.
     pub fn set_cardinality_slack(&mut self, inserts: u64, deletes: u64) {
+        if (inserts, deletes) == (self.pending_inserts, self.pending_deletes) {
+            return;
+        }
         self.pending_inserts = inserts;
         self.pending_deletes = deletes;
+        // Slack is table-global: every memoized view must rebuild.
+        self.log_global_change();
     }
 
     /// The current `(pending_inserts, pending_deletes)` slack.
@@ -455,6 +576,84 @@ mod tests {
         assert_eq!(lo.min_key().unwrap().get(), -1.0);
         // Indexing a non-numeric column fails cleanly.
         assert!(t.create_index(IndexKey::Lo { column: 0 }).is_ok()); // Int is numeric
+    }
+
+    /// The changed tuples after `since`, flattened.
+    fn touched(t: &Table, since: u64) -> Option<Vec<TupleId>> {
+        t.changes_since(since)
+            .map(|entries| entries.iter().map(|&(_, tid)| tid).collect())
+    }
+
+    #[test]
+    fn version_and_change_log_track_mutations() {
+        let mut t = table();
+        assert_eq!(t.version(), 0);
+        let a = t.insert(row(1, 0.0, 4.0)).unwrap();
+        let b = t.insert(row(2, 2.0, 3.0)).unwrap();
+        let v2 = t.version();
+        assert_eq!(v2, 2);
+        assert_eq!(touched(&t, 0).unwrap(), vec![a, b]);
+        assert_eq!(touched(&t, v2).unwrap(), Vec::<TupleId>::new());
+
+        // A real cell change logs the tuple once.
+        t.refresh_cell(a, 1, 1.0).unwrap();
+        assert_eq!(touched(&t, v2).unwrap(), vec![a]);
+        // A no-op rewrite (same cell value) does not move the version.
+        let v3 = t.version();
+        t.update_cell(a, 1, BoundedValue::Exact(Value::Float(1.0)))
+            .unwrap();
+        assert_eq!(t.version(), v3);
+        // Same-cost set_cost is also a no-op.
+        let c = t.cost(b).unwrap();
+        t.set_cost(b, c).unwrap();
+        assert_eq!(t.version(), v3);
+
+        // Deletes are logged like any change.
+        t.delete(b).unwrap();
+        assert_eq!(touched(&t, v3).unwrap(), vec![b]);
+
+        // Slack is table-global: it floors the log, readers must rebuild.
+        t.set_cardinality_slack(1, 0);
+        assert!(t.changes_since(v3).is_none());
+        assert_eq!(touched(&t, t.version()).unwrap(), Vec::<TupleId>::new());
+        // A reader from before the log's floor gets None, and future
+        // versions are rejected too.
+        assert!(t.changes_since(0).is_none());
+        assert!(t.changes_since(t.version() + 1).is_none());
+    }
+
+    #[test]
+    fn change_log_compaction_preserves_recent_readers() {
+        let mut t = table();
+        let a = t.insert(row(1, 0.0, 1.0)).unwrap();
+        // Far more mutations than the log budget: the log compacts, but a
+        // reader synced to the instant before the last write still sees it.
+        for i in 0..5000 {
+            t.refresh_cell(a, 1, i as f64).unwrap();
+        }
+        let v = t.version();
+        t.refresh_cell(a, 1, -1.0).unwrap();
+        assert_eq!(touched(&t, v).unwrap(), vec![a]);
+        // A reader from the beginning fell behind the floor.
+        assert!(t.changes_since(0).is_none());
+    }
+
+    #[test]
+    fn default_indexes_cover_bounds_and_cost() {
+        let mut t = table();
+        t.insert(row(1, 0.0, 4.0)).unwrap();
+        t.create_default_indexes().unwrap();
+        for key in [
+            IndexKey::Lo { column: 1 },
+            IndexKey::Hi { column: 1 },
+            IndexKey::Width { column: 1 },
+            IndexKey::Cost,
+        ] {
+            assert_eq!(t.index(key).unwrap().len(), 1, "{key:?}");
+        }
+        // Idempotent.
+        t.create_default_indexes().unwrap();
+        assert_eq!(t.index(IndexKey::Cost).unwrap().len(), 1);
     }
 
     #[test]
