@@ -22,12 +22,20 @@
 //!    completion transport — every grouped answer is checked per group
 //!    and every join answer against the join ground truth, read-only and
 //!    under churn;
-//! 6. **table scaling**: `--rows` (default 1k/10k/50k) group-pinned
-//!    workloads with a *fixed* group size, full-scan planning
-//!    (`cache_views = false`, the seed hot path) vs the incremental
-//!    band-view cache + indexed CHOOSE_REFRESH — the per-pass rescan
-//!    term in isolation, with zipfian repetition supplying the warm-view
-//!    serving regime.
+//! 6. **table scaling**: `--rows` (default 1k/10k/50k/200k; any size that
+//!    fits in memory — validated against `/proc/meminfo` up front)
+//!    group-pinned workloads with a *fixed* group size, full-scan
+//!    planning (`cache_views = false`, the seed hot path) vs the
+//!    incremental band-view cache + indexed CHOOSE_REFRESH — the
+//!    per-pass rescan term in isolation, with zipfian repetition
+//!    supplying the warm-view serving regime;
+//! 7. **tpch scaling**: the TPC-H-derived three-table suite
+//!    (`trapp_workload::tpch`) walked 100k → 1M total rows at 1 and 8
+//!    shards, reporting per-query-class profiles (refresh rounds,
+//!    fetched tuples, p50/p99 latency, ground-truth violations), plus a
+//!    join-round duel pitting the batched multi-tuple join planner
+//!    against the §7 one-tuple-per-round baseline
+//!    (`batch_join_rounds = false`) on the same queries.
 //!
 //! Eight closed-loop clients drive the service over transports with
 //! simulated per-round-trip latency; the stream is split into bursts with
@@ -56,6 +64,7 @@ use trapp_bench::tablefmt;
 use trapp_server::{QueryService, ServiceBuilder, ServiceConfig};
 use trapp_types::{ObjectId, Value};
 use trapp_workload::loadgen::{self, LoadConfig, QueryShape, ServiceWorkload};
+use trapp_workload::tpch::{self, TpchClass, TpchWorkload, Truth};
 
 const CLIENTS: usize = 8;
 const BURSTS: usize = 8;
@@ -404,6 +413,181 @@ fn run_json(r: &RunResult) -> Json {
     ])
 }
 
+fn build_tpch_service(
+    w: &TpchWorkload,
+    shards: usize,
+    pool: Option<usize>,
+    batch_join_rounds: bool,
+) -> QueryService {
+    let mut b = ServiceBuilder::new()
+        .initial_width(1.0)
+        .config(ServiceConfig {
+            workers: CLIENTS,
+            shards,
+            coalesce: true,
+            batch_refreshes: true,
+            cache_views: true,
+            batch_join_rounds,
+        })
+        // customer and orders co-partition on the customer key; lineitem
+        // has no such column, so its rows hash-place by tuple id and
+        // every orders ⋈ lineitem query scatters.
+        .partition_by("custkey")
+        .table(tpch::customer_table())
+        .table(tpch::orders_table())
+        .table(tpch::lineitem_table());
+    for (name, rows) in [
+        ("customer", &w.customer),
+        ("orders", &w.orders),
+        ("lineitem", &w.lineitem),
+    ] {
+        for r in rows {
+            b = b.row(name, r.source, r.cells.clone());
+        }
+    }
+    b.build_completion(LATENCY, pool)
+        .expect("tpch service builds")
+}
+
+/// Per-query-class measurements across one tpch run.
+#[derive(Default)]
+struct ClassProfile {
+    latencies_us: Vec<f64>,
+    rounds: Vec<f64>,
+    fetched: u64,
+    violations: usize,
+}
+
+/// Serves one query and returns `(rounds, fetched, violations)`,
+/// checking the reply against the query's exact ground truth.
+fn serve_tpch_query(service: &QueryService, q: &tpch::TpchQuery) -> (usize, usize, usize) {
+    let reply = service.query(&q.sql).expect("tpch query runs");
+    let violations = match &q.truth {
+        Truth::Scalar(_) => {
+            let range = reply.result.answer.range;
+            usize::from(
+                tpch::scalar_violation(q, range.lo(), range.hi()) || !reply.result.satisfied,
+            )
+        }
+        Truth::Groups(_) => {
+            let served: Vec<(i64, f64, f64)> = reply
+                .groups
+                .iter()
+                .filter_map(|g| match g.key.first() {
+                    Some(Value::Int(k)) => {
+                        Some((*k, g.result.answer.range.lo(), g.result.answer.range.hi()))
+                    }
+                    _ => None,
+                })
+                .collect();
+            tpch::group_violations(q, &served)
+                + reply.groups.iter().filter(|g| !g.result.satisfied).count()
+        }
+    };
+    (
+        reply.result.rounds,
+        reply.result.refreshed.len(),
+        violations,
+    )
+}
+
+/// Runs the suite sequentially — the clock advances 1.0 before each
+/// query, so every bound has re-widened to exactly the unit width the
+/// generator sized its precision constraints against — and folds the
+/// replies into per-class profiles.
+fn run_tpch(w: &TpchWorkload, service: &QueryService) -> Vec<(TpchClass, ClassProfile)> {
+    let mut profiles: Vec<(TpchClass, ClassProfile)> = TpchClass::ALL
+        .iter()
+        .map(|&c| (c, ClassProfile::default()))
+        .collect();
+    for q in &w.queries {
+        service.advance_clock(1.0);
+        let t0 = Instant::now();
+        let (rounds, fetched, violations) = serve_tpch_query(service, q);
+        let us = t0.elapsed().as_secs_f64() * 1e6;
+        let p = &mut profiles
+            .iter_mut()
+            .find(|(c, _)| *c == q.class)
+            .expect("all classes listed")
+            .1;
+        p.latencies_us.push(us);
+        p.rounds.push(rounds as f64);
+        p.fetched += fetched as u64;
+        p.violations += violations;
+    }
+    profiles.retain(|(_, p)| !p.latencies_us.is_empty());
+    profiles
+}
+
+/// Renders per-class profiles, returning the violation total.
+fn render_tpch(title: &str, profiles: &[(TpchClass, ClassProfile)]) -> usize {
+    let mut rows = Vec::new();
+    let mut total = 0;
+    for (class, p) in profiles {
+        let mut lat = p.latencies_us.clone();
+        lat.sort_by(|a, b| a.total_cmp(b));
+        let mean_rounds = p.rounds.iter().sum::<f64>() / p.rounds.len() as f64;
+        let max_rounds = p.rounds.iter().fold(0.0f64, |a, &r| a.max(r));
+        rows.push(vec![
+            class.label().to_string(),
+            p.latencies_us.len().to_string(),
+            tablefmt::num(mean_rounds, 1),
+            tablefmt::num(max_rounds, 0),
+            p.fetched.to_string(),
+            tablefmt::num(percentile(&lat, 0.5), 0),
+            tablefmt::num(percentile(&lat, 0.99), 0),
+            p.violations.to_string(),
+        ]);
+        total += p.violations;
+    }
+    println!("{title}");
+    println!(
+        "{}",
+        tablefmt::render(
+            &[
+                "class",
+                "queries",
+                "rounds avg",
+                "rounds max",
+                "fetched",
+                "p50 µs",
+                "p99 µs",
+                "violations",
+            ],
+            &rows,
+        )
+    );
+    total
+}
+
+fn tpch_profile_json(profiles: &[(TpchClass, ClassProfile)]) -> Json {
+    Json::Arr(
+        profiles
+            .iter()
+            .map(|(class, p)| {
+                let mut lat = p.latencies_us.clone();
+                lat.sort_by(|a, b| a.total_cmp(b));
+                Json::obj([
+                    ("class", Json::str(class.label())),
+                    ("queries", Json::Num(p.latencies_us.len() as f64)),
+                    (
+                        "mean_rounds",
+                        Json::Num(p.rounds.iter().sum::<f64>() / p.rounds.len() as f64),
+                    ),
+                    (
+                        "max_rounds",
+                        Json::Num(p.rounds.iter().fold(0.0f64, |a, &r| a.max(r))),
+                    ),
+                    ("fetched", Json::Num(p.fetched as f64)),
+                    ("p50_us", Json::Num(percentile(&lat, 0.5))),
+                    ("p99_us", Json::Num(percentile(&lat, 0.99))),
+                    ("violations", Json::Num(p.violations as f64)),
+                ])
+            })
+            .collect(),
+    )
+}
+
 struct Cli {
     shards: Vec<usize>,
     sources: usize,
@@ -429,7 +613,7 @@ fn parse_cli() -> Cli {
         // Adaptive by default: the service sizes its shared fetch pool
         // from available_parallelism × shard count; `--pool N` overrides.
         pool: None,
-        rows: vec![1_000, 10_000, 50_000],
+        rows: vec![1_000, 10_000, 50_000, 200_000],
         update_rate: 32,
         json: None,
         quick: false,
@@ -508,7 +692,60 @@ fn parse_cli() -> Cli {
         cli.update_rate = cli.update_rate.min(8);
         cli.rows = vec![512, 2048];
     }
+    let largest = cli
+        .rows
+        .iter()
+        .copied()
+        .chain(tpch_tiers(cli.quick).iter().copied())
+        .max()
+        .unwrap_or(0);
+    validate_rows_fit(largest as u64);
     cli
+}
+
+/// Rough resident bytes per workload row: the cached table row, its
+/// master copy at a source, per-object subscription state, and headroom
+/// for the transient per-round table slices scatter-gather copies.
+const BYTES_PER_ROW: u64 = 1_500;
+
+/// The row tiers part 7 walks.
+fn tpch_tiers(quick: bool) -> &'static [usize] {
+    if quick {
+        &[100_000]
+    } else {
+        &[100_000, 1_000_000]
+    }
+}
+
+/// Fails fast — with the math shown — when the requested row counts
+/// cannot fit in the memory currently available, instead of letting the
+/// kernel OOM-kill the run minutes in. Skipped silently where
+/// `/proc/meminfo` is unreadable (non-Linux hosts).
+fn validate_rows_fit(max_rows: u64) {
+    let Some(available) = mem_available_bytes() else {
+        return;
+    };
+    let needed = max_rows.saturating_mul(BYTES_PER_ROW);
+    if needed > available / 5 * 4 {
+        eprintln!(
+            "--rows {max_rows} needs roughly {} MiB ({} bytes/row) but only {} MiB \
+             are available; lower --rows or free memory",
+            needed >> 20,
+            BYTES_PER_ROW,
+            available >> 20,
+        );
+        std::process::exit(2);
+    }
+}
+
+/// `MemAvailable` from `/proc/meminfo`, in bytes.
+fn mem_available_bytes() -> Option<u64> {
+    let meminfo = std::fs::read_to_string("/proc/meminfo").ok()?;
+    let line = meminfo
+        .lines()
+        .find_map(|l| l.strip_prefix("MemAvailable:"))?;
+    let kb: u64 = line.trim().trim_end_matches("kB").trim().parse().ok()?;
+    Some(kb * 1024)
 }
 
 fn main() {
@@ -540,6 +777,7 @@ fn main() {
         coalesce,
         batch_refreshes,
         cache_views: true,
+        batch_join_rounds: true,
     };
     let mechanisms = [
         run(
@@ -597,6 +835,7 @@ fn main() {
         coalesce: true,
         batch_refreshes: true,
         cache_views: true,
+        batch_join_rounds: true,
     };
     let scaling: Vec<RunResult> = cli
         .shards
@@ -830,6 +1069,7 @@ fn main() {
             coalesce: true,
             batch_refreshes: true,
             cache_views,
+            batch_join_rounds: true,
         };
         let pair = [
             run(
@@ -866,6 +1106,109 @@ fn main() {
     sections.push(Json::obj([
         ("title", Json::str("table_scaling")),
         ("entries", Json::Arr(scaling_entries)),
+    ]));
+
+    // Part 7: tpch scaling — the TPC-H-derived three-table suite at
+    // growing row counts and shard counts, profiled per query class,
+    // plus a batched vs one-tuple join-round duel at the smallest tier.
+    let mut tpch_entries: Vec<Json> = Vec::new();
+    let mut duel_entries: Vec<Json> = Vec::new();
+    let tiers = tpch_tiers(cli.quick);
+    let tpch_shard_counts: &[usize] = if cli.quick { &[1] } else { &[1, 8] };
+    for &rows in tiers {
+        let tconfig = tpch::TpchConfig {
+            seed: 701,
+            total_rows: rows,
+            sources: 16,
+            queries: if cli.quick { 12 } else { 24 },
+            ..tpch::TpchConfig::default()
+        };
+        let tw = tpch::generate(&tconfig);
+        eprintln!(
+            "\ntpch workload: {} customer + {} orders + {} lineitem rows, {} queries",
+            tw.customer.len(),
+            tw.orders.len(),
+            tw.lineitem.len(),
+            tw.queries.len(),
+        );
+        for &shards in tpch_shard_counts {
+            let service = build_tpch_service(&tw, shards, cli.pool, true);
+            let profiles = run_tpch(&tw, &service);
+            service.shutdown();
+            println!();
+            total_violations += render_tpch(
+                &format!("tpch scaling ({rows} rows, {shards} shards):"),
+                &profiles,
+            );
+            tpch_entries.push(Json::obj([
+                ("rows", Json::Num(rows as f64)),
+                ("shards", Json::Num(shards as f64)),
+                ("profiles", tpch_profile_json(&profiles)),
+            ]));
+        }
+    }
+    // Join-round duel on a dedicated join-only workload, deliberately
+    // smaller than the scaling tiers: the one-tuple baseline pays one
+    // full planning round (a fresh hash join over every pair) per
+    // refreshed tuple, so at the 100k+ tiers a single tight query would
+    // take thousands of rounds — which is precisely the infeasibility
+    // the batched planner removes, and the ratio below quantifies.
+    {
+        let duel_config = tpch::TpchConfig {
+            seed: 702,
+            total_rows: if cli.quick { 8_000 } else { 16_000 },
+            sources: 16,
+            queries: 16,
+            class_weights: [0, 1, 0, 0],
+            ..tpch::TpchConfig::default()
+        };
+        let tw = tpch::generate(&duel_config);
+        let duel: Vec<&tpch::TpchQuery> = tw
+            .queries
+            .iter()
+            .filter(|q| q.class == TpchClass::JoinAgg && q.pressure < 1.0)
+            .take(if cli.quick { 2 } else { 3 })
+            .collect();
+        for q in duel {
+            let batched_service = build_tpch_service(&tw, 1, cli.pool, true);
+            batched_service.advance_clock(1.0);
+            let (batched_rounds, batched_fetched, v1) = serve_tpch_query(&batched_service, q);
+            batched_service.shutdown();
+            let one_service = build_tpch_service(&tw, 1, cli.pool, false);
+            one_service.advance_clock(1.0);
+            let (one_rounds, one_fetched, v2) = serve_tpch_query(&one_service, q);
+            one_service.shutdown();
+            // The safe-prefix batch replays the one-tuple sequence,
+            // so both modes fetch identical tuples; batching may
+            // only collapse rounds.
+            let consistent = batched_fetched == one_fetched && batched_rounds <= one_rounds;
+            if !consistent {
+                eprintln!("duel inconsistency on {}", q.sql);
+                total_violations += 1;
+            }
+            total_violations += v1 + v2;
+            println!(
+                "join duel: {} rounds batched vs {} one-tuple ({} tuples) — {}",
+                batched_rounds,
+                one_rounds,
+                one_fetched,
+                &q.sql[..q.sql.find(" FROM").unwrap_or(q.sql.len())],
+            );
+            duel_entries.push(Json::obj([
+                ("sql", Json::str(q.sql.clone())),
+                ("within", Json::Num(q.within)),
+                ("pressure", Json::Num(q.pressure)),
+                ("batched_rounds", Json::Num(batched_rounds as f64)),
+                ("one_tuple_rounds", Json::Num(one_rounds as f64)),
+                ("fetched", Json::Num(one_fetched as f64)),
+                ("consistent", Json::Bool(consistent)),
+            ]));
+        }
+    }
+    sections.push(Json::obj([
+        ("title", Json::str("tpch_scaling")),
+        ("entries", Json::Arr(tpch_entries)),
+        ("join_round_duel", Json::Arr(duel_entries)),
     ]));
 
     println!("bounded-answer violations: {total_violations}");

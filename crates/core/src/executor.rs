@@ -47,6 +47,12 @@ pub struct SessionConfig {
     /// Answers and plans are bit-identical either way; `false` keeps the
     /// full-scan path as a measurable baseline.
     pub cache_views: bool,
+    /// Plan multi-tuple join refresh rounds
+    /// ([`crate::refresh::join::join_refresh_batch`]) instead of one tuple
+    /// per round. Final answers and refresh sequences are bit-identical
+    /// either way (the batch only extends a round while that is provable);
+    /// `false` keeps the §7 one-tuple loop as a measurable baseline.
+    pub join_batch: bool,
 }
 
 impl Default for SessionConfig {
@@ -57,6 +63,7 @@ impl Default for SessionConfig {
             join_heuristic: IterativeHeuristic::BestRatio,
             max_refresh_rounds: 100_000,
             cache_views: true,
+            join_batch: true,
         }
     }
 }
@@ -350,6 +357,7 @@ impl QuerySession {
                 catalog.table(&right)?,
                 bound.predicate.as_ref(),
                 bound.arg.as_ref(),
+                &[],
             )
         };
 

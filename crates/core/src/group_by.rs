@@ -8,14 +8,16 @@
 //! partition. Refresh batching across groups (§8.2) is deliberately not
 //! attempted, matching the paper.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 use trapp_sql::Query;
 use trapp_storage::{Row, Table};
 use trapp_types::{TrappError, TupleId, Value};
 
+use crate::agg::BoundedAnswer;
 use crate::executor::{QueryResult, QuerySession, RefreshOracle};
-use crate::plan::{bind_query, QuerySource};
+use crate::plan::{bind_query, BoundQuery, QuerySource};
+use crate::query_plan::{plan_join_round, QueryOutcome, QueryPlan};
 
 /// The exact values of the `GROUP BY` columns identifying one group.
 pub type GroupKey = Vec<Value>;
@@ -46,11 +48,7 @@ impl QuerySession {
         }
         let table_name = match &bound.source {
             QuerySource::Table(t) => t.clone(),
-            QuerySource::Join { .. } => {
-                return Err(TrappError::Unsupported(
-                    "GROUP BY over join queries is not supported".into(),
-                ))
-            }
+            QuerySource::Join { .. } => return self.run_join_grouped(&bound, oracle),
         };
 
         let groups = group_partitions(self.catalog().table(&table_name)?, &bound.group_by)?;
@@ -63,15 +61,139 @@ impl QuerySession {
         }
         Ok(out)
     }
+
+    /// Grouped aggregation over a join result (§7 + §8.1): the joined
+    /// pairs are partitioned by their exact group key and each group
+    /// independently receives the `WITHIN` constraint. Execution drives
+    /// [`plan_join_round`] — the same planner a serving layer uses — in a
+    /// plan/refresh loop, so session and scatter-gather results are
+    /// identical by construction.
+    fn run_join_grouped(
+        &mut self,
+        bound: &BoundQuery,
+        oracle: &mut dyn RefreshOracle,
+    ) -> Result<Vec<GroupResult>, TrappError> {
+        let QuerySource::Join { left, right } = &bound.source else {
+            return Err(TrappError::Internal(
+                "run_join_grouped requires a join-shaped bound query".into(),
+            ));
+        };
+        let (left, right) = (left.clone(), right.clone());
+
+        /// Per-group refresh attribution across planning rounds.
+        #[derive(Default)]
+        struct Attr {
+            initial: Option<BoundedAnswer>,
+            refreshed: Vec<(String, TupleId)>,
+            cost: f64,
+            rounds: usize,
+        }
+        let mut attr: HashMap<String, Attr> = HashMap::new();
+        let mut guard = 0usize;
+        loop {
+            let plan = plan_join_round(
+                bound,
+                self.catalog().table(&left)?,
+                self.catalog().table(&right)?,
+                self.config.join_heuristic,
+                self.config.join_batch,
+            )?;
+            match plan {
+                QueryPlan::Ready(QueryOutcome::Grouped(mut groups)) => {
+                    for g in &mut groups {
+                        if let Some(a) = attr.get(&render_key(&g.key)) {
+                            if let Some(init) = a.initial {
+                                g.result.initial_answer = init;
+                            }
+                            g.result.refreshed = a.refreshed.clone();
+                            g.result.refresh_cost = a.cost;
+                            g.result.rounds = a.rounds;
+                        }
+                    }
+                    return Ok(groups);
+                }
+                QueryPlan::Ready(QueryOutcome::Scalar(_)) | QueryPlan::Iterative => {
+                    return Err(TrappError::Internal(
+                        "grouped join planning produced a non-grouped plan".into(),
+                    ));
+                }
+                QueryPlan::NeedsFetch(fp) => {
+                    guard += 1;
+                    if guard > self.config.max_refresh_rounds {
+                        return Err(TrappError::Internal(format!(
+                            "grouped join refresh did not converge in {guard} rounds"
+                        )));
+                    }
+                    // A group may span several units (one per picked
+                    // side-run); it pays one round per planning round.
+                    let mut counted: HashSet<String> = HashSet::new();
+                    for unit in fp.units {
+                        let rendered = render_key(&unit.key);
+                        attr.entry(rendered.clone())
+                            .or_default()
+                            .initial
+                            .get_or_insert(unit.initial);
+                        let Some(fetch) = unit.fetch else { continue };
+                        let cost = self.refresh_tuples(&fetch.table, &fetch.tuples, oracle)?;
+                        let a = attr.get_mut(&rendered).expect("inserted above");
+                        a.cost += cost;
+                        a.refreshed
+                            .extend(fetch.tuples.iter().map(|&tid| (fetch.table.clone(), tid)));
+                        if counted.insert(rendered) {
+                            a.rounds += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// Renders a group key to a stable string (unit-separator joined) — the
 /// canonical ordering and lookup key for group results everywhere:
 /// per-session execution, cross-shard merging, and serving-layer
 /// attribution all sort and match groups by this rendering.
+///
+/// The rendering is *injective*: every part carries a one-character type
+/// tag (`i`/`f`/`s`/`b`), so `Int(1)` and `Float(1.0)` — whose `Display`
+/// forms are both `1` — render apart, and string parts escape the
+/// separator (and the escape character itself), so a string containing
+/// `\u{1f}` can never make two different multi-column keys collide.
+/// Cross-shard merging matches groups by this string; a collision would
+/// silently fuse two groups' inputs. Keys whose columns share one type
+/// keep their old relative order (the tag is a constant prefix).
 pub fn render_key(key: &GroupKey) -> String {
-    let parts: Vec<String> = key.iter().map(|v| format!("{v}")).collect();
-    parts.join("\u{1f}")
+    let mut out = String::new();
+    for (i, v) in key.iter().enumerate() {
+        if i > 0 {
+            out.push('\u{1f}');
+        }
+        match v {
+            Value::Int(x) => {
+                out.push('i');
+                out.push_str(&x.to_string());
+            }
+            Value::Float(x) => {
+                out.push('f');
+                out.push_str(&x.to_string());
+            }
+            Value::Bool(b) => {
+                out.push('b');
+                out.push_str(if *b { "true" } else { "false" });
+            }
+            Value::Str(s) => {
+                out.push('s');
+                for ch in s.chars() {
+                    match ch {
+                        '\\' => out.push_str("\\\\"),
+                        '\u{1f}' => out.push_str("\\u"),
+                        c => out.push(c),
+                    }
+                }
+            }
+        }
+    }
+    out
 }
 
 /// Partitions a table's tuples by the exact values of the `group_by`
@@ -132,6 +254,30 @@ mod tests {
         let mut o = TableOracle::from_table(master_table());
         let q = trapp_sql::parse_query("SELECT SUM(latency) FROM links").unwrap();
         assert!(s.execute_grouped(&q, &mut o).is_err());
+    }
+
+    /// Distinct keys must never render identically: the rendered string
+    /// is the cross-shard merge key, and a collision silently fuses two
+    /// groups' inputs.
+    #[test]
+    fn render_key_is_injective() {
+        // Int(1) and Float(1.0) both Display as "1".
+        assert_ne!(
+            render_key(&vec![Value::Int(1)]),
+            render_key(&vec![Value::Float(1.0)])
+        );
+        // A separator smuggled inside a string part must not shift the
+        // column boundary.
+        let a = vec![Value::Str("a\u{1f}b".into()), Value::Str("c".into())];
+        let b = vec![Value::Str("a".into()), Value::Str("b\u{1f}c".into())];
+        assert_ne!(render_key(&a), render_key(&b));
+        // Same for the escape character itself.
+        let c = vec![Value::Str("a\\".into()), Value::Str("b".into())];
+        let d = vec![Value::Str("a".into()), Value::Str("\\b".into())];
+        assert_ne!(render_key(&c), render_key(&d));
+        // Uniform-type keys keep their old lexicographic order.
+        let keys = [1i64, 10, 2].map(|x| render_key(&vec![Value::Int(x)]));
+        assert!(keys[0] < keys[1] && keys[1] < keys[2]);
     }
 
     #[test]

@@ -151,13 +151,13 @@ fn bind_join(query: &Query, catalog: &Catalog) -> Result<BoundQuery, TrappError>
         .as_ref()
         .map(|e| e.map_columns(&mut resolve))
         .transpose()?;
-    if !query.group_by.is_empty() {
-        return Err(TrappError::Unsupported(
-            "GROUP BY over join queries is not supported".into(),
-        ));
-    }
+    let group_by: Vec<usize> = query
+        .group_by
+        .iter()
+        .map(&mut resolve)
+        .collect::<Result<_, _>>()?;
 
-    validate(query, &arg, &predicate, &[], &schema)?;
+    validate(query, &arg, &predicate, &group_by, &schema)?;
     Ok(BoundQuery {
         agg: query.agg,
         arg,
@@ -167,7 +167,7 @@ fn bind_join(query: &Query, catalog: &Catalog) -> Result<BoundQuery, TrappError>
             right: rname.clone(),
         },
         predicate,
-        group_by: Vec::new(),
+        group_by,
         schema,
     })
 }
@@ -335,10 +335,21 @@ mod tests {
         let c = catalog();
         let q = parse_query("SELECT SUM(latency) FROM links, links").unwrap();
         assert!(bind_query(&q, &c).is_err()); // self-join
-        let q = parse_query("SELECT SUM(latency) FROM links, nodes GROUP BY from_node").unwrap();
-        assert!(bind_query(&q, &c).is_err()); // group-by over join
         let q = parse_query("SELECT SUM(x) FROM a, b, links").unwrap();
         assert!(bind_query(&q, &c).is_err()); // 3-way
+    }
+
+    #[test]
+    fn group_by_over_join_binds() {
+        let c = catalog();
+        let q = parse_query("SELECT SUM(latency) FROM links, nodes GROUP BY from_node").unwrap();
+        let b = bind_query(&q, &c).unwrap();
+        // links.from_node in the combined schema.
+        assert_eq!(b.group_by, vec![0]);
+
+        // Bounded group columns stay rejected over joins too.
+        let q = parse_query("SELECT SUM(latency) FROM links, nodes GROUP BY cpu_load").unwrap();
+        assert!(bind_query(&q, &c).is_err());
     }
 
     #[test]

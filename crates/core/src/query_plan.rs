@@ -42,17 +42,19 @@
 //! merged *inputs* (never from per-shard answers) is what keeps sharded
 //! answers bit-equivalent to the single-cache answers.
 
+use std::collections::{BTreeMap, HashSet};
+
 use trapp_sql::Query;
 use trapp_storage::Table;
 use trapp_types::{BoundedValue, TrappError, TupleId};
 
 use crate::agg::{bounded_answer, AggInput, Aggregate, BoundedAnswer};
 use crate::executor::{ExecutionMode, QueryResult, QuerySession};
-use crate::group_by::{group_partitions, GroupKey, GroupResult};
+use crate::group_by::{group_partitions, render_key, GroupKey, GroupResult};
 use crate::merge::ShardPartial;
 use crate::plan::{bind_query, BoundQuery, QuerySource};
 use crate::refresh::iterative::IterativeHeuristic;
-use crate::refresh::join::{build_join_input, next_join_refresh, JoinSide};
+use crate::refresh::join::{build_join_input, join_refresh_batch, next_join_refresh, JoinSide};
 use crate::refresh::{choose_refresh_probed, PlanProbe, SolverStrategy};
 
 /// The complete result(s) of one query: a single bounded answer, or one
@@ -264,18 +266,29 @@ pub fn units_outcome(units: &[UnitState], grouped: bool) -> QueryOutcome {
     }
 }
 
-/// Plans one round of a two-table join: computes the bounded answer over
-/// the (possibly merged) base tables and, if the constraint is unmet,
-/// picks the next base tuple to refresh under `heuristic` — an
+/// Plans one round of a two-table join: computes the bounded answer(s)
+/// over the (possibly merged) base tables and, if a constraint is unmet,
+/// picks the next base tuples to refresh under `heuristic` — an
 /// *incomplete* plan the caller re-derives after installing the fetch.
 /// Shared by [`QuerySession::plan_query`] (local tables) and sharded
 /// serving layers (tables merged from [`TableSlice`]s), so both walk the
 /// identical refresh sequence.
+///
+/// With `batch = true`, each round carries the whole provable prefix of
+/// the sequential pick order
+/// ([`join_refresh_batch`]),
+/// collapsing round counts without changing any answer; `batch = false`
+/// keeps the §7 one-tuple-per-round baseline. A `GROUP BY` bound query
+/// partitions the joined pairs by group key and plans every group's round
+/// in one pass; a base tuple picked by several groups is fetched once
+/// (first group in key order wins — later groups re-plan against the
+/// already-pinned cells next round).
 pub fn plan_join_round(
     bound: &BoundQuery,
     left: &Table,
     right: &Table,
     heuristic: IterativeHeuristic,
+    batch: bool,
 ) -> Result<QueryPlan, TrappError> {
     let QuerySource::Join {
         left: lname,
@@ -286,47 +299,159 @@ pub fn plan_join_round(
             "plan_join_round requires a join-shaped bound query".into(),
         ));
     };
-    let ji = build_join_input(left, right, bound.predicate.as_ref(), bound.arg.as_ref())?;
-    let answer = bounded_answer(bound.agg, &ji.input)?;
-    if answer.satisfies(bound.within) {
-        return Ok(QueryPlan::Ready(QueryOutcome::Scalar(QueryResult {
-            answer,
-            initial_answer: answer,
-            refreshed: Vec::new(),
-            refresh_cost: 0.0,
-            rounds: 0,
-            satisfied: true,
-        })));
-    }
-    match next_join_refresh(&ji, left, right, bound.agg, heuristic) {
-        None => Ok(QueryPlan::Ready(QueryOutcome::Scalar(QueryResult {
-            answer,
-            initial_answer: answer,
-            refreshed: Vec::new(),
-            refresh_cost: 0.0,
-            rounds: 0,
-            satisfied: false,
-        }))),
-        Some((side, tid)) => {
+    let ji = build_join_input(
+        left,
+        right,
+        bound.predicate.as_ref(),
+        bound.arg.as_ref(),
+        &bound.group_by,
+    )?;
+
+    // The sequential-order pick list for one unit's join input: the whole
+    // provable prefix when batching, the heuristic argmax otherwise.
+    let picks_for = |unit: &crate::refresh::join::JoinInput,
+                     answer: &BoundedAnswer|
+     -> Vec<(JoinSide, TupleId)> {
+        if batch {
+            let deficit = answer.width() - bound.within.unwrap_or(f64::INFINITY);
+            join_refresh_batch(unit, left, right, bound.agg, heuristic, deficit)
+        } else {
+            next_join_refresh(unit, left, right, bound.agg, heuristic)
+                .into_iter()
+                .collect()
+        }
+    };
+    // Consecutive same-side picks share one fetch unit, so the flattened
+    // unit order replays the sequential pick order exactly.
+    let units_for = |key: &GroupKey,
+                     initial: BoundedAnswer,
+                     picks: &[(JoinSide, TupleId)]|
+     -> Result<Vec<UnitState>, TrappError> {
+        let mut units: Vec<UnitState> = Vec::new();
+        for &(side, tid) in picks {
             let (table, cost) = match side {
-                JoinSide::Left => (lname.clone(), left.cost(tid)?),
-                JoinSide::Right => (rname.clone(), right.cost(tid)?),
+                JoinSide::Left => (lname.as_str(), left.cost(tid)?),
+                JoinSide::Right => (rname.as_str(), right.cost(tid)?),
             };
-            Ok(QueryPlan::NeedsFetch(FetchPlan {
-                units: vec![UnitState {
-                    key: Vec::new(),
-                    initial: answer,
+            match units.last_mut() {
+                Some(u) if u.fetch.as_ref().is_some_and(|f| f.table == table) => {
+                    let fetch = u.fetch.as_mut().expect("guarded");
+                    fetch.tuples.push(tid);
+                    fetch.refresh_cost += cost;
+                }
+                _ => units.push(UnitState {
+                    key: key.clone(),
+                    initial,
                     satisfied: false,
                     fetch: Some(UnitFetch {
-                        table,
+                        table: table.to_owned(),
                         tuples: vec![tid],
                         refresh_cost: cost,
                     }),
-                }],
-                grouped: false,
-                complete: false,
-            }))
+                }),
+            }
         }
+        Ok(units)
+    };
+
+    if bound.group_by.is_empty() {
+        let answer = bounded_answer(bound.agg, &ji.input)?;
+        let ready = |satisfied: bool| {
+            QueryPlan::Ready(QueryOutcome::Scalar(QueryResult {
+                answer,
+                initial_answer: answer,
+                refreshed: Vec::new(),
+                refresh_cost: 0.0,
+                rounds: 0,
+                satisfied,
+            }))
+        };
+        if answer.satisfies(bound.within) {
+            return Ok(ready(true));
+        }
+        let picks = picks_for(&ji, &answer);
+        if picks.is_empty() {
+            return Ok(ready(false));
+        }
+        return Ok(QueryPlan::NeedsFetch(FetchPlan {
+            units: units_for(&Vec::new(), answer, &picks)?,
+            grouped: false,
+            complete: false,
+        }));
+    }
+
+    // Grouped over the join result: partition items by group key, give
+    // each group the query's constraint independently (§8.1 semantics,
+    // over joined pairs instead of base rows). Groups are keyed by their
+    // rendered form for a deterministic, merge-compatible order.
+    let mut groups: BTreeMap<String, (GroupKey, Vec<usize>)> = BTreeMap::new();
+    for (k, key) in ji.group_keys.iter().enumerate() {
+        groups
+            .entry(render_key(key))
+            .or_insert_with(|| (key.clone(), Vec::new()))
+            .1
+            .push(k);
+    }
+    let mut units: Vec<UnitState> = Vec::new();
+    let mut results: Vec<GroupResult> = Vec::new();
+    let mut picked: HashSet<(JoinSide, TupleId)> = HashSet::new();
+    let mut any_fetch = false;
+    for (_, (key, item_ids)) in groups {
+        let sub = crate::refresh::join::JoinInput {
+            input: AggInput::new(
+                item_ids.iter().map(|&k| ji.input.items[k]).collect(),
+                0,
+                (0, 0),
+            ),
+            pairs: item_ids.iter().map(|&k| ji.pairs[k]).collect(),
+            group_keys: Vec::new(),
+            left_arity: ji.left_arity,
+            arg_cols: ji.arg_cols.clone(),
+            pred_cols: ji.pred_cols.clone(),
+        };
+        let answer = bounded_answer(bound.agg, &sub.input)?;
+        let satisfied = answer.satisfies(bound.within);
+        let picks: Vec<(JoinSide, TupleId)> = if satisfied {
+            Vec::new()
+        } else {
+            // A tuple another group already claimed this round is fetched
+            // once; this group re-plans against the refreshed cells.
+            picks_for(&sub, &answer)
+                .into_iter()
+                .filter(|p| picked.insert(*p))
+                .collect()
+        };
+        if picks.is_empty() {
+            units.push(UnitState {
+                key: key.clone(),
+                initial: answer,
+                satisfied,
+                fetch: None,
+            });
+        } else {
+            any_fetch = true;
+            units.extend(units_for(&key, answer, &picks)?);
+        }
+        results.push(GroupResult {
+            key,
+            result: QueryResult {
+                answer,
+                initial_answer: answer,
+                refreshed: Vec::new(),
+                refresh_cost: 0.0,
+                rounds: 0,
+                satisfied,
+            },
+        });
+    }
+    if any_fetch {
+        Ok(QueryPlan::NeedsFetch(FetchPlan {
+            units,
+            grouped: true,
+            complete: false,
+        }))
+    } else {
+        Ok(QueryPlan::Ready(QueryOutcome::Grouped(results)))
     }
 }
 
@@ -426,6 +551,7 @@ impl QuerySession {
                 self.catalog().table(left)?,
                 self.catalog().table(right)?,
                 self.config.join_heuristic,
+                self.config.join_batch,
             ),
         }
     }
@@ -633,41 +759,104 @@ mod tests {
         assert_eq!(seen, executed);
     }
 
-    /// Join lowering: incomplete single-tuple rounds that, replayed
-    /// against an oracle, converge to the same refresh sequence as the
-    /// locked executor loop.
-    #[test]
-    fn join_rounds_replay_the_executor_sequence() {
-        let q = parse(
-            "SELECT SUM(latency) WITHIN 2 FROM links, nodes \
-             WHERE from_node = node_id AND cpu_load < 0.7",
-        );
-        let (mut planned_session, mut oracle) = join_fixture();
-        let (mut exec_session, mut exec_oracle) = join_fixture();
-        let reference = exec_session.execute(&q, &mut exec_oracle).unwrap();
-
-        // Drive the plan/fetch/install loop by hand.
+    /// Drives the plan/fetch/install loop by hand, returning the final
+    /// answer, the flattened refresh sequence, and the round count.
+    fn drive_join_rounds(
+        q: &trapp_sql::Query,
+        batch: bool,
+    ) -> (crate::agg::BoundedAnswer, Vec<(String, TupleId)>, usize) {
+        let (mut s, mut oracle) = join_fixture();
+        s.config.join_batch = batch;
         let mut refreshed = Vec::new();
         let mut rounds = 0;
-        let final_answer = loop {
-            match planned_session.plan_query(&q).unwrap() {
+        let answer = loop {
+            match s.plan_query(q).unwrap() {
                 QueryPlan::Ready(QueryOutcome::Scalar(r)) => break r.answer,
                 QueryPlan::NeedsFetch(fp) => {
                     assert!(!fp.complete, "join plans are heuristic rounds");
-                    let fetch = fp.units[0].fetch.clone().unwrap();
-                    assert_eq!(fetch.tuples.len(), 1, "one tuple per join round");
-                    planned_session
-                        .refresh_tuples(&fetch.table, &fetch.tuples, &mut oracle)
-                        .unwrap();
-                    refreshed.push((fetch.table, fetch.tuples[0]));
+                    for unit in &fp.units {
+                        let fetch = unit.fetch.clone().unwrap();
+                        if !batch {
+                            assert_eq!(fetch.tuples.len(), 1, "one tuple per one-tuple round");
+                        }
+                        s.refresh_tuples(&fetch.table, &fetch.tuples, &mut oracle)
+                            .unwrap();
+                        for &tid in &fetch.tuples {
+                            refreshed.push((fetch.table.clone(), tid));
+                        }
+                    }
                     rounds += 1;
                     assert!(rounds < 100, "join rounds must converge");
                 }
                 other => panic!("unexpected plan {other:?}"),
             }
         };
-        assert_eq!(final_answer.range, reference.answer.range);
-        assert_eq!(refreshed, reference.refreshed);
+        (answer, refreshed, rounds)
+    }
+
+    /// Join lowering: heuristic rounds that, replayed against an oracle,
+    /// converge to the same refresh sequence as the locked executor loop.
+    /// With batching off each round fetches exactly one tuple (the §7
+    /// reference); with batching on the flattened per-unit sequence is
+    /// bit-identical and takes no more rounds.
+    #[test]
+    fn join_rounds_replay_the_executor_sequence() {
+        let q = parse(
+            "SELECT SUM(latency) WITHIN 2 FROM links, nodes \
+             WHERE from_node = node_id AND cpu_load < 0.7",
+        );
+        let (mut exec_session, mut exec_oracle) = join_fixture();
+        let reference = exec_session.execute(&q, &mut exec_oracle).unwrap();
+
+        let (one_answer, one_refreshed, one_rounds) = drive_join_rounds(&q, false);
+        assert_eq!(one_answer.range, reference.answer.range);
+        assert_eq!(one_refreshed, reference.refreshed);
+
+        let (batch_answer, batch_refreshed, batch_rounds) = drive_join_rounds(&q, true);
+        assert_eq!(batch_answer.range, reference.answer.range);
+        assert_eq!(
+            batch_refreshed, reference.refreshed,
+            "batched rounds must replay the one-tuple sequence exactly"
+        );
+        assert!(
+            batch_rounds <= one_rounds,
+            "batching must not add rounds ({batch_rounds} > {one_rounds})"
+        );
+    }
+
+    /// Grouped join lowering: per-group units with disjoint picks, and the
+    /// session executor refreshes exactly the planned tuples.
+    #[test]
+    fn grouped_join_lowering_plans_per_group() {
+        let q = parse(
+            "SELECT SUM(latency) WITHIN 1 FROM links, nodes \
+             WHERE from_node = node_id GROUP BY from_node",
+        );
+        let (s, _) = join_fixture();
+        let QueryPlan::NeedsFetch(fp) = s.plan_query(&q).unwrap() else {
+            panic!("tight grouped join must need fetches");
+        };
+        assert!(fp.grouped && !fp.complete);
+        // node_id values 1, 2 match from_node 1, 2 → 2 groups, key-sorted.
+        let keys: Vec<String> = fp.units.iter().map(|u| format!("{}", u.key[0])).collect();
+        assert_eq!(keys, vec!["1", "2"]);
+        // Cross-group dedupe: no tuple appears in two groups' fetches.
+        let mut seen = std::collections::HashSet::new();
+        for u in &fp.units {
+            if let Some(f) = &u.fetch {
+                for t in &f.tuples {
+                    assert!(seen.insert((f.table.clone(), *t)), "tuple planned twice");
+                }
+            }
+        }
+        // The session executor converges on the same shape.
+        let (mut s2, mut o) = join_fixture();
+        let groups = s2.execute_grouped(&q, &mut o).unwrap();
+        assert_eq!(groups.len(), 2);
+        for g in &groups {
+            assert!(g.result.satisfied, "group {:?} unsatisfied", g.key);
+            assert!(g.result.answer.width() <= 1.0);
+        }
     }
 
     /// Iterative mode is the one remaining non-plannable shape, and the

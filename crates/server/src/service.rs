@@ -116,6 +116,13 @@ pub struct ServiceConfig {
     /// bit-identical either way; `false` keeps the full-scan planner as a
     /// measurable baseline.
     pub cache_views: bool,
+    /// Plan multi-tuple join refresh rounds: each round fetches the whole
+    /// provable prefix of the one-tuple heuristic's pick sequence instead
+    /// of a single tuple, collapsing round counts (and round-trips) on
+    /// join-heavy queries. Answers, bounds, and refresh sets are
+    /// bit-identical either way; `false` keeps the §7 one-tuple-per-round
+    /// loop as a measurable baseline.
+    pub batch_join_rounds: bool,
 }
 
 impl Default for ServiceConfig {
@@ -126,6 +133,7 @@ impl Default for ServiceConfig {
             coalesce: true,
             batch_refreshes: true,
             cache_views: true,
+            batch_join_rounds: true,
         }
     }
 }
@@ -393,14 +401,21 @@ impl ServiceCore {
             // ---- Attribute and localize the fetch set ----
             let shard_count = self.router.shard_count();
             let mut work: Vec<Vec<(String, TupleId)>> = vec![Vec::new(); shard_count];
+            // A batched join round may split one unit's picks across
+            // several same-key units (one per side-run); that is still one
+            // refresh round for the unit, counted once per key.
+            let mut counted_keys: HashSet<String> = HashSet::new();
             for unit in &fp.units {
-                let entry = attr.entry(render_key(&unit.key)).or_default();
+                let rendered = render_key(&unit.key);
+                let entry = attr.entry(rendered.clone()).or_default();
                 if entry.initial.is_none() {
                     entry.initial = Some(unit.initial);
                 }
                 let Some(fetch) = &unit.fetch else { continue };
                 entry.cost += fetch.refresh_cost;
-                entry.rounds += 1;
+                if counted_keys.insert(rendered) {
+                    entry.rounds += 1;
+                }
                 for &tid in &fetch.tuples {
                     let (s, local, global) = match route {
                         Route::Single(s) => {
@@ -514,6 +529,7 @@ impl ServiceCore {
     ) -> Result<(QueryPlan, f64, usize), TrappError> {
         let mut strategy = trapp_core::SolverStrategy::default();
         let mut heuristic = IterativeHeuristic::BestRatio;
+        let mut join_batch = true;
         let mut max_join_rounds = 0usize;
         let mut partials: Vec<QueryPartial> = Vec::with_capacity(self.router.shard_count());
         let mut join_meta: Option<(BoundQuery, JoinSchemas)> = None;
@@ -530,6 +546,7 @@ impl ServiceCore {
                 let config = &cache.session().config;
                 strategy = config.strategy;
                 heuristic = config.join_heuristic;
+                join_batch = config.join_batch;
                 max_join_rounds = config.max_refresh_rounds;
                 let mut partial = cache.session().partial_query(query)?;
                 match &mut partial {
@@ -619,7 +636,7 @@ impl ServiceCore {
                 }
                 let left = merge_table_slices(lschema, lefts)?;
                 let right = merge_table_slices(rschema, rights)?;
-                plan_join_round(&bound, &left, &right, heuristic)?
+                plan_join_round(&bound, &left, &right, heuristic, join_batch)?
             }
         };
         Ok((plan, now, max_join_rounds))
@@ -897,6 +914,7 @@ pub fn default_fetch_pool_size(shards: usize) -> usize {
 fn configure_cache(cache: &mut CacheNode, config: &ServiceConfig) -> Result<(), TrappError> {
     cache.set_batch_refreshes(config.batch_refreshes);
     cache.session_mut().config.cache_views = config.cache_views;
+    cache.session_mut().config.join_batch = config.batch_join_rounds;
     if config.cache_views {
         let names: Vec<String> = cache
             .session()

@@ -20,6 +20,7 @@ fn build(w: &ServiceWorkload) -> QueryService {
             coalesce: true,
             batch_refreshes: true,
             cache_views: true,
+            batch_join_rounds: true,
         })
         .partition_by("grp")
         .table(loadgen::table());

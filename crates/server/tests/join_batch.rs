@@ -1,0 +1,270 @@
+//! Batched multi-tuple join refresh rounds vs the §7 one-tuple-per-round
+//! baseline: flipping `batch_join_rounds` must never change *what* a join
+//! query answers or refreshes — only how many planning rounds it takes.
+//!
+//! * property: for random join workloads, every answer, refresh set, and
+//!   refresh cost is bit-identical between the two modes — on the blocking
+//!   transport *and* the completion transport — while the batched mode
+//!   never takes more rounds than the baseline;
+//! * the TPC-H grouped-over-join suite scatter-gathers bit-identically on
+//!   a multi-shard service (the `merge_grouped_partials` path with
+//!   cross-shard group keys), and every served group respects the
+//!   workload's ground-truth checker.
+
+use proptest::prelude::*;
+use trapp_server::{QueryService, ServiceBuilder, ServiceConfig, ServiceReply};
+use trapp_workload::loadgen::{self, LoadConfig};
+use trapp_workload::tpch::{self, TpchClass, TpchWorkload, Truth};
+
+/// Which transport stack a service is built over.
+#[derive(Clone, Copy, Debug)]
+enum Stack {
+    /// Blocking, synchronous `DirectTransport`.
+    Blocking,
+    /// Completion-based transport over a 2-thread shared fetch pool.
+    Completion,
+}
+
+fn config(shards: usize, batch_join_rounds: bool) -> ServiceConfig {
+    ServiceConfig {
+        workers: 1,
+        shards,
+        coalesce: true,
+        batch_refreshes: true,
+        cache_views: true,
+        batch_join_rounds,
+    }
+}
+
+fn build_loadgen(
+    w: &loadgen::ServiceWorkload,
+    shards: usize,
+    stack: Stack,
+    batch_join_rounds: bool,
+) -> QueryService {
+    let mut b = ServiceBuilder::new()
+        .config(config(shards, batch_join_rounds))
+        .partition_by("grp")
+        .table(loadgen::table())
+        .table(loadgen::segments_table());
+    for r in &w.rows {
+        b = b.row("metrics", r.source, r.cells.clone());
+    }
+    for s in &w.segments {
+        b = b.row("segments", s.source, s.cells.clone());
+    }
+    match stack {
+        Stack::Blocking => b.build_direct().unwrap(),
+        Stack::Completion => b.build_completion(std::time::Duration::ZERO, 2).unwrap(),
+    }
+}
+
+fn build_tpch(w: &TpchWorkload, shards: usize, batch_join_rounds: bool) -> QueryService {
+    let mut b = ServiceBuilder::new()
+        .initial_width(1.0)
+        .config(config(shards, batch_join_rounds))
+        .partition_by("custkey")
+        .table(tpch::customer_table())
+        .table(tpch::orders_table())
+        .table(tpch::lineitem_table());
+    for (table, rows) in [
+        ("customer", &w.customer),
+        ("orders", &w.orders),
+        ("lineitem", &w.lineitem),
+    ] {
+        for r in rows {
+            b = b.row(table, r.source, r.cells.clone());
+        }
+    }
+    b.build_completion(std::time::Duration::ZERO, 2).unwrap()
+}
+
+/// Asserts the batched reply answers and refreshes exactly what the
+/// one-tuple reply did. Rounds are compared by inequality: the safe-prefix
+/// batch replays the baseline's refresh sequence, so it may only collapse
+/// rounds, never add work.
+fn assert_same_work(batched: &ServiceReply, one: &ServiceReply, context: &str) {
+    assert_eq!(
+        batched.result.answer.range, one.result.answer.range,
+        "answer for {context}"
+    );
+    assert_eq!(
+        batched.result.initial_answer.range, one.result.initial_answer.range,
+        "initial answer for {context}"
+    );
+    assert_eq!(batched.result.satisfied, one.result.satisfied, "{context}");
+    let (mut br, mut or) = (
+        batched.result.refreshed.clone(),
+        one.result.refreshed.clone(),
+    );
+    br.sort();
+    or.sort();
+    assert_eq!(br, or, "refresh sets for {context}");
+    assert_eq!(
+        batched.result.refresh_cost, one.result.refresh_cost,
+        "refresh cost for {context}"
+    );
+    assert!(
+        batched.result.rounds <= one.result.rounds,
+        "batching added rounds for {context}: {} > {}",
+        batched.result.rounds,
+        one.result.rounds
+    );
+    assert_eq!(
+        batched.groups.len(),
+        one.groups.len(),
+        "group count for {context}"
+    );
+    for (gb, go) in batched.groups.iter().zip(&one.groups) {
+        assert_eq!(gb.key, go.key, "group keys for {context}");
+        assert_eq!(
+            gb.result.answer.range, go.result.answer.range,
+            "group {:?} answer for {context}",
+            gb.key
+        );
+        assert_eq!(gb.result.satisfied, go.result.satisfied, "{context}");
+        let (mut br, mut or) = (gb.result.refreshed.clone(), go.result.refreshed.clone());
+        br.sort();
+        or.sort();
+        assert_eq!(br, or, "group {:?} refresh set for {context}", gb.key);
+        assert_eq!(
+            gb.result.refresh_cost, go.result.refresh_cost,
+            "group {:?} cost for {context}",
+            gb.key
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The satellite acceptance property: a join-heavy stream answers
+    /// bit-identically with `batch_join_rounds` on and off — same bounded
+    /// answers, same refresh sets and costs, no extra rounds — across
+    /// clock advances, shard counts, and both transport stacks.
+    #[test]
+    fn batched_join_rounds_match_one_tuple_planner(
+        seed in 0u64..1000,
+        groups in 2usize..8,
+        rows_per_group in 1usize..4,
+        sources in 1usize..4,
+        shards in 1usize..4,
+    ) {
+        let w = loadgen::generate(&LoadConfig {
+            seed,
+            groups,
+            rows_per_group,
+            sources,
+            queries: 12,
+            global_fraction: 0.25,
+            join_fraction: 0.7,
+            ..LoadConfig::default()
+        });
+        for stack in [Stack::Blocking, Stack::Completion] {
+            let batched = build_loadgen(&w, shards, stack, true);
+            let one = build_loadgen(&w, shards, stack, false);
+            for (i, q) in w.queries.iter().enumerate() {
+                if i % 4 == 0 {
+                    batched.advance_clock(25.0);
+                    one.advance_clock(25.0);
+                }
+                let a = batched.query(&q.sql).unwrap();
+                let b = one.query(&q.sql).unwrap();
+                assert_same_work(
+                    &a,
+                    &b,
+                    &format!("query {i}: {} (shards={shards}, {stack:?})", q.sql),
+                );
+            }
+        }
+    }
+}
+
+/// TPC-H join queries on a 3-shard completion service: batched and
+/// one-tuple modes agree bit-for-bit, and the batched mode strictly
+/// collapses rounds on at least one query (the tentpole's reason to
+/// exist — without it the 100k+ scaling tiers pay one full planning pass
+/// per refreshed tuple).
+#[test]
+fn tpch_join_suite_agrees_across_modes_and_collapses_rounds() {
+    let w = tpch::generate(&tpch::TpchConfig {
+        seed: 31,
+        total_rows: 1_600,
+        sources: 4,
+        queries: 12,
+        class_weights: [0, 1, 1, 0], // join_agg + join_group only
+        ..tpch::TpchConfig::default()
+    });
+    let batched = build_tpch(&w, 3, true);
+    let one = build_tpch(&w, 3, false);
+    let mut collapsed = false;
+    for q in &w.queries {
+        batched.advance_clock(1.0);
+        one.advance_clock(1.0);
+        let a = batched.query(&q.sql).unwrap();
+        let b = one.query(&q.sql).unwrap();
+        assert_same_work(&a, &b, &q.sql);
+        collapsed |= a.result.rounds < b.result.rounds;
+    }
+    assert!(
+        collapsed,
+        "no query collapsed any rounds — the batch planner never engaged"
+    );
+}
+
+/// Grouped-over-join scatter-gather (satellite: `merge_grouped_partials`
+/// with cross-shard keys): the TPC-H `join_group` class runs on 1-shard
+/// and 4-shard services with bit-identical per-group answers, and every
+/// served group passes the workload's engine-independent checker.
+#[test]
+fn grouped_join_scatter_matches_single_shard_and_ground_truth() {
+    let w = tpch::generate(&tpch::TpchConfig {
+        seed: 47,
+        total_rows: 1_600,
+        sources: 4,
+        queries: 10,
+        class_weights: [0, 0, 1, 0], // join_group only
+        ..tpch::TpchConfig::default()
+    });
+    assert!(!w.queries.is_empty());
+    let single = build_tpch(&w, 1, true);
+    let sharded = build_tpch(&w, 4, true);
+    for q in &w.queries {
+        single.advance_clock(1.0);
+        sharded.advance_clock(1.0);
+        let a = single.query(&q.sql).unwrap();
+        let b = sharded.query(&q.sql).unwrap();
+        assert_eq!(a.groups.len(), b.groups.len(), "group count for {}", q.sql);
+        for (ga, gb) in a.groups.iter().zip(&b.groups) {
+            assert_eq!(ga.key, gb.key, "group keys for {}", q.sql);
+            assert_eq!(
+                ga.result.answer.range, gb.result.answer.range,
+                "group {:?} answer for {}",
+                ga.key, q.sql
+            );
+            assert_eq!(ga.result.satisfied, gb.result.satisfied, "{}", q.sql);
+        }
+        // Every group the sharded service serves must be satisfied and
+        // pass the workload checker (truth groups contained, extra
+        // groups containing the empty aggregate).
+        let served: Vec<(i64, f64, f64)> = b
+            .groups
+            .iter()
+            .map(|g| {
+                let trapp_types::Value::Int(k) = g.key[0] else {
+                    panic!("int group key expected for {}", q.sql)
+                };
+                assert!(g.result.satisfied, "{}: group {k} unsatisfied", q.sql);
+                (k, g.result.answer.range.lo(), g.result.answer.range.hi())
+            })
+            .collect();
+        assert!(matches!(q.truth, Truth::Groups(_)), "{}", q.sql);
+        assert_eq!(
+            tpch::group_violations(q, &served),
+            0,
+            "{}: served groups violate ground truth",
+            q.sql
+        );
+        assert_eq!(q.class, TpchClass::JoinGroup);
+    }
+}

@@ -61,6 +61,7 @@ fn sequential_service_is_bit_identical_to_simulation() {
             coalesce: true,
             batch_refreshes: true,
             cache_views: true,
+            batch_join_rounds: true,
         },
     );
 
@@ -106,6 +107,7 @@ fn eight_concurrent_clients_get_correct_bounded_answers() {
             coalesce: true,
             batch_refreshes: true,
             cache_views: true,
+            batch_join_rounds: true,
         },
     );
     service.advance_clock(25.0);
@@ -160,6 +162,7 @@ fn overlapping_concurrent_queries_share_refreshes() {
                 coalesce,
                 batch_refreshes: true,
                 cache_views: true,
+                batch_join_rounds: true,
             },
         );
         service.advance_clock(25.0);
@@ -214,6 +217,7 @@ fn coalescing_saves_refreshes_under_latency() {
             coalesce: true,
             batch_refreshes: true,
             cache_views: true,
+            batch_join_rounds: true,
         })
         .table(loadgen::table());
     for r in &w.rows {

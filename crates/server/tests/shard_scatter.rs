@@ -36,6 +36,7 @@ fn build_on(w: &ServiceWorkload, shards: usize, workers: usize, stack: Stack) ->
             coalesce: true,
             batch_refreshes: true,
             cache_views: true,
+            batch_join_rounds: true,
         })
         .partition_by("grp")
         .table(loadgen::table());

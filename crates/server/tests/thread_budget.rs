@@ -48,6 +48,7 @@ fn builder(w: &ServiceWorkload) -> ServiceBuilder {
             coalesce: true,
             batch_refreshes: true,
             cache_views: true,
+            batch_join_rounds: true,
         })
         .partition_by("grp")
         .table(loadgen::table());

@@ -27,6 +27,7 @@ fn build(w: &ServiceWorkload, shards: usize, views: bool, stack: Stack) -> Query
             coalesce: true,
             batch_refreshes: true,
             cache_views: views,
+            batch_join_rounds: true,
         })
         .partition_by("grp")
         .table(loadgen::table());

@@ -15,7 +15,12 @@
 //!   driving `trapp-system` simulations;
 //! * [`loadgen`] — the closed-loop serving workload for `trapp-server`:
 //!   zipfian group popularity, mixed COUNT/SUM/AVG/MIN templates, and a
-//!   configurable precision-constraint mix.
+//!   configurable precision-constraint mix;
+//! * [`tpch`] — a TPC-H-derived three-table scenario (customer / orders /
+//!   lineitem at realistic cardinality ratios) with multi-way joins,
+//!   nested AND/OR predicates, grouped aggregates over join results, and
+//!   engine-independent exact ground-truth checkers, sized for 100k–1M
+//!   row scaling studies.
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
@@ -24,3 +29,4 @@ pub mod figure2;
 pub mod loadgen;
 pub mod netmon;
 pub mod stocks;
+pub mod tpch;
