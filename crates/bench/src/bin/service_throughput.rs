@@ -1,5 +1,5 @@
 //! Throughput / latency / round-trip benchmark for the `trapp-server`
-//! query service, in six parts:
+//! query service, in eight parts:
 //!
 //! 1. **traffic mechanisms** (single shard): per-object baseline vs
 //!    batched source round-trips vs batching + refresh coalescing;
@@ -35,7 +35,19 @@
 //!    fetched tuples, p50/p99 latency, ground-truth violations), plus a
 //!    join-round duel pitting the batched multi-tuple join planner
 //!    against the §7 one-tuple-per-round baseline
-//!    (`batch_join_rounds = false`) on the same queries.
+//!    (`batch_join_rounds = false`) on the same queries;
+//! 8. **availability**: the churn workload under a deterministic
+//!    [`ChaosTransport`] schedule — one of the sources failing each
+//!    refresh op with p = 0.2, plus a scripted 500 ms wall-clock outage
+//!    of that source mid-churn — served best-effort on both the blocking
+//!    and completion transports. Reports qps, p99 latency, the degraded
+//!    fraction, the mean achieved width of degraded answers, and the
+//!    fraction of post-outage queries back at full precision; every
+//!    answer (degraded or not) is still checked against the churn
+//!    envelope, so a bound violation fails the run exactly as in the
+//!    fault-free parts.
+//!
+//! [`ChaosTransport`]: trapp_system::ChaosTransport
 //!
 //! Eight closed-loop clients drive the service over transports with
 //! simulated per-round-trip latency; the stream is split into bursts with
@@ -61,8 +73,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use trapp_bench::json::Json;
 use trapp_bench::tablefmt;
-use trapp_server::{QueryService, ServiceBuilder, ServiceConfig};
-use trapp_types::{ObjectId, Value};
+use trapp_server::{DegradationPolicy, QueryService, ServiceBuilder, ServiceConfig};
+use trapp_system::ChaosConfig;
+use trapp_types::{ObjectId, SourceId, Value};
 use trapp_workload::loadgen::{self, LoadConfig, QueryShape, ServiceWorkload};
 use trapp_workload::tpch::{self, TpchClass, TpchWorkload, Truth};
 
@@ -96,11 +109,23 @@ fn build_service(
     config: ServiceConfig,
     transport: TransportKind,
 ) -> QueryService {
+    build_service_with(w, config, transport, None)
+}
+
+fn build_service_with(
+    w: &ServiceWorkload,
+    config: ServiceConfig,
+    transport: TransportKind,
+    chaos: Option<ChaosConfig>,
+) -> QueryService {
     let mut b = ServiceBuilder::new()
         .initial_width(1.0)
         .config(config)
         .partition_by("grp")
         .table(loadgen::table());
+    if let Some(cfg) = chaos {
+        b = b.chaos(cfg);
+    }
     if !w.segments.is_empty() {
         b = b.table(loadgen::segments_table());
     }
@@ -413,6 +438,303 @@ fn run_json(r: &RunResult) -> Json {
     ])
 }
 
+/// Wall-clock length of part 8's scripted mid-churn outage.
+const AVAIL_OUTAGE: Duration = Duration::from_millis(500);
+
+/// One availability run's numbers (part 8).
+struct AvailabilityResult {
+    label: String,
+    transport: &'static str,
+    shards: usize,
+    wall: Duration,
+    latencies_us: Vec<f64>,
+    queries: u64,
+    errors: u64,
+    degraded: u64,
+    /// Sum of [`DegradedInfo::achieved_width`] over degraded replies.
+    ///
+    /// [`DegradedInfo::achieved_width`]: trapp_server::DegradedInfo
+    width_sum: f64,
+    injected: u64,
+    chaos_ops: u64,
+    recovered: usize,
+    recovery_probes: usize,
+    violations: usize,
+}
+
+impl AvailabilityResult {
+    fn qps(&self) -> f64 {
+        self.queries as f64 / self.wall.as_secs_f64()
+    }
+    fn degraded_fraction(&self) -> f64 {
+        self.degraded as f64 / self.queries.max(1) as f64
+    }
+    fn mean_achieved_width(&self) -> f64 {
+        if self.degraded == 0 {
+            0.0
+        } else {
+            self.width_sum / self.degraded as f64
+        }
+    }
+    fn recovered_fraction(&self) -> f64 {
+        self.recovered as f64 / self.recovery_probes.max(1) as f64
+    }
+}
+
+/// Part 8's churn loop: the query stream races the update stream while a
+/// seeded chaos schedule fails one source's refresh ops with p = 0.2 and
+/// a driver thread scripts a [`AVAIL_OUTAGE`] hard outage of that source
+/// mid-run. Served best-effort: errors are counted (and fail the run —
+/// best-effort must never error), degraded replies are counted and their
+/// achieved widths averaged, and *every* reply is checked against the
+/// churn envelope — a degraded bound is wider, never wrong. After the
+/// bursts (outage over, breaker cooldown elapsed) a probe phase measures
+/// what fraction of queries are back at full precision.
+fn run_availability(
+    label: impl Into<String>,
+    w: &ServiceWorkload,
+    shards: usize,
+    transport: TransportKind,
+    update_rate: u64,
+    quick: bool,
+) -> AvailabilityResult {
+    let faulty = SourceId::new(1);
+    let config = ServiceConfig {
+        workers: CLIENTS,
+        shards,
+        degradation: DegradationPolicy::BestEffort,
+        // One extra retry over the default: the probe phase measures
+        // recovery *through* the residual p = 0.2 flakiness.
+        retry: trapp_server::RetryPolicy {
+            max_retries: 3,
+            ..trapp_server::RetryPolicy::default()
+        },
+        ..ServiceConfig::default()
+    };
+    let service = build_service_with(
+        w,
+        config,
+        transport,
+        Some(ChaosConfig {
+            seed: w.config.seed ^ 0xC4A0,
+            fail_p: vec![(faulty, 0.2)],
+            ..ChaosConfig::default()
+        }),
+    );
+    let control = service
+        .chaos_control()
+        .expect("availability run is built with chaos")
+        .clone();
+
+    let latencies = Mutex::new(Vec::with_capacity(w.queries.len()));
+    let violations = Mutex::new(0usize);
+    let errors = Mutex::new(0u64);
+    let degraded = Mutex::new((0u64, 0.0f64)); // (count, achieved-width sum)
+    let churn = Mutex::new(ChurnState::new(w));
+    let mut outage: Option<std::thread::JoinHandle<()>> = None;
+    let started = Instant::now();
+
+    let burst_len = w.queries.len().div_ceil(BURSTS);
+    for (burst_idx, burst) in w.queries.chunks(burst_len).enumerate() {
+        service.advance_clock(25.0);
+        churn.lock().unwrap().reset_envelope();
+        if burst_idx == BURSTS / 2 {
+            // The scripted outage: a detached driver takes the flaky
+            // source hard down mid-churn and restores it 500 ms later,
+            // racing the remaining bursts.
+            let control = control.clone();
+            control.force_down(faulty);
+            outage = Some(std::thread::spawn(move || {
+                std::thread::sleep(AVAIL_OUTAGE);
+                control.restore(faulty);
+            }));
+        }
+        let per_client = burst.len().div_ceil(CLIENTS);
+        let (service, latencies, violations, errors, degraded, churn) = (
+            &service,
+            &latencies,
+            &violations,
+            &errors,
+            &degraded,
+            &churn,
+        );
+        std::thread::scope(|s| {
+            if update_rate > 0 {
+                s.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(w.config.seed ^ ((burst_idx as u64) << 17));
+                    let (lo, hi) = w.config.value_range;
+                    let step = (hi - lo) * 0.1;
+                    let mut remaining = update_rate as usize;
+                    while remaining > 0 {
+                        let n = remaining.min(UPDATE_BATCH);
+                        remaining -= n;
+                        let batch: Vec<(ObjectId, f64)> = {
+                            let mut state = churn.lock().unwrap();
+                            (0..n)
+                                .map(|_| {
+                                    let row = rng.gen_range(0..w.rows.len());
+                                    let (cur, env_lo, env_hi) = &mut state.rows[row];
+                                    *cur = (*cur + rng.gen_range(-step..=step)).clamp(lo, hi);
+                                    *env_lo = env_lo.min(*cur);
+                                    *env_hi = env_hi.max(*cur);
+                                    (ObjectId::new(row as u64 + 1), *cur)
+                                })
+                                .collect()
+                        };
+                        // The update plane is chaos-exempt: masters keep
+                        // moving while the pull path is under fault load.
+                        service.apply_update_batch(&batch).expect("updates route");
+                        std::thread::sleep(Duration::from_micros(50 * n as u64));
+                    }
+                });
+            }
+            for chunk in burst.chunks(per_client) {
+                s.spawn(move || {
+                    for q in chunk {
+                        let t0 = Instant::now();
+                        let reply = match service.query(&q.sql) {
+                            Ok(reply) => reply,
+                            Err(_) => {
+                                // Best-effort must degrade, never refuse.
+                                *errors.lock().unwrap() += 1;
+                                continue;
+                            }
+                        };
+                        let us = t0.elapsed().as_secs_f64() * 1e6;
+                        latencies.lock().unwrap().push(us);
+                        if let Some(d) = &reply.degraded {
+                            let mut deg = degraded.lock().unwrap();
+                            deg.0 += 1;
+                            deg.1 += d.achieved_width;
+                        }
+                        let range = reply.result.answer.range;
+                        let env = churn.lock().unwrap().envelope();
+                        let (lo, hi) = loadgen::ground_truth_bounds(w, q, &env);
+                        if !(range.hi() >= lo - 1e-9 && range.lo() <= hi + 1e-9) {
+                            *violations.lock().unwrap() += 1;
+                        }
+                    }
+                });
+            }
+        });
+    }
+    let wall = started.elapsed();
+    if let Some(h) = outage {
+        h.join().expect("outage driver");
+    }
+
+    // Recovery: outage over; give every shard's breaker its cooldown,
+    // then measure how many queries come back at full precision through
+    // the residual flakiness.
+    std::thread::sleep(config.health.cooldown + Duration::from_millis(50));
+    let recovery_probes = if quick { 40 } else { 100 };
+    let mut recovered = 0usize;
+    for i in 0..recovery_probes {
+        service.advance_clock(25.0);
+        let g = i % w.config.groups;
+        let reply = service
+            .query(format!(
+                "SELECT SUM(load) WITHIN 0.5 FROM metrics WHERE grp = {g}"
+            ))
+            .expect("recovery probe runs");
+        if reply.result.satisfied && reply.degraded.is_none() {
+            recovered += 1;
+        }
+    }
+
+    let stats = service.stats();
+    let (chaos_ops, injected) = (control.ops(), control.injected_failures());
+    service.shutdown();
+    let (degraded, width_sum) = degraded.into_inner().unwrap();
+    AvailabilityResult {
+        label: label.into(),
+        transport: transport.name(),
+        shards,
+        wall,
+        latencies_us: latencies.into_inner().unwrap(),
+        queries: stats.queries,
+        errors: errors.into_inner().unwrap(),
+        degraded,
+        width_sum,
+        injected,
+        chaos_ops,
+        recovered,
+        recovery_probes,
+        violations: violations.into_inner().unwrap(),
+    }
+}
+
+fn render_availability(title: &str, runs: &[AvailabilityResult]) -> usize {
+    let mut rows = Vec::new();
+    let mut total = 0;
+    for r in runs {
+        let mut sorted = r.latencies_us.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        rows.push(vec![
+            r.label.clone(),
+            tablefmt::num(r.wall.as_secs_f64() * 1e3, 1),
+            tablefmt::num(r.qps(), 0),
+            tablefmt::num(percentile(&sorted, 0.5), 0),
+            tablefmt::num(percentile(&sorted, 0.99), 0),
+            r.errors.to_string(),
+            r.degraded.to_string(),
+            tablefmt::num(r.degraded_fraction() * 100.0, 1),
+            tablefmt::num(r.mean_achieved_width(), 2),
+            r.injected.to_string(),
+            tablefmt::num(r.recovered_fraction() * 100.0, 1),
+            r.violations.to_string(),
+        ]);
+        // Errors fail the run: best-effort service must never refuse.
+        total += r.violations + r.errors as usize;
+    }
+    println!("{title}");
+    println!(
+        "{}",
+        tablefmt::render(
+            &[
+                "config",
+                "wall ms",
+                "qps",
+                "p50 µs",
+                "p99 µs",
+                "errors",
+                "degraded",
+                "degr %",
+                "mean width",
+                "injected",
+                "recovered %",
+                "violations",
+            ],
+            &rows,
+        )
+    );
+    total
+}
+
+fn availability_json(r: &AvailabilityResult) -> Json {
+    let mut sorted = r.latencies_us.clone();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    Json::obj([
+        ("label", Json::str(r.label.clone())),
+        ("transport", Json::str(r.transport)),
+        ("shards", Json::Num(r.shards as f64)),
+        ("wall_ms", Json::Num(r.wall.as_secs_f64() * 1e3)),
+        ("qps", Json::Num(r.qps())),
+        ("p50_us", Json::Num(percentile(&sorted, 0.5))),
+        ("p99_us", Json::Num(percentile(&sorted, 0.99))),
+        ("queries", Json::Num(r.queries as f64)),
+        ("errors", Json::Num(r.errors as f64)),
+        ("degraded", Json::Num(r.degraded as f64)),
+        ("degraded_fraction", Json::Num(r.degraded_fraction())),
+        ("mean_achieved_width", Json::Num(r.mean_achieved_width())),
+        ("chaos_ops", Json::Num(r.chaos_ops as f64)),
+        ("injected_failures", Json::Num(r.injected as f64)),
+        ("recovered_fraction", Json::Num(r.recovered_fraction())),
+        ("recovery_probes", Json::Num(r.recovery_probes as f64)),
+        ("violations", Json::Num(r.violations as f64)),
+    ])
+}
+
 fn build_tpch_service(
     w: &TpchWorkload,
     shards: usize,
@@ -428,6 +750,7 @@ fn build_tpch_service(
             batch_refreshes: true,
             cache_views: true,
             batch_join_rounds,
+            ..ServiceConfig::default()
         })
         // customer and orders co-partition on the customer key; lineitem
         // has no such column, so its rows hash-place by tuple id and
@@ -778,6 +1101,7 @@ fn main() {
         batch_refreshes,
         cache_views: true,
         batch_join_rounds: true,
+        ..ServiceConfig::default()
     };
     let mechanisms = [
         run(
@@ -836,6 +1160,7 @@ fn main() {
         batch_refreshes: true,
         cache_views: true,
         batch_join_rounds: true,
+        ..ServiceConfig::default()
     };
     let scaling: Vec<RunResult> = cli
         .shards
@@ -1070,6 +1395,7 @@ fn main() {
             batch_refreshes: true,
             cache_views,
             batch_join_rounds: true,
+            ..ServiceConfig::default()
         };
         let pair = [
             run(
@@ -1210,6 +1536,60 @@ fn main() {
         ("entries", Json::Arr(tpch_entries)),
         ("join_round_duel", Json::Arr(duel_entries)),
     ]));
+
+    // Part 8: availability — churn under a seeded chaos schedule (one of
+    // the sources failing refresh ops with p = 0.2) plus a scripted
+    // 500 ms hard outage of that source mid-run, best-effort on both
+    // transport stacks.
+    {
+        let avail_config = LoadConfig {
+            seed: 801,
+            groups: 16,
+            rows_per_group: 4,
+            sources: 8,
+            queries: if cli.quick { 96 } else { 256 },
+            global_fraction: 0.3,
+            ..LoadConfig::default()
+        };
+        let aw = loadgen::generate(&avail_config);
+        let avail_shards = max_shards.min(4);
+        eprintln!(
+            "\navailability workload: {} rows, {} sources (source 1 flaky at p=0.2 + {:?} outage), \
+             {} queries, {} shards, best-effort",
+            aw.rows.len(),
+            avail_config.sources,
+            AVAIL_OUTAGE,
+            aw.queries.len(),
+            avail_shards,
+        );
+        let availability: Vec<AvailabilityResult> = [
+            TransportKind::Channel,
+            TransportKind::Completion { pool: cli.pool },
+        ]
+        .into_iter()
+        .map(|transport| {
+            run_availability(
+                format!("{} best-effort", transport.name()),
+                &aw,
+                avail_shards,
+                transport,
+                cli.update_rate,
+                cli.quick,
+            )
+        })
+        .collect();
+        println!();
+        total_violations += render_availability("availability under faults:", &availability);
+        sections.push(Json::obj([
+            ("title", Json::str("availability")),
+            ("fail_p", Json::Num(0.2)),
+            ("outage_ms", Json::Num(AVAIL_OUTAGE.as_millis() as f64)),
+            (
+                "entries",
+                Json::Arr(availability.iter().map(availability_json).collect()),
+            ),
+        ]));
+    }
 
     println!("bounded-answer violations: {total_violations}");
 

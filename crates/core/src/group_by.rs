@@ -97,6 +97,7 @@ impl QuerySession {
                 self.catalog().table(&right)?,
                 self.config.join_heuristic,
                 self.config.join_batch,
+                &crate::query_plan::Exclusions::default(),
             )?;
             match plan {
                 QueryPlan::Ready(QueryOutcome::Grouped(mut groups)) => {

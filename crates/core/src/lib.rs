@@ -56,6 +56,10 @@ pub use group_by::{GroupKey, GroupResult};
 pub use merge::{merge_grouped_partials, merge_partials, merge_table_slices, ShardPartial};
 pub use plan::BoundQuery;
 pub use query_plan::{
-    FetchPlan, JoinPartial, QueryOutcome, QueryPartial, QueryPlan, TableSlice, UnitFetch, UnitState,
+    Exclusions, FetchPlan, JoinPartial, QueryOutcome, QueryPartial, QueryPlan, TableSlice,
+    UnitFetch, UnitState,
 };
-pub use refresh::{choose_refresh, choose_refresh_probed, PlanProbe, RefreshPlan, SolverStrategy};
+pub use refresh::{
+    choose_refresh, choose_refresh_available, choose_refresh_probed, AvailablePlan, PlanProbe,
+    RefreshPlan, SolverStrategy,
+};

@@ -42,7 +42,8 @@
 //! merged *inputs* (never from per-shard answers) is what keeps sharded
 //! answers bit-equivalent to the single-cache answers.
 
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::OnceLock;
 
 use trapp_sql::Query;
 use trapp_storage::Table;
@@ -54,8 +55,57 @@ use crate::group_by::{group_partitions, render_key, GroupKey, GroupResult};
 use crate::merge::ShardPartial;
 use crate::plan::{bind_query, BoundQuery, QuerySource};
 use crate::refresh::iterative::IterativeHeuristic;
-use crate::refresh::join::{build_join_input, join_refresh_batch, next_join_refresh, JoinSide};
-use crate::refresh::{choose_refresh_probed, PlanProbe, SolverStrategy};
+use crate::refresh::join::{build_join_input, join_refresh_batch_excluding, JoinSide};
+use crate::refresh::{choose_refresh_available, choose_refresh_probed, PlanProbe, SolverStrategy};
+
+/// Tuples the planner must not schedule for refresh, keyed by table —
+/// typically because their backing source is dark (circuit breaker open,
+/// or it already failed this query). Planners handed a non-empty set run
+/// the exclusion-aware CHOOSE_REFRESH variants, which pick the cheapest
+/// refresh set over *available* tuples and report whether the precision
+/// constraint is still guaranteeable ([`UnitState::degraded`]).
+#[derive(Clone, Debug, Default)]
+pub struct Exclusions {
+    by_table: HashMap<String, HashSet<TupleId>>,
+}
+
+impl Exclusions {
+    /// `true` when no tuple is excluded anywhere — planning is then
+    /// bit-identical to the exclusion-free paths.
+    pub fn is_empty(&self) -> bool {
+        self.by_table.values().all(HashSet::is_empty)
+    }
+
+    /// Marks one tuple of `table` as unavailable.
+    pub fn insert(&mut self, table: &str, tid: TupleId) {
+        self.by_table
+            .entry(table.to_owned())
+            .or_default()
+            .insert(tid);
+    }
+
+    /// Marks a batch of `table`'s tuples as unavailable.
+    pub fn extend(&mut self, table: &str, tids: impl IntoIterator<Item = TupleId>) {
+        self.by_table
+            .entry(table.to_owned())
+            .or_default()
+            .extend(tids);
+    }
+
+    /// The excluded tuples of `table` (the shared empty set when none).
+    pub fn for_table(&self, table: &str) -> &HashSet<TupleId> {
+        self.by_table
+            .get(table)
+            .unwrap_or_else(|| empty_tuple_set())
+    }
+}
+
+/// The shared empty exclusion set (`&'static` so lookups can hand out a
+/// reference without holding storage per [`Exclusions`]).
+fn empty_tuple_set() -> &'static HashSet<TupleId> {
+    static EMPTY: OnceLock<HashSet<TupleId>> = OnceLock::new();
+    EMPTY.get_or_init(HashSet::new)
+}
 
 /// The complete result(s) of one query: a single bounded answer, or one
 /// per group for `GROUP BY` queries (key-sorted).
@@ -91,6 +141,12 @@ pub struct UnitState {
     /// [`UnitState::fetch`]` = None` means no refresh can help further
     /// (e.g. MEDIAN's conservative plan under cardinality slack).
     pub satisfied: bool,
+    /// `true` when the constraint cannot be guaranteed by refreshing
+    /// *available* tuples only — some tuple every sufficient refresh set
+    /// needs is excluded (dark source). The fetch, if any, is then the
+    /// best-effort maximal narrowing over available tuples. Always `false`
+    /// when planning without [`Exclusions`].
+    pub degraded: bool,
     /// The refresh set that will satisfy the constraint (`None` when
     /// satisfied or when no refresh can help).
     pub fetch: Option<UnitFetch>,
@@ -185,6 +241,13 @@ pub enum QueryPartial {
 /// `probe`s) and sharded serving layers (merged inputs, `probe = None`)
 /// — both derive bit-identical plans either way (the probed planners
 /// reproduce the scan planners exactly).
+///
+/// `excluded` names tuples of `table` that cannot be refreshed (dark
+/// sources): with a non-empty set the unit is planned by the
+/// exclusion-aware CHOOSE_REFRESH variants (index probes do not apply)
+/// and [`UnitState::degraded`] reports whether the constraint is still
+/// guaranteeable over available tuples.
+#[allow(clippy::too_many_arguments)]
 pub fn plan_unit(
     agg: Aggregate,
     within: Option<f64>,
@@ -193,6 +256,7 @@ pub fn plan_unit(
     key: GroupKey,
     input: &AggInput,
     probe: Option<&PlanProbe<'_>>,
+    excluded: &HashSet<TupleId>,
 ) -> Result<UnitState, TrappError> {
     let initial = bounded_answer(agg, input)?;
     if initial.satisfies(within) {
@@ -200,17 +264,25 @@ pub fn plan_unit(
             key,
             initial,
             satisfied: true,
+            degraded: false,
             fetch: None,
         });
     }
     let r = within.expect("unsatisfied implies finite R");
-    let plan = choose_refresh_probed(agg, input, r, strategy, probe)?;
+    let (plan, achievable) = if excluded.is_empty() {
+        (choose_refresh_probed(agg, input, r, strategy, probe)?, true)
+    } else {
+        let available = choose_refresh_available(agg, input, r, strategy, excluded)?;
+        (available.plan, available.achievable)
+    };
     if plan.tuples.is_empty() {
-        // No refresh can help further (e.g. cardinality slack).
+        // No refresh can help further (e.g. cardinality slack, or every
+        // useful tuple sits on a dark source).
         return Ok(UnitState {
             key,
             initial,
             satisfied: false,
+            degraded: !achievable,
             fetch: None,
         });
     }
@@ -218,6 +290,7 @@ pub fn plan_unit(
         key,
         initial,
         satisfied: false,
+        degraded: !achievable,
         fetch: Some(UnitFetch {
             table: table.to_owned(),
             tuples: plan.tuples,
@@ -276,19 +349,25 @@ pub fn units_outcome(units: &[UnitState], grouped: bool) -> QueryOutcome {
 ///
 /// With `batch = true`, each round carries the whole provable prefix of
 /// the sequential pick order
-/// ([`join_refresh_batch`]),
+/// ([`crate::refresh::join::join_refresh_batch`]),
 /// collapsing round counts without changing any answer; `batch = false`
 /// keeps the §7 one-tuple-per-round baseline. A `GROUP BY` bound query
 /// partitions the joined pairs by group key and plans every group's round
 /// in one pass; a base tuple picked by several groups is fetched once
 /// (first group in key order wins — later groups re-plan against the
 /// already-pinned cells next round).
+///
+/// `exclusions` removes dark-source base tuples from the candidate pool
+/// on both sides; rounds then pick the best *available* refreshes and a
+/// serving layer detects degradation when the final answer stays
+/// unsatisfied with exclusions in force.
 pub fn plan_join_round(
     bound: &BoundQuery,
     left: &Table,
     right: &Table,
     heuristic: IterativeHeuristic,
     batch: bool,
+    exclusions: &Exclusions,
 ) -> Result<QueryPlan, TrappError> {
     let QuerySource::Join {
         left: lname,
@@ -309,16 +388,25 @@ pub fn plan_join_round(
 
     // The sequential-order pick list for one unit's join input: the whole
     // provable prefix when batching, the heuristic argmax otherwise.
+    // Excluded tuples never enter the candidate pool on either side.
+    let (lex, rex) = (exclusions.for_table(lname), exclusions.for_table(rname));
     let picks_for = |unit: &crate::refresh::join::JoinInput,
                      answer: &BoundedAnswer|
      -> Vec<(JoinSide, TupleId)> {
-        if batch {
-            let deficit = answer.width() - bound.within.unwrap_or(f64::INFINITY);
-            join_refresh_batch(unit, left, right, bound.agg, heuristic, deficit)
+        // Deficit 0 makes the batch walk stop after the heuristic's
+        // argmax — exactly the one-tuple round.
+        let deficit = if batch {
+            answer.width() - bound.within.unwrap_or(f64::INFINITY)
         } else {
-            next_join_refresh(unit, left, right, bound.agg, heuristic)
-                .into_iter()
-                .collect()
+            0.0
+        };
+        let picks = join_refresh_batch_excluding(
+            unit, left, right, bound.agg, heuristic, deficit, lex, rex,
+        );
+        if batch {
+            picks
+        } else {
+            picks.into_iter().take(1).collect()
         }
     };
     // Consecutive same-side picks share one fetch unit, so the flattened
@@ -343,6 +431,7 @@ pub fn plan_join_round(
                     key: key.clone(),
                     initial,
                     satisfied: false,
+                    degraded: false,
                     fetch: Some(UnitFetch {
                         table: table.to_owned(),
                         tuples: vec![tid],
@@ -426,6 +515,7 @@ pub fn plan_join_round(
                 key: key.clone(),
                 initial: answer,
                 satisfied,
+                degraded: false,
                 fetch: None,
             });
         } else {
@@ -466,6 +556,20 @@ impl QuerySession {
     /// between, while join plans are heuristic single-tuple rounds that
     /// converge over several iterations.
     pub fn plan_query(&self, query: &Query) -> Result<QueryPlan, TrappError> {
+        self.plan_query_excluding(query, &Exclusions::default())
+    }
+
+    /// [`QuerySession::plan_query`] with dark-source tuples removed from
+    /// every CHOOSE_REFRESH candidate pool. With `exclusions` empty this
+    /// is bit-identical to [`QuerySession::plan_query`]; otherwise units
+    /// are planned over *available* tuples only and report
+    /// [`UnitState::degraded`] when the constraint is no longer
+    /// guaranteeable.
+    pub fn plan_query_excluding(
+        &self,
+        query: &Query,
+        exclusions: &Exclusions,
+    ) -> Result<QueryPlan, TrappError> {
         if !matches!(self.config.mode, ExecutionMode::Batch) {
             return Ok(QueryPlan::Iterative);
         }
@@ -486,6 +590,7 @@ impl QuerySession {
                         Vec::new(),
                         input,
                         probe.as_ref(),
+                        exclusions.for_table(name),
                     )
                 };
                 let unit = if self.config.cache_views {
@@ -521,6 +626,7 @@ impl QuerySession {
                         key,
                         input,
                         probe.as_ref(),
+                        exclusions.for_table(name),
                     )
                 };
                 let mut units = Vec::new();
@@ -552,6 +658,7 @@ impl QuerySession {
                 self.catalog().table(right)?,
                 self.config.join_heuristic,
                 self.config.join_batch,
+                exclusions,
             ),
         }
     }

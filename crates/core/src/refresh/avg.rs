@@ -21,7 +21,7 @@ use trapp_types::{TrappError, TupleId};
 use crate::agg::sum::{bounded_sum, sum_weight};
 use crate::agg::AggInput;
 
-use super::sum::solve_keep_set;
+use super::sum::{solve_keep_set, solve_keep_set_excluding};
 use super::{RefreshPlan, SolverStrategy};
 
 /// CHOOSE_REFRESH for AVG.
@@ -50,10 +50,18 @@ pub fn choose_refresh_avg(
         return Ok(RefreshPlan::from_tuples(input, tuples));
     }
 
+    let (weights, capacity) = appendix_f_weights(input, r);
+    solve_keep_set(input, &weights, capacity, strategy)
+}
+
+/// The Appendix-F weight vector and capacity for the mixed SUM/COUNT case
+/// (`plus_count > 0`, `question_count > 0`), shared by the full and
+/// exclusion-aware planners.
+fn appendix_f_weights(input: &AggInput, r: f64) -> (Vec<f64>, f64) {
     // Conservative SUM/COUNT estimates over current bounds.
     let sum = bounded_sum(input);
     let (l_sum, h_sum) = (sum.lo(), sum.hi());
-    let l_count = plus_count as f64;
+    let l_count = input.plus_count() as f64;
     let spread = h_sum.max(-l_sum).max(h_sum - l_sum);
     let slope = spread / l_count - r;
 
@@ -71,8 +79,67 @@ pub fn choose_refresh_avg(
             }
         })
         .collect();
-    let capacity = l_count * r;
-    solve_keep_set(input, &weights, capacity, strategy)
+    (weights, l_count * r)
+}
+
+/// [`choose_refresh_avg`] over *available* tuples only (tuples in
+/// `excluded` cannot be refreshed). Returns the plan plus an `achievable`
+/// flag: `false` means no available refresh set can guarantee the
+/// constraint — the returned plan is then the best-effort maximal
+/// narrowing over available tuples.
+pub(crate) fn choose_refresh_avg_excluding(
+    input: &AggInput,
+    r: f64,
+    strategy: SolverStrategy,
+    excluded: &std::collections::HashSet<TupleId>,
+) -> Result<(RefreshPlan, bool), TrappError> {
+    if input.items.is_empty() {
+        return Ok((RefreshPlan::empty(), true));
+    }
+
+    let plus_count = input.plus_count();
+    if input.question_count() == 0 {
+        let weights: Vec<f64> = input.items.iter().map(sum_weight).collect();
+        let capacity = r * plus_count as f64;
+        return match solve_keep_set_excluding(input, &weights, capacity, strategy, excluded)? {
+            Some(plan) => Ok((plan, true)),
+            None => Ok((best_effort_plan(input, &weights, excluded), false)),
+        };
+    }
+
+    if plus_count == 0 {
+        let tuples: Vec<TupleId> = input
+            .question()
+            .filter(|i| !excluded.contains(&i.tid))
+            .map(|i| i.tid)
+            .collect();
+        let achievable = input.question().all(|i| !excluded.contains(&i.tid));
+        return Ok((RefreshPlan::from_tuples(input, tuples), achievable));
+    }
+
+    let (weights, capacity) = appendix_f_weights(input, r);
+    match solve_keep_set_excluding(input, &weights, capacity, strategy, excluded)? {
+        Some(plan) => Ok((plan, true)),
+        None => Ok((best_effort_plan(input, &weights, excluded), false)),
+    }
+}
+
+/// The maximal-narrowing fallback when the constraint is unachievable over
+/// available tuples: refresh every available tuple that carries weight
+/// (anything with zero weight cannot change the bound).
+pub(crate) fn best_effort_plan(
+    input: &AggInput,
+    weights: &[f64],
+    excluded: &std::collections::HashSet<TupleId>,
+) -> RefreshPlan {
+    let tuples: Vec<TupleId> = input
+        .items
+        .iter()
+        .zip(weights)
+        .filter(|(item, &w)| w > 0.0 && !excluded.contains(&item.tid))
+        .map(|(item, _)| item.tid)
+        .collect();
+    RefreshPlan::from_tuples(input, tuples)
 }
 
 #[cfg(test)]

@@ -18,7 +18,7 @@ use super::RefreshPlan;
 /// How many `T?` tuples must refresh to meet `r` under the input's
 /// cardinality slack, shared by the scan and index planners. `None` means
 /// the constraint is already met.
-fn tuples_needed(input: &AggInput, r: f64) -> Option<usize> {
+pub(crate) fn tuples_needed(input: &AggInput, r: f64) -> Option<usize> {
     let (inserts, deletes) = input.cardinality_slack;
     let effective_r = r - inserts as f64 - deletes as f64;
     let question = input.question_count();
@@ -45,6 +45,30 @@ pub fn choose_refresh_count(input: &AggInput, r: f64) -> RefreshPlan {
     by_cost.sort_by(|a, b| a.cost.total_cmp(&b.cost).then(a.tid.cmp(&b.tid)));
     let tuples: Vec<TupleId> = by_cost.iter().take(need).map(|i| i.tid).collect();
     RefreshPlan::from_tuples(input, tuples)
+}
+
+/// [`choose_refresh_count`] over *available* tuples only: `T?` members in
+/// `excluded` cannot be refreshed, so the plan takes the `need` cheapest
+/// available ones. When fewer than `need` are available the constraint is
+/// unachievable — the plan refreshes everything available (maximal
+/// narrowing) and the flag comes back `false`.
+pub(crate) fn choose_refresh_count_excluding(
+    input: &AggInput,
+    r: f64,
+    excluded: &std::collections::HashSet<TupleId>,
+) -> (RefreshPlan, bool) {
+    let Some(need) = tuples_needed(input, r) else {
+        return (RefreshPlan::empty(), true);
+    };
+    let mut by_cost: Vec<_> = input
+        .question()
+        .filter(|i| !excluded.contains(&i.tid))
+        .collect();
+    by_cost.sort_by(|a, b| a.cost.total_cmp(&b.cost).then(a.tid.cmp(&b.tid)));
+    let achievable = by_cost.len() >= need;
+    let take = need.min(by_cost.len());
+    let tuples: Vec<TupleId> = by_cost.iter().take(take).map(|i| i.tid).collect();
+    (RefreshPlan::from_tuples(input, tuples), achievable)
 }
 
 /// Index-accelerated CHOOSE_REFRESH for COUNT (§6.3's sub-linear remark):

@@ -15,7 +15,7 @@
 //! than the precision constraint — provably replaying the one-tuple loop's
 //! pick sequence, several rounds at a time.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use trapp_expr::{eval, Band, BinaryOp, Expr};
 use trapp_storage::{Row, Table};
@@ -278,6 +278,27 @@ pub fn join_refresh_batch(
     heuristic: IterativeHeuristic,
     deficit: f64,
 ) -> Vec<(JoinSide, TupleId)> {
+    let none = HashSet::new();
+    join_refresh_batch_excluding(join, left, right, agg, heuristic, deficit, &none, &none)
+}
+
+/// [`join_refresh_batch`] over *available* base tuples only: candidates in
+/// the per-side `excluded` sets (e.g. tuples backed by a dark source) are
+/// never scored or picked, so each round fetches the best *reachable*
+/// refreshes and convergence stalls only when no available tuple can still
+/// narrow the answer. With both sets empty this is exactly
+/// [`join_refresh_batch`].
+#[allow(clippy::too_many_arguments)]
+pub fn join_refresh_batch_excluding(
+    join: &JoinInput,
+    left: &Table,
+    right: &Table,
+    agg: Aggregate,
+    heuristic: IterativeHeuristic,
+    deficit: f64,
+    excluded_left: &HashSet<TupleId>,
+    excluded_right: &HashSet<TupleId>,
+) -> Vec<(JoinSide, TupleId)> {
     let la = join.left_arity;
     let total = la + right.schema().arity();
     let mut benefit: HashMap<(JoinSide, TupleId), (f64, Vec<usize>)> = HashMap::new();
@@ -309,6 +330,13 @@ pub fn join_refresh_batch(
             (JoinSide::Left, left, ltid, 0..la),
             (JoinSide::Right, right, rtid, la..total),
         ] {
+            let dark = match side {
+                JoinSide::Left => excluded_left,
+                JoinSide::Right => excluded_right,
+            };
+            if dark.contains(&tid) {
+                continue;
+            }
             let helps_value = side_can_help(table, tid, &join.arg_cols, range.clone(), la);
             let helps_membership =
                 membership && side_can_help(table, tid, &join.pred_cols, range, la);

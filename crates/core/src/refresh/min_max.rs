@@ -20,8 +20,11 @@ use crate::agg::AggInput;
 
 use super::RefreshPlan;
 
-/// CHOOSE_REFRESH for MIN (optimal, cost-independent).
-pub fn choose_refresh_min(input: &AggInput, r: f64) -> RefreshPlan {
+/// The *forced* refresh set for MIN: every tuple with `Lᵢ < min(Hₖ) − R`.
+/// Appendix B proves membership both necessary and sufficient, so this is
+/// exactly the set of tuples that MUST refresh — there is no cheaper
+/// substitute for any member.
+pub(crate) fn min_forced_set(input: &AggInput, r: f64) -> Vec<TupleId> {
     // min over T+ of H — +∞ when T+ is empty, which forces refreshing every
     // tuple whose low endpoint is finite (correct: nothing anchors the
     // guaranteed side of the answer).
@@ -30,13 +33,32 @@ pub fn choose_refresh_min(input: &AggInput, r: f64) -> RefreshPlan {
         min_plus_hi = min_plus_hi.min(item.interval.hi());
     }
     let threshold = min_plus_hi - r;
-    let tuples: Vec<TupleId> = input
+    input
         .items
         .iter()
         .filter(|i| i.interval.lo() < threshold)
         .map(|i| i.tid)
-        .collect();
-    RefreshPlan::from_tuples(input, tuples)
+        .collect()
+}
+
+/// The forced refresh set for MAX (mirror of [`min_forced_set`]).
+pub(crate) fn max_forced_set(input: &AggInput, r: f64) -> Vec<TupleId> {
+    let mut max_plus_lo = f64::NEG_INFINITY;
+    for item in input.plus() {
+        max_plus_lo = max_plus_lo.max(item.interval.lo());
+    }
+    let threshold = max_plus_lo + r;
+    input
+        .items
+        .iter()
+        .filter(|i| i.interval.hi() > threshold)
+        .map(|i| i.tid)
+        .collect()
+}
+
+/// CHOOSE_REFRESH for MIN (optimal, cost-independent).
+pub fn choose_refresh_min(input: &AggInput, r: f64) -> RefreshPlan {
+    RefreshPlan::from_tuples(input, min_forced_set(input, r))
 }
 
 /// Index-accelerated CHOOSE_REFRESH for MIN without a predicate (§5.1's
@@ -86,18 +108,7 @@ pub fn choose_refresh_max_indexed(table: &Table, column: usize, r: f64) -> Optio
 
 /// CHOOSE_REFRESH for MAX (mirror of MIN).
 pub fn choose_refresh_max(input: &AggInput, r: f64) -> RefreshPlan {
-    let mut max_plus_lo = f64::NEG_INFINITY;
-    for item in input.plus() {
-        max_plus_lo = max_plus_lo.max(item.interval.lo());
-    }
-    let threshold = max_plus_lo + r;
-    let tuples: Vec<TupleId> = input
-        .items
-        .iter()
-        .filter(|i| i.interval.hi() > threshold)
-        .map(|i| i.tid)
-        .collect();
-    RefreshPlan::from_tuples(input, tuples)
+    RefreshPlan::from_tuples(input, max_forced_set(input, r))
 }
 
 #[cfg(test)]

@@ -136,6 +136,108 @@ pub fn choose_refresh(
     }
 }
 
+/// A CHOOSE_REFRESH plan restricted to *available* tuples, with a flag
+/// saying whether the precision constraint is still guaranteed.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AvailablePlan {
+    /// Tuples to refresh — never includes an excluded tuple.
+    pub plan: RefreshPlan,
+    /// `true`: executing `plan` guarantees `H_A − L_A ≤ R` for any master
+    /// values within the current bounds, exactly like [`choose_refresh`].
+    /// `false`: no refresh set over available tuples can guarantee the
+    /// constraint; `plan` is the best-effort maximal narrowing instead
+    /// (callers decide between a degraded answer and an error).
+    pub achievable: bool,
+}
+
+/// [`choose_refresh`] over *available* tuples only: tuples in `excluded`
+/// (typically: backed by a source whose circuit breaker is open) cannot be
+/// refreshed, so they are forced to stay cached and the aggregate-specific
+/// planners solve for the cheapest refresh set among the rest.
+///
+/// Per aggregate (§5/§6 adapted):
+/// * **SUM / AVG** — excluded tuples are forced into the knapsack keep
+///   set: their weights are charged against the capacity up front and the
+///   solver runs over available items; a negative reduced capacity means
+///   unachievable.
+/// * **COUNT** — the `⌈|T?| − R⌉` cheapest *available* `T?` tuples; fewer
+///   available than needed means unachievable.
+/// * **MIN / MAX** — the forced set is necessary *and* sufficient, so any
+///   excluded forced tuple means unachievable; the plan refreshes the
+///   available part of the forced set either way.
+/// * **MEDIAN** — the conservative all-inexact plan restricted to
+///   available tuples; any excluded inexact tuple means unachievable.
+///
+/// With `excluded` empty this is exactly [`choose_refresh`] with
+/// `achievable = true`.
+pub fn choose_refresh_available(
+    agg: Aggregate,
+    input: &AggInput,
+    r: f64,
+    strategy: SolverStrategy,
+    excluded: &std::collections::HashSet<TupleId>,
+) -> Result<AvailablePlan, TrappError> {
+    if r < 0.0 || r.is_nan() {
+        return Err(TrappError::NegativePrecision(r));
+    }
+    if excluded.is_empty() {
+        return Ok(AvailablePlan {
+            plan: choose_refresh(agg, input, r, strategy)?,
+            achievable: true,
+        });
+    }
+    let split_forced = |forced: Vec<TupleId>| {
+        let achievable = forced.iter().all(|t| !excluded.contains(t));
+        let available: Vec<TupleId> = forced
+            .into_iter()
+            .filter(|t| !excluded.contains(t))
+            .collect();
+        AvailablePlan {
+            plan: RefreshPlan::from_tuples(input, available),
+            achievable,
+        }
+    };
+    match agg {
+        Aggregate::Min => Ok(split_forced(min_max::min_forced_set(input, r))),
+        Aggregate::Max => Ok(split_forced(min_max::max_forced_set(input, r))),
+        Aggregate::Sum => {
+            let weights: Vec<f64> = input
+                .items
+                .iter()
+                .map(crate::agg::sum::sum_weight)
+                .collect();
+            match sum::solve_keep_set_excluding(input, &weights, r, strategy, excluded)? {
+                Some(plan) => Ok(AvailablePlan {
+                    plan,
+                    achievable: true,
+                }),
+                None => Ok(AvailablePlan {
+                    plan: avg::best_effort_plan(input, &weights, excluded),
+                    achievable: false,
+                }),
+            }
+        }
+        Aggregate::Count => {
+            let (plan, achievable) = count::choose_refresh_count_excluding(input, r, excluded);
+            Ok(AvailablePlan { plan, achievable })
+        }
+        Aggregate::Avg => {
+            let (plan, achievable) =
+                avg::choose_refresh_avg_excluding(input, r, strategy, excluded)?;
+            Ok(AvailablePlan { plan, achievable })
+        }
+        Aggregate::Median => {
+            let inexact: Vec<TupleId> = input
+                .items
+                .iter()
+                .filter(|i| !i.is_exact())
+                .map(|i| i.tid)
+                .collect();
+            Ok(split_forced(inexact))
+        }
+    }
+}
+
 /// The ordered-index probes available to CHOOSE_REFRESH when the input
 /// was classified directly from a cached [`trapp_storage::Table`] — the
 /// single-cache / single-shard planning routes. Merged scatter-gather
@@ -234,6 +336,135 @@ mod tests {
         let plan = choose_refresh(Aggregate::Median, &input, 1.0, SolverStrategy::Exact).unwrap();
         assert_eq!(plan.tuples.len(), 6);
         assert_eq!(plan.planned_cost, 3.0 + 6.0 + 6.0 + 8.0 + 4.0 + 2.0);
+    }
+
+    #[test]
+    fn available_with_no_exclusions_matches_choose_refresh() {
+        let t = links_table();
+        let input = AggInput::build(&t, None, Some(&col("traffic"))).unwrap();
+        let excluded = std::collections::HashSet::new();
+        for agg in [
+            Aggregate::Min,
+            Aggregate::Max,
+            Aggregate::Sum,
+            Aggregate::Count,
+            Aggregate::Avg,
+            Aggregate::Median,
+        ] {
+            let full = choose_refresh(agg, &input, 10.0, SolverStrategy::Exact).unwrap();
+            let avail =
+                choose_refresh_available(agg, &input, 10.0, SolverStrategy::Exact, &excluded)
+                    .unwrap();
+            assert!(avail.achievable, "{agg:?}");
+            assert_eq!(avail.plan, full, "{agg:?}");
+        }
+    }
+
+    #[test]
+    fn excluding_a_forced_min_tuple_is_unachievable() {
+        let t = links_table();
+        let input = AggInput::build(&t, None, Some(&col("traffic"))).unwrap();
+        let full = choose_refresh(Aggregate::Min, &input, 1.0, SolverStrategy::Exact).unwrap();
+        assert!(!full.tuples.is_empty());
+        let excluded: std::collections::HashSet<_> = [full.tuples[0]].into();
+        let avail = choose_refresh_available(
+            Aggregate::Min,
+            &input,
+            1.0,
+            SolverStrategy::Exact,
+            &excluded,
+        )
+        .unwrap();
+        assert!(!avail.achievable, "a forced tuple is irreplaceable");
+        assert!(
+            !avail.plan.tuples.contains(&full.tuples[0]),
+            "the plan must never include an excluded tuple"
+        );
+        for t in &full.tuples[1..] {
+            assert!(
+                avail.plan.tuples.contains(t),
+                "the available part of the forced set still refreshes"
+            );
+        }
+    }
+
+    #[test]
+    fn sum_exclusion_forces_keep_and_detects_unachievable() {
+        let t = links_table();
+        let input = AggInput::build(&t, None, Some(&col("traffic"))).unwrap();
+        // Total width 95. R = 40: achievable even with one mid-width tuple
+        // excluded, and the plan must avoid it.
+        let some_tid = input.items[2].tid;
+        let excluded: std::collections::HashSet<_> = [some_tid].into();
+        let avail = choose_refresh_available(
+            Aggregate::Sum,
+            &input,
+            40.0,
+            SolverStrategy::Exact,
+            &excluded,
+        )
+        .unwrap();
+        assert!(avail.achievable);
+        assert!(!avail.plan.tuples.contains(&some_tid));
+        // Kept width (including the excluded tuple) must satisfy R.
+        let kept: f64 = input
+            .items
+            .iter()
+            .filter(|i| !avail.plan.tuples.contains(&i.tid))
+            .map(|i| i.interval.width())
+            .sum();
+        assert!(kept <= 40.0 + 1e-12, "kept width {kept}");
+
+        // R = 0 with anything bounded excluded is unachievable; the
+        // best-effort plan refreshes every available weighted tuple.
+        let avail = choose_refresh_available(
+            Aggregate::Sum,
+            &input,
+            0.0,
+            SolverStrategy::Exact,
+            &excluded,
+        )
+        .unwrap();
+        assert!(!avail.achievable);
+        assert!(!avail.plan.tuples.contains(&some_tid));
+        assert_eq!(avail.plan.tuples.len(), 5, "all 5 available tuples refresh");
+    }
+
+    #[test]
+    fn count_exclusion_picks_cheapest_available() {
+        let t = links_table();
+        let pred = trapp_expr::Expr::binary(
+            trapp_expr::BinaryOp::Gt,
+            trapp_expr::Expr::Column(trapp_expr::ColumnRef::bare("latency")),
+            trapp_expr::Expr::Literal(trapp_types::Value::Float(10.0)),
+        )
+        .bind(&schema())
+        .unwrap();
+        let input = AggInput::build(&t, Some(&pred), Some(&col("latency"))).unwrap();
+        // Q5 fixture: T? = {4 (cost 8), 5 (cost 4)}; R = 1 needs 1 tuple —
+        // normally tuple 5, but with 5 dark it must take 4.
+        let excluded: std::collections::HashSet<_> = [trapp_types::TupleId::new(5)].into();
+        let avail = choose_refresh_available(
+            Aggregate::Count,
+            &input,
+            1.0,
+            SolverStrategy::Exact,
+            &excluded,
+        )
+        .unwrap();
+        assert!(avail.achievable);
+        assert_eq!(avail.plan.tuples, vec![trapp_types::TupleId::new(4)]);
+        // R = 0 needs both → unachievable with 5 dark.
+        let avail = choose_refresh_available(
+            Aggregate::Count,
+            &input,
+            0.0,
+            SolverStrategy::Exact,
+            &excluded,
+        )
+        .unwrap();
+        assert!(!avail.achievable);
+        assert_eq!(avail.plan.tuples, vec![trapp_types::TupleId::new(4)]);
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //! constraint `R`: the kept tuples' residual widths sum to the post-refresh
 //! answer width, which must not exceed `R` for any realization.
 
+use std::collections::HashSet;
+
 use trapp_knapsack::{Instance, Item};
 use trapp_types::{TrappError, TupleId};
 
@@ -27,23 +29,54 @@ pub(crate) fn solve_keep_set(
     capacity: f64,
     strategy: SolverStrategy,
 ) -> Result<RefreshPlan, TrappError> {
+    match solve_keep_set_excluding(input, weights, capacity, strategy, &HashSet::new())? {
+        Some(plan) => Ok(plan),
+        // Unreachable with no exclusions: the capacity is never reduced.
+        None => Err(TrappError::Plan(format!("bad capacity: {capacity}"))),
+    }
+}
+
+/// [`solve_keep_set`] restricted to *available* tuples: every tuple in
+/// `excluded` (e.g. backed by a dark source) is forced into the keep set —
+/// its weight is charged against the capacity up front — and the knapsack
+/// runs over the remaining items only. `Ok(None)` means the reduced
+/// capacity went negative: no refresh set over available tuples can meet
+/// the constraint. With `excluded` empty this is bit-identical to
+/// [`solve_keep_set`] (same items, same order, same capacity).
+pub(crate) fn solve_keep_set_excluding(
+    input: &AggInput,
+    weights: &[f64],
+    capacity: f64,
+    strategy: SolverStrategy,
+    excluded: &HashSet<TupleId>,
+) -> Result<Option<RefreshPlan>, TrappError> {
     debug_assert_eq!(weights.len(), input.items.len());
-    let items: Result<Vec<Item>, _> = input
-        .items
+    let mut cap = capacity;
+    let mut available: Vec<usize> = Vec::with_capacity(input.items.len());
+    for (i, item) in input.items.iter().enumerate() {
+        if excluded.contains(&item.tid) {
+            cap -= weights[i];
+        } else {
+            available.push(i);
+        }
+    }
+    if cap < 0.0 {
+        return Ok(None);
+    }
+    let items: Result<Vec<Item>, _> = available
         .iter()
-        .zip(weights)
-        .map(|(item, &w)| Item::new(item.cost, w))
+        .map(|&i| Item::new(input.items[i].cost, weights[i]))
         .collect();
     let items = items.map_err(|e| TrappError::Plan(format!("bad knapsack item: {e}")))?;
-    let instance = Instance::new(items, capacity)
-        .map_err(|e| TrappError::Plan(format!("bad capacity: {e}")))?;
+    let instance =
+        Instance::new(items, cap).map_err(|e| TrappError::Plan(format!("bad capacity: {e}")))?;
     let solution = run_solver(&instance, strategy)?;
     let refresh: Vec<TupleId> = solution
-        .complement(input.items.len())
+        .complement(available.len())
         .into_iter()
-        .map(|i| input.items[i].tid)
+        .map(|j| input.items[available[j]].tid)
         .collect();
-    Ok(RefreshPlan::from_tuples(input, refresh))
+    Ok(Some(RefreshPlan::from_tuples(input, refresh)))
 }
 
 /// CHOOSE_REFRESH for SUM (§5.2 without predicate, §6.2 with).

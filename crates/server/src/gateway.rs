@@ -42,16 +42,68 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
 use trapp_system::message::Refresh;
-use trapp_system::{Completion, Transport};
+use trapp_system::{splitmix64, Completion, Transport};
 use trapp_types::{CacheId, ObjectId, SourceId, TrappError};
 
-/// How long an awaiting fetch waits for the in-flight owner before giving
-/// up and fetching itself (a liveness backstop, not a correctness lever).
-const AWAIT_TIMEOUT: Duration = Duration::from_secs(5);
+use crate::health::HealthTracker;
+
+/// Default for how long an awaiting fetch waits for the in-flight owner
+/// before giving up (a liveness backstop, not a correctness lever).
+pub(crate) const DEFAULT_AWAIT_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Per-round-trip fault-tolerance policy: how long one refresh round-trip
+/// may take, and how many times (with jittered exponential backoff) it is
+/// retried before the source is reported failed.
+///
+/// A round-trip that exceeds [`RetryPolicy::fetch_timeout`] is **not**
+/// abandoned: its completion is parked as a *straggler* and reaped on a
+/// later fetch, because a refresh the source *served* must still install
+/// at the cache (the source's Refresh Monitor already narrowed its
+/// tracked bound). Sequence-guarded installs make late arrivals safe.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Resubmissions after the first attempt (0 disables retry).
+    pub max_retries: u32,
+    /// Deadline for a single round-trip attempt.
+    pub fetch_timeout: Duration,
+    /// Backoff before the first retry; doubles per attempt.
+    pub initial_backoff: Duration,
+    /// Upper bound on the (pre-jitter) backoff.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 2,
+            fetch_timeout: Duration::from_secs(2),
+            initial_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(50),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The sleep before retry number `attempt` (1-based): exponential in
+    /// the attempt, capped, then jittered into `[0.5, 1.0)` of the cap by
+    /// a deterministic hash of `salt` — deterministic for a fixed salt
+    /// sequence, yet decorrelated across concurrent retriers.
+    pub fn backoff(&self, attempt: u32, salt: u64) -> Duration {
+        let doublings = attempt.saturating_sub(1).min(16);
+        let exp = self
+            .initial_backoff
+            .saturating_mul(1u32 << doublings)
+            .min(self.max_backoff);
+        let h = splitmix64(salt ^ 0x5EED_BACC_0FF5_EED5);
+        let frac = 0.5 + ((h >> 11) as f64 / (1u64 << 53) as f64) * 0.5;
+        exp.mul_f64(frac)
+    }
+}
 
 #[derive(Clone, Copy, Debug)]
 enum Slot {
@@ -97,20 +149,65 @@ pub struct FetchStats {
 /// Refresh Monitor diverge.
 pub struct FetchOutcome {
     /// Every refresh obtained (order unspecified; callers install all).
+    /// May include late refreshes reaped from an *earlier* fetch's
+    /// timed-out round-trip — install them too (installs are seq-guarded).
     pub refreshes: Vec<Refresh>,
     /// Per-fetch accounting.
     pub stats: FetchStats,
-    /// Set when part of the plan failed after earlier parts succeeded.
+    /// First failure, when part of the plan failed (back-compat mirror of
+    /// `failures[0].1`).
     pub error: Option<TrappError>,
+    /// Every per-source failure this fetch hit after exhausting retries —
+    /// the input to health tracking and degraded-answer planning.
+    pub failures: Vec<(SourceId, TrappError)>,
 }
 
 /// One submitted transport request a [`PendingFetch`] still has to wait
-/// on.
+/// on. Carries enough context to resubmit the request on retry.
 enum PendingReply {
     /// A batched per-source round-trip.
-    Batch(Completion<Vec<Refresh>>),
+    Batch {
+        source: SourceId,
+        objects: Vec<ObjectId>,
+        completion: Completion<Vec<Refresh>>,
+    },
     /// A per-object round-trip (the seed's baseline mode).
-    Single(Completion<Refresh>),
+    Single {
+        source: SourceId,
+        object: ObjectId,
+        completion: Completion<Refresh>,
+    },
+}
+
+/// A round-trip that outlived its deadline: the completion is parked here
+/// (with the context needed to publish) and polled on later fetches, so a
+/// refresh the source eventually serves still installs at the cache.
+enum Straggler {
+    /// A timed-out batched round-trip.
+    Batch {
+        cache: CacheId,
+        now: f64,
+        claim_epoch: u64,
+        completion: Completion<Vec<Refresh>>,
+    },
+    /// A timed-out per-object round-trip.
+    Single {
+        cache: CacheId,
+        now: f64,
+        claim_epoch: u64,
+        completion: Completion<Refresh>,
+    },
+}
+
+/// Outcome of awaiting another query's in-flight fetch.
+enum AwaitResult {
+    /// The owner published the refresh.
+    Done(Refresh),
+    /// The wait expired with the owner's round-trip still pending.
+    TimedOut,
+    /// The owner aborted or its entry was invalidated; nobody is fetching
+    /// this object anymore.
+    Gone,
 }
 
 /// A fetch whose requests are on the wire but not yet awaited — the
@@ -140,12 +237,42 @@ pub struct RefreshGateway<T> {
     done: Condvar,
     coalesced: AtomicU64,
     forwarded: AtomicU64,
+    /// How long to wait for another query's in-flight fetch.
+    await_timeout: Duration,
+    /// Per-round-trip deadline/retry policy.
+    retry: RetryPolicy,
+    /// Per-source circuit breaker fed by final round-trip outcomes.
+    health: Arc<HealthTracker>,
+    /// Monotonic salt for deterministic backoff jitter.
+    attempt_salt: AtomicU64,
+    /// Timed-out round-trips still owed an install; reaped by later
+    /// fetches.
+    stragglers: Mutex<Vec<Straggler>>,
 }
 
 impl<T: Transport> RefreshGateway<T> {
     /// Wraps `inner`; `enabled = false` turns the gateway into a pure
-    /// pass-through (the measurable baseline).
+    /// pass-through (the measurable baseline). Uses default await/retry
+    /// policies and a private health tracker.
     pub fn new(inner: T, enabled: bool) -> RefreshGateway<T> {
+        RefreshGateway::with_policy(
+            inner,
+            enabled,
+            DEFAULT_AWAIT_TIMEOUT,
+            RetryPolicy::default(),
+            Arc::new(HealthTracker::default()),
+        )
+    }
+
+    /// Wraps `inner` with explicit await-timeout, retry, and health
+    /// wiring — the service layer's constructor.
+    pub(crate) fn with_policy(
+        inner: T,
+        enabled: bool,
+        await_timeout: Duration,
+        retry: RetryPolicy,
+        health: Arc<HealthTracker>,
+    ) -> RefreshGateway<T> {
         RefreshGateway {
             inner,
             enabled,
@@ -153,6 +280,11 @@ impl<T: Transport> RefreshGateway<T> {
             done: Condvar::new(),
             coalesced: AtomicU64::new(0),
             forwarded: AtomicU64::new(0),
+            await_timeout,
+            retry,
+            health,
+            attempt_salt: AtomicU64::new(0),
+            stragglers: Mutex::new(Vec::new()),
         }
     }
 
@@ -259,14 +391,22 @@ impl<T: Transport> RefreshGateway<T> {
         for (source, objects) in to_fetch {
             claimed.extend(objects.iter().copied());
             if batch {
-                waits.push(PendingReply::Batch(
-                    self.inner.submit_refresh_batch(source, cache, objects, now),
-                ));
+                let completion =
+                    self.inner
+                        .submit_refresh_batch(source, cache, objects.clone(), now);
+                waits.push(PendingReply::Batch {
+                    source,
+                    objects,
+                    completion,
+                });
             } else {
                 for object in objects {
-                    waits.push(PendingReply::Single(
-                        self.inner.submit_refresh(source, cache, object, now),
-                    ));
+                    let completion = self.inner.submit_refresh(source, cache, object, now);
+                    waits.push(PendingReply::Single {
+                        source,
+                        object,
+                        completion,
+                    });
                 }
             }
         }
@@ -282,9 +422,11 @@ impl<T: Transport> RefreshGateway<T> {
         }
     }
 
-    /// The wait half of a fetch: blocks on the submitted completions,
-    /// publishes what arrived (waking parked waiters), releases failed
-    /// claims, and awaits objects other queries were fetching.
+    /// The wait half of a fetch: reaps stragglers from earlier timed-out
+    /// fetches, blocks (with per-round-trip deadline + retry) on the
+    /// submitted completions, publishes what arrived (waking parked
+    /// waiters), releases failed claims, and awaits objects other queries
+    /// were fetching.
     pub(crate) fn finish_fetch(&self, pending: PendingFetch) -> FetchOutcome {
         let PendingFetch {
             cache,
@@ -297,31 +439,50 @@ impl<T: Transport> RefreshGateway<T> {
             to_await,
         } = pending;
 
+        // Reap stragglers first: earlier fetches' timed-out round-trips
+        // whose refreshes — if served since — must still install somewhere.
+        self.reap_stragglers(&mut out, &mut stats);
+
         // Wait phase. Every submitted request is waited on even after a
         // failure: the source may have served it already (narrowing its
         // tracked bound), and dropping a served refresh would
-        // desynchronize cache and Refresh Monitor.
+        // desynchronize cache and Refresh Monitor. A round-trip that
+        // exceeds its deadline is parked as a straggler and retried.
         let mut fetched: Vec<Refresh> = Vec::new();
-        let mut error: Option<TrappError> = None;
+        let mut failures: Vec<(SourceId, TrappError)> = Vec::new();
         for wait in waits {
             match wait {
-                PendingReply::Batch(completion) => match completion.wait() {
-                    Ok(rs) => {
-                        stats.round_trips += 1;
-                        fetched.extend(rs);
-                    }
-                    Err(e) => {
-                        error.get_or_insert(e);
-                    }
+                PendingReply::Batch {
+                    source,
+                    objects,
+                    completion,
+                } => match self.wait_batch_retrying(
+                    cache,
+                    now,
+                    claim_epoch,
+                    source,
+                    &objects,
+                    completion,
+                    &mut stats,
+                ) {
+                    Ok(rs) => fetched.extend(rs),
+                    Err(e) => failures.push((source, e)),
                 },
-                PendingReply::Single(completion) => match completion.wait() {
-                    Ok(r) => {
-                        stats.round_trips += 1;
-                        fetched.push(r);
-                    }
-                    Err(e) => {
-                        error.get_or_insert(e);
-                    }
+                PendingReply::Single {
+                    source,
+                    object,
+                    completion,
+                } => match self.wait_single_retrying(
+                    cache,
+                    now,
+                    claim_epoch,
+                    source,
+                    object,
+                    completion,
+                    &mut stats,
+                ) {
+                    Ok(r) => fetched.push(r),
+                    Err(e) => failures.push((source, e)),
                 },
             }
         }
@@ -334,7 +495,7 @@ impl<T: Transport> RefreshGateway<T> {
             for &refresh in &fetched {
                 publish_locked(&mut state, cache, now, claim_epoch, refresh);
             }
-            if error.is_some() {
+            if !failures.is_empty() {
                 for &object in &claimed {
                     if !fetched.iter().any(|r| r.object == object) {
                         abort_locked(&mut state, cache, now, object);
@@ -346,32 +507,50 @@ impl<T: Transport> RefreshGateway<T> {
         }
         out.extend(fetched);
 
-        // Await phase: collect results other queries are fetching. On
-        // timeout or an aborted owner, fall back to fetching ourselves.
-        if error.is_none() {
+        // Await phase: collect results other queries are fetching. If the
+        // owner aborted (entry gone) we fetch ourselves; if the wait
+        // *timed out* we report a typed timeout instead of silently
+        // re-fetching — the owner's round-trip is still pending and piling
+        // a duplicate fetch onto a slow source only makes things worse.
+        if failures.is_empty() {
             for (source, object) in to_await {
                 match self.await_done(cache, now, object) {
-                    Some(refresh) => {
+                    AwaitResult::Done(refresh) => {
                         out.push(refresh);
                         stats.coalesced += 1;
                     }
-                    None => match self.inner.request_refresh(source, cache, object, now) {
-                        Ok(refresh) => {
-                            stats.round_trips += 1;
-                            stats.forwarded += 1;
-                            if self.enabled {
-                                let mut state = self.table.lock();
-                                publish_locked(&mut state, cache, now, claim_epoch, refresh);
-                                drop(state);
-                                self.done.notify_all();
+                    AwaitResult::TimedOut => {
+                        self.health.record_failure(source);
+                        failures.push((
+                            source,
+                            TrappError::Timeout {
+                                source,
+                                waited_ms: self.await_timeout.as_millis() as u64,
+                            },
+                        ));
+                        break;
+                    }
+                    AwaitResult::Gone => {
+                        match self.inner.request_refresh(source, cache, object, now) {
+                            Ok(refresh) => {
+                                stats.round_trips += 1;
+                                stats.forwarded += 1;
+                                self.health.record_success(source);
+                                if self.enabled {
+                                    let mut state = self.table.lock();
+                                    publish_locked(&mut state, cache, now, claim_epoch, refresh);
+                                    drop(state);
+                                    self.done.notify_all();
+                                }
+                                out.push(refresh);
                             }
-                            out.push(refresh);
+                            Err(e) => {
+                                self.health.record_failure(source);
+                                failures.push((source, e));
+                                break;
+                            }
                         }
-                        Err(e) => {
-                            error = Some(e);
-                            break;
-                        }
-                    },
+                    }
                 }
             }
         }
@@ -381,28 +560,190 @@ impl<T: Transport> RefreshGateway<T> {
         FetchOutcome {
             refreshes: out,
             stats,
-            error,
+            error: failures.first().map(|(_, e)| e.clone()),
+            failures,
         }
     }
 
-    /// Waits for another fetch to publish `object`. `None` means the
-    /// owner aborted, its result was invalidated, or the wait timed out —
-    /// the caller must fetch itself.
-    fn await_done(&self, cache: CacheId, now: f64, object: ObjectId) -> Option<Refresh> {
+    /// Polls every parked straggler: resolved successes are published and
+    /// appended to `out` (the caller installs them — the late-install
+    /// half of the safety invariant), resolved failures are dropped, and
+    /// still-pending completions go back in the park.
+    fn reap_stragglers(&self, out: &mut Vec<Refresh>, stats: &mut FetchStats) {
+        let parked = std::mem::take(&mut *self.stragglers.lock());
+        if parked.is_empty() {
+            return;
+        }
+        let mut still_pending: Vec<Straggler> = Vec::new();
+        let mut landed: Vec<(CacheId, f64, u64, Vec<Refresh>)> = Vec::new();
+        for straggler in parked {
+            match straggler {
+                Straggler::Batch {
+                    cache,
+                    now,
+                    claim_epoch,
+                    completion,
+                } => match completion.poll() {
+                    Ok(Ok(rs)) => landed.push((cache, now, claim_epoch, rs)),
+                    Ok(Err(_)) => {}
+                    Err(completion) => still_pending.push(Straggler::Batch {
+                        cache,
+                        now,
+                        claim_epoch,
+                        completion,
+                    }),
+                },
+                Straggler::Single {
+                    cache,
+                    now,
+                    claim_epoch,
+                    completion,
+                } => match completion.poll() {
+                    Ok(Ok(r)) => landed.push((cache, now, claim_epoch, vec![r])),
+                    Ok(Err(_)) => {}
+                    Err(completion) => still_pending.push(Straggler::Single {
+                        cache,
+                        now,
+                        claim_epoch,
+                        completion,
+                    }),
+                },
+            }
+        }
+        if !still_pending.is_empty() {
+            self.stragglers.lock().extend(still_pending);
+        }
+        for (cache, now, claim_epoch, rs) in landed {
+            stats.forwarded += rs.len() as u64;
+            if self.enabled {
+                let mut state = self.table.lock();
+                for &refresh in &rs {
+                    publish_locked(&mut state, cache, now, claim_epoch, refresh);
+                }
+                drop(state);
+                self.done.notify_all();
+            }
+            out.extend(rs);
+        }
+    }
+
+    /// Waits on one batched round-trip with the retry policy: deadline
+    /// expiry parks the completion as a straggler and resubmits after a
+    /// jittered backoff; a hard error resubmits without parking. The final
+    /// outcome (not each attempt) feeds the health tracker.
+    #[allow(clippy::too_many_arguments)]
+    fn wait_batch_retrying(
+        &self,
+        cache: CacheId,
+        now: f64,
+        claim_epoch: u64,
+        source: SourceId,
+        objects: &[ObjectId],
+        completion: Completion<Vec<Refresh>>,
+        stats: &mut FetchStats,
+    ) -> Result<Vec<Refresh>, TrappError> {
+        let mut completion = completion;
+        let mut attempt: u32 = 0;
+        let mut waited = Duration::ZERO;
+        loop {
+            let failure = match completion.wait_timeout(self.retry.fetch_timeout) {
+                Ok(Ok(rs)) => {
+                    stats.round_trips += 1;
+                    self.health.record_success(source);
+                    return Ok(rs);
+                }
+                Ok(Err(e)) => e,
+                Err(pending) => {
+                    waited += self.retry.fetch_timeout;
+                    self.stragglers.lock().push(Straggler::Batch {
+                        cache,
+                        now,
+                        claim_epoch,
+                        completion: pending,
+                    });
+                    TrappError::Timeout {
+                        source,
+                        waited_ms: waited.as_millis() as u64,
+                    }
+                }
+            };
+            if attempt >= self.retry.max_retries {
+                self.health.record_failure(source);
+                return Err(failure);
+            }
+            attempt += 1;
+            let salt = self.attempt_salt.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(self.retry.backoff(attempt, salt));
+            completion = self
+                .inner
+                .submit_refresh_batch(source, cache, objects.to_vec(), now);
+        }
+    }
+
+    /// [`RefreshGateway::wait_batch_retrying`], per-object flavor.
+    #[allow(clippy::too_many_arguments)]
+    fn wait_single_retrying(
+        &self,
+        cache: CacheId,
+        now: f64,
+        claim_epoch: u64,
+        source: SourceId,
+        object: ObjectId,
+        completion: Completion<Refresh>,
+        stats: &mut FetchStats,
+    ) -> Result<Refresh, TrappError> {
+        let mut completion = completion;
+        let mut attempt: u32 = 0;
+        let mut waited = Duration::ZERO;
+        loop {
+            let failure = match completion.wait_timeout(self.retry.fetch_timeout) {
+                Ok(Ok(r)) => {
+                    stats.round_trips += 1;
+                    self.health.record_success(source);
+                    return Ok(r);
+                }
+                Ok(Err(e)) => e,
+                Err(pending) => {
+                    waited += self.retry.fetch_timeout;
+                    self.stragglers.lock().push(Straggler::Single {
+                        cache,
+                        now,
+                        claim_epoch,
+                        completion: pending,
+                    });
+                    TrappError::Timeout {
+                        source,
+                        waited_ms: waited.as_millis() as u64,
+                    }
+                }
+            };
+            if attempt >= self.retry.max_retries {
+                self.health.record_failure(source);
+                return Err(failure);
+            }
+            attempt += 1;
+            let salt = self.attempt_salt.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(self.retry.backoff(attempt, salt));
+            completion = self.inner.submit_refresh(source, cache, object, now);
+        }
+    }
+
+    /// Waits for another fetch to publish `object`.
+    fn await_done(&self, cache: CacheId, now: f64, object: ObjectId) -> AwaitResult {
         let mut state = self.table.lock();
         loop {
             match state.entries.get(&object) {
                 Some(e) if e.cache == cache && e.now == now => match e.slot {
-                    Slot::Done(refresh) => return Some(refresh),
+                    Slot::Done(refresh) => return AwaitResult::Done(refresh),
                     Slot::InFlight => {
-                        if self.done.wait_for(&mut state, AWAIT_TIMEOUT) {
-                            return None; // timed out
+                        if self.done.wait_for(&mut state, self.await_timeout) {
+                            return AwaitResult::TimedOut;
                         }
                     }
                 },
                 // Entry gone (owner aborted / invalidated) or replaced by
-                // another instant: fetch it ourselves.
-                _ => return None,
+                // another instant: the caller fetches it itself.
+                _ => return AwaitResult::Gone,
             }
         }
     }

@@ -74,14 +74,16 @@
 #![deny(unsafe_code)]
 
 pub mod gateway;
+pub mod health;
 pub mod router;
 pub mod service;
 
-pub use gateway::RefreshGateway;
+pub use gateway::{RefreshGateway, RetryPolicy};
+pub use health::{BreakerState, HealthConfig, HealthTracker};
 pub use router::{Route, ShardRouter};
 pub use service::{
-    default_fetch_pool_size, QueryService, QueryTicket, ServiceBuilder, ServiceConfig,
-    ServiceReply, ServiceStats,
+    default_fetch_pool_size, DegradationPolicy, DegradedInfo, QueryService, QueryTicket,
+    ServiceBuilder, ServiceConfig, ServiceReply, ServiceStats,
 };
 // The grouped half of [`ServiceReply`], re-exported for callers.
 pub use trapp_core::group_by::{GroupKey, GroupResult};

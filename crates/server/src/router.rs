@@ -29,6 +29,8 @@
 //! answers (see [`trapp_core::merge`]).
 
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::time::Duration;
 
 use parking_lot::Mutex;
 use trapp_expr::{BinaryOp, ColumnRef, Expr};
@@ -36,7 +38,8 @@ use trapp_sql::Query;
 use trapp_system::{CacheNode, Transport};
 use trapp_types::{shard_of, CacheId, ObjectId, TrappError, TupleId, Value};
 
-use crate::gateway::RefreshGateway;
+use crate::gateway::{RefreshGateway, RetryPolicy};
+use crate::health::{HealthConfig, HealthTracker};
 
 /// A tuple-id translation map, bucketed per table so lookups hash a
 /// `&str` instead of allocating a `(String, TupleId)` key per probe.
@@ -48,6 +51,9 @@ pub struct Shard {
     pub(crate) cache: Mutex<CacheNode>,
     pub(crate) cache_id: CacheId,
     pub(crate) gateway: RefreshGateway<Box<dyn Transport>>,
+    /// This shard's per-source circuit breakers (shared with the gateway,
+    /// which records round-trip outcomes into it).
+    pub(crate) health: Arc<HealthTracker>,
     /// table → (local tid → global tid). Empty = identity (the
     /// single-shard compatibility path).
     to_global: TidMap<TupleId>,
@@ -60,11 +66,22 @@ impl Shard {
         transport: Box<dyn Transport>,
         coalesce: bool,
         to_global: TidMap<TupleId>,
+        await_timeout: Duration,
+        retry: RetryPolicy,
+        health_cfg: HealthConfig,
     ) -> Shard {
+        let health = Arc::new(HealthTracker::new(health_cfg));
         Shard {
             cache_id: cache.id(),
             cache: Mutex::new(cache),
-            gateway: RefreshGateway::new(transport, coalesce),
+            gateway: RefreshGateway::with_policy(
+                transport,
+                coalesce,
+                await_timeout,
+                retry,
+                health.clone(),
+            ),
+            health,
             to_global,
         }
     }

@@ -76,20 +76,22 @@ use trapp_core::executor::QueryResult;
 use trapp_core::group_by::{render_key, GroupResult};
 use trapp_core::plan::{bind_query, BoundQuery, QuerySource};
 use trapp_core::query_plan::{
-    assemble_units, plan_join_round, plan_unit, QueryOutcome, QueryPartial, QueryPlan,
+    assemble_units, plan_join_round, plan_unit, Exclusions, QueryOutcome, QueryPartial, QueryPlan,
 };
 use trapp_core::refresh::iterative::IterativeHeuristic;
 use trapp_core::{merge_grouped_partials, merge_table_slices, BoundedAnswer};
 use trapp_storage::Table;
 use trapp_system::{
-    CacheNode, ChannelTransport, CompletionTransport, CostModel, DirectTransport, FetchPool,
-    SimClock, Source, Transport,
+    CacheNode, ChannelTransport, ChaosConfig, ChaosControl, ChaosTransport, CompletionTransport,
+    CostModel, DirectTransport, FetchPool, SimClock, Source, Transport,
 };
 use trapp_types::{
-    shard_of, BoundedValue, CacheId, Interval, ObjectId, SourceId, TrappError, TupleId, Value,
+    shard_of, BoundedValue, CacheId, Interval, ObjectId, PartialFailure, SourceFailure, SourceId,
+    TrappError, TupleId, Value,
 };
 
-use crate::gateway::{FetchOutcome, FetchStats, PendingFetch};
+use crate::gateway::{FetchOutcome, FetchStats, PendingFetch, RetryPolicy, DEFAULT_AWAIT_TIMEOUT};
+use crate::health::HealthConfig;
 use crate::router::{Route, Shard, ShardRouter, TidMap};
 
 /// Safety valve for the scatter-gather loop: each extra round means a
@@ -123,6 +125,17 @@ pub struct ServiceConfig {
     /// bit-identical either way; `false` keeps the §7 one-tuple-per-round
     /// loop as a measurable baseline.
     pub batch_join_rounds: bool,
+    /// What to do when a query's precision constraint cannot be met
+    /// because sources are down. See [`DegradationPolicy`].
+    pub degradation: DegradationPolicy,
+    /// Per-round-trip deadline / retry / backoff policy applied by every
+    /// shard's gateway.
+    pub retry: RetryPolicy,
+    /// How long a query waits for another query's in-flight fetch of the
+    /// same object before reporting a typed timeout.
+    pub gateway_await_timeout: Duration,
+    /// Per-source circuit-breaker tuning.
+    pub health: HealthConfig,
 }
 
 impl Default for ServiceConfig {
@@ -134,8 +147,46 @@ impl Default for ServiceConfig {
             batch_refreshes: true,
             cache_views: true,
             batch_join_rounds: true,
+            degradation: DegradationPolicy::default(),
+            retry: RetryPolicy::default(),
+            gateway_await_timeout: DEFAULT_AWAIT_TIMEOUT,
+            health: HealthConfig::default(),
         }
     }
+}
+
+/// What the service answers when sources are unreachable and the
+/// precision constraint cannot be guaranteed over the tuples that remain
+/// refreshable.
+///
+/// Either way, cached bounds stay *correct* — TRAPP bounds contain the
+/// true value at any staleness — so the choice is only about how the
+/// unmet constraint surfaces.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DegradationPolicy {
+    /// Refuse: return a structured [`TrappError::PartialResult`] naming
+    /// the failed shards and sources. No wrong answer can ever be
+    /// returned, at the price of availability.
+    #[default]
+    Strict,
+    /// Degrade: refresh every available tuple that helps, then return the
+    /// best achievable bound as a *successful* reply with
+    /// [`ServiceReply::degraded`] describing the gap. The returned bound
+    /// still contains the exact answer; it is merely wider than asked.
+    BestEffort,
+}
+
+/// How a best-effort reply fell short of its constraint; see
+/// [`DegradationPolicy::BestEffort`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct DegradedInfo {
+    /// The sources that were unreachable while this query planned
+    /// (breaker-open ones plus those that failed mid-query), ascending.
+    pub dark_sources: Vec<SourceId>,
+    /// The query's `WITHIN` constraint.
+    pub requested_width: Option<f64>,
+    /// The width actually achieved (max over groups for `GROUP BY`).
+    pub achieved_width: f64,
 }
 
 /// One query's answer plus its per-query service accounting.
@@ -160,6 +211,13 @@ pub struct ServiceReply {
     pub round_trips: u64,
     /// Time spent executing (excludes queue wait).
     pub exec_time: Duration,
+    /// `Some` when this is a best-effort degraded answer: the precision
+    /// constraint could not be guaranteed because sources were dark, and
+    /// the bound returned is the best achievable over available tuples
+    /// (still guaranteed to contain the exact answer). `None` for fully
+    /// satisfied answers and under [`DegradationPolicy::Strict`] (which
+    /// errors instead).
+    pub degraded: Option<DegradedInfo>,
 }
 
 /// Rolls per-group results up into one [`QueryResult`]; see
@@ -207,6 +265,8 @@ pub struct ServiceStats {
     pub refreshes_forwarded: u64,
     /// Transport round-trips issued.
     pub round_trips: u64,
+    /// Queries answered best-effort with an unmet precision constraint.
+    pub degraded_queries: u64,
 }
 
 struct Job {
@@ -218,6 +278,7 @@ struct ServiceCore {
     router: ShardRouter,
     clock: SimClock,
     batch_refreshes: bool,
+    degradation: DegradationPolicy,
     counters: Mutex<ServiceStats>,
 }
 
@@ -272,10 +333,11 @@ impl ServiceCore {
 
         let mut counters = self.counters.lock();
         match outcome {
-            Ok((outcome, stats, scattered)) => {
+            Ok((outcome, stats, scattered, degraded)) => {
                 counters.queries += 1;
                 counters.round_trips += stats.round_trips;
                 counters.scatter_queries += u64::from(scattered);
+                counters.degraded_queries += u64::from(degraded.is_some());
                 let (result, groups) = match outcome {
                     QueryOutcome::Scalar(result) => (result, Vec::new()),
                     QueryOutcome::Grouped(groups) => (rollup(&groups), groups),
@@ -286,6 +348,7 @@ impl ServiceCore {
                     refreshes_saved: stats.coalesced,
                     round_trips: stats.round_trips,
                     exec_time,
+                    degraded,
                 })
             }
             Err(e) => {
@@ -295,12 +358,16 @@ impl ServiceCore {
         }
     }
 
-    fn run_query_inner(&self, sql: &str) -> Result<(QueryOutcome, FetchStats, bool), TrappError> {
+    #[allow(clippy::type_complexity)]
+    fn run_query_inner(
+        &self,
+        sql: &str,
+    ) -> Result<(QueryOutcome, FetchStats, bool, Option<DegradedInfo>), TrappError> {
         let query = trapp_sql::parse_query(sql)?;
         let route = self.router.route(&query);
         let scattered = matches!(route, Route::Scatter);
         self.run_routed(&query, route)
-            .map(|(outcome, stats)| (outcome, stats, scattered))
+            .map(|(outcome, stats, degraded)| (outcome, stats, scattered, degraded))
     }
 
     /// The shape-generic phased execution loop — one body for every route
@@ -320,7 +387,7 @@ impl ServiceCore {
         &self,
         query: &trapp_sql::Query,
         route: Route,
-    ) -> Result<(QueryOutcome, FetchStats), TrappError> {
+    ) -> Result<(QueryOutcome, FetchStats, Option<DegradedInfo>), TrappError> {
         let mut stats = FetchStats::default();
         let mut attr: HashMap<String, UnitAttr> = HashMap::new();
         // Re-planning after a *complete* round means a concurrent clock
@@ -328,8 +395,28 @@ impl ServiceCore {
         // and budgeted separately.
         let mut widen_rounds = 0usize;
         let mut join_rounds = 0usize;
+        // Sources this query itself saw fail (best-effort mode): excluded
+        // from its later planning rounds even before their breakers open.
+        // Grows monotonically, so the fault loop terminates.
+        let mut query_dark: HashSet<SourceId> = HashSet::new();
+        let mut fault_rounds = 0usize;
 
         loop {
+            // ---- Dark set: breaker-open sources plus this query's own
+            // observed failures. Planning excludes their tuples so
+            // CHOOSE_REFRESH spends no round-trips on a source that
+            // cannot answer.
+            let mut dark = query_dark.clone();
+            match route {
+                Route::Single(s) => dark.extend(self.router.shard(s).health.dark_sources()),
+                Route::Scatter => {
+                    for shard in self.router.shards() {
+                        dark.extend(shard.health.dark_sources());
+                    }
+                }
+            }
+            let exclusions = self.exclusions_for(&dark, route);
+
             // ---- Plan phase (under the cache lock(s)) ----
             let (plan, now, max_join_rounds) = match route {
                 Route::Single(s) => {
@@ -338,7 +425,7 @@ impl ServiceCore {
                     cache.materialize()?;
                     let now = self.clock.now();
                     let max_join_rounds = cache.session().config.max_refresh_rounds;
-                    match cache.session().plan_query(query)? {
+                    match cache.session().plan_query_excluding(query, &exclusions)? {
                         QueryPlan::Iterative => {
                             // Iterative mode (§8.2) picks each refresh from
                             // live master values: execution stays under the
@@ -350,7 +437,7 @@ impl ServiceCore {
                                 for (table, tid) in &mut result.refreshed {
                                     *tid = shard.global_tid(table, *tid);
                                 }
-                                Ok((QueryOutcome::Scalar(result), stats))
+                                Ok((QueryOutcome::Scalar(result), stats, None))
                             } else {
                                 let mut groups = cache.execute_grouped(query, &shard.gateway)?;
                                 for g in &mut groups {
@@ -358,18 +445,51 @@ impl ServiceCore {
                                         *tid = shard.global_tid(table, *tid);
                                     }
                                 }
-                                Ok((QueryOutcome::Grouped(groups), stats))
+                                Ok((QueryOutcome::Grouped(groups), stats, None))
                             };
                         }
                         plan => (plan, now, max_join_rounds),
                     }
                 }
-                Route::Scatter => self.plan_scatter(query)?,
+                Route::Scatter => self.plan_scatter(query, &exclusions)?,
             };
 
             let fp = match plan {
                 QueryPlan::Ready(outcome) => {
-                    return Ok((patch_outcome(outcome, &attr), stats));
+                    let outcome = patch_outcome(outcome, &attr);
+                    let (all_satisfied, achieved_width) = match &outcome {
+                        QueryOutcome::Scalar(r) => (r.satisfied, r.answer.width()),
+                        QueryOutcome::Grouped(gs) => (
+                            gs.iter().all(|g| g.result.satisfied),
+                            gs.iter()
+                                .map(|g| g.result.answer.width())
+                                .fold(0.0, f64::max),
+                        ),
+                    };
+                    if !all_satisfied && !dark.is_empty() {
+                        // The constraint is unmet *because* sources are
+                        // dark: every refreshable tuple has been used.
+                        match self.degradation {
+                            DegradationPolicy::Strict => {
+                                return Err(self.unavailable_error(route, &dark));
+                            }
+                            DegradationPolicy::BestEffort => {
+                                let mut dark_sources: Vec<SourceId> =
+                                    dark.iter().copied().collect();
+                                dark_sources.sort();
+                                return Ok((
+                                    outcome,
+                                    stats,
+                                    Some(DegradedInfo {
+                                        dark_sources,
+                                        requested_width: query.within,
+                                        achieved_width,
+                                    }),
+                                ));
+                            }
+                        }
+                    }
+                    return Ok((outcome, stats, None));
                 }
                 QueryPlan::Iterative => {
                     // `plan_scatter` rejects iterative mode with a typed
@@ -381,6 +501,7 @@ impl ServiceCore {
                 }
                 QueryPlan::NeedsFetch(fp) => fp,
             };
+            let round_was_complete = fp.complete;
             if fp.complete {
                 widen_rounds += 1;
                 if widen_rounds > MAX_SCATTER_ROUNDS {
@@ -483,9 +604,11 @@ impl ServiceCore {
 
             // ---- Install phase: everything that arrived goes in — even
             // on a failed shard, its sources already narrowed their
-            // tracked bounds — then a failure surfaces as an error rather
-            // than a bound that pretends the lost refreshes are exact.
-            let mut failure: Option<(usize, TrappError)> = None;
+            // tracked bounds — then a failure surfaces as an error (or,
+            // best-effort, a degraded re-plan) rather than a bound that
+            // pretends the lost refreshes are exact.
+            let mut surviving: Vec<usize> = Vec::new();
+            let mut shard_failures: Vec<(usize, Vec<(SourceId, TrappError)>)> = Vec::new();
             for (s, outcome) in outcomes {
                 let mut cache = self.router.shard(s).cache.lock();
                 for refresh in outcome.refreshes {
@@ -494,22 +617,133 @@ impl ServiceCore {
                 stats.round_trips += outcome.stats.round_trips;
                 stats.coalesced += outcome.stats.coalesced;
                 stats.forwarded += outcome.stats.forwarded;
-                if let Some(e) = outcome.error {
-                    failure.get_or_insert((s, e));
+                if outcome.failures.is_empty() {
+                    surviving.push(s);
+                } else {
+                    shard_failures.push((s, outcome.failures));
                 }
             }
-            if let Some((s, e)) = failure {
-                return Err(match route {
-                    Route::Single(_) => e,
-                    Route::Scatter => TrappError::PartialResult(format!(
-                        "shard {s} failed while refreshing its slice of the plan: {e}"
-                    )),
-                });
+            if !shard_failures.is_empty() {
+                let first_error = shard_failures[0].1[0].1.clone();
+                match self.degradation {
+                    DegradationPolicy::Strict => {
+                        return Err(match route {
+                            Route::Single(_) => first_error,
+                            Route::Scatter => TrappError::PartialResult(Box::new(PartialFailure {
+                                surviving_shards: surviving,
+                                failed_shards: shard_failures.iter().map(|(s, _)| *s).collect(),
+                                sources: shard_failures
+                                    .into_iter()
+                                    .flat_map(|(_, fs)| fs)
+                                    .map(|(source, cause)| SourceFailure {
+                                        source,
+                                        cause: Box::new(cause),
+                                    })
+                                    .collect(),
+                            })),
+                        });
+                    }
+                    DegradationPolicy::BestEffort => {
+                        // Exclude the failed sources from this query's
+                        // remaining rounds and re-plan over what is left.
+                        // `query_dark` only grows (an excluded source is
+                        // never fetched again), so this converges; the
+                        // fault budget is a safety valve.
+                        fault_rounds += 1;
+                        if fault_rounds > MAX_SCATTER_ROUNDS {
+                            return Err(first_error);
+                        }
+                        query_dark.extend(
+                            shard_failures
+                                .iter()
+                                .flat_map(|(_, fs)| fs.iter().map(|(src, _)| *src)),
+                        );
+                        // Refund the round budget: re-planning after a
+                        // fault is recovery, not bound re-widening.
+                        if round_was_complete {
+                            widen_rounds = widen_rounds.saturating_sub(1);
+                        } else {
+                            join_rounds = join_rounds.saturating_sub(1);
+                        }
+                        continue;
+                    }
+                }
             }
             // Loop: plan again over the installed refreshes. For complete
             // plans the CHOOSE_REFRESH guarantee makes the next pass Ready
             // unless the clock advanced; join rounds iterate.
         }
+    }
+
+    /// The tuples planning must treat as unrefreshable: every cached cell
+    /// whose backing object lives on a dark source, in the tuple-id space
+    /// the route plans in (shard-local for a single-shard route, global
+    /// for scatter). Empty dark set short-circuits to no exclusions — the
+    /// healthy fast path allocates nothing.
+    fn exclusions_for(&self, dark: &HashSet<SourceId>, route: Route) -> Exclusions {
+        let mut ex = Exclusions::default();
+        if dark.is_empty() {
+            return ex;
+        }
+        match route {
+            Route::Single(s) => {
+                let cache = self.router.shard(s).cache.lock();
+                for (_, r) in cache.objects() {
+                    if dark.contains(&r.source) {
+                        ex.insert(&r.cell.0, r.cell.1);
+                    }
+                }
+            }
+            Route::Scatter => {
+                for shard in self.router.shards() {
+                    let cache = shard.cache.lock();
+                    for (_, r) in cache.objects() {
+                        if dark.contains(&r.source) {
+                            ex.insert(&r.cell.0, shard.global_tid(&r.cell.0, r.cell.1));
+                        }
+                    }
+                }
+            }
+        }
+        ex
+    }
+
+    /// The strict-mode refusal when dark sources make a constraint
+    /// unachievable: a structured [`TrappError::PartialResult`] naming
+    /// which shards hold dark-source cells and which sources are down
+    /// (each with a [`TrappError::SourceUnavailable`] cause).
+    fn unavailable_error(&self, route: Route, dark: &HashSet<SourceId>) -> TrappError {
+        let shard_indexes: Vec<usize> = match route {
+            Route::Single(s) => vec![s],
+            Route::Scatter => (0..self.router.shard_count()).collect(),
+        };
+        let mut surviving_shards = Vec::new();
+        let mut failed_shards = Vec::new();
+        for s in shard_indexes {
+            let owns_dark = {
+                let cache = self.router.shard(s).cache.lock();
+                let any = cache.objects().any(|(_, r)| dark.contains(&r.source));
+                any
+            };
+            if owns_dark {
+                failed_shards.push(s);
+            } else {
+                surviving_shards.push(s);
+            }
+        }
+        let mut sources: Vec<SourceId> = dark.iter().copied().collect();
+        sources.sort();
+        TrappError::PartialResult(Box::new(PartialFailure {
+            surviving_shards,
+            failed_shards,
+            sources: sources
+                .into_iter()
+                .map(|source| SourceFailure {
+                    source,
+                    cause: Box::new(TrappError::SourceUnavailable(source)),
+                })
+                .collect(),
+        }))
     }
 
     /// The scatter-side plan phase: gather every shard's
@@ -526,6 +760,7 @@ impl ServiceCore {
     fn plan_scatter(
         &self,
         query: &trapp_sql::Query,
+        exclusions: &Exclusions,
     ) -> Result<(QueryPlan, f64, usize), TrappError> {
         let mut strategy = trapp_core::SolverStrategy::default();
         let mut heuristic = IterativeHeuristic::BestRatio;
@@ -603,7 +838,16 @@ impl ServiceCore {
                 }
                 let (table, agg, within) = shape.expect("at least one shard");
                 let merged = trapp_core::merge_partials(inputs)?;
-                let unit = plan_unit(agg, within, strategy, &table, Vec::new(), &merged, None)?;
+                let unit = plan_unit(
+                    agg,
+                    within,
+                    strategy,
+                    &table,
+                    Vec::new(),
+                    &merged,
+                    None,
+                    exclusions.for_table(&table),
+                )?;
                 assemble_units(vec![unit], false)
             }
             QueryPartial::Grouped(_) => {
@@ -618,7 +862,14 @@ impl ServiceCore {
                 let mut units = Vec::with_capacity(merged.len());
                 for (key, p) in merged {
                     units.push(plan_unit(
-                        p.agg, p.within, strategy, &p.table, key, &p.input, None,
+                        p.agg,
+                        p.within,
+                        strategy,
+                        &p.table,
+                        key,
+                        &p.input,
+                        None,
+                        exclusions.for_table(&p.table),
                     )?);
                 }
                 assemble_units(units, true)
@@ -636,7 +887,7 @@ impl ServiceCore {
                 }
                 let left = merge_table_slices(lschema, lefts)?;
                 let right = merge_table_slices(rschema, rights)?;
-                plan_join_round(&bound, &left, &right, heuristic, join_batch)?
+                plan_join_round(&bound, &left, &right, heuristic, join_batch, exclusions)?
             }
         };
         Ok((plan, now, max_join_rounds))
@@ -668,6 +919,9 @@ pub struct QueryService {
     core: Arc<ServiceCore>,
     jobs: Option<Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
+    /// Live handle over the chaos layer, when the service was built with
+    /// [`ServiceBuilder::chaos`].
+    chaos: Option<Arc<ChaosControl>>,
 }
 
 impl QueryService {
@@ -688,17 +942,26 @@ impl QueryService {
             Box::new(transport) as Box<dyn Transport>,
             config.coalesce,
             HashMap::new(),
+            config.gateway_await_timeout,
+            config.retry,
+            config.health,
         );
         let router = ShardRouter::new(vec![shard], None, HashSet::new(), HashMap::new());
-        QueryService::start_router(router, clock, config)
+        QueryService::start_router(router, clock, config, None)
     }
 
     /// Starts workers over an assembled router.
-    fn start_router(router: ShardRouter, clock: SimClock, config: ServiceConfig) -> QueryService {
+    fn start_router(
+        router: ShardRouter,
+        clock: SimClock,
+        config: ServiceConfig,
+        chaos: Option<Arc<ChaosControl>>,
+    ) -> QueryService {
         let core = Arc::new(ServiceCore {
             router,
             clock,
             batch_refreshes: config.batch_refreshes,
+            degradation: config.degradation,
             counters: Mutex::new(ServiceStats::default()),
         });
         let (jobs_tx, jobs_rx) = unbounded::<Job>();
@@ -720,7 +983,15 @@ impl QueryService {
             core,
             jobs: Some(jobs_tx),
             workers,
+            chaos,
         }
+    }
+
+    /// The chaos-layer control handle, when this service was built with
+    /// [`ServiceBuilder::chaos`] — scripts outages (`force_down` /
+    /// `restore`) and reads injection counters mid-run.
+    pub fn chaos_control(&self) -> Option<&Arc<ChaosControl>> {
+        self.chaos.as_ref()
     }
 
     /// Enqueues a query; the returned ticket resolves to the answer.
@@ -856,6 +1127,17 @@ impl QueryService {
         f(&mut self.core.router.shard(shard).cache.lock())
     }
 
+    /// The union of every shard's currently-dark (breaker-open) sources.
+    /// Empty on a healthy service; polled by benches and tests to watch
+    /// breakers open and recover.
+    pub fn dark_sources(&self) -> HashSet<SourceId> {
+        let mut dark = HashSet::new();
+        for shard in self.core.router.shards() {
+            dark.extend(shard.health.dark_sources());
+        }
+        dark
+    }
+
     /// A consistent snapshot of the aggregate counters.
     pub fn stats(&self) -> ServiceStats {
         let mut s = *self.core.counters.lock();
@@ -965,6 +1247,7 @@ pub struct ServiceBuilder {
     partition_by: Option<String>,
     tables: Vec<Table>,
     rows: Vec<(String, SourceId, Vec<BoundedValue>)>,
+    chaos: Option<ChaosConfig>,
 }
 
 impl Default for ServiceBuilder {
@@ -977,6 +1260,7 @@ impl Default for ServiceBuilder {
             partition_by: None,
             tables: Vec::new(),
             rows: Vec::new(),
+            chaos: None,
         }
     }
 }
@@ -1008,6 +1292,16 @@ impl ServiceBuilder {
     /// Sets the service configuration.
     pub fn config(mut self, config: ServiceConfig) -> Self {
         self.config = config;
+        self
+    }
+
+    /// Wraps every shard's transport in a deterministic fault-injecting
+    /// [`ChaosTransport`] with this configuration. All shards share one
+    /// [`ChaosControl`] (a single global operation counter, so outage
+    /// windows script against service-wide operation order), reachable
+    /// after build via [`QueryService::chaos_control`].
+    pub fn chaos(mut self, cfg: ChaosConfig) -> Self {
+        self.chaos = Some(cfg);
         self
     }
 
@@ -1101,20 +1395,37 @@ impl ServiceBuilder {
     ) -> Result<QueryService, TrappError> {
         let config = self.config;
         let partition_column = self.partition_by.clone();
+        let chaos_cfg = self.chaos.clone();
+        // One control across all shards: a single global op counter, so
+        // scripted outage windows span the whole service's operation
+        // order rather than restarting per shard.
+        let chaos_control = chaos_cfg.as_ref().map(|_| Arc::new(ChaosControl::new()));
         let (clock, wired, group_placed, from_global) = self.wire()?;
         let mut shards = Vec::with_capacity(wired.len());
         for w in wired {
             let mut cache = w.cache;
             configure_cache(&mut cache, &config)?;
+            let mut transport = make_transport(w.sources);
+            if let (Some(cfg), Some(control)) = (&chaos_cfg, &chaos_control) {
+                transport = Box::new(ChaosTransport::new(transport, cfg.clone(), control.clone()));
+            }
             shards.push(Shard::new(
                 cache,
-                make_transport(w.sources),
+                transport,
                 config.coalesce,
                 w.to_global,
+                config.gateway_await_timeout,
+                config.retry,
+                config.health,
             ));
         }
         let router = ShardRouter::new(shards, partition_column, group_placed, from_global);
-        Ok(QueryService::start_router(router, clock, config))
+        Ok(QueryService::start_router(
+            router,
+            clock,
+            config,
+            chaos_control,
+        ))
     }
 
     /// The shard a row lands on: hash of the partition cell's exact

@@ -21,6 +21,7 @@ fn build(w: &ServiceWorkload) -> QueryService {
             batch_refreshes: true,
             cache_views: true,
             batch_join_rounds: true,
+            ..ServiceConfig::default()
         })
         .partition_by("grp")
         .table(loadgen::table());

@@ -33,6 +33,7 @@ fn config(shards: usize, batch_join_rounds: bool) -> ServiceConfig {
         batch_refreshes: true,
         cache_views: true,
         batch_join_rounds,
+        ..ServiceConfig::default()
     }
 }
 

@@ -62,6 +62,7 @@ fn sequential_service_is_bit_identical_to_simulation() {
             batch_refreshes: true,
             cache_views: true,
             batch_join_rounds: true,
+            ..ServiceConfig::default()
         },
     );
 
@@ -108,6 +109,7 @@ fn eight_concurrent_clients_get_correct_bounded_answers() {
             batch_refreshes: true,
             cache_views: true,
             batch_join_rounds: true,
+            ..ServiceConfig::default()
         },
     );
     service.advance_clock(25.0);
@@ -163,6 +165,7 @@ fn overlapping_concurrent_queries_share_refreshes() {
                 batch_refreshes: true,
                 cache_views: true,
                 batch_join_rounds: true,
+                ..ServiceConfig::default()
             },
         );
         service.advance_clock(25.0);
@@ -218,6 +221,7 @@ fn coalescing_saves_refreshes_under_latency() {
             batch_refreshes: true,
             cache_views: true,
             batch_join_rounds: true,
+            ..ServiceConfig::default()
         })
         .table(loadgen::table());
     for r in &w.rows {

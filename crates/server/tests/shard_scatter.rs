@@ -37,6 +37,7 @@ fn build_on(w: &ServiceWorkload, shards: usize, workers: usize, stack: Stack) ->
             batch_refreshes: true,
             cache_views: true,
             batch_join_rounds: true,
+            ..ServiceConfig::default()
         })
         .partition_by("grp")
         .table(loadgen::table());

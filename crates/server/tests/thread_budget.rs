@@ -49,6 +49,7 @@ fn builder(w: &ServiceWorkload) -> ServiceBuilder {
             batch_refreshes: true,
             cache_views: true,
             batch_join_rounds: true,
+            ..ServiceConfig::default()
         })
         .partition_by("grp")
         .table(loadgen::table());

@@ -28,6 +28,7 @@ fn build(w: &ServiceWorkload, shards: usize, views: bool, stack: Stack) -> Query
             batch_refreshes: true,
             cache_views: views,
             batch_join_rounds: true,
+            ..ServiceConfig::default()
         })
         .partition_by("grp")
         .table(loadgen::table());

@@ -1,0 +1,417 @@
+//! Deterministic fault injection: [`ChaosTransport`] wraps any
+//! [`Transport`] and injects per-source failures, added latency, and
+//! scripted outage windows into the **query-initiated refresh plane**.
+//!
+//! Two properties make it usable in tests and benches:
+//!
+//! * **Determinism** — every probabilistic failure is a pure function of
+//!   `(seed, source, global op counter)` via a splitmix64 draw, so a
+//!   seeded schedule replays bit-identically; scripted outages are
+//!   expressed in *operation counts* (down from op N to op M), not wall
+//!   time.
+//! * **Fail-at-send only** — an injected failure rejects the request
+//!   *before* it reaches the source. TRAPP's core invariant is that every
+//!   refresh a source *serves* must install at the cache (the source's
+//!   Refresh Monitor re-centers its bound on serve; dropping the reply
+//!   would desync cache and monitor and permit wrong answers). Chaos
+//!   therefore never serves-then-drops: the source either never sees the
+//!   request, or the reply is delivered intact.
+//!
+//! The update plane ([`Transport::apply_update`] /
+//! [`Transport::submit_update_batch`]) passes through untouched: masters
+//! keep moving and value-initiated refreshes keep flowing, so ground
+//! truth stays well-defined while the pull path is under fault load.
+//! A shared [`ChaosControl`] handle lets a driver (e.g. the availability
+//! bench) force sources down and back up mid-run, on top of the seeded
+//! schedule.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use trapp_types::{CacheId, ObjectId, SourceId, TrappError};
+
+use crate::message::Refresh;
+use crate::transport::{Completion, Transport};
+
+/// A scripted outage: the matching source(s) reject every refresh request
+/// whose global operation number falls in `[from_op, to_op)`.
+#[derive(Clone, Debug)]
+pub struct OutageWindow {
+    /// The source taken down, or `None` for a total outage of all sources.
+    pub source: Option<SourceId>,
+    /// First refresh operation (inclusive, global counter) that fails.
+    pub from_op: u64,
+    /// First refresh operation (exclusive) that succeeds again.
+    pub to_op: u64,
+}
+
+/// Seeded fault schedule for a [`ChaosTransport`].
+#[derive(Clone, Debug)]
+pub struct ChaosConfig {
+    /// Seed for the deterministic per-operation failure draws.
+    pub seed: u64,
+    /// Failure probability applied to every source without an override.
+    pub default_fail_p: f64,
+    /// Per-source failure probability overrides.
+    pub fail_p: Vec<(SourceId, f64)>,
+    /// Extra wire latency charged (at send time) to every refresh request
+    /// that is *not* failed. `Duration::ZERO` for none.
+    pub added_latency: Duration,
+    /// Scripted outage windows, checked against the global op counter.
+    pub outages: Vec<OutageWindow>,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> ChaosConfig {
+        ChaosConfig {
+            seed: 0,
+            default_fail_p: 0.0,
+            fail_p: Vec::new(),
+            added_latency: Duration::ZERO,
+            outages: Vec::new(),
+        }
+    }
+}
+
+impl ChaosConfig {
+    /// The failure probability in effect for `source`.
+    pub fn fail_p_for(&self, source: SourceId) -> f64 {
+        self.fail_p
+            .iter()
+            .find(|(s, _)| *s == source)
+            .map(|&(_, p)| p)
+            .unwrap_or(self.default_fail_p)
+    }
+}
+
+/// Shared runtime handle over one chaos schedule: op/failure counters
+/// plus a manual kill switch for scripting wall-clock outages from a
+/// driver. Clone the `Arc` freely; all wrapped transports sharing it
+/// advance one global op counter.
+#[derive(Default)]
+pub struct ChaosControl {
+    ops: AtomicU64,
+    injected: AtomicU64,
+    forced_down: Mutex<HashSet<SourceId>>,
+}
+
+impl ChaosControl {
+    /// A fresh control with zeroed counters and nothing forced down.
+    pub fn new() -> ChaosControl {
+        ChaosControl::default()
+    }
+
+    /// Refresh operations that have passed through the chaos layer.
+    pub fn ops(&self) -> u64 {
+        self.ops.load(Ordering::Relaxed)
+    }
+
+    /// How many of those operations were failed by injection.
+    pub fn injected_failures(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Forces `source` down: every refresh request fails with
+    /// [`TrappError::SourceUnavailable`] until [`ChaosControl::restore`].
+    pub fn force_down(&self, source: SourceId) {
+        self.forced_down.lock().insert(source);
+    }
+
+    /// Lifts a manual [`ChaosControl::force_down`].
+    pub fn restore(&self, source: SourceId) {
+        self.forced_down.lock().remove(&source);
+    }
+
+    /// Whether `source` is currently manually forced down.
+    pub fn is_forced_down(&self, source: SourceId) -> bool {
+        self.forced_down.lock().contains(&source)
+    }
+}
+
+/// SplitMix64 — the standard 64-bit finalizer; good enough to turn
+/// `(seed, source, op)` into an i.i.d.-looking uniform draw with no
+/// external RNG dependency. Public so other layers (e.g. retry backoff
+/// jitter) can derive deterministic pseudo-random values from a counter
+/// without pulling in an RNG.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform draw in `[0, 1)` from `(seed, source, op)`.
+fn draw(seed: u64, source: SourceId, op: u64) -> f64 {
+    let h = splitmix64(seed ^ splitmix64(source.raw().wrapping_mul(0xA24B_AED4_963E_E407)) ^ op);
+    // 53 significand bits, same construction as rand's `f64` conversion.
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Deterministic, seed-driven fault-injecting wrapper over any
+/// [`Transport`]. See the module docs for the fault model.
+pub struct ChaosTransport<T> {
+    inner: T,
+    cfg: ChaosConfig,
+    control: Arc<ChaosControl>,
+}
+
+impl<T: Transport> ChaosTransport<T> {
+    /// Wraps `inner` under `cfg`, sharing `control` with the driver (and
+    /// with sibling transports — e.g. one per shard — that must advance
+    /// the same op counter).
+    pub fn new(inner: T, cfg: ChaosConfig, control: Arc<ChaosControl>) -> ChaosTransport<T> {
+        ChaosTransport {
+            inner,
+            cfg,
+            control,
+        }
+    }
+
+    /// The shared control handle.
+    pub fn control(&self) -> Arc<ChaosControl> {
+        self.control.clone()
+    }
+
+    /// One refresh send: advances the global op counter and decides
+    /// whether this operation is failed by the schedule.
+    fn admit(&self, source: SourceId) -> Result<(), TrappError> {
+        let op = self.control.ops.fetch_add(1, Ordering::Relaxed);
+        if self.control.is_forced_down(source) {
+            self.control.injected.fetch_add(1, Ordering::Relaxed);
+            return Err(TrappError::SourceUnavailable(source));
+        }
+        for w in &self.cfg.outages {
+            let matches = w.source.is_none_or(|s| s == source);
+            if matches && (w.from_op..w.to_op).contains(&op) {
+                self.control.injected.fetch_add(1, Ordering::Relaxed);
+                return Err(TrappError::SourceUnavailable(source));
+            }
+        }
+        let p = self.cfg.fail_p_for(source);
+        if p > 0.0 && draw(self.cfg.seed, source, op) < p {
+            self.control.injected.fetch_add(1, Ordering::Relaxed);
+            return Err(TrappError::RefreshFailed(format!(
+                "injected fault for {source} at op {op}"
+            )));
+        }
+        if !self.cfg.added_latency.is_zero() {
+            std::thread::sleep(self.cfg.added_latency);
+        }
+        Ok(())
+    }
+}
+
+impl<T: Transport> Transport for ChaosTransport<T> {
+    fn request_refresh(
+        &self,
+        source: SourceId,
+        cache: CacheId,
+        object: ObjectId,
+        now: f64,
+    ) -> Result<Refresh, TrappError> {
+        self.admit(source)?;
+        self.inner.request_refresh(source, cache, object, now)
+    }
+
+    fn request_refresh_batch(
+        &self,
+        source: SourceId,
+        cache: CacheId,
+        objects: &[ObjectId],
+        now: f64,
+    ) -> Result<Vec<Refresh>, TrappError> {
+        if objects.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.admit(source)?;
+        self.inner
+            .request_refresh_batch(source, cache, objects, now)
+    }
+
+    fn submit_refresh(
+        &self,
+        source: SourceId,
+        cache: CacheId,
+        object: ObjectId,
+        now: f64,
+    ) -> Completion<Refresh> {
+        if let Err(e) = self.admit(source) {
+            return Completion::ready(Err(e));
+        }
+        self.inner.submit_refresh(source, cache, object, now)
+    }
+
+    fn submit_refresh_batch(
+        &self,
+        source: SourceId,
+        cache: CacheId,
+        objects: Vec<ObjectId>,
+        now: f64,
+    ) -> Completion<Vec<Refresh>> {
+        if objects.is_empty() {
+            return Completion::ready(Ok(Vec::new()));
+        }
+        if let Err(e) = self.admit(source) {
+            return Completion::ready(Err(e));
+        }
+        self.inner.submit_refresh_batch(source, cache, objects, now)
+    }
+
+    fn apply_update(
+        &self,
+        source: SourceId,
+        object: ObjectId,
+        value: f64,
+        now: f64,
+    ) -> Result<Vec<(CacheId, Refresh)>, TrappError> {
+        self.inner.apply_update(source, object, value, now)
+    }
+
+    fn submit_update_batch(
+        &self,
+        source: SourceId,
+        updates: Vec<(ObjectId, f64)>,
+        now: f64,
+    ) -> Completion<Vec<(CacheId, Refresh)>> {
+        self.inner.submit_update_batch(source, updates, now)
+    }
+
+    fn messages(&self) -> u64 {
+        self.inner.messages()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::Source;
+    use crate::transport::DirectTransport;
+    use trapp_bounds::BoundShape;
+
+    fn transport_with_source(id: u64) -> DirectTransport {
+        let mut t = DirectTransport::new();
+        let mut s = Source::new(SourceId::new(id), BoundShape::Sqrt);
+        s.register_object(ObjectId::new(1), 10.0).unwrap();
+        s.subscribe(CacheId::new(1), ObjectId::new(1), 1.0, 0.0)
+            .unwrap();
+        t.add_source(s);
+        t
+    }
+
+    fn run_schedule(seed: u64, p: f64, ops: usize) -> Vec<bool> {
+        let chaos = ChaosTransport::new(
+            transport_with_source(1),
+            ChaosConfig {
+                seed,
+                default_fail_p: p,
+                ..ChaosConfig::default()
+            },
+            Arc::new(ChaosControl::new()),
+        );
+        (0..ops)
+            .map(|_| {
+                chaos
+                    .request_refresh(SourceId::new(1), CacheId::new(1), ObjectId::new(1), 1.0)
+                    .is_ok()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn seeded_schedules_replay_bit_identically() {
+        let a = run_schedule(42, 0.3, 200);
+        let b = run_schedule(42, 0.3, 200);
+        assert_eq!(a, b, "same seed must replay the same failures");
+        let c = run_schedule(43, 0.3, 200);
+        assert_ne!(a, c, "different seed must produce a different schedule");
+        let fails = a.iter().filter(|ok| !**ok).count();
+        assert!(
+            (20..=100).contains(&fails),
+            "p=0.3 over 200 ops should fail roughly 60 times, got {fails}"
+        );
+    }
+
+    #[test]
+    fn outage_window_is_exact_in_op_counts() {
+        let chaos = ChaosTransport::new(
+            transport_with_source(1),
+            ChaosConfig {
+                outages: vec![OutageWindow {
+                    source: Some(SourceId::new(1)),
+                    from_op: 3,
+                    to_op: 6,
+                }],
+                ..ChaosConfig::default()
+            },
+            Arc::new(ChaosControl::new()),
+        );
+        let results: Vec<bool> = (0..10)
+            .map(|_| {
+                chaos
+                    .request_refresh(SourceId::new(1), CacheId::new(1), ObjectId::new(1), 1.0)
+                    .is_ok()
+            })
+            .collect();
+        assert_eq!(
+            results,
+            vec![true, true, true, false, false, false, true, true, true, true]
+        );
+        // Outage failures carry the typed unavailable error.
+        assert_eq!(chaos.control().injected_failures(), 3);
+    }
+
+    #[test]
+    fn manual_force_down_and_restore() {
+        let control = Arc::new(ChaosControl::new());
+        let chaos = ChaosTransport::new(
+            transport_with_source(1),
+            ChaosConfig::default(),
+            control.clone(),
+        );
+        let src = SourceId::new(1);
+        assert!(chaos
+            .request_refresh(src, CacheId::new(1), ObjectId::new(1), 1.0)
+            .is_ok());
+        control.force_down(src);
+        let err = chaos
+            .request_refresh(src, CacheId::new(1), ObjectId::new(1), 2.0)
+            .unwrap_err();
+        assert_eq!(err, TrappError::SourceUnavailable(src));
+        control.restore(src);
+        assert!(chaos
+            .request_refresh(src, CacheId::new(1), ObjectId::new(1), 3.0)
+            .is_ok());
+    }
+
+    #[test]
+    fn update_plane_is_never_failed() {
+        let control = Arc::new(ChaosControl::new());
+        let chaos = ChaosTransport::new(
+            transport_with_source(1),
+            ChaosConfig {
+                default_fail_p: 1.0,
+                ..ChaosConfig::default()
+            },
+            control.clone(),
+        );
+        let src = SourceId::new(1);
+        control.force_down(src);
+        // Refresh pulls all fail...
+        assert!(chaos
+            .request_refresh(src, CacheId::new(1), ObjectId::new(1), 1.0)
+            .is_err());
+        // ...but masters keep moving and pushes keep flowing.
+        let refreshes = chaos
+            .apply_update(src, ObjectId::new(1), 99.0, 2.0)
+            .unwrap();
+        assert_eq!(refreshes.len(), 1);
+        assert!(chaos
+            .submit_update_batch(src, vec![(ObjectId::new(1), 123.0)], 3.0)
+            .wait()
+            .is_ok());
+    }
+}

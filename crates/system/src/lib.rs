@@ -33,6 +33,7 @@
 #![deny(unsafe_code)]
 
 pub mod cache;
+pub mod chaos;
 pub mod clock;
 pub mod cost;
 pub mod fetch_pool;
@@ -43,6 +44,7 @@ pub mod stats;
 pub mod transport;
 
 pub use cache::CacheNode;
+pub use chaos::{splitmix64, ChaosConfig, ChaosControl, ChaosTransport, OutageWindow};
 pub use clock::SimClock;
 pub use cost::CostModel;
 pub use fetch_pool::FetchPool;

@@ -81,6 +81,44 @@ impl<T> Completion<T> {
             })?,
         }
     }
+
+    /// Blocks for at most `timeout`. `Ok(result)` when the completion
+    /// resolved (or the transport dropped it — surfaced as
+    /// [`TrappError::RefreshFailed`], same as [`Completion::wait`]);
+    /// `Err(self)` when the deadline expired with the request still in
+    /// flight, handing the completion back so the caller can park it and
+    /// still install the refresh if it lands later.
+    pub fn wait_timeout(self, timeout: Duration) -> Result<Result<T, TrappError>, Completion<T>> {
+        match self.inner {
+            CompletionInner::Ready(result) => Ok(result),
+            CompletionInner::Pending(rx) => match rx.recv_timeout(timeout) {
+                Ok(result) => Ok(result),
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => Ok(Err(
+                    TrappError::RefreshFailed("transport dropped the completion".into()),
+                )),
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => Err(Completion {
+                    inner: CompletionInner::Pending(rx),
+                }),
+            },
+        }
+    }
+
+    /// Nonblocking probe: `Ok(result)` if the completion has resolved
+    /// (or was dropped), `Err(self)` if it is still in flight.
+    pub fn poll(self) -> Result<Result<T, TrappError>, Completion<T>> {
+        match self.inner {
+            CompletionInner::Ready(result) => Ok(result),
+            CompletionInner::Pending(rx) => match rx.try_recv() {
+                Ok(result) => Ok(result),
+                Err(crossbeam::channel::TryRecvError::Disconnected) => Ok(Err(
+                    TrappError::RefreshFailed("transport dropped the completion".into()),
+                )),
+                Err(crossbeam::channel::TryRecvError::Empty) => Err(Completion {
+                    inner: CompletionInner::Pending(rx),
+                }),
+            },
+        }
+    }
 }
 
 /// Resolves a [`Completion`]. Dropping it unresolved makes the paired

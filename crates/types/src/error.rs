@@ -7,8 +7,76 @@
 
 use std::fmt;
 
+use crate::id::SourceId;
+
 /// Convenience alias used throughout the workspace.
 pub type TrappResult<T> = Result<T, TrappError>;
+
+/// One source's contribution to a partial failure: which source failed
+/// and the underlying transport/source error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceFailure {
+    /// The source whose refresh round-trip failed.
+    pub source: SourceId,
+    /// The underlying cause (boxed to keep [`TrappError`] small).
+    pub cause: Box<TrappError>,
+}
+
+impl fmt::Display for SourceFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.source, self.cause)
+    }
+}
+
+/// Structured payload of [`TrappError::PartialResult`]: which shards
+/// survived the scatter, which lost their slice, and the per-source error
+/// causes. Surviving refreshes have already been installed when this
+/// error is returned — only the *answer* is withheld.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PartialFailure {
+    /// Shard indexes whose plan slices completed (refreshes installed).
+    pub surviving_shards: Vec<usize>,
+    /// Shard indexes that lost at least one per-source batch.
+    pub failed_shards: Vec<usize>,
+    /// Per-source causes, one entry per failed (source, batch) — after
+    /// retries were exhausted.
+    pub sources: Vec<SourceFailure>,
+}
+
+impl PartialFailure {
+    /// The sources that failed, deduplicated in first-failure order.
+    pub fn failed_sources(&self) -> Vec<SourceId> {
+        let mut seen = Vec::new();
+        for s in &self.sources {
+            if !seen.contains(&s.source) {
+                seen.push(s.source);
+            }
+        }
+        seen
+    }
+}
+
+impl fmt::Display for PartialFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} of {} shard(s) lost their slice of the plan",
+            self.failed_shards.len(),
+            self.failed_shards.len() + self.surviving_shards.len(),
+        )?;
+        if !self.sources.is_empty() {
+            write!(f, " (")?;
+            for (i, s) in self.sources.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "; ")?;
+                }
+                write!(f, "{s}")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
 
 /// Errors produced by TRAPP components.
 #[derive(Debug, Clone, PartialEq)]
@@ -60,8 +128,23 @@ pub enum TrappError {
     /// A scatter-gathered query lost one or more shards: the surviving
     /// partial aggregates cannot bound the full answer, so no answer is
     /// returned (a wrong-but-confident bound would violate TRAPP's core
-    /// guarantee). The payload names the failed shard and its error.
-    PartialResult(String),
+    /// guarantee). The payload carries the surviving/failed shard sets
+    /// and the per-source error causes.
+    PartialResult(Box<PartialFailure>),
+    /// A refresh round-trip exceeded its deadline. Unlike
+    /// [`TrappError::RefreshFailed`], the request may still complete at
+    /// the source; the gateway keeps a handle and installs the refresh
+    /// if and when it lands (seq-guarded), so cache and Refresh Monitor
+    /// never diverge.
+    Timeout {
+        /// The source whose reply did not arrive in time.
+        source: SourceId,
+        /// How long the caller waited, in milliseconds.
+        waited_ms: u64,
+    },
+    /// A source is considered down (its circuit breaker is open): the
+    /// request was failed fast without a round-trip.
+    SourceUnavailable(SourceId),
     /// Division by an interval containing zero during interval evaluation.
     DivisionByZeroInterval,
     /// The operation is not supported in this configuration.
@@ -99,8 +182,14 @@ impl fmt::Display for TrappError {
             }
             TrappError::Plan(m) => write!(f, "planning error: {m}"),
             TrappError::RefreshFailed(m) => write!(f, "refresh failed: {m}"),
-            TrappError::PartialResult(m) => {
-                write!(f, "partial result: {m}")
+            TrappError::PartialResult(p) => {
+                write!(f, "partial result: {p}")
+            }
+            TrappError::Timeout { source, waited_ms } => {
+                write!(f, "refresh from {source} timed out after {waited_ms} ms")
+            }
+            TrappError::SourceUnavailable(s) => {
+                write!(f, "source {s} is unavailable (circuit breaker open)")
             }
             TrappError::DivisionByZeroInterval => {
                 write!(f, "division by an interval containing zero")
@@ -128,6 +217,36 @@ mod tests {
         assert!(e.to_string().contains("byte 17"));
         let e = TrappError::UnknownColumn("lat".into());
         assert_eq!(e.to_string(), "unknown column: lat");
+    }
+
+    #[test]
+    fn partial_failure_is_structured_and_displayable() {
+        let p = PartialFailure {
+            surviving_shards: vec![0, 2, 3],
+            failed_shards: vec![1],
+            sources: vec![
+                SourceFailure {
+                    source: SourceId::new(7),
+                    cause: Box::new(TrappError::RefreshFailed("boom".into())),
+                },
+                SourceFailure {
+                    source: SourceId::new(7),
+                    cause: Box::new(TrappError::Timeout {
+                        source: SourceId::new(7),
+                        waited_ms: 41,
+                    }),
+                },
+            ],
+        };
+        assert_eq!(p.failed_sources(), vec![SourceId::new(7)]);
+        let e = TrappError::PartialResult(Box::new(p));
+        let msg = e.to_string();
+        assert!(msg.contains("1 of 4 shard(s)"), "{msg}");
+        assert!(msg.contains("src#7"), "{msg}");
+        assert!(msg.contains("timed out after 41 ms"), "{msg}");
+        assert!(TrappError::SourceUnavailable(SourceId::new(3))
+            .to_string()
+            .contains("src#3"));
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub mod shard;
 pub mod tri;
 pub mod value;
 
-pub use error::{TrappError, TrappResult};
+pub use error::{PartialFailure, SourceFailure, TrappError, TrappResult};
 pub use float::OrderedF64;
 pub use id::{CacheId, ObjectId, SourceId, TupleId};
 pub use interval::Interval;
