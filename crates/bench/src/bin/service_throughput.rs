@@ -1,5 +1,5 @@
 //! Throughput / latency / round-trip benchmark for the `trapp-server`
-//! query service, in eight parts:
+//! query service, in nine parts:
 //!
 //! 1. **traffic mechanisms** (single shard): per-object baseline vs
 //!    batched source round-trips vs batching + refresh coalescing;
@@ -46,6 +46,14 @@
 //!    answer (degraded or not) is still checked against the churn
 //!    envelope, so a bound violation fails the run exactly as in the
 //!    fault-free parts.
+//! 9. **overload**: every query carries `DEADLINE 50` while one source
+//!    answers 25 ms slow, and closed-loop client counts walk from light
+//!    load to 2× worker saturation. BestEffort must answer everything —
+//!    zero errors, zero bound violations, p99 bounded by the deadline —
+//!    with the load-shed (degraded-width) fraction rising as queue wait
+//!    eats the budget; a Strict run at 2× saturation may refuse, but
+//!    only ever with the typed `DeadlineExceeded`. The admission ladder
+//!    (queue-depth watermark widening) runs on the BestEffort steps.
 //!
 //! [`ChaosTransport`]: trapp_system::ChaosTransport
 //!
@@ -74,7 +82,7 @@ use rand::{Rng, SeedableRng};
 use trapp_bench::json::Json;
 use trapp_bench::tablefmt;
 use trapp_server::{DegradationPolicy, QueryService, ServiceBuilder, ServiceConfig};
-use trapp_system::ChaosConfig;
+use trapp_system::{ChaosConfig, DelaySpec};
 use trapp_types::{ObjectId, SourceId, Value};
 use trapp_workload::loadgen::{self, LoadConfig, QueryShape, ServiceWorkload};
 use trapp_workload::tpch::{self, TpchClass, TpchWorkload, Truth};
@@ -731,6 +739,285 @@ fn availability_json(r: &AvailabilityResult) -> Json {
         ("injected_failures", Json::Num(r.injected as f64)),
         ("recovered_fraction", Json::Num(r.recovered_fraction())),
         ("recovery_probes", Json::Num(r.recovery_probes as f64)),
+        ("violations", Json::Num(r.violations as f64)),
+    ])
+}
+
+/// Part 9's per-query deadline budget, milliseconds.
+const OVERLOAD_DEADLINE_MS: f64 = 50.0;
+/// Part 9's slow-source injected latency (blocking sends sleep this long).
+const OVERLOAD_DELAY: Duration = Duration::from_millis(25);
+/// Scheduling slack allowed on top of the deadline before part 9 fails a
+/// run's p99: the deadline bounds queue wait + fetch, but thread wakeups
+/// and the final cache-only install ride on top.
+const OVERLOAD_P99_GRACE: f64 = 1.5;
+
+/// One overload run's numbers (part 9).
+struct OverloadResult {
+    label: String,
+    policy: &'static str,
+    clients: usize,
+    wall: Duration,
+    latencies_us: Vec<f64>,
+    queries: u64,
+    /// Typed `DeadlineExceeded` refusals (Strict's only legal error).
+    deadline_errors: u64,
+    /// Every other error — fails the run under either policy.
+    other_errors: u64,
+    /// Replies flagged `load_shed`: the constraint was deliberately
+    /// relaxed (deadline widening or admission widening).
+    degraded: u64,
+    width_sum: f64,
+    deadline_widened: u64,
+    admission_widened: u64,
+    violations: usize,
+}
+
+impl OverloadResult {
+    fn qps(&self) -> f64 {
+        self.queries as f64 / self.wall.as_secs_f64()
+    }
+    fn errors(&self) -> u64 {
+        self.deadline_errors + self.other_errors
+    }
+    fn degraded_fraction(&self) -> f64 {
+        self.degraded as f64 / self.queries.max(1) as f64
+    }
+    fn mean_achieved_width(&self) -> f64 {
+        if self.degraded == 0 {
+            0.0
+        } else {
+            self.width_sum / self.degraded as f64
+        }
+    }
+    fn p99_us(&self) -> f64 {
+        let mut sorted = self.latencies_us.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        percentile(&sorted, 0.99)
+    }
+}
+
+/// Part 9's overload loop: every query carries `DEADLINE
+/// OVERLOAD_DEADLINE_MS` while one source answers [`OVERLOAD_DELAY`] slow
+/// on the blocking transport, and `clients` closed-loop submitters drive
+/// a fixed worker pool — past saturation, queue wait eats the budget and
+/// the deadline machinery must widen (BestEffort) or refuse with the
+/// typed error (Strict). Since the masters never move, *every* reply —
+/// shed or not — must still contain the static ground truth; p99 beyond
+/// `deadline × OVERLOAD_P99_GRACE` fails the run too, because a deadline
+/// that counts from enqueue bounds the whole client-observed latency.
+fn run_overload(
+    label: impl Into<String>,
+    w: &ServiceWorkload,
+    clients: usize,
+    policy: DegradationPolicy,
+    admission: trapp_server::AdmissionConfig,
+) -> OverloadResult {
+    let slow = SourceId::new(1);
+    let config = ServiceConfig {
+        workers: CLIENTS,
+        shards: 1,
+        degradation: policy,
+        // Attempt caps come from the deadline, not the per-try timeout:
+        // with `fetch_timeout` past the budget, an expired wait *is* a
+        // blown deadline, so Strict surfaces `DeadlineExceeded` rather
+        // than a raw per-try `Timeout`.
+        retry: trapp_server::RetryPolicy {
+            max_retries: 1,
+            fetch_timeout: Duration::from_millis(200),
+            ..trapp_server::RetryPolicy::default()
+        },
+        // Deadline expiries are not source failures: keep the breakers
+        // closed so every error below is the deadline machinery's.
+        health: trapp_server::HealthConfig {
+            failure_threshold: 1000,
+            ..trapp_server::HealthConfig::default()
+        },
+        admission,
+        ..ServiceConfig::default()
+    };
+    let service = build_service_with(
+        w,
+        config,
+        TransportKind::Channel,
+        Some(ChaosConfig {
+            seed: w.config.seed ^ 0x0EAD,
+            delay: vec![(slow, DelaySpec::fixed(OVERLOAD_DELAY))],
+            ..ChaosConfig::default()
+        }),
+    );
+
+    let latencies = Mutex::new(Vec::with_capacity(w.queries.len()));
+    let violations = Mutex::new(0usize);
+    let deadline_errors = Mutex::new(0u64);
+    let other_errors = Mutex::new(0u64);
+    let degraded = Mutex::new((0u64, 0.0f64)); // (load-shed count, width sum)
+    let started = Instant::now();
+
+    let burst_len = w.queries.len().div_ceil(BURSTS);
+    for burst in w.queries.chunks(burst_len) {
+        service.advance_clock(25.0);
+        let per_client = burst.len().div_ceil(clients);
+        let (service, latencies, violations, deadline_errors, other_errors, degraded) = (
+            &service,
+            &latencies,
+            &violations,
+            &deadline_errors,
+            &other_errors,
+            &degraded,
+        );
+        std::thread::scope(|s| {
+            for chunk in burst.chunks(per_client) {
+                s.spawn(move || {
+                    for q in chunk {
+                        let t0 = Instant::now();
+                        let reply = match service.query(&q.sql) {
+                            Ok(reply) => reply,
+                            Err(trapp_types::TrappError::DeadlineExceeded { .. }) => {
+                                *deadline_errors.lock().unwrap() += 1;
+                                continue;
+                            }
+                            Err(_) => {
+                                *other_errors.lock().unwrap() += 1;
+                                continue;
+                            }
+                        };
+                        let us = t0.elapsed().as_secs_f64() * 1e6;
+                        latencies.lock().unwrap().push(us);
+                        if let Some(d) = &reply.degraded {
+                            if d.load_shed {
+                                let mut deg = degraded.lock().unwrap();
+                                deg.0 += 1;
+                                deg.1 += d.achieved_width;
+                            }
+                        }
+                        // Shed or not, the interval must contain the
+                        // (static) truth — load never buys wrongness.
+                        let range = reply.result.answer.range;
+                        let t = loadgen::ground_truth(w, q);
+                        if !(range.lo() - 1e-9 <= t && t <= range.hi() + 1e-9) {
+                            *violations.lock().unwrap() += 1;
+                        }
+                    }
+                });
+            }
+        });
+    }
+    let wall = started.elapsed();
+
+    let stats = service.stats();
+    service.shutdown();
+    let (degraded, width_sum) = degraded.into_inner().unwrap();
+    let mut result = OverloadResult {
+        label: label.into(),
+        policy: match policy {
+            DegradationPolicy::Strict => "strict",
+            DegradationPolicy::BestEffort => "best-effort",
+        },
+        clients,
+        wall,
+        latencies_us: latencies.into_inner().unwrap(),
+        queries: stats.queries,
+        deadline_errors: deadline_errors.into_inner().unwrap(),
+        other_errors: other_errors.into_inner().unwrap(),
+        degraded,
+        width_sum,
+        deadline_widened: stats.deadline_widened,
+        admission_widened: stats.admission_widened,
+        violations: violations.into_inner().unwrap(),
+    };
+    let p99_limit_us = OVERLOAD_DEADLINE_MS * 1e3 * OVERLOAD_P99_GRACE;
+    if result.p99_us() > p99_limit_us {
+        eprintln!(
+            "overload {}: p99 {}µs blew the deadline bound ({}µs)",
+            result.label,
+            result.p99_us(),
+            p99_limit_us,
+        );
+        result.violations += 1;
+    }
+    result
+}
+
+fn render_overload(title: &str, runs: &[OverloadResult]) -> usize {
+    let mut rows = Vec::new();
+    let mut total = 0;
+    for r in runs {
+        let mut sorted = r.latencies_us.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        rows.push(vec![
+            r.label.clone(),
+            r.clients.to_string(),
+            tablefmt::num(r.wall.as_secs_f64() * 1e3, 1),
+            tablefmt::num(r.qps(), 0),
+            tablefmt::num(percentile(&sorted, 0.5), 0),
+            tablefmt::num(percentile(&sorted, 0.99), 0),
+            r.errors().to_string(),
+            r.deadline_errors.to_string(),
+            r.degraded.to_string(),
+            tablefmt::num(r.degraded_fraction() * 100.0, 1),
+            tablefmt::num(r.mean_achieved_width(), 2),
+            r.admission_widened.to_string(),
+            r.violations.to_string(),
+        ]);
+        // Strict may refuse with the typed deadline error — anything else
+        // fails the run. BestEffort must answer every query.
+        total += r.violations + r.other_errors as usize;
+        if r.policy == "best-effort" {
+            total += r.deadline_errors as usize;
+        }
+    }
+    println!("{title}");
+    println!(
+        "{}",
+        tablefmt::render(
+            &[
+                "config",
+                "clients",
+                "wall ms",
+                "qps",
+                "p50 µs",
+                "p99 µs",
+                "errors",
+                "ddl errs",
+                "degraded",
+                "degr %",
+                "mean width",
+                "adm widened",
+                "violations",
+            ],
+            &rows,
+        )
+    );
+    total
+}
+
+fn overload_json(r: &OverloadResult) -> Json {
+    let mut sorted = r.latencies_us.clone();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    Json::obj([
+        ("label", Json::str(r.label.clone())),
+        ("policy", Json::str(r.policy)),
+        ("transport", Json::str("channel")),
+        ("clients", Json::Num(r.clients as f64)),
+        ("deadline_ms", Json::Num(OVERLOAD_DEADLINE_MS)),
+        ("wall_ms", Json::Num(r.wall.as_secs_f64() * 1e3)),
+        ("qps", Json::Num(r.qps())),
+        ("p50_us", Json::Num(percentile(&sorted, 0.5))),
+        ("p99_us", Json::Num(percentile(&sorted, 0.99))),
+        (
+            "p99_within_deadline",
+            Json::Bool(percentile(&sorted, 0.99) <= OVERLOAD_DEADLINE_MS * 1e3),
+        ),
+        ("queries", Json::Num(r.queries as f64)),
+        ("errors", Json::Num(r.errors() as f64)),
+        ("deadline_errors", Json::Num(r.deadline_errors as f64)),
+        ("other_errors", Json::Num(r.other_errors as f64)),
+        ("degraded", Json::Num(r.degraded as f64)),
+        ("degraded_fraction", Json::Num(r.degraded_fraction())),
+        ("mean_achieved_width", Json::Num(r.mean_achieved_width())),
+        ("deadline_widened", Json::Num(r.deadline_widened as f64)),
+        ("admission_widened", Json::Num(r.admission_widened as f64)),
         ("violations", Json::Num(r.violations as f64)),
     ])
 }
@@ -1587,6 +1874,82 @@ fn main() {
             (
                 "entries",
                 Json::Arr(availability.iter().map(availability_json).collect()),
+            ),
+        ]));
+    }
+
+    // Part 9: overload — deadline-bounded queries against a slow source
+    // at rising client counts, BestEffort across the whole ladder plus a
+    // Strict run at 2× saturation.
+    {
+        let overload_config = LoadConfig {
+            seed: 901,
+            groups: 16,
+            rows_per_group: 4,
+            sources: 4,
+            queries: if cli.quick { 96 } else { 256 },
+            precision: vec![(0.5, 1)],
+            deadline_fraction: 1.0,
+            deadline_ms: OVERLOAD_DEADLINE_MS,
+            ..LoadConfig::default()
+        };
+        let ow = loadgen::generate(&overload_config);
+        // Saturation here is the worker pool: every query is group-pinned
+        // to one shard and the slow source serializes its fetches, so
+        // clients beyond the worker count only deepen the queue.
+        let steps: &[usize] = if cli.quick {
+            &[CLIENTS / 2, 2 * CLIENTS]
+        } else {
+            &[2, CLIENTS / 2, CLIENTS, 2 * CLIENTS]
+        };
+        let admission = trapp_server::AdmissionConfig {
+            widen_watermark: 6,
+            widen_factor: 4.0,
+            ..trapp_server::AdmissionConfig::default()
+        };
+        eprintln!(
+            "\noverload workload: {} rows, {} sources (source 1 slow by {:?}), {} queries, \
+             DEADLINE {} ms, {} workers, clients {:?}",
+            ow.rows.len(),
+            overload_config.sources,
+            OVERLOAD_DELAY,
+            ow.queries.len(),
+            OVERLOAD_DEADLINE_MS,
+            CLIENTS,
+            steps,
+        );
+        let mut overload: Vec<OverloadResult> = steps
+            .iter()
+            .map(|&clients| {
+                run_overload(
+                    format!("best-effort, {clients} clients"),
+                    &ow,
+                    clients,
+                    DegradationPolicy::BestEffort,
+                    admission,
+                )
+            })
+            .collect();
+        overload.push(run_overload(
+            format!("strict, {} clients", 2 * CLIENTS),
+            &ow,
+            2 * CLIENTS,
+            DegradationPolicy::Strict,
+            trapp_server::AdmissionConfig::default(),
+        ));
+        println!();
+        total_violations += render_overload("overload (deadline-bounded, slow source):", &overload);
+        sections.push(Json::obj([
+            ("title", Json::str("overload")),
+            ("deadline_ms", Json::Num(OVERLOAD_DEADLINE_MS)),
+            (
+                "slow_source_delay_ms",
+                Json::Num(OVERLOAD_DELAY.as_millis() as f64),
+            ),
+            ("workers", Json::Num(CLIENTS as f64)),
+            (
+                "entries",
+                Json::Arr(overload.iter().map(overload_json).collect()),
             ),
         ]));
     }

@@ -43,7 +43,7 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 use trapp_system::message::Refresh;
@@ -226,6 +226,12 @@ pub(crate) struct PendingFetch {
     waits: Vec<PendingReply>,
     /// Objects another query is fetching; awaited in the finish phase.
     to_await: Vec<(SourceId, ObjectId)>,
+    /// Wall-clock instant the whole fetch must not wait past (a query
+    /// `DEADLINE`): waits are capped to the remaining budget, retries stop
+    /// once it passes, and expired round-trips park as stragglers exactly
+    /// like [`RetryPolicy::fetch_timeout`] expiries. `None` leaves only
+    /// the per-round-trip policy in force.
+    deadline: Option<Instant>,
 }
 
 /// A single-flight refresh coalescing layer over a [`Transport`]. See the
@@ -318,7 +324,7 @@ impl<T: Transport> RefreshGateway<T> {
         plan: &[(SourceId, Vec<ObjectId>)],
         batch: bool,
     ) -> FetchOutcome {
-        self.finish_fetch(self.begin_fetch(cache, now, plan, batch))
+        self.finish_fetch(self.begin_fetch(cache, now, plan, batch, None))
     }
 
     /// The submit half of a fetch: claims the plan's objects in the
@@ -335,6 +341,7 @@ impl<T: Transport> RefreshGateway<T> {
         now: f64,
         plan: &[(SourceId, Vec<ObjectId>)],
         batch: bool,
+        deadline: Option<Instant>,
     ) -> PendingFetch {
         let mut stats = FetchStats::default();
         let mut out: Vec<Refresh> = Vec::new();
@@ -419,6 +426,7 @@ impl<T: Transport> RefreshGateway<T> {
             claimed,
             waits,
             to_await,
+            deadline,
         }
     }
 
@@ -437,6 +445,7 @@ impl<T: Transport> RefreshGateway<T> {
             claimed,
             waits,
             to_await,
+            deadline,
         } = pending;
 
         // Reap stragglers first: earlier fetches' timed-out round-trips
@@ -464,6 +473,7 @@ impl<T: Transport> RefreshGateway<T> {
                     &objects,
                     completion,
                     &mut stats,
+                    deadline,
                 ) {
                     Ok(rs) => fetched.extend(rs),
                     Err(e) => failures.push((source, e)),
@@ -480,6 +490,7 @@ impl<T: Transport> RefreshGateway<T> {
                     object,
                     completion,
                     &mut stats,
+                    deadline,
                 ) {
                     Ok(r) => fetched.push(r),
                     Err(e) => failures.push((source, e)),
@@ -514,7 +525,16 @@ impl<T: Transport> RefreshGateway<T> {
         // a duplicate fetch onto a slow source only makes things worse.
         if failures.is_empty() {
             for (source, object) in to_await {
-                match self.await_done(cache, now, object) {
+                // A query deadline caps the await just like the waits
+                // above: no point parking past the instant the caller
+                // will refuse the answer anyway.
+                let await_cap = deadline
+                    .map(|d| {
+                        d.saturating_duration_since(Instant::now())
+                            .min(self.await_timeout)
+                    })
+                    .unwrap_or(self.await_timeout);
+                match self.await_done(cache, now, object, await_cap) {
                     AwaitResult::Done(refresh) => {
                         out.push(refresh);
                         stats.coalesced += 1;
@@ -525,7 +545,7 @@ impl<T: Transport> RefreshGateway<T> {
                             source,
                             TrappError::Timeout {
                                 source,
-                                waited_ms: self.await_timeout.as_millis() as u64,
+                                waited_ms: await_cap.as_millis() as u64,
                             },
                         ));
                         break;
@@ -627,10 +647,31 @@ impl<T: Transport> RefreshGateway<T> {
         }
     }
 
+    /// The wait budget for one attempt: the per-round-trip policy, capped
+    /// by whatever remains of the query deadline. A nonzero floor keeps a
+    /// just-expired deadline from turning into a zero-length poll that
+    /// misses an already-resolved completion.
+    fn attempt_timeout(&self, deadline: Option<Instant>) -> Duration {
+        match deadline {
+            None => self.retry.fetch_timeout,
+            Some(d) => d
+                .saturating_duration_since(Instant::now())
+                .min(self.retry.fetch_timeout)
+                .max(Duration::from_micros(100)),
+        }
+    }
+
+    /// Whether the query deadline has passed — retries stop then: there
+    /// is no budget left for a backoff plus another round-trip.
+    fn deadline_expired(deadline: Option<Instant>) -> bool {
+        deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
     /// Waits on one batched round-trip with the retry policy: deadline
     /// expiry parks the completion as a straggler and resubmits after a
     /// jittered backoff; a hard error resubmits without parking. The final
-    /// outcome (not each attempt) feeds the health tracker.
+    /// outcome (not each attempt) feeds the health tracker. A query
+    /// deadline caps each wait and suppresses retries once it passes.
     #[allow(clippy::too_many_arguments)]
     fn wait_batch_retrying(
         &self,
@@ -641,12 +682,14 @@ impl<T: Transport> RefreshGateway<T> {
         objects: &[ObjectId],
         completion: Completion<Vec<Refresh>>,
         stats: &mut FetchStats,
+        deadline: Option<Instant>,
     ) -> Result<Vec<Refresh>, TrappError> {
         let mut completion = completion;
         let mut attempt: u32 = 0;
         let mut waited = Duration::ZERO;
         loop {
-            let failure = match completion.wait_timeout(self.retry.fetch_timeout) {
+            let timeout = self.attempt_timeout(deadline);
+            let failure = match completion.wait_timeout(timeout) {
                 Ok(Ok(rs)) => {
                     stats.round_trips += 1;
                     self.health.record_success(source);
@@ -654,7 +697,7 @@ impl<T: Transport> RefreshGateway<T> {
                 }
                 Ok(Err(e)) => e,
                 Err(pending) => {
-                    waited += self.retry.fetch_timeout;
+                    waited += timeout;
                     self.stragglers.lock().push(Straggler::Batch {
                         cache,
                         now,
@@ -667,7 +710,7 @@ impl<T: Transport> RefreshGateway<T> {
                     }
                 }
             };
-            if attempt >= self.retry.max_retries {
+            if attempt >= self.retry.max_retries || Self::deadline_expired(deadline) {
                 self.health.record_failure(source);
                 return Err(failure);
             }
@@ -691,12 +734,14 @@ impl<T: Transport> RefreshGateway<T> {
         object: ObjectId,
         completion: Completion<Refresh>,
         stats: &mut FetchStats,
+        deadline: Option<Instant>,
     ) -> Result<Refresh, TrappError> {
         let mut completion = completion;
         let mut attempt: u32 = 0;
         let mut waited = Duration::ZERO;
         loop {
-            let failure = match completion.wait_timeout(self.retry.fetch_timeout) {
+            let timeout = self.attempt_timeout(deadline);
+            let failure = match completion.wait_timeout(timeout) {
                 Ok(Ok(r)) => {
                     stats.round_trips += 1;
                     self.health.record_success(source);
@@ -704,7 +749,7 @@ impl<T: Transport> RefreshGateway<T> {
                 }
                 Ok(Err(e)) => e,
                 Err(pending) => {
-                    waited += self.retry.fetch_timeout;
+                    waited += timeout;
                     self.stragglers.lock().push(Straggler::Single {
                         cache,
                         now,
@@ -717,7 +762,7 @@ impl<T: Transport> RefreshGateway<T> {
                     }
                 }
             };
-            if attempt >= self.retry.max_retries {
+            if attempt >= self.retry.max_retries || Self::deadline_expired(deadline) {
                 self.health.record_failure(source);
                 return Err(failure);
             }
@@ -728,15 +773,21 @@ impl<T: Transport> RefreshGateway<T> {
         }
     }
 
-    /// Waits for another fetch to publish `object`.
-    fn await_done(&self, cache: CacheId, now: f64, object: ObjectId) -> AwaitResult {
+    /// Waits for another fetch to publish `object`, up to `timeout`.
+    fn await_done(
+        &self,
+        cache: CacheId,
+        now: f64,
+        object: ObjectId,
+        timeout: Duration,
+    ) -> AwaitResult {
         let mut state = self.table.lock();
         loop {
             match state.entries.get(&object) {
                 Some(e) if e.cache == cache && e.now == now => match e.slot {
                     Slot::Done(refresh) => return AwaitResult::Done(refresh),
                     Slot::InFlight => {
-                        if self.done.wait_for(&mut state, self.await_timeout) {
+                        if self.done.wait_for(&mut state, timeout) {
                             return AwaitResult::TimedOut;
                         }
                     }

@@ -73,11 +73,13 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod admission;
 pub mod gateway;
 pub mod health;
 pub mod router;
 pub mod service;
 
+pub use admission::{Admission, AdmissionConfig, AdmissionController};
 pub use gateway::{RefreshGateway, RetryPolicy};
 pub use health::{BreakerState, HealthConfig, HealthTracker};
 pub use router::{Route, ShardRouter};

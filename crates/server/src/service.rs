@@ -71,7 +71,7 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
-use trapp_bounds::BoundShape;
+use trapp_bounds::{AdaptiveWidth, BoundShape};
 use trapp_core::executor::QueryResult;
 use trapp_core::group_by::{render_key, GroupResult};
 use trapp_core::plan::{bind_query, BoundQuery, QuerySource};
@@ -90,6 +90,7 @@ use trapp_types::{
     TrappError, TupleId, Value,
 };
 
+use crate::admission::{Admission, AdmissionConfig, AdmissionController};
 use crate::gateway::{FetchOutcome, FetchStats, PendingFetch, RetryPolicy, DEFAULT_AWAIT_TIMEOUT};
 use crate::health::HealthConfig;
 use crate::router::{Route, Shard, ShardRouter, TidMap};
@@ -136,6 +137,10 @@ pub struct ServiceConfig {
     pub gateway_await_timeout: Duration,
     /// Per-source circuit-breaker tuning.
     pub health: HealthConfig,
+    /// Admission-control watermarks — the widen/shed ladder applied at
+    /// [`QueryService::submit`] before a query reaches the worker queue.
+    /// Defaults to fully off. See [`AdmissionConfig`].
+    pub admission: AdmissionConfig,
 }
 
 impl Default for ServiceConfig {
@@ -151,6 +156,7 @@ impl Default for ServiceConfig {
             retry: RetryPolicy::default(),
             gateway_await_timeout: DEFAULT_AWAIT_TIMEOUT,
             health: HealthConfig::default(),
+            admission: AdmissionConfig::default(),
         }
     }
 }
@@ -176,17 +182,24 @@ pub enum DegradationPolicy {
     BestEffort,
 }
 
-/// How a best-effort reply fell short of its constraint; see
-/// [`DegradationPolicy::BestEffort`].
+/// How a reply fell short of its constraint — because sources were dark
+/// ([`DegradationPolicy::BestEffort`]), or because the service traded
+/// precision for time (a `DEADLINE` the full-precision plan could not
+/// meet, or admission-control widening under queue pressure).
 #[derive(Clone, Debug, PartialEq)]
 pub struct DegradedInfo {
     /// The sources that were unreachable while this query planned
     /// (breaker-open ones plus those that failed mid-query), ascending.
+    /// Empty when the degradation was purely load-driven.
     pub dark_sources: Vec<SourceId>,
-    /// The query's `WITHIN` constraint.
+    /// The query's original `WITHIN` constraint, before any widening.
     pub requested_width: Option<f64>,
     /// The width actually achieved (max over groups for `GROUP BY`).
     pub achieved_width: f64,
+    /// `true` when the constraint was deliberately relaxed for load
+    /// reasons — a deadline the full-precision plan could not fit, or
+    /// admission-control widening — rather than (only) dark sources.
+    pub load_shed: bool,
 }
 
 /// One query's answer plus its per-query service accounting.
@@ -267,11 +280,109 @@ pub struct ServiceStats {
     pub round_trips: u64,
     /// Queries answered best-effort with an unmet precision constraint.
     pub degraded_queries: u64,
+    /// Queries whose constraint was widened (or dropped) mid-flight to
+    /// honor a `DEADLINE`.
+    pub deadline_widened: u64,
+    /// Queries admitted with an admission-control-widened constraint.
+    pub admission_widened: u64,
+    /// Queries shed at the front door with [`TrappError::Overloaded`].
+    pub admission_rejected: u64,
+    /// Live queue depth at the moment of the snapshot (submitted, not yet
+    /// picked up by a worker).
+    pub queue_depth: u64,
+    /// The shared fetch pool's *actual* current thread count (reflects
+    /// burst resizing); `0` when the service has no resizable pool.
+    pub fetch_pool_threads: u64,
+    /// Total time queries spent waiting for a worker, µs.
+    pub queue_wait_us: u64,
+    /// Total time spent in plan phases (under shard locks), µs.
+    pub plan_us: u64,
+    /// Total time spent in fetch phases (no locks, source round-trips), µs.
+    pub fetch_us: u64,
+    /// Total time spent installing fetched refreshes, µs.
+    pub install_us: u64,
 }
 
 struct Job {
     sql: String,
+    /// When [`QueryService::submit`] accepted the query — queue wait and
+    /// any `DEADLINE` both count from here, so time spent waiting for a
+    /// worker is charged against the deadline like any other latency.
+    enqueued: Instant,
+    /// Admission control asked for this query's constraint to be widened.
+    widen: bool,
     reply: Sender<Result<ServiceReply, TrappError>>,
+}
+
+/// Per-query execution context threaded through the phased loop: the
+/// deadline budget (counted from enqueue) plus the per-phase latency and
+/// degradation accounting folded into [`ServiceStats`] afterwards.
+struct QueryCtx {
+    enqueued: Instant,
+    /// The query's `DEADLINE`, parsed; `None` runs unbounded.
+    deadline: Option<Duration>,
+    /// Admission control asked for widening (set before parse).
+    widen: bool,
+    /// The original `WITHIN` before admission widening, when widened.
+    pre_widened: Option<f64>,
+    /// The constraint was widened/dropped mid-flight for the deadline.
+    deadline_widened: bool,
+    plan_us: u64,
+    fetch_us: u64,
+    install_us: u64,
+}
+
+impl QueryCtx {
+    fn new(enqueued: Instant, widen: bool) -> QueryCtx {
+        QueryCtx {
+            enqueued,
+            deadline: None,
+            widen,
+            pre_widened: None,
+            deadline_widened: false,
+            plan_us: 0,
+            fetch_us: 0,
+            install_us: 0,
+        }
+    }
+}
+
+/// The typed refusal for a blown deadline.
+fn deadline_error(limit: Duration, elapsed: Duration, honorable: Option<f64>) -> TrappError {
+    TrappError::DeadlineExceeded {
+        deadline_ms: limit.as_millis() as u64,
+        elapsed_ms: elapsed.as_millis() as u64,
+        honorable_within: honorable,
+    }
+}
+
+/// One deadline-driven widening step: grows the query's `WITHIN` through
+/// an [`AdaptiveWidth`] controller seeded from the constraint itself
+/// (grow ×2 per step, capped at 1024× — the §6 knapsack cost falls
+/// monotonically as the constraint widens, so each step strictly shrinks
+/// the refresh plan). Returns `false` when the constraint cannot widen
+/// further (absent, non-positive, or at cap) — the caller then drops it
+/// entirely and answers from cache.
+fn widen_step(query: &mut trapp_sql::Query, widener: &mut Option<AdaptiveWidth>) -> bool {
+    let Some(w) = query.within else { return false };
+    if w.is_nan() || w <= 0.0 {
+        return false;
+    }
+    if widener.is_none() {
+        match AdaptiveWidth::new(w, 2.0, 0.5, w, w * 1024.0) {
+            Ok(ctl) => *widener = Some(ctl),
+            Err(_) => return false,
+        }
+    }
+    let ctl = widener.as_mut().expect("seeded above");
+    let before = ctl.width();
+    ctl.on_value_initiated_refresh();
+    let after = ctl.width();
+    if after <= before {
+        return false;
+    }
+    query.within = Some(after);
+    true
 }
 
 struct ServiceCore {
@@ -280,6 +391,13 @@ struct ServiceCore {
     batch_refreshes: bool,
     degradation: DegradationPolicy,
     counters: Mutex<ServiceStats>,
+    admission: Arc<AdmissionController>,
+    /// EWMA of observed fetch-phase cost rate, µs of wall time per unit
+    /// of planned refresh cost — the deadline guard's estimator for "can
+    /// this plan's fetch fit the remaining budget?". `0.0` until the
+    /// first fetch is observed (optimistic cold start: the first fetch
+    /// always runs, and its measurement seeds the estimate).
+    fetch_rate: Mutex<f64>,
 }
 
 /// Attribution one unit (whole query, or one group) accumulates across
@@ -326,12 +444,24 @@ fn patch_outcome(outcome: QueryOutcome, attr: &HashMap<String, UnitAttr>) -> Que
 }
 
 impl ServiceCore {
-    fn run_query(&self, sql: &str) -> Result<ServiceReply, TrappError> {
+    fn run_query(
+        &self,
+        sql: &str,
+        enqueued: Instant,
+        widen: bool,
+    ) -> Result<ServiceReply, TrappError> {
         let started = Instant::now();
-        let outcome = self.run_query_inner(sql);
+        let queue_wait = started.duration_since(enqueued);
+        let mut ctx = QueryCtx::new(enqueued, widen);
+        let outcome = self.run_query_inner(sql, &mut ctx);
         let exec_time = started.elapsed();
 
         let mut counters = self.counters.lock();
+        counters.queue_wait_us += queue_wait.as_micros() as u64;
+        counters.plan_us += ctx.plan_us;
+        counters.fetch_us += ctx.fetch_us;
+        counters.install_us += ctx.install_us;
+        counters.deadline_widened += u64::from(ctx.deadline_widened);
         match outcome {
             Ok((outcome, stats, scattered, degraded)) => {
                 counters.queries += 1;
@@ -362,12 +492,45 @@ impl ServiceCore {
     fn run_query_inner(
         &self,
         sql: &str,
+        ctx: &mut QueryCtx,
     ) -> Result<(QueryOutcome, FetchStats, bool, Option<DegradedInfo>), TrappError> {
-        let query = trapp_sql::parse_query(sql)?;
+        let mut query = trapp_sql::parse_query(sql)?;
+        // `DEADLINE` is in milliseconds; the parser guarantees a finite
+        // non-negative value.
+        ctx.deadline = query.deadline.map(|ms| Duration::from_secs_f64(ms / 1e3));
+        // Admission widening happens right after parse, before routing:
+        // the relaxed constraint is what plans, and the reply carries
+        // `DegradedInfo` naming the original ask.
+        if ctx.widen {
+            if let Some(w) = query.within {
+                ctx.pre_widened = Some(w);
+                query.within = Some(w * self.admission.widen_factor());
+            }
+        }
         let route = self.router.route(&query);
         let scattered = matches!(route, Route::Scatter);
-        self.run_routed(&query, route)
+        self.run_routed(&query, route, ctx)
             .map(|(outcome, stats, degraded)| (outcome, stats, scattered, degraded))
+    }
+
+    /// The deadline guard's estimate of one fetch phase's wall time for a
+    /// plan of the given §6 refresh cost.
+    fn estimate_fetch_time(&self, cost: f64) -> Duration {
+        Duration::from_secs_f64((*self.fetch_rate.lock() * cost.max(0.0)) / 1e6)
+    }
+
+    /// Folds one observed fetch phase into the EWMA cost rate.
+    fn observe_fetch(&self, cost: f64, took: Duration) {
+        if cost <= 0.0 {
+            return;
+        }
+        let sample = took.as_secs_f64() * 1e6 / cost;
+        let mut rate = self.fetch_rate.lock();
+        *rate = if *rate == 0.0 {
+            sample
+        } else {
+            0.7 * *rate + 0.3 * sample
+        };
     }
 
     /// The shape-generic phased execution loop — one body for every route
@@ -387,6 +550,7 @@ impl ServiceCore {
         &self,
         query: &trapp_sql::Query,
         route: Route,
+        ctx: &mut QueryCtx,
     ) -> Result<(QueryOutcome, FetchStats, Option<DegradedInfo>), TrappError> {
         let mut stats = FetchStats::default();
         let mut attr: HashMap<String, UnitAttr> = HashMap::new();
@@ -401,7 +565,39 @@ impl ServiceCore {
         let mut query_dark: HashSet<SourceId> = HashSet::new();
         let mut fault_rounds = 0usize;
 
+        // ---- Deadline machinery. The budget counts from *enqueue*, so
+        // queue wait is charged like any other latency. `eff` is the
+        // effective query — clone-on-first-widen; the unwidened path
+        // borrows the parsed query and allocates nothing, keeping the
+        // deadline-free path bit-identical to before.
+        let deadline_limit = ctx.deadline;
+        let fetch_deadline: Option<Instant> = deadline_limit.map(|d| ctx.enqueued + d);
+        let mut eff: Option<trapp_sql::Query> = None;
+        let mut widener: Option<AdaptiveWidth> = None;
+        // Strict mode past the point of no return: keep widening and
+        // re-planning *without fetching* purely to discover the narrowest
+        // honorable constraint to report in the typed refusal.
+        let mut strict_probe = false;
+        if let Some(limit) = deadline_limit {
+            // Already blown before any work (queue wait ate the budget):
+            // strict refuses outright; best-effort answers from cache
+            // alone — a cache-only plan is `Ready` at zero fetch cost.
+            let elapsed = ctx.enqueued.elapsed();
+            if elapsed >= limit {
+                match self.degradation {
+                    DegradationPolicy::Strict => {
+                        return Err(deadline_error(limit, elapsed, None));
+                    }
+                    DegradationPolicy::BestEffort => {
+                        ctx.deadline_widened = true;
+                        eff.get_or_insert_with(|| query.clone()).within = None;
+                    }
+                }
+            }
+        }
+
         loop {
+            let q: &trapp_sql::Query = eff.as_ref().unwrap_or(query);
             // ---- Dark set: breaker-open sources plus this query's own
             // observed failures. Planning excludes their tuples so
             // CHOOSE_REFRESH spends no round-trips on a source that
@@ -418,6 +614,7 @@ impl ServiceCore {
             let exclusions = self.exclusions_for(&dark, route);
 
             // ---- Plan phase (under the cache lock(s)) ----
+            let plan_started = Instant::now();
             let (plan, now, max_join_rounds) = match route {
                 Route::Single(s) => {
                     let shard = self.router.shard(s);
@@ -425,21 +622,24 @@ impl ServiceCore {
                     cache.materialize()?;
                     let now = self.clock.now();
                     let max_join_rounds = cache.session().config.max_refresh_rounds;
-                    match cache.session().plan_query_excluding(query, &exclusions)? {
+                    match cache.session().plan_query_excluding(q, &exclusions)? {
                         QueryPlan::Iterative => {
                             // Iterative mode (§8.2) picks each refresh from
                             // live master values: execution stays under the
                             // shard lock, flowing through the shard gateway
                             // so coalescing and the global counters stay
-                            // coherent.
-                            return if query.group_by.is_empty() {
-                                let mut result = cache.execute(query, &shard.gateway)?;
+                            // coherent. Its refresh choices cannot be
+                            // costed ahead of time, so it is exempt from
+                            // the mid-flight deadline guard (the pre-
+                            // execution shed above still applies).
+                            return if q.group_by.is_empty() {
+                                let mut result = cache.execute(q, &shard.gateway)?;
                                 for (table, tid) in &mut result.refreshed {
                                     *tid = shard.global_tid(table, *tid);
                                 }
                                 Ok((QueryOutcome::Scalar(result), stats, None))
                             } else {
-                                let mut groups = cache.execute_grouped(query, &shard.gateway)?;
+                                let mut groups = cache.execute_grouped(q, &shard.gateway)?;
                                 for g in &mut groups {
                                     for (table, tid) in &mut g.result.refreshed {
                                         *tid = shard.global_tid(table, *tid);
@@ -451,11 +651,27 @@ impl ServiceCore {
                         plan => (plan, now, max_join_rounds),
                     }
                 }
-                Route::Scatter => self.plan_scatter(query, &exclusions)?,
+                Route::Scatter => self.plan_scatter(q, &exclusions)?,
             };
+            ctx.plan_us += plan_started.elapsed().as_micros() as u64;
 
             let fp = match plan {
                 QueryPlan::Ready(outcome) => {
+                    // Strict never returns a *late* answer: if the
+                    // deadline passed while planning/fetching (or this
+                    // Ready is the end of an honorable-width probe), the
+                    // installs above stand but the reply is the typed
+                    // refusal.
+                    if matches!(self.degradation, DegradationPolicy::Strict) {
+                        if let Some(limit) = deadline_limit {
+                            let elapsed = ctx.enqueued.elapsed();
+                            if strict_probe || elapsed >= limit {
+                                let honorable =
+                                    eff.as_ref().and_then(|q| q.within).filter(|_| strict_probe);
+                                return Err(deadline_error(limit, elapsed, honorable));
+                            }
+                        }
+                    }
                     let outcome = patch_outcome(outcome, &attr);
                     let (all_satisfied, achieved_width) = match &outcome {
                         QueryOutcome::Scalar(r) => (r.satisfied, r.answer.width()),
@@ -466,6 +682,9 @@ impl ServiceCore {
                                 .fold(0.0, f64::max),
                         ),
                     };
+                    // The user's original ask, before admission widening.
+                    let requested_width = ctx.pre_widened.or(query.within);
+                    let load_shed = ctx.deadline_widened || ctx.pre_widened.is_some();
                     if !all_satisfied && !dark.is_empty() {
                         // The constraint is unmet *because* sources are
                         // dark: every refreshable tuple has been used.
@@ -482,12 +701,32 @@ impl ServiceCore {
                                     stats,
                                     Some(DegradedInfo {
                                         dark_sources,
-                                        requested_width: query.within,
+                                        requested_width,
                                         achieved_width,
+                                        load_shed,
                                     }),
                                 ));
                             }
                         }
+                    }
+                    if load_shed {
+                        // Satisfied — but only because the constraint was
+                        // relaxed for load (deadline widening, or
+                        // admission widening under either policy). The
+                        // bound still contains the exact answer; the
+                        // reply names the original ask it fell short of.
+                        let mut dark_sources: Vec<SourceId> = dark.iter().copied().collect();
+                        dark_sources.sort();
+                        return Ok((
+                            outcome,
+                            stats,
+                            Some(DegradedInfo {
+                                dark_sources,
+                                requested_width,
+                                achieved_width,
+                                load_shed: true,
+                            }),
+                        ));
                     }
                     return Ok((outcome, stats, None));
                 }
@@ -501,6 +740,51 @@ impl ServiceCore {
                 }
                 QueryPlan::NeedsFetch(fp) => fp,
             };
+
+            // ---- Deadline guard: can this plan's fetch fit the budget?
+            // The §6 knapsack cost is the estimator's input — CHOOSE_REFRESH
+            // cost falls monotonically as the constraint widens, so when
+            // the full-precision plan does not fit, widening one doubling
+            // at a time walks toward the *narrowest honorable* constraint.
+            // A widen re-plan consumes no widen/join round budget (the
+            // `continue` sits above the increments below).
+            let round_cost: f64 = fp
+                .units
+                .iter()
+                .filter_map(|u| u.fetch.as_ref())
+                .map(|f| f.refresh_cost)
+                .sum();
+            if let Some(limit) = deadline_limit {
+                let elapsed = ctx.enqueued.elapsed();
+                let remaining = limit.checked_sub(elapsed);
+                let est = self.estimate_fetch_time(round_cost);
+                let fits = remaining.is_some_and(|r| est <= r);
+                if fits {
+                    if strict_probe {
+                        // The probe found a width whose plan fits what is
+                        // left of the budget: report it and refuse.
+                        return Err(deadline_error(
+                            limit,
+                            elapsed,
+                            eff.as_ref().and_then(|q| q.within),
+                        ));
+                    }
+                } else {
+                    match self.degradation {
+                        DegradationPolicy::Strict => strict_probe = true,
+                        DegradationPolicy::BestEffort => ctx.deadline_widened = true,
+                    }
+                    let wq = eff.get_or_insert_with(|| query.clone());
+                    if remaining.is_none() || !widen_step(wq, &mut widener) {
+                        // Past the deadline (or the ladder is exhausted):
+                        // drop the constraint; the next plan pass is
+                        // `Ready` from cache at zero fetch cost.
+                        wq.within = None;
+                    }
+                    continue;
+                }
+            }
+
             let round_was_complete = fp.complete;
             if fp.complete {
                 widen_rounds += 1;
@@ -583,6 +867,7 @@ impl ServiceCore {
             // ride the transport's completion queues and overlap each
             // other and other queries' fetches, with zero per-round
             // thread spawns.
+            let fetch_started = Instant::now();
             let pending: Vec<(usize, PendingFetch)> = fetch_plans
                 .iter()
                 .enumerate()
@@ -591,9 +876,13 @@ impl ServiceCore {
                     let shard = self.router.shard(s);
                     (
                         s,
-                        shard
-                            .gateway
-                            .begin_fetch(shard.cache_id, now, plan, self.batch_refreshes),
+                        shard.gateway.begin_fetch(
+                            shard.cache_id,
+                            now,
+                            plan,
+                            self.batch_refreshes,
+                            fetch_deadline,
+                        ),
                     )
                 })
                 .collect();
@@ -601,6 +890,9 @@ impl ServiceCore {
                 .into_iter()
                 .map(|(s, p)| (s, self.router.shard(s).gateway.finish_fetch(p)))
                 .collect();
+            let fetch_took = fetch_started.elapsed();
+            ctx.fetch_us += fetch_took.as_micros() as u64;
+            self.observe_fetch(round_cost, fetch_took);
 
             // ---- Install phase: everything that arrived goes in — even
             // on a failed shard, its sources already narrowed their
@@ -609,6 +901,7 @@ impl ServiceCore {
             // pretends the lost refreshes are exact.
             let mut surviving: Vec<usize> = Vec::new();
             let mut shard_failures: Vec<(usize, Vec<(SourceId, TrappError)>)> = Vec::new();
+            let install_started = Instant::now();
             for (s, outcome) in outcomes {
                 let mut cache = self.router.shard(s).cache.lock();
                 for refresh in outcome.refreshes {
@@ -623,10 +916,26 @@ impl ServiceCore {
                     shard_failures.push((s, outcome.failures));
                 }
             }
+            ctx.install_us += install_started.elapsed().as_micros() as u64;
             if !shard_failures.is_empty() {
                 let first_error = shard_failures[0].1[0].1.clone();
                 match self.degradation {
                     DegradationPolicy::Strict => {
+                        // A deadline that ran out mid-fetch surfaces as
+                        // pure timeouts; once the refreshes that did land
+                        // are installed (above — sources already narrowed
+                        // their tracked bounds), report the blown
+                        // deadline, not the transport symptom.
+                        if let Some(limit) = deadline_limit {
+                            let elapsed = ctx.enqueued.elapsed();
+                            let all_timeouts = shard_failures.iter().all(|(_, fs)| {
+                                fs.iter()
+                                    .all(|(_, e)| matches!(e, TrappError::Timeout { .. }))
+                            });
+                            if all_timeouts && elapsed >= limit {
+                                return Err(deadline_error(limit, elapsed, None));
+                            }
+                        }
                         return Err(match route {
                             Route::Single(_) => first_error,
                             Route::Scatter => TrappError::PartialResult(Box::new(PartialFailure {
@@ -947,22 +1256,32 @@ impl QueryService {
             config.health,
         );
         let router = ShardRouter::new(vec![shard], None, HashSet::new(), HashMap::new());
-        QueryService::start_router(router, clock, config, None)
+        QueryService::start_router(router, clock, config, None, None)
     }
 
-    /// Starts workers over an assembled router.
+    /// Starts workers over an assembled router. `pool` is the shared
+    /// resizable fetch pool plus its build-time base size, when the
+    /// service was built over a completion transport — the admission
+    /// controller resizes it live under queue pressure.
     fn start_router(
         router: ShardRouter,
         clock: SimClock,
         config: ServiceConfig,
         chaos: Option<Arc<ChaosControl>>,
+        pool: Option<(FetchPool, usize)>,
     ) -> QueryService {
+        let admission = Arc::new(AdmissionController::new(config.admission));
+        if let Some((pool, base)) = pool {
+            admission.attach_pool(pool, base);
+        }
         let core = Arc::new(ServiceCore {
             router,
             clock,
             batch_refreshes: config.batch_refreshes,
             degradation: config.degradation,
             counters: Mutex::new(ServiceStats::default()),
+            admission,
+            fetch_rate: Mutex::new(0.0),
         });
         let (jobs_tx, jobs_rx) = unbounded::<Job>();
         let workers = (0..config.workers.max(1))
@@ -973,7 +1292,10 @@ impl QueryService {
                     .name(format!("trapp-query-worker-{i}"))
                     .spawn(move || {
                         while let Ok(job) = rx.recv() {
-                            let _ = job.reply.send(core.run_query(&job.sql));
+                            core.admission.dequeued();
+                            let _ =
+                                job.reply
+                                    .send(core.run_query(&job.sql, job.enqueued, job.widen));
                         }
                     })
                     .expect("spawn query worker")
@@ -995,15 +1317,33 @@ impl QueryService {
     }
 
     /// Enqueues a query; the returned ticket resolves to the answer.
+    ///
+    /// This is also the admission-control choke point: above the
+    /// configured reject watermark the ticket resolves immediately to a
+    /// typed [`TrappError::Overloaded`] without the query ever touching
+    /// the worker queue, and between the widen and reject watermarks the
+    /// query runs with a relaxed precision constraint (the reply's
+    /// [`ServiceReply::degraded`] names the original ask).
     pub fn submit(&self, sql: impl Into<String>) -> QueryTicket {
         let (reply, rx) = unbounded();
-        let job = Job {
-            sql: sql.into(),
-            reply,
-        };
         if let Some(jobs) = &self.jobs {
-            // A send only fails after shutdown; the ticket then reports it.
-            let _ = jobs.send(job);
+            match self.core.admission.admit() {
+                Err(e) => {
+                    self.core.counters.lock().errors += 1;
+                    let _ = reply.send(Err(e));
+                }
+                Ok(verdict) => {
+                    let job = Job {
+                        sql: sql.into(),
+                        enqueued: Instant::now(),
+                        widen: verdict == Admission::Widened,
+                        reply,
+                    };
+                    // A send only fails after shutdown; the ticket then
+                    // reports it.
+                    let _ = jobs.send(job);
+                }
+            }
         }
         QueryTicket { rx }
     }
@@ -1145,6 +1485,10 @@ impl QueryService {
             s.refreshes_coalesced += shard.gateway.refreshes_coalesced();
             s.refreshes_forwarded += shard.gateway.refreshes_forwarded();
         }
+        s.queue_depth = self.core.admission.depth();
+        s.fetch_pool_threads = self.core.admission.pool_threads().unwrap_or(0) as u64;
+        s.admission_widened = self.core.admission.widened();
+        s.admission_rejected = self.core.admission.rejected();
         s
     }
 
@@ -1335,26 +1679,32 @@ impl ServiceBuilder {
 
     /// Builds over the synchronous [`DirectTransport`] (one per shard).
     pub fn build_direct(self) -> Result<QueryService, TrappError> {
-        self.build_with(|sources| {
-            let mut transport = DirectTransport::new();
-            for source in sources {
-                transport.add_source(source);
-            }
-            Box::new(transport) as Box<dyn Transport>
-        })
+        self.build_with(
+            |sources| {
+                let mut transport = DirectTransport::new();
+                for source in sources {
+                    transport.add_source(source);
+                }
+                Box::new(transport) as Box<dyn Transport>
+            },
+            None,
+        )
     }
 
     /// Builds over the threaded [`ChannelTransport`] with the given
     /// simulated one-way latency per round-trip (one transport — and one
     /// set of source actor threads — per shard).
     pub fn build_channel(self, latency: Duration) -> Result<QueryService, TrappError> {
-        self.build_with(move |sources| {
-            let mut transport = ChannelTransport::new(latency);
-            for source in sources {
-                transport.add_source(source);
-            }
-            Box::new(transport) as Box<dyn Transport>
-        })
+        self.build_with(
+            move |sources| {
+                let mut transport = ChannelTransport::new(latency);
+                for source in sources {
+                    transport.add_source(source);
+                }
+                Box::new(transport) as Box<dyn Transport>
+            },
+            None,
+        )
     }
 
     /// Builds over the completion-based [`CompletionTransport`]: one
@@ -1374,24 +1724,34 @@ impl ServiceBuilder {
         latency: Duration,
         pool_threads: impl Into<Option<usize>>,
     ) -> Result<QueryService, TrappError> {
+        // Sized here, from the *final* config — `build_*` is always the
+        // last builder call, so `self.config.shards` is what the service
+        // will actually run with.
         let pool_threads = pool_threads
             .into()
             .unwrap_or_else(|| default_fetch_pool_size(self.config.shards));
         let pool = FetchPool::new(pool_threads);
-        self.build_with(move |sources| {
-            let mut transport = CompletionTransport::new(latency, pool.clone());
-            for source in sources {
-                transport.add_source(source);
-            }
-            Box::new(transport) as Box<dyn Transport>
-        })
+        let pool_handle = pool.clone();
+        self.build_with(
+            move |sources| {
+                let mut transport = CompletionTransport::new(latency, pool.clone());
+                for source in sources {
+                    transport.add_source(source);
+                }
+                Box::new(transport) as Box<dyn Transport>
+            },
+            Some((pool_handle, pool_threads)),
+        )
     }
 
     /// Shared build: wire the shards, wrap each one's sources in a
-    /// transport, assemble the router, start the workers.
+    /// transport, assemble the router, start the workers. `pool` hands
+    /// the resizable fetch pool (plus its base size) to the admission
+    /// controller for live burst resizing.
     fn build_with(
         self,
         mut make_transport: impl FnMut(Vec<Source>) -> Box<dyn Transport>,
+        pool: Option<(FetchPool, usize)>,
     ) -> Result<QueryService, TrappError> {
         let config = self.config;
         let partition_column = self.partition_by.clone();
@@ -1425,6 +1785,7 @@ impl ServiceBuilder {
             clock,
             config,
             chaos_control,
+            pool,
         ))
     }
 

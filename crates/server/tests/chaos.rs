@@ -280,6 +280,7 @@ fn breaker_recovers_full_precision_after_a_scripted_outage() {
                     group: None,
                     agg: AggTemplate::Sum,
                     within: 0.5,
+                    deadline: None,
                     shape: loadgen::QueryShape::Scalar,
                 },
                 &reply,

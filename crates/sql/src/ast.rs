@@ -63,6 +63,11 @@ pub struct Query {
     pub arg: Option<Expr<ColumnRef>>,
     /// The precision constraint `R` (`WITHIN R`), or `None` for `R = ∞`.
     pub within: Option<f64>,
+    /// The response-time budget in milliseconds (`DEADLINE D`), or `None`
+    /// for no budget. TRAPP bounds precision and lets cost float; a
+    /// deadline bounds *time* and — under a best-effort service — lets
+    /// precision float instead (the BlinkDB-style contract).
+    pub deadline: Option<f64>,
     /// Tables in the `FROM` clause (more than one ⇒ a join query, §7).
     pub tables: Vec<String>,
     /// The `WHERE` predicate, if any (selection and/or join condition).
@@ -81,6 +86,9 @@ impl fmt::Display for Query {
         write!(f, ")")?;
         if let Some(r) = self.within {
             write!(f, " WITHIN {r}")?;
+        }
+        if let Some(d) = self.deadline {
+            write!(f, " DEADLINE {d}")?;
         }
         write!(f, " FROM {}", self.tables.join(", "))?;
         if let Some(p) = &self.predicate {

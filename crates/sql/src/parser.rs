@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! query      := SELECT agg '(' ( '*' | expr ) ')' [WITHIN number]
+//!               [DEADLINE number]
 //!               FROM ident (',' ident)*
 //!               [WHERE expr]
 //!               [GROUP BY column (',' column)*]
@@ -186,6 +187,37 @@ impl Parser {
             None
         };
 
+        // `DEADLINE D`: a response-time budget in milliseconds. Zero is
+        // legal (answer from cache only); negative budgets are rejected
+        // like negative precision constraints.
+        let deadline = if self.eat_keyword("DEADLINE") {
+            let off = self.offset();
+            match self.bump() {
+                Tok::Number(d) => {
+                    if d.is_nan() || d < 0.0 {
+                        return Err(TrappError::Parse {
+                            message: format!(
+                                "DEADLINE must be a non-negative number of ms, got {d}"
+                            ),
+                            offset: off,
+                        });
+                    }
+                    Some(d)
+                }
+                other => {
+                    return Err(TrappError::Parse {
+                        message: format!(
+                            "DEADLINE expects a non-negative number of ms, found {}",
+                            other.describe()
+                        ),
+                        offset: off,
+                    })
+                }
+            }
+        } else {
+            None
+        };
+
         self.expect_keyword("FROM")?;
         let mut tables = vec![self.ident("table name")?];
         while self.eat(&Tok::Comma) {
@@ -213,6 +245,7 @@ impl Parser {
             agg,
             arg,
             within,
+            deadline,
             tables,
             predicate,
             group_by,
@@ -356,9 +389,9 @@ impl Parser {
 
 /// Words that cannot be used as bare identifiers.
 fn is_reserved(word: &str) -> bool {
-    const RESERVED: [&str; 12] = [
-        "SELECT", "FROM", "WHERE", "WITHIN", "AND", "OR", "NOT", "GROUP", "BY", "TRUE", "FALSE",
-        "AS",
+    const RESERVED: [&str; 13] = [
+        "SELECT", "FROM", "WHERE", "WITHIN", "DEADLINE", "AND", "OR", "NOT", "GROUP", "BY", "TRUE",
+        "FALSE", "AS",
     ];
     RESERVED.iter().any(|r| word.eq_ignore_ascii_case(r))
 }
@@ -405,6 +438,25 @@ mod tests {
         assert!(parse_query("SELECT SUM(x) WITHIN abc FROM t").is_err());
         let q = parse_query("SELECT SUM(x) WITHIN 0 FROM t").unwrap();
         assert_eq!(q.within, Some(0.0));
+    }
+
+    #[test]
+    fn deadline_is_optional_and_validated() {
+        let q = parse_query("SELECT SUM(x) FROM t").unwrap();
+        assert_eq!(q.deadline, None);
+        let q = parse_query("SELECT SUM(x) WITHIN 2 DEADLINE 50 FROM t").unwrap();
+        assert_eq!(q.within, Some(2.0));
+        assert_eq!(q.deadline, Some(50.0));
+        // DEADLINE without WITHIN: bound time, let precision float.
+        let q = parse_query("SELECT SUM(x) DEADLINE 0 FROM t").unwrap();
+        assert_eq!(q.within, None);
+        assert_eq!(q.deadline, Some(0.0));
+        assert!(parse_query("SELECT SUM(x) DEADLINE -5 FROM t").is_err());
+        assert!(parse_query("SELECT SUM(x) DEADLINE soon FROM t").is_err());
+        // DEADLINE is reserved: not usable as a bare identifier.
+        assert!(parse_query("SELECT SUM(x) FROM deadline").is_err());
+        // Clause order is WITHIN then DEADLINE, mirroring Display.
+        assert!(parse_query("SELECT SUM(x) DEADLINE 5 WITHIN 2 FROM t").is_err());
     }
 
     #[test]
@@ -489,6 +541,8 @@ mod tests {
             "SELECT AVG(latency) WITHIN 2 FROM links WHERE traffic > 100",
             "SELECT COUNT(*) FROM links WHERE latency > 10",
             "SELECT SUM(x + 1) FROM a, b WHERE a.id = b.id GROUP BY region",
+            "SELECT SUM(x) WITHIN 2 DEADLINE 50 FROM t",
+            "SELECT COUNT(*) DEADLINE 25 FROM t WHERE x > 1",
         ];
         for src in cases {
             let q1 = parse_query(src).unwrap();

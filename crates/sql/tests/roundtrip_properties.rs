@@ -21,8 +21,8 @@ fn arb_agg() -> impl Strategy<Value = AggregateFunc> {
 fn arb_ident() -> impl Strategy<Value = String> {
     "[a-z][a-z0-9_]{0,8}".prop_filter("not reserved", |s| {
         ![
-            "select", "from", "where", "within", "and", "or", "not", "group", "by", "true",
-            "false", "as",
+            "select", "from", "where", "within", "deadline", "and", "or", "not", "group", "by",
+            "true", "false", "as",
         ]
         .contains(&s.as_str())
     })
@@ -92,28 +92,33 @@ fn arb_query() -> impl Strategy<Value = Query> {
         arb_agg(),
         proptest::option::of(arb_num_expr()),
         proptest::option::of(0.0f64..1e4),
+        proptest::option::of(0.0f64..1e4),
         proptest::collection::vec(arb_ident(), 1..=2),
         proptest::option::of(arb_predicate()),
         proptest::collection::vec(arb_column(), 0..=2),
     )
-        .prop_map(|(agg, arg, within, mut tables, predicate, group_by)| {
-            tables.dedup();
-            // COUNT may drop its argument (COUNT(*)); others need one.
-            let arg = if agg == AggregateFunc::Count {
-                arg
-            } else {
-                Some(arg.unwrap_or(Expr::Column(ColumnRef::bare("x"))))
-            };
-            let within = within.map(|w| (w * 100.0).round() / 100.0);
-            Query {
-                agg,
-                arg,
-                within,
-                tables,
-                predicate,
-                group_by,
-            }
-        })
+        .prop_map(
+            |(agg, arg, within, deadline, mut tables, predicate, group_by)| {
+                tables.dedup();
+                // COUNT may drop its argument (COUNT(*)); others need one.
+                let arg = if agg == AggregateFunc::Count {
+                    arg
+                } else {
+                    Some(arg.unwrap_or(Expr::Column(ColumnRef::bare("x"))))
+                };
+                let within = within.map(|w| (w * 100.0).round() / 100.0);
+                let deadline = deadline.map(|d| (d * 100.0).round() / 100.0);
+                Query {
+                    agg,
+                    arg,
+                    within,
+                    deadline,
+                    tables,
+                    predicate,
+                    group_by,
+                }
+            },
+        )
 }
 
 /// The parser constant-folds `-literal`; normalize generated trees the same

@@ -1,14 +1,15 @@
 //! Deterministic fault injection: [`ChaosTransport`] wraps any
-//! [`Transport`] and injects per-source failures, added latency, and
+//! [`Transport`] and injects per-source failures, seeded latency, and
 //! scripted outage windows into the **query-initiated refresh plane**.
 //!
 //! Two properties make it usable in tests and benches:
 //!
-//! * **Determinism** — every probabilistic failure is a pure function of
-//!   `(seed, source, global op counter)` via a splitmix64 draw, so a
-//!   seeded schedule replays bit-identically; scripted outages are
-//!   expressed in *operation counts* (down from op N to op M), not wall
-//!   time.
+//! * **Determinism** — every probabilistic failure *and every injected
+//!   delay* is a pure function of `(seed, source, global op counter)` via
+//!   a splitmix64 draw (delays use a distinct salt so failure and delay
+//!   schedules are independent), so a seeded schedule replays
+//!   bit-identically; scripted outages are expressed in *operation
+//!   counts* (down from op N to op M), not wall time.
 //! * **Fail-at-send only** — an injected failure rejects the request
 //!   *before* it reaches the source. TRAPP's core invariant is that every
 //!   refresh a source *serves* must install at the cache (the source's
@@ -48,18 +49,62 @@ pub struct OutageWindow {
     pub to_op: u64,
 }
 
+/// A per-source wire-delay distribution: every admitted refresh operation
+/// is charged `base` plus a deterministic uniform draw in `[0, jitter)`.
+/// The draw is a pure function of `(seed, source, op)` under a salt
+/// distinct from the failure draws, so latency and failure schedules are
+/// independent and both replay bit-identically.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DelaySpec {
+    /// Fixed delay charged to every admitted operation.
+    pub base: Duration,
+    /// Upper bound (exclusive) of the uniform jitter added on top.
+    pub jitter: Duration,
+}
+
+impl DelaySpec {
+    /// A constant delay with no jitter.
+    pub fn fixed(base: Duration) -> DelaySpec {
+        DelaySpec {
+            base,
+            jitter: Duration::ZERO,
+        }
+    }
+
+    /// The deterministic delay for operation `op` against `source`.
+    pub fn sample(&self, seed: u64, source: SourceId, op: u64) -> Duration {
+        if self.jitter.is_zero() {
+            return self.base;
+        }
+        let u = draw(seed ^ DELAY_SALT, source, op);
+        self.base + Duration::from_nanos((self.jitter.as_nanos() as f64 * u) as u64)
+    }
+}
+
+/// Salt xor-ed into the seed for delay draws so they are decorrelated
+/// from the failure draws at the same `(source, op)`.
+const DELAY_SALT: u64 = 0x9D5C_0FF0_DE1A_F00D;
+
 /// Seeded fault schedule for a [`ChaosTransport`].
 #[derive(Clone, Debug)]
 pub struct ChaosConfig {
-    /// Seed for the deterministic per-operation failure draws.
+    /// Seed for the deterministic per-operation failure and delay draws.
     pub seed: u64,
     /// Failure probability applied to every source without an override.
     pub default_fail_p: f64,
     /// Per-source failure probability overrides.
     pub fail_p: Vec<(SourceId, f64)>,
-    /// Extra wire latency charged (at send time) to every refresh request
-    /// that is *not* failed. `Duration::ZERO` for none.
+    /// Extra wire latency charged to every refresh request that is *not*
+    /// failed. `Duration::ZERO` for none. Blocking request paths sleep at
+    /// send; nonblocking submits delay the *completion* instead, so
+    /// submitters overlap the injected latency exactly as they would real
+    /// wire delay.
     pub added_latency: Duration,
+    /// Delay distribution applied to every source without an override, on
+    /// top of [`ChaosConfig::added_latency`]. `None` for no seeded delay.
+    pub default_delay: Option<DelaySpec>,
+    /// Per-source delay distribution overrides (slow-source chaos).
+    pub delay: Vec<(SourceId, DelaySpec)>,
     /// Scripted outage windows, checked against the global op counter.
     pub outages: Vec<OutageWindow>,
 }
@@ -71,6 +116,8 @@ impl Default for ChaosConfig {
             default_fail_p: 0.0,
             fail_p: Vec::new(),
             added_latency: Duration::ZERO,
+            default_delay: None,
+            delay: Vec::new(),
             outages: Vec::new(),
         }
     }
@@ -85,6 +132,15 @@ impl ChaosConfig {
             .map(|&(_, p)| p)
             .unwrap_or(self.default_fail_p)
     }
+
+    /// The delay distribution in effect for `source`, if any.
+    pub fn delay_for(&self, source: SourceId) -> Option<DelaySpec> {
+        self.delay
+            .iter()
+            .find(|(s, _)| *s == source)
+            .map(|&(_, d)| d)
+            .or(self.default_delay)
+    }
 }
 
 /// Shared runtime handle over one chaos schedule: op/failure counters
@@ -95,6 +151,7 @@ impl ChaosConfig {
 pub struct ChaosControl {
     ops: AtomicU64,
     injected: AtomicU64,
+    delayed: AtomicU64,
     forced_down: Mutex<HashSet<SourceId>>,
 }
 
@@ -112,6 +169,11 @@ impl ChaosControl {
     /// How many of those operations were failed by injection.
     pub fn injected_failures(&self) -> u64 {
         self.injected.load(Ordering::Relaxed)
+    }
+
+    /// How many admitted operations were charged a nonzero wire delay.
+    pub fn injected_delays(&self) -> u64 {
+        self.delayed.load(Ordering::Relaxed)
     }
 
     /// Forces `source` down: every refresh request fails with
@@ -177,8 +239,11 @@ impl<T: Transport> ChaosTransport<T> {
     }
 
     /// One refresh send: advances the global op counter and decides
-    /// whether this operation is failed by the schedule.
-    fn admit(&self, source: SourceId) -> Result<(), TrappError> {
+    /// whether this operation is failed by the schedule. On admission,
+    /// returns the wire delay the schedule charges this operation
+    /// (`Duration::ZERO` for none); the caller applies it — blocking
+    /// request paths sleep, nonblocking submits delay the completion.
+    fn admit(&self, source: SourceId) -> Result<Duration, TrappError> {
         let op = self.control.ops.fetch_add(1, Ordering::Relaxed);
         if self.control.is_forced_down(source) {
             self.control.injected.fetch_add(1, Ordering::Relaxed);
@@ -198,10 +263,14 @@ impl<T: Transport> ChaosTransport<T> {
                 "injected fault for {source} at op {op}"
             )));
         }
-        if !self.cfg.added_latency.is_zero() {
-            std::thread::sleep(self.cfg.added_latency);
+        let mut lat = self.cfg.added_latency;
+        if let Some(spec) = self.cfg.delay_for(source) {
+            lat += spec.sample(self.cfg.seed, source, op);
         }
-        Ok(())
+        if !lat.is_zero() {
+            self.control.delayed.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(lat)
     }
 }
 
@@ -213,7 +282,10 @@ impl<T: Transport> Transport for ChaosTransport<T> {
         object: ObjectId,
         now: f64,
     ) -> Result<Refresh, TrappError> {
-        self.admit(source)?;
+        let lat = self.admit(source)?;
+        if !lat.is_zero() {
+            std::thread::sleep(lat);
+        }
         self.inner.request_refresh(source, cache, object, now)
     }
 
@@ -227,7 +299,10 @@ impl<T: Transport> Transport for ChaosTransport<T> {
         if objects.is_empty() {
             return Ok(Vec::new());
         }
-        self.admit(source)?;
+        let lat = self.admit(source)?;
+        if !lat.is_zero() {
+            std::thread::sleep(lat);
+        }
         self.inner
             .request_refresh_batch(source, cache, objects, now)
     }
@@ -239,10 +314,16 @@ impl<T: Transport> Transport for ChaosTransport<T> {
         object: ObjectId,
         now: f64,
     ) -> Completion<Refresh> {
-        if let Err(e) = self.admit(source) {
-            return Completion::ready(Err(e));
+        let lat = match self.admit(source) {
+            Ok(lat) => lat,
+            Err(e) => return Completion::ready(Err(e)),
+        };
+        let c = self.inner.submit_refresh(source, cache, object, now);
+        if lat.is_zero() {
+            c
+        } else {
+            Completion::delayed_until(std::time::Instant::now() + lat, c)
         }
-        self.inner.submit_refresh(source, cache, object, now)
     }
 
     fn submit_refresh_batch(
@@ -255,10 +336,16 @@ impl<T: Transport> Transport for ChaosTransport<T> {
         if objects.is_empty() {
             return Completion::ready(Ok(Vec::new()));
         }
-        if let Err(e) = self.admit(source) {
-            return Completion::ready(Err(e));
+        let lat = match self.admit(source) {
+            Ok(lat) => lat,
+            Err(e) => return Completion::ready(Err(e)),
+        };
+        let c = self.inner.submit_refresh_batch(source, cache, objects, now);
+        if lat.is_zero() {
+            c
+        } else {
+            Completion::delayed_until(std::time::Instant::now() + lat, c)
         }
-        self.inner.submit_refresh_batch(source, cache, objects, now)
     }
 
     fn apply_update(
@@ -413,5 +500,66 @@ mod tests {
             .submit_update_batch(src, vec![(ObjectId::new(1), 123.0)], 3.0)
             .wait()
             .is_ok());
+    }
+
+    #[test]
+    fn delay_schedule_is_deterministic_and_per_source() {
+        let spec = DelaySpec {
+            base: Duration::from_micros(100),
+            jitter: Duration::from_micros(900),
+        };
+        let slow = SourceId::new(2);
+        let fast = SourceId::new(1);
+        let a: Vec<Duration> = (0..64).map(|op| spec.sample(7, slow, op)).collect();
+        let b: Vec<Duration> = (0..64).map(|op| spec.sample(7, slow, op)).collect();
+        assert_eq!(a, b, "same (seed, source, op) must draw the same delay");
+        let c: Vec<Duration> = (0..64).map(|op| spec.sample(8, slow, op)).collect();
+        assert_ne!(a, c, "different seed must draw a different schedule");
+        let d: Vec<Duration> = (0..64).map(|op| spec.sample(7, fast, op)).collect();
+        assert_ne!(a, d, "different source must draw a different schedule");
+        for lat in &a {
+            assert!(*lat >= spec.base && *lat < spec.base + spec.jitter);
+        }
+        // Delay draws are decorrelated from failure draws: a source with
+        // fail_p = 0.5 and a delay spec fails some ops and delays others
+        // independently.
+        assert_ne!(
+            draw(7, slow, 0),
+            draw(7 ^ DELAY_SALT, slow, 0),
+            "delay salt must decorrelate the two schedules"
+        );
+    }
+
+    #[test]
+    fn submit_paths_delay_the_completion_not_the_submitter() {
+        let chaos = ChaosTransport::new(
+            transport_with_source(1),
+            ChaosConfig {
+                default_delay: Some(DelaySpec::fixed(Duration::from_millis(30))),
+                ..ChaosConfig::default()
+            },
+            Arc::new(ChaosControl::new()),
+        );
+        let started = std::time::Instant::now();
+        let c = chaos.submit_refresh(SourceId::new(1), CacheId::new(1), ObjectId::new(1), 1.0);
+        assert!(
+            started.elapsed() < Duration::from_millis(25),
+            "submit must not block on the injected delay"
+        );
+        // The reply is in flight until the delay elapses...
+        let c = match c.wait_timeout(Duration::from_millis(2)) {
+            Err(c) => c,
+            Ok(_) => panic!("completion resolved before the injected delay"),
+        };
+        // ...then lands intact (chaos never serves-then-drops).
+        assert!(c.wait().is_ok());
+        assert_eq!(chaos.control().injected_delays(), 1);
+        // The update plane is exempt from delay injection.
+        let started = std::time::Instant::now();
+        chaos
+            .apply_update(SourceId::new(1), ObjectId::new(1), 42.0, 2.0)
+            .unwrap();
+        assert!(started.elapsed() < Duration::from_millis(25));
+        assert_eq!(chaos.control().injected_delays(), 1);
     }
 }

@@ -33,12 +33,12 @@
 //! preserve per-actor FIFO.
 
 use std::collections::{BinaryHeap, VecDeque};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Sender};
+use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Condvar, Mutex};
 
 /// A unit of work bound to one actor's FIFO queue.
@@ -160,7 +160,52 @@ struct PoolCore {
     shared: Arc<PoolShared>,
     workers: Mutex<Vec<JoinHandle<()>>>,
     timer_thread: Mutex<Option<JoinHandle<()>>>,
-    demux_threads: usize,
+    /// The receiving end of the ready channel, kept so
+    /// [`FetchPool::resize`] can spawn additional workers after startup.
+    ready_rx: Receiver<Arc<ActorQueue>>,
+    /// Configured worker count; workers retire when `live` exceeds it.
+    target: Arc<AtomicUsize>,
+    /// Workers currently alive (spawned and not yet retired/joined).
+    live: Arc<AtomicUsize>,
+    /// Monotonic spawn counter, for worker thread names.
+    spawned: AtomicUsize,
+}
+
+/// Claims a retirement slot: true when the live worker count exceeds the
+/// target and this worker successfully decremented it (and must exit).
+fn should_retire(live: &AtomicUsize, target: &AtomicUsize) -> bool {
+    loop {
+        let l = live.load(Ordering::SeqCst);
+        if l <= target.load(Ordering::SeqCst) {
+            return false;
+        }
+        if live
+            .compare_exchange(l, l - 1, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+        {
+            return true;
+        }
+    }
+}
+
+/// One demux worker: serves ready actors until the channel closes
+/// (shutdown) or the pool shrinks below the live count. The retire check
+/// runs *after* each served actor, so a received actor is never dropped.
+fn worker_loop(rx: Receiver<Arc<ActorQueue>>, live: Arc<AtomicUsize>, target: Arc<AtomicUsize>) {
+    loop {
+        match rx.recv() {
+            Ok(actor) => {
+                run_actor(&actor);
+                if should_retire(&live, &target) {
+                    return;
+                }
+            }
+            Err(_) => {
+                live.fetch_sub(1, Ordering::SeqCst);
+                return;
+            }
+        }
+    }
 }
 
 impl Drop for PoolCore {
@@ -220,38 +265,77 @@ impl FetchPool {
             timer: Mutex::new(TimerQueue::default()),
             timer_wake: Condvar::new(),
         });
-        let mut workers = Vec::with_capacity(demux_threads);
-        for i in 0..demux_threads {
-            let rx = rx.clone();
-            workers.push(
-                std::thread::Builder::new()
-                    .name(format!("trapp-fetch-{i}"))
-                    .spawn(move || {
-                        while let Ok(actor) = rx.recv() {
-                            run_actor(&actor);
-                        }
-                    })
-                    .expect("spawn fetch-pool worker"),
-            );
-        }
         let timer_shared = shared.clone();
         let timer_thread = std::thread::Builder::new()
             .name("trapp-fetch-timer".into())
             .spawn(move || timer_loop(&timer_shared))
             .expect("spawn fetch-pool timer");
-        FetchPool {
+        let pool = FetchPool {
             core: Arc::new(PoolCore {
                 shared,
-                workers: Mutex::new(workers),
+                workers: Mutex::new(Vec::with_capacity(demux_threads)),
                 timer_thread: Mutex::new(Some(timer_thread)),
-                demux_threads,
+                ready_rx: rx,
+                target: Arc::new(AtomicUsize::new(0)),
+                live: Arc::new(AtomicUsize::new(0)),
+                spawned: AtomicUsize::new(0),
             }),
-        }
+        };
+        pool.resize(demux_threads);
+        pool
     }
 
-    /// Number of demux worker threads (the timer thread is extra).
+    /// Number of demux worker threads the pool is configured for (the
+    /// timer thread is extra). After a shrinking [`FetchPool::resize`]
+    /// this is the *target*; surplus workers retire as work flows.
     pub fn threads(&self) -> usize {
-        self.core.demux_threads
+        self.core.target.load(Ordering::SeqCst)
+    }
+
+    /// Demux workers currently alive. Equals [`FetchPool::threads`] except
+    /// transiently after a shrink, when surplus workers are still draining
+    /// toward retirement.
+    pub fn live_threads(&self) -> usize {
+        self.core.live.load(Ordering::SeqCst)
+    }
+
+    /// Resizes the pool to `threads` demux workers (clamped to ≥ 1), live.
+    /// Growth spawns workers immediately; shrinking is lazy — each surplus
+    /// worker retires after finishing its current actor, so no accepted
+    /// job is ever dropped and nothing blocks. Driving this from a load
+    /// signal (queue depth, fetch latency) is how the service adapts its
+    /// fetch parallelism to demand.
+    pub fn resize(&self, threads: usize) {
+        let want = threads.max(1);
+        self.core.target.store(want, Ordering::SeqCst);
+        let mut workers = self.core.workers.lock();
+        // Prune handles of already-retired workers so repeated resizes
+        // don't accumulate dead JoinHandles.
+        workers.retain(|h| !h.is_finished());
+        loop {
+            let l = self.core.live.load(Ordering::SeqCst);
+            if l >= want {
+                break;
+            }
+            if self
+                .core
+                .live
+                .compare_exchange(l, l + 1, Ordering::SeqCst, Ordering::SeqCst)
+                .is_err()
+            {
+                continue;
+            }
+            let rx = self.core.ready_rx.clone();
+            let live = self.core.live.clone();
+            let target = self.core.target.clone();
+            let id = self.core.spawned.fetch_add(1, Ordering::SeqCst);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("trapp-fetch-{id}"))
+                    .spawn(move || worker_loop(rx, live, target))
+                    .expect("spawn fetch-pool worker"),
+            );
+        }
     }
 
     /// Registers a new actor and returns its submission handle.
@@ -364,6 +448,60 @@ mod tests {
             r.fetch_add(1, Ordering::SeqCst);
         });
         assert_eq!(ran.load(Ordering::SeqCst), 11);
+    }
+
+    #[test]
+    fn resize_grows_and_shrinks_without_losing_jobs() {
+        let pool = FetchPool::new(1);
+        assert_eq!(pool.threads(), 1);
+        assert_eq!(pool.live_threads(), 1);
+
+        // Grow: new workers spawn immediately.
+        pool.resize(4);
+        assert_eq!(pool.threads(), 4);
+        assert_eq!(pool.live_threads(), 4);
+
+        // Work flows through the grown pool.
+        let ran = Arc::new(AtomicUsize::new(0));
+        let actors: Vec<ActorHandle> = (0..8).map(|_| pool.register()).collect();
+        for actor in &actors {
+            for _ in 0..16 {
+                let r = ran.clone();
+                actor.submit(move || {
+                    r.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        }
+
+        // Shrink: target drops at once; surplus workers retire as they
+        // finish actors, and every accepted job still runs.
+        pool.resize(2);
+        assert_eq!(pool.threads(), 2);
+        for actor in &actors {
+            for _ in 0..16 {
+                let r = ran.clone();
+                actor.submit(move || {
+                    r.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        }
+        drop(pool);
+        assert_eq!(ran.load(Ordering::SeqCst), 8 * 32);
+    }
+
+    #[test]
+    fn resize_clamps_to_one_worker() {
+        let pool = FetchPool::new(2);
+        pool.resize(0);
+        assert_eq!(pool.threads(), 1);
+        let ran = Arc::new(AtomicUsize::new(0));
+        let a = pool.register();
+        let r = ran.clone();
+        a.submit(move || {
+            r.fetch_add(1, Ordering::SeqCst);
+        });
+        drop(pool);
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
     }
 
     #[test]

@@ -44,7 +44,7 @@ pub mod stats;
 pub mod transport;
 
 pub use cache::CacheNode;
-pub use chaos::{splitmix64, ChaosConfig, ChaosControl, ChaosTransport, OutageWindow};
+pub use chaos::{splitmix64, ChaosConfig, ChaosControl, ChaosTransport, DelaySpec, OutageWindow};
 pub use clock::SimClock;
 pub use cost::CostModel;
 pub use fetch_pool::FetchPool;

@@ -26,7 +26,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
@@ -49,6 +49,14 @@ enum CompletionInner<T> {
     Ready(Result<T, TrappError>),
     /// In flight; the transport resolves it through a channel.
     Pending(Receiver<Result<T, TrappError>>),
+    /// A completion that must not be observable before `ready_at` — how
+    /// chaos latency injection simulates wire delay on the *reply* path
+    /// without blocking the submitter. The wrapped completion may itself
+    /// be ready or pending; waiters see it only once the delay elapses.
+    Delayed {
+        ready_at: Instant,
+        inner: Box<Completion<T>>,
+    },
 }
 
 impl<T> Completion<T> {
@@ -71,6 +79,21 @@ impl<T> Completion<T> {
         )
     }
 
+    /// Wraps `inner` so its result only becomes observable at `ready_at`:
+    /// until then [`Completion::poll`] reports in-flight and
+    /// [`Completion::wait_timeout`] can expire, exactly as if the reply
+    /// were still on the wire. Used by chaos latency injection to make
+    /// deadline/straggler paths reachable even on blocking transports
+    /// (whose completions otherwise resolve inline at submit).
+    pub fn delayed_until(ready_at: Instant, inner: Completion<T>) -> Completion<T> {
+        Completion {
+            inner: CompletionInner::Delayed {
+                ready_at,
+                inner: Box::new(inner),
+            },
+        }
+    }
+
     /// Blocks until the result is delivered. A transport torn down before
     /// resolving the request surfaces as [`TrappError::RefreshFailed`].
     pub fn wait(self) -> Result<T, TrappError> {
@@ -79,6 +102,13 @@ impl<T> Completion<T> {
             CompletionInner::Pending(rx) => rx.recv().map_err(|_| {
                 TrappError::RefreshFailed("transport dropped the completion".into())
             })?,
+            CompletionInner::Delayed { ready_at, inner } => {
+                let now = Instant::now();
+                if ready_at > now {
+                    std::thread::sleep(ready_at - now);
+                }
+                inner.wait()
+            }
         }
     }
 
@@ -100,6 +130,21 @@ impl<T> Completion<T> {
                     inner: CompletionInner::Pending(rx),
                 }),
             },
+            CompletionInner::Delayed { ready_at, inner } => {
+                let now = Instant::now();
+                let remaining = ready_at.saturating_duration_since(now);
+                if remaining >= timeout {
+                    // The delay outlasts the caller's patience: burn the
+                    // whole timeout and hand the still-delayed completion
+                    // back for parking.
+                    std::thread::sleep(timeout);
+                    return Err(Completion {
+                        inner: CompletionInner::Delayed { ready_at, inner },
+                    });
+                }
+                std::thread::sleep(remaining);
+                inner.wait_timeout(timeout - remaining)
+            }
         }
     }
 
@@ -117,6 +162,14 @@ impl<T> Completion<T> {
                     inner: CompletionInner::Pending(rx),
                 }),
             },
+            CompletionInner::Delayed { ready_at, inner } => {
+                if Instant::now() < ready_at {
+                    return Err(Completion {
+                        inner: CompletionInner::Delayed { ready_at, inner },
+                    });
+                }
+                inner.poll()
+            }
         }
     }
 }
@@ -1132,5 +1185,42 @@ mod tests {
             );
         }
         assert_eq!(t.messages(), SOURCES * ROUNDS);
+    }
+
+    #[test]
+    fn delayed_completion_hides_result_until_ready() {
+        let delay = Duration::from_millis(40);
+        let c = Completion::delayed_until(Instant::now() + delay, Completion::<u32>::ready(Ok(7)));
+        // Polling before the deadline reports in-flight.
+        let c = match c.poll() {
+            Err(c) => c,
+            Ok(_) => panic!("delayed completion resolved early"),
+        };
+        // A short wait_timeout expires and hands the completion back,
+        // exactly like a pending reply still on the wire.
+        let c = match c.wait_timeout(Duration::from_millis(5)) {
+            Err(c) => c,
+            Ok(_) => panic!("wait_timeout beat the injected delay"),
+        };
+        // A full wait blocks through the delay and sees the result.
+        let started = Instant::now();
+        assert_eq!(c.wait().unwrap(), 7);
+        assert!(
+            started.elapsed() >= Duration::from_millis(10),
+            "wait returned before the injected delay elapsed"
+        );
+    }
+
+    #[test]
+    fn delayed_completion_wait_timeout_resolves_past_delay() {
+        let c = Completion::delayed_until(
+            Instant::now() + Duration::from_millis(5),
+            Completion::<u32>::ready(Ok(3)),
+        );
+        // Timeout longer than the delay: resolves through to the result.
+        match c.wait_timeout(Duration::from_millis(500)) {
+            Ok(r) => assert_eq!(r.unwrap(), 3),
+            Err(_) => panic!("timeout should outlast the delay"),
+        }
     }
 }

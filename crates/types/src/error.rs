@@ -145,6 +145,31 @@ pub enum TrappError {
     /// A source is considered down (its circuit breaker is open): the
     /// request was failed fast without a round-trip.
     SourceUnavailable(SourceId),
+    /// A query carried a `DEADLINE` and the service could not honor its
+    /// precision constraint within the remaining time budget (strict
+    /// degradation policy). Refreshes that arrived before the deadline
+    /// were already installed when this is returned — only the answer is
+    /// withheld, never rolled back.
+    DeadlineExceeded {
+        /// The query's deadline, in milliseconds.
+        deadline_ms: u64,
+        /// Time already spent (queue wait + execution) when the service
+        /// gave up, in milliseconds.
+        elapsed_ms: u64,
+        /// The narrowest precision constraint the planner estimated it
+        /// *could* have honored in the remaining budget, when known —
+        /// what a best-effort retry would get.
+        honorable_within: Option<f64>,
+    },
+    /// The service shed the query at admission: the queue was already
+    /// deeper than the configured rejection watermark, so no work was
+    /// started on its behalf.
+    Overloaded {
+        /// Queue depth observed at admission.
+        queue_depth: u64,
+        /// The configured rejection watermark.
+        limit: u64,
+    },
     /// Division by an interval containing zero during interval evaluation.
     DivisionByZeroInterval,
     /// The operation is not supported in this configuration.
@@ -190,6 +215,27 @@ impl fmt::Display for TrappError {
             }
             TrappError::SourceUnavailable(s) => {
                 write!(f, "source {s} is unavailable (circuit breaker open)")
+            }
+            TrappError::DeadlineExceeded {
+                deadline_ms,
+                elapsed_ms,
+                honorable_within,
+            } => {
+                write!(
+                    f,
+                    "deadline of {deadline_ms} ms exceeded after {elapsed_ms} ms"
+                )?;
+                if let Some(w) = honorable_within {
+                    write!(f, " (WITHIN {w} was honorable in the remaining budget)")?;
+                }
+                Ok(())
+            }
+            TrappError::Overloaded { queue_depth, limit } => {
+                write!(
+                    f,
+                    "service overloaded: queue depth {queue_depth} exceeds the \
+                     admission limit {limit}"
+                )
             }
             TrappError::DivisionByZeroInterval => {
                 write!(f, "division by an interval containing zero")
@@ -247,6 +293,34 @@ mod tests {
         assert!(TrappError::SourceUnavailable(SourceId::new(3))
             .to_string()
             .contains("src#3"));
+    }
+
+    #[test]
+    fn overload_errors_are_typed_and_displayable() {
+        let e = TrappError::DeadlineExceeded {
+            deadline_ms: 50,
+            elapsed_ms: 63,
+            honorable_within: Some(4.0),
+        };
+        let msg = e.to_string();
+        assert!(
+            msg.contains("deadline of 50 ms exceeded after 63 ms"),
+            "{msg}"
+        );
+        assert!(msg.contains("WITHIN 4"), "{msg}");
+        let e = TrappError::DeadlineExceeded {
+            deadline_ms: 10,
+            elapsed_ms: 12,
+            honorable_within: None,
+        };
+        assert!(!e.to_string().contains("WITHIN"));
+        let e = TrappError::Overloaded {
+            queue_depth: 65,
+            limit: 64,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("queue depth 65"), "{msg}");
+        assert!(msg.contains("limit 64"), "{msg}");
     }
 
     #[test]

@@ -100,6 +100,15 @@ pub struct LoadConfig {
     /// side table (one row per group) to the workload; `0.0` (the
     /// default) emits neither, keeping historical workloads bit-stable.
     pub join_fraction: f64,
+    /// Fraction of queries issued with a `DEADLINE` clause — the
+    /// time-bounded (BlinkDB-style) contract, against which the service
+    /// trades precision for latency under load. `0.0` (the default)
+    /// emits none and leaves historical rng streams bit-stable.
+    pub deadline_fraction: f64,
+    /// The deadline budget, in milliseconds, attached to deadline-bearing
+    /// queries. Ignored while [`deadline_fraction`](LoadConfig::deadline_fraction)
+    /// is zero.
+    pub deadline_ms: f64,
 }
 
 impl Default for LoadConfig {
@@ -121,6 +130,8 @@ impl Default for LoadConfig {
             skew_shards: 1,
             grouped_fraction: 0.0,
             join_fraction: 0.0,
+            deadline_fraction: 0.0,
+            deadline_ms: 100.0,
         }
     }
 }
@@ -160,8 +171,20 @@ pub struct GeneratedQuery {
     pub agg: AggTemplate,
     /// The precision constraint (per group for grouped queries).
     pub within: f64,
+    /// The deadline budget in milliseconds, when the query carries a
+    /// `DEADLINE` clause.
+    pub deadline: Option<f64>,
     /// The query's shape.
     pub shape: QueryShape,
+}
+
+/// Splices a `DEADLINE` clause into rendered SQL (the grammar places it
+/// between `WITHIN` and `FROM`).
+fn with_deadline(sql: String, deadline: Option<f64>) -> String {
+    match deadline {
+        Some(d) => sql.replacen(" FROM", &format!(" DEADLINE {d} FROM"), 1),
+        None => sql,
+    }
 }
 
 /// A generated workload: table shape, rows, and a query stream.
@@ -495,6 +518,15 @@ pub fn generate(config: &LoadConfig) -> ServiceWorkload {
         } else {
             QueryShape::Scalar
         };
+        // Deadline draw after the shape draw, and only when deadlines are
+        // requested — again keeping historical rng streams untouched.
+        let deadline = if config.deadline_fraction > 0.0
+            && rng.gen_range(0.0..1.0) < config.deadline_fraction
+        {
+            Some(config.deadline_ms)
+        } else {
+            None
+        };
         match shape {
             QueryShape::Join => {
                 // Joins aggregate SUM(load) over metrics ⋈ segments: the
@@ -502,13 +534,17 @@ pub fn generate(config: &LoadConfig) -> ServiceWorkload {
                 // weight filter makes membership itself uncertain — the
                 // two-sided refresh regime of §7.
                 queries.push(GeneratedQuery {
-                    sql: format!(
-                        "SELECT SUM(load) WITHIN {within} FROM metrics, segments \
-                         WHERE metrics.grp = segments.grp AND weight > {JOIN_WEIGHT_THRESHOLD}"
+                    sql: with_deadline(
+                        format!(
+                            "SELECT SUM(load) WITHIN {within} FROM metrics, segments \
+                             WHERE metrics.grp = segments.grp AND weight > {JOIN_WEIGHT_THRESHOLD}"
+                        ),
+                        deadline,
                     ),
                     group: None,
                     agg: AggTemplate::Sum,
                     within,
+                    deadline,
                     shape,
                 });
                 continue;
@@ -530,10 +566,11 @@ pub fn generate(config: &LoadConfig) -> ServiceWorkload {
                     }
                 };
                 queries.push(GeneratedQuery {
-                    sql,
+                    sql: with_deadline(sql, deadline),
                     group: None,
                     agg,
                     within,
+                    deadline,
                     shape,
                 });
                 continue;
@@ -568,10 +605,11 @@ pub fn generate(config: &LoadConfig) -> ServiceWorkload {
             }
         };
         queries.push(GeneratedQuery {
-            sql,
+            sql: with_deadline(sql, deadline),
             group,
             agg,
             within,
+            deadline,
             shape: QueryShape::Scalar,
         });
     }
@@ -760,6 +798,37 @@ mod tests {
         let plain = generate(&LoadConfig::default());
         assert!(plain.segments.is_empty());
         assert!(plain.queries.iter().all(|q| q.shape == QueryShape::Scalar));
+        assert!(plain.queries.iter().all(|q| q.deadline.is_none()));
+        assert!(plain.queries.iter().all(|q| !q.sql.contains("DEADLINE")));
+    }
+
+    /// Deadline-bearing queries generate at roughly the requested rate,
+    /// carry the configured budget, and render SQL the parser accepts.
+    #[test]
+    fn deadline_knob_emits_parsing_deadline_queries() {
+        let w = generate(&LoadConfig {
+            seed: 47,
+            queries: 200,
+            deadline_fraction: 0.5,
+            deadline_ms: 75.0,
+            grouped_fraction: 0.2,
+            join_fraction: 0.2,
+            ..LoadConfig::default()
+        });
+        let with_deadline = w.queries.iter().filter(|q| q.deadline.is_some()).count();
+        assert!(
+            (60..=140).contains(&with_deadline),
+            "{with_deadline} of 200 carried a deadline"
+        );
+        for q in &w.queries {
+            let parsed =
+                trapp_sql::parse_query(&q.sql).unwrap_or_else(|e| panic!("{}: {e}", q.sql));
+            assert_eq!(parsed.deadline, q.deadline, "{}", q.sql);
+            if let Some(d) = q.deadline {
+                assert_eq!(d, 75.0);
+                assert!(q.sql.contains("DEADLINE 75"), "{}", q.sql);
+            }
+        }
     }
 
     /// Grouped and join queries generate at roughly the requested rates,
